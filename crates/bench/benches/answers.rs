@@ -1,0 +1,55 @@
+//! SPA vs PPA answer generation across K, L, and preference-type mixes —
+//! the microbench companion to Figures 7/8 (run `repro fig7 fig8` for the
+//! full parameter sweeps at scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qp_bench::{bench_db, efficiency_options, positive_profile, run_personalization, Scale};
+use qp_core::AnswerAlgorithm;
+use qp_datagen::{random_profile, ProfileSpec};
+
+fn answer_benches(c: &mut Criterion) {
+    let db = bench_db(Scale::Small);
+    let positive = positive_profile(&db, 30, 7);
+    let sql = "select title from MOVIE";
+
+    let mut g = c.benchmark_group("answers");
+    g.sample_size(20);
+    for k in [5usize, 15] {
+        g.bench_with_input(BenchmarkId::new("spa_positive", k), &k, |b, &k| {
+            b.iter(|| {
+                run_personalization(&db, &positive, sql, &efficiency_options(k, 1, AnswerAlgorithm::Spa))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ppa_positive", k), &k, |b, &k| {
+            b.iter(|| {
+                run_personalization(&db, &positive, sql, &efficiency_options(k, 1, AnswerAlgorithm::Ppa))
+            })
+        });
+    }
+    // mixed profile with absence preferences: SPA pays for NOT IN
+    let mixed = random_profile(&db, &ProfileSpec { positive_presence: 8, negative: 6, complex: 0, elastic: 0, seed: 7 });
+    g.bench_function("spa_with_absence", |b| {
+        b.iter(|| {
+            run_personalization(&db, &mixed, sql, &efficiency_options(14, 1, AnswerAlgorithm::Spa))
+        })
+    });
+    g.bench_function("ppa_with_absence", |b| {
+        b.iter(|| {
+            run_personalization(&db, &mixed, sql, &efficiency_options(14, 1, AnswerAlgorithm::Ppa))
+        })
+    });
+    // PPA early termination: high L
+    g.bench_function("ppa_high_l", |b| {
+        b.iter(|| {
+            run_personalization(&db, &positive, sql, &efficiency_options(20, 15, AnswerAlgorithm::Ppa))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = answer_benches
+}
+criterion_main!(benches);

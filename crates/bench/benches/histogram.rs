@@ -1,0 +1,33 @@
+//! Histogram build and estimation costs — PPA consults these to order
+//! its presence/absence queries by selectivity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qp_storage::histogram::CmpOp;
+use qp_storage::{Histogram, Value};
+
+fn histogram_benches(c: &mut Criterion) {
+    let numeric: Vec<Value> = (0..50_000).map(|i| Value::Int(1930 + (i % 75))).collect();
+    let categorical: Vec<Value> =
+        (0..50_000).map(|i| Value::str(format!("genre{}", i % 20))).collect();
+
+    let mut g = c.benchmark_group("histogram");
+    g.sample_size(20);
+    g.bench_function("build_numeric_50k", |b| b.iter(|| Histogram::build(numeric.iter())));
+    g.bench_function("build_categorical_50k", |b| b.iter(|| Histogram::build(categorical.iter())));
+
+    let h_num = Histogram::build(numeric.iter());
+    let h_cat = Histogram::build(categorical.iter());
+    g.bench_function("estimate_range", |b| {
+        b.iter(|| h_num.selectivity(CmpOp::Lt, std::hint::black_box(&Value::Int(1980))))
+    });
+    g.bench_function("estimate_between", |b| {
+        b.iter(|| h_num.selectivity_between(&Value::Int(1960), &Value::Int(1990)))
+    });
+    g.bench_function("estimate_equality", |b| {
+        b.iter(|| h_cat.selectivity(CmpOp::Eq, std::hint::black_box(&Value::str("genre7"))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, histogram_benches);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Ranking-function microbenchmarks: the three philosophies and the two
+//! mixed combinators over realistic degree-set sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qp_core::{MixedKind, Ranking, RankingKind};
+
+fn ranking_benches(c: &mut Criterion) {
+    let degrees: Vec<f64> = (0..64).map(|i| 0.05 + 0.9 * (i as f64 / 64.0)).collect();
+    let negs: Vec<f64> = degrees.iter().map(|d| -d / 2.0).collect();
+
+    let mut g = c.benchmark_group("ranking");
+    for kind in RankingKind::ALL {
+        for n in [4usize, 32] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("positive_{kind:?}"), n),
+                &n,
+                |b, &n| b.iter(|| kind.positive(std::hint::black_box(&degrees[..n]))),
+            );
+        }
+    }
+    for mixed in [MixedKind::Sum, MixedKind::CountWeighted] {
+        g.bench_function(format!("mixed_{mixed:?}"), |b| {
+            let r = Ranking::new(RankingKind::Inflationary, mixed);
+            b.iter(|| r.mixed(std::hint::black_box(&degrees[..16]), std::hint::black_box(&negs[..16])))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ranking_benches);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Preference-selection microbenchmarks: FakeCrit vs SPS (the paper's
+//! claimed win for the fake-criticality labels) and the doi-driven
+//! variant, plus the cost of computing the labels themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qp_bench::{bench_db, Scale};
+use qp_core::criticality::compute_fake_criticalities;
+use qp_core::select::{doi_based, fakecrit, sps, QueryContext, SelectionCriterion};
+use qp_core::{MixedKind, PersonalizationGraph, Ranking, RankingKind};
+use qp_datagen::{random_profile, ProfileSpec};
+use qp_sql::parse_query;
+
+fn selection_benches(c: &mut Criterion) {
+    let db = bench_db(Scale::Small);
+    let profile = random_profile(&db, &ProfileSpec::mixed(40, 3));
+    let graph = PersonalizationGraph::build(&profile);
+    let query = parse_query("select title from MOVIE").unwrap();
+    let qc = QueryContext::from_query(db.catalog(), &query).unwrap();
+
+    let mut g = c.benchmark_group("selection");
+    for k in [5usize, 20] {
+        g.bench_with_input(BenchmarkId::new("fakecrit_topk", k), &k, |b, &k| {
+            b.iter(|| fakecrit::fakecrit(&graph, &qc, SelectionCriterion::TopK(k)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("sps_topk", k), &k, |b, &k| {
+            b.iter(|| sps::sps(&graph, &qc, SelectionCriterion::TopK(k)).unwrap())
+        });
+    }
+    g.bench_function("doi_based_dr08", |b| {
+        let ranking = Ranking::new(RankingKind::Inflationary, MixedKind::Sum);
+        b.iter(|| doi_based::doi_based(&graph, &qc, 0.8, &ranking, None).unwrap())
+    });
+    g.bench_function("graph_build", |b| b.iter(|| PersonalizationGraph::build(&profile)));
+    g.bench_function("fake_criticality_labels", |b| {
+        b.iter(|| compute_fake_criticalities(&profile))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = selection_benches
+}
+criterion_main!(benches);

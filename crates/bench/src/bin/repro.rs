@@ -1,0 +1,497 @@
+//! Regenerates every figure of the paper's evaluation (§6).
+//!
+//! ```text
+//! repro [--scale small|medium|large] [--runs N] <figure>
+//!   figure: fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 all
+//! ```
+//!
+//! Absolute numbers differ from the paper (in-memory Rust engine vs 2005
+//! Oracle 9i on disk); the *shapes* are what EXPERIMENTS.md records:
+//! who wins, by what factor, and how the curves move with K and L.
+
+use qp_bench::{
+    bench_db, efficiency_options, ms, positive_profile, print_table, run_personalization, Scale,
+};
+use qp_core::{
+    AnswerAlgorithm, MixedKind, PersonalizationOptions, Personalizer, Ranking, RankingKind,
+    SelectionAlgorithm, SelectionCriterion,
+};
+use qp_datagen::users::{evaluate_answer, simulate_users, SimulatedUser};
+use qp_datagen::{queries, ImdbScale};
+use qp_sql::parse_query;
+use qp_storage::Database;
+
+fn main() {
+    let mut scale = Scale::Medium;
+    let mut runs = 3usize;
+    let mut figures: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale `{v}` (small|medium|large)");
+                    std::process::exit(2);
+                });
+            }
+            "--runs" => {
+                runs = args.next().and_then(|v| v.parse().ok()).unwrap_or(3);
+            }
+            other => figures.push(other.to_string()),
+        }
+    }
+    if figures.is_empty() {
+        figures.push("all".to_string());
+    }
+    let all = figures.iter().any(|f| f == "all");
+    let want = |f: &str| all || figures.iter().any(|x| x == f);
+
+    println!("scale: {scale:?} ({} movies), runs: {runs}", scale.imdb().movies);
+
+    if want("fig7") || want("fig8") || want("ablation") {
+        let db = bench_db(scale);
+        if want("fig7") {
+            fig7(&db, runs);
+        }
+        if want("fig8") {
+            fig8(&db, runs);
+        }
+        if want("ablation") {
+            ablation(&db);
+        }
+    }
+    // The user-study simulations run at a fixed, smaller scale: the
+    // original trials also ran interactive-sized queries.
+    let study_scale = match scale {
+        Scale::Small => ImdbScale { movies: 1_000, ..ImdbScale::small() },
+        _ => ImdbScale {
+            movies: 4_000,
+            actors: 6_000,
+            directors: 500,
+            theatres: 80,
+            plays_per_theatre: 40,
+            seed: 42,
+        },
+    };
+    if ["fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17"]
+        .iter()
+        .any(|f| want(f))
+    {
+        let db = qp_datagen::generate(study_scale);
+        db.warm_statistics();
+        let users = simulate_users(&db, 8, 6, 2005);
+        if want("fig9") {
+            fig9_10(&db, &users, true);
+        }
+        if want("fig10") {
+            fig9_10(&db, &users, false);
+        }
+        if want("fig11") {
+            fig11(&db, &users);
+        }
+        if want("fig12") || want("fig13") || want("fig14") {
+            let (np, pe) = trial2(&db, &users);
+            if want("fig12") {
+                print_table(
+                    "Figure 12 — average degree of difficulty (trial 2)",
+                    &["group", "difficulty"],
+                    &[
+                        vec!["non-personalized".into(), format!("{:.2}", np.0)],
+                        vec!["personalized".into(), format!("{:.2}", pe.0)],
+                    ],
+                );
+            }
+            if want("fig13") {
+                print_table(
+                    "Figure 13 — average coverage (trial 2)",
+                    &["group", "coverage"],
+                    &[
+                        vec!["non-personalized".into(), format!("{:.0}%", np.1 * 100.0)],
+                        vec!["personalized".into(), format!("{:.0}%", pe.1 * 100.0)],
+                    ],
+                );
+            }
+            if want("fig14") {
+                print_table(
+                    "Figure 14 — average answer score (trial 2)",
+                    &["group", "score"],
+                    &[
+                        vec!["non-personalized".into(), format!("{:.2}", np.2)],
+                        vec!["personalized".into(), format!("{:.2}", pe.2)],
+                    ],
+                );
+            }
+        }
+        for (fig, kind) in [
+            ("fig15", RankingKind::Inflationary),
+            ("fig16", RankingKind::Dominant),
+            ("fig17", RankingKind::Reserved),
+        ] {
+            if want(fig) {
+                fig15_17(&db, &users, fig, kind);
+            }
+        }
+    }
+}
+
+/// Figure 7: execution times vs K (FakeCrit selection, SPA, PPA, PPA first
+/// response), L = 1, positive presence preferences only.
+fn fig7(db: &Database, runs: usize) {
+    let profile = positive_profile(db, 50, 7);
+    let sql = "select title from MOVIE";
+    let mut rows = Vec::new();
+    for k in [2usize, 10, 20, 40] {
+        let spa = qp_bench::median_time(runs, || {
+            run_personalization(db, &profile, sql, &efficiency_options(k, 1, AnswerAlgorithm::Spa))
+        });
+        let ppa = qp_bench::median_time(runs, || {
+            run_personalization(db, &profile, sql, &efficiency_options(k, 1, AnswerAlgorithm::Ppa))
+        });
+        let sel_time = ppa.0.selection_time;
+        let first = ppa.0.first_response.unwrap_or_default();
+        rows.push(vec![
+            k.to_string(),
+            ms(sel_time),
+            ms(spa.1),
+            ms(ppa.1),
+            ms(first),
+            ppa.0.answer.len().to_string(),
+        ]);
+    }
+    print_table(
+        "Figure 7 — times vs K (ms), L = 1, positive presence preferences",
+        &["K", "selection", "SPA exec", "PPA exec", "PPA first", "|answer|"],
+        &rows,
+    );
+
+    // Supplement: MEDI's tightness — and hence the first response —
+    // depends on the ranking function. The inflationary bound over many
+    // remaining preferences is very conservative; the dominant bound lets
+    // tuples stream out almost immediately.
+    let mut rows = Vec::new();
+    for k in [10usize, 40] {
+        let mut infl = efficiency_options(k, 1, AnswerAlgorithm::Ppa);
+        infl.ranking = Ranking::new(RankingKind::Inflationary, MixedKind::CountWeighted);
+        let mut dom = infl;
+        dom.ranking = Ranking::new(RankingKind::Dominant, MixedKind::CountWeighted);
+        let a = qp_bench::median_time(runs, || run_personalization(db, &profile, sql, &infl));
+        let b = qp_bench::median_time(runs, || run_personalization(db, &profile, sql, &dom));
+        rows.push(vec![
+            k.to_string(),
+            ms(a.0.first_response.unwrap_or_default()),
+            ms(a.1),
+            ms(b.0.first_response.unwrap_or_default()),
+            ms(b.1),
+        ]);
+    }
+    print_table(
+        "Figure 7 supplement — PPA first response by ranking function (ms)",
+        &["K", "inflationary first", "(total)", "dominant first", "(total)"],
+        &rows,
+    );
+}
+
+/// Figure 8: execution times vs L for K = 30.
+fn fig8(db: &Database, runs: usize) {
+    let profile = positive_profile(db, 50, 7);
+    let sql = "select title from MOVIE";
+    let k = 30;
+    let mut rows = Vec::new();
+    for l in [1usize, 10, 20, 30] {
+        let spa = qp_bench::median_time(runs, || {
+            run_personalization(db, &profile, sql, &efficiency_options(k, l, AnswerAlgorithm::Spa))
+        });
+        let ppa = qp_bench::median_time(runs, || {
+            run_personalization(db, &profile, sql, &efficiency_options(k, l, AnswerAlgorithm::Ppa))
+        });
+        let first = ppa.0.first_response.unwrap_or_default();
+        rows.push(vec![
+            l.to_string(),
+            ms(spa.1),
+            ms(ppa.1),
+            ms(first),
+            ppa.0.answer.len().to_string(),
+        ]);
+    }
+    print_table(
+        "Figure 8 — times vs L (ms), K = 30",
+        &["L", "SPA exec", "PPA exec", "PPA first", "|answer|"],
+        &rows,
+    );
+
+    // Supplement: "SPA execution time is very high when there are absence
+    // queries. On the contrary, PPA is not affected as long as their
+    // number is below L" (§6.1). Sweep the number of 1–n absence
+    // preferences: each costs SPA a `NOT IN` sub-query, while PPA probes
+    // the failure region directly.
+    let mut rows = Vec::new();
+    for n_abs in [0usize, 2, 4, 8] {
+        let spec = qp_datagen::ProfileSpec {
+            positive_presence: 12,
+            negative: n_abs,
+            complex: 0,
+            elastic: 0,
+            seed: 7,
+        };
+        let profile = qp_datagen::random_profile(db, &spec);
+        let k = 12 + n_abs;
+        let spa = qp_bench::median_time(runs, || {
+            run_personalization(db, &profile, sql, &efficiency_options(k, 1, AnswerAlgorithm::Spa))
+        });
+        let ppa = qp_bench::median_time(runs, || {
+            run_personalization(db, &profile, sql, &efficiency_options(k, 1, AnswerAlgorithm::Ppa))
+        });
+        rows.push(vec![n_abs.to_string(), ms(spa.1), ms(ppa.1)]);
+    }
+    print_table(
+        "Figure 8 supplement — absence preferences hurt SPA, not PPA (ms, L = 1)",
+        &["1-n absence prefs", "SPA exec", "PPA exec"],
+        &rows,
+    );
+}
+
+/// Ablation: SPS vs FakeCrit selection work ("experiments … have shown
+/// that it is more efficient than the simple SPS algorithm", §4.1). The
+/// counters are queue operations, independent of wall-clock noise.
+fn ablation(db: &Database) {
+    use qp_core::select::{fakecrit::fakecrit_with_stats, sps::sps_with_stats, QueryContext};
+    use qp_core::{PersonalizationGraph, Profile, SelectionCriterion};
+    let query = parse_query("select title from MOVIE").unwrap();
+    let qc = QueryContext::from_query(db.catalog(), &query).unwrap();
+    let mut rows = Vec::new();
+    for n in [10usize, 25, 50] {
+        let profile = qp_datagen::random_profile(db, &qp_datagen::ProfileSpec::mixed(n, 3));
+        let graph = PersonalizationGraph::build(&profile);
+        for k in [5usize, 20] {
+            let (out_f, sf) = fakecrit_with_stats(&graph, &qc, SelectionCriterion::TopK(k)).unwrap();
+            let (out_s, ss) = sps_with_stats(&graph, &qc, SelectionCriterion::TopK(k)).unwrap();
+            assert_eq!(out_f, out_s, "algorithms must agree");
+            rows.push(vec![
+                n.to_string(),
+                k.to_string(),
+                format!("{}/{}/{}", sf.pushes, sf.pops, sf.expansions),
+                format!("{}/{}/{}", ss.pushes, ss.pops, ss.expansions),
+            ]);
+        }
+    }
+    // a dead-end-heavy profile: joins span the whole schema but the only
+    // selections sit on GENRE, so the CAST/ACTOR/PLAY/THEATRE branches
+    // are dead ends — fc = 0 prunes them for FakeCrit, SPS walks them
+    let sparse = Profile::parse(
+        db.catalog(),
+        "doi(GENRE.genre = 'drama') = (0.8, 0)\n\
+         doi(GENRE.genre = 'comedy') = (0.6, 0)\n\
+         doi(MOVIE.mid = GENRE.mid) = (0.9)\n\
+         doi(MOVIE.mid = CAST.mid) = (1)\n\
+         doi(CAST.aid = ACTOR.aid) = (1)\n\
+         doi(MOVIE.mid = PLAY.mid) = (1)\n\
+         doi(PLAY.tid = THEATRE.tid) = (1)\n",
+    )
+    .expect("sparse profile parses");
+    let graph = PersonalizationGraph::build(&sparse);
+    let (out_f, sf) = fakecrit_with_stats(&graph, &qc, SelectionCriterion::TopK(5)).unwrap();
+    let (out_s, ss) = sps_with_stats(&graph, &qc, SelectionCriterion::TopK(5)).unwrap();
+    assert_eq!(out_f, out_s);
+    rows.push(vec![
+        "sparse/dead-ends".to_string(),
+        "5".to_string(),
+        format!("{}/{}/{}", sf.pushes, sf.pops, sf.expansions),
+        format!("{}/{}/{}", ss.pushes, ss.pops, ss.expansions),
+    ]);
+    print_table(
+        "Ablation — FakeCrit vs SPS selection work (pushes/pops/expansions)",
+        &["profile prefs", "K", "FakeCrit", "SPS"],
+        &rows,
+    );
+}
+
+/// Personalization options for the user study: "we chose K to be the
+/// number of preferences in a user profile, and L = 2".
+fn study_options(user: &SimulatedUser) -> PersonalizationOptions {
+    PersonalizationOptions {
+        criterion: SelectionCriterion::TopK(user.stored.len().max(1)),
+        l: 2,
+        ranking: Ranking::new(user.philosophy, MixedKind::CountWeighted),
+        algorithm: AnswerAlgorithm::Ppa,
+        selection: SelectionAlgorithm::FakeCrit,
+    }
+}
+
+/// Figures 9/10: average answer score per query, unchanged vs
+/// personalized, for experts (fig 9) or novices (fig 10).
+fn fig9_10(db: &Database, users: &[SimulatedUser], experts: bool) {
+    let group: Vec<&SimulatedUser> = users.iter().filter(|u| u.expert == experts).collect();
+    let mut rows = Vec::new();
+    for (qi, sql) in queries::trial1_queries().iter().enumerate() {
+        let query = parse_query(sql).expect("workload query parses");
+        let mut unchanged = Vec::new();
+        let mut personalized = Vec::new();
+        for u in &group {
+            let eval = u.evaluate_query(db, &query).expect("evaluator builds");
+            let plain = evaluate_answer(u, &eval, &eval.all_ids, qi as u64);
+            unchanged.push(plain.answer_score);
+            let mut p = Personalizer::new(db);
+            let report = p.personalize(&u.stored, &query, &study_options(u)).expect("personalizes");
+            let ids: Vec<u64> = report.answer.tuples.iter().filter_map(|t| t.tuple_id).collect();
+            let pers = evaluate_answer(u, &eval, &ids, qi as u64);
+            personalized.push(pers.answer_score);
+        }
+        rows.push(vec![
+            format!("Q{}", qi + 1),
+            format!("{:.2}", mean(&unchanged)),
+            format!("{:.2}", mean(&personalized)),
+        ]);
+    }
+    let name = if experts {
+        "Figure 9 — average answer score (experts)"
+    } else {
+        "Figure 10 — average answer score (novice)"
+    };
+    print_table(name, &["query", "unchanged", "personalized"], &rows);
+}
+
+/// Figure 11: average answer score per group over all queries.
+fn fig11(db: &Database, users: &[SimulatedUser]) {
+    let mut rows = Vec::new();
+    for experts in [true, false] {
+        let group: Vec<&SimulatedUser> = users.iter().filter(|u| u.expert == experts).collect();
+        let mut unchanged = Vec::new();
+        let mut personalized = Vec::new();
+        for (qi, sql) in queries::trial1_queries().iter().enumerate() {
+            let query = parse_query(sql).expect("workload query parses");
+            for u in &group {
+                let eval = u.evaluate_query(db, &query).expect("evaluator builds");
+                unchanged.push(evaluate_answer(u, &eval, &eval.all_ids, qi as u64).answer_score);
+                let mut p = Personalizer::new(db);
+                let report =
+                    p.personalize(&u.stored, &query, &study_options(u)).expect("personalizes");
+                let ids: Vec<u64> = report.answer.tuples.iter().filter_map(|t| t.tuple_id).collect();
+                personalized.push(evaluate_answer(u, &eval, &ids, qi as u64).answer_score);
+            }
+        }
+        rows.push(vec![
+            (if experts { "experts" } else { "users" }).to_string(),
+            format!("{:.2}", mean(&unchanged)),
+            format!("{:.2}", mean(&personalized)),
+        ]);
+    }
+    print_table(
+        "Figure 11 — average answer score per group",
+        &["group", "unchanged query", "personalized query"],
+        &rows,
+    );
+}
+
+/// Trial 2: each user issues one specific-need query; half the queries
+/// are personalized. Returns (difficulty, coverage, score) averages for
+/// (non-personalized, personalized).
+fn trial2(db: &Database, users: &[SimulatedUser]) -> ((f64, f64, f64), (f64, f64, f64)) {
+    let t2 = queries::trial2_queries();
+    let mut plain = (Vec::new(), Vec::new(), Vec::new());
+    let mut pers = (Vec::new(), Vec::new(), Vec::new());
+    for (i, u) in users.iter().enumerate() {
+        let sql = t2[i % t2.len()];
+        let query = parse_query(sql).expect("trial-2 query parses");
+        let eval = u.evaluate_query(db, &query).expect("evaluator builds");
+        if i % 2 == 0 {
+            let e = evaluate_answer(u, &eval, &eval.all_ids, 1_000 + i as u64);
+            plain.0.push(e.difficulty);
+            plain.1.push(e.coverage);
+            plain.2.push(e.answer_score);
+        } else {
+            let mut p = Personalizer::new(db);
+            let report = p.personalize(&u.stored, &query, &study_options(u)).expect("personalizes");
+            let ids: Vec<u64> = report.answer.tuples.iter().filter_map(|t| t.tuple_id).collect();
+            let e = evaluate_answer(u, &eval, &ids, 1_000 + i as u64);
+            pers.0.push(e.difficulty);
+            pers.1.push(e.coverage);
+            pers.2.push(e.answer_score);
+        }
+    }
+    (
+        (mean(&plain.0), mean(&plain.1), mean(&plain.2)),
+        (mean(&pers.0), mean(&pers.1), mean(&pers.2)),
+    )
+}
+
+/// Figures 15–17: one user's tuple interest over a personalized answer,
+/// against the three ranking functions' predictions.
+fn fig15_17(db: &Database, users: &[SimulatedUser], fig: &str, kind: RankingKind) {
+    let base = users
+        .iter()
+        .find(|u| u.philosophy == kind && u.expert)
+        .or_else(|| users.iter().find(|u| u.philosophy == kind))
+        .expect("a user with each philosophy exists");
+    // These figures isolate the ranking-function shape, so the subject's
+    // stored profile is their full latent preference set (the §6.3 users
+    // had provided their preferences up front).
+    let user = &SimulatedUser { stored: base.latent.clone(), ..base.clone() };
+    let sql = queries::trial1_queries()[1]; // the comedies query
+    let query = parse_query(sql).expect("query parses");
+    let eval = user.evaluate_query(db, &query).expect("evaluator builds");
+    let mut p = Personalizer::new(db);
+    let mut opts = study_options(user);
+    opts.l = 1;
+    let report = p.personalize(&user.stored, &query, &opts).expect("personalizes");
+    let stored = &user.stored;
+
+    let mut rows = Vec::new();
+    let mut errs = [0.0f64; 3];
+    let mut n = 0usize;
+    for (ti, t) in report.answer.tuples.iter().take(22).enumerate() {
+        let Some(tid) = t.tuple_id else { continue };
+        let user_interest = ((user.rate_tuple(&eval, tid, 77) + 10.0) / 20.0).clamp(0.0, 1.0);
+        let pos: Vec<f64> =
+            t.satisfied.iter().map(|&i| report.selected[i].d_plus_peak(stored)).collect();
+        let neg: Vec<f64> = t
+            .failed
+            .iter()
+            .map(|&i| report.selected[i].d_minus(stored))
+            .filter(|d| *d < 0.0)
+            .collect();
+        let mut row = vec![format!("{}", ti + 1), format!("{user_interest:.3}")];
+        for (ki, k) in RankingKind::ALL.iter().enumerate() {
+            let r = Ranking::new(*k, MixedKind::CountWeighted);
+            // both the user interest and the prediction are mapped from
+            // their natural ranges onto [0, 1]
+            let predicted = ((r.mixed(&pos, &neg) + 1.0) / 2.0).clamp(0.0, 1.0);
+            row.push(format!("{predicted:.3}"));
+            errs[ki] += (predicted - user_interest).abs();
+        }
+        n += 1;
+        rows.push(row);
+    }
+    let title = format!(
+        "{} — tuple interest vs ranking functions (user {}, true philosophy {:?})",
+        match fig {
+            "fig15" => "Figure 15",
+            "fig16" => "Figure 16",
+            _ => "Figure 17",
+        },
+        user.name,
+        user.philosophy
+    );
+    print_table(&title, &["tuple", "user", "inflationary", "dominant", "reserved"], &rows);
+    if n > 0 {
+        let maes: Vec<f64> = errs.iter().map(|e| e / n as f64).collect();
+        let best = RankingKind::ALL[maes
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)];
+        println!(
+            "MAE: inflationary {:.3}, dominant {:.3}, reserved {:.3} -> user interest closest to {best:?}",
+            maes[0], maes[1], maes[2]
+        );
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}

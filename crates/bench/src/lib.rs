@@ -1,0 +1,199 @@
+//! Shared fixtures for the benchmark harness and the figure-reproduction
+//! binary (`repro`).
+
+use std::time::{Duration, Instant};
+
+use qp_core::{
+    AnswerAlgorithm, MixedKind, PersonalizationOptions, Personalizer, Ranking, RankingKind,
+    SelectionAlgorithm, SelectionCriterion,
+};
+use qp_datagen::{generate, ImdbScale, ProfileSpec};
+use qp_storage::Database;
+
+/// Benchmark scale, selectable on the `repro` command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~1k movies: smoke runs.
+    Small,
+    /// ~20k movies: the default.
+    Medium,
+    /// ~100k movies: closest to the paper's 340k-film IMDB setup.
+    Large,
+}
+
+impl Scale {
+    /// Parses `small` / `medium` / `large`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "large" => Some(Scale::Large),
+            _ => None,
+        }
+    }
+
+    /// The generator configuration for this scale.
+    pub fn imdb(self) -> ImdbScale {
+        match self {
+            Scale::Small => ImdbScale::small(),
+            Scale::Medium => ImdbScale::medium(),
+            Scale::Large => ImdbScale::large(),
+        }
+    }
+}
+
+/// Generates the benchmark database and warms its statistics so the
+/// measurements exclude one-time histogram/index builds (Oracle's
+/// statistics were likewise pre-gathered).
+pub fn bench_db(scale: Scale) -> Database {
+    let db = generate(scale.imdb());
+    db.warm_statistics();
+    db
+}
+
+/// The options used by the efficiency experiments (Figures 7–8):
+/// FakeCrit selection, top-K criterion, inflationary ranking.
+pub fn efficiency_options(k: usize, l: usize, algorithm: AnswerAlgorithm) -> PersonalizationOptions {
+    PersonalizationOptions {
+        criterion: SelectionCriterion::TopK(k),
+        l,
+        ranking: Ranking::new(RankingKind::Inflationary, MixedKind::CountWeighted),
+        algorithm,
+        selection: SelectionAlgorithm::FakeCrit,
+    }
+}
+
+/// A profile of exact positive presence preferences, the Figure 7/8
+/// setup ("varying K positive presence preferences").
+pub fn positive_profile(db: &Database, n: usize, seed: u64) -> qp_core::Profile {
+    qp_datagen::random_profile(db, &ProfileSpec::positive_only(n, seed))
+}
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Runs a closure `n` times and returns the median duration (and the last
+/// output).
+pub fn median_time<T>(n: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    assert!(n >= 1);
+    let mut times = Vec::with_capacity(n);
+    let mut last = None;
+    for _ in 0..n {
+        let (out, d) = time(&mut f);
+        times.push(d);
+        last = Some(out);
+    }
+    times.sort();
+    (last.expect("n >= 1"), times[times.len() / 2])
+}
+
+/// Formats a duration in milliseconds with 2 decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Personalizes and reports (selection time, execution time, first
+/// response, answer size).
+pub fn run_personalization(
+    db: &Database,
+    profile: &qp_core::Profile,
+    sql: &str,
+    options: &PersonalizationOptions,
+) -> qp_core::personalize::PersonalizationReport {
+    let mut p = Personalizer::new(db);
+    p.personalize_sql(profile, sql, options).expect("personalization succeeds")
+}
+
+/// Prints an aligned table: header + rows of equal arity. When the
+/// `QP_REPRO_OUT` environment variable names a directory, the table is
+/// additionally written there as a TSV file (named from the title) so
+/// figures can be re-plotted with external tooling.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(header.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for r in rows {
+        line(r.clone());
+    }
+    if let Some(dir) = std::env::var_os("QP_REPRO_OUT") {
+        if let Err(e) = export_tsv(std::path::Path::new(&dir), title, header, rows) {
+            eprintln!("warning: could not export `{title}`: {e}");
+        }
+    }
+}
+
+/// Writes one table as `<slug>.tsv` under `dir`.
+pub fn export_tsv(
+    dir: &std::path::Path,
+    title: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let slug: String = title
+        .chars()
+        .take_while(|c| *c != '—')
+        .collect::<String>()
+        .trim()
+        .to_lowercase()
+        .replace(|c: char| !c.is_ascii_alphanumeric(), "_");
+    let mut out = String::new();
+    out.push_str(&header.join("\t"));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.join("\t"));
+        out.push('\n');
+    }
+    std::fs::write(dir.join(format!("{slug}.tsv")), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("LARGE"), Some(Scale::Large));
+        assert_eq!(Scale::parse("nope"), None);
+    }
+
+    #[test]
+    fn median_time_runs_n_times() {
+        let mut count = 0;
+        let (out, _) = median_time(5, || {
+            count += 1;
+            count
+        });
+        assert_eq!(out, 5);
+    }
+
+    #[test]
+    fn efficiency_pipeline_smoke() {
+        let db = bench_db(Scale::Small);
+        let profile = positive_profile(&db, 12, 1);
+        let report = run_personalization(
+            &db,
+            &profile,
+            "select title from MOVIE",
+            &efficiency_options(8, 1, AnswerAlgorithm::Ppa),
+        );
+        assert!(!report.selected.is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! Human-readable explanations of personalized tuples.
+//!
+//! §5 requires personalized answers to be *self-explanatory*: "for each
+//! tuple returned, the preferences satisfied and/or not should be
+//! provided in order to justify its selection and ranking." PPA records
+//! the satisfied/failed index sets; this module renders them as prose.
+
+use qp_storage::Catalog;
+
+use crate::answer::PersonalizedTuple;
+use crate::profile::Profile;
+use crate::select::SelectedPreference;
+
+/// Renders one tuple's justification, e.g.
+///
+/// ```text
+/// doi 0.84 — satisfies: DIRECTOR.name='W. Allen' (+0.72),
+/// GENRE.genre='musical' absent (+0.56); fails: MOVIE.year<1980 (-0.00)
+/// ```
+pub fn explain_tuple(
+    tuple: &PersonalizedTuple,
+    selected: &[SelectedPreference],
+    profile: &Profile,
+    catalog: &Catalog,
+) -> String {
+    let mut out = format!("doi {:.2} — ", tuple.doi);
+    let describe = |i: usize, sign: bool| -> String {
+        let sp = &selected[i];
+        let sel = sp.sel(profile);
+        let what = sp.describe(profile, catalog);
+        if sign {
+            let d = sp.d_plus_peak(profile);
+            if sel.is_presence() {
+                format!("{what} (+{d:.2})")
+            } else {
+                format!("{what} absent (+{d:.2})")
+            }
+        } else {
+            let d = sp.d_minus(profile);
+            format!("{what} ({d:.2})")
+        }
+    };
+    if tuple.satisfied.is_empty() {
+        out.push_str("satisfies: none");
+    } else {
+        out.push_str("satisfies: ");
+        out.push_str(
+            &tuple
+                .satisfied
+                .iter()
+                .map(|&i| describe(i, true))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+    }
+    if !tuple.failed.is_empty() {
+        out.push_str("; fails: ");
+        out.push_str(
+            &tuple.failed.iter().map(|&i| describe(i, false)).collect::<Vec<_>>().join(", "),
+        );
+    }
+    out
+}
+
+/// Renders a whole answer, one line per tuple (capped at `max_rows`).
+pub fn explain_answer(
+    answer: &crate::answer::PersonalizedAnswer,
+    selected: &[SelectedPreference],
+    profile: &Profile,
+    catalog: &Catalog,
+    max_rows: usize,
+) -> String {
+    let mut out = String::new();
+    for t in answer.tuples.iter().take(max_rows) {
+        let row: Vec<String> = t.row.iter().map(|v| v.to_string()).collect();
+        out.push_str(&row.join(" | "));
+        out.push_str("\n    ");
+        out.push_str(&explain_tuple(t, selected, profile, catalog));
+        out.push('\n');
+    }
+    if answer.len() > max_rows {
+        out.push_str(&format!("… {} more tuples\n", answer.len() - max_rows));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doi::Doi;
+    use crate::preference::CompareOp;
+    use qp_storage::{Attribute, DataType, Value};
+
+    fn fixture() -> (Catalog, Profile, Vec<SelectedPreference>) {
+        let mut c = Catalog::new();
+        c.add_relation(
+            "MOVIE",
+            vec![Attribute::new("mid", DataType::Int), Attribute::new("year", DataType::Int)],
+            &["mid"],
+        )
+        .unwrap();
+        c.add_relation(
+            "GENRE",
+            vec![Attribute::new("mid", DataType::Int), Attribute::new("genre", DataType::Text)],
+            &["mid", "genre"],
+        )
+        .unwrap();
+        let mut p = Profile::new();
+        let j = p.add_join(&c, ("MOVIE", "mid"), ("GENRE", "mid"), 0.8).unwrap();
+        let a = p
+            .add_selection(&c, "GENRE", "genre", CompareOp::Eq, "musical", Doi::new(-0.9, 0.7).unwrap())
+            .unwrap();
+        let b = p
+            .add_selection(&c, "MOVIE", "year", CompareOp::Lt, Value::Int(1980), Doi::dislike(0.7).unwrap())
+            .unwrap();
+        let rel = c.relation_by_name("MOVIE").unwrap().id;
+        let selected = vec![
+            SelectedPreference {
+                anchor: rel,
+                joins: vec![j],
+                selection: a,
+                join_degree: 0.8,
+                criticality: 1.28,
+            },
+            SelectedPreference {
+                anchor: rel,
+                joins: vec![],
+                selection: b,
+                join_degree: 1.0,
+                criticality: 0.7,
+            },
+        ];
+        (c, p, selected)
+    }
+
+    #[test]
+    fn absence_satisfaction_reads_as_absent() {
+        let (c, p, sel) = fixture();
+        let t = PersonalizedTuple {
+            tuple_id: Some(1),
+            row: vec![Value::str("Heat")],
+            doi: 0.56,
+            satisfied: vec![0],
+            failed: vec![1],
+        };
+        let s = explain_tuple(&t, &sel, &p, &c);
+        assert!(s.contains("musical' absent (+0.56)"), "{s}");
+        assert!(s.contains("fails: MOVIE.year<1980 (-0.70)"), "{s}");
+        assert!(s.starts_with("doi 0.56"), "{s}");
+    }
+
+    #[test]
+    fn empty_satisfaction_renders() {
+        let (c, p, sel) = fixture();
+        let t = PersonalizedTuple {
+            tuple_id: None,
+            row: vec![],
+            doi: -0.3,
+            satisfied: vec![],
+            failed: vec![0, 1],
+        };
+        let s = explain_tuple(&t, &sel, &p, &c);
+        assert!(s.contains("satisfies: none"), "{s}");
+    }
+
+    #[test]
+    fn answer_rendering_caps_rows() {
+        let (c, p, sel) = fixture();
+        let answer = crate::answer::PersonalizedAnswer {
+            columns: vec!["title".into()],
+            tuples: (0..5)
+                .map(|i| PersonalizedTuple {
+                    tuple_id: Some(i),
+                    row: vec![Value::str(format!("m{i}"))],
+                    doi: 0.5,
+                    satisfied: vec![0],
+                    failed: vec![1],
+                })
+                .collect(),
+        };
+        let s = explain_answer(&answer, &sel, &p, &c, 2);
+        assert!(s.contains("m0"));
+        assert!(s.contains("… 3 more tuples"));
+        assert!(!s.contains("m3"));
+    }
+}

@@ -1,0 +1,458 @@
+//! PPA — Progressive Personalized Answers (§5, Figure 6).
+//!
+//! Presence (and 1–1 absence) preferences become *presence queries* `S`,
+//! 1–n absence preferences become *absence queries* `A`, each ordered by
+//! increasing selectivity (histogram estimates). Presence queries return
+//! tuples that *satisfy* their preference; absence queries return tuples
+//! that *fail* theirs. When a query first surfaces a tuple `t`, the
+//! remaining queries are evaluated for `t` alone via parameterized
+//! queries `Qiˢ(t)` / `Qiᴬ(t)` — compiled once with a placeholder row id
+//! and rebound per tuple, so each costs an O(1) row fetch plus a few
+//! index probes. The tuple's full satisfied/failed sets — and hence its
+//! exact doi under any mixed ranking function — are known immediately,
+//! which is what makes the answer *self-explanatory*.
+//!
+//! Note that PPA never executes a `NOT IN` exclusion: 1–n absence
+//! preferences are probed through their (cheap) failure-region queries,
+//! the efficiency win over SPA the paper highlights.
+//!
+//! Progressiveness comes from **MEDI**, the Maximum Estimated Degree of
+//! Interest any *unseen* tuple can still achieve. Before presence query
+//! `i` runs, an unseen tuple can at best satisfy presence preferences
+//! `i..` plus every absence preference; once the presence stage ends, at
+//! best all absence preferences. Buffered tuples with `doi ≥ MEDI` are
+//! emitted immediately — the first response typically arrives after the
+//! first (most selective) presence query.
+//!
+//! Note on the paper's MEDI update: Figure 6 reduces MEDI to "the degree
+//! of satisfying preferences corresponding to queries not yet executed".
+//! During the absence stage that underestimates unseen tuples, which
+//! still satisfy every *executed* absence query's preference precisely by
+//! not having been returned by it. We use the corrected bound (all
+//! absence preferences) so emission order provably respects rank.
+
+use std::collections::{BinaryHeap, HashSet};
+use std::time::{Duration, Instant};
+
+use qp_exec::planner::CompiledQuery;
+use qp_exec::{Engine, ExecStats};
+use qp_sql::{builder, Query, Select, SelectItem, TableRef};
+use qp_storage::{Database, RelId};
+
+use crate::answer::subquery::{classify, failure_select, merge_filter, satisfaction_select, IntegrationKind};
+use crate::answer::{PersonalizedAnswer, PersonalizedTuple};
+use crate::error::PrefError;
+use crate::profile::Profile;
+use crate::ranking::Ranking;
+use crate::select::SelectedPreference;
+
+/// Instrumentation of a PPA run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PpaStats {
+    /// Time until the first tuple was emitted (None for empty answers).
+    pub first_response: Option<Duration>,
+    /// Total execution time.
+    pub total: Duration,
+    /// Number of presence queries executed.
+    pub presence_queries: usize,
+    /// Number of absence queries executed.
+    pub absence_queries: usize,
+    /// Number of parameterized (per-tuple) queries executed.
+    pub parameterized_queries: usize,
+}
+
+/// A qualified tuple buffered for emission, max-heap ordered by doi (ties
+/// broken by tuple id for determinism).
+#[derive(Debug, Clone)]
+struct Buffered {
+    doi: f64,
+    tid: u64,
+    satisfied: Vec<usize>,
+    failed: Vec<usize>,
+}
+
+impl PartialEq for Buffered {
+    fn eq(&self, other: &Self) -> bool {
+        self.doi == other.doi && self.tid == other.tid
+    }
+}
+impl Eq for Buffered {}
+impl PartialOrd for Buffered {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Buffered {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.doi.total_cmp(&other.doi).then_with(|| other.tid.cmp(&self.tid))
+    }
+}
+
+/// Runs PPA and returns the (emission-ordered) answer plus stats.
+pub fn ppa(
+    db: &Database,
+    engine: &mut Engine,
+    initial: &Query,
+    profile: &Profile,
+    selected: &[SelectedPreference],
+    l: usize,
+    ranking: &Ranking,
+) -> Result<(PersonalizedAnswer, PpaStats), PrefError> {
+    ppa_limited(db, engine, initial, profile, selected, l, ranking, None)
+}
+
+/// Runs PPA with an optional emission limit: as soon as `limit` tuples
+/// have been *provably-ranked* emitted, the run stops — the progressive
+/// formulation's payoff for top-N requests, where SPA must always compute
+/// its entire statement first.
+#[allow(clippy::too_many_arguments)]
+pub fn ppa_limited(
+    db: &Database,
+    engine: &mut Engine,
+    initial: &Query,
+    profile: &Profile,
+    selected: &[SelectedPreference],
+    l: usize,
+    ranking: &Ranking,
+    limit: Option<usize>,
+) -> Result<(PersonalizedAnswer, PpaStats), PrefError> {
+    let started = Instant::now();
+    let selects = initial.selects();
+    if selects.len() != 1 {
+        return Err(PrefError::UnsupportedQuery("initial query must be a single SELECT".into()));
+    }
+    let initial_select = selects[0];
+    if selected.is_empty() {
+        return Err(PrefError::InvalidCriterion(
+            "PPA requires at least one selected preference".into(),
+        ));
+    }
+    if l == 0 || l > selected.len() {
+        return Err(PrefError::InvalidCriterion(format!(
+            "L = {l} outside 1..=K ({} selected)",
+            selected.len()
+        )));
+    }
+    let catalog = db.catalog();
+    let infos = classify(db, engine, profile, selected);
+
+    // order presence queries by increasing satisfaction selectivity,
+    // absence queries by increasing failure selectivity
+    let mut s_order: Vec<usize> = infos
+        .iter()
+        .filter(|i| matches!(i.kind, IntegrationKind::Presence | IntegrationKind::Absence11))
+        .map(|i| i.index)
+        .collect();
+    s_order.sort_by(|a, b| {
+        infos[*a].sat_selectivity.total_cmp(&infos[*b].sat_selectivity).then(a.cmp(b))
+    });
+    let mut a_order: Vec<usize> = infos
+        .iter()
+        .filter(|i| i.kind == IntegrationKind::Absence1N)
+        .map(|i| i.index)
+        .collect();
+    a_order.sort_by(|a, b| {
+        infos[*a].fail_selectivity.total_cmp(&infos[*b].fail_selectivity).then(a.cmp(b))
+    });
+
+    // --- tuple identity: the first FROM relation's row id -------------
+    let (first_binding, first_rel) = match &initial_select.from[0] {
+        TableRef::Relation { name, alias } => {
+            let rel = catalog.relation_by_name(name)?;
+            (alias.clone().unwrap_or_else(|| name.clone()), rel.id)
+        }
+        TableRef::Derived { .. } => {
+            return Err(PrefError::UnsupportedQuery("derived FROM in initial query".into()))
+        }
+    };
+
+    // --- per-tuple row fetch (prepared; avoids materializing the whole
+    // initial query when PPA only emits a slice of it) ------------------
+    let mut fetch = initial_select.clone();
+    let mut fetch_items = vec![builder::item_as(builder::col(&first_binding, "rowid"), "qp_tid")];
+    fetch_items.extend(fetch.items.iter().cloned());
+    fetch.items = fetch_items;
+    merge_filter(
+        &mut fetch,
+        builder::eq(builder::col(&first_binding, "rowid"), builder::int(0)),
+    );
+    let mut fetch_prepared = engine.prepare(db, &Query::from_select(fetch))?;
+    let columns: Vec<String> = fetch_prepared.columns.iter().skip(1).cloned().collect();
+
+    // --- build + prepare the S and A queries ---------------------------
+    let projection = |binding: &str| {
+        let b = binding.to_string();
+        move |_anchor: &str, degree: qp_sql::Expr| -> Vec<SelectItem> {
+            vec![
+                builder::item_as(builder::col(&b, "rowid"), "qp_tid"),
+                builder::item_as(degree, "qp_degree"),
+            ]
+        }
+    };
+    let mut s_queries: Vec<Select> = Vec::with_capacity(s_order.len());
+    for &i in &s_order {
+        let proj = projection(&first_binding);
+        s_queries.push(satisfaction_select(catalog, initial_select, profile, &selected[i], &infos[i], &proj)?);
+    }
+    let mut a_queries: Vec<Select> = Vec::with_capacity(a_order.len());
+    for &i in &a_order {
+        let proj = projection(&first_binding);
+        a_queries.push(failure_select(catalog, initial_select, profile, &selected[i], &infos[i], &proj)?);
+    }
+    // prepared parameterized versions with a placeholder row id
+    let prepare_bound = |engine: &Engine, s: &Select| -> Result<CompiledQuery, PrefError> {
+        let mut sq = s.clone();
+        merge_filter(
+            &mut sq,
+            builder::eq(builder::col(&first_binding, "rowid"), builder::int(0)),
+        );
+        Ok(engine.prepare(db, &Query::from_select(sq))?)
+    };
+    let mut s_prepared: Vec<CompiledQuery> = Vec::with_capacity(s_queries.len());
+    for s in &s_queries {
+        s_prepared.push(prepare_bound(engine, s)?);
+    }
+    let mut a_prepared: Vec<CompiledQuery> = Vec::with_capacity(a_queries.len());
+    for a in &a_queries {
+        a_prepared.push(prepare_bound(engine, a)?);
+    }
+    let mut estats = ExecStats::default();
+
+    let mut stats = PpaStats::default();
+    let ranking = *ranking;
+    let d_plus = |i: usize| infos[i].d_plus;
+    let d_minus = |i: usize| infos[i].d_minus;
+
+    // ranked emission machinery
+    let mut buffered: BinaryHeap<Buffered> = BinaryHeap::new();
+    let mut emitted: Vec<PersonalizedTuple> = Vec::new();
+    let mut first_response: Option<Duration> = None;
+    // Emits every buffered tuple whose doi clears the MEDI bound,
+    // fetching its projected row via the prepared row-fetch query.
+    macro_rules! emit_ready {
+        ($medi:expr) => {{
+            let medi: f64 = $medi;
+            while let Some(top) = buffered.peek() {
+                if top.doi + 1e-12 < medi {
+                    break;
+                }
+                let rec = buffered.pop().expect("peeked");
+                if first_response.is_none() {
+                    first_response = Some(started.elapsed());
+                }
+                fetch_prepared.rebind_rowid(first_rel, rec.tid);
+                let rs = engine.execute_prepared_rows(db, &fetch_prepared, &mut estats);
+                let row = rs
+                    .into_iter()
+                    .next()
+                    .map(|mut r| {
+                        r.remove(0);
+                        r
+                    })
+                    .unwrap_or_default();
+                emitted.push(PersonalizedTuple {
+                    tuple_id: Some(rec.tid),
+                    row,
+                    doi: rec.doi,
+                    satisfied: rec.satisfied,
+                    failed: rec.failed,
+                });
+            }
+        }};
+    }
+
+    // MEDI before presence round si: best unseen satisfies S[si..] + all A
+    let medi_at = |si: usize| -> f64 {
+        let pos: Vec<f64> = s_order[si..]
+            .iter()
+            .map(|&i| d_plus(i))
+            .chain(a_order.iter().map(|&i| d_plus(i)))
+            .collect();
+        ranking.positive(&pos)
+    };
+
+    let mut seen: HashSet<u64> = HashSet::new();
+
+    // --- presence stage ------------------------------------------------
+    for (si, &pref_i) in s_order.iter().enumerate() {
+        // remaining queries (incl. this) + all absence prefs must reach L
+        if (s_order.len() - si) + a_order.len() < l {
+            break;
+        }
+        stats.presence_queries += 1;
+        let rs = engine.execute(db, &Query::from_select(s_queries[si].clone()))?;
+        for row in rs.rows {
+            let tid = match row[0].as_i64() {
+                Some(t) if t >= 0 => t as u64,
+                _ => continue,
+            };
+            if !seen.insert(tid) {
+                continue;
+            }
+            let degree = row[1].as_f64().unwrap_or(d_plus(pref_i));
+            let mut sat: Vec<(usize, f64)> = vec![(pref_i, degree.max(0.0))];
+            // later presence queries, rebound to this tuple
+            for (sj, &pref_j) in s_order.iter().enumerate().skip(si + 1) {
+                stats.parameterized_queries += 1;
+                s_prepared[sj].rebind_rowid(first_rel, tid);
+                let prs = engine.execute_prepared_rows(db, &s_prepared[sj], &mut estats);
+                if let Some(r) = prs.first() {
+                    let d = r[1].as_f64().unwrap_or(d_plus(pref_j));
+                    sat.push((pref_j, d.max(0.0)));
+                }
+            }
+            let sat_pres: HashSet<usize> = sat.iter().map(|(i, _)| *i).collect();
+            let pres_failed: Vec<usize> =
+                s_order.iter().copied().filter(|i| !sat_pres.contains(i)).collect();
+            // all absence queries, rebound to this tuple: rows are failures
+            let mut abs_failed: Vec<(usize, f64)> = Vec::new();
+            for (aj, &pref_j) in a_order.iter().enumerate() {
+                stats.parameterized_queries += 1;
+                a_prepared[aj].rebind_rowid(first_rel, tid);
+                let ars = engine.execute_prepared_rows(db, &a_prepared[aj], &mut estats);
+                if let Some(r) = ars.first() {
+                    let d = r[1].as_f64().unwrap_or(d_minus(pref_j));
+                    abs_failed.push((pref_j, d.min(0.0)));
+                }
+            }
+            let failed_abs: HashSet<usize> = abs_failed.iter().map(|(i, _)| *i).collect();
+            let abs_sat: Vec<usize> =
+                a_order.iter().copied().filter(|i| !failed_abs.contains(i)).collect();
+
+            let cur_l = sat.len() + abs_sat.len();
+            if cur_l >= l {
+                let mut pos: Vec<f64> = sat.iter().map(|(_, d)| *d).collect();
+                pos.extend(abs_sat.iter().map(|&i| d_plus(i)));
+                let mut neg: Vec<f64> = pres_failed.iter().map(|&i| d_minus(i)).collect();
+                neg.extend(abs_failed.iter().map(|(_, d)| *d));
+                let neg: Vec<f64> = neg.into_iter().filter(|d| *d < 0.0).collect();
+                let doi = ranking.mixed(&pos, &neg);
+                let mut satisfied: Vec<usize> = sat_pres.iter().copied().collect();
+                satisfied.extend(&abs_sat);
+                satisfied.sort_unstable();
+                let mut failed: Vec<usize> = pres_failed;
+                failed.extend(abs_failed.iter().map(|(i, _)| *i));
+                failed.sort_unstable();
+                buffered.push(Buffered { tid, doi, satisfied, failed });
+            }
+        }
+        let medi = medi_at(si + 1);
+        emit_ready!(medi);
+        if limit.is_some_and(|n| emitted.len() >= n) {
+            emitted.truncate(limit.expect("checked"));
+            stats.first_response = first_response;
+            stats.total = started.elapsed();
+            return Ok((PersonalizedAnswer { columns, tuples: emitted }, stats));
+        }
+    }
+
+    // --- absence stage ---------------------------------------------------
+    // Unseen tuples satisfy no presence preference; they qualify only via
+    // absence preferences, so the whole stage (and step 3) is skipped when
+    // |A| < L.
+    let mut nids: HashSet<u64> = HashSet::new();
+    if a_order.len() >= l {
+        let medi_abs = {
+            let pos: Vec<f64> = a_order.iter().map(|&i| d_plus(i)).collect();
+            ranking.positive(&pos)
+        };
+        for (ai, &pref_i) in a_order.iter().enumerate() {
+            stats.absence_queries += 1;
+            let rs = engine.execute(db, &Query::from_select(a_queries[ai].clone()))?;
+            for row in rs.rows {
+                let tid = match row[0].as_i64() {
+                    Some(t) if t >= 0 => t as u64,
+                    _ => continue,
+                };
+                nids.insert(tid);
+                if seen.contains(&tid) {
+                    continue;
+                }
+                // a new tuple fails pref_i; it can satisfy at most |A|-1
+                if a_order.len() - 1 < l {
+                    continue;
+                }
+                seen.insert(tid);
+                let d0 = row[1].as_f64().unwrap_or(d_minus(pref_i));
+                let mut abs_failed: Vec<(usize, f64)> = vec![(pref_i, d0.min(0.0))];
+                for (aj, &pref_j) in a_order.iter().enumerate().skip(ai + 1) {
+                    stats.parameterized_queries += 1;
+                    a_prepared[aj].rebind_rowid(first_rel, tid);
+                    let ars = engine.execute_prepared_rows(db, &a_prepared[aj], &mut estats);
+                    if let Some(r) = ars.first() {
+                        let d = r[1].as_f64().unwrap_or(d_minus(pref_j));
+                        abs_failed.push((pref_j, d.min(0.0)));
+                    }
+                }
+                let failed_abs: HashSet<usize> = abs_failed.iter().map(|(i, _)| *i).collect();
+                let abs_sat: Vec<usize> =
+                    a_order.iter().copied().filter(|i| !failed_abs.contains(i)).collect();
+                let cur_l = abs_sat.len();
+                if cur_l >= l {
+                    let pos: Vec<f64> = abs_sat.iter().map(|&i| d_plus(i)).collect();
+                    let mut neg: Vec<f64> = s_order.iter().map(|&i| d_minus(i)).collect();
+                    neg.extend(abs_failed.iter().map(|(_, d)| *d));
+                    let neg: Vec<f64> = neg.into_iter().filter(|d| *d < 0.0).collect();
+                    let doi = ranking.mixed(&pos, &neg);
+                    let mut satisfied = abs_sat;
+                    satisfied.sort_unstable();
+                    let mut failed: Vec<usize> = s_order.clone();
+                    failed.extend(abs_failed.iter().map(|(i, _)| *i));
+                    failed.sort_unstable();
+                    buffered.push(Buffered { tid, doi, satisfied, failed });
+                }
+            }
+            emit_ready!(medi_abs);
+            if limit.is_some_and(|n| emitted.len() >= n) {
+                break;
+            }
+        }
+
+        // --- step 3: tuples never returned by any absence query satisfy
+        // every absence preference (the full tuple-id set is materialized
+        // only here, where it is genuinely needed) ----------------------
+        let mut base_ids = initial_select.clone();
+        base_ids.items =
+            vec![builder::item_as(builder::col(&first_binding, "rowid"), "qp_tid")];
+        base_ids.distinct = true;
+        let rs = engine.execute(db, &Query::from_select(base_ids))?;
+        let all_ids: Vec<u64> = rs
+            .rows
+            .iter()
+            .filter_map(|r| r[0].as_i64())
+            .filter(|t| *t >= 0)
+            .map(|t| t as u64)
+            .collect();
+        for &tid in &all_ids {
+            if seen.contains(&tid) || nids.contains(&tid) {
+                continue;
+            }
+            let satisfied: Vec<usize> = a_order.clone();
+            if satisfied.len() >= l {
+                let pos: Vec<f64> = a_order.iter().map(|&i| d_plus(i)).collect();
+                let neg: Vec<f64> =
+                    s_order.iter().map(|&i| d_minus(i)).filter(|d| *d < 0.0).collect();
+                let doi = ranking.mixed(&pos, &neg);
+                let mut failed: Vec<usize> = s_order.clone();
+                failed.sort_unstable();
+                let mut satisfied = satisfied;
+                satisfied.sort_unstable();
+                buffered.push(Buffered { tid, doi, satisfied, failed });
+            }
+        }
+    }
+
+    // flush everything left
+    emit_ready!(f64::NEG_INFINITY);
+    if let Some(n) = limit {
+        emitted.truncate(n);
+    }
+
+    stats.first_response = first_response;
+    stats.total = started.elapsed();
+    Ok((PersonalizedAnswer { columns, tuples: emitted }, stats))
+}
+
+// `RelId` is used in the prepared-query rebinds above.
+#[allow(unused)]
+fn _rel_id_marker(_r: RelId) {}

@@ -1,0 +1,291 @@
+//! Context-aware personalization (§1, §7).
+//!
+//! "Parameters K and L can be specified directly by the user or derived
+//! based on various criteria on the query context, such as user location,
+//! time, device" — and the conclusions list "combining personal
+//! preferences with other aspects of a query's context" as ongoing work.
+//!
+//! A [`ContextualProfile`] is a base profile plus overlay rules: when the
+//! current [`Context`]'s facets match a rule, the rule's extra
+//! preferences join the profile and its degree multiplier re-weights the
+//! base ones (evenings might amplify cinema-going preferences, a work
+//! device might mute them). [`suggest_options`] derives K and L from the
+//! context the way the paper sketches: small screens get fewer, stricter
+//! results.
+
+use std::collections::HashMap;
+
+use crate::doi::Doi;
+use crate::error::PrefError;
+use crate::personalize::{AnswerAlgorithm, PersonalizationOptions, SelectionAlgorithm};
+use crate::preference::Preference;
+use crate::profile::Profile;
+use crate::ranking::Ranking;
+use crate::select::SelectionCriterion;
+
+/// The query context: free-form facets like `time = evening`,
+/// `device = mobile`, `location = downtown`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Context {
+    facets: HashMap<String, String>,
+}
+
+impl Context {
+    /// An empty context.
+    pub fn new() -> Self {
+        Context::default()
+    }
+
+    /// Sets a facet (builder style).
+    pub fn with(mut self, facet: impl Into<String>, value: impl Into<String>) -> Self {
+        self.facets.insert(facet.into().to_ascii_lowercase(), value.into().to_ascii_lowercase());
+        self
+    }
+
+    /// Reads a facet.
+    pub fn get(&self, facet: &str) -> Option<&str> {
+        self.facets.get(&facet.to_ascii_lowercase()).map(String::as_str)
+    }
+
+    /// Whether the facet has the given value (case-insensitive).
+    pub fn matches(&self, facet: &str, value: &str) -> bool {
+        self.get(facet).is_some_and(|v| v.eq_ignore_ascii_case(value))
+    }
+}
+
+/// One context rule: extra preferences and a degree multiplier applied
+/// when a facet matches.
+#[derive(Debug, Clone)]
+pub struct ContextRule {
+    /// Facet name to test.
+    pub facet: String,
+    /// Facet value required.
+    pub value: String,
+    /// Preferences added while the rule is active.
+    pub overlay: Profile,
+    /// Multiplier applied to the *base* profile's selection degrees while
+    /// the rule is active (1.0 = unchanged; 0 silences them). Clamped to
+    /// `[0, 1]` so composed dois stay valid.
+    pub base_weight: f64,
+}
+
+/// A profile plus its context rules.
+#[derive(Debug, Clone)]
+pub struct ContextualProfile {
+    /// The always-active preferences.
+    pub base: Profile,
+    rules: Vec<ContextRule>,
+}
+
+impl ContextualProfile {
+    /// Wraps a base profile.
+    pub fn new(base: Profile) -> Self {
+        ContextualProfile { base, rules: Vec::new() }
+    }
+
+    /// Adds a rule.
+    pub fn add_rule(&mut self, rule: ContextRule) -> Result<(), PrefError> {
+        if !(0.0..=1.0).contains(&rule.base_weight) || !rule.base_weight.is_finite() {
+            return Err(PrefError::DegreeOutOfRange(rule.base_weight));
+        }
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// Resolves the effective profile under a context: matching rules'
+    /// overlays are appended and the strongest base re-weighting applies
+    /// (the *minimum* matching weight — muting wins over neutrality).
+    pub fn resolve(&self, ctx: &Context) -> Profile {
+        let weight = self
+            .rules
+            .iter()
+            .filter(|r| ctx.matches(&r.facet, &r.value))
+            .map(|r| r.base_weight)
+            .fold(1.0_f64, f64::min);
+        let mut out = Profile::new();
+        for (_, pref) in self.base.iter() {
+            match pref {
+                Preference::Selection(s) if weight < 1.0 => {
+                    let scaled = s.doi.scaled(weight);
+                    // a fully muted preference (both degrees 0) is dropped,
+                    // matching the model's rule that indifference is not
+                    // stored
+                    if let Ok(doi) = Doi::new(scaled.on_true.clone(), scaled.on_false.clone()) {
+                        let mut s = s.clone();
+                        s.doi = doi;
+                        out.push(Preference::Selection(s));
+                    }
+                }
+                other => {
+                    out.push(other.clone());
+                }
+            }
+        }
+        for rule in &self.rules {
+            if ctx.matches(&rule.facet, &rule.value) {
+                for (_, pref) in rule.overlay.iter() {
+                    out.push(pref.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Derives personalization parameters from the context, per the paper's
+/// sketch: a phone gets a short, strict answer (small K, higher L); a
+/// desktop browsing session gets the default breadth; an explicit
+/// "best-only" intent lowers K via a criticality threshold.
+pub fn suggest_options(ctx: &Context) -> PersonalizationOptions {
+    let (criterion, l) = if ctx.matches("device", "mobile") {
+        (SelectionCriterion::TopK(5), 2)
+    } else if ctx.matches("device", "tv") {
+        (SelectionCriterion::TopK(8), 2)
+    } else {
+        (SelectionCriterion::TopK(10), 2)
+    };
+    let l = if ctx.matches("intent", "quick") { l.max(3) } else { l };
+    PersonalizationOptions {
+        criterion,
+        l,
+        ranking: Ranking::default(),
+        algorithm: AnswerAlgorithm::Ppa,
+        selection: SelectionAlgorithm::FakeCrit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preference::CompareOp;
+    use qp_storage::{Attribute, Catalog, DataType, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(
+            "THEATRE",
+            vec![
+                Attribute::new("tid", DataType::Int),
+                Attribute::new("region", DataType::Text),
+            ],
+            &["tid"],
+        )
+        .unwrap();
+        c.add_relation(
+            "MOVIE",
+            vec![Attribute::new("mid", DataType::Int), Attribute::new("year", DataType::Int)],
+            &["mid"],
+        )
+        .unwrap();
+        c
+    }
+
+    fn base_profile(c: &Catalog) -> Profile {
+        let mut p = Profile::new();
+        p.add_selection(c, "MOVIE", "year", CompareOp::Ge, Value::Int(1990), Doi::presence(0.8).unwrap())
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn facets_case_insensitive() {
+        let ctx = Context::new().with("Device", "Mobile");
+        assert!(ctx.matches("device", "MOBILE"));
+        assert_eq!(ctx.get("DEVICE"), Some("mobile"));
+        assert!(!ctx.matches("device", "desktop"));
+        assert!(!ctx.matches("location", "downtown"));
+    }
+
+    #[test]
+    fn overlay_applies_only_when_matching() {
+        let c = catalog();
+        let mut overlay = Profile::new();
+        overlay
+            .add_selection(&c, "THEATRE", "region", CompareOp::Eq, "downtown", Doi::presence(0.9).unwrap())
+            .unwrap();
+        let mut cp = ContextualProfile::new(base_profile(&c));
+        cp.add_rule(ContextRule {
+            facet: "time".into(),
+            value: "evening".into(),
+            overlay,
+            base_weight: 1.0,
+        })
+        .unwrap();
+
+        let morning = cp.resolve(&Context::new().with("time", "morning"));
+        assert_eq!(morning.selections().count(), 1);
+        let evening = cp.resolve(&Context::new().with("time", "evening"));
+        assert_eq!(evening.selections().count(), 2);
+    }
+
+    #[test]
+    fn base_weight_scales_degrees() {
+        let c = catalog();
+        let mut cp = ContextualProfile::new(base_profile(&c));
+        cp.add_rule(ContextRule {
+            facet: "device".into(),
+            value: "work".into(),
+            overlay: Profile::new(),
+            base_weight: 0.5,
+        })
+        .unwrap();
+        let at_work = cp.resolve(&Context::new().with("device", "work"));
+        let (_, s) = at_work.selections().next().unwrap();
+        assert!((s.doi.d_plus_peak() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_mute_drops_preferences() {
+        let c = catalog();
+        let mut cp = ContextualProfile::new(base_profile(&c));
+        cp.add_rule(ContextRule {
+            facet: "mode".into(),
+            value: "incognito".into(),
+            overlay: Profile::new(),
+            base_weight: 0.0,
+        })
+        .unwrap();
+        let muted = cp.resolve(&Context::new().with("mode", "incognito"));
+        assert_eq!(muted.selections().count(), 0);
+    }
+
+    #[test]
+    fn strongest_mute_wins() {
+        let c = catalog();
+        let mut cp = ContextualProfile::new(base_profile(&c));
+        for (facet, value, w) in [("a", "1", 0.8), ("b", "2", 0.25)] {
+            cp.add_rule(ContextRule {
+                facet: facet.into(),
+                value: value.into(),
+                overlay: Profile::new(),
+                base_weight: w,
+            })
+            .unwrap();
+        }
+        let both = cp.resolve(&Context::new().with("a", "1").with("b", "2"));
+        let (_, s) = both.selections().next().unwrap();
+        assert!((s.doi.d_plus_peak() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_weight_rejected() {
+        let c = catalog();
+        let mut cp = ContextualProfile::new(base_profile(&c));
+        let err = cp.add_rule(ContextRule {
+            facet: "x".into(),
+            value: "y".into(),
+            overlay: Profile::new(),
+            base_weight: 1.5,
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn suggested_options_shrink_on_mobile() {
+        let mobile = suggest_options(&Context::new().with("device", "mobile"));
+        let desktop = suggest_options(&Context::new());
+        assert!(mobile.criterion.k_limit().unwrap() < desktop.criterion.k_limit().unwrap());
+        let quick = suggest_options(&Context::new().with("device", "mobile").with("intent", "quick"));
+        assert!(quick.l > mobile.l);
+    }
+}

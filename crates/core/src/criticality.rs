@@ -1,0 +1,236 @@
+//! Degree of criticality and fake criticality (§3.4, §4.1).
+//!
+//! The degree of criticality of an atomic preference is `c = d₀⁺ + |d₀⁻|`
+//! (formula 7). Along a path, join degrees multiply; the criticality of an
+//! implicit *join* path is the product of its join degrees, and of an
+//! implicit *selection* the product times the terminal selection's
+//! criticality. Because a selection's criticality may reach 2, an implicit
+//! selection can be up to twice as critical as its longest proper join
+//! prefix: `cS ≤ 2 · cJ` (formula 8) — which breaks the monotonicity a
+//! plain best-first traversal needs.
+//!
+//! The *fake criticality* `fc` repairs this: selections carry `fc = 1`;
+//! each join edge carries the maximum over the edges that can follow it of
+//! their criticality — doubled for join followers, per formula 8. A
+//! best-first traversal on `c · fc` then never dequeues an implicit
+//! selection out of order (`c · fc` is an upper bound on the criticality
+//! of every completion of the path).
+
+use std::collections::HashMap;
+
+use qp_storage::AttrId;
+
+use crate::preference::{PrefId, Preference};
+use crate::profile::Profile;
+
+/// Criticality of an implicit selection preference: the path's join-degree
+/// product times the terminal selection's criticality.
+pub fn implicit_selection_criticality(join_degree_product: f64, selection_criticality: f64) -> f64 {
+    join_degree_product * selection_criticality
+}
+
+/// Computes the fake criticality of every join preference in the profile.
+///
+/// For join preference `j` ending at relation `R`:
+/// `fc(j) = max over preferences p composable at R of
+///          { c(p) if p is a selection, 2·c(p) if p is a join }`,
+/// and 0 when nothing is composable (expanding `j` can never complete into
+/// an implicit selection, so its paths are dead ends).
+///
+/// Both creation and maintenance are cheap: `fc` depends only on the
+/// *immediately following* edges, so adding or re-weighting one preference
+/// requires recomputing `fc` only for join edges pointing at its relation.
+pub fn compute_fake_criticalities(profile: &Profile) -> HashMap<PrefId, f64> {
+    let mut fc = HashMap::new();
+    for (id, pref) in profile.iter() {
+        if let Preference::Join(j) = pref {
+            fc.insert(id, fake_criticality_of_join(profile, j.to));
+        }
+    }
+    fc
+}
+
+/// `fc` for a join edge ending at `to`'s relation (see
+/// [`compute_fake_criticalities`]).
+pub fn fake_criticality_of_join(profile: &Profile, to: AttrId) -> f64 {
+    let rel = to.rel;
+    let mut best: f64 = 0.0;
+    for (_, pref) in profile.iter() {
+        match pref {
+            Preference::Selection(s) if s.attr.rel == rel => {
+                best = best.max(s.criticality());
+            }
+            Preference::Join(j) if j.from.rel == rel => {
+                best = best.max(2.0 * j.criticality());
+            }
+            _ => {}
+        }
+    }
+    best
+}
+
+/// The formula-8 bound: an implicit selection extending a join prefix of
+/// criticality `c_j` has criticality at most `2 · c_j`.
+pub fn upper_bound_from_join(c_j: f64) -> f64 {
+    2.0 * c_j
+}
+
+/// Incrementally repairs the fake-criticality labels after one preference
+/// was added, removed, or re-weighted.
+///
+/// This is the cheapness claim of §4.1 made concrete: `fc` depends only on
+/// the *immediately following* edges, so a change to preference `changed`
+/// (an edge at relation `R` — the attribute's relation for a selection,
+/// the source relation for a join) can only affect the labels of join
+/// edges *pointing at* `R`. Everything else is untouched. Contrast with
+/// the rejected alternative the paper discusses — tagging each join with
+/// the true maximum downstream criticality — where "all join edges that
+/// expand to paths including this edge must be updated".
+///
+/// `changed_rel` is that relation; pass the join's former source relation
+/// when the change was a deletion. The map is updated in place.
+pub fn update_fake_criticalities(
+    profile: &Profile,
+    changed_rel: qp_storage::RelId,
+    fc: &mut HashMap<PrefId, f64>,
+) {
+    // join edges ending at changed_rel need their label recomputed;
+    // labels of joins for which the changed edge is deeper than one hop
+    // are unaffected by construction
+    fc.retain(|id, _| profile.get(*id).as_join().is_some());
+    for (id, pref) in profile.iter() {
+        if let Preference::Join(j) = pref {
+            if j.to.rel == changed_rel || !fc.contains_key(&id) {
+                fc.insert(id, fake_criticality_of_join(profile, j.to));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doi::Doi;
+    use crate::preference::CompareOp;
+    use qp_storage::{Attribute, Catalog, DataType, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(
+            "A",
+            vec![Attribute::new("id", DataType::Int), Attribute::new("x", DataType::Int)],
+            &["id"],
+        )
+        .unwrap();
+        c.add_relation(
+            "B",
+            vec![Attribute::new("id", DataType::Int), Attribute::new("y", DataType::Int)],
+            &["id"],
+        )
+        .unwrap();
+        c.add_relation(
+            "C",
+            vec![Attribute::new("id", DataType::Int), Attribute::new("z", DataType::Int)],
+            &["id"],
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn fc_of_terminal_join_is_zero() {
+        let c = catalog();
+        let mut p = Profile::new();
+        let j = p.add_join(&c, ("A", "id"), ("B", "id"), 0.9).unwrap();
+        let fc = compute_fake_criticalities(&p);
+        assert_eq!(fc[&j], 0.0);
+    }
+
+    #[test]
+    fn fc_takes_max_selection() {
+        let c = catalog();
+        let mut p = Profile::new();
+        let j = p.add_join(&c, ("A", "id"), ("B", "id"), 0.9).unwrap();
+        p.add_selection(&c, "B", "y", CompareOp::Eq, Value::Int(1), Doi::presence(0.4).unwrap())
+            .unwrap();
+        p.add_selection(&c, "B", "y", CompareOp::Lt, Value::Int(9), Doi::new(0.6, -0.3).unwrap())
+            .unwrap();
+        let fc = compute_fake_criticalities(&p);
+        assert!((fc[&j] - 0.9).abs() < 1e-12); // 0.6 + 0.3
+    }
+
+    #[test]
+    fn fc_doubles_join_followers() {
+        let c = catalog();
+        let mut p = Profile::new();
+        let j1 = p.add_join(&c, ("A", "id"), ("B", "id"), 0.9).unwrap();
+        let j2 = p.add_join(&c, ("B", "id"), ("C", "id"), 0.6).unwrap();
+        p.add_selection(&c, "B", "y", CompareOp::Eq, Value::Int(1), Doi::presence(0.5).unwrap())
+            .unwrap();
+        let fc = compute_fake_criticalities(&p);
+        // follower of j1 at B: selection c=0.5 vs join 2·0.6=1.2 → 1.2
+        assert!((fc[&j1] - 1.2).abs() < 1e-12);
+        assert_eq!(fc[&j2], 0.0);
+    }
+
+    #[test]
+    fn c_times_fc_upper_bounds_descendants() {
+        // Figure 4 scenario: c·fc at a join must dominate the criticality
+        // of any selection completing it.
+        let c = catalog();
+        let mut p = Profile::new();
+        let j1 = p.add_join(&c, ("A", "id"), ("B", "id"), 0.8).unwrap();
+        p.add_join(&c, ("B", "id"), ("C", "id"), 0.7).unwrap();
+        // highly critical selection two hops away
+        p.add_selection(&c, "C", "z", CompareOp::Eq, Value::Int(1), Doi::new(0.9, -0.9).unwrap())
+            .unwrap();
+        let fc = compute_fake_criticalities(&p);
+        let c_j1 = 0.8;
+        let bound = c_j1 * fc[&j1];
+        // actual: 0.8 · 0.7 · 1.8 = 1.008
+        let actual = implicit_selection_criticality(0.8 * 0.7, 1.8);
+        assert!(bound >= actual, "bound {bound} < actual {actual}");
+    }
+
+    #[test]
+    fn formula8_bound() {
+        assert_eq!(upper_bound_from_join(0.9), 1.8);
+    }
+
+    #[test]
+    fn incremental_update_matches_full_recompute() {
+        let c = catalog();
+        let mut p = Profile::new();
+        p.add_join(&c, ("A", "id"), ("B", "id"), 0.9).unwrap();
+        p.add_join(&c, ("B", "id"), ("C", "id"), 0.6).unwrap();
+        p.add_selection(&c, "B", "y", CompareOp::Eq, Value::Int(1), Doi::presence(0.5).unwrap())
+            .unwrap();
+        let mut fc = compute_fake_criticalities(&p);
+
+        // add a strong selection on C: only joins ending at C need repair
+        p.add_selection(&c, "C", "z", CompareOp::Eq, Value::Int(1), Doi::new(0.9, -0.9).unwrap())
+            .unwrap();
+        let c_rel = c.relation_by_name("C").unwrap().id;
+        update_fake_criticalities(&p, c_rel, &mut fc);
+        assert_eq!(fc, compute_fake_criticalities(&p));
+
+        // add a new join from C onward: labels of joins into C change too
+        p.add_join(&c, ("C", "id"), ("A", "id"), 0.8).unwrap();
+        update_fake_criticalities(&p, c_rel, &mut fc);
+        assert_eq!(fc, compute_fake_criticalities(&p));
+    }
+
+    #[test]
+    fn incremental_update_covers_new_joins() {
+        let c = catalog();
+        let mut p = Profile::new();
+        p.add_join(&c, ("A", "id"), ("B", "id"), 0.9).unwrap();
+        let mut fc = compute_fake_criticalities(&p);
+        // brand-new join edge gets a label even though its target relation
+        // differs from the change site
+        p.add_join(&c, ("B", "id"), ("C", "id"), 0.7).unwrap();
+        let b_rel = c.relation_by_name("B").unwrap().id;
+        update_fake_criticalities(&p, b_rel, &mut fc);
+        assert_eq!(fc, compute_fake_criticalities(&p));
+    }
+}

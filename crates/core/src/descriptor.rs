@@ -1,0 +1,176 @@
+//! Qualitative descriptors for desired results (§2).
+//!
+//! "An application may use qualitative descriptors for preferences and
+//! desired results defined in terms of intervals of degrees of interest.
+//! E.g., a 'best' descriptor could map to degrees between 0.9 and 1; then
+//! a user could ask for 'best' answers."
+//!
+//! A [`QualityDescriptor`] names an interval of degrees of interest; it
+//! plugs straight into the doi-driven selection of §4.2 (as the desired
+//! minimum result doi `dR`) and can also filter an answer post hoc.
+
+use crate::answer::PersonalizedAnswer;
+use crate::error::PrefError;
+use crate::personalize::SelectionAlgorithm;
+
+/// A qualitative band of degrees of interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QualityDescriptor {
+    /// `doi ∈ [0.9, 1]` — the paper's example.
+    Best,
+    /// `doi ∈ [0.7, 1)` below Best.
+    Great,
+    /// `doi ∈ [0.4, 0.7)`.
+    Good,
+    /// `doi ∈ [0.1, 0.4)`.
+    Fair,
+    /// Anything non-negative.
+    Any,
+}
+
+impl QualityDescriptor {
+    /// All descriptors, strongest first.
+    pub const ALL: [QualityDescriptor; 5] = [
+        QualityDescriptor::Best,
+        QualityDescriptor::Great,
+        QualityDescriptor::Good,
+        QualityDescriptor::Fair,
+        QualityDescriptor::Any,
+    ];
+
+    /// The inclusive lower bound of the descriptor's doi interval.
+    pub fn min_doi(self) -> f64 {
+        match self {
+            QualityDescriptor::Best => 0.9,
+            QualityDescriptor::Great => 0.7,
+            QualityDescriptor::Good => 0.4,
+            QualityDescriptor::Fair => 0.1,
+            QualityDescriptor::Any => 0.0,
+        }
+    }
+
+    /// The exclusive upper bound (1.0 inclusive for `Best`).
+    pub fn max_doi(self) -> f64 {
+        match self {
+            QualityDescriptor::Best => 1.0,
+            QualityDescriptor::Great => 0.9,
+            QualityDescriptor::Good => 0.7,
+            QualityDescriptor::Fair => 0.4,
+            QualityDescriptor::Any => 1.0,
+        }
+    }
+
+    /// Parses a descriptor name (case-insensitive).
+    pub fn parse(s: &str) -> Result<Self, PrefError> {
+        match s.to_ascii_lowercase().as_str() {
+            "best" => Ok(QualityDescriptor::Best),
+            "great" => Ok(QualityDescriptor::Great),
+            "good" => Ok(QualityDescriptor::Good),
+            "fair" => Ok(QualityDescriptor::Fair),
+            "any" => Ok(QualityDescriptor::Any),
+            other => Err(PrefError::InvalidCriterion(format!(
+                "unknown quality descriptor `{other}`"
+            ))),
+        }
+    }
+
+    /// The descriptor a degree of interest falls into.
+    pub fn of(doi: f64) -> Self {
+        for d in Self::ALL {
+            if doi >= d.min_doi() {
+                return d;
+            }
+        }
+        QualityDescriptor::Any
+    }
+
+    /// The §4.2 selection configuration that guarantees returned tuples
+    /// meet this descriptor: selection driven by the desired result doi.
+    pub fn selection_algorithm(self) -> SelectionAlgorithm {
+        SelectionAlgorithm::DoiBased { d_r: self.min_doi(), n_estimate: None }
+    }
+
+    /// Filters an answer to the tuples inside this descriptor's band.
+    pub fn filter(self, answer: &PersonalizedAnswer) -> PersonalizedAnswer {
+        PersonalizedAnswer {
+            columns: answer.columns.clone(),
+            tuples: answer
+                .tuples
+                .iter()
+                .filter(|t| t.doi >= self.min_doi())
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for QualityDescriptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            QualityDescriptor::Best => "best",
+            QualityDescriptor::Great => "great",
+            QualityDescriptor::Good => "good",
+            QualityDescriptor::Fair => "fair",
+            QualityDescriptor::Any => "any",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::PersonalizedTuple;
+
+    #[test]
+    fn bands_are_contiguous() {
+        for w in QualityDescriptor::ALL.windows(2) {
+            assert!((w[0].min_doi() - w[1].max_doi()).abs() < 1e-12 || w[1] == QualityDescriptor::Any);
+        }
+        assert_eq!(QualityDescriptor::Best.min_doi(), 0.9);
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(QualityDescriptor::of(0.95), QualityDescriptor::Best);
+        assert_eq!(QualityDescriptor::of(0.7), QualityDescriptor::Great);
+        assert_eq!(QualityDescriptor::of(0.5), QualityDescriptor::Good);
+        assert_eq!(QualityDescriptor::of(0.05), QualityDescriptor::Any);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for d in QualityDescriptor::ALL {
+            assert_eq!(QualityDescriptor::parse(&d.to_string()).unwrap(), d);
+        }
+        assert!(QualityDescriptor::parse("mediocre").is_err());
+    }
+
+    #[test]
+    fn filter_keeps_band() {
+        let answer = PersonalizedAnswer {
+            columns: vec!["t".into()],
+            tuples: [0.95, 0.8, 0.5, 0.2]
+                .iter()
+                .map(|&doi| PersonalizedTuple {
+                    tuple_id: None,
+                    row: vec![],
+                    doi,
+                    satisfied: vec![],
+                    failed: vec![],
+                })
+                .collect(),
+        };
+        assert_eq!(QualityDescriptor::Best.filter(&answer).len(), 1);
+        assert_eq!(QualityDescriptor::Good.filter(&answer).len(), 3);
+        assert_eq!(QualityDescriptor::Any.filter(&answer).len(), 4);
+    }
+
+    #[test]
+    fn selection_algorithm_carries_the_bound() {
+        match QualityDescriptor::Best.selection_algorithm() {
+            SelectionAlgorithm::DoiBased { d_r, .. } => assert_eq!(d_r, 0.9),
+            other => panic!("{other:?}"),
+        }
+    }
+}

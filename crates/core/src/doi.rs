@@ -1,0 +1,295 @@
+//! Degrees of interest (§3.1, §3.3).
+//!
+//! A selection preference's doi is the pair `(dT(u), dF(u))`: the user's
+//! interest in values *satisfying* the condition being present (`dT`) and
+//! in those values being *absent* (`dF`). Each component is either a
+//! constant ([`Degree::Exact`]) or an [`ElasticFunction`] of the attribute
+//! value ([`Degree::Elastic`]).
+//!
+//! From §3.3:
+//! * the doi in the *satisfaction* of the preference is
+//!   `d⁺(u) = max(dT(u), dF(u))`,
+//! * the doi in its *failure* is `d⁻(u) = min(dT(u), dF(u))`,
+//! * the *degree of criticality* is `c = d₀⁺ + |d₀⁻|` with
+//!   `d₀⁺ = max_u d⁺(u)` and `d₀⁻ = min_u d⁻(u)` (formula 7).
+
+use crate::elastic::ElasticFunction;
+use crate::error::PrefError;
+
+/// One component of a doi pair: a constant or an elastic function.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Degree {
+    /// A constant degree in `[-1, 1]` (exact preferences).
+    Exact(f64),
+    /// A value-dependent degree (elastic preferences over numeric
+    /// domains).
+    Elastic(ElasticFunction),
+}
+
+impl Degree {
+    /// The degree at a specific attribute value.
+    pub fn at(&self, v: f64) -> f64 {
+        match self {
+            Degree::Exact(d) => *d,
+            Degree::Elastic(e) => e.eval(v),
+        }
+    }
+
+    /// The maximum the degree attains over the domain.
+    pub fn max_value(&self) -> f64 {
+        match self {
+            Degree::Exact(d) => *d,
+            Degree::Elastic(e) => e.peak.max(0.0),
+        }
+    }
+
+    /// The minimum the degree attains over the domain.
+    pub fn min_value(&self) -> f64 {
+        match self {
+            Degree::Exact(d) => *d,
+            Degree::Elastic(e) => e.peak.min(0.0),
+        }
+    }
+
+    /// The peak (signed extremum) of the degree.
+    pub fn peak(&self) -> f64 {
+        match self {
+            Degree::Exact(d) => *d,
+            Degree::Elastic(e) => e.peak,
+        }
+    }
+
+    /// True for [`Degree::Elastic`].
+    pub fn is_elastic(&self) -> bool {
+        matches!(self, Degree::Elastic(_))
+    }
+
+    /// Scales the degree by a factor in `[0, 1]` (implicit-preference
+    /// composition multiplies degrees along the path, §3.2).
+    pub fn scaled(&self, factor: f64) -> Degree {
+        match self {
+            Degree::Exact(d) => Degree::Exact(d * factor),
+            Degree::Elastic(e) => {
+                let mut e = e.clone();
+                e.peak *= factor;
+                Degree::Elastic(e)
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), PrefError> {
+        let p = self.peak();
+        if !(-1.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(PrefError::DegreeOutOfRange(p));
+        }
+        Ok(())
+    }
+}
+
+impl From<f64> for Degree {
+    fn from(d: f64) -> Self {
+        Degree::Exact(d)
+    }
+}
+
+/// The degree-of-interest pair of a selection preference.
+///
+/// ```
+/// use qp_core::Doi;
+/// // P5 of the paper: "happy if the movie is not musical"
+/// let doi = Doi::new(-0.9, 0.7).unwrap();
+/// assert!(!doi.is_presence());          // satisfied by the condition failing
+/// assert_eq!(doi.d_plus_peak(), 0.7);   // doi in satisfaction
+/// assert_eq!(doi.criticality(), 1.6);   // c = d0+ + |d0-| (Example 4)
+/// // liking and disliking the same value is rejected:
+/// assert!(Doi::new(0.5, 0.5).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Doi {
+    /// `dT(u)`: interest in the presence of values satisfying the
+    /// condition.
+    pub on_true: Degree,
+    /// `dF(u)`: interest in the absence of those values (the condition
+    /// evaluating to false).
+    pub on_false: Degree,
+}
+
+impl Doi {
+    /// Creates a validated doi pair. Enforces `dT·dF ≤ 0` (a normal user
+    /// does not simultaneously like a value's presence *and* its absence,
+    /// §3.1) and rejects the fully indifferent pair `(0, 0)`, which the
+    /// paper says is never stored.
+    pub fn new(on_true: impl Into<Degree>, on_false: impl Into<Degree>) -> Result<Self, PrefError> {
+        let on_true = on_true.into();
+        let on_false = on_false.into();
+        on_true.validate()?;
+        on_false.validate()?;
+        let (pt, pf) = (on_true.peak(), on_false.peak());
+        if pt * pf > 0.0 {
+            return Err(PrefError::InconsistentDoi { d_true: pt, d_false: pf });
+        }
+        if pt == 0.0 && pf == 0.0 {
+            return Err(PrefError::IndifferentPreference);
+        }
+        Ok(Doi { on_true, on_false })
+    }
+
+    /// A simple positive presence preference `(d, 0)` — the only type the
+    /// earlier model [16] captured.
+    pub fn presence(d: f64) -> Result<Self, PrefError> {
+        Doi::new(d, 0.0)
+    }
+
+    /// A simple negative preference `(−d, 0)`.
+    pub fn dislike(d: f64) -> Result<Self, PrefError> {
+        Doi::new(-d.abs(), 0.0)
+    }
+
+    /// The doi in the preference's satisfaction at value `v`:
+    /// `d⁺(u) = max(dT(u), dF(u))`. Non-negative under the validity
+    /// constraint.
+    pub fn d_plus_at(&self, v: f64) -> f64 {
+        self.on_true.at(v).max(self.on_false.at(v))
+    }
+
+    /// The doi in the preference's failure at value `v`:
+    /// `d⁻(u) = min(dT(u), dF(u))`. Non-positive under the validity
+    /// constraint.
+    pub fn d_minus_at(&self, v: f64) -> f64 {
+        self.on_true.at(v).min(self.on_false.at(v))
+    }
+
+    /// `d₀⁺ = max_u d⁺(u)`: the satisfaction peak.
+    pub fn d_plus_peak(&self) -> f64 {
+        self.on_true.max_value().max(self.on_false.max_value()).max(0.0)
+    }
+
+    /// `|d₀⁻| = |min_u d⁻(u)|`: the failure peak, as a magnitude.
+    pub fn d_minus_peak(&self) -> f64 {
+        (-self.on_true.min_value().min(self.on_false.min_value()).min(0.0)).abs()
+    }
+
+    /// The degree of criticality `c = d₀⁺ + |d₀⁻|` (formula 7), in
+    /// `[0, 2]`.
+    pub fn criticality(&self) -> f64 {
+        self.d_plus_peak() + self.d_minus_peak()
+    }
+
+    /// Whether the preference is *satisfied by the condition holding*
+    /// (presence-type: `dT` has the positive side) or by the condition
+    /// failing (absence-type).
+    pub fn is_presence(&self) -> bool {
+        // exactly one side can be positive; ties (one negative, one zero)
+        // resolve by where the non-negative side is
+        self.on_true.peak() > 0.0 || (self.on_true.peak() == 0.0 && self.on_false.peak() < 0.0)
+    }
+
+    /// Whether either component is elastic.
+    pub fn is_elastic(&self) -> bool {
+        self.on_true.is_elastic() || self.on_false.is_elastic()
+    }
+
+    /// Scales both components (implicit-preference composition, §3.2).
+    pub fn scaled(&self, factor: f64) -> Doi {
+        Doi { on_true: self.on_true.scaled(factor), on_false: self.on_false.scaled(factor) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elastic::ElasticFunction;
+
+    #[test]
+    fn paper_example_criticalities() {
+        // Example 4: P5 (−0.9, 0.7) → 1.6; P4 (e(0.7), e(−0.5)) → 1.2;
+        // P1 (0.8, 0) → 0.8; ordered P5 > P4 > P1.
+        let p1 = Doi::new(0.8, 0.0).unwrap();
+        let p4 = Doi::new(
+            Degree::Elastic(ElasticFunction::triangular(120.0, 30.0, 0.7).unwrap()),
+            Degree::Elastic(ElasticFunction::triangular(120.0, 30.0, -0.5).unwrap()),
+        )
+        .unwrap();
+        let p5 = Doi::new(-0.9, 0.7).unwrap();
+        assert!((p1.criticality() - 0.8).abs() < 1e-12);
+        assert!((p4.criticality() - 1.2).abs() < 1e-12);
+        assert!((p5.criticality() - 1.6).abs() < 1e-12);
+        assert!(p5.criticality() > p4.criticality() && p4.criticality() > p1.criticality());
+    }
+
+    #[test]
+    fn consistency_constraint() {
+        assert!(Doi::new(0.5, 0.5).is_err());
+        assert!(Doi::new(-0.5, -0.5).is_err());
+        assert!(Doi::new(0.5, -0.5).is_ok());
+        assert!(Doi::new(-0.9, 0.7).is_ok());
+        assert!(Doi::new(0.8, 0.0).is_ok());
+    }
+
+    #[test]
+    fn indifferent_not_stored() {
+        assert!(matches!(Doi::new(0.0, 0.0), Err(PrefError::IndifferentPreference)));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(Doi::new(1.2, 0.0).is_err());
+        assert!(Doi::new(0.0, -1.5).is_err());
+    }
+
+    #[test]
+    fn satisfaction_and_failure_signs() {
+        for doi in [
+            Doi::new(0.8, 0.0).unwrap(),
+            Doi::new(-0.7, 0.0).unwrap(),
+            Doi::new(0.7, -0.5).unwrap(),
+            Doi::new(-0.9, 0.7).unwrap(),
+        ] {
+            assert!(doi.d_plus_peak() >= 0.0);
+            assert!(doi.d_minus_peak() >= 0.0);
+            assert!(doi.criticality() <= 2.0);
+        }
+    }
+
+    #[test]
+    fn presence_vs_absence_classification() {
+        assert!(Doi::new(0.8, 0.0).unwrap().is_presence()); // P1
+        assert!(!Doi::new(-0.7, 0.0).unwrap().is_presence()); // P3: satisfied by q false
+        assert!(Doi::new(0.7, -0.5).unwrap().is_presence()); // P6
+        assert!(!Doi::new(-0.9, 0.7).unwrap().is_presence()); // P5
+    }
+
+    #[test]
+    fn elastic_evaluation() {
+        let doi = Doi::new(
+            Degree::Elastic(ElasticFunction::triangular(120.0, 30.0, 0.7).unwrap()),
+            Degree::Elastic(ElasticFunction::triangular(120.0, 30.0, -0.5).unwrap()),
+        )
+        .unwrap();
+        // at the center: full satisfaction
+        assert!((doi.d_plus_at(120.0) - 0.7).abs() < 1e-12);
+        // half-way out
+        assert!((doi.d_plus_at(135.0) - 0.35).abs() < 1e-12);
+        // outside the support both components are zero
+        assert_eq!(doi.d_plus_at(200.0), 0.0);
+        assert_eq!(doi.d_minus_at(135.0), -0.25);
+    }
+
+    #[test]
+    fn scaling_composes_degrees() {
+        let doi = Doi::new(0.8, -0.5).unwrap();
+        let scaled = doi.scaled(0.9);
+        assert!((scaled.d_plus_peak() - 0.72).abs() < 1e-12);
+        assert!((scaled.d_minus_peak() - 0.45).abs() < 1e-12);
+        // criticality scales linearly (cS = join_degree · cSel)
+        assert!((scaled.criticality() - 0.9 * doi.criticality()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn helpers() {
+        assert!(Doi::presence(0.8).unwrap().is_presence());
+        let d = Doi::dislike(0.7).unwrap();
+        assert_eq!(d.d_plus_peak(), 0.0);
+        assert!((d.d_minus_peak() - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,198 @@
+//! Elastic degree-of-interest functions (§3.1, Figure 1).
+//!
+//! Preferences over numeric domains "may be smoothly continuous over their
+//! domain and may be satisfied approximately". An [`ElasticFunction`] is a
+//! parametric shape around a center value: it peaks (at `peak`, which may
+//! be negative for dislike-shaped functions, Figure 1's right column) and
+//! decays to zero at `center ± width`.
+//!
+//! For query integration, §5 translates elastic preferences "into
+//! appropriate range conditions using a set of rules": here the rule is
+//! the support interval `[center − width, center + width]` (optionally
+//! narrowed to the region where the degree stays above a threshold).
+
+use crate::error::PrefError;
+
+/// The shape of an elastic doi function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ElasticShape {
+    /// Linear rise and fall (Figure 1a): `peak · (1 − |v − center|/width)`.
+    Triangular,
+    /// Flat at `peak` within `plateau` of the center, then linear decay to
+    /// zero at `width` (Figure 1b).
+    Trapezoidal {
+        /// Half-width of the flat top; must be `< width`.
+        plateau: f64,
+    },
+    /// Smooth raised-cosine: `peak · (1 + cos(π·|v − center|/width)) / 2`.
+    Cosine,
+}
+
+/// A parametric elastic doi function.
+///
+/// ```
+/// use qp_core::ElasticFunction;
+/// // "duration around 2h": peaks at 120 minutes, fades out by +-30
+/// let e = ElasticFunction::triangular(120.0, 30.0, 0.7).unwrap();
+/// assert_eq!(e.eval(120.0), 0.7);
+/// assert_eq!(e.eval(135.0), 0.35);
+/// assert_eq!(e.eval(160.0), 0.0);
+/// assert_eq!(e.support(), (90.0, 150.0)); // the BETWEEN range for queries
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticFunction {
+    /// The most-preferred value.
+    pub center: f64,
+    /// Half-width of the support; the function is zero outside
+    /// `[center − width, center + width]`.
+    pub width: f64,
+    /// Degree at the center, in `[-1, 1]`.
+    pub peak: f64,
+    /// Shape of the decay.
+    pub shape: ElasticShape,
+}
+
+impl ElasticFunction {
+    /// Creates a triangular elastic function (the form the paper's
+    /// experiments used).
+    pub fn triangular(center: f64, width: f64, peak: f64) -> Result<Self, PrefError> {
+        Self::new(center, width, peak, ElasticShape::Triangular)
+    }
+
+    /// Creates an elastic function, validating the parameters.
+    pub fn new(
+        center: f64,
+        width: f64,
+        peak: f64,
+        shape: ElasticShape,
+    ) -> Result<Self, PrefError> {
+        if width <= 0.0 || !width.is_finite() {
+            return Err(PrefError::InvalidElasticWidth(width));
+        }
+        if !(-1.0..=1.0).contains(&peak) || !peak.is_finite() {
+            return Err(PrefError::DegreeOutOfRange(peak));
+        }
+        if let ElasticShape::Trapezoidal { plateau } = shape {
+            if !(0.0..width).contains(&plateau) {
+                return Err(PrefError::InvalidElasticWidth(plateau));
+            }
+        }
+        Ok(ElasticFunction { center, width, peak, shape })
+    }
+
+    /// Evaluates the function at `v`.
+    pub fn eval(&self, v: f64) -> f64 {
+        let dist = (v - self.center).abs();
+        if dist >= self.width {
+            return 0.0;
+        }
+        let factor = match self.shape {
+            ElasticShape::Triangular => 1.0 - dist / self.width,
+            ElasticShape::Trapezoidal { plateau } => {
+                if dist <= plateau {
+                    1.0
+                } else {
+                    1.0 - (dist - plateau) / (self.width - plateau)
+                }
+            }
+            ElasticShape::Cosine => (1.0 + (std::f64::consts::PI * dist / self.width).cos()) / 2.0,
+        };
+        self.peak * factor
+    }
+
+    /// The interval outside which the function is zero.
+    pub fn support(&self) -> (f64, f64) {
+        (self.center - self.width, self.center + self.width)
+    }
+
+    /// The interval where `|eval(v)| ≥ threshold · |peak|` — the range
+    /// condition used when integrating the preference into a query with a
+    /// minimum-degree requirement. `threshold` of 0 yields the full
+    /// support.
+    pub fn range_above(&self, threshold: f64) -> (f64, f64) {
+        let t = threshold.clamp(0.0, 1.0);
+        if t == 0.0 || self.peak == 0.0 {
+            return self.support();
+        }
+        let dist = match self.shape {
+            ElasticShape::Triangular => self.width * (1.0 - t),
+            ElasticShape::Trapezoidal { plateau } => plateau + (self.width - plateau) * (1.0 - t),
+            ElasticShape::Cosine => {
+                // (1 + cos(pi d / w)) / 2 = t  =>  d = w · acos(2t − 1)/pi
+                self.width * (2.0 * t - 1.0).acos() / std::f64::consts::PI
+            }
+        };
+        (self.center - dist, self.center + dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangular_shape() {
+        let e = ElasticFunction::triangular(120.0, 30.0, 0.7).unwrap();
+        assert!((e.eval(120.0) - 0.7).abs() < 1e-12);
+        assert!((e.eval(135.0) - 0.35).abs() < 1e-12);
+        assert_eq!(e.eval(150.0), 0.0);
+        assert_eq!(e.eval(85.0), 0.0);
+        // symmetric
+        assert!((e.eval(105.0) - e.eval(135.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_peak() {
+        let e = ElasticFunction::triangular(120.0, 30.0, -0.5).unwrap();
+        assert!((e.eval(120.0) + 0.5).abs() < 1e-12);
+        assert!(e.eval(110.0) < 0.0);
+        assert_eq!(e.eval(151.0), 0.0);
+    }
+
+    #[test]
+    fn trapezoid_plateau() {
+        let e =
+            ElasticFunction::new(6.0, 2.0, 0.5, ElasticShape::Trapezoidal { plateau: 1.0 }).unwrap();
+        assert_eq!(e.eval(6.0), 0.5);
+        assert_eq!(e.eval(6.9), 0.5);
+        assert!((e.eval(7.5) - 0.25).abs() < 1e-12);
+        assert_eq!(e.eval(8.0), 0.0);
+    }
+
+    #[test]
+    fn cosine_smooth() {
+        let e = ElasticFunction::new(0.0, 1.0, 1.0, ElasticShape::Cosine).unwrap();
+        assert!((e.eval(0.0) - 1.0).abs() < 1e-12);
+        assert!((e.eval(0.5) - 0.5).abs() < 1e-12);
+        assert!(e.eval(1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ElasticFunction::triangular(0.0, 0.0, 0.5).is_err());
+        assert!(ElasticFunction::triangular(0.0, -1.0, 0.5).is_err());
+        assert!(ElasticFunction::triangular(0.0, 1.0, 1.5).is_err());
+        assert!(ElasticFunction::new(0.0, 1.0, 0.5, ElasticShape::Trapezoidal { plateau: 1.0 })
+            .is_err());
+    }
+
+    #[test]
+    fn support_and_range() {
+        let e = ElasticFunction::triangular(120.0, 30.0, 0.7).unwrap();
+        assert_eq!(e.support(), (90.0, 150.0));
+        assert_eq!(e.range_above(0.0), (90.0, 150.0));
+        let (lo, hi) = e.range_above(0.5);
+        assert!((lo - 105.0).abs() < 1e-9);
+        assert!((hi - 135.0).abs() < 1e-9);
+        // degrees at the narrowed bounds meet the threshold
+        assert!((e.eval(lo) - 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_above_cosine_consistent() {
+        let e = ElasticFunction::new(0.0, 1.0, 0.8, ElasticShape::Cosine).unwrap();
+        let (lo, hi) = e.range_above(0.5);
+        assert!((e.eval(lo) - 0.4).abs() < 1e-9);
+        assert!((e.eval(hi) - 0.4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,117 @@
+//! Errors of the preference model and personalization algorithms.
+
+use std::fmt;
+
+use qp_exec::ExecError;
+use qp_sql::ParseError;
+use qp_storage::StorageError;
+
+/// Errors raised while building profiles or personalizing queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrefError {
+    /// A degree of interest was outside `[-1, 1]`.
+    DegreeOutOfRange(f64),
+    /// The psychological-consistency constraint `dT(u) · dF(u) ≤ 0` (§3.1)
+    /// was violated.
+    InconsistentDoi {
+        /// Peak of the presence degree.
+        d_true: f64,
+        /// Peak of the absence degree.
+        d_false: f64,
+    },
+    /// A join preference degree was outside `[0, 1]`.
+    JoinDegreeOutOfRange(f64),
+    /// An elastic preference was declared on a categorical attribute.
+    ElasticOnCategorical(String),
+    /// An elastic function was declared with a non-positive width.
+    InvalidElasticWidth(f64),
+    /// Both degrees of a stored preference are zero (indifferent
+    /// preferences are not stored, §3.1).
+    IndifferentPreference,
+    /// A catalog lookup failed.
+    Storage(StorageError),
+    /// Profile DSL parse error.
+    ProfileSyntax {
+        /// Line number (1-based).
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// The initial query could not be parsed.
+    Sql(ParseError),
+    /// Query planning/execution failed.
+    Exec(ExecError),
+    /// The initial query has a shape personalization cannot handle (e.g.
+    /// no FROM relation, or a union).
+    UnsupportedQuery(String),
+    /// A selection criterion was invalid (e.g. K = 0).
+    InvalidCriterion(String),
+}
+
+impl fmt::Display for PrefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefError::DegreeOutOfRange(d) => {
+                write!(f, "degree of interest {d} outside [-1, 1]")
+            }
+            PrefError::InconsistentDoi { d_true, d_false } => write!(
+                f,
+                "inconsistent doi: dT={d_true} and dF={d_false} must not both be positive \
+                 (dT·dF ≤ 0)"
+            ),
+            PrefError::JoinDegreeOutOfRange(d) => {
+                write!(f, "join preference degree {d} outside [0, 1]")
+            }
+            PrefError::ElasticOnCategorical(attr) => {
+                write!(f, "elastic preference on categorical attribute `{attr}`")
+            }
+            PrefError::InvalidElasticWidth(w) => {
+                write!(f, "elastic function width {w} must be positive")
+            }
+            PrefError::IndifferentPreference => {
+                write!(f, "indifferent preferences (dT = dF = 0) are not stored")
+            }
+            PrefError::Storage(e) => write!(f, "{e}"),
+            PrefError::ProfileSyntax { line, message } => {
+                write!(f, "profile syntax error at line {line}: {message}")
+            }
+            PrefError::Sql(e) => write!(f, "{e}"),
+            PrefError::Exec(e) => write!(f, "{e}"),
+            PrefError::UnsupportedQuery(msg) => write!(f, "unsupported query: {msg}"),
+            PrefError::InvalidCriterion(msg) => write!(f, "invalid criterion: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PrefError {}
+
+impl From<StorageError> for PrefError {
+    fn from(e: StorageError) -> Self {
+        PrefError::Storage(e)
+    }
+}
+
+impl From<ParseError> for PrefError {
+    fn from(e: ParseError) -> Self {
+        PrefError::Sql(e)
+    }
+}
+
+impl From<ExecError> for PrefError {
+    fn from(e: ExecError) -> Self {
+        PrefError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = PrefError::DegreeOutOfRange(1.5);
+        assert!(e.to_string().contains("1.5"));
+        let e = PrefError::InconsistentDoi { d_true: 0.5, d_false: 0.5 };
+        assert!(e.to_string().contains("dT·dF"));
+    }
+}

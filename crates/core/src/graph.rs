@@ -1,0 +1,182 @@
+//! The personalization graph (§3.1–§3.2).
+//!
+//! A directed graph extending the database schema graph: relation nodes,
+//! attribute nodes, and value nodes, with selection edges (attribute →
+//! value) and join edges (attribute → attribute), labelled with degrees of
+//! interest. Given the 1–1 mapping between edges and atomic preferences,
+//! this struct is an adjacency view over a [`Profile`]: for a relation it
+//! answers "which preferences are composable here", which is exactly what
+//! the path-building selection algorithms of §4 consume. It also caches
+//! the fake-criticality labels of §4.1.
+
+use std::collections::HashMap;
+
+use qp_storage::RelId;
+
+use crate::criticality::compute_fake_criticalities;
+use crate::preference::{JoinPreference, PrefId, Preference, SelectionPreference};
+use crate::profile::Profile;
+
+/// Adjacency + fake-criticality view over a profile.
+#[derive(Debug)]
+pub struct PersonalizationGraph<'p> {
+    profile: &'p Profile,
+    /// Selection preferences grouped by their attribute's relation,
+    /// ordered by decreasing criticality.
+    sel_by_rel: HashMap<RelId, Vec<PrefId>>,
+    /// Join preferences grouped by source relation, ordered by decreasing
+    /// `c · fc`.
+    join_by_rel: HashMap<RelId, Vec<PrefId>>,
+    /// Fake criticality per join preference.
+    fake_crit: HashMap<PrefId, f64>,
+}
+
+impl<'p> PersonalizationGraph<'p> {
+    /// Builds the graph for a profile.
+    pub fn build(profile: &'p Profile) -> Self {
+        let fake_crit = compute_fake_criticalities(profile);
+        let mut sel_by_rel: HashMap<RelId, Vec<PrefId>> = HashMap::new();
+        let mut join_by_rel: HashMap<RelId, Vec<PrefId>> = HashMap::new();
+        for (id, pref) in profile.iter() {
+            match pref {
+                Preference::Selection(s) => {
+                    sel_by_rel.entry(s.attr.rel).or_default().push(id);
+                }
+                Preference::Join(j) => {
+                    join_by_rel.entry(j.from.rel).or_default().push(id);
+                }
+            }
+        }
+        for ids in sel_by_rel.values_mut() {
+            ids.sort_by(|a, b| {
+                let ca = profile.get(*a).criticality();
+                let cb = profile.get(*b).criticality();
+                cb.partial_cmp(&ca).unwrap().then(a.cmp(b))
+            });
+        }
+        let fc = &fake_crit;
+        for ids in join_by_rel.values_mut() {
+            ids.sort_by(|a, b| {
+                let ka = profile.get(*a).criticality() * fc.get(a).copied().unwrap_or(0.0);
+                let kb = profile.get(*b).criticality() * fc.get(b).copied().unwrap_or(0.0);
+                kb.partial_cmp(&ka).unwrap().then(a.cmp(b))
+            });
+        }
+        PersonalizationGraph { profile, sel_by_rel, join_by_rel, fake_crit }
+    }
+
+    /// The underlying profile.
+    pub fn profile(&self) -> &'p Profile {
+        self.profile
+    }
+
+    /// Selection preferences on attributes of `rel`, most critical first.
+    pub fn selections_at(&self, rel: RelId) -> &[PrefId] {
+        self.sel_by_rel.get(&rel).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Join preferences leaving `rel`, highest `c · fc` first.
+    pub fn joins_at(&self, rel: RelId) -> &[PrefId] {
+        self.join_by_rel.get(&rel).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Fake criticality of a preference: 1 for selections (a selection
+    /// path's `c · fc` *is* its criticality), the §4.1 label for joins.
+    pub fn fake_criticality(&self, id: PrefId) -> f64 {
+        match self.profile.get(id) {
+            Preference::Selection(_) => 1.0,
+            Preference::Join(_) => self.fake_crit.get(&id).copied().unwrap_or(0.0),
+        }
+    }
+
+    /// The selection preference behind an id (panics on a join id).
+    pub fn selection(&self, id: PrefId) -> &'p SelectionPreference {
+        self.profile.get(id).as_selection().expect("selection preference id")
+    }
+
+    /// The join preference behind an id (panics on a selection id).
+    pub fn join(&self, id: PrefId) -> &'p JoinPreference {
+        self.profile.get(id).as_join().expect("join preference id")
+    }
+
+    /// Number of value nodes (one per selection preference).
+    pub fn value_node_count(&self) -> usize {
+        self.sel_by_rel.values().map(Vec::len).sum()
+    }
+
+    /// Number of edges (atomic preferences).
+    pub fn edge_count(&self) -> usize {
+        self.profile.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doi::Doi;
+    use crate::preference::CompareOp;
+    use qp_storage::{Attribute, Catalog, DataType, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for (name, attrs) in [
+            ("MOVIE", vec!["mid", "year"]),
+            ("GENRE", vec!["mid", "genre"]),
+            ("PLAY", vec!["tid", "mid"]),
+        ] {
+            let attrs: Vec<Attribute> =
+                attrs.into_iter().map(|a| Attribute::new(a, DataType::Int)).collect();
+            c.add_relation(name, attrs, &[]).unwrap();
+        }
+        c
+    }
+
+    fn rel(c: &Catalog, name: &str) -> RelId {
+        c.relation_by_name(name).unwrap().id
+    }
+
+    #[test]
+    fn adjacency_grouping() {
+        let c = catalog();
+        let mut p = Profile::new();
+        p.add_selection(&c, "MOVIE", "year", CompareOp::Lt, Value::Int(1980), Doi::dislike(0.7).unwrap())
+            .unwrap();
+        p.add_selection(&c, "GENRE", "genre", CompareOp::Eq, Value::Int(1), Doi::presence(0.9).unwrap())
+            .unwrap();
+        p.add_join(&c, ("MOVIE", "mid"), ("GENRE", "mid"), 0.8).unwrap();
+        let g = PersonalizationGraph::build(&p);
+        assert_eq!(g.selections_at(rel(&c, "MOVIE")).len(), 1);
+        assert_eq!(g.selections_at(rel(&c, "GENRE")).len(), 1);
+        assert_eq!(g.joins_at(rel(&c, "MOVIE")).len(), 1);
+        assert!(g.joins_at(rel(&c, "GENRE")).is_empty());
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.value_node_count(), 2);
+    }
+
+    #[test]
+    fn selections_sorted_by_criticality() {
+        let c = catalog();
+        let mut p = Profile::new();
+        let weak = p
+            .add_selection(&c, "MOVIE", "year", CompareOp::Eq, Value::Int(1), Doi::presence(0.2).unwrap())
+            .unwrap();
+        let strong = p
+            .add_selection(&c, "MOVIE", "year", CompareOp::Eq, Value::Int(2), Doi::new(0.9, -0.9).unwrap())
+            .unwrap();
+        let g = PersonalizationGraph::build(&p);
+        assert_eq!(g.selections_at(rel(&c, "MOVIE")), &[strong, weak]);
+    }
+
+    #[test]
+    fn fake_criticality_defaults() {
+        let c = catalog();
+        let mut p = Profile::new();
+        let s = p
+            .add_selection(&c, "MOVIE", "year", CompareOp::Eq, Value::Int(1), Doi::presence(0.2).unwrap())
+            .unwrap();
+        let j = p.add_join(&c, ("MOVIE", "mid"), ("GENRE", "mid"), 0.8).unwrap();
+        let g = PersonalizationGraph::build(&p);
+        assert_eq!(g.fake_criticality(s), 1.0);
+        assert_eq!(g.fake_criticality(j), 0.0); // nothing composable at GENRE
+    }
+}

@@ -1,0 +1,426 @@
+//! Higher-level preference models mapped onto the database schema (§7).
+//!
+//! The paper's ongoing-work section: "user preferences may be articulated
+//! over a higher level graph model representing the data other than the
+//! database schema. This is a useful abstraction for using a profile over
+//! multiple databases with similar information but possibly different
+//! schemas, and for hiding schema restructuring."
+//!
+//! A [`ConceptSchema`] names *concepts* (entities) and *concept
+//! attributes*, each mapped to a relation attribute reachable through a
+//! fixed join path. Profiles written against concepts — `doi(Film.director
+//! = 'W. Allen') = (0.8, 0)` — are transparently expanded into ordinary
+//! schema-level profiles: the path's joins become must-have (degree 1)
+//! join preferences, so the expanded implicit preference keeps exactly
+//! the criticality of the concept-level degree pair.
+
+use std::collections::HashMap;
+
+use qp_sql::lexer::{tokenize, Token};
+use qp_storage::{AttrId, Catalog};
+
+use crate::error::PrefError;
+use crate::preference::{JoinPreference, Preference};
+use crate::profile::Profile;
+
+/// A named attribute pair, e.g. `(("MOVIE", "mid"), ("DIRECTED", "mid"))`.
+pub type NamedStep<'a> = ((&'a str, &'a str), (&'a str, &'a str));
+
+/// One join step of a concept attribute's path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathStep {
+    /// Attribute on the side already reached.
+    pub from: AttrId,
+    /// Attribute on the relation the step brings in.
+    pub to: AttrId,
+}
+
+/// A concept attribute: the schema attribute it denotes plus the join
+/// path leading there from the concept's base relation.
+#[derive(Debug, Clone)]
+pub struct ConceptAttr {
+    /// Join steps from the concept's base relation (empty for direct
+    /// attributes).
+    pub path: Vec<PathStep>,
+    /// The schema attribute the concept attribute denotes.
+    pub attr: AttrId,
+}
+
+/// A concept: a named view of one base relation with renamed/derived
+/// attributes.
+#[derive(Debug, Clone)]
+pub struct Concept {
+    /// Concept name (e.g. `Film`).
+    pub name: String,
+    /// Base relation.
+    pub relation: qp_storage::RelId,
+    attrs: HashMap<String, ConceptAttr>,
+}
+
+/// A higher-level model: a set of concepts over one catalog.
+#[derive(Debug, Clone)]
+pub struct ConceptSchema {
+    concepts: HashMap<String, Concept>,
+}
+
+impl ConceptSchema {
+    /// An empty concept schema.
+    pub fn new() -> Self {
+        ConceptSchema { concepts: HashMap::new() }
+    }
+
+    /// Declares a concept over a base relation.
+    pub fn add_concept(
+        &mut self,
+        catalog: &Catalog,
+        name: impl Into<String>,
+        relation: &str,
+    ) -> Result<(), PrefError> {
+        let name = name.into();
+        let rel = catalog.relation_by_name(relation)?;
+        self.concepts.insert(
+            name.to_ascii_lowercase(),
+            Concept { name, relation: rel.id, attrs: HashMap::new() },
+        );
+        Ok(())
+    }
+
+    /// Declares a *direct* concept attribute: a renamed attribute of the
+    /// concept's base relation.
+    pub fn add_direct_attr(
+        &mut self,
+        catalog: &Catalog,
+        concept: &str,
+        attr_name: impl Into<String>,
+        relation_attr: (&str, &str),
+    ) -> Result<(), PrefError> {
+        let attr = catalog.resolve(relation_attr.0, relation_attr.1)?;
+        let c = self.concept_mut(concept)?;
+        if attr.rel != c.relation {
+            return Err(PrefError::UnsupportedQuery(format!(
+                "direct attribute {}.{} does not belong to the concept's base relation",
+                relation_attr.0, relation_attr.1
+            )));
+        }
+        c.attrs.insert(attr_name.into().to_ascii_lowercase(), ConceptAttr { path: vec![], attr });
+        Ok(())
+    }
+
+    /// Declares a *derived* concept attribute reached through joins, e.g.
+    /// `Film.director` → `MOVIE.mid=DIRECTED.mid, DIRECTED.did=DIRECTOR.did,
+    /// DIRECTOR.name`.
+    pub fn add_path_attr(
+        &mut self,
+        catalog: &Catalog,
+        concept: &str,
+        attr_name: impl Into<String>,
+        path: &[NamedStep<'_>],
+        target: (&str, &str),
+    ) -> Result<(), PrefError> {
+        let mut steps = Vec::with_capacity(path.len());
+        for (from, to) in path {
+            let f = catalog.resolve(from.0, from.1)?;
+            let t = catalog.resolve(to.0, to.1)?;
+            steps.push(PathStep { from: f, to: t });
+        }
+        let attr = catalog.resolve(target.0, target.1)?;
+        let c = self.concept_mut(concept)?;
+        // the path must start at the base relation and chain contiguously
+        let mut at = c.relation;
+        for s in &steps {
+            if s.from.rel != at {
+                return Err(PrefError::UnsupportedQuery(format!(
+                    "path step {:?} does not continue from the previous relation",
+                    s
+                )));
+            }
+            at = s.to.rel;
+        }
+        if attr.rel != at {
+            return Err(PrefError::UnsupportedQuery(
+                "target attribute is not on the path's final relation".to_string(),
+            ));
+        }
+        c.attrs
+            .insert(attr_name.into().to_ascii_lowercase(), ConceptAttr { path: steps, attr });
+        Ok(())
+    }
+
+    fn concept_mut(&mut self, name: &str) -> Result<&mut Concept, PrefError> {
+        self.concepts.get_mut(&name.to_ascii_lowercase()).ok_or_else(|| {
+            PrefError::UnsupportedQuery(format!("unknown concept `{name}`"))
+        })
+    }
+
+    /// Looks a concept attribute up.
+    pub fn resolve(&self, concept: &str, attr: &str) -> Option<&ConceptAttr> {
+        self.concepts
+            .get(&concept.to_ascii_lowercase())?
+            .attrs
+            .get(&attr.to_ascii_lowercase())
+    }
+
+    /// Whether `name` names a concept.
+    pub fn is_concept(&self, name: &str) -> bool {
+        self.concepts.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Parses a profile written against the concept model: every
+    /// `Concept.attr` on the left-hand side of a `doi(...)` line is
+    /// rewritten to its mapped schema attribute, and the path's joins are
+    /// materialized as degree-1 join preferences (added once each).
+    /// Schema-level lines (`REL.attr`) still work unchanged, so concept
+    /// and schema vocabulary can be mixed.
+    pub fn parse_profile(&self, catalog: &Catalog, text: &str) -> Result<Profile, PrefError> {
+        let mut rewritten = String::new();
+        let mut joins: Vec<JoinPreference> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with("--") {
+                rewritten.push('\n');
+                continue;
+            }
+            rewritten.push_str(&self.rewrite_line(catalog, line, lineno + 1, &mut joins)?);
+            rewritten.push('\n');
+        }
+        let mut profile = Profile::new();
+        for j in joins {
+            profile.push(Preference::Join(j));
+        }
+        let parsed = Profile::parse(catalog, &rewritten)?;
+        for (_, pref) in parsed.iter() {
+            profile.push(pref.clone());
+        }
+        Ok(profile)
+    }
+
+    /// Rewrites one `doi(Concept.attr …)` line to schema vocabulary,
+    /// collecting the join preferences its path requires.
+    fn rewrite_line(
+        &self,
+        catalog: &Catalog,
+        line: &str,
+        lineno: usize,
+        joins: &mut Vec<JoinPreference>,
+    ) -> Result<String, PrefError> {
+        let tokens = tokenize(line)
+            .map_err(|e| PrefError::ProfileSyntax { line: lineno, message: e.message })?;
+        // expect: Ident("doi") LParen Ident(entity) Dot Ident(attr) …
+        let (entity, attr, span_start, span_end) = match (
+            tokens.first(),
+            tokens.get(1),
+            tokens.get(2),
+            tokens.get(3),
+            tokens.get(4),
+            tokens.get(5),
+        ) {
+            (
+                Some(t0),
+                Some(t1),
+                Some(t2),
+                Some(t3),
+                Some(t4),
+                Some(t5),
+            ) => match (&t0.token, &t1.token, &t2.token, &t3.token, &t4.token) {
+                (
+                    Token::Ident(doi),
+                    Token::LParen,
+                    Token::Ident(entity),
+                    Token::Dot,
+                    Token::Ident(attr),
+                ) if doi.eq_ignore_ascii_case("doi") => {
+                    (entity.clone(), attr.clone(), t2.offset, t5.offset)
+                }
+                _ => return Ok(line.to_string()),
+            },
+            _ => return Ok(line.to_string()),
+        };
+        if !self.is_concept(&entity) {
+            return Ok(line.to_string());
+        }
+        let mapped = self.resolve(&entity, &attr).ok_or_else(|| PrefError::ProfileSyntax {
+            line: lineno,
+            message: format!("concept `{entity}` has no attribute `{attr}`"),
+        })?;
+        // materialize the path's joins (deduplicated, degree 1 — the
+        // mapping is structural, so it must not dilute criticality)
+        for step in &mapped.path {
+            if !joins.iter().any(|j| j.from == step.from && j.to == step.to) {
+                joins.push(
+                    JoinPreference::new(catalog, step.from, step.to, 1.0)
+                        .expect("validated at declaration"),
+                );
+            }
+        }
+        let schema_name = catalog.attr_name(mapped.attr);
+        Ok(format!("{}{}{}", &line[..span_start], schema_name, &line[span_end..]))
+    }
+}
+
+impl Default for ConceptSchema {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_storage::{Attribute, DataType};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(
+            "MOVIE",
+            vec![
+                Attribute::new("mid", DataType::Int),
+                Attribute::new("title", DataType::Text),
+                Attribute::new("year", DataType::Int),
+            ],
+            &["mid"],
+        )
+        .unwrap();
+        c.add_relation(
+            "DIRECTED",
+            vec![Attribute::new("mid", DataType::Int), Attribute::new("did", DataType::Int)],
+            &["mid", "did"],
+        )
+        .unwrap();
+        c.add_relation(
+            "DIRECTOR",
+            vec![Attribute::new("did", DataType::Int), Attribute::new("name", DataType::Text)],
+            &["did"],
+        )
+        .unwrap();
+        c
+    }
+
+    fn film_schema(c: &Catalog) -> ConceptSchema {
+        let mut s = ConceptSchema::new();
+        s.add_concept(c, "Film", "MOVIE").unwrap();
+        s.add_direct_attr(c, "Film", "released", ("MOVIE", "year")).unwrap();
+        s.add_path_attr(
+            c,
+            "Film",
+            "director",
+            &[(("MOVIE", "mid"), ("DIRECTED", "mid")), (("DIRECTED", "did"), ("DIRECTOR", "did"))],
+            ("DIRECTOR", "name"),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn direct_attribute_maps() {
+        let c = catalog();
+        let s = film_schema(&c);
+        let p = s.parse_profile(&c, "doi(Film.released < 1980) = (-0.7, 0)\n").unwrap();
+        assert_eq!(p.selections().count(), 1);
+        assert_eq!(p.joins().count(), 0);
+        let (_, sel) = p.selections().next().unwrap();
+        assert_eq!(c.attr_name(sel.attr), "MOVIE.year");
+    }
+
+    #[test]
+    fn path_attribute_expands_joins() {
+        let c = catalog();
+        let s = film_schema(&c);
+        let p = s
+            .parse_profile(&c, "doi(Film.director = 'W. Allen') = (0.8, 0)\n")
+            .unwrap();
+        assert_eq!(p.selections().count(), 1);
+        assert_eq!(p.joins().count(), 2);
+        let (_, sel) = p.selections().next().unwrap();
+        assert_eq!(c.attr_name(sel.attr), "DIRECTOR.name");
+        // every materialized join is must-have
+        for (_, j) in p.joins() {
+            assert_eq!(j.degree, 1.0);
+        }
+    }
+
+    #[test]
+    fn joins_deduplicated_across_preferences() {
+        let c = catalog();
+        let s = film_schema(&c);
+        let p = s
+            .parse_profile(
+                &c,
+                "doi(Film.director = 'W. Allen') = (0.8, 0)\n\
+                 doi(Film.director = 'M. Mann') = (0.4, 0)\n",
+            )
+            .unwrap();
+        assert_eq!(p.selections().count(), 2);
+        assert_eq!(p.joins().count(), 2); // shared path, added once
+    }
+
+    #[test]
+    fn schema_vocabulary_still_accepted() {
+        let c = catalog();
+        let s = film_schema(&c);
+        let p = s
+            .parse_profile(
+                &c,
+                "doi(Film.released >= 1990) = (0.6, 0)\n\
+                 doi(MOVIE.year < 1950) = (-0.4, 0)\n",
+            )
+            .unwrap();
+        assert_eq!(p.selections().count(), 2);
+    }
+
+    #[test]
+    fn unknown_concept_attribute_errors() {
+        let c = catalog();
+        let s = film_schema(&c);
+        let err = s.parse_profile(&c, "doi(Film.nosuch = 1) = (0.5, 0)\n");
+        assert!(matches!(err, Err(PrefError::ProfileSyntax { .. })));
+    }
+
+    #[test]
+    fn path_must_chain() {
+        let c = catalog();
+        let mut s = ConceptSchema::new();
+        s.add_concept(&c, "Film", "MOVIE").unwrap();
+        // path starting from the wrong relation
+        let err = s.add_path_attr(
+            &c,
+            "Film",
+            "director",
+            &[(("DIRECTED", "did"), ("DIRECTOR", "did"))],
+            ("DIRECTOR", "name"),
+        );
+        assert!(err.is_err());
+        // target off the path
+        let err = s.add_path_attr(
+            &c,
+            "Film",
+            "director",
+            &[(("MOVIE", "mid"), ("DIRECTED", "mid"))],
+            ("DIRECTOR", "name"),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn mapped_profile_keeps_criticality() {
+        // the mapping must not dilute criticality: degree-1 joins make
+        // the implicit preference exactly as critical as the concept-level
+        // degree pair
+        let c = catalog();
+        let s = film_schema(&c);
+        let p = s.parse_profile(&c, "doi(Film.director = 'W. Allen') = (0.8, 0)\n").unwrap();
+        let graph = crate::graph::PersonalizationGraph::build(&p);
+        let q = crate::select::QueryContext::from_query(
+            &c,
+            &qp_sql::parse_query("select title from MOVIE").unwrap(),
+        )
+        .unwrap();
+        let out = crate::select::fakecrit::fakecrit(
+            &graph,
+            &q,
+            crate::select::SelectionCriterion::TopK(5),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!((out[0].criticality - 0.8).abs() < 1e-12);
+    }
+}

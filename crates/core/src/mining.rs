@@ -1,0 +1,445 @@
+//! Semi-automatic profile construction (§7).
+//!
+//! The conclusions list "how various profiling methods proposed in the
+//! literature may be adapted for (semi-)automatic construction of user
+//! profiles" as ongoing work (citing preference mining, [10]). This
+//! module implements a frequency-lift miner over tuple-level feedback:
+//!
+//! 1. candidate attributes are discovered by walking the schema graph
+//!    from the feedback relation up to a configurable depth;
+//! 2. for every categorical `(attribute, value)` the miner compares the
+//!    value's frequency among *liked* tuples against its frequency across
+//!    all feedback — the lift becomes the degree of interest (negative
+//!    lift on disliked tuples becomes a negative preference);
+//! 3. numeric attributes whose liked values cluster produce *elastic*
+//!    preferences centered on the liked mean;
+//! 4. join preferences are emitted for every path used, weighted by how
+//!    often the relationship actually connects liked tuples.
+//!
+//! The output is an ordinary [`Profile`], immediately usable by the
+//! selection algorithms.
+
+use std::collections::HashMap;
+
+use qp_storage::{AttrId, Database, DomainKind, RelId, RowId, Value};
+
+use crate::doi::{Degree, Doi};
+use crate::elastic::ElasticFunction;
+use crate::error::PrefError;
+use crate::preference::{CompareOp, JoinPreference, Preference, SelectionPreference};
+use crate::profile::Profile;
+
+/// Tuple-level feedback: the user liked or disliked a row of the anchor
+/// relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Feedback {
+    /// The row judged.
+    pub row: RowId,
+    /// Liked (true) or explicitly disliked (false).
+    pub liked: bool,
+}
+
+/// Mining parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinerConfig {
+    /// Maximum join-path depth explored from the anchor relation.
+    pub max_depth: usize,
+    /// Minimum occurrences among liked (or disliked) tuples before a
+    /// value becomes a candidate.
+    pub min_support: usize,
+    /// Minimum absolute lift before a preference is emitted.
+    pub min_lift: f64,
+    /// Maximum number of selection preferences emitted (most significant
+    /// first).
+    pub max_preferences: usize,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        MinerConfig { max_depth: 2, min_support: 3, min_lift: 0.15, max_preferences: 20 }
+    }
+}
+
+/// A join path from the anchor relation.
+type Path = Vec<(AttrId, AttrId)>;
+
+/// Mines a profile from feedback on rows of `anchor_relation`.
+pub fn mine_profile(
+    db: &Database,
+    anchor_relation: &str,
+    feedback: &[Feedback],
+    config: &MinerConfig,
+) -> Result<Profile, PrefError> {
+    let catalog = db.catalog();
+    let anchor = catalog.relation_by_name(anchor_relation)?.id;
+
+    // --- enumerate candidate paths (BFS over the schema graph) ---------
+    let mut paths: Vec<Path> = vec![vec![]];
+    let mut frontier: Vec<(RelId, Path)> = vec![(anchor, vec![])];
+    for _ in 0..config.max_depth {
+        let mut next = Vec::new();
+        for (rel, path) in &frontier {
+            for fk in catalog.join_edges_from(*rel) {
+                // acyclic: no revisiting relations on the path
+                let visited: Vec<RelId> = std::iter::once(anchor)
+                    .chain(path.iter().map(|(_, t): &(AttrId, AttrId)| t.rel))
+                    .collect();
+                if visited.contains(&fk.to.rel) {
+                    continue;
+                }
+                let mut p = path.clone();
+                p.push((fk.from, fk.to));
+                next.push((fk.to.rel, p.clone()));
+                paths.push(p);
+            }
+        }
+        frontier = next;
+    }
+
+    // attributes that serve as join endpoints are identifiers — they
+    // connect entities rather than describe them, so no preference is
+    // mined on them
+    let join_attrs: std::collections::HashSet<AttrId> = catalog
+        .join_edges()
+        .iter()
+        .flat_map(|fk| [fk.from, fk.to])
+        .collect();
+
+    // --- per-feedback value extraction ---------------------------------
+    // stats[(path index, attr)] -> value -> (liked count, total count)
+    let mut cat_stats: HashMap<(usize, AttrId), HashMap<Value, (usize, usize)>> = HashMap::new();
+    // numeric liked samples per (path index, attr)
+    let mut num_liked: HashMap<(usize, AttrId), Vec<f64>> = HashMap::new();
+    // join-edge coverage: per path index, how many feedback rows reach it
+    let mut path_hits: HashMap<usize, usize> = HashMap::new();
+    let n_liked = feedback.iter().filter(|f| f.liked).count();
+    let n_total = feedback.len();
+    if n_liked == 0 {
+        return Ok(Profile::new());
+    }
+
+    for fb in feedback {
+        for (pi, path) in paths.iter().enumerate() {
+            let rows = follow_path(db, anchor, fb.row, path);
+            if rows.is_empty() {
+                continue;
+            }
+            *path_hits.entry(pi).or_insert(0) += 1;
+            let end_rel = path.last().map(|(_, t)| t.rel).unwrap_or(anchor);
+            let relation = catalog.relation(end_rel);
+            for (ai, attr_def) in relation.attributes.iter().enumerate() {
+                let attr = AttrId::new(end_rel, ai as u32);
+                // skip unique columns and join endpoints: row and link
+                // identifiers carry no preference signal (composite-key
+                // members like GENRE.genre do, and stay in)
+                if relation.attr_is_unique(ai) || join_attrs.contains(&attr) {
+                    continue;
+                }
+                for row in &rows {
+                    let v = &db.table(end_rel).get(*row).expect("row exists")[ai];
+                    if v.is_null() {
+                        continue;
+                    }
+                    match attr_def.domain {
+                        DomainKind::Categorical => {
+                            let e = cat_stats
+                                .entry((pi, attr))
+                                .or_default()
+                                .entry(v.clone())
+                                .or_insert((0, 0));
+                            if fb.liked {
+                                e.0 += 1;
+                            }
+                            e.1 += 1;
+                        }
+                        DomainKind::Numeric => {
+                            if fb.liked {
+                                if let Some(x) = v.as_f64() {
+                                    num_liked.entry((pi, attr)).or_default().push(x);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- score candidates ----------------------------------------------
+    struct Candidate {
+        path_idx: usize,
+        pref: SelectionPreference,
+        score: f64,
+    }
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let base_rate = n_liked as f64 / n_total as f64;
+    for ((pi, attr), values) in &cat_stats {
+        for (value, (liked, total)) in values {
+            if *total < config.min_support {
+                continue;
+            }
+            // lift of "liked" given the value, against the base like rate
+            let rate = *liked as f64 / *total as f64;
+            let lift = rate - base_rate;
+            if lift.abs() < config.min_lift {
+                continue;
+            }
+            let degree = lift.clamp(-0.95, 0.95);
+            let doi = if degree > 0.0 {
+                Doi::presence(degree).expect("in range")
+            } else {
+                Doi::dislike(-degree).expect("in range")
+            };
+            let pref = SelectionPreference::new(
+                catalog,
+                *attr,
+                CompareOp::Eq,
+                value.clone(),
+                doi,
+            )?;
+            candidates.push(Candidate {
+                path_idx: *pi,
+                pref,
+                score: lift.abs() * (*total as f64).sqrt(),
+            });
+        }
+    }
+    // numeric: liked values clustering tightly become elastic preferences
+    for ((pi, attr), samples) in &num_liked {
+        if samples.len() < config.min_support.max(2) {
+            continue;
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let std = var.sqrt();
+        // compare against the column's overall spread: clustered likes
+        // indicate a real preference
+        let hist = db.histogram(*attr);
+        let spread = column_spread(db, *attr);
+        let _ = hist;
+        if spread <= 0.0 || std >= spread * 0.5 {
+            continue;
+        }
+        let confidence = (1.0 - std / (spread * 0.5)).clamp(0.0, 1.0);
+        let peak = (0.3 + 0.6 * confidence).min(0.95);
+        let width = (2.0 * std).max(spread * 0.05);
+        let doi = Doi::new(
+            Degree::Elastic(ElasticFunction::triangular(mean, width, peak)?),
+            Degree::Exact(0.0),
+        )?;
+        let pref = SelectionPreference::new(
+            catalog,
+            *attr,
+            CompareOp::Eq,
+            Value::Float(mean),
+            doi,
+        )?;
+        candidates.push(Candidate { path_idx: *pi, pref, score: peak * n.sqrt() });
+    }
+
+    candidates.sort_by(|a, b| b.score.total_cmp(&a.score));
+    candidates.truncate(config.max_preferences);
+
+    // --- emit: joins (deduplicated, coverage-weighted) then selections --
+    let mut profile = Profile::new();
+    let mut emitted_joins: Vec<(AttrId, AttrId)> = Vec::new();
+    for c in &candidates {
+        for (from, to) in &paths[c.path_idx] {
+            if !emitted_joins.contains(&(*from, *to)) {
+                emitted_joins.push((*from, *to));
+                let coverage = *path_hits.get(&c.path_idx).unwrap_or(&0) as f64 / n_total as f64;
+                let degree = coverage.clamp(0.3, 1.0);
+                profile.push(Preference::Join(JoinPreference::new(catalog, *from, *to, degree)?));
+            }
+        }
+    }
+    for c in candidates {
+        profile.push(Preference::Selection(c.pref));
+    }
+    Ok(profile)
+}
+
+/// Rows of the path's terminal relation reachable from `start`.
+fn follow_path(db: &Database, anchor: RelId, start: RowId, path: &Path) -> Vec<RowId> {
+    let mut current: Vec<(RelId, RowId)> = vec![(anchor, start)];
+    for (from, to) in path {
+        let mut next = Vec::new();
+        let index = db.index(*to);
+        for (rel, row) in &current {
+            debug_assert_eq!(*rel, from.rel);
+            let v = &db.table(*rel).get(*row).expect("row exists")[from.idx as usize];
+            if v.is_null() {
+                continue;
+            }
+            for hit in index.lookup(v) {
+                next.push((to.rel, *hit));
+            }
+        }
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    current.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A robust spread estimate for a numeric column (max − min).
+fn column_spread(db: &Database, attr: AttrId) -> f64 {
+    let table = db.table(attr.rel);
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in table.column(attr.idx as usize) {
+        if let Some(x) = v.as_f64() {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+    }
+    if hi > lo {
+        hi - lo
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_storage::Attribute;
+    use qp_storage::DataType;
+
+    /// MOVIE(mid, year, duration) —< GENRE(mid, genre); user likes
+    /// comedies around 100 minutes, dislikes horror.
+    fn setup() -> (Database, Vec<Feedback>) {
+        let mut db = Database::new();
+        db.create_relation(
+            "MOVIE",
+            vec![
+                Attribute::new("mid", DataType::Int),
+                Attribute::new("year", DataType::Int),
+                Attribute::new("duration", DataType::Int),
+            ],
+            &["mid"],
+        )
+        .unwrap();
+        db.create_relation(
+            "GENRE",
+            vec![Attribute::new("mid", DataType::Int), Attribute::new("genre", DataType::Text)],
+            &["mid", "genre"],
+        )
+        .unwrap();
+        db.catalog_mut().add_join_edge_by_name("MOVIE", "mid", "GENRE", "mid").unwrap();
+        // 40 movies: even = comedy ~100min, odd = horror ~150min
+        for mid in 0..40i64 {
+            let (genre, dur) = if mid % 2 == 0 { ("comedy", 95 + mid % 10) } else { ("horror", 145 + mid % 10) };
+            db.insert_by_name(
+                "MOVIE",
+                vec![Value::Int(mid), Value::Int(1990 + mid % 20), Value::Int(dur)],
+            )
+            .unwrap();
+            db.insert_by_name("GENRE", vec![Value::Int(mid), Value::str(genre)]).unwrap();
+        }
+        // likes all comedies, dislikes all horror
+        let feedback: Vec<Feedback> = (0..40u64)
+            .map(|i| Feedback { row: RowId(i), liked: i % 2 == 0 })
+            .collect();
+        (db, feedback)
+    }
+
+    #[test]
+    fn mines_positive_and_negative_genre_preferences() {
+        let (db, feedback) = setup();
+        let profile = mine_profile(&db, "MOVIE", &feedback, &MinerConfig::default()).unwrap();
+        let catalog = db.catalog();
+        let mut found_comedy = false;
+        let mut found_horror = false;
+        for (_, s) in profile.selections() {
+            if catalog.attr_name(s.attr) == "GENRE.genre" {
+                match s.condition.value.as_str() {
+                    Some("comedy") => {
+                        found_comedy = true;
+                        assert!(s.is_presence(), "comedy should be liked");
+                        assert!(s.doi.d_plus_peak() > 0.2);
+                    }
+                    Some("horror") => {
+                        found_horror = true;
+                        assert!(!s.is_presence(), "horror should be disliked");
+                        assert!(s.doi.d_minus_peak() > 0.2);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(found_comedy, "comedy preference not mined: {}", profile.to_dsl(catalog));
+        assert!(found_horror, "horror dislike not mined: {}", profile.to_dsl(catalog));
+        // the MOVIE→GENRE join was materialized
+        assert!(profile.joins().count() >= 1);
+    }
+
+    #[test]
+    fn mines_elastic_duration_preference() {
+        let (db, feedback) = setup();
+        let profile = mine_profile(&db, "MOVIE", &feedback, &MinerConfig::default()).unwrap();
+        let elastic: Vec<_> = profile
+            .selections()
+            .filter(|(_, s)| s.doi.is_elastic())
+            .map(|(_, s)| s.clone())
+            .collect();
+        assert!(!elastic.is_empty(), "no elastic preference mined");
+        let dur = elastic
+            .iter()
+            .find(|s| db.catalog().attr_name(s.attr) == "MOVIE.duration")
+            .expect("duration preference");
+        let e = dur.satisfaction_elastic();
+        assert!((e.center - 99.5).abs() < 5.0, "center {} should be near 100", e.center);
+        assert!(e.peak > 0.0);
+    }
+
+    #[test]
+    fn mined_profile_is_usable_for_selection() {
+        let (db, feedback) = setup();
+        let profile = mine_profile(&db, "MOVIE", &feedback, &MinerConfig::default()).unwrap();
+        let graph = crate::graph::PersonalizationGraph::build(&profile);
+        let q = crate::select::QueryContext::from_query(
+            db.catalog(),
+            &qp_sql::parse_query("select year from MOVIE").unwrap(),
+        )
+        .unwrap();
+        let out = crate::select::fakecrit::fakecrit(
+            &graph,
+            &q,
+            crate::select::SelectionCriterion::TopK(5),
+        )
+        .unwrap();
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn empty_feedback_yields_empty_profile() {
+        let (db, _) = setup();
+        let profile = mine_profile(&db, "MOVIE", &[], &MinerConfig::default()).unwrap();
+        assert!(profile.is_empty());
+        // all-dislikes also mines nothing positive
+        let all_bad: Vec<Feedback> =
+            (0..10u64).map(|i| Feedback { row: RowId(i), liked: false }).collect();
+        let profile = mine_profile(&db, "MOVIE", &all_bad, &MinerConfig::default()).unwrap();
+        assert!(profile.is_empty());
+    }
+
+    #[test]
+    fn respects_max_preferences() {
+        let (db, feedback) = setup();
+        let config = MinerConfig { max_preferences: 1, ..Default::default() };
+        let profile = mine_profile(&db, "MOVIE", &feedback, &config).unwrap();
+        assert!(profile.selections().count() <= 1);
+    }
+
+    #[test]
+    fn min_support_filters_rare_values() {
+        let (db, feedback) = setup();
+        let config = MinerConfig { min_support: 1000, ..Default::default() };
+        let profile = mine_profile(&db, "MOVIE", &feedback, &config).unwrap();
+        // no categorical value reaches support 1000
+        assert!(profile.selections().all(|(_, s)| s.doi.is_elastic()));
+    }
+}

@@ -1,0 +1,217 @@
+//! The high-level personalization façade.
+//!
+//! Ties the three phases of query personalization together (§1):
+//! *preference selection* (top-K preferences from the profile related to
+//! the query), *preference integration* (sub-query construction), and
+//! *personalized answer* generation (SPA or PPA, satisfying at least L of
+//! the K preferences, ranked by a configurable ranking function).
+
+use std::time::{Duration, Instant};
+
+use qp_exec::Engine;
+use qp_sql::{parse_query, Query};
+use qp_storage::Database;
+
+use crate::answer::ppa::{ppa, PpaStats};
+use crate::answer::spa::spa;
+use crate::answer::PersonalizedAnswer;
+use crate::error::PrefError;
+use crate::graph::PersonalizationGraph;
+use crate::profile::Profile;
+use crate::ranking::Ranking;
+use crate::select::{
+    doi_based::doi_based, fakecrit::fakecrit, sps::sps, QueryContext, SelectedPreference,
+    SelectionCriterion,
+};
+
+/// Which preference-selection algorithm to run (§4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectionAlgorithm {
+    /// FakeCrit (Figure 5) — the default.
+    FakeCrit,
+    /// The simple algorithm with the worst-case mcsu bound.
+    Sps,
+    /// §4.2: select until results are guaranteed a minimum doi.
+    DoiBased {
+        /// Desired minimum doi of results.
+        d_r: f64,
+        /// Estimated number of related preferences (`None` → profile
+        /// size).
+        n_estimate: Option<usize>,
+    },
+}
+
+/// Which answer-generation algorithm to run (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnswerAlgorithm {
+    /// Single-statement query rewriting.
+    Spa,
+    /// Progressive evaluation with MEDI-driven emission.
+    Ppa,
+}
+
+/// Personalization parameters: K (via the selection criterion), L, the
+/// ranking function, and algorithm choices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PersonalizationOptions {
+    /// Criterion bounding the selected preferences (K).
+    pub criterion: SelectionCriterion,
+    /// Minimum number of selected preferences a returned tuple must
+    /// satisfy (L ≤ K).
+    pub l: usize,
+    /// Ranking function for degrees of interest.
+    pub ranking: Ranking,
+    /// Answer generation algorithm.
+    pub algorithm: AnswerAlgorithm,
+    /// Preference selection algorithm.
+    pub selection: SelectionAlgorithm,
+}
+
+impl Default for PersonalizationOptions {
+    /// `K = 10, L = 2` (the paper's empirical evaluation used `L = 2`),
+    /// inflationary/count-weighted ranking, FakeCrit + PPA.
+    fn default() -> Self {
+        PersonalizationOptions {
+            criterion: SelectionCriterion::TopK(10),
+            l: 2,
+            ranking: Ranking::default(),
+            algorithm: AnswerAlgorithm::Ppa,
+            selection: SelectionAlgorithm::FakeCrit,
+        }
+    }
+}
+
+/// The result of personalizing one query.
+#[derive(Debug, Clone)]
+pub struct PersonalizationReport {
+    /// The ranked (and, for PPA, self-explanatory) answer.
+    pub answer: PersonalizedAnswer,
+    /// The preferences that were selected and integrated, in criticality
+    /// order. [`crate::answer::PersonalizedTuple::satisfied`] indexes into
+    /// this list.
+    pub selected: Vec<SelectedPreference>,
+    /// Time spent in preference selection.
+    pub selection_time: Duration,
+    /// Time spent generating the answer.
+    pub execution_time: Duration,
+    /// Time to first emitted tuple (PPA only).
+    pub first_response: Option<Duration>,
+    /// PPA work counters, when PPA ran.
+    pub ppa_stats: Option<PpaStats>,
+}
+
+/// The personalization engine: owns a query engine (UDF registrations for
+/// elastic preferences and ranking functions land there) and borrows the
+/// database.
+pub struct Personalizer<'db> {
+    db: &'db Database,
+    engine: Engine,
+}
+
+impl<'db> Personalizer<'db> {
+    /// Creates a personalizer over a database.
+    pub fn new(db: &'db Database) -> Self {
+        Personalizer { db, engine: Engine::new() }
+    }
+
+    /// The underlying query engine (e.g. to run non-personalized SQL for
+    /// comparison).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The database.
+    pub fn db(&self) -> &'db Database {
+        self.db
+    }
+
+    /// Personalizes a SQL string.
+    pub fn personalize_sql(
+        &mut self,
+        profile: &Profile,
+        sql: &str,
+        options: &PersonalizationOptions,
+    ) -> Result<PersonalizationReport, PrefError> {
+        let query = parse_query(sql)?;
+        self.personalize(profile, &query, options)
+    }
+
+    /// Runs only the preference-selection phase.
+    pub fn select_preferences(
+        &self,
+        profile: &Profile,
+        query: &Query,
+        options: &PersonalizationOptions,
+    ) -> Result<Vec<SelectedPreference>, PrefError> {
+        let graph = PersonalizationGraph::build(profile);
+        let qc = QueryContext::from_query(self.db.catalog(), query)?;
+        match options.selection {
+            SelectionAlgorithm::FakeCrit => fakecrit(&graph, &qc, options.criterion),
+            SelectionAlgorithm::Sps => sps(&graph, &qc, options.criterion),
+            SelectionAlgorithm::DoiBased { d_r, n_estimate } => {
+                doi_based(&graph, &qc, d_r, &options.ranking, n_estimate)
+            }
+        }
+    }
+
+    /// Personalizes a parsed query: selects preferences, integrates them,
+    /// and generates the ranked answer.
+    pub fn personalize(
+        &mut self,
+        profile: &Profile,
+        query: &Query,
+        options: &PersonalizationOptions,
+    ) -> Result<PersonalizationReport, PrefError> {
+        let t0 = Instant::now();
+        let selected = self.select_preferences(profile, query, options)?;
+        let selection_time = t0.elapsed();
+
+        if selected.is_empty() {
+            // nothing related to this query: the answer is the plain query
+            let rs = self.engine.execute(self.db, query)?;
+            return Ok(PersonalizationReport {
+                answer: PersonalizedAnswer {
+                    columns: rs.columns,
+                    tuples: rs
+                        .rows
+                        .into_iter()
+                        .map(|row| crate::answer::PersonalizedTuple {
+                            tuple_id: None,
+                            row,
+                            doi: 0.0,
+                            satisfied: vec![],
+                            failed: vec![],
+                        })
+                        .collect(),
+                },
+                selected,
+                selection_time,
+                execution_time: t0.elapsed() - selection_time,
+                first_response: None,
+                ppa_stats: None,
+            });
+        }
+
+        let l = options.l.min(selected.len()).max(1);
+        let t1 = Instant::now();
+        let (answer, first_response, ppa_stats) = match options.algorithm {
+            AnswerAlgorithm::Spa => {
+                let a = spa(self.db, &mut self.engine, query, profile, &selected, l, &options.ranking)?;
+                (a, None, None)
+            }
+            AnswerAlgorithm::Ppa => {
+                let (a, st) =
+                    ppa(self.db, &mut self.engine, query, profile, &selected, l, &options.ranking)?;
+                (a, st.first_response, Some(st))
+            }
+        };
+        Ok(PersonalizationReport {
+            answer,
+            selected,
+            selection_time,
+            execution_time: t1.elapsed(),
+            first_response,
+            ppa_stats,
+        })
+    }
+}

@@ -1,0 +1,455 @@
+//! Atomic preferences (§3.1).
+//!
+//! Preferences are stored at the level of atomic query elements: *atomic
+//! selection preferences* (a condition on an attribute, plus the doi pair)
+//! and *atomic join preferences* (a directed join between two attributes,
+//! plus a degree in `[0, 1]` expressing how much the left relation's
+//! results should be influenced by the right one).
+
+use qp_sql::{builder, BinaryOp, Expr};
+use qp_storage::{AttrId, Catalog, DomainKind, Value};
+
+use crate::doi::Doi;
+use crate::error::PrefError;
+
+/// Identifier of a preference within a [`crate::Profile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PrefId(pub usize);
+
+/// Comparison operators usable in atomic selection conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CompareOp {
+    /// The SQL operator.
+    pub fn to_sql(self) -> BinaryOp {
+        match self {
+            CompareOp::Eq => BinaryOp::Eq,
+            CompareOp::Neq => BinaryOp::Neq,
+            CompareOp::Lt => BinaryOp::Lt,
+            CompareOp::Le => BinaryOp::Le,
+            CompareOp::Gt => BinaryOp::Gt,
+            CompareOp::Ge => BinaryOp::Ge,
+        }
+    }
+
+    /// The logical negation (used for 1–1 absence sub-queries, §5: "the
+    /// only difference is the change of the condition's operator").
+    pub fn negate(self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::Neq,
+            CompareOp::Neq => CompareOp::Eq,
+            CompareOp::Lt => CompareOp::Ge,
+            CompareOp::Le => CompareOp::Gt,
+            CompareOp::Gt => CompareOp::Le,
+            CompareOp::Ge => CompareOp::Lt,
+        }
+    }
+
+    /// Evaluates the comparison on two values (used for conflict checks).
+    pub fn eval(self, left: &Value, right: &Value) -> Option<bool> {
+        let ord = left.sql_cmp(right)?;
+        Some(match self {
+            CompareOp::Eq => ord.is_eq(),
+            CompareOp::Neq => ord.is_ne(),
+            CompareOp::Lt => ord.is_lt(),
+            CompareOp::Le => ord.is_le(),
+            CompareOp::Gt => ord.is_gt(),
+            CompareOp::Ge => ord.is_ge(),
+        })
+    }
+}
+
+/// The condition of an atomic selection preference. Elasticity is not a
+/// property of the condition but of the [`Doi`] attached to it (the paper
+/// writes `doi(MOVIE.duration = '2h') = (e(0.7), e(−0.5))`): an elastic
+/// doi makes the nominally exact equality approximately satisfiable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelCondition {
+    /// Comparison operator.
+    pub op: CompareOp,
+    /// Comparison value.
+    pub value: Value,
+}
+
+/// An atomic selection preference: condition + doi.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionPreference {
+    /// The attribute the condition constrains.
+    pub attr: AttrId,
+    /// The atomic selection condition.
+    pub condition: SelCondition,
+    /// The degree-of-interest pair.
+    pub doi: Doi,
+}
+
+impl SelectionPreference {
+    /// Creates a validated selection preference. Elastic dois require a
+    /// numeric attribute domain (§3.1) and an equality condition on a
+    /// numeric value.
+    pub fn new(
+        catalog: &Catalog,
+        attr: AttrId,
+        op: CompareOp,
+        value: Value,
+        doi: Doi,
+    ) -> Result<Self, PrefError> {
+        let attribute = catalog.attribute(attr);
+        if doi.is_elastic() {
+            if attribute.domain != DomainKind::Numeric {
+                return Err(PrefError::ElasticOnCategorical(catalog.attr_name(attr)));
+            }
+            if op != CompareOp::Eq || value.as_f64().is_none() {
+                return Err(PrefError::ElasticOnCategorical(format!(
+                    "{} (elastic preferences require `= <numeric>` conditions)",
+                    catalog.attr_name(attr)
+                )));
+            }
+        }
+        Ok(SelectionPreference { attr, condition: SelCondition { op, value }, doi })
+    }
+
+    /// Degree of criticality (formula 7).
+    pub fn criticality(&self) -> f64 {
+        self.doi.criticality()
+    }
+
+    /// Whether satisfaction means the condition *holds* (presence-type) or
+    /// *fails* (absence-type), per §3.3.
+    pub fn is_presence(&self) -> bool {
+        self.doi.is_presence()
+    }
+
+    /// The SQL expression testing the *satisfaction region* of the
+    /// preference, on the given binding. Exact presence → the condition
+    /// itself; exact absence → the negated condition; elastic → a
+    /// `BETWEEN` over the elastic support (§5's translation rule).
+    pub fn satisfaction_expr(&self, binding: &str, attr_name: &str) -> Expr {
+        let col = builder::col(binding, attr_name);
+        if self.doi.is_elastic() {
+            let elastic = self.satisfaction_elastic();
+            let (lo, hi) = elastic.support();
+            if self.is_presence() {
+                builder::between(col, builder::float(lo), builder::float(hi))
+            } else {
+                builder::not_between(col, builder::float(lo), builder::float(hi))
+            }
+        } else {
+            let op =
+                if self.is_presence() { self.condition.op } else { self.condition.op.negate() };
+            builder::binary(col, op.to_sql(), value_to_literal(&self.condition.value))
+        }
+    }
+
+    /// The SQL expression testing the *failure region* (used by PPA's
+    /// absence queries, which are "formulated as if they corresponded to
+    /// presence preferences").
+    pub fn failure_expr(&self, binding: &str, attr_name: &str) -> Expr {
+        let col = builder::col(binding, attr_name);
+        if self.doi.is_elastic() {
+            let elastic = self.satisfaction_elastic();
+            let (lo, hi) = elastic.support();
+            if self.is_presence() {
+                builder::not_between(col, builder::float(lo), builder::float(hi))
+            } else {
+                builder::between(col, builder::float(lo), builder::float(hi))
+            }
+        } else {
+            let op =
+                if self.is_presence() { self.condition.op.negate() } else { self.condition.op };
+            builder::binary(col, op.to_sql(), value_to_literal(&self.condition.value))
+        }
+    }
+
+    /// The elastic function giving the per-value satisfaction degree. For
+    /// presence preferences that is `dT`'s function; for absence
+    /// preferences `dF`'s. Falls back to whichever side is elastic.
+    pub fn satisfaction_elastic(&self) -> &crate::elastic::ElasticFunction {
+        use crate::doi::Degree;
+        let primary = if self.is_presence() { &self.doi.on_true } else { &self.doi.on_false };
+        if let Degree::Elastic(e) = primary {
+            return e;
+        }
+        let secondary = if self.is_presence() { &self.doi.on_false } else { &self.doi.on_true };
+        if let Degree::Elastic(e) = secondary {
+            return e;
+        }
+        panic!("satisfaction_elastic called on an exact preference");
+    }
+
+    /// The satisfaction degree `d⁺` for a tuple whose attribute value is
+    /// `v` (`None` when the value is unavailable or non-numeric, in which
+    /// case the peak is used).
+    pub fn d_plus_for(&self, v: Option<f64>) -> f64 {
+        match v {
+            Some(v) if self.doi.is_elastic() => self.doi.d_plus_at(v),
+            _ => self.doi.d_plus_peak(),
+        }
+    }
+
+    /// The failure degree `d⁻` (as stored: non-positive). Elastic failure
+    /// degrees use the peak magnitude — a tuple outside the satisfaction
+    /// region misses the preferred region entirely.
+    pub fn d_minus(&self) -> f64 {
+        -self.doi.d_minus_peak()
+    }
+}
+
+/// An atomic join preference: `doi(from = to) = (d)`, `d ∈ [0, 1]`,
+/// *directed* — "a join preference expresses the dependence of the left
+/// part of the join on the right part" (§3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinPreference {
+    /// Attribute of the relation already in the query.
+    pub from: AttrId,
+    /// Attribute of the relation the join would bring in.
+    pub to: AttrId,
+    /// Degree of interest in the join, `[0, 1]`.
+    pub degree: f64,
+}
+
+impl JoinPreference {
+    /// Creates a validated join preference.
+    pub fn new(catalog: &Catalog, from: AttrId, to: AttrId, degree: f64) -> Result<Self, PrefError> {
+        if !(0.0..=1.0).contains(&degree) || !degree.is_finite() {
+            return Err(PrefError::JoinDegreeOutOfRange(degree));
+        }
+        let tf = catalog.attribute(from).data_type;
+        let tt = catalog.attribute(to).data_type;
+        if tf != tt {
+            return Err(PrefError::Storage(qp_storage::StorageError::InvalidForeignKey(
+                format!(
+                    "join preference between {} ({tf}) and {} ({tt})",
+                    catalog.attr_name(from),
+                    catalog.attr_name(to)
+                ),
+            )));
+        }
+        Ok(JoinPreference { from, to, degree })
+    }
+
+    /// Criticality of a join preference: the failure doi is taken as 0
+    /// (§3.4), so `c = d`.
+    pub fn criticality(&self) -> f64 {
+        self.degree
+    }
+}
+
+/// An atomic preference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Preference {
+    /// A selection preference.
+    Selection(SelectionPreference),
+    /// A join preference.
+    Join(JoinPreference),
+}
+
+impl Preference {
+    /// Degree of criticality.
+    pub fn criticality(&self) -> f64 {
+        match self {
+            Preference::Selection(s) => s.criticality(),
+            Preference::Join(j) => j.criticality(),
+        }
+    }
+
+    /// The selection preference, if any.
+    pub fn as_selection(&self) -> Option<&SelectionPreference> {
+        match self {
+            Preference::Selection(s) => Some(s),
+            Preference::Join(_) => None,
+        }
+    }
+
+    /// The join preference, if any.
+    pub fn as_join(&self) -> Option<&JoinPreference> {
+        match self {
+            Preference::Join(j) => Some(j),
+            Preference::Selection(_) => None,
+        }
+    }
+}
+
+/// Converts a storage value into a SQL literal expression.
+pub(crate) fn value_to_literal(v: &Value) -> Expr {
+    use qp_sql::Literal;
+    Expr::Literal(match v {
+        Value::Null => Literal::Null,
+        Value::Int(i) => Literal::Int(*i),
+        Value::Float(x) => Literal::Float(*x),
+        Value::Str(s) => Literal::Str(s.to_string()),
+        Value::Bool(b) => Literal::Bool(*b),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doi::Degree;
+    use crate::elastic::ElasticFunction;
+    use qp_storage::{Attribute, DataType};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(
+            "MOVIE",
+            vec![
+                Attribute::new("mid", DataType::Int),
+                Attribute::new("year", DataType::Int),
+                Attribute::new("duration", DataType::Int),
+            ],
+            &["mid"],
+        )
+        .unwrap();
+        c.add_relation(
+            "GENRE",
+            vec![Attribute::new("mid", DataType::Int), Attribute::new("genre", DataType::Text)],
+            &["mid", "genre"],
+        )
+        .unwrap();
+        c
+    }
+
+    fn elastic_doi() -> Doi {
+        Doi::new(
+            Degree::Elastic(ElasticFunction::triangular(120.0, 30.0, 0.7).unwrap()),
+            Degree::Elastic(ElasticFunction::triangular(120.0, 30.0, -0.5).unwrap()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn elastic_requires_numeric_domain() {
+        let c = catalog();
+        let genre = c.resolve("GENRE", "genre").unwrap();
+        let err = SelectionPreference::new(
+            &c,
+            genre,
+            CompareOp::Eq,
+            Value::str("musical"),
+            elastic_doi(),
+        );
+        assert!(matches!(err, Err(PrefError::ElasticOnCategorical(_))));
+    }
+
+    #[test]
+    fn elastic_requires_eq_numeric() {
+        let c = catalog();
+        let dur = c.resolve("MOVIE", "duration").unwrap();
+        let err =
+            SelectionPreference::new(&c, dur, CompareOp::Lt, Value::Int(120), elastic_doi());
+        assert!(err.is_err());
+        let ok =
+            SelectionPreference::new(&c, dur, CompareOp::Eq, Value::Int(120), elastic_doi());
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn satisfaction_expr_exact_presence() {
+        let c = catalog();
+        let genre = c.resolve("GENRE", "genre").unwrap();
+        let p = SelectionPreference::new(
+            &c,
+            genre,
+            CompareOp::Eq,
+            Value::str("comedy"),
+            Doi::presence(0.8).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(p.satisfaction_expr("G", "genre").to_string(), "G.genre = 'comedy'");
+        assert_eq!(p.failure_expr("G", "genre").to_string(), "G.genre <> 'comedy'");
+    }
+
+    #[test]
+    fn satisfaction_expr_exact_absence() {
+        // P3: doi(MOVIE.year < 1980) = (−0.7, 0): satisfied when year >= 1980
+        let c = catalog();
+        let year = c.resolve("MOVIE", "year").unwrap();
+        let p = SelectionPreference::new(
+            &c,
+            year,
+            CompareOp::Lt,
+            Value::Int(1980),
+            Doi::new(-0.7, 0.0).unwrap(),
+        )
+        .unwrap();
+        assert!(!p.is_presence());
+        assert_eq!(p.satisfaction_expr("M", "year").to_string(), "M.year >= 1980");
+        assert_eq!(p.failure_expr("M", "year").to_string(), "M.year < 1980");
+    }
+
+    #[test]
+    fn satisfaction_expr_elastic() {
+        let c = catalog();
+        let dur = c.resolve("MOVIE", "duration").unwrap();
+        let p =
+            SelectionPreference::new(&c, dur, CompareOp::Eq, Value::Int(120), elastic_doi())
+                .unwrap();
+        assert!(p.is_presence());
+        assert_eq!(
+            p.satisfaction_expr("M", "duration").to_string(),
+            "M.duration BETWEEN 90.0 AND 150.0"
+        );
+        assert_eq!(
+            p.failure_expr("M", "duration").to_string(),
+            "M.duration NOT BETWEEN 90.0 AND 150.0"
+        );
+    }
+
+    #[test]
+    fn degree_lookup_elastic() {
+        let c = catalog();
+        let dur = c.resolve("MOVIE", "duration").unwrap();
+        let p =
+            SelectionPreference::new(&c, dur, CompareOp::Eq, Value::Int(120), elastic_doi())
+                .unwrap();
+        assert!((p.d_plus_for(Some(120.0)) - 0.7).abs() < 1e-12);
+        assert!((p.d_plus_for(Some(135.0)) - 0.35).abs() < 1e-12);
+        assert!((p.d_minus() + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_preference_validation() {
+        let c = catalog();
+        let m = c.resolve("MOVIE", "mid").unwrap();
+        let g = c.resolve("GENRE", "mid").unwrap();
+        assert!(JoinPreference::new(&c, m, g, 0.8).is_ok());
+        assert!(JoinPreference::new(&c, m, g, 1.2).is_err());
+        assert!(JoinPreference::new(&c, m, g, -0.1).is_err());
+        let genre = c.resolve("GENRE", "genre").unwrap();
+        assert!(JoinPreference::new(&c, m, genre, 0.5).is_err()); // type mismatch
+    }
+
+    #[test]
+    fn compare_op_negation_round_trip() {
+        for op in [
+            CompareOp::Eq,
+            CompareOp::Neq,
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+        ] {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn compare_op_eval() {
+        assert_eq!(CompareOp::Lt.eval(&Value::Int(1), &Value::Int(2)), Some(true));
+        assert_eq!(CompareOp::Eq.eval(&Value::Null, &Value::Int(2)), None);
+    }
+}

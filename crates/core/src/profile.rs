@@ -1,0 +1,632 @@
+//! User profiles: sets of atomic preferences, with the paper's own textual
+//! notation (Figure 2) as the serialization format.
+//!
+//! ```text
+//! # Al's profile (Figure 2)
+//! doi(DIRECTOR.name = 'W. Allen') = (0.8, 0)
+//! doi(THEATRE.ticket = around(6, 2)) = (e(0.5), 0)
+//! doi(MOVIE.year < 1980) = (-0.7, 0)
+//! doi(MOVIE.duration = around(120, 30)) = (e(0.7), e(-0.5))
+//! doi(GENRE.genre = 'musical') = (-0.9, 0.7)
+//! doi(THEATRE.region = 'downtown') = (0.7, -0.5)
+//! doi(MOVIE.mid = DIRECTED.mid) = (1)
+//! doi(DIRECTED.did = DIRECTOR.did) = (0.9)
+//! ```
+//!
+//! Selection preferences use `R.A <op> <literal>`; elastic preferences use
+//! `R.A = around(center, width)` with `e(peak[, width])` degrees; join
+//! preferences use `R.A = S.B` with a single degree `(d)`.
+
+use qp_sql::lexer::{tokenize, Token};
+use qp_storage::{AttrId, Catalog, Value};
+
+use crate::doi::{Degree, Doi};
+use crate::elastic::ElasticFunction;
+use crate::error::PrefError;
+use crate::preference::{
+    CompareOp, JoinPreference, PrefId, Preference, SelectionPreference,
+};
+
+/// A user profile: an ordered collection of atomic preferences.
+///
+/// ```
+/// use qp_core::Profile;
+/// use qp_storage::{Attribute, Catalog, DataType};
+/// let mut catalog = Catalog::new();
+/// catalog.add_relation(
+///     "MOVIE",
+///     vec![Attribute::new("mid", DataType::Int), Attribute::new("year", DataType::Int)],
+///     &["mid"],
+/// ).unwrap();
+/// let profile = Profile::parse(
+///     &catalog,
+///     "doi(MOVIE.year < 1980) = (-0.7, 0)\n\
+///      doi(MOVIE.year = around(1995, 10)) = (e(0.6), 0)\n",
+/// ).unwrap();
+/// assert_eq!(profile.selections().count(), 2);
+/// // the profile serializes back to the paper's own notation
+/// assert!(profile.to_dsl(&catalog).contains("doi(MOVIE.year < 1980)"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profile {
+    prefs: Vec<Preference>,
+}
+
+impl Profile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Profile::default()
+    }
+
+    /// Number of stored preferences.
+    pub fn len(&self) -> usize {
+        self.prefs.len()
+    }
+
+    /// True iff no preferences are stored.
+    pub fn is_empty(&self) -> bool {
+        self.prefs.is_empty()
+    }
+
+    /// The preference behind an id.
+    pub fn get(&self, id: PrefId) -> &Preference {
+        &self.prefs[id.0]
+    }
+
+    /// Iterates `(id, preference)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PrefId, &Preference)> {
+        self.prefs.iter().enumerate().map(|(i, p)| (PrefId(i), p))
+    }
+
+    /// Iterates the selection preferences.
+    pub fn selections(&self) -> impl Iterator<Item = (PrefId, &SelectionPreference)> {
+        self.iter().filter_map(|(id, p)| p.as_selection().map(|s| (id, s)))
+    }
+
+    /// Iterates the join preferences.
+    pub fn joins(&self) -> impl Iterator<Item = (PrefId, &JoinPreference)> {
+        self.iter().filter_map(|(id, p)| p.as_join().map(|j| (id, j)))
+    }
+
+    /// Adds a validated selection preference by attribute name.
+    pub fn add_selection(
+        &mut self,
+        catalog: &Catalog,
+        relation: &str,
+        attribute: &str,
+        op: CompareOp,
+        value: impl Into<Value>,
+        doi: Doi,
+    ) -> Result<PrefId, PrefError> {
+        let attr = catalog.resolve(relation, attribute)?;
+        let pref = SelectionPreference::new(catalog, attr, op, value.into(), doi)?;
+        Ok(self.push(Preference::Selection(pref)))
+    }
+
+    /// Adds a validated join preference by attribute names.
+    pub fn add_join(
+        &mut self,
+        catalog: &Catalog,
+        from: (&str, &str),
+        to: (&str, &str),
+        degree: f64,
+    ) -> Result<PrefId, PrefError> {
+        let f = catalog.resolve(from.0, from.1)?;
+        let t = catalog.resolve(to.0, to.1)?;
+        let pref = JoinPreference::new(catalog, f, t, degree)?;
+        Ok(self.push(Preference::Join(pref)))
+    }
+
+    /// Adds a pre-built preference.
+    pub fn push(&mut self, pref: Preference) -> PrefId {
+        self.prefs.push(pref);
+        PrefId(self.prefs.len() - 1)
+    }
+
+    /// Parses a profile from the Figure-2 notation. Lines starting with
+    /// `#` (or `--`) and blank lines are skipped.
+    pub fn parse(catalog: &Catalog, text: &str) -> Result<Profile, PrefError> {
+        let mut profile = Profile::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with("--") {
+                continue;
+            }
+            parse_line(catalog, line, lineno + 1, &mut profile)?;
+        }
+        Ok(profile)
+    }
+
+    /// Serializes the profile back to the Figure-2 notation; the output
+    /// re-parses to an equal profile.
+    pub fn to_dsl(&self, catalog: &Catalog) -> String {
+        let mut out = String::new();
+        for (_, pref) in self.iter() {
+            match pref {
+                Preference::Selection(s) => {
+                    let attr = catalog.attr_name(s.attr);
+                    if s.doi.is_elastic() {
+                        let e = primary_elastic(&s.doi);
+                        out.push_str(&format!(
+                            "doi({attr} = around({}, {})) = ({}, {})\n",
+                            fmt_num(e.center),
+                            fmt_num(e.width),
+                            fmt_degree(&s.doi.on_true, e.width),
+                            fmt_degree(&s.doi.on_false, e.width),
+                        ));
+                    } else {
+                        out.push_str(&format!(
+                            "doi({attr} {} {}) = ({}, {})\n",
+                            op_str(s.condition.op),
+                            fmt_value(&s.condition.value),
+                            fmt_degree(&s.doi.on_true, 0.0),
+                            fmt_degree(&s.doi.on_false, 0.0),
+                        ));
+                    }
+                }
+                Preference::Join(j) => {
+                    out.push_str(&format!(
+                        "doi({} = {}) = ({})\n",
+                        catalog.attr_name(j.from),
+                        catalog.attr_name(j.to),
+                        fmt_num(j.degree)
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn primary_elastic(doi: &Doi) -> &ElasticFunction {
+    if let Degree::Elastic(e) = &doi.on_true {
+        e
+    } else if let Degree::Elastic(e) = &doi.on_false {
+        e
+    } else {
+        unreachable!("is_elastic checked")
+    }
+}
+
+fn fmt_num(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{x:.0}")
+    } else {
+        format!("{x}")
+    }
+}
+
+fn fmt_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        other => fmt_num_value(other),
+    }
+}
+
+fn fmt_num_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Float(x) => {
+            if x.fract() == 0.0 {
+                format!("{x:.1}")
+            } else {
+                format!("{x}")
+            }
+        }
+        other => other.to_string(),
+    }
+}
+
+fn fmt_degree(d: &Degree, default_width: f64) -> String {
+    match d {
+        Degree::Exact(x) => fmt_num(*x),
+        Degree::Elastic(e) => {
+            if (e.width - default_width).abs() < 1e-12 {
+                format!("e({})", fmt_num(e.peak))
+            } else {
+                format!("e({}, {})", fmt_num(e.peak), fmt_num(e.width))
+            }
+        }
+    }
+}
+
+fn op_str(op: CompareOp) -> &'static str {
+    match op {
+        CompareOp::Eq => "=",
+        CompareOp::Neq => "<>",
+        CompareOp::Lt => "<",
+        CompareOp::Le => "<=",
+        CompareOp::Gt => ">",
+        CompareOp::Ge => ">=",
+    }
+}
+
+// --- line parser -------------------------------------------------------
+
+struct LineParser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    line: usize,
+    text: &'a str,
+}
+
+impl<'a> LineParser<'a> {
+    fn err(&self, msg: impl Into<String>) -> PrefError {
+        PrefError::ProfileSyntax {
+            line: self.line,
+            message: format!("{} in `{}`", msg.into(), self.text),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Token, what: &str) -> Result<(), PrefError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, PrefError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        let hit = matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw));
+        if hit {
+            self.pos += 1;
+        }
+        hit
+    }
+
+    /// Parses a signed number.
+    fn number(&mut self, what: &str) -> Result<f64, PrefError> {
+        let neg = if self.peek() == Some(&Token::Minus) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let x = match self.next() {
+            Some(Token::Int(i)) => i as f64,
+            Some(Token::Float(f)) => f,
+            _ => return Err(self.err(format!("expected {what}"))),
+        };
+        Ok(if neg { -x } else { x })
+    }
+}
+
+fn parse_line(
+    catalog: &Catalog,
+    line: &str,
+    lineno: usize,
+    profile: &mut Profile,
+) -> Result<(), PrefError> {
+    let tokens = tokenize(line)
+        .map_err(|e| PrefError::ProfileSyntax { line: lineno, message: e.message })?
+        .into_iter()
+        .map(|s| s.token)
+        .collect();
+    let mut p = LineParser { tokens, pos: 0, line: lineno, text: line };
+
+    if !p.keyword("doi") {
+        return Err(p.err("expected `doi`"));
+    }
+    p.expect(&Token::LParen, "`(`")?;
+    // left side: R.A
+    let rel = p.ident("relation name")?;
+    p.expect(&Token::Dot, "`.`")?;
+    let attr_name = p.ident("attribute name")?;
+    let attr = catalog.resolve(&rel, &attr_name)?;
+    // operator
+    let op = match p.next() {
+        Some(Token::Eq) => CompareOp::Eq,
+        Some(Token::Neq) => CompareOp::Neq,
+        Some(Token::Lt) => CompareOp::Lt,
+        Some(Token::Le) => CompareOp::Le,
+        Some(Token::Gt) => CompareOp::Gt,
+        Some(Token::Ge) => CompareOp::Ge,
+        _ => return Err(p.err("expected comparison operator")),
+    };
+    // right side
+    enum Rhs {
+        Literal(Value),
+        Around { center: f64, width: f64 },
+        Attr(AttrId),
+    }
+    let rhs = match p.peek().cloned() {
+        Some(Token::Ident(id)) if id.eq_ignore_ascii_case("around") => {
+            p.pos += 1;
+            p.expect(&Token::LParen, "`(` after around")?;
+            let center = p.number("center")?;
+            p.expect(&Token::Comma, "`,`")?;
+            let width = p.number("width")?;
+            p.expect(&Token::RParen, "`)`")?;
+            Rhs::Around { center, width }
+        }
+        Some(Token::Ident(id)) if id.eq_ignore_ascii_case("true") => {
+            p.pos += 1;
+            Rhs::Literal(Value::Bool(true))
+        }
+        Some(Token::Ident(id)) if id.eq_ignore_ascii_case("false") => {
+            p.pos += 1;
+            Rhs::Literal(Value::Bool(false))
+        }
+        Some(Token::Ident(rel2)) => {
+            p.pos += 1;
+            p.expect(&Token::Dot, "`.` (join preference)")?;
+            let attr2 = p.ident("attribute name")?;
+            Rhs::Attr(catalog.resolve(&rel2, &attr2)?)
+        }
+        Some(Token::Str(s)) => {
+            p.pos += 1;
+            Rhs::Literal(Value::str(s))
+        }
+        Some(Token::Int(_)) | Some(Token::Float(_)) | Some(Token::Minus) => {
+            let x = p.number("literal")?;
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                Rhs::Literal(Value::Int(x as i64))
+            } else {
+                Rhs::Literal(Value::Float(x))
+            }
+        }
+        _ => return Err(p.err("expected literal, around(...), or R.A")),
+    };
+    p.expect(&Token::RParen, "`)` closing the condition")?;
+    p.expect(&Token::Eq, "`=`")?;
+    p.expect(&Token::LParen, "`(` opening the degrees")?;
+
+    match rhs {
+        Rhs::Attr(to) => {
+            if op != CompareOp::Eq {
+                return Err(p.err("join preferences require `=`"));
+            }
+            let d = p.number("join degree")?;
+            p.expect(&Token::RParen, "`)`")?;
+            let pref = JoinPreference::new(catalog, attr, to, d)?;
+            profile.push(Preference::Join(pref));
+        }
+        Rhs::Literal(value) => {
+            let dt = parse_degree(&mut p, None)?;
+            p.expect(&Token::Comma, "`,` between the two degrees")?;
+            let df = parse_degree(&mut p, None)?;
+            p.expect(&Token::RParen, "`)`")?;
+            let doi = Doi::new(dt, df)?;
+            let pref = SelectionPreference::new(catalog, attr, op, value, doi)?;
+            profile.push(Preference::Selection(pref));
+        }
+        Rhs::Around { center, width } => {
+            if op != CompareOp::Eq {
+                return Err(p.err("around(...) requires `=`"));
+            }
+            let around = Some((center, width));
+            let dt = parse_degree(&mut p, around)?;
+            p.expect(&Token::Comma, "`,` between the two degrees")?;
+            let df = parse_degree(&mut p, around)?;
+            p.expect(&Token::RParen, "`)`")?;
+            if !dt.is_elastic() && !df.is_elastic() {
+                return Err(p.err("around(...) requires at least one e(...) degree"));
+            }
+            let doi = Doi::new(dt, df)?;
+            let value = if center.fract() == 0.0 {
+                Value::Int(center as i64)
+            } else {
+                Value::Float(center)
+            };
+            let pref = SelectionPreference::new(catalog, attr, CompareOp::Eq, value, doi)?;
+            profile.push(Preference::Selection(pref));
+        }
+    }
+    if p.peek().is_some() {
+        return Err(p.err("trailing tokens"));
+    }
+    Ok(())
+}
+
+/// Parses one degree: a number, or `e(peak[, width])` when `around` gives
+/// a default center/width.
+fn parse_degree(
+    p: &mut LineParser<'_>,
+    around: Option<(f64, f64)>,
+) -> Result<Degree, PrefError> {
+    if let Some(Token::Ident(id)) = p.peek() {
+        if id.eq_ignore_ascii_case("e") {
+            let Some((center, default_width)) = around else {
+                return Err(p.err("e(...) degrees require an around(...) condition"));
+            };
+            p.pos += 1;
+            p.expect(&Token::LParen, "`(` after e")?;
+            let peak = p.number("elastic peak")?;
+            let width = if p.peek() == Some(&Token::Comma) {
+                p.pos += 1;
+                p.number("elastic width")?
+            } else {
+                default_width
+            };
+            p.expect(&Token::RParen, "`)`")?;
+            return Ok(Degree::Elastic(ElasticFunction::triangular(center, width, peak)?));
+        }
+    }
+    Ok(Degree::Exact(p.number("degree")?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_storage::{Attribute, DataType};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(
+            "MOVIE",
+            vec![
+                Attribute::new("mid", DataType::Int),
+                Attribute::new("year", DataType::Int),
+                Attribute::new("duration", DataType::Int),
+            ],
+            &["mid"],
+        )
+        .unwrap();
+        c.add_relation(
+            "GENRE",
+            vec![Attribute::new("mid", DataType::Int), Attribute::new("genre", DataType::Text)],
+            &["mid", "genre"],
+        )
+        .unwrap();
+        c.add_relation(
+            "DIRECTED",
+            vec![Attribute::new("mid", DataType::Int), Attribute::new("did", DataType::Int)],
+            &["mid", "did"],
+        )
+        .unwrap();
+        c.add_relation(
+            "DIRECTOR",
+            vec![Attribute::new("did", DataType::Int), Attribute::new("name", DataType::Text)],
+            &["did"],
+        )
+        .unwrap();
+        c.add_relation(
+            "THEATRE",
+            vec![
+                Attribute::new("tid", DataType::Int),
+                Attribute::new("region", DataType::Text),
+                Attribute::new("ticket", DataType::Float),
+            ],
+            &["tid"],
+        )
+        .unwrap();
+        c
+    }
+
+    const ALS_PROFILE: &str = "\
+# Al's profile (Figure 2)
+doi(DIRECTOR.name = 'W. Allen') = (0.8, 0)
+doi(THEATRE.ticket = around(6, 2)) = (e(0.5), 0)
+doi(MOVIE.year < 1980) = (-0.7, 0)
+doi(MOVIE.duration = around(120, 30)) = (e(0.7), e(-0.5))
+doi(GENRE.genre = 'musical') = (-0.9, 0.7)
+doi(THEATRE.region = 'downtown') = (0.7, -0.5)
+doi(MOVIE.mid = DIRECTED.mid) = (1)
+doi(DIRECTED.did = DIRECTOR.did) = (0.9)
+doi(MOVIE.mid = GENRE.mid) = (0.8)
+";
+
+    #[test]
+    fn parse_als_profile() {
+        let c = catalog();
+        let p = Profile::parse(&c, ALS_PROFILE).unwrap();
+        assert_eq!(p.len(), 9);
+        assert_eq!(p.selections().count(), 6);
+        assert_eq!(p.joins().count(), 3);
+    }
+
+    #[test]
+    fn parse_gives_paper_criticalities() {
+        let c = catalog();
+        let p = Profile::parse(&c, ALS_PROFILE).unwrap();
+        let crits: Vec<f64> =
+            p.selections().map(|(_, s)| (s.criticality() * 100.0).round() / 100.0).collect();
+        // P1=0.8, P2=0.5, P3=0.7, P4=1.2, P5=1.6, P6=1.2
+        assert_eq!(crits, vec![0.8, 0.5, 0.7, 1.2, 1.6, 1.2]);
+    }
+
+    #[test]
+    fn dsl_round_trip() {
+        let c = catalog();
+        let p = Profile::parse(&c, ALS_PROFILE).unwrap();
+        let dsl = p.to_dsl(&c);
+        let p2 = Profile::parse(&c, &dsl).unwrap();
+        assert_eq!(p, p2, "round trip changed the profile:\n{dsl}");
+    }
+
+    #[test]
+    fn join_preferences_are_directed() {
+        let c = catalog();
+        let text = "doi(MOVIE.mid = GENRE.mid) = (0.8)\ndoi(GENRE.mid = MOVIE.mid) = (0.3)\n";
+        let p = Profile::parse(&c, text).unwrap();
+        let joins: Vec<_> = p.joins().map(|(_, j)| j.clone()).collect();
+        assert_eq!(joins.len(), 2);
+        assert_ne!(joins[0].from, joins[1].from);
+        assert_eq!(joins[0].degree, 0.8);
+        assert_eq!(joins[1].degree, 0.3);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let c = catalog();
+        let err = Profile::parse(&c, "doi(MOVIE.year < 1980) = (-0.7, 0)\nnot a line\n");
+        match err {
+            Err(PrefError::ProfileSyntax { line, .. }) => assert_eq!(line, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let c = catalog();
+        let err = Profile::parse(&c, "doi(MOVIE.nosuch = 1) = (0.5, 0)");
+        assert!(matches!(err, Err(PrefError::Storage(_))));
+    }
+
+    #[test]
+    fn inconsistent_doi_rejected() {
+        let c = catalog();
+        let err = Profile::parse(&c, "doi(MOVIE.year < 1980) = (0.5, 0.5)");
+        assert!(matches!(err, Err(PrefError::InconsistentDoi { .. })));
+    }
+
+    #[test]
+    fn elastic_width_override() {
+        let c = catalog();
+        let text = "doi(MOVIE.duration = around(120, 30)) = (e(0.7), e(-0.5, 50))\n";
+        let p = Profile::parse(&c, text).unwrap();
+        let (_, s) = p.selections().next().unwrap();
+        match (&s.doi.on_true, &s.doi.on_false) {
+            (Degree::Elastic(t), Degree::Elastic(f)) => {
+                assert_eq!(t.width, 30.0);
+                assert_eq!(f.width, 50.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        // round trip keeps the override
+        let p2 = Profile::parse(&c, &p.to_dsl(&c)).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn e_without_around_rejected() {
+        let c = catalog();
+        let err = Profile::parse(&c, "doi(MOVIE.duration = 120) = (e(0.7), 0)");
+        assert!(matches!(err, Err(PrefError::ProfileSyntax { .. })));
+    }
+
+    #[test]
+    fn builder_api() {
+        let c = catalog();
+        let mut p = Profile::new();
+        let id = p
+            .add_selection(&c, "GENRE", "genre", CompareOp::Eq, "comedy", Doi::presence(0.9).unwrap())
+            .unwrap();
+        assert_eq!(id, PrefId(0));
+        let jid = p.add_join(&c, ("MOVIE", "mid"), ("GENRE", "mid"), 0.8).unwrap();
+        assert_eq!(jid, PrefId(1));
+        assert_eq!(p.len(), 2);
+        assert!(p.get(id).as_selection().is_some());
+        assert!(p.get(jid).as_join().is_some());
+    }
+}

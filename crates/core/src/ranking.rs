@@ -1,0 +1,248 @@
+//! Ranking functions (§3.3).
+//!
+//! The overall degree of interest in a combination of preferences is
+//! computed by a ranking function. For *positive combinations* (all
+//! preferences satisfied) the paper distinguishes three philosophies
+//! around the pivotal parameter `max(D⁺)`:
+//!
+//! * **Inflationary** — `r⁺ ≥ max(D⁺)`: "the more preferences satisfied
+//!   the better"; formula (1): `r₁⁺ = 1 − ∏(1 − dᵢ⁺)`.
+//! * **Dominant** — `r⁺ = max(D⁺)`: winner-takes-all.
+//! * **Reserved** — `min(D⁺) ≤ r⁺ ≤ max(D⁺)`; formula (2):
+//!   `r₂⁺ = 1 − ∏(1 − dᵢ⁺)^(1/N)`.
+//!
+//! Negative combinations are symmetric (exchange `+` and `−`). *Mixed
+//! combinations* blend the two with either formula (5), `r = r⁺ + r⁻`, or
+//! formula (6), `r = (N⁺·r⁺ + N⁻·r⁻)/(N⁺ + N⁻)`; both satisfy the paper's
+//! conditions (3) `r⁻ ≤ r ≤ r⁺` and (4) `r(d, −d) = 0`.
+
+/// The three positive/negative combination philosophies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RankingKind {
+    /// Formula (1): `1 − ∏(1 − dᵢ)` — grows with the number of satisfied
+    /// preferences.
+    Inflationary,
+    /// `max(D⁺)` — an answer is as good as its best feature.
+    Dominant,
+    /// Formula (2): `1 − ∏(1 − dᵢ)^(1/N)` — a count-insensitive average.
+    Reserved,
+}
+
+impl RankingKind {
+    /// All three kinds, for sweeps and the Figure 15–17 experiments.
+    pub const ALL: [RankingKind; 3] =
+        [RankingKind::Inflationary, RankingKind::Dominant, RankingKind::Reserved];
+
+    /// Combines non-negative satisfaction degrees; 0 for the empty set.
+    pub fn positive(&self, degrees: &[f64]) -> f64 {
+        if degrees.is_empty() {
+            return 0.0;
+        }
+        match self {
+            RankingKind::Inflationary => {
+                1.0 - degrees.iter().map(|d| 1.0 - d).product::<f64>()
+            }
+            RankingKind::Dominant => degrees.iter().copied().fold(f64::MIN, f64::max),
+            RankingKind::Reserved => {
+                let n = degrees.len() as f64;
+                1.0 - degrees.iter().map(|d| (1.0 - d).powf(1.0 / n)).product::<f64>()
+            }
+        }
+    }
+
+    /// Combines non-positive failure degrees (the symmetric counterpart:
+    /// `+` and `−` exchanged everywhere); 0 for the empty set.
+    pub fn negative(&self, degrees: &[f64]) -> f64 {
+        if degrees.is_empty() {
+            return 0.0;
+        }
+        let mags: Vec<f64> = degrees.iter().map(|d| -d).collect();
+        -self.positive(&mags)
+    }
+}
+
+/// The two mixed-combination formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MixedKind {
+    /// Formula (5): `r = r⁺ + r⁻`.
+    Sum,
+    /// Formula (6): `r = (N⁺·r⁺ + N⁻·r⁻)/(N⁺ + N⁻)` — "the overall degree
+    /// of interest should be affected … also by the number of preferences
+    /// contributing to each" (the paper found this more appropriate).
+    CountWeighted,
+}
+
+/// A full ranking function: a philosophy for each sign plus a mixed-
+/// combination formula.
+///
+/// ```
+/// use qp_core::{Ranking, RankingKind, MixedKind};
+/// let r = Ranking::new(RankingKind::Inflationary, MixedKind::Sum);
+/// // satisfying the 0.72 W. Allen preference and a 0.5 genre preference:
+/// assert!((r.positive(&[0.72, 0.5]) - 0.86).abs() < 1e-12);
+/// // condition (4): r(d, -d) = 0
+/// assert!(r.mixed(&[0.6], &[-0.6]).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ranking {
+    /// Philosophy used for the positive (and, symmetrically, negative)
+    /// parts.
+    pub kind: RankingKind,
+    /// Mixed-combination formula.
+    pub mixed: MixedKind,
+}
+
+impl Default for Ranking {
+    /// The paper's preferred default: inflationary positives with the
+    /// count-weighted mixed formula (6).
+    fn default() -> Self {
+        Ranking { kind: RankingKind::Inflationary, mixed: MixedKind::CountWeighted }
+    }
+}
+
+impl Ranking {
+    /// Creates a ranking function.
+    pub fn new(kind: RankingKind, mixed: MixedKind) -> Self {
+        Ranking { kind, mixed }
+    }
+
+    /// Positive combination.
+    pub fn positive(&self, degrees: &[f64]) -> f64 {
+        self.kind.positive(degrees)
+    }
+
+    /// Negative combination.
+    pub fn negative(&self, degrees: &[f64]) -> f64 {
+        self.kind.negative(degrees)
+    }
+
+    /// Mixed combination of satisfaction degrees (`pos`, in `[0, 1]`) and
+    /// failure degrees (`neg`, in `[-1, 0]`).
+    pub fn mixed(&self, pos: &[f64], neg: &[f64]) -> f64 {
+        if pos.is_empty() && neg.is_empty() {
+            return 0.0;
+        }
+        if neg.is_empty() {
+            return self.positive(pos);
+        }
+        if pos.is_empty() {
+            return self.negative(neg);
+        }
+        let rp = self.positive(pos);
+        let rn = self.negative(neg);
+        match self.mixed {
+            MixedKind::Sum => rp + rn,
+            MixedKind::CountWeighted => {
+                let np = pos.len() as f64;
+                let nn = neg.len() as f64;
+                (np * rp + nn * rn) / (np + nn)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn positive_formulas() {
+        let d = [0.72, 0.5];
+        assert!((RankingKind::Inflationary.positive(&d) - 0.86).abs() < EPS);
+        assert!((RankingKind::Dominant.positive(&d) - 0.72).abs() < EPS);
+        let r = RankingKind::Reserved.positive(&d);
+        let expect = 1.0 - ((1.0 - 0.72_f64) * (1.0 - 0.5)).sqrt();
+        assert!((r - expect).abs() < EPS);
+    }
+
+    #[test]
+    fn empty_sets_are_zero() {
+        for k in RankingKind::ALL {
+            assert_eq!(k.positive(&[]), 0.0);
+            assert_eq!(k.negative(&[]), 0.0);
+        }
+        assert_eq!(Ranking::default().mixed(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn inflationary_dominates_max() {
+        // r⁺(D⁺) ≥ max(D⁺)
+        let d = [0.3, 0.5, 0.2];
+        assert!(RankingKind::Inflationary.positive(&d) >= 0.5);
+    }
+
+    #[test]
+    fn reserved_between_min_and_max() {
+        let d = [0.2, 0.9, 0.5];
+        let r = RankingKind::Reserved.positive(&d);
+        assert!((0.2 - EPS..=0.9 + EPS).contains(&r), "r = {r}");
+    }
+
+    #[test]
+    fn single_degree_identity() {
+        for k in RankingKind::ALL {
+            assert!((k.positive(&[0.7]) - 0.7).abs() < EPS, "{k:?}");
+            assert!((k.negative(&[-0.4]) + 0.4).abs() < EPS, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn negative_symmetric() {
+        for k in RankingKind::ALL {
+            let pos = k.positive(&[0.3, 0.6]);
+            let neg = k.negative(&[-0.3, -0.6]);
+            assert!((pos + neg).abs() < EPS, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn condition4_r_of_d_minus_d_is_zero() {
+        for kind in RankingKind::ALL {
+            for mixed in [MixedKind::Sum, MixedKind::CountWeighted] {
+                let r = Ranking::new(kind, mixed);
+                assert!(r.mixed(&[0.6], &[-0.6]).abs() < EPS, "{kind:?} {mixed:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn condition3_bounds() {
+        // r⁻(D⁻) ≤ r(D⁺, D⁻) ≤ r⁺(D⁺)
+        let pos = [0.8, 0.4];
+        let neg = [-0.3, -0.9];
+        for kind in RankingKind::ALL {
+            for mixed in [MixedKind::Sum, MixedKind::CountWeighted] {
+                let r = Ranking::new(kind, mixed);
+                let m = r.mixed(&pos, &neg);
+                assert!(m <= r.positive(&pos) + EPS, "{kind:?} {mixed:?}");
+                assert!(m >= r.negative(&neg) - EPS, "{kind:?} {mixed:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_weighted_feels_the_counts() {
+        // many small negatives should pull the count-weighted score down
+        // more than the sum of one positive and one negative would suggest
+        let r = Ranking::new(RankingKind::Dominant, MixedKind::CountWeighted);
+        let few = r.mixed(&[0.8], &[-0.2]);
+        let many = r.mixed(&[0.8], &[-0.2, -0.2, -0.2, -0.2]);
+        assert!(many < few);
+    }
+
+    #[test]
+    fn one_sided_mixed_reduces() {
+        let r = Ranking::default();
+        assert_eq!(r.mixed(&[0.5, 0.3], &[]), r.positive(&[0.5, 0.3]));
+        assert_eq!(r.mixed(&[], &[-0.5]), r.negative(&[-0.5]));
+    }
+
+    #[test]
+    fn inflationary_matches_paper_example2_composition() {
+        // doi(implicit W. Allen preference) = 0.72; satisfied alone the
+        // rank equals the degree.
+        assert!((Ranking::default().mixed(&[0.72], &[]) - 0.72).abs() < EPS);
+    }
+}

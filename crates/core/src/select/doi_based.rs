@@ -1,0 +1,211 @@
+//! Selection based on the desired doi of results (§4.2).
+//!
+//! Instead of a count K, the criterion designates a minimum degree of
+//! interest `dR` for the returned tuples. Because tuples may *fail* the
+//! preferences that are not selected, the algorithm must keep selecting
+//! until even a tuple failing every unseen preference still clears `dR`.
+//!
+//! The absolute doi of any unseen preference is bounded by `dworst`, the
+//! maximum over the queue of `|d⁻|` for selection paths and the join
+//! degree for join paths (the doi of an implicit preference only shrinks
+//! as its path grows). With `t` preferences selected and `N` estimated
+//! related preferences in total, the algorithm stops as soon as
+//!
+//! ```text
+//! r(d₁⁺, …, d_t⁺, −dworst, …, −dworst) ≥ dR      (formula 10)
+//!             N − t times
+//! ```
+
+use std::collections::BinaryHeap;
+
+use crate::error::PrefError;
+use crate::graph::PersonalizationGraph;
+use crate::ranking::Ranking;
+use crate::select::{
+    dedup_key, expand, seed_queue, DedupSet, Entry, QueryContext, SelectedPreference,
+};
+
+/// Runs the doi-driven selection. `d_r` is the desired minimum doi of
+/// results; `n_estimate` is the estimated number of related preferences
+/// (§4.2 suggests the number of preferences stored in the profile, the
+/// default when `None`).
+pub fn doi_based(
+    graph: &PersonalizationGraph<'_>,
+    query: &QueryContext,
+    d_r: f64,
+    ranking: &Ranking,
+    n_estimate: Option<usize>,
+) -> Result<Vec<SelectedPreference>, PrefError> {
+    if !(0.0..=1.0).contains(&d_r) {
+        return Err(PrefError::InvalidCriterion(format!(
+            "desired result doi {d_r} outside [0, 1]"
+        )));
+    }
+    let profile = graph.profile();
+    let n = n_estimate.unwrap_or(profile.len());
+
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+    let mut seq = 0u64;
+    seed_queue(graph, query, 0.0, true, &mut seq, &mut heap);
+
+    let mut selected: Vec<SelectedPreference> = Vec::new();
+    let mut seen: DedupSet = DedupSet::new();
+    let mut pos_degrees: Vec<f64> = Vec::new();
+
+    // check the termination condition before selecting anything: maybe no
+    // preferences are needed at all
+    if satisfies(d_r, ranking, &pos_degrees, dworst(&heap, graph), n) {
+        return Ok(selected);
+    }
+
+    while let Some(Entry { path, .. }) = heap.pop() {
+        if path.selection.is_some() {
+            if !seen.insert(dedup_key(&path)) {
+                continue;
+            }
+            let sp = path.into_selected(profile);
+            pos_degrees.push(sp.d_plus_peak(profile));
+            selected.push(sp);
+            if satisfies(d_r, ranking, &pos_degrees, dworst(&heap, graph), n) {
+                break;
+            }
+        } else {
+            expand(graph, query, &path, 0.0, true, &mut seq, &mut heap);
+        }
+    }
+    Ok(selected)
+}
+
+/// `dworst`: the largest absolute failure doi any unseen preference can
+/// have, computed over the current queue contents (§4.2).
+fn dworst(heap: &BinaryHeap<Entry>, graph: &PersonalizationGraph<'_>) -> f64 {
+    let profile = graph.profile();
+    let mut worst: f64 = 0.0;
+    for e in heap.iter() {
+        let w = match e.path.selection {
+            Some(sid) => {
+                let s = profile.get(sid).as_selection().expect("selection id");
+                e.path.join_degree(profile) * s.doi.d_minus_peak()
+            }
+            None => e.path.c, // join degree product bounds any extension
+        };
+        worst = worst.max(w);
+    }
+    worst
+}
+
+/// Formula (10): assume every unseen preference fails at `−dworst`.
+fn satisfies(d_r: f64, ranking: &Ranking, pos: &[f64], dworst: f64, n: usize) -> bool {
+    let unseen = n.saturating_sub(pos.len());
+    let neg: Vec<f64> = if dworst > 0.0 { vec![-dworst; unseen] } else { vec![] };
+    ranking.mixed(pos, &neg) >= d_r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doi::Doi;
+    use crate::preference::CompareOp;
+    use crate::profile::Profile;
+    use crate::ranking::{MixedKind, Ranking, RankingKind};
+    use qp_sql::parse_query;
+    use qp_storage::{Attribute, Catalog, DataType, Value};
+
+    /// Example 5 of the paper: P1 join, P2 negative genre, P3 positive
+    /// genre.
+    fn example5() -> (Catalog, Profile) {
+        let mut c = Catalog::new();
+        c.add_relation(
+            "MOVIE",
+            vec![Attribute::new("mid", DataType::Int), Attribute::new("title", DataType::Text)],
+            &["mid"],
+        )
+        .unwrap();
+        c.add_relation(
+            "GENRE",
+            vec![Attribute::new("mid", DataType::Int), Attribute::new("genre", DataType::Text)],
+            &[],
+        )
+        .unwrap();
+        let mut p = Profile::new();
+        p.add_join(&c, ("MOVIE", "mid"), ("GENRE", "mid"), 1.0).unwrap();
+        p.add_selection(&c, "GENRE", "genre", CompareOp::Eq, "musical", Doi::dislike(0.7).unwrap())
+            .unwrap();
+        p.add_selection(&c, "GENRE", "genre", CompareOp::Eq, "adventure", Doi::presence(0.9).unwrap())
+            .unwrap();
+        (c, p)
+    }
+
+    #[test]
+    fn example5_selects_negative_preferences_too() {
+        // With dR = 0.8 and the mixed ranking, selecting only the
+        // adventure preference (d⁺ = 0.9) is not enough: a tuple failing
+        // the unseen musical preference (d⁻ = −0.7) would fall below 0.8.
+        let (c, p) = example5();
+        let g = PersonalizationGraph::build(&p);
+        let q =
+            QueryContext::from_query(&c, &parse_query("select title from MOVIE").unwrap()).unwrap();
+        let ranking = Ranking::new(RankingKind::Inflationary, MixedKind::Sum);
+        let out = doi_based(&g, &q, 0.8, &ranking, None).unwrap();
+        assert!(out.len() >= 2, "selected only {} preferences", out.len());
+        // the negative musical preference is among the selected
+        assert!(out.iter().any(|s| s.d_minus(&p) < 0.0));
+    }
+
+    #[test]
+    fn low_target_selects_little() {
+        let (c, p) = example5();
+        let g = PersonalizationGraph::build(&p);
+        let q =
+            QueryContext::from_query(&c, &parse_query("select title from MOVIE").unwrap()).unwrap();
+        let ranking = Ranking::new(RankingKind::Inflationary, MixedKind::Sum);
+        let lo = doi_based(&g, &q, 0.05, &ranking, None).unwrap();
+        let hi = doi_based(&g, &q, 0.9, &ranking, None).unwrap();
+        assert!(lo.len() <= hi.len());
+    }
+
+    #[test]
+    fn zero_target_selects_nothing_when_no_negatives() {
+        let mut c = Catalog::new();
+        c.add_relation(
+            "MOVIE",
+            vec![Attribute::new("mid", DataType::Int), Attribute::new("year", DataType::Int)],
+            &["mid"],
+        )
+        .unwrap();
+        let mut p = Profile::new();
+        p.add_selection(&c, "MOVIE", "year", CompareOp::Gt, Value::Int(1990), Doi::presence(0.6).unwrap())
+            .unwrap();
+        let g = PersonalizationGraph::build(&p);
+        let q = QueryContext::from_query(&c, &parse_query("select year from MOVIE").unwrap())
+            .unwrap();
+        let ranking = Ranking::default();
+        // dR = 0: satisfied immediately (no negative preferences exist, so
+        // dworst = 0 and r(∅) = 0 ≥ 0).
+        let out = doi_based(&g, &q, 0.0, &ranking, None).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn selection_ordered_by_criticality() {
+        let (c, p) = example5();
+        let g = PersonalizationGraph::build(&p);
+        let q =
+            QueryContext::from_query(&c, &parse_query("select title from MOVIE").unwrap()).unwrap();
+        let ranking = Ranking::new(RankingKind::Inflationary, MixedKind::Sum);
+        let out = doi_based(&g, &q, 0.99, &ranking, None).unwrap();
+        for w in out.windows(2) {
+            assert!(w[0].criticality >= w[1].criticality - 1e-12);
+        }
+    }
+
+    #[test]
+    fn invalid_target_rejected() {
+        let (c, p) = example5();
+        let g = PersonalizationGraph::build(&p);
+        let q =
+            QueryContext::from_query(&c, &parse_query("select title from MOVIE").unwrap()).unwrap();
+        assert!(doi_based(&g, &q, 1.5, &Ranking::default(), None).is_err());
+        assert!(doi_based(&g, &q, -0.1, &Ranking::default(), None).is_err());
+    }
+}

@@ -1,0 +1,505 @@
+//! Preference selection (§4): extracting the top-K preferences related to
+//! a query.
+//!
+//! A preference is (syntactically) related to a query if it maps to a path
+//! of the personalization graph attached to a relation of the query. The
+//! algorithms here build such paths in decreasing order of criticality:
+//!
+//! * [`sps::sps`] — the simple algorithm, which may only output an
+//!   implicit selection once it is provably more critical than the
+//!   *most-critical-selection-unseen* (bounded by `2 · c_J`, formula 8);
+//! * [`fakecrit::fakecrit`] — Figure 5: a best-first traversal on
+//!   `c · fc` that outputs selections immediately;
+//! * [`doi_based::doi_based`] — §4.2: selection driven by the desired doi
+//!   of results, using the `dworst` bound over the unseen preferences.
+
+pub mod doi_based;
+pub mod fakecrit;
+pub mod sps;
+
+use std::collections::HashSet;
+
+use qp_sql::{BinaryOp, Expr, Query, TableRef};
+use qp_storage::{AttrId, Catalog, RelId, Value};
+
+use crate::doi::Doi;
+use crate::error::PrefError;
+use crate::graph::PersonalizationGraph;
+use crate::preference::{PrefId, SelectionPreference};
+use crate::profile::Profile;
+
+/// The criterion bounding how many preferences are selected (§4: "the
+/// criterion is based on the degree of criticality of preferences").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectionCriterion {
+    /// The K most critical preferences.
+    TopK(usize),
+    /// All preferences with criticality strictly above the threshold.
+    Threshold(f64),
+    /// At most `k` preferences, each with criticality above `c0`.
+    TopKThreshold {
+        /// Maximum count.
+        k: usize,
+        /// Criticality cut-off.
+        c0: f64,
+    },
+}
+
+impl SelectionCriterion {
+    /// The count limit, if any.
+    pub fn k_limit(&self) -> Option<usize> {
+        match self {
+            SelectionCriterion::TopK(k) => Some(*k),
+            SelectionCriterion::Threshold(_) => None,
+            SelectionCriterion::TopKThreshold { k, .. } => Some(*k),
+        }
+    }
+
+    /// The criticality cut-off (0 when none).
+    pub fn c0(&self) -> f64 {
+        match self {
+            SelectionCriterion::TopK(_) => 0.0,
+            SelectionCriterion::Threshold(c0) => *c0,
+            SelectionCriterion::TopKThreshold { c0, .. } => *c0,
+        }
+    }
+
+    /// Validates the criterion.
+    pub fn validate(&self) -> Result<(), PrefError> {
+        if let Some(0) = self.k_limit() {
+            return Err(PrefError::InvalidCriterion("K must be at least 1".to_string()));
+        }
+        if !(0.0..=2.0).contains(&self.c0()) {
+            return Err(PrefError::InvalidCriterion(format!(
+                "criticality threshold {} outside [0, 2]",
+                self.c0()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Work counters of a selection-algorithm run — the ablation currency for
+/// comparing SPS against FakeCrit (the paper: "experiments … have shown
+/// that it is more efficient than the simple SPS algorithm").
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SelectionStats {
+    /// Paths inserted into the candidate queue.
+    pub pushes: u64,
+    /// Paths dequeued.
+    pub pops: u64,
+    /// Join paths expanded with their composable preferences.
+    pub expansions: u64,
+}
+
+/// An implicit (or atomic) selection preference chosen by a selection
+/// algorithm: a join path from a query relation plus a terminal selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectedPreference {
+    /// The query relation the path attaches to.
+    pub anchor: RelId,
+    /// Join preferences along the path, in order.
+    pub joins: Vec<PrefId>,
+    /// The terminal selection preference.
+    pub selection: PrefId,
+    /// Product of the join degrees (1 for atomic selections).
+    pub join_degree: f64,
+    /// Criticality of the implicit preference:
+    /// `join_degree · c(selection)`.
+    pub criticality: f64,
+}
+
+impl SelectedPreference {
+    /// The composed doi (degrees multiplied by the join-degree product,
+    /// §3.2 — Example 2: `0.8 · 1 · 0.9 = 0.72`).
+    pub fn scaled_doi(&self, profile: &Profile) -> Doi {
+        self.sel(profile).doi.scaled(self.join_degree)
+    }
+
+    /// The satisfaction peak `d⁺` of the composed preference.
+    pub fn d_plus_peak(&self, profile: &Profile) -> f64 {
+        self.sel(profile).doi.d_plus_peak() * self.join_degree
+    }
+
+    /// The failure degree `d⁻` of the composed preference (≤ 0).
+    pub fn d_minus(&self, profile: &Profile) -> f64 {
+        -self.sel(profile).doi.d_minus_peak() * self.join_degree
+    }
+
+    /// The terminal selection preference.
+    pub fn sel<'p>(&self, profile: &'p Profile) -> &'p SelectionPreference {
+        profile.get(self.selection).as_selection().expect("terminal selection")
+    }
+
+    /// Renders the implicit query element, e.g.
+    /// `MOVIE.mid=GENRE.mid and GENRE.genre='comedy'`.
+    pub fn describe(&self, profile: &Profile, catalog: &Catalog) -> String {
+        let mut parts = Vec::new();
+        for j in &self.joins {
+            let jp = profile.get(*j).as_join().expect("join id");
+            parts.push(format!("{}={}", catalog.attr_name(jp.from), catalog.attr_name(jp.to)));
+        }
+        let s = self.sel(profile);
+        let op = match s.condition.op {
+            crate::preference::CompareOp::Eq => "=",
+            crate::preference::CompareOp::Neq => "<>",
+            crate::preference::CompareOp::Lt => "<",
+            crate::preference::CompareOp::Le => "<=",
+            crate::preference::CompareOp::Gt => ">",
+            crate::preference::CompareOp::Ge => ">=",
+        };
+        let value = match &s.condition.value {
+            Value::Str(v) => format!("'{v}'"),
+            other => other.to_string(),
+        };
+        parts.push(format!("{}{}{}", catalog.attr_name(s.attr), op, value));
+        parts.join(" and ")
+    }
+}
+
+/// What a selection algorithm needs to know about the query: the relations
+/// it touches (paths attach to these) and any attribute the query already
+/// binds to a constant (for the conflict check of Figure 5, step 1.1).
+#[derive(Debug, Clone)]
+pub struct QueryContext {
+    /// Distinct relations in the query's FROM list, in order.
+    pub relations: Vec<RelId>,
+    /// Attributes bound to constants by equality predicates.
+    pub bound: Vec<(AttrId, Value)>,
+}
+
+impl QueryContext {
+    /// Extracts the context from a parsed query. The query must be a
+    /// single SPJ select over base relations.
+    pub fn from_query(catalog: &Catalog, query: &Query) -> Result<Self, PrefError> {
+        let selects = query.selects();
+        if selects.len() != 1 {
+            return Err(PrefError::UnsupportedQuery(
+                "personalization applies to a single SELECT, not a UNION".to_string(),
+            ));
+        }
+        let select = selects[0];
+        if select.from.is_empty() {
+            return Err(PrefError::UnsupportedQuery("query has no FROM relation".to_string()));
+        }
+        let mut relations = Vec::new();
+        let mut binding_rel = Vec::new(); // (binding name, RelId)
+        for tref in &select.from {
+            match tref {
+                TableRef::Relation { name, alias } => {
+                    let rel = catalog.relation_by_name(name)?;
+                    if !relations.contains(&rel.id) {
+                        relations.push(rel.id);
+                    }
+                    binding_rel
+                        .push((alias.clone().unwrap_or_else(|| name.clone()), rel.id));
+                }
+                TableRef::Derived { .. } => {
+                    return Err(PrefError::UnsupportedQuery(
+                        "personalization over derived tables is not supported".to_string(),
+                    ))
+                }
+            }
+        }
+        let mut bound = Vec::new();
+        if let Some(w) = &select.where_clause {
+            for c in w.conjuncts() {
+                if let Expr::Binary { left, op: BinaryOp::Eq, right } = c {
+                    let pair = match (column_ref(left), literal_of(right)) {
+                        (Some(col), Some(v)) => Some((col, v)),
+                        _ => match (column_ref(right), literal_of(left)) {
+                            (Some(col), Some(v)) => Some((col, v)),
+                            _ => None,
+                        },
+                    };
+                    if let Some(((table, name), v)) = pair {
+                        if let Some(attr) = resolve_col(catalog, &binding_rel, table.as_deref(), &name)
+                        {
+                            bound.push((attr, v));
+                        }
+                    }
+                }
+            }
+        }
+        // A wildcard or plain projection is fine; just verify it parses as
+        // SPJ-ish (no aggregates is not enforced here — the personalizer
+        // rewrites projections explicitly).
+        let _ = &select.items;
+        Ok(QueryContext { relations, bound })
+    }
+
+    /// Whether a selection preference conflicts with the query: the query
+    /// pins the preference's attribute to a constant that no tuple in the
+    /// satisfaction region can have (Figure 5 step 1.1).
+    pub fn conflicts(&self, pref: &SelectionPreference) -> bool {
+        for (attr, v) in &self.bound {
+            if *attr == pref.attr {
+                let cond_holds = pref.condition.op.eval(v, &pref.condition.value);
+                match cond_holds {
+                    Some(holds) => {
+                        // presence prefs need the condition to hold;
+                        // absence prefs need it to fail
+                        if holds != pref.is_presence() {
+                            return true;
+                        }
+                    }
+                    None => return false,
+                }
+            }
+        }
+        false
+    }
+}
+
+fn column_ref(e: &Expr) -> Option<(Option<String>, String)> {
+    match e {
+        Expr::Column { table, name } => Some((table.clone(), name.clone())),
+        _ => None,
+    }
+}
+
+fn literal_of(e: &Expr) -> Option<Value> {
+    match e {
+        Expr::Literal(l) => Some(match l {
+            qp_sql::Literal::Null => Value::Null,
+            qp_sql::Literal::Int(i) => Value::Int(*i),
+            qp_sql::Literal::Float(x) => Value::Float(*x),
+            qp_sql::Literal::Str(s) => Value::str(s.clone()),
+            qp_sql::Literal::Bool(b) => Value::Bool(*b),
+        }),
+        _ => None,
+    }
+}
+
+fn resolve_col(
+    catalog: &Catalog,
+    bindings: &[(String, RelId)],
+    table: Option<&str>,
+    name: &str,
+) -> Option<AttrId> {
+    match table {
+        Some(t) => {
+            let (_, rel) = bindings.iter().find(|(b, _)| b.eq_ignore_ascii_case(t))?;
+            let r = catalog.relation(*rel);
+            let idx = r.attr_index(name)?;
+            Some(AttrId::new(*rel, idx as u32))
+        }
+        None => {
+            let mut hit = None;
+            for (_, rel) in bindings {
+                if let Some(idx) = catalog.relation(*rel).attr_index(name) {
+                    if hit.is_some() {
+                        return None; // ambiguous
+                    }
+                    hit = Some(AttrId::new(*rel, idx as u32));
+                }
+            }
+            hit
+        }
+    }
+}
+
+// --- shared path machinery ----------------------------------------------
+
+/// A partial path during best-first traversal.
+#[derive(Debug, Clone)]
+pub(crate) struct Path {
+    pub anchor: RelId,
+    pub joins: Vec<PrefId>,
+    pub selection: Option<PrefId>,
+    /// Criticality: join-degree product for join paths, full criticality
+    /// for selection paths.
+    pub c: f64,
+    /// Priority `c · fc` (equals `c` for selection paths); recorded for
+    /// diagnostics and asserted monotone in tests.
+    #[allow(dead_code)]
+    pub priority: f64,
+}
+
+impl Path {
+    /// The relation at the end of the join path (where expansion happens).
+    pub fn end_rel(&self, profile: &Profile) -> RelId {
+        match self.joins.last() {
+            Some(j) => profile.get(*j).as_join().expect("join id").to.rel,
+            None => self.anchor,
+        }
+    }
+
+    /// Relations visited by the path (anchor plus each join target).
+    pub fn visited(&self, profile: &Profile) -> Vec<RelId> {
+        let mut v = vec![self.anchor];
+        for j in &self.joins {
+            v.push(profile.get(*j).as_join().expect("join id").to.rel);
+        }
+        v
+    }
+
+    /// Join-degree product of the path.
+    pub fn join_degree(&self, profile: &Profile) -> f64 {
+        self.joins
+            .iter()
+            .map(|j| profile.get(*j).as_join().expect("join id").degree)
+            .product()
+    }
+
+    /// Converts a completed selection path into an output record.
+    pub fn into_selected(self, profile: &Profile) -> SelectedPreference {
+        let join_degree = self.join_degree(profile);
+        SelectedPreference {
+            anchor: self.anchor,
+            joins: self.joins,
+            selection: self.selection.expect("completed path"),
+            join_degree,
+            criticality: self.c,
+        }
+    }
+}
+
+/// Max-heap entry ordered by priority (ties broken by insertion order for
+/// determinism).
+#[derive(Debug)]
+pub(crate) struct Entry {
+    pub priority: f64,
+    pub seq: u64,
+    pub path: Path,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .total_cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Seeds the traversal queue with the atomic preferences related to the
+/// query (Figure 5, step 1), applying the conflict check and the
+/// threshold/zero pruning.
+pub(crate) fn seed_queue(
+    graph: &PersonalizationGraph<'_>,
+    query: &QueryContext,
+    c0: f64,
+    use_fake_crit: bool,
+    seq: &mut u64,
+    heap: &mut std::collections::BinaryHeap<Entry>,
+) {
+    for &rel in &query.relations {
+        for &sid in graph.selections_at(rel) {
+            let s = graph.selection(sid);
+            if query.conflicts(s) {
+                continue;
+            }
+            let c = s.criticality();
+            if c <= c0 {
+                continue;
+            }
+            heap.push(Entry {
+                priority: c,
+                seq: next(seq),
+                path: Path { anchor: rel, joins: vec![], selection: Some(sid), c, priority: c },
+            });
+        }
+        for &jid in graph.joins_at(rel) {
+            let j = graph.join(jid);
+            if query.relations.contains(&j.to.rel) {
+                continue; // would cycle back into the query
+            }
+            let c = j.degree;
+            let fc = if use_fake_crit { graph.fake_criticality(jid) } else { 1.0 };
+            let priority = c * fc;
+            // Without fake criticality the only sound upper bound on a
+            // completion of this join is 2·c (formula 8); prune on that.
+            let bound = if use_fake_crit { priority } else { 2.0 * c };
+            if bound <= c0 || priority <= 0.0 {
+                continue;
+            }
+            heap.push(Entry {
+                priority,
+                seq: next(seq),
+                path: Path { anchor: rel, joins: vec![jid], selection: None, c, priority },
+            });
+        }
+    }
+}
+
+/// Expands a join path with every composable atomic preference (Figure 5,
+/// step 2.3), pushing the children onto the heap.
+pub(crate) fn expand(
+    graph: &PersonalizationGraph<'_>,
+    query: &QueryContext,
+    path: &Path,
+    c0: f64,
+    use_fake_crit: bool,
+    seq: &mut u64,
+    heap: &mut std::collections::BinaryHeap<Entry>,
+) {
+    let profile = graph.profile();
+    let end = path.end_rel(profile);
+    let visited = path.visited(profile);
+    for &sid in graph.selections_at(end) {
+        let s = graph.selection(sid);
+        if query.conflicts(s) {
+            continue;
+        }
+        let c = path.c * s.criticality();
+        if c <= c0 || c <= 0.0 {
+            continue;
+        }
+        let mut joins = path.joins.clone();
+        joins.shrink_to_fit();
+        heap.push(Entry {
+            priority: c,
+            seq: next(seq),
+            path: Path { anchor: path.anchor, joins, selection: Some(sid), c, priority: c },
+        });
+    }
+    for &jid in graph.joins_at(end) {
+        let j = graph.join(jid);
+        if visited.contains(&j.to.rel) || query.relations.contains(&j.to.rel) {
+            continue; // acyclic paths only (§3.2)
+        }
+        let c = path.c * j.degree;
+        let fc = if use_fake_crit { graph.fake_criticality(jid) } else { 1.0 };
+        let priority = c * fc;
+        let bound = if use_fake_crit { priority } else { 2.0 * c };
+        if bound <= c0 || priority <= 0.0 {
+            continue;
+        }
+        let mut joins = path.joins.clone();
+        joins.push(jid);
+        heap.push(Entry {
+            priority,
+            seq: next(seq),
+            path: Path { anchor: path.anchor, joins, selection: None, c, priority },
+        });
+    }
+}
+
+pub(crate) fn next(seq: &mut u64) -> u64 {
+    *seq += 1;
+    *seq
+}
+
+/// Deduplication key: the same terminal selection from the same anchor is
+/// kept only once (the most critical path wins under best-first order).
+pub(crate) type DedupKey = (RelId, PrefId);
+
+pub(crate) fn dedup_key(path: &Path) -> DedupKey {
+    (path.anchor, path.selection.expect("selection path"))
+}
+
+pub(crate) type DedupSet = HashSet<DedupKey>;

@@ -1,0 +1,198 @@
+//! Skyline answers over preference satisfaction (§2).
+//!
+//! The paper positions skylines as a special case of qualitative
+//! preference queries and notes "we do not, yet, support skylines".
+//! This extension adds them on top of PPA's self-explanatory answers:
+//! each tuple's *preference vector* — its satisfaction degree for every
+//! selected preference (0 when failed, negative failure degrees count
+//! against) — spans the space; a tuple is in the skyline iff no other
+//! tuple dominates it (at least as good on every preference, strictly
+//! better on one).
+//!
+//! Unlike the single-score ranking, the skyline surfaces *incomparable*
+//! trade-offs: the W. Allen film that is a musical and the musical-free
+//! film by someone else both survive.
+
+use crate::answer::{PersonalizedAnswer, PersonalizedTuple};
+use crate::profile::Profile;
+use crate::select::SelectedPreference;
+
+/// A tuple's satisfaction vector: one degree per selected preference
+/// (positive when satisfied, the negative failure degree when failed).
+pub fn preference_vector(
+    tuple: &PersonalizedTuple,
+    selected: &[SelectedPreference],
+    profile: &Profile,
+) -> Vec<f64> {
+    let mut v = vec![0.0; selected.len()];
+    for &i in &tuple.satisfied {
+        if i < v.len() {
+            v[i] = selected[i].d_plus_peak(profile);
+        }
+    }
+    for &i in &tuple.failed {
+        if i < v.len() {
+            v[i] = selected[i].d_minus(profile);
+        }
+    }
+    v
+}
+
+/// Whether `a` dominates `b`: at least as good on every dimension and
+/// strictly better on at least one.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Computes the skyline of a personalized answer by block-nested-loop
+/// over the preference vectors. Tuples with identical vectors all stay
+/// (they are incomparable trade-off-wise, merely tied).
+pub fn skyline(
+    answer: &PersonalizedAnswer,
+    selected: &[SelectedPreference],
+    profile: &Profile,
+) -> PersonalizedAnswer {
+    let vectors: Vec<Vec<f64>> = answer
+        .tuples
+        .iter()
+        .map(|t| preference_vector(t, selected, profile))
+        .collect();
+    // block-nested-loop: keep a window of non-dominated candidates
+    let mut window: Vec<usize> = Vec::new();
+    'outer: for i in 0..vectors.len() {
+        let mut j = 0;
+        while j < window.len() {
+            let w = window[j];
+            if dominates(&vectors[w], &vectors[i]) {
+                continue 'outer; // i is dominated
+            }
+            if dominates(&vectors[i], &vectors[w]) {
+                window.swap_remove(j); // i knocks w out
+            } else {
+                j += 1;
+            }
+        }
+        window.push(i);
+    }
+    window.sort_unstable();
+    PersonalizedAnswer {
+        columns: answer.columns.clone(),
+        tuples: window.into_iter().map(|i| answer.tuples[i].clone()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::PersonalizedTuple;
+    use crate::doi::Doi;
+    use crate::preference::{CompareOp, PrefId};
+    use qp_storage::{Attribute, Catalog, DataType, Value};
+
+    fn fixture() -> (Profile, Vec<SelectedPreference>) {
+        let mut c = Catalog::new();
+        c.add_relation(
+            "M",
+            vec![Attribute::new("id", DataType::Int), Attribute::new("x", DataType::Int)],
+            &["id"],
+        )
+        .unwrap();
+        let mut p = Profile::new();
+        let a = p
+            .add_selection(&c, "M", "x", CompareOp::Eq, Value::Int(1), Doi::presence(0.8).unwrap())
+            .unwrap();
+        let b = p
+            .add_selection(&c, "M", "x", CompareOp::Eq, Value::Int(2), Doi::new(-0.5, 0.6).unwrap())
+            .unwrap();
+        let rel = c.relation_by_name("M").unwrap().id;
+        let sel = |id: PrefId, crit: f64| SelectedPreference {
+            anchor: rel,
+            joins: vec![],
+            selection: id,
+            join_degree: 1.0,
+            criticality: crit,
+        };
+        (p, vec![sel(a, 0.8), sel(b, 1.1)])
+    }
+
+    fn tuple(tid: u64, satisfied: Vec<usize>, failed: Vec<usize>, doi: f64) -> PersonalizedTuple {
+        PersonalizedTuple { tuple_id: Some(tid), row: vec![], doi, satisfied, failed }
+    }
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0, 0.5], &[0.5, 0.5]));
+        assert!(!dominates(&[1.0, 0.0], &[0.5, 0.5]));
+        assert!(!dominates(&[0.5, 0.5], &[0.5, 0.5])); // equal: no strict edge
+    }
+
+    #[test]
+    fn vectors_from_explanations() {
+        let (p, sel) = fixture();
+        let t = tuple(0, vec![0], vec![1], 0.3);
+        let v = preference_vector(&t, &sel, &p);
+        assert!((v[0] - 0.8).abs() < 1e-12);
+        assert!((v[1] + 0.5).abs() < 1e-12); // failed: −|d⁻|
+    }
+
+    #[test]
+    fn dominated_tuples_removed() {
+        let (p, sel) = fixture();
+        let answer = PersonalizedAnswer {
+            columns: vec![],
+            tuples: vec![
+                tuple(0, vec![0, 1], vec![], 0.9), // satisfies both — dominates all
+                tuple(1, vec![0], vec![1], 0.3),
+                tuple(2, vec![1], vec![0], 0.2),
+                tuple(3, vec![], vec![0, 1], -0.5),
+            ],
+        };
+        let sky = skyline(&answer, &sel, &p);
+        let ids: Vec<u64> = sky.tuples.iter().map(|t| t.tuple_id.unwrap()).collect();
+        assert_eq!(ids, vec![0]);
+    }
+
+    #[test]
+    fn incomparable_trade_offs_survive() {
+        let (p, sel) = fixture();
+        let answer = PersonalizedAnswer {
+            columns: vec![],
+            tuples: vec![
+                tuple(1, vec![0], vec![1], 0.3), // good on pref 0, bad on 1
+                tuple(2, vec![1], vec![0], 0.2), // good on pref 1, bad on 0
+                tuple(3, vec![], vec![0, 1], -0.5), // dominated by both
+            ],
+        };
+        let sky = skyline(&answer, &sel, &p);
+        let ids: Vec<u64> = sky.tuples.iter().map(|t| t.tuple_id.unwrap()).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn ties_all_stay() {
+        let (p, sel) = fixture();
+        let answer = PersonalizedAnswer {
+            columns: vec![],
+            tuples: vec![tuple(1, vec![0], vec![1], 0.3), tuple(2, vec![0], vec![1], 0.3)],
+        };
+        let sky = skyline(&answer, &sel, &p);
+        assert_eq!(sky.len(), 2);
+    }
+
+    #[test]
+    fn empty_answer() {
+        let (p, sel) = fixture();
+        let answer = PersonalizedAnswer::default();
+        assert!(skyline(&answer, &sel, &p).is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! Property tests over the preference model: doi invariants, ranking
+//! function conditions (§3.3), elastic functions, and selection-algorithm
+//! agreement on random profiles.
+
+use proptest::prelude::*;
+use qp_core::select::{fakecrit::fakecrit, sps::sps, QueryContext, SelectionCriterion};
+use qp_core::{
+    CompareOp, Doi, ElasticFunction, MixedKind, PersonalizationGraph, Profile, Ranking,
+    RankingKind,
+};
+use qp_storage::{Attribute, Catalog, DataType, Value};
+
+// ---- doi ---------------------------------------------------------------
+
+/// Valid exact doi pairs: dT·dF ≤ 0, not both zero.
+fn arb_doi_pair() -> impl Strategy<Value = (f64, f64)> {
+    (-1.0..=1.0f64, 0.0..=1.0f64, any::<bool>()).prop_filter_map(
+        "indifferent pairs are not stored",
+        |(a, mag, flip)| {
+            let b = if a >= 0.0 { -mag } else { mag };
+            let (t, f) = if flip { (b, a) } else { (a, b) };
+            if t == 0.0 && f == 0.0 {
+                None
+            } else {
+                Some((t, f))
+            }
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn doi_invariants((t, f) in arb_doi_pair()) {
+        let doi = Doi::new(t, f).unwrap();
+        // satisfaction peak non-negative, failure peak non-negative
+        prop_assert!(doi.d_plus_peak() >= 0.0);
+        prop_assert!(doi.d_minus_peak() >= 0.0);
+        // criticality within [0, 2]
+        let c = doi.criticality();
+        prop_assert!((0.0..=2.0).contains(&c), "c = {c}");
+        // c = d0+ + |d0-| exactly
+        prop_assert!((c - (doi.d_plus_peak() + doi.d_minus_peak())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doi_scaling_is_linear((t, f) in arb_doi_pair(), factor in 0.0..=1.0f64) {
+        let doi = Doi::new(t, f).unwrap();
+        let scaled = doi.scaled(factor);
+        prop_assert!((scaled.criticality() - factor * doi.criticality()).abs() < 1e-12);
+        prop_assert!((scaled.d_plus_peak() - factor * doi.d_plus_peak()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inconsistent_pairs_rejected(a in 0.01..=1.0f64, b in 0.01..=1.0f64, sign in any::<bool>()) {
+        // both strictly positive (or both strictly negative) violates dT·dF ≤ 0
+        let (t, f) = if sign { (a, b) } else { (-a, -b) };
+        prop_assert!(Doi::new(t, f).is_err());
+    }
+}
+
+// ---- elastic functions --------------------------------------------------
+
+proptest! {
+    #[test]
+    fn elastic_bounded_and_symmetric(
+        center in -1000.0..1000.0f64,
+        width in 0.1..500.0f64,
+        peak in -1.0..=1.0f64,
+        offset in -600.0..600.0f64,
+    ) {
+        let e = ElasticFunction::triangular(center, width, peak).unwrap();
+        let v = e.eval(center + offset);
+        // bounded by the peak, same sign
+        prop_assert!(v.abs() <= peak.abs() + 1e-12);
+        if peak > 0.0 { prop_assert!(v >= 0.0); }
+        if peak < 0.0 { prop_assert!(v <= 0.0); }
+        // symmetric around the center
+        let mirror = e.eval(center - offset);
+        prop_assert!((v - mirror).abs() < 1e-9);
+        // zero outside the support
+        if offset.abs() >= width {
+            prop_assert_eq!(v, 0.0);
+        }
+        // peak attained at the center
+        prop_assert!((e.eval(center) - peak).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elastic_monotone_from_center(
+        width in 0.5..100.0f64,
+        peak in 0.05..=1.0f64,
+        d1 in 0.0..1.0f64,
+        d2 in 0.0..1.0f64,
+    ) {
+        let e = ElasticFunction::triangular(0.0, width, peak).unwrap();
+        let (near, far) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(e.eval(near * width) >= e.eval(far * width) - 1e-12);
+    }
+}
+
+// ---- ranking functions ----------------------------------------------------
+
+fn arb_degrees(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0..=1.0f64, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn ranking_philosophy_bounds(d in arb_degrees(12)) {
+        let max = d.iter().copied().fold(f64::MIN, f64::max);
+        let min = d.iter().copied().fold(f64::MAX, f64::min);
+        // inflationary: r ≥ max
+        prop_assert!(RankingKind::Inflationary.positive(&d) >= max - 1e-12);
+        // dominant: r = max
+        prop_assert!((RankingKind::Dominant.positive(&d) - max).abs() < 1e-12);
+        // reserved: min ≤ r ≤ max
+        let r = RankingKind::Reserved.positive(&d);
+        prop_assert!(r >= min - 1e-9 && r <= max + 1e-9, "min={min} r={r} max={max}");
+        // all within [0, 1]
+        for k in RankingKind::ALL {
+            let v = k.positive(&d);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "{k:?} -> {v}");
+        }
+    }
+
+    #[test]
+    fn ranking_monotone_in_degrees(d in arb_degrees(8), idx in 0usize..8, bump in 0.0..0.3f64) {
+        // raising any degree must not lower the combined score
+        let mut d2 = d.clone();
+        let i = idx % d2.len();
+        d2[i] = (d2[i] + bump).min(1.0);
+        for k in RankingKind::ALL {
+            prop_assert!(k.positive(&d2) >= k.positive(&d) - 1e-12, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_conditions_hold(pos in arb_degrees(8), neg_mags in arb_degrees(8)) {
+        let neg: Vec<f64> = neg_mags.iter().map(|d| -d).collect();
+        for kind in RankingKind::ALL {
+            for mixed in [MixedKind::Sum, MixedKind::CountWeighted] {
+                let r = Ranking::new(kind, mixed);
+                let m = r.mixed(&pos, &neg);
+                // condition (3): r⁻ ≤ r ≤ r⁺
+                prop_assert!(m <= r.positive(&pos) + 1e-12, "{kind:?} {mixed:?}");
+                prop_assert!(m >= r.negative(&neg) - 1e-12, "{kind:?} {mixed:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_condition4(d in 0.0..=1.0f64) {
+        // condition (4): r(d, −d) = 0
+        for kind in RankingKind::ALL {
+            for mixed in [MixedKind::Sum, MixedKind::CountWeighted] {
+                let r = Ranking::new(kind, mixed);
+                prop_assert!(r.mixed(&[d], &[-d]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_is_mirror(d in arb_degrees(8)) {
+        let neg: Vec<f64> = d.iter().map(|x| -x).collect();
+        for k in RankingKind::ALL {
+            prop_assert!((k.positive(&d) + k.negative(&neg)).abs() < 1e-12);
+        }
+    }
+}
+
+// ---- selection algorithms ---------------------------------------------
+
+/// A random profile over a small fixed star schema: selections on B/C/D,
+/// joins A→B, A→C, B→D with random degrees.
+fn arb_profile() -> impl Strategy<Value = Profile> {
+    (
+        prop::collection::vec((0usize..3, 0.05..=1.0f64, 0.0..=1.0f64), 1..8),
+        prop::collection::vec(0.05..=1.0f64, 3..=3),
+    )
+        .prop_map(|(sels, joins)| {
+            let c = star_catalog();
+            let mut p = Profile::new();
+            p.add_join(&c, ("A", "id"), ("B", "id"), joins[0]).unwrap();
+            p.add_join(&c, ("A", "id"), ("C", "id"), joins[1]).unwrap();
+            p.add_join(&c, ("B", "id"), ("D", "id"), joins[2]).unwrap();
+            for (i, (rel, d_plus, d_minus_mag)) in sels.into_iter().enumerate() {
+                let rel_name = ["B", "C", "D"][rel];
+                let doi = match Doi::new(d_plus, -d_minus_mag) {
+                    Ok(d) => d,
+                    Err(_) => Doi::presence(0.5).unwrap(),
+                };
+                p.add_selection(&c, rel_name, "x", CompareOp::Eq, Value::Int(i as i64), doi)
+                    .unwrap();
+            }
+            p
+        })
+}
+
+fn star_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    for name in ["A", "B", "C", "D"] {
+        c.add_relation(
+            name,
+            vec![Attribute::new("id", DataType::Int), Attribute::new("x", DataType::Int)],
+            &["id"],
+        )
+        .unwrap();
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fakecrit_and_sps_agree(profile in arb_profile(), k in 1usize..6) {
+        let c = star_catalog();
+        let graph = PersonalizationGraph::build(&profile);
+        let q = QueryContext::from_query(&c, &qp_sql::parse_query("select x from A").unwrap())
+            .unwrap();
+        let a = fakecrit(&graph, &q, SelectionCriterion::TopK(k)).unwrap();
+        let b = sps(&graph, &q, SelectionCriterion::TopK(k)).unwrap();
+        // identical criticalities in identical order (paths may tie)
+        let ca: Vec<u64> = a.iter().map(|s| (s.criticality * 1e12) as u64).collect();
+        let cb: Vec<u64> = b.iter().map(|s| (s.criticality * 1e12) as u64).collect();
+        prop_assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn fakecrit_output_sorted_and_bounded(profile in arb_profile(), k in 1usize..8) {
+        let c = star_catalog();
+        let graph = PersonalizationGraph::build(&profile);
+        let q = QueryContext::from_query(&c, &qp_sql::parse_query("select x from A").unwrap())
+            .unwrap();
+        let out = fakecrit(&graph, &q, SelectionCriterion::TopK(k)).unwrap();
+        prop_assert!(out.len() <= k);
+        for w in out.windows(2) {
+            prop_assert!(w[0].criticality >= w[1].criticality - 1e-12);
+        }
+        for s in &out {
+            prop_assert!((0.0..=2.0).contains(&s.criticality));
+            // implicit criticality = join product · selection criticality
+            let expect = s.join_degree * s.sel(&profile).criticality();
+            prop_assert!((s.criticality - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn threshold_criterion_respected(profile in arb_profile(), c0 in 0.0..2.0f64) {
+        let c = star_catalog();
+        let graph = PersonalizationGraph::build(&profile);
+        let q = QueryContext::from_query(&c, &qp_sql::parse_query("select x from A").unwrap())
+            .unwrap();
+        let out = fakecrit(&graph, &q, SelectionCriterion::Threshold(c0)).unwrap();
+        for s in &out {
+            prop_assert!(s.criticality > c0, "{} <= {c0}", s.criticality);
+        }
+        // threshold output is a prefix of the unrestricted ranking
+        let all = fakecrit(&graph, &q, SelectionCriterion::TopK(100)).unwrap();
+        let expected: Vec<_> = all.into_iter().filter(|s| s.criticality > c0).collect();
+        prop_assert_eq!(out.len(), expected.len());
+    }
+}

@@ -1,0 +1,391 @@
+//! Synthetic IMDB-style database generator.
+//!
+//! Builds the paper's schema (§3) and fills it with deterministic,
+//! Zipf-skewed data. The original evaluation used an IMDB dump with over
+//! 340k films; this generator reproduces the *statistical shape* the
+//! algorithms care about — selectivity spread across genre/year/duration
+//! conditions, prolific directors, 1–n fan-out from movies to genres,
+//! casts, and plays — at any configurable scale.
+
+use qp_storage::{Attribute, Catalog, DataType, Database, RelId, Row, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::names;
+
+/// Genre vocabulary (Zipf-ranked: earlier entries are more common).
+pub const GENRES: &[&str] = &[
+    "drama", "comedy", "thriller", "action", "romance", "documentary", "horror", "adventure",
+    "crime", "sci-fi", "fantasy", "musical", "mystery", "animation", "western", "war", "biography",
+    "family", "history", "sport",
+];
+
+/// Theatre regions (Zipf-ranked).
+pub const REGIONS: &[&str] =
+    &["downtown", "suburbs", "north", "south", "east", "west", "riverside", "old-town"];
+
+/// Cast roles.
+pub const ROLES: &[&str] = &["lead", "support", "cameo"];
+
+/// Scale knobs for the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImdbScale {
+    /// Number of movies.
+    pub movies: usize,
+    /// Number of actors.
+    pub actors: usize,
+    /// Number of directors.
+    pub directors: usize,
+    /// Number of theatres.
+    pub theatres: usize,
+    /// Average plays (movie showings) per theatre.
+    pub plays_per_theatre: usize,
+    /// RNG seed; same seed → identical database.
+    pub seed: u64,
+}
+
+impl ImdbScale {
+    /// ~1k movies — unit tests.
+    pub fn small() -> Self {
+        ImdbScale {
+            movies: 1_000,
+            actors: 2_000,
+            directors: 200,
+            theatres: 40,
+            plays_per_theatre: 25,
+            seed: 42,
+        }
+    }
+
+    /// ~20k movies — integration tests, quick benchmarks.
+    pub fn medium() -> Self {
+        ImdbScale {
+            movies: 20_000,
+            actors: 30_000,
+            directors: 2_000,
+            theatres: 200,
+            plays_per_theatre: 60,
+            seed: 42,
+        }
+    }
+
+    /// ~100k movies — the figure-reproduction runs.
+    pub fn large() -> Self {
+        ImdbScale {
+            movies: 100_000,
+            actors: 120_000,
+            directors: 8_000,
+            theatres: 500,
+            plays_per_theatre: 120,
+            seed: 42,
+        }
+    }
+}
+
+/// Creates the paper's schema in a fresh database (no data).
+pub fn create_schema(db: &mut Database) {
+    db.create_relation(
+        "THEATRE",
+        vec![
+            Attribute::new("tid", DataType::Int),
+            Attribute::new("name", DataType::Text),
+            Attribute::new("phone", DataType::Text),
+            Attribute::new("region", DataType::Text),
+            Attribute::new("ticket", DataType::Float),
+        ],
+        &["tid"],
+    )
+    .expect("fresh database");
+    db.create_relation(
+        "PLAY",
+        vec![
+            Attribute::new("tid", DataType::Int),
+            Attribute::new("mid", DataType::Int),
+            Attribute::new("date", DataType::Int),
+        ],
+        &["tid", "mid", "date"],
+    )
+    .expect("fresh database");
+    db.create_relation(
+        "GENRE",
+        vec![Attribute::new("mid", DataType::Int), Attribute::new("genre", DataType::Text)],
+        &["mid", "genre"],
+    )
+    .expect("fresh database");
+    db.create_relation(
+        "MOVIE",
+        vec![
+            Attribute::new("mid", DataType::Int),
+            Attribute::new("title", DataType::Text),
+            Attribute::new("year", DataType::Int),
+            Attribute::new("duration", DataType::Int),
+        ],
+        &["mid"],
+    )
+    .expect("fresh database");
+    db.create_relation(
+        "CAST",
+        vec![
+            Attribute::new("mid", DataType::Int),
+            Attribute::new("aid", DataType::Int),
+            Attribute::new("award", DataType::Int),
+            Attribute::new("role", DataType::Text),
+        ],
+        &["mid", "aid"],
+    )
+    .expect("fresh database");
+    db.create_relation(
+        "ACTOR",
+        vec![Attribute::new("aid", DataType::Int), Attribute::new("name", DataType::Text)],
+        &["aid"],
+    )
+    .expect("fresh database");
+    db.create_relation(
+        "DIRECTED",
+        vec![Attribute::new("mid", DataType::Int), Attribute::new("did", DataType::Int)],
+        &["mid", "did"],
+    )
+    .expect("fresh database");
+    db.create_relation(
+        "DIRECTOR",
+        vec![Attribute::new("did", DataType::Int), Attribute::new("name", DataType::Text)],
+        &["did"],
+    )
+    .expect("fresh database");
+
+    // schema-graph join edges (the personalization graph extends these)
+    let c = db.catalog_mut();
+    for (ra, aa, rb, ab) in [
+        ("PLAY", "tid", "THEATRE", "tid"),
+        ("PLAY", "mid", "MOVIE", "mid"),
+        ("GENRE", "mid", "MOVIE", "mid"),
+        ("CAST", "mid", "MOVIE", "mid"),
+        ("CAST", "aid", "ACTOR", "aid"),
+        ("DIRECTED", "mid", "MOVIE", "mid"),
+        ("DIRECTED", "did", "DIRECTOR", "did"),
+    ] {
+        c.add_join_edge_by_name(ra, aa, rb, ab).expect("schema joins");
+    }
+}
+
+/// Zipf-ish pick: index `i` with probability ∝ 1/(i+1).
+fn zipf_pick(rng: &mut StdRng, n: usize) -> usize {
+    // inverse-CDF over harmonic weights, cheap approximation
+    let h: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+    let mut target = rng.gen::<f64>() * h;
+    for i in 0..n {
+        target -= 1.0 / (i + 1) as f64;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    n - 1
+}
+
+/// Generates a database at the given scale. Director 0 is always named
+/// `"W. Allen"` so the paper's running example works verbatim.
+pub fn generate(scale: ImdbScale) -> Database {
+    let mut db = Database::new();
+    create_schema(&mut db);
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let rel = |db: &Database, name: &str| -> RelId {
+        db.catalog().relation_by_name(name).expect("schema created").id
+    };
+
+    // directors
+    let director_rel = rel(&db, "DIRECTOR");
+    let rows: Vec<Row> = (0..scale.directors)
+        .map(|did| {
+            let name = if did == 0 {
+                "W. Allen".to_string()
+            } else {
+                names::person_name(did as u64 + 10_000)
+            };
+            vec![Value::Int(did as i64), Value::str(name)]
+        })
+        .collect();
+    db.bulk_load(director_rel, rows);
+
+    // actors
+    let actor_rel = rel(&db, "ACTOR");
+    let rows: Vec<Row> = (0..scale.actors)
+        .map(|aid| vec![Value::Int(aid as i64), Value::str(names::person_name(aid as u64))])
+        .collect();
+    db.bulk_load(actor_rel, rows);
+
+    // movies + genres + cast + directed
+    let movie_rel = rel(&db, "MOVIE");
+    let genre_rel = rel(&db, "GENRE");
+    let cast_rel = rel(&db, "CAST");
+    let directed_rel = rel(&db, "DIRECTED");
+    let mut movies = Vec::with_capacity(scale.movies);
+    let mut genres = Vec::new();
+    let mut casts = Vec::new();
+    let mut directed = Vec::new();
+    for mid in 0..scale.movies {
+        // years skew recent: quadratic ramp over 1930..=2004
+        let u: f64 = rng.gen::<f64>().sqrt();
+        let year = 1930 + (u * 74.0) as i64;
+        // durations: rough normal around 105, clamped 55..=240
+        let duration: f64 = (0..4).map(|_| rng.gen_range(55.0..160.0)).sum::<f64>() / 4.0;
+        let duration = duration.round().clamp(55.0, 240.0) as i64;
+        movies.push(vec![
+            Value::Int(mid as i64),
+            Value::str(names::movie_title(mid as u64)),
+            Value::Int(year),
+            Value::Int(duration),
+        ]);
+        // 1..=3 genres, Zipf over the vocabulary
+        let ng = 1 + (rng.gen::<f64>() * rng.gen::<f64>() * 3.0) as usize;
+        let mut seen = Vec::new();
+        for _ in 0..ng {
+            let g = zipf_pick(&mut rng, GENRES.len());
+            if !seen.contains(&g) {
+                seen.push(g);
+                genres.push(vec![Value::Int(mid as i64), Value::str(GENRES[g])]);
+            }
+        }
+        // 2..=6 cast members, Zipf-popular actors
+        let nc = rng.gen_range(2..=6);
+        let mut cast_seen = Vec::new();
+        for _ in 0..nc {
+            let a = zipf_pick(&mut rng, scale.actors);
+            if !cast_seen.contains(&a) {
+                cast_seen.push(a);
+                casts.push(vec![
+                    Value::Int(mid as i64),
+                    Value::Int(a as i64),
+                    Value::Int(i64::from(rng.gen::<f64>() < 0.05)),
+                    Value::str(ROLES[rng.gen_range(0..ROLES.len())]),
+                ]);
+            }
+        }
+        // one director, Zipf-prolific
+        let d = zipf_pick(&mut rng, scale.directors);
+        directed.push(vec![Value::Int(mid as i64), Value::Int(d as i64)]);
+    }
+    db.bulk_load(movie_rel, movies);
+    db.bulk_load(genre_rel, genres);
+    db.bulk_load(cast_rel, casts);
+    db.bulk_load(directed_rel, directed);
+
+    // theatres + plays
+    let theatre_rel = rel(&db, "THEATRE");
+    let play_rel = rel(&db, "PLAY");
+    let mut theatres = Vec::with_capacity(scale.theatres);
+    let mut plays = Vec::new();
+    for tid in 0..scale.theatres {
+        let region = REGIONS[zipf_pick(&mut rng, REGIONS.len())];
+        let ticket = (rng.gen_range(8.0..24.0_f64) / 2.0).round() / 2.0 + 3.0; // 5.0..=15.0 in .25 steps
+        theatres.push(vec![
+            Value::Int(tid as i64),
+            Value::str(names::theatre_name(tid as u64)),
+            Value::str(format!("555-{:04}", tid)),
+            Value::str(region),
+            Value::Float(ticket),
+        ]);
+        let mut played = Vec::new();
+        for _ in 0..scale.plays_per_theatre {
+            // theatres favour recent movies (high mids)
+            let m = scale.movies - 1 - zipf_pick(&mut rng, scale.movies);
+            if !played.contains(&m) {
+                played.push(m);
+                let date = rng.gen_range(0..365);
+                plays.push(vec![Value::Int(tid as i64), Value::Int(m as i64), Value::Int(date)]);
+            }
+        }
+    }
+    db.bulk_load(theatre_rel, theatres);
+    db.bulk_load(play_rel, plays);
+
+    db
+}
+
+/// Convenience: the catalog the generator creates (for building profiles
+/// without a populated database).
+pub fn schema_catalog() -> Catalog {
+    let mut db = Database::new();
+    create_schema(&mut db);
+    std::mem::take(db.catalog_mut())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(ImdbScale { movies: 100, ..ImdbScale::small() });
+        let b = generate(ImdbScale { movies: 100, ..ImdbScale::small() });
+        assert_eq!(a.total_rows(), b.total_rows());
+        let ta = a.table_by_name("MOVIE").unwrap();
+        let tb = b.table_by_name("MOVIE").unwrap();
+        assert_eq!(ta.rows(), tb.rows());
+    }
+
+    #[test]
+    fn scale_respected() {
+        let db = generate(ImdbScale::small());
+        assert_eq!(db.table_by_name("MOVIE").unwrap().len(), 1_000);
+        assert_eq!(db.table_by_name("DIRECTOR").unwrap().len(), 200);
+        assert!(db.table_by_name("GENRE").unwrap().len() >= 1_000);
+        assert!(!db.table_by_name("PLAY").unwrap().is_empty());
+    }
+
+    #[test]
+    fn w_allen_exists() {
+        let db = generate(ImdbScale::small());
+        let t = db.table_by_name("DIRECTOR").unwrap();
+        let (_, row) = t.iter().next().unwrap();
+        assert_eq!(row[1], Value::str("W. Allen"));
+    }
+
+    #[test]
+    fn genres_are_zipf_skewed() {
+        let db = generate(ImdbScale::small());
+        let t = db.table_by_name("GENRE").unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for (_, row) in t.iter() {
+            *counts.entry(row[1].to_string()).or_insert(0usize) += 1;
+        }
+        let drama = counts.get("drama").copied().unwrap_or(0);
+        let sport = counts.get("sport").copied().unwrap_or(0);
+        assert!(drama > sport * 3, "drama={drama} sport={sport}");
+    }
+
+    #[test]
+    fn years_in_range() {
+        let db = generate(ImdbScale::small());
+        for (_, row) in db.table_by_name("MOVIE").unwrap().iter() {
+            let y = row[2].as_i64().unwrap();
+            assert!((1930..=2004).contains(&y), "{y}");
+            let d = row[3].as_i64().unwrap();
+            assert!((55..=240).contains(&d), "{d}");
+        }
+    }
+
+    #[test]
+    fn referential_integrity() {
+        let db = generate(ImdbScale { movies: 200, ..ImdbScale::small() });
+        let movies = db.table_by_name("MOVIE").unwrap().len() as i64;
+        for (_, row) in db.table_by_name("GENRE").unwrap().iter() {
+            assert!(row[0].as_i64().unwrap() < movies);
+        }
+        for (_, row) in db.table_by_name("DIRECTED").unwrap().iter() {
+            assert!(row[1].as_i64().unwrap() < 200);
+        }
+        for (_, row) in db.table_by_name("PLAY").unwrap().iter() {
+            assert!(row[1].as_i64().unwrap() < movies);
+        }
+    }
+
+    #[test]
+    fn schema_graph_has_join_edges() {
+        let db = generate(ImdbScale { movies: 50, ..ImdbScale::small() });
+        let c = db.catalog();
+        let m = c.resolve("MOVIE", "mid").unwrap();
+        let g = c.resolve("GENRE", "mid").unwrap();
+        assert!(c.is_joinable(m, g));
+        assert!(c.is_joinable(g, m));
+    }
+}

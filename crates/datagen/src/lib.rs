@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # qp-datagen
+//!
+//! Synthetic data for the paper's evaluation (§6), substituting for the
+//! assets we cannot ship:
+//!
+//! * [`imdb`] — a deterministic generator for the paper's exact movie
+//!   schema (THEATRE, PLAY, GENRE, MOVIE, CAST, ACTOR, DIRECTED,
+//!   DIRECTOR), with Zipf-skewed categorical values so selections have a
+//!   realistic selectivity spread (the original used an IMDB dump with
+//!   340k films).
+//! * [`profiles`] — the paper's "Al" profile (Figure 2) plus random
+//!   profile generators with a configurable mix of preference types
+//!   (positive/negative, presence/absence, exact/elastic, joins).
+//! * [`users`] — simulated users replacing the 14 human subjects of
+//!   §6.2: each owns a latent ground-truth preference set (a superset of
+//!   the stored profile), a ranking philosophy, and rating noise, and
+//!   produces the tuple-interest / answer-score / difficulty / coverage
+//!   measurements the paper collected.
+//! * [`queries`] — the five-query workload of trial 1 and the
+//!   specific-need queries of trial 2.
+
+pub mod imdb;
+pub mod names;
+pub mod profiles;
+pub mod queries;
+pub mod users;
+
+pub use imdb::{generate, ImdbScale};
+pub use profiles::{als_profile, random_profile, ProfileSpec};
+pub use users::{simulate_users, AnswerEvaluation, SimulatedUser};

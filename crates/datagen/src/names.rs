@@ -1,0 +1,122 @@
+//! Deterministic fake-name generation.
+//!
+//! Names are synthesized from syllable tables indexed by an integer, so
+//! the same id always produces the same name — data generation stays
+//! reproducible without shipping name corpora.
+
+const FIRST: &[&str] = &[
+    "Al", "Ben", "Cara", "Dana", "Eli", "Fay", "Gus", "Hana", "Ira", "Jo", "Kay", "Lee", "Mia",
+    "Ned", "Ora", "Pam", "Quin", "Rae", "Sam", "Tess", "Uma", "Vic", "Wes", "Xena", "Yan", "Zoe",
+];
+
+const SYLLABLES: &[&str] = &[
+    "bar", "cor", "dan", "fel", "gar", "hol", "jen", "kas", "lan", "mor", "nor", "pel", "quil",
+    "ros", "sal", "tor", "ul", "ven", "win", "yor", "zan",
+];
+
+/// A deterministic person name for an id, e.g. `"Cara Barcor"`.
+pub fn person_name(id: u64) -> String {
+    let first = FIRST[(id % FIRST.len() as u64) as usize];
+    let mut n = id / FIRST.len() as u64;
+    let mut last = String::new();
+    loop {
+        last.push_str(SYLLABLES[(n % SYLLABLES.len() as u64) as usize]);
+        n /= SYLLABLES.len() as u64;
+        if n == 0 || last.len() >= 9 {
+            break;
+        }
+    }
+    let mut chars = last.chars();
+    let last: String = match chars.next() {
+        Some(c) => c.to_uppercase().chain(chars).collect(),
+        None => last,
+    };
+    format!("{first} {last}")
+}
+
+/// A deterministic movie title for an id, e.g. `"The Gar of Pel"`.
+/// Distinct ids always produce distinct titles (the id is fully decomposed
+/// into the pattern and syllable choices), which keeps SPA's
+/// group-by-projection semantics aligned with tuple identity.
+pub fn movie_title(id: u64) -> String {
+    let cap = |s: &str| {
+        let mut cs = s.chars();
+        match cs.next() {
+            Some(c) => c.to_uppercase().chain(cs).collect::<String>(),
+            None => String::new(),
+        }
+    };
+    let n = SYLLABLES.len() as u64;
+    let pattern = id % 4;
+    let mut rest = id / 4;
+    let a = SYLLABLES[(rest % n) as usize];
+    rest /= n;
+    let b = SYLLABLES[(rest % n) as usize];
+    rest /= n;
+    // `rest` distinguishes ids beyond the syllable space; suffix only when
+    // needed so small databases keep clean titles
+    let suffix = if rest > 0 { format!(" {}", roman(rest)) } else { String::new() };
+    match pattern {
+        0 => format!("The {} of {}{}", cap(a), cap(b), suffix),
+        1 => format!("{} {}{}", cap(a), cap(b), suffix),
+        2 => format!("Return to {}{}{}", cap(a), cap(b), suffix),
+        _ => format!("{} {} Nights{}", cap(a), cap(b), suffix),
+    }
+}
+
+/// Roman-ish numeral suffix (not classically minimal, but deterministic
+/// and unique per value).
+fn roman(mut n: u64) -> String {
+    let mut out = String::new();
+    for (val, sym) in
+        [(100, "C"), (90, "XC"), (50, "L"), (40, "XL"), (10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I")]
+    {
+        while n >= val {
+            out.push_str(sym);
+            n -= val;
+        }
+        if n == 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// A deterministic theatre name.
+pub fn theatre_name(id: u64) -> String {
+    const KINDS: &[&str] = &["Odeon", "Rex", "Lux", "Plaza", "Astor", "Orpheum", "Palace", "Ritz"];
+    format!("{} {}", KINDS[(id % KINDS.len() as u64) as usize], id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(person_name(42), person_name(42));
+        assert_eq!(movie_title(7), movie_title(7));
+        assert_eq!(theatre_name(3), theatre_name(3));
+    }
+
+    #[test]
+    fn mostly_distinct() {
+        let names: std::collections::HashSet<String> = (0..5000).map(person_name).collect();
+        assert!(names.len() > 4000, "only {} distinct names", names.len());
+    }
+
+    #[test]
+    fn titles_unique() {
+        let titles: std::collections::HashSet<String> = (0..120_000).map(movie_title).collect();
+        assert_eq!(titles.len(), 120_000);
+    }
+
+    #[test]
+    fn titles_nonempty_and_capitalized() {
+        for i in 0..100 {
+            let t = movie_title(i);
+            assert!(!t.is_empty());
+            assert!(t.chars().next().unwrap().is_uppercase());
+        }
+    }
+}

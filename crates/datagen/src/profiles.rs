@@ -1,0 +1,264 @@
+//! Profile generators.
+//!
+//! [`als_profile`] reproduces the paper's running example (Figure 2).
+//! [`random_profile`] draws preferences of every type the model supports
+//! from the *actual data* of a generated database, so conditions always
+//! have non-trivial selectivity.
+
+use qp_core::{CompareOp, Doi, Degree, ElasticFunction, PrefError, Profile};
+use qp_storage::{Database, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Al's profile from Figure 2 of the paper (P1–P10).
+pub fn als_profile(db: &Database) -> Result<Profile, PrefError> {
+    Profile::parse(
+        db.catalog(),
+        "# Al's profile (Figure 2)\n\
+         doi(DIRECTOR.name = 'W. Allen') = (0.8, 0)\n\
+         doi(THEATRE.ticket = around(6, 2)) = (e(0.5), 0)\n\
+         doi(MOVIE.year < 1980) = (-0.7, 0)\n\
+         doi(MOVIE.duration = around(120, 30)) = (e(0.7), e(-0.5))\n\
+         doi(GENRE.genre = 'musical') = (-0.9, 0.7)\n\
+         doi(THEATRE.region = 'downtown') = (0.7, -0.5)\n\
+         doi(MOVIE.mid = DIRECTED.mid) = (1)\n\
+         doi(DIRECTED.did = DIRECTOR.did) = (0.9)\n\
+         doi(MOVIE.mid = GENRE.mid) = (0.8)\n\
+         doi(MOVIE.mid = PLAY.mid) = (0.7)\n\
+         doi(PLAY.tid = THEATRE.tid) = (1)\n\
+         doi(THEATRE.tid = PLAY.tid) = (1)\n\
+         doi(PLAY.mid = MOVIE.mid) = (1)\n",
+    )
+}
+
+/// Mix of preference types for [`random_profile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileSpec {
+    /// Exact positive presence preferences (the only type of the paper's
+    /// earlier model).
+    pub positive_presence: usize,
+    /// Negative preferences (dislikes, satisfied by absence).
+    pub negative: usize,
+    /// Complex preferences combining presence and absence degrees.
+    pub complex: usize,
+    /// Elastic preferences on numeric attributes.
+    pub elastic: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ProfileSpec {
+    /// Only exact positive presence preferences (the Figure 7/8 setup:
+    /// "varying K positive presence preferences").
+    pub fn positive_only(n: usize, seed: u64) -> Self {
+        ProfileSpec { positive_presence: n, negative: 0, complex: 0, elastic: 0, seed }
+    }
+
+    /// A balanced mix totalling `n` selection preferences.
+    pub fn mixed(n: usize, seed: u64) -> Self {
+        let quarter = n / 4;
+        ProfileSpec {
+            positive_presence: n - 3 * quarter,
+            negative: quarter,
+            complex: quarter,
+            elastic: quarter,
+            seed,
+        }
+    }
+
+    /// Total selection preferences requested.
+    pub fn total(&self) -> usize {
+        self.positive_presence + self.negative + self.complex + self.elastic
+    }
+}
+
+/// The standard join preferences connecting the schema, mirroring P7–P10:
+/// every path used by the selection algorithms starts from these.
+pub fn standard_joins(db: &Database, profile: &mut Profile, rng: &mut StdRng) {
+    let c = db.catalog();
+    type JoinSpec<'a> = ((&'a str, &'a str), (&'a str, &'a str), f64);
+    let joins: &[JoinSpec<'_>] = &[
+        (("MOVIE", "mid"), ("DIRECTED", "mid"), 1.0),
+        (("DIRECTED", "did"), ("DIRECTOR", "did"), 0.9),
+        (("MOVIE", "mid"), ("GENRE", "mid"), 0.8),
+        (("MOVIE", "mid"), ("CAST", "mid"), 0.8),
+        (("CAST", "aid"), ("ACTOR", "aid"), 0.9),
+        (("MOVIE", "mid"), ("PLAY", "mid"), 0.7),
+        (("PLAY", "tid"), ("THEATRE", "tid"), 1.0),
+        (("THEATRE", "tid"), ("PLAY", "tid"), 1.0),
+        (("PLAY", "mid"), ("MOVIE", "mid"), 1.0),
+    ];
+    for ((fr, fa), (tr, ta), base) in joins {
+        // jitter keeps runs with different seeds from being identical
+        let jitter = 1.0 - rng.gen::<f64>() * 0.1;
+        let d = (base * jitter).clamp(0.05, 1.0);
+        profile.add_join(c, (fr, fa), (tr, ta), d).expect("standard join");
+    }
+}
+
+/// Samples a distinct value of a text column.
+fn sample_text(db: &Database, rel: &str, col: &str, rng: &mut StdRng) -> Option<String> {
+    let table = db.table_by_name(rel).ok()?;
+    if table.is_empty() {
+        return None;
+    }
+    let idx = db.catalog().relation_by_name(rel).ok()?.attr_index(col)?;
+    let row = rng.gen_range(0..table.len());
+    table.rows()[row][idx].as_str().map(str::to_string)
+}
+
+/// Generates a profile with the requested preference mix, drawing values
+/// from the database so every condition matches real data. Standard join
+/// preferences are always included.
+pub fn random_profile(db: &Database, spec: &ProfileSpec) -> Profile {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let c = db.catalog();
+    let mut profile = Profile::new();
+    standard_joins(db, &mut profile, &mut rng);
+
+    // candidate (relation, attr) pools for categorical conditions
+    let pools: &[(&str, &str)] =
+        &[("GENRE", "genre"), ("DIRECTOR", "name"), ("ACTOR", "name"), ("THEATRE", "region")];
+    let mut used: std::collections::HashSet<(String, String)> = std::collections::HashSet::new();
+    let mut draw_condition = |rng: &mut StdRng| -> Option<(&'static str, &'static str, String)> {
+        for _ in 0..64 {
+            let (rel, col) = pools[rng.gen_range(0..pools.len())];
+            if let Some(v) = sample_text(db, rel, col, rng) {
+                if used.insert((format!("{rel}.{col}"), v.clone())) {
+                    return Some((rel, col, v));
+                }
+            }
+        }
+        None
+    };
+
+    for _ in 0..spec.positive_presence {
+        if let Some((rel, col, v)) = draw_condition(&mut rng) {
+            let d = rng.gen_range(0.3..0.95);
+            profile
+                .add_selection(c, rel, col, CompareOp::Eq, v, Doi::presence(d).expect("valid"))
+                .expect("sampled attribute exists");
+        }
+    }
+    for _ in 0..spec.negative {
+        if let Some((rel, col, v)) = draw_condition(&mut rng) {
+            let d = rng.gen_range(0.3..0.95);
+            profile
+                .add_selection(c, rel, col, CompareOp::Eq, v, Doi::dislike(d).expect("valid"))
+                .expect("sampled attribute exists");
+        }
+    }
+    for _ in 0..spec.complex {
+        if let Some((rel, col, v)) = draw_condition(&mut rng) {
+            // like presence, dislike absence — or the reverse
+            let d1 = rng.gen_range(0.3..0.9);
+            let d2 = rng.gen_range(0.2..0.7);
+            let doi = if rng.gen_bool(0.5) {
+                Doi::new(d1, -d2).expect("valid")
+            } else {
+                Doi::new(-d1, d2).expect("valid")
+            };
+            profile
+                .add_selection(c, rel, col, CompareOp::Eq, v, doi)
+                .expect("sampled attribute exists");
+        }
+    }
+    for i in 0..spec.elastic {
+        // alternate between duration, ticket, and year targets
+        let (rel, col, center, width) = match i % 3 {
+            0 => ("MOVIE", "duration", rng.gen_range(85.0..150.0_f64).round(), 25.0),
+            1 => ("THEATRE", "ticket", rng.gen_range(5.0..12.0_f64).round(), 2.5),
+            _ => ("MOVIE", "year", rng.gen_range(1960.0..2000.0_f64).round(), 10.0),
+        };
+        let peak = rng.gen_range(0.4..0.9);
+        let pos = Degree::Elastic(ElasticFunction::triangular(center, width, peak).expect("valid"));
+        let neg = if rng.gen_bool(0.4) {
+            Degree::Elastic(
+                ElasticFunction::triangular(center, width, -rng.gen_range(0.2..0.5))
+                    .expect("valid"),
+            )
+        } else {
+            Degree::Exact(0.0)
+        };
+        let doi = Doi::new(pos, neg).expect("valid");
+        profile
+            .add_selection(c, rel, col, CompareOp::Eq, Value::Float(center), doi)
+            .expect("numeric attribute exists");
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imdb::{generate, ImdbScale};
+
+    fn db() -> Database {
+        generate(ImdbScale { movies: 300, ..ImdbScale::small() })
+    }
+
+    #[test]
+    fn als_profile_parses() {
+        let db = db();
+        let p = als_profile(&db).unwrap();
+        assert_eq!(p.selections().count(), 6);
+        assert_eq!(p.joins().count(), 7);
+    }
+
+    #[test]
+    fn positive_only_profile() {
+        let db = db();
+        let p = random_profile(&db, &ProfileSpec::positive_only(25, 7));
+        assert_eq!(p.selections().count(), 25);
+        for (_, s) in p.selections() {
+            assert!(s.is_presence());
+            assert!(!s.doi.is_elastic());
+            assert!(s.doi.d_minus_peak() == 0.0);
+        }
+    }
+
+    #[test]
+    fn mixed_profile_has_all_types() {
+        let db = db();
+        let p = random_profile(&db, &ProfileSpec::mixed(20, 11));
+        assert_eq!(p.selections().count(), 20);
+        let negatives = p.selections().filter(|(_, s)| !s.is_presence()).count();
+        let elastics = p.selections().filter(|(_, s)| s.doi.is_elastic()).count();
+        assert!(negatives > 0);
+        assert_eq!(elastics, 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let db = db();
+        let a = random_profile(&db, &ProfileSpec::mixed(12, 3));
+        let b = random_profile(&db, &ProfileSpec::mixed(12, 3));
+        assert_eq!(a, b);
+        let c = random_profile(&db, &ProfileSpec::mixed(12, 4));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn profile_round_trips_through_dsl() {
+        let db = db();
+        let p = random_profile(&db, &ProfileSpec::mixed(16, 5));
+        let dsl = p.to_dsl(db.catalog());
+        let p2 = Profile::parse(db.catalog(), &dsl).unwrap();
+        assert_eq!(p.len(), p2.len());
+    }
+
+    #[test]
+    fn conditions_match_real_data() {
+        let db = db();
+        let p = random_profile(&db, &ProfileSpec::positive_only(10, 9));
+        // every categorical condition value exists in its table
+        for (_, s) in p.selections() {
+            let rel = db.catalog().relation(s.attr.rel);
+            let table = db.table(s.attr.rel);
+            let found = table
+                .column(s.attr.idx as usize)
+                .any(|v| v.sql_eq(&s.condition.value) == Some(true));
+            assert!(found, "{}.{} = {:?} not in data", rel.name, s.attr.idx, s.condition.value);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Execution and planning errors.
+
+use std::fmt;
+
+use qp_sql::ParseError;
+use qp_storage::StorageError;
+
+/// Errors raised while planning or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The SQL text failed to parse (only from `execute_sql`).
+    Parse(ParseError),
+    /// A catalog lookup failed.
+    Storage(StorageError),
+    /// A table binding was not found in scope.
+    UnknownBinding(String),
+    /// A column name was not found in any binding.
+    UnknownColumn(String),
+    /// A column name matched more than one binding.
+    AmbiguousColumn(String),
+    /// Two bindings share a name.
+    DuplicateBinding(String),
+    /// A function name is not registered.
+    UnknownFunction(String),
+    /// An aggregate appeared where none is allowed, or vice versa.
+    MisplacedAggregate(String),
+    /// A non-grouped column was referenced in an aggregate query.
+    NotGrouped(String),
+    /// UNION ALL branches disagree on arity.
+    UnionArityMismatch {
+        /// Arity of the first branch.
+        expected: usize,
+        /// Arity of the offending branch.
+        got: usize,
+    },
+    /// An IN sub-query projected more or fewer than one column.
+    SubqueryArity(usize),
+    /// An IN sub-query referenced bindings of the outer query (only
+    /// uncorrelated sub-queries are supported).
+    CorrelatedSubquery(String),
+    /// ORDER BY expression could not be resolved.
+    UnresolvedOrderBy(String),
+    /// A type error during evaluation.
+    Type(String),
+    /// Anything else.
+    Unsupported(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Parse(e) => write!(f, "{e}"),
+            ExecError::Storage(e) => write!(f, "{e}"),
+            ExecError::UnknownBinding(b) => write!(f, "unknown table binding `{b}`"),
+            ExecError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            ExecError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            ExecError::DuplicateBinding(b) => write!(f, "duplicate table binding `{b}`"),
+            ExecError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            ExecError::MisplacedAggregate(n) => {
+                write!(f, "aggregate `{n}` is not allowed in this context")
+            }
+            ExecError::NotGrouped(c) => {
+                write!(f, "column `{c}` must appear in GROUP BY or an aggregate")
+            }
+            ExecError::UnionArityMismatch { expected, got } => {
+                write!(f, "UNION ALL branches have different arities: {expected} vs {got}")
+            }
+            ExecError::SubqueryArity(n) => {
+                write!(f, "IN sub-query must project exactly one column, got {n}")
+            }
+            ExecError::CorrelatedSubquery(c) => {
+                write!(f, "correlated sub-queries are not supported (outer reference `{c}`)")
+            }
+            ExecError::UnresolvedOrderBy(e) => {
+                write!(f, "cannot resolve ORDER BY expression `{e}`")
+            }
+            ExecError::Type(msg) => write!(f, "type error: {msg}"),
+            ExecError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+impl From<ParseError> for ExecError {
+    fn from(e: ParseError) -> Self {
+        ExecError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ExecError::UnknownColumn("x".into()).to_string().contains("`x`"));
+        assert!(ExecError::UnionArityMismatch { expected: 2, got: 3 }
+            .to_string()
+            .contains("2 vs 3"));
+    }
+}

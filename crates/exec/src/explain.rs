@@ -1,0 +1,228 @@
+//! `EXPLAIN`-style plan rendering.
+//!
+//! [`Engine::explain`](crate::Engine::explain) compiles a query and
+//! renders the physical plan as an indented tree — scans with pushed
+//! predicates and row-id fetches, join strategies and their keys,
+//! aggregation, ordering, and limits. Benchmarks and tests use it to
+//! assert *how* a query runs, not just what it returns.
+
+use std::fmt::Write;
+
+use qp_storage::Database;
+
+use crate::plan::Plan;
+use crate::planner::{CompiledQuery, CompiledSelect, KeySource};
+
+/// Renders a compiled query as an indented plan tree.
+pub fn render(db: &Database, compiled: &CompiledQuery) -> String {
+    let mut out = String::new();
+    if compiled.branches.len() > 1 {
+        let _ = writeln!(out, "UnionAll ({} branches)", compiled.branches.len());
+        for b in &compiled.branches {
+            render_select(db, b, 1, &mut out);
+        }
+    } else {
+        render_select(db, &compiled.branches[0], 0, &mut out);
+    }
+    if !compiled.order.is_empty() {
+        let keys: Vec<String> = compiled
+            .order
+            .iter()
+            .map(|k| match &k.source {
+                KeySource::Output(i) => {
+                    format!("output[{i}]{}", if k.desc { " desc" } else { "" })
+                }
+                KeySource::Source(_) => {
+                    format!("expr{}", if k.desc { " desc" } else { "" })
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "OrderBy [{}]", keys.join(", "));
+    }
+    if let Some(n) = compiled.limit {
+        let _ = writeln!(out, "Limit {n}");
+    }
+    out
+}
+
+fn render_select(db: &Database, select: &CompiledSelect, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    let _ = writeln!(
+        out,
+        "{pad}Project [{} columns]{}",
+        select.project.len(),
+        if select.distinct { " distinct" } else { "" }
+    );
+    if let Some(agg) = &select.agg {
+        let _ = writeln!(
+            out,
+            "{pad}  Aggregate [group: {}, aggregates: {}{}]",
+            agg.spec.group.len(),
+            agg.spec.aggs.len(),
+            if agg.having.is_some() { ", having" } else { "" }
+        );
+        render_plan(db, &select.plan, depth + 2, out);
+    } else {
+        render_plan(db, &select.plan, depth + 1, out);
+    }
+}
+
+fn render_plan(db: &Database, plan: &Plan, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match plan {
+        Plan::Scan { rel, fetch_rowid, filter } => {
+            let name = &db.catalog().relation(*rel).name;
+            let mut extra = String::new();
+            if let Some(id) = fetch_rowid {
+                let _ = write!(extra, " rowid={id}");
+            }
+            if filter.is_some() {
+                extra.push_str(" filtered");
+            }
+            let _ = writeln!(out, "{pad}Scan {name}{extra}");
+        }
+        Plan::Values => {
+            let _ = writeln!(out, "{pad}Values (1 row)");
+        }
+        Plan::Filter { input, .. } => {
+            let _ = writeln!(out, "{pad}Filter");
+            render_plan(db, input, depth + 1, out);
+        }
+        Plan::HashJoin { left, right, .. } => {
+            let _ = writeln!(out, "{pad}HashJoin");
+            render_plan(db, left, depth + 1, out);
+            render_plan(db, right, depth + 1, out);
+        }
+        Plan::IndexJoin { left, right_attr, residual, .. } => {
+            let _ = writeln!(
+                out,
+                "{pad}IndexJoin probe {}{}",
+                db.catalog().attr_name(*right_attr),
+                if residual.is_some() { " (residual filter)" } else { "" }
+            );
+            render_plan(db, left, depth + 1, out);
+        }
+        Plan::NestedLoop { left, right, predicate } => {
+            let _ = writeln!(
+                out,
+                "{pad}NestedLoop{}",
+                if predicate.is_some() { " (filtered)" } else { "" }
+            );
+            render_plan(db, left, depth + 1, out);
+            render_plan(db, right, depth + 1, out);
+        }
+        Plan::UnionAll { inputs } => {
+            let _ = writeln!(out, "{pad}UnionAll");
+            for p in inputs {
+                render_plan(db, p, depth + 1, out);
+            }
+        }
+        Plan::Derived { query } => {
+            let _ = writeln!(out, "{pad}Derived");
+            for b in &query.branches {
+                render_select(db, b, depth + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Engine;
+    use qp_sql::parse_query;
+    use qp_storage::{Attribute, DataType, Database, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            "MOVIE",
+            vec![
+                Attribute::new("mid", DataType::Int),
+                Attribute::new("title", DataType::Text),
+                Attribute::new("year", DataType::Int),
+            ],
+            &["mid"],
+        )
+        .unwrap();
+        db.create_relation(
+            "GENRE",
+            vec![Attribute::new("mid", DataType::Int), Attribute::new("genre", DataType::Text)],
+            &["mid", "genre"],
+        )
+        .unwrap();
+        for i in 0..50i64 {
+            db.insert_by_name(
+                "MOVIE",
+                vec![Value::Int(i), Value::str(format!("t{i}")), Value::Int(1980 + i % 20)],
+            )
+            .unwrap();
+            db.insert_by_name("GENRE", vec![Value::Int(i), Value::str("drama")]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn explain_selective_join_uses_index() {
+        let db = db();
+        let e = Engine::new();
+        let plan = e
+            .explain(
+                &db,
+                &parse_query(
+                    "select M.title from MOVIE M, GENRE G where M.mid = G.mid and G.genre = 'drama'",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert!(plan.contains("IndexJoin"), "{plan}");
+        assert!(plan.contains("Scan"), "{plan}");
+    }
+
+    #[test]
+    fn explain_rowid_fetch() {
+        let db = db();
+        let e = Engine::new();
+        let plan = e
+            .explain(&db, &parse_query("select title from MOVIE M where M.rowid = 7").unwrap())
+            .unwrap();
+        assert!(plan.contains("rowid=7"), "{plan}");
+    }
+
+    #[test]
+    fn explain_aggregate_and_order() {
+        let db = db();
+        let e = Engine::new();
+        let plan = e
+            .explain(
+                &db,
+                &parse_query(
+                    "select year, count(*) n from MOVIE group by year having count(*) > 1 \
+                     order by n desc limit 3",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert!(plan.contains("Aggregate"), "{plan}");
+        assert!(plan.contains("having"), "{plan}");
+        assert!(plan.contains("OrderBy"), "{plan}");
+        assert!(plan.contains("Limit 3"), "{plan}");
+    }
+
+    #[test]
+    fn explain_union_and_derived() {
+        let db = db();
+        let e = Engine::new();
+        let plan = e
+            .explain(
+                &db,
+                &parse_query(
+                    "select t from (select title t from MOVIE where year > 1990 \
+                     union all select title from MOVIE where year < 1985) u",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert!(plan.contains("Derived"), "{plan}");
+        assert!(plan.matches("Scan MOVIE").count() == 2, "{plan}");
+    }
+}

@@ -1,0 +1,455 @@
+//! Compiled (physical) expressions.
+//!
+//! A [`PhysExpr`] is an AST expression with every name resolved to a column
+//! offset in the operator's input row, every function resolved against the
+//! registry, and every uncorrelated `IN` sub-query pre-executed into a hash
+//! set. Evaluation follows SQL three-valued logic: `NULL` comparisons
+//! produce `NULL`, filters treat `NULL` as not-satisfied.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use qp_sql::{BinaryOp, UnaryOp};
+use qp_storage::Value;
+
+use crate::functions::ScalarUdf;
+
+/// A compiled expression, evaluated against a flat row of values.
+#[derive(Clone)]
+pub enum PhysExpr {
+    /// A constant.
+    Literal(Value),
+    /// Input column by offset.
+    Column(usize),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<PhysExpr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<PhysExpr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<PhysExpr>,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<PhysExpr>,
+        /// Negated form.
+        negated: bool,
+        /// Inclusive lower bound.
+        low: Box<PhysExpr>,
+        /// Inclusive upper bound.
+        high: Box<PhysExpr>,
+    },
+    /// `expr [NOT] IN (e1, e2, …)` with arbitrary element expressions.
+    InList {
+        /// Tested expression.
+        expr: Box<PhysExpr>,
+        /// Negated form.
+        negated: bool,
+        /// Candidate expressions.
+        list: Vec<PhysExpr>,
+    },
+    /// `expr [NOT] IN (<materialized sub-query>)`.
+    InSet {
+        /// Tested expression.
+        expr: Box<PhysExpr>,
+        /// Negated form.
+        negated: bool,
+        /// Materialized sub-query values (NULLs excluded).
+        set: Arc<HashSet<Value>>,
+        /// Whether the sub-query produced any NULL (drives 3VL).
+        has_null: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<PhysExpr>,
+        /// `IS NOT NULL` form.
+        negated: bool,
+    },
+    /// A scalar function call.
+    Scalar {
+        /// Function name (for diagnostics).
+        name: String,
+        /// Resolved implementation.
+        f: ScalarUdf,
+        /// Compiled arguments.
+        args: Vec<PhysExpr>,
+    },
+}
+
+impl std::fmt::Debug for PhysExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhysExpr::Literal(v) => write!(f, "Literal({v})"),
+            PhysExpr::Column(i) => write!(f, "Column({i})"),
+            PhysExpr::Unary { op, expr } => write!(f, "Unary({op:?}, {expr:?})"),
+            PhysExpr::Binary { left, op, right } => write!(f, "({left:?} {op} {right:?})"),
+            PhysExpr::Between { expr, negated, low, high } => {
+                write!(f, "Between({expr:?}, not={negated}, {low:?}, {high:?})")
+            }
+            PhysExpr::InList { expr, negated, list } => {
+                write!(f, "InList({expr:?}, not={negated}, {list:?})")
+            }
+            PhysExpr::InSet { expr, negated, set, has_null } => {
+                write!(f, "InSet({expr:?}, not={negated}, |set|={}, null={has_null})", set.len())
+            }
+            PhysExpr::IsNull { expr, negated } => write!(f, "IsNull({expr:?}, not={negated})"),
+            PhysExpr::Scalar { name, args, .. } => write!(f, "{name}({args:?})"),
+        }
+    }
+}
+
+/// Three-valued boolean: `Some(bool)` or unknown.
+type Tri = Option<bool>;
+
+fn tri_to_value(t: Tri) -> Value {
+    match t {
+        Some(b) => Value::Bool(b),
+        None => Value::Null,
+    }
+}
+
+fn value_to_tri(v: &Value) -> Tri {
+    match v {
+        Value::Bool(b) => Some(*b),
+        Value::Null => None,
+        // Non-boolean in a boolean position: treat as unknown.
+        _ => None,
+    }
+}
+
+impl PhysExpr {
+    /// Evaluates the expression against `row`. Type mismatches in
+    /// arithmetic yield `NULL`, mirroring how the planner's lack of full
+    /// static typing is resolved at runtime in permissive SQL dialects.
+    pub fn eval(&self, row: &[Value]) -> Value {
+        match self {
+            PhysExpr::Literal(v) => v.clone(),
+            PhysExpr::Column(i) => row[*i].clone(),
+            PhysExpr::Unary { op, expr } => {
+                let v = expr.eval(row);
+                match op {
+                    UnaryOp::Neg => match v {
+                        Value::Int(i) => Value::Int(-i),
+                        Value::Float(x) => Value::Float(-x),
+                        _ => Value::Null,
+                    },
+                    UnaryOp::Not => tri_to_value(value_to_tri(&v).map(|b| !b)),
+                }
+            }
+            PhysExpr::Binary { left, op, right } => {
+                match op {
+                    BinaryOp::And => {
+                        // Short-circuit: false AND x = false even when x is
+                        // unknown.
+                        let l = value_to_tri(&left.eval(row));
+                        if l == Some(false) {
+                            return Value::Bool(false);
+                        }
+                        let r = value_to_tri(&right.eval(row));
+                        return tri_to_value(match (l, r) {
+                            (_, Some(false)) => Some(false),
+                            (Some(true), Some(true)) => Some(true),
+                            _ => None,
+                        });
+                    }
+                    BinaryOp::Or => {
+                        let l = value_to_tri(&left.eval(row));
+                        if l == Some(true) {
+                            return Value::Bool(true);
+                        }
+                        let r = value_to_tri(&right.eval(row));
+                        return tri_to_value(match (l, r) {
+                            (_, Some(true)) => Some(true),
+                            (Some(false), Some(false)) => Some(false),
+                            _ => None,
+                        });
+                    }
+                    _ => {}
+                }
+                let l = left.eval(row);
+                let r = right.eval(row);
+                if op.is_comparison() {
+                    return tri_to_value(compare(&l, op, &r));
+                }
+                arithmetic(&l, *op, &r)
+            }
+            PhysExpr::Between { expr, negated, low, high } => {
+                let v = expr.eval(row);
+                let lo = low.eval(row);
+                let hi = high.eval(row);
+                let ge = compare(&v, &BinaryOp::Ge, &lo);
+                let le = compare(&v, &BinaryOp::Le, &hi);
+                let t = match (ge, le) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                };
+                tri_to_value(apply_negation(t, *negated))
+            }
+            PhysExpr::InList { expr, negated, list } => {
+                let v = expr.eval(row);
+                if v.is_null() {
+                    return Value::Null;
+                }
+                let mut saw_null = false;
+                for e in list {
+                    let c = e.eval(row);
+                    match v.sql_eq(&c) {
+                        Some(true) => return tri_to_value(apply_negation(Some(true), *negated)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                let t = if saw_null { None } else { Some(false) };
+                tri_to_value(apply_negation(t, *negated))
+            }
+            PhysExpr::InSet { expr, negated, set, has_null } => {
+                let v = expr.eval(row);
+                if v.is_null() {
+                    return Value::Null;
+                }
+                let t = if set.contains(&v) {
+                    Some(true)
+                } else if *has_null {
+                    None
+                } else {
+                    Some(false)
+                };
+                tri_to_value(apply_negation(t, *negated))
+            }
+            PhysExpr::IsNull { expr, negated } => {
+                let v = expr.eval(row);
+                Value::Bool(v.is_null() != *negated)
+            }
+            PhysExpr::Scalar { f, args, .. } => {
+                let vals: Vec<Value> = args.iter().map(|a| a.eval(row)).collect();
+                f(&vals)
+            }
+        }
+    }
+
+    /// Evaluates as a filter predicate: `NULL`/unknown is *not satisfied*.
+    pub fn eval_bool(&self, row: &[Value]) -> bool {
+        matches!(self.eval(row), Value::Bool(true))
+    }
+}
+
+fn apply_negation(t: Tri, negated: bool) -> Tri {
+    if negated {
+        t.map(|b| !b)
+    } else {
+        t
+    }
+}
+
+fn compare(l: &Value, op: &BinaryOp, r: &Value) -> Tri {
+    let ord = l.sql_cmp(r)?;
+    Some(match op {
+        BinaryOp::Eq => ord.is_eq(),
+        BinaryOp::Neq => ord.is_ne(),
+        BinaryOp::Lt => ord.is_lt(),
+        BinaryOp::Le => ord.is_le(),
+        BinaryOp::Gt => ord.is_gt(),
+        BinaryOp::Ge => ord.is_ge(),
+        _ => unreachable!("compare called with non-comparison"),
+    })
+}
+
+fn arithmetic(l: &Value, op: BinaryOp, r: &Value) -> Value {
+    // Integer arithmetic stays integral (except division); everything else
+    // goes through f64. NULL or non-numeric operands yield NULL.
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => match op {
+            BinaryOp::Add => Value::Int(a.wrapping_add(*b)),
+            BinaryOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            BinaryOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            BinaryOp::Div => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*a as f64 / *b as f64)
+                }
+            }
+            _ => Value::Null,
+        },
+        _ => {
+            let (a, b) = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Value::Null,
+            };
+            match op {
+                BinaryOp::Add => Value::Float(a + b),
+                BinaryOp::Sub => Value::Float(a - b),
+                BinaryOp::Mul => Value::Float(a * b),
+                BinaryOp::Div => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Float(a / b)
+                    }
+                }
+                _ => Value::Null,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: impl Into<Value>) -> PhysExpr {
+        PhysExpr::Literal(v.into())
+    }
+
+    fn bin(l: PhysExpr, op: BinaryOp, r: PhysExpr) -> PhysExpr {
+        PhysExpr::Binary { left: Box::new(l), op, right: Box::new(r) }
+    }
+
+    #[test]
+    fn column_ref() {
+        let e = PhysExpr::Column(1);
+        assert_eq!(e.eval(&[Value::Int(1), Value::str("x")]), Value::str("x"));
+    }
+
+    #[test]
+    fn comparison_with_null_is_unknown() {
+        let e = bin(lit(Value::Null), BinaryOp::Eq, lit(1i64));
+        assert_eq!(e.eval(&[]), Value::Null);
+        assert!(!e.eval_bool(&[]));
+    }
+
+    #[test]
+    fn and_short_circuit_with_null() {
+        // false AND NULL = false; true AND NULL = NULL
+        let f = bin(lit(false), BinaryOp::And, lit(Value::Null));
+        assert_eq!(f.eval(&[]), Value::Bool(false));
+        let t = bin(lit(true), BinaryOp::And, lit(Value::Null));
+        assert_eq!(t.eval(&[]), Value::Null);
+    }
+
+    #[test]
+    fn or_three_valued() {
+        let t = bin(lit(true), BinaryOp::Or, lit(Value::Null));
+        assert_eq!(t.eval(&[]), Value::Bool(true));
+        let u = bin(lit(false), BinaryOp::Or, lit(Value::Null));
+        assert_eq!(u.eval(&[]), Value::Null);
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        assert_eq!(bin(lit(2i64), BinaryOp::Add, lit(3i64)).eval(&[]), Value::Int(5));
+        assert_eq!(bin(lit(2i64), BinaryOp::Mul, lit(1.5)).eval(&[]), Value::Float(3.0));
+        assert_eq!(bin(lit(7i64), BinaryOp::Div, lit(2i64)).eval(&[]), Value::Float(3.5));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        assert_eq!(bin(lit(1i64), BinaryOp::Div, lit(0i64)).eval(&[]), Value::Null);
+        assert_eq!(bin(lit(1.0), BinaryOp::Div, lit(0.0)).eval(&[]), Value::Null);
+    }
+
+    #[test]
+    fn arithmetic_type_mismatch_is_null() {
+        assert_eq!(bin(lit("a"), BinaryOp::Add, lit(1i64)).eval(&[]), Value::Null);
+    }
+
+    #[test]
+    fn between_semantics() {
+        let e = PhysExpr::Between {
+            expr: Box::new(lit(5i64)),
+            negated: false,
+            low: Box::new(lit(1i64)),
+            high: Box::new(lit(10i64)),
+        };
+        assert_eq!(e.eval(&[]), Value::Bool(true));
+        let e = PhysExpr::Between {
+            expr: Box::new(lit(11i64)),
+            negated: true,
+            low: Box::new(lit(1i64)),
+            high: Box::new(lit(10i64)),
+        };
+        assert_eq!(e.eval(&[]), Value::Bool(true));
+        // NULL bound with a definite miss is still false:
+        let e = PhysExpr::Between {
+            expr: Box::new(lit(0i64)),
+            negated: false,
+            low: Box::new(lit(1i64)),
+            high: Box::new(lit(Value::Null)),
+        };
+        assert_eq!(e.eval(&[]), Value::Bool(false));
+    }
+
+    #[test]
+    fn in_list_three_valued() {
+        let e = PhysExpr::InList {
+            expr: Box::new(lit(3i64)),
+            negated: false,
+            list: vec![lit(1i64), lit(Value::Null)],
+        };
+        // not found, but NULL present -> unknown
+        assert_eq!(e.eval(&[]), Value::Null);
+        let e = PhysExpr::InList {
+            expr: Box::new(lit(1i64)),
+            negated: false,
+            list: vec![lit(1i64), lit(Value::Null)],
+        };
+        assert_eq!(e.eval(&[]), Value::Bool(true));
+    }
+
+    #[test]
+    fn not_in_set_with_null() {
+        let mut set = HashSet::new();
+        set.insert(Value::Int(1));
+        let e = PhysExpr::InSet {
+            expr: Box::new(lit(2i64)),
+            negated: true,
+            set: Arc::new(set.clone()),
+            has_null: true,
+        };
+        // 2 NOT IN {1, NULL} -> unknown -> filter false
+        assert_eq!(e.eval(&[]), Value::Null);
+        let e = PhysExpr::InSet {
+            expr: Box::new(lit(2i64)),
+            negated: true,
+            set: Arc::new(set),
+            has_null: false,
+        };
+        assert_eq!(e.eval(&[]), Value::Bool(true));
+    }
+
+    #[test]
+    fn is_null_never_unknown() {
+        let e = PhysExpr::IsNull { expr: Box::new(lit(Value::Null)), negated: false };
+        assert_eq!(e.eval(&[]), Value::Bool(true));
+        let e = PhysExpr::IsNull { expr: Box::new(lit(1i64)), negated: true };
+        assert_eq!(e.eval(&[]), Value::Bool(true));
+    }
+
+    #[test]
+    fn scalar_call() {
+        let f: ScalarUdf = Arc::new(|args: &[Value]| {
+            args.first().and_then(Value::as_f64).map(|x| Value::Float(x * 2.0)).unwrap_or(Value::Null)
+        });
+        let e = PhysExpr::Scalar { name: "dbl".into(), f, args: vec![lit(2.5)] };
+        assert_eq!(e.eval(&[]), Value::Float(5.0));
+    }
+
+    #[test]
+    fn neg_and_not() {
+        let e = PhysExpr::Unary { op: UnaryOp::Neg, expr: Box::new(lit(3i64)) };
+        assert_eq!(e.eval(&[]), Value::Int(-3));
+        let e = PhysExpr::Unary { op: UnaryOp::Not, expr: Box::new(lit(Value::Null)) };
+        assert_eq!(e.eval(&[]), Value::Null);
+    }
+}

@@ -1,0 +1,269 @@
+//! Physical plan nodes and their (materialized) execution.
+//!
+//! Row layout convention: every base-table scan emits rows of the shape
+//! `[rowid, col_0, …, col_{n-1}]`; joins concatenate the rows of their
+//! inputs. The planner records each binding's offset into this flat layout
+//! and compiles all expressions against it.
+
+use std::collections::HashMap;
+
+use qp_storage::{AttrId, Database, RelId, Row, RowId, Value};
+
+use crate::engine::ExecStats;
+use crate::expr::PhysExpr;
+use crate::functions::AggregateFunction;
+use std::sync::Arc;
+
+/// One aggregate call inside an [`AggSpec`].
+pub struct AggCall {
+    /// Resolved aggregate implementation.
+    pub func: Arc<dyn AggregateFunction>,
+    /// Compiled argument expressions over the aggregate input row
+    /// (empty for `count(*)`).
+    pub args: Vec<PhysExpr>,
+}
+
+impl std::fmt::Debug for AggCall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AggCall(args={:?})", self.args)
+    }
+}
+
+/// A physical plan node producing a batch of rows.
+#[derive(Debug)]
+pub enum Plan {
+    /// Scans a base relation, emitting `[rowid, cols…]` rows.
+    Scan {
+        /// Relation scanned.
+        rel: RelId,
+        /// O(1) row fetch for `binding.rowid = k` predicates (the PPA
+        /// parameterized-query fast path).
+        fetch_rowid: Option<u64>,
+        /// Pushed-down single-table predicate (over `[rowid, cols…]`).
+        filter: Option<PhysExpr>,
+    },
+    /// A single empty row — the input of a `FROM`-less select.
+    Values,
+    /// Filters input rows.
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Predicate over the input row.
+        predicate: PhysExpr,
+    },
+    /// Builds a hash table over `right` rows keyed by `right_key`, probes
+    /// with `left_key`; emits `left ⧺ right` rows.
+    HashJoin {
+        /// Probe side.
+        left: Box<Plan>,
+        /// Build side.
+        right: Box<Plan>,
+        /// Key over a left row.
+        left_key: PhysExpr,
+        /// Key over a right row.
+        right_key: PhysExpr,
+    },
+    /// Index nested-loop join: for each left row, probes the persistent
+    /// hash index of `right_attr` and fetches matching base rows; emits
+    /// `left ⧺ [rowid, cols…]` rows, then applies `residual` (compiled over
+    /// the concatenated row) if present.
+    IndexJoin {
+        /// Outer input.
+        left: Box<Plan>,
+        /// Key over a left row.
+        left_key: PhysExpr,
+        /// Indexed attribute of the inner relation.
+        right_attr: AttrId,
+        /// Residual predicate over the concatenated row (e.g. the inner
+        /// relation's pushed single-table conditions).
+        residual: Option<PhysExpr>,
+    },
+    /// Cross product with optional predicate (fallback join).
+    NestedLoop {
+        /// Outer input.
+        left: Box<Plan>,
+        /// Inner input (materialized once).
+        right: Box<Plan>,
+        /// Predicate over the concatenated row.
+        predicate: Option<PhysExpr>,
+    },
+    /// Concatenation of same-arity inputs.
+    UnionAll {
+        /// Input plans.
+        inputs: Vec<Plan>,
+    },
+    /// A derived table: a fully compiled sub-query executed inline.
+    Derived {
+        /// The compiled sub-query.
+        query: Box<crate::planner::CompiledQuery>,
+    },
+}
+
+impl Plan {
+    /// Executes the plan to a materialized batch, accumulating statistics.
+    pub fn run(&self, db: &Database, stats: &mut ExecStats) -> Vec<Row> {
+        match self {
+            Plan::Scan { rel, fetch_rowid, filter } => {
+                let table = db.table(*rel);
+                let mut out = Vec::new();
+                let emit = |rowid: u64, row: &Row, out: &mut Vec<Row>, stats: &mut ExecStats| {
+                    stats.rows_scanned += 1;
+                    let mut r = Vec::with_capacity(row.len() + 1);
+                    r.push(Value::Int(rowid as i64));
+                    r.extend(row.iter().cloned());
+                    match filter {
+                        Some(p) if !p.eval_bool(&r) => {}
+                        _ => out.push(r),
+                    }
+                };
+                match fetch_rowid {
+                    Some(id) => {
+                        if let Some(row) = table.get(RowId(*id)) {
+                            emit(*id, row, &mut out, stats);
+                        }
+                    }
+                    None => {
+                        for (rid, row) in table.iter() {
+                            emit(rid.0, row, &mut out, stats);
+                        }
+                    }
+                }
+                out
+            }
+            Plan::Values => vec![vec![]],
+            Plan::Filter { input, predicate } => {
+                let rows = input.run(db, stats);
+                rows.into_iter().filter(|r| predicate.eval_bool(r)).collect()
+            }
+            Plan::HashJoin { left, right, left_key, right_key } => {
+                let right_rows = right.run(db, stats);
+                let mut table: HashMap<Value, Vec<usize>> = HashMap::new();
+                for (i, r) in right_rows.iter().enumerate() {
+                    let k = right_key.eval(r);
+                    if !k.is_null() {
+                        table.entry(k).or_default().push(i);
+                    }
+                }
+                let left_rows = left.run(db, stats);
+                let mut out = Vec::new();
+                for l in left_rows {
+                    let k = left_key.eval(&l);
+                    if k.is_null() {
+                        continue;
+                    }
+                    if let Some(matches) = table.get(&k) {
+                        for &i in matches {
+                            let mut row = l.clone();
+                            row.extend(right_rows[i].iter().cloned());
+                            out.push(row);
+                        }
+                    }
+                }
+                out
+            }
+            Plan::IndexJoin { left, left_key, right_attr, residual } => {
+                let index = db.index(*right_attr);
+                let table = db.table(right_attr.rel);
+                let left_rows = left.run(db, stats);
+                let mut out = Vec::new();
+                for l in left_rows {
+                    let k = left_key.eval(&l);
+                    if k.is_null() {
+                        continue;
+                    }
+                    stats.index_probes += 1;
+                    for rid in index.lookup(&k) {
+                        let right = table.get(*rid).expect("index points at live row");
+                        let mut row = Vec::with_capacity(l.len() + right.len() + 1);
+                        row.extend(l.iter().cloned());
+                        row.push(Value::Int(rid.0 as i64));
+                        row.extend(right.iter().cloned());
+                        match residual {
+                            Some(p) if !p.eval_bool(&row) => {}
+                            _ => out.push(row),
+                        }
+                    }
+                }
+                out
+            }
+            Plan::NestedLoop { left, right, predicate } => {
+                let right_rows = right.run(db, stats);
+                let left_rows = left.run(db, stats);
+                let mut out = Vec::new();
+                for l in &left_rows {
+                    for r in &right_rows {
+                        let mut row = Vec::with_capacity(l.len() + r.len());
+                        row.extend(l.iter().cloned());
+                        row.extend(r.iter().cloned());
+                        match predicate {
+                            Some(p) if !p.eval_bool(&row) => {}
+                            _ => out.push(row),
+                        }
+                    }
+                }
+                out
+            }
+            Plan::UnionAll { inputs } => {
+                let mut out = Vec::new();
+                for p in inputs {
+                    out.extend(p.run(db, stats));
+                }
+                out
+            }
+            Plan::Derived { query } => crate::engine::run_compiled(db, query, stats),
+        }
+    }
+}
+
+/// Grouping/aggregation spec applied to a plan's output.
+#[derive(Debug)]
+pub struct AggSpec {
+    /// Group-key expressions over the input row.
+    pub group: Vec<PhysExpr>,
+    /// Aggregate calls; outputs are appended after the group keys in the
+    /// intermediate row `[group…, agg…]`.
+    pub aggs: Vec<AggCall>,
+}
+
+impl AggSpec {
+    /// Runs the aggregation, producing intermediate rows `[group…, agg…]`.
+    /// With no group keys the entire input forms one group (even when
+    /// empty, matching SQL's scalar-aggregate semantics).
+    pub fn run(&self, input: Vec<Row>) -> Vec<Row> {
+        let mut groups: Vec<(Row, Vec<Box<dyn crate::functions::AggState>>)> = Vec::new();
+        let mut lookup: HashMap<Row, usize> = HashMap::new();
+        if self.group.is_empty() {
+            groups.push((vec![], self.aggs.iter().map(|a| a.func.new_state()).collect()));
+        }
+        for row in &input {
+            let key: Row = self.group.iter().map(|g| g.eval(row)).collect();
+            let idx = if self.group.is_empty() {
+                0
+            } else {
+                match lookup.get(&key) {
+                    Some(i) => *i,
+                    None => {
+                        let i = groups.len();
+                        groups.push((
+                            key.clone(),
+                            self.aggs.iter().map(|a| a.func.new_state()).collect(),
+                        ));
+                        lookup.insert(key, i);
+                        i
+                    }
+                }
+            };
+            for (call, state) in self.aggs.iter().zip(groups[idx].1.iter_mut()) {
+                let args: Vec<Value> = call.args.iter().map(|a| a.eval(row)).collect();
+                state.update(&args);
+            }
+        }
+        groups
+            .into_iter()
+            .map(|(mut key, mut states)| {
+                key.extend(states.iter_mut().map(|s| s.finish()));
+                key
+            })
+            .collect()
+    }
+}

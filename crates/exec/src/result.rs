@@ -1,0 +1,133 @@
+//! Query results.
+
+use std::fmt;
+
+use qp_storage::{Row, Value};
+
+/// The materialized result of a query: column names plus rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// Output column names, in projection order.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Creates a result set.
+    pub fn new(columns: Vec<String>, rows: Vec<Row>) -> Self {
+        ResultSet { columns, rows }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Values of one column by name, in row order.
+    pub fn column(&self, name: &str) -> Option<Vec<&Value>> {
+        let i = self.column_index(name)?;
+        Some(self.rows.iter().map(|r| &r[i]).collect())
+    }
+
+    /// The single value of a single-row, single-column result.
+    pub fn scalar(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for ResultSet {
+    /// Renders an aligned ASCII table, handy in examples and tests.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{c:<w$}", w = widths[i])?;
+        }
+        writeln!(f)?;
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                write!(f, "-+-")?;
+            }
+            write!(f, "{}", "-".repeat(*w))?;
+        }
+        writeln!(f)?;
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{cell:<w$}", w = widths.get(i).copied().unwrap_or(0))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs() -> ResultSet {
+        ResultSet::new(
+            vec!["title".into(), "degree".into()],
+            vec![
+                vec![Value::str("Annie Hall"), Value::Float(0.72)],
+                vec![Value::str("Zelig"), Value::Float(0.5)],
+            ],
+        )
+    }
+
+    #[test]
+    fn column_access() {
+        let r = rs();
+        assert_eq!(r.column_index("DEGREE"), Some(1));
+        let titles = r.column("title").unwrap();
+        assert_eq!(titles[1], &Value::str("Zelig"));
+        assert!(r.column("nope").is_none());
+    }
+
+    #[test]
+    fn scalar() {
+        let r = ResultSet::new(vec!["n".into()], vec![vec![Value::Int(7)]]);
+        assert_eq!(r.scalar(), Some(&Value::Int(7)));
+        assert_eq!(rs().scalar(), None);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let s = rs().to_string();
+        assert!(s.contains("title"));
+        assert!(s.contains("Annie Hall"));
+        assert!(s.lines().count() >= 4);
+    }
+}

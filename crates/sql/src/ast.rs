@@ -1,0 +1,388 @@
+//! Abstract syntax tree for the SQL subset.
+//!
+//! The tree intentionally models exactly what the paper's rewriting needs:
+//! SPJ selects joined by commas, `UNION ALL` bodies (SPA builds one
+//! sub-query per preference and unions them), grouping with `HAVING
+//! count(*) >= L`, ordering by a user-defined aggregate, and `(NOT) IN`
+//! sub-queries for 1–n absence preferences.
+
+/// A full query: a set-expression body plus ordering and limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The body: a single select or a `UNION ALL` chain.
+    pub body: SetExpr,
+    /// `ORDER BY` items applied to the body's result.
+    pub order_by: Vec<OrderByItem>,
+    /// Optional `LIMIT`.
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// Wraps a single [`Select`] into a query with no ordering or limit.
+    pub fn from_select(select: Select) -> Self {
+        Query { body: SetExpr::Select(Box::new(select)), order_by: vec![], limit: None }
+    }
+
+    /// The selects of the body in order (one for a plain select, several
+    /// for a union chain).
+    pub fn selects(&self) -> Vec<&Select> {
+        fn walk<'a>(e: &'a SetExpr, out: &mut Vec<&'a Select>) {
+            match e {
+                SetExpr::Select(s) => out.push(s),
+                SetExpr::UnionAll(l, r) => {
+                    walk(l, out);
+                    out.push(r);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.body, &mut out);
+        out
+    }
+}
+
+/// A query body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    /// A plain `SELECT`.
+    Select(Box<Select>),
+    /// `left UNION ALL right` (left-associated chain).
+    UnionAll(Box<SetExpr>, Box<Select>),
+}
+
+/// One `SELECT ... FROM ... WHERE ... GROUP BY ... HAVING ...` block.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Select {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// Comma-joined table references.
+    pub from: Vec<TableRef>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate.
+    pub having: Option<Expr>,
+}
+
+/// An item in the projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS alias]`
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Optional output column alias.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference in the `FROM` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A base relation with an optional alias, e.g. `MOVIE M`.
+    Relation {
+        /// Relation name.
+        name: String,
+        /// Binding alias; when absent the relation name itself binds.
+        alias: Option<String>,
+    },
+    /// A derived table: `(SELECT ... UNION ALL ...) alias`. SPA's final
+    /// query groups over a union of per-preference sub-queries, which
+    /// requires exactly this form.
+    Derived {
+        /// The sub-query producing the rows.
+        query: Box<Query>,
+        /// Mandatory binding alias.
+        alias: String,
+    },
+}
+
+impl TableRef {
+    /// A base-relation reference without alias.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableRef::Relation { name: name.into(), alias: None }
+    }
+
+    /// A base-relation reference with alias.
+    pub fn aliased(name: impl Into<String>, alias: impl Into<String>) -> Self {
+        TableRef::Relation { name: name.into(), alias: Some(alias.into()) }
+    }
+
+    /// A derived-table reference.
+    pub fn derived(query: Query, alias: impl Into<String>) -> Self {
+        TableRef::Derived { query: Box::new(query), alias: alias.into() }
+    }
+
+    /// The name this reference binds in scope resolution.
+    pub fn binding(&self) -> &str {
+        match self {
+            TableRef::Relation { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Derived { alias, .. } => alias,
+        }
+    }
+}
+
+/// `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    /// Sort key expression.
+    pub expr: Expr,
+    /// Descending when true (default in SQL is ascending).
+    pub desc: bool,
+}
+
+/// Scalar/boolean expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal constant.
+    Literal(Literal),
+    /// A column reference, optionally qualified by a table binding.
+    Column {
+        /// Table binding (alias or relation name).
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Negated form.
+        negated: bool,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Negated form.
+        negated: bool,
+        /// Candidate values.
+        list: Vec<Expr>,
+    },
+    /// `expr [NOT] IN (SELECT ...)`.
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Negated form.
+        negated: bool,
+        /// The sub-query; must project exactly one column.
+        subquery: Box<Query>,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL` when true.
+        negated: bool,
+    },
+    /// Function call: built-in aggregate, scalar builtin, or UDF.
+    Function {
+        /// Case-insensitive function name.
+        name: String,
+        /// Arguments (empty for `count(*)` with `star` set).
+        args: Vec<Expr>,
+        /// True for `count(*)`.
+        star: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience: `self AND other` (or just the other side when one is
+    /// absent).
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::Binary { left: Box::new(self), op: BinaryOp::And, right: Box::new(other) }
+    }
+
+    /// Folds a conjunction over the given expressions; `None` when empty.
+    pub fn and_all(exprs: impl IntoIterator<Item = Expr>) -> Option<Expr> {
+        exprs.into_iter().reduce(Expr::and)
+    }
+
+    /// Splits a conjunction into its conjuncts (flattening nested ANDs).
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::Binary { left, op: BinaryOp::And, right } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+                other => out.push(other),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// `NULL`
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical NOT.
+    Not,
+}
+
+/// Binary operators, ordered here roughly by binding strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinaryOp {
+    /// True for comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Neq | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+
+    /// The comparison with operands swapped (`a < b` ⇔ `b > a`); identity
+    /// for non-comparisons.
+    pub fn flip(self) -> BinaryOp {
+        match self {
+            BinaryOp::Lt => BinaryOp::Gt,
+            BinaryOp::Le => BinaryOp::Ge,
+            BinaryOp::Gt => BinaryOp::Lt,
+            BinaryOp::Ge => BinaryOp::Le,
+            other => other,
+        }
+    }
+
+    /// The logical negation of a comparison (`=` ⇔ `<>`, `<` ⇔ `>=` …);
+    /// `None` for non-comparisons.
+    pub fn negate(self) -> Option<BinaryOp> {
+        Some(match self {
+            BinaryOp::Eq => BinaryOp::Neq,
+            BinaryOp::Neq => BinaryOp::Eq,
+            BinaryOp::Lt => BinaryOp::Ge,
+            BinaryOp::Le => BinaryOp::Gt,
+            BinaryOp::Gt => BinaryOp::Le,
+            BinaryOp::Ge => BinaryOp::Lt,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_all_folds() {
+        let a = Expr::Literal(Literal::Bool(true));
+        let b = Expr::Literal(Literal::Bool(false));
+        let c = Expr::and_all(vec![a.clone(), b.clone()]).unwrap();
+        assert_eq!(c.conjuncts().len(), 2);
+        assert_eq!(Expr::and_all(vec![]), None);
+        assert_eq!(Expr::and_all(vec![a.clone()]), Some(a));
+    }
+
+    #[test]
+    fn conjuncts_flatten() {
+        let t = || Expr::Literal(Literal::Bool(true));
+        let e = t().and(t()).and(t().and(t()));
+        assert_eq!(e.conjuncts().len(), 4);
+    }
+
+    #[test]
+    fn op_negation() {
+        assert_eq!(BinaryOp::Lt.negate(), Some(BinaryOp::Ge));
+        assert_eq!(BinaryOp::Eq.negate(), Some(BinaryOp::Neq));
+        assert_eq!(BinaryOp::And.negate(), None);
+    }
+
+    #[test]
+    fn op_flip() {
+        assert_eq!(BinaryOp::Lt.flip(), BinaryOp::Gt);
+        assert_eq!(BinaryOp::Eq.flip(), BinaryOp::Eq);
+    }
+
+    #[test]
+    fn query_selects_enumerates_union() {
+        let s = Select::default();
+        let q = Query {
+            body: SetExpr::UnionAll(
+                Box::new(SetExpr::UnionAll(
+                    Box::new(SetExpr::Select(Box::new(s.clone()))),
+                    Box::new(s.clone()),
+                )),
+                Box::new(s.clone()),
+            ),
+            order_by: vec![],
+            limit: None,
+        };
+        assert_eq!(q.selects().len(), 3);
+    }
+
+    #[test]
+    fn table_ref_binding() {
+        assert_eq!(TableRef::new("MOVIE").binding(), "MOVIE");
+        assert_eq!(TableRef::aliased("MOVIE", "M").binding(), "M");
+    }
+}

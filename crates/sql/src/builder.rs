@@ -1,0 +1,230 @@
+//! Programmatic AST construction helpers.
+//!
+//! The personalization layer assembles SPA and PPA sub-queries from
+//! preference paths; these helpers keep that code free of string pasting
+//! and `Box::new` noise.
+
+use crate::ast::*;
+
+/// A qualified column reference.
+pub fn col(table: impl Into<String>, name: impl Into<String>) -> Expr {
+    Expr::Column { table: Some(table.into()), name: name.into() }
+}
+
+/// An unqualified column reference.
+pub fn bare_col(name: impl Into<String>) -> Expr {
+    Expr::Column { table: None, name: name.into() }
+}
+
+/// An integer literal.
+pub fn int(n: i64) -> Expr {
+    Expr::Literal(Literal::Int(n))
+}
+
+/// A float literal.
+pub fn float(x: f64) -> Expr {
+    Expr::Literal(Literal::Float(x))
+}
+
+/// A string literal.
+pub fn string(s: impl Into<String>) -> Expr {
+    Expr::Literal(Literal::Str(s.into()))
+}
+
+/// A binary operation.
+pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
+    Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+}
+
+/// `left = right`
+pub fn eq(left: Expr, right: Expr) -> Expr {
+    binary(left, BinaryOp::Eq, right)
+}
+
+/// `left <> right`
+pub fn neq(left: Expr, right: Expr) -> Expr {
+    binary(left, BinaryOp::Neq, right)
+}
+
+/// `expr BETWEEN low AND high`
+pub fn between(expr: Expr, low: Expr, high: Expr) -> Expr {
+    Expr::Between { expr: Box::new(expr), negated: false, low: Box::new(low), high: Box::new(high) }
+}
+
+/// `expr NOT BETWEEN low AND high`
+pub fn not_between(expr: Expr, low: Expr, high: Expr) -> Expr {
+    Expr::Between { expr: Box::new(expr), negated: true, low: Box::new(low), high: Box::new(high) }
+}
+
+/// `expr NOT IN (subquery)`
+pub fn not_in_subquery(expr: Expr, subquery: Query) -> Expr {
+    Expr::InSubquery { expr: Box::new(expr), negated: true, subquery: Box::new(subquery) }
+}
+
+/// `expr IN (subquery)`
+pub fn in_subquery(expr: Expr, subquery: Query) -> Expr {
+    Expr::InSubquery { expr: Box::new(expr), negated: false, subquery: Box::new(subquery) }
+}
+
+/// A function call.
+pub fn func(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+    Expr::Function { name: name.into(), args, star: false }
+}
+
+/// `count(*)`
+pub fn count_star() -> Expr {
+    Expr::Function { name: "count".into(), args: vec![], star: true }
+}
+
+/// A projection item with alias.
+pub fn item_as(expr: Expr, alias: impl Into<String>) -> SelectItem {
+    SelectItem::Expr { expr, alias: Some(alias.into()) }
+}
+
+/// A projection item without alias.
+pub fn item(expr: Expr) -> SelectItem {
+    SelectItem::Expr { expr, alias: None }
+}
+
+/// Fluent builder for [`Select`] blocks.
+#[derive(Debug, Default, Clone)]
+pub struct SelectBuilder {
+    select: Select,
+}
+
+impl SelectBuilder {
+    /// Starts an empty `SELECT`.
+    pub fn new() -> Self {
+        SelectBuilder::default()
+    }
+
+    /// Adds a projection item.
+    pub fn item(mut self, item: SelectItem) -> Self {
+        self.select.items.push(item);
+        self
+    }
+
+    /// Adds a plain projected expression.
+    pub fn expr(self, e: Expr) -> Self {
+        self.item(item(e))
+    }
+
+    /// Adds an aliased projected expression.
+    pub fn expr_as(self, e: Expr, alias: impl Into<String>) -> Self {
+        self.item(item_as(e, alias))
+    }
+
+    /// Marks the select `DISTINCT`.
+    pub fn distinct(mut self) -> Self {
+        self.select.distinct = true;
+        self
+    }
+
+    /// Adds a table to the `FROM` list.
+    pub fn from(mut self, table: TableRef) -> Self {
+        self.select.from.push(table);
+        self
+    }
+
+    /// ANDs a predicate into the `WHERE` clause.
+    pub fn filter(mut self, e: Expr) -> Self {
+        self.select.where_clause = match self.select.where_clause.take() {
+            Some(w) => Some(w.and(e)),
+            None => Some(e),
+        };
+        self
+    }
+
+    /// Adds a `GROUP BY` key.
+    pub fn group_by(mut self, e: Expr) -> Self {
+        self.select.group_by.push(e);
+        self
+    }
+
+    /// Sets the `HAVING` predicate.
+    pub fn having(mut self, e: Expr) -> Self {
+        self.select.having = Some(e);
+        self
+    }
+
+    /// Finishes the block.
+    pub fn build(self) -> Select {
+        self.select
+    }
+
+    /// Finishes and wraps into a [`Query`].
+    pub fn build_query(self) -> Query {
+        Query::from_select(self.select)
+    }
+}
+
+/// Combines selects into a `UNION ALL` query. Panics on an empty input.
+pub fn union_all(selects: Vec<Select>) -> Query {
+    let mut it = selects.into_iter();
+    let first = it.next().expect("union_all requires at least one select");
+    let mut body = SetExpr::Select(Box::new(first));
+    for s in it {
+        body = SetExpr::UnionAll(Box::new(body), Box::new(s));
+    }
+    Query { body, order_by: vec![], limit: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn builder_matches_parser() {
+        let built = SelectBuilder::new()
+            .expr(bare_col("title"))
+            .expr_as(float(0.72), "degree")
+            .from(TableRef::aliased("MOVIE", "M"))
+            .from(TableRef::aliased("DIRECTED", "D"))
+            .filter(eq(col("M", "mid"), col("D", "mid")))
+            .filter(eq(col("D", "name"), string("W. Allen")))
+            .build_query();
+        let parsed = parse_query(
+            "select title, 0.72 degree from MOVIE M, DIRECTED D \
+             where M.mid = D.mid and D.name = 'W. Allen'",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn union_all_builder() {
+        let s1 = SelectBuilder::new().expr(bare_col("a")).from(TableRef::new("T")).build();
+        let s2 = SelectBuilder::new().expr(bare_col("b")).from(TableRef::new("U")).build();
+        let q = union_all(vec![s1, s2]);
+        assert_eq!(q.selects().len(), 2);
+        let parsed = parse_query("select a from T union all select b from U").unwrap();
+        assert_eq!(q, parsed);
+    }
+
+    #[test]
+    fn group_having_matches_example6() {
+        let q = SelectBuilder::new()
+            .expr(bare_col("title"))
+            .expr_as(func("r", vec![bare_col("degree")]), "score")
+            .from(TableRef::new("SUB"))
+            .group_by(bare_col("title"))
+            .having(binary(count_star(), BinaryOp::Ge, int(2)))
+            .build_query();
+        let parsed = parse_query(
+            "select title, r(degree) score from SUB group by title having count(*) >= 2",
+        )
+        .unwrap();
+        assert_eq!(q, parsed);
+    }
+
+    #[test]
+    fn not_in_subquery_builder() {
+        let sub = SelectBuilder::new()
+            .expr(col("M", "mid"))
+            .from(TableRef::aliased("MOVIE", "M"))
+            .build_query();
+        let e = not_in_subquery(col("M", "mid"), sub);
+        assert!(matches!(e, Expr::InSubquery { negated: true, .. }));
+    }
+}

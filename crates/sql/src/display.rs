@@ -1,0 +1,319 @@
+//! Precedence-aware pretty printer.
+//!
+//! Every AST node implements [`std::fmt::Display`]; printing a parsed query
+//! and re-parsing it yields a structurally identical AST (tested here and,
+//! exhaustively, by the property tests in `tests/`).
+
+use std::fmt;
+
+use crate::ast::*;
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.body)?;
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, item) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{item}")?;
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetExpr::Select(s) => write!(f, "{s}"),
+            SetExpr::UnionAll(l, r) => write!(f, "{l} UNION ALL {r}"),
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if !self.from.is_empty() {
+            write!(f, " FROM ")?;
+            for (i, t) in self.from.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, e) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{e}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {a}"),
+            SelectItem::Expr { expr, alias: None } => write!(f, "{expr}"),
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Relation { name, alias: Some(a) } => write!(f, "{name} {a}"),
+            TableRef::Relation { name, alias: None } => write!(f, "{name}"),
+            TableRef::Derived { query, alias } => write!(f, "({query}) {alias}"),
+        }
+    }
+}
+
+impl fmt::Display for OrderByItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)?;
+        if self.desc {
+            write!(f, " DESC")?;
+        }
+        Ok(())
+    }
+}
+
+/// Binding strength used to decide where parentheses are required.
+fn precedence(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary { op, .. } => match op {
+            BinaryOp::Or => 1,
+            BinaryOp::And => 2,
+            BinaryOp::Eq
+            | BinaryOp::Neq
+            | BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
+            | BinaryOp::Ge => 4,
+            BinaryOp::Add | BinaryOp::Sub => 5,
+            BinaryOp::Mul | BinaryOp::Div => 6,
+        },
+        Expr::Unary { op: UnaryOp::Not, .. } => 3,
+        Expr::Between { .. } | Expr::InList { .. } | Expr::InSubquery { .. } | Expr::IsNull { .. } => 4,
+        Expr::Unary { op: UnaryOp::Neg, .. } => 7,
+        _ => 8,
+    }
+}
+
+/// Writes `e`, parenthesizing when its precedence is below `min`.
+fn write_prec(f: &mut fmt::Formatter<'_>, e: &Expr, min: u8) -> fmt::Result {
+    if precedence(e) < min {
+        write!(f, "({e})")
+    } else {
+        write!(f, "{e}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Column { table: Some(t), name } => write!(f, "{t}.{name}"),
+            Expr::Column { table: None, name } => write!(f, "{name}"),
+            Expr::Unary { op: UnaryOp::Neg, expr } => {
+                write!(f, "-")?;
+                write_prec(f, expr, 8)
+            }
+            Expr::Unary { op: UnaryOp::Not, expr } => {
+                write!(f, "NOT ")?;
+                write_prec(f, expr, 4)
+            }
+            Expr::Binary { left, op, right } => {
+                let p = precedence(self);
+                // comparisons are non-associative in the grammar (`a = b
+                // = c` does not parse), so both operands need parentheses
+                // at equal precedence; AND/OR/arithmetic associate left
+                let left_min = if op.is_comparison() { p + 1 } else { p };
+                write_prec(f, left, left_min)?;
+                write!(f, " {op} ")?;
+                write_prec(f, right, p + 1)
+            }
+            Expr::Between { expr, negated, low, high } => {
+                write_prec(f, expr, 5)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " BETWEEN ")?;
+                write_prec(f, low, 5)?;
+                write!(f, " AND ")?;
+                write_prec(f, high, 5)
+            }
+            Expr::InList { expr, negated, list } => {
+                write_prec(f, expr, 5)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " IN (")?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::InSubquery { expr, negated, subquery } => {
+                write_prec(f, expr, 5)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " IN ({subquery})")
+            }
+            Expr::IsNull { expr, negated } => {
+                write_prec(f, expr, 5)?;
+                if *negated {
+                    write!(f, " IS NOT NULL")
+                } else {
+                    write!(f, " IS NULL")
+                }
+            }
+            Expr::Function { name, star: true, .. } => write!(f, "{name}(*)"),
+            Expr::Function { name, args, star: false } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Null => write!(f, "NULL"),
+            Literal::Int(n) => write!(f, "{n}"),
+            Literal::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    // keep a decimal point so it re-parses as a float
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Eq => "=",
+            BinaryOp::Neq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_query;
+
+    /// Parses, prints, re-parses, and checks the ASTs match.
+    fn round_trip(sql: &str) {
+        let q1 = parse_query(sql).unwrap_or_else(|e| panic!("first parse of `{sql}`: {e}"));
+        let printed = q1.to_string();
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("re-parse of `{printed}`: {e}"));
+        assert_eq!(q1, q2, "round trip changed the AST\noriginal: {sql}\nprinted: {printed}");
+    }
+
+    #[test]
+    fn round_trips() {
+        for sql in [
+            "select title from MOVIE",
+            "select distinct M.title as t, 0.72 degree from MOVIE M, DIRECTED D where M.mid = D.mid",
+            "select * from T where a = 1 or b = 2 and not c = 3",
+            "select * from T where x between 1 and 10 and y not between 2 and 3",
+            "select * from T where g in ('a', 'b') and h not in (select h from U where z > 0)",
+            "select a, count(*) c from T group by a having count(*) >= 2 order by c desc limit 5",
+            "select 1 + 2 * 3 - 4 / 2 from T",
+            "select -x from T where -y < 3",
+            "select * from T where s = 'it''s'",
+            "select a from T union all select b from U union all select c from V order by 1",
+            "select * from T where a is null or b is not null",
+            "select r(degree) from T order by r(degree) desc",
+            "select 2.0, 0.5, 1e3 from T",
+            "select * from T where not (a = 1 or b = 2)",
+            "select (1 + 2) * 3 from T",
+            "select t, r(d) from (select a t, 0.5 d from X union all select b, 0.7 from Y) u group by t",
+        ] {
+            round_trip(sql);
+        }
+    }
+
+    #[test]
+    fn parens_preserved_where_needed() {
+        let q = parse_query("select (1 + 2) * 3 from T").unwrap();
+        assert!(q.to_string().contains("(1 + 2) * 3"));
+    }
+
+    #[test]
+    fn float_keeps_decimal_point() {
+        let q = parse_query("select 2.0 from T").unwrap();
+        assert!(q.to_string().contains("2.0"));
+    }
+
+    #[test]
+    fn string_escaping() {
+        let q = parse_query("select 'a''b' from T").unwrap();
+        assert!(q.to_string().contains("'a''b'"));
+    }
+
+    #[test]
+    fn not_in_subquery_prints() {
+        let sql = "select title from MOVIE M where M.mid not in (select mid from GENRE where genre = 'musical')";
+        let q = parse_query(sql).unwrap();
+        let s = q.to_string();
+        assert!(s.contains("NOT IN (SELECT"), "{s}");
+    }
+}

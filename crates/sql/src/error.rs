@@ -1,0 +1,38 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// An error produced by the lexer or parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the source where the error was detected.
+    pub offset: usize,
+}
+
+impl ParseError {
+    /// Creates a parse error at `offset`.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError { message: message.into(), offset }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ParseError::new("unexpected token", 17);
+        assert_eq!(e.to_string(), "parse error at byte 17: unexpected token");
+    }
+}

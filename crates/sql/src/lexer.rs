@@ -1,0 +1,325 @@
+//! Tokenizer for the SQL subset.
+
+use crate::error::ParseError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are recognized case-insensitively by
+    /// the parser; the lexer keeps the original spelling).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal with `''` escapes resolved.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semicolon,
+}
+
+/// A token plus its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset where the token starts.
+    pub offset: usize,
+}
+
+/// Tokenizes `input` into a vector of spanned tokens.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Spanned { token: Token::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Spanned { token: Token::RParen, offset: i });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Spanned { token: Token::Comma, offset: i });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Spanned { token: Token::Dot, offset: i });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Spanned { token: Token::Star, offset: i });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Spanned { token: Token::Plus, offset: i });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Spanned { token: Token::Minus, offset: i });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Spanned { token: Token::Slash, offset: i });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Spanned { token: Token::Semicolon, offset: i });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Spanned { token: Token::Eq, offset: i });
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Spanned { token: Token::Neq, offset: i });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new("unexpected `!`", i));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Spanned { token: Token::Le, offset: i });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Spanned { token: Token::Neq, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Lt, offset: i });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Spanned { token: Token::Ge, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Gt, offset: i });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ParseError::new("unterminated string literal", start));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // copy the full UTF-8 character
+                        let ch_start = i;
+                        let ch = input[ch_start..].chars().next().unwrap();
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+                tokens.push(Spanned { token: Token::Str(s), offset: start });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                let token = if is_float {
+                    Token::Float(text.parse().map_err(|_| {
+                        ParseError::new(format!("invalid float literal `{text}`"), start)
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| {
+                        ParseError::new(format!("invalid integer literal `{text}`"), start)
+                    })?)
+                };
+                tokens.push(Spanned { token, offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Spanned { token: Token::Ident(input[start..i].to_string()), offset: start });
+            }
+            _ => {
+                return Err(ParseError::new(format!("unexpected character `{c}`"), i));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn simple_select() {
+        assert_eq!(
+            toks("select title from MOVIE"),
+            vec![
+                Token::Ident("select".into()),
+                Token::Ident("title".into()),
+                Token::Ident("from".into()),
+                Token::Ident("MOVIE".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a = b <> c != d <= e >= f < g > h"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Eq,
+                Token::Ident("b".into()),
+                Token::Neq,
+                Token::Ident("c".into()),
+                Token::Neq,
+                Token::Ident("d".into()),
+                Token::Le,
+                Token::Ident("e".into()),
+                Token::Ge,
+                Token::Ident("f".into()),
+                Token::Lt,
+                Token::Ident("g".into()),
+                Token::Gt,
+                Token::Ident("h".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_with_escape() {
+        assert_eq!(toks("'W. Allen''s'"), vec![Token::Str("W. Allen's".into())]);
+    }
+
+    #[test]
+    fn unterminated_string() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 3.25 1e3 7.5e-2"),
+            vec![Token::Int(42), Token::Float(3.25), Token::Float(1000.0), Token::Float(0.075)]
+        );
+    }
+
+    #[test]
+    fn qualified_name_and_star() {
+        assert_eq!(
+            toks("M.mid * 2"),
+            vec![
+                Token::Ident("M".into()),
+                Token::Dot,
+                Token::Ident("mid".into()),
+                Token::Star,
+                Token::Int(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comment_skipped() {
+        assert_eq!(toks("select -- everything\n 1"), vec![Token::Ident("select".into()), Token::Int(1)]);
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let ts = tokenize("ab  cd").unwrap();
+        assert_eq!(ts[0].offset, 0);
+        assert_eq!(ts[1].offset, 4);
+    }
+
+    #[test]
+    fn unexpected_character() {
+        let err = tokenize("a ? b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.offset, 2);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(toks("'café'"), vec![Token::Str("café".into())]);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # qp-sql
+//!
+//! SQL front-end for the SPJ subset the paper's algorithms produce and
+//! consume: `SELECT`/`FROM` (comma joins)/`WHERE`/`GROUP BY`/`HAVING`/
+//! `ORDER BY`/`LIMIT`, `UNION ALL`, `(NOT) IN` with lists or sub-queries,
+//! `(NOT) BETWEEN`, `IS (NOT) NULL`, aggregates, and user-defined function
+//! calls (the hook SPA uses to rank with `order by r(degree)` and to embed
+//! elastic doi functions).
+//!
+//! The crate provides:
+//! * a [`lexer`] and recursive-descent [`parser`] (`parse_query`),
+//! * the [`ast`] types,
+//! * a precedence-aware pretty printer ([`std::fmt::Display`] on every AST
+//!   node) that round-trips through the parser,
+//! * a programmatic [`builder`] API used by the personalization layer to
+//!   assemble the SPA/PPA sub-queries without string pasting.
+
+pub mod ast;
+pub mod builder;
+pub mod display;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    BinaryOp, Expr, Literal, OrderByItem, Query, Select, SelectItem, SetExpr, TableRef, UnaryOp,
+};
+pub use error::ParseError;
+pub use parser::parse_query;

@@ -1,0 +1,691 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::lexer::{tokenize, Spanned, Token};
+
+/// Reserved words that can never be identifiers in alias position.
+const KEYWORDS: &[&str] = &[
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "UNION",
+    "ALL", "AND", "OR", "NOT", "IN", "BETWEEN", "IS", "NULL", "TRUE", "FALSE", "AS", "ASC",
+    "DESC",
+];
+
+/// Parses a single SQL query.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0, end: input.len() };
+    let q = p.query()?;
+    p.eat_semicolons();
+    if !p.at_end() {
+        return Err(ParseError::new("trailing input after query", p.offset()));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map(|t| t.offset).unwrap_or(self.end)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.offset())
+    }
+
+    /// True if the current token is the given keyword (case-insensitive).
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consumes the given keyword if present.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword `{kw}`")))
+        }
+    }
+
+    fn eat_token(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, t: &Token, what: &str) -> Result<(), ParseError> {
+        if self.eat_token(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn eat_semicolons(&mut self) {
+        while self.eat_token(&Token::Semicolon) {}
+    }
+
+    /// Consumes a non-keyword identifier.
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) if !is_keyword(s) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        let mut body = SetExpr::Select(Box::new(self.select()?));
+        loop {
+            let save = self.pos;
+            if self.eat_keyword("UNION") {
+                if !self.eat_keyword("ALL") {
+                    // only UNION ALL is supported; be explicit about it
+                    self.pos = save;
+                    return Err(self.err("only UNION ALL is supported"));
+                }
+                let right = self.select()?;
+                body = SetExpr::UnionAll(Box::new(body), Box::new(right));
+            } else {
+                break;
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                order_by.push(OrderByItem { expr, desc });
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => limit = Some(n as u64),
+                _ => return Err(self.err("expected non-negative integer after LIMIT")),
+            }
+        }
+        Ok(Query { body, order_by, limit })
+    }
+
+    fn select(&mut self) -> Result<Select, ParseError> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            if self.eat_token(&Token::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = self.maybe_alias();
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        if self.eat_keyword("FROM") {
+            loop {
+                if self.eat_token(&Token::LParen) {
+                    let query = self.query()?;
+                    self.expect_token(&Token::RParen, "`)` closing derived table")?;
+                    let alias = self
+                        .maybe_alias()
+                        .ok_or_else(|| self.err("derived table requires an alias"))?;
+                    from.push(TableRef::derived(query, alias));
+                } else {
+                    let name = self.ident("table name")?;
+                    let alias = self.maybe_alias();
+                    from.push(TableRef::Relation { name, alias });
+                }
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_keyword("HAVING") { Some(self.expr()?) } else { None };
+        Ok(Select { distinct, items, from, where_clause, group_by, having })
+    }
+
+    /// `[AS] ident` where ident is not a keyword.
+    fn maybe_alias(&mut self) -> Option<String> {
+        if self.eat_keyword("AS") {
+            return self.ident("alias").ok();
+        }
+        match self.peek() {
+            Some(Token::Ident(s)) if !is_keyword(s) => {
+                let s = s.clone();
+                self.pos += 1;
+                Some(s)
+            }
+            _ => None,
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary { left: Box::new(left), op: BinaryOp::Or, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary { left: Box::new(left), op: BinaryOp::And, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_keyword("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<Expr, ParseError> {
+        let left = self.additive()?;
+        // comparison operators
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinaryOp::Eq),
+            Some(Token::Neq) => Some(BinaryOp::Neq),
+            Some(Token::Lt) => Some(BinaryOp::Lt),
+            Some(Token::Le) => Some(BinaryOp::Le),
+            Some(Token::Gt) => Some(BinaryOp::Gt),
+            Some(Token::Ge) => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) });
+        }
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        let negated = self.eat_keyword("NOT");
+        if self.eat_keyword("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                negated,
+                low: Box::new(low),
+                high: Box::new(high),
+            });
+        }
+        if self.eat_keyword("IN") {
+            self.expect_token(&Token::LParen, "`(` after IN")?;
+            if self.at_keyword("SELECT") {
+                let subquery = self.query()?;
+                self.expect_token(&Token::RParen, "`)` closing IN sub-query")?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    negated,
+                    subquery: Box::new(subquery),
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(&Token::RParen, "`)` closing IN list")?;
+            return Ok(Expr::InList { expr: Box::new(left), negated, list });
+        }
+        if negated {
+            return Err(self.err("expected BETWEEN or IN after NOT"));
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Slash) => BinaryOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_token(&Token::Minus) {
+            let inner = self.unary()?;
+            // fold negated numeric literals so `-1` round-trips as the
+            // literal it prints as
+            return Ok(match inner {
+                Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
+                Expr::Literal(Literal::Float(x)) => Expr::Literal(Literal::Float(-x)),
+                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+            });
+        }
+        if self.eat_token(&Token::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Int(n)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Int(n)))
+            }
+            Some(Token::Float(x)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Float(x)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_token(&Token::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Token::Ident(id)) => {
+                if id.eq_ignore_ascii_case("NULL") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Literal::Null));
+                }
+                if id.eq_ignore_ascii_case("TRUE") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Literal::Bool(true)));
+                }
+                if id.eq_ignore_ascii_case("FALSE") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Literal::Bool(false)));
+                }
+                if is_keyword(&id) {
+                    return Err(self.err(format!("unexpected keyword `{id}`")));
+                }
+                self.pos += 1;
+                // function call?
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    if self.eat_token(&Token::Star) {
+                        self.expect_token(&Token::RParen, "`)` after `*`")?;
+                        return Ok(Expr::Function { name: id, args: vec![], star: true });
+                    }
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_token(&Token::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_token(&Token::RParen, "`)` closing argument list")?;
+                    return Ok(Expr::Function { name: id, args, star: false });
+                }
+                // qualified column?
+                if self.eat_token(&Token::Dot) {
+                    let name = self.ident("column name after `.`")?;
+                    return Ok(Expr::Column { table: Some(id), name });
+                }
+                Ok(Expr::Column { table: None, name: id })
+            }
+            _ => Err(self.err("expected expression")),
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.iter().any(|k| k.eq_ignore_ascii_case(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let q = parse_query("select title from MOVIE").unwrap();
+        let selects = q.selects();
+        assert_eq!(selects.len(), 1);
+        let s = selects[0];
+        assert_eq!(s.from, vec![TableRef::new("MOVIE")]);
+        assert_eq!(
+            s.items,
+            vec![SelectItem::Expr {
+                expr: Expr::Column { table: None, name: "title".into() },
+                alias: None
+            }]
+        );
+    }
+
+    #[test]
+    fn paper_example_q1() {
+        // The presence sub-query from Example 6 of the paper.
+        let q = parse_query(
+            "select title, 0.72 degree \
+             from MOVIE M, DIRECTED D, DIRECTOR DI \
+             where M.mid=D.mid and D.did=DI.did and DI.name='W. Allen'",
+        )
+        .unwrap();
+        let s = &q.selects()[0];
+        assert_eq!(s.from.len(), 3);
+        assert_eq!(s.from[1], TableRef::aliased("DIRECTED", "D"));
+        assert_eq!(
+            s.items[1],
+            SelectItem::Expr {
+                expr: Expr::Literal(Literal::Float(0.72)),
+                alias: Some("degree".into())
+            }
+        );
+        let w = s.where_clause.as_ref().unwrap();
+        assert_eq!(w.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn paper_example_not_in() {
+        let q = parse_query(
+            "select title, 0.7 degree from MOVIE M \
+             where M.mid not in (select M.mid from MOVIE M, GENRE G \
+             where M.mid=G.mid and G.genre='musical')",
+        )
+        .unwrap();
+        let s = &q.selects()[0];
+        match s.where_clause.as_ref().unwrap() {
+            Expr::InSubquery { negated, subquery, .. } => {
+                assert!(negated);
+                assert_eq!(subquery.selects().len(), 1);
+            }
+            other => panic!("expected InSubquery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_all_group_having_order() {
+        let q = parse_query(
+            "select title, 0.5 degree from MOVIE \
+             union all select title, 0.2 degree from MOVIE \
+             group by title having count(*) >= 2 order by r(degree) desc limit 10",
+        )
+        .unwrap();
+        assert_eq!(q.selects().len(), 2);
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.order_by.len(), 1);
+        assert!(q.order_by[0].desc);
+        // GROUP BY / HAVING attach to the last select of the chain.
+        let last = q.selects()[1];
+        assert_eq!(last.group_by.len(), 1);
+        match last.having.as_ref().unwrap() {
+            Expr::Binary { op: BinaryOp::Ge, left, .. } => match left.as_ref() {
+                Expr::Function { name, star, .. } => {
+                    assert_eq!(name, "count");
+                    assert!(*star);
+                }
+                other => panic!("expected count(*), got {other:?}"),
+            },
+            other => panic!("expected >=, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_without_all_rejected() {
+        assert!(parse_query("select a from T union select a from T").is_err());
+    }
+
+    #[test]
+    fn between() {
+        let q = parse_query("select * from M where year between 1990 and 1999").unwrap();
+        match q.selects()[0].where_clause.as_ref().unwrap() {
+            Expr::Between { negated: false, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_between() {
+        let q = parse_query("select * from M where year not between 1990 and 1999").unwrap();
+        match q.selects()[0].where_clause.as_ref().unwrap() {
+            Expr::Between { negated: true, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_list() {
+        let q = parse_query("select * from G where genre in ('comedy', 'drama')").unwrap();
+        match q.selects()[0].where_clause.as_ref().unwrap() {
+            Expr::InList { negated: false, list, .. } => assert_eq!(list.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_null_and_is_not_null() {
+        let q = parse_query("select * from M where a is null and b is not null").unwrap();
+        let w = q.selects()[0].where_clause.as_ref().unwrap();
+        let cs = w.conjuncts();
+        assert!(matches!(cs[0], Expr::IsNull { negated: false, .. }));
+        assert!(matches!(cs[1], Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn precedence_or_and() {
+        let q = parse_query("select * from M where a = 1 or b = 2 and c = 3").unwrap();
+        match q.selects()[0].where_clause.as_ref().unwrap() {
+            Expr::Binary { op: BinaryOp::Or, right, .. } => {
+                assert!(matches!(right.as_ref(), Expr::Binary { op: BinaryOp::And, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse_query("select 1 + 2 * 3 from M").unwrap();
+        match &q.selects()[0].items[0] {
+            SelectItem::Expr { expr: Expr::Binary { op: BinaryOp::Add, right, .. }, .. } => {
+                assert!(matches!(right.as_ref(), Expr::Binary { op: BinaryOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_operator() {
+        let q = parse_query("select * from M where not a = 1").unwrap();
+        assert!(matches!(
+            q.selects()[0].where_clause.as_ref().unwrap(),
+            Expr::Unary { op: UnaryOp::Not, .. }
+        ));
+    }
+
+    #[test]
+    fn negative_literal_folds() {
+        let q = parse_query("select -3.5 from M").unwrap();
+        match &q.selects()[0].items[0] {
+            SelectItem::Expr { expr: Expr::Literal(Literal::Float(x)), .. } => {
+                assert_eq!(*x, -3.5);
+            }
+            other => panic!("{other:?}"),
+        }
+        // negation of a non-literal stays a unary op
+        let q = parse_query("select -x from M").unwrap();
+        match &q.selects()[0].items[0] {
+            SelectItem::Expr { expr: Expr::Unary { op: UnaryOp::Neg, .. }, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn distinct_and_wildcard() {
+        let q = parse_query("select distinct * from M").unwrap();
+        let s = q.selects()[0];
+        assert!(s.distinct);
+        assert_eq!(s.items, vec![SelectItem::Wildcard]);
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse_query("select a from T garbage ,").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse_query("select a from T;").is_ok());
+    }
+
+    #[test]
+    fn keyword_as_table_rejected() {
+        assert!(parse_query("select a from where").is_err());
+    }
+
+    #[test]
+    fn alias_with_as() {
+        let q = parse_query("select m.title as t from MOVIE as m").unwrap();
+        let s = q.selects()[0];
+        assert_eq!(s.from[0], TableRef::aliased("MOVIE", "m"));
+        match &s.items[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("t")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_from_allowed() {
+        let q = parse_query("select 1 + 1").unwrap();
+        assert!(q.selects()[0].from.is_empty());
+    }
+
+    #[test]
+    fn function_with_args() {
+        let q = parse_query("select elastic0(duration) from MOVIE").unwrap();
+        match &q.selects()[0].items[0] {
+            SelectItem::Expr { expr: Expr::Function { name, args, star }, .. } => {
+                assert_eq!(name, "elastic0");
+                assert_eq!(args.len(), 1);
+                assert!(!star);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn derived_table() {
+        let q = parse_query(
+            "select title, r(degree) from \
+             (select title, 0.5 degree from MOVIE union all select title, 0.7 degree from MOVIE) u \
+             group by title having count(*) >= 2",
+        )
+        .unwrap();
+        let s = q.selects()[0];
+        match &s.from[0] {
+            TableRef::Derived { query, alias } => {
+                assert_eq!(alias, "u");
+                assert_eq!(query.selects().len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.group_by.len(), 1);
+    }
+
+    #[test]
+    fn derived_table_requires_alias() {
+        assert!(parse_query("select a from (select a from T)").is_err());
+    }
+
+    #[test]
+    fn limit_requires_integer() {
+        assert!(parse_query("select a from T limit x").is_err());
+        assert!(parse_query("select a from T limit -1").is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! TSV dump and load for whole databases.
+//!
+//! Reproduction packages need a way to ship data that is not the built-in
+//! generator (e.g. a real IMDB extract). A dump is one `<RELATION>.tsv`
+//! per relation plus a `_schema.txt` describing attributes, types, domain
+//! kinds, keys, and join edges; [`load_dir`] reconstructs the database.
+//! Values are tab-separated with `\t`, `\n`, `\r`, `\\` escapes and `\N`
+//! for NULL (the classic database-dump convention).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::database::Database;
+use crate::schema::Attribute;
+use crate::types::{DataType, DomainKind};
+use crate::value::Value;
+
+/// Writes the whole database under `dir` (created if needed).
+pub fn dump_dir(db: &Database, dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut schema = String::new();
+    for rel in db.catalog().relations() {
+        let _ = write!(schema, "relation {}", rel.name);
+        for (i, a) in rel.attributes.iter().enumerate() {
+            let kind = match a.domain {
+                DomainKind::Categorical => "categorical",
+                DomainKind::Numeric => "numeric",
+            };
+            let key = if rel.primary_key.contains(&i) { ":key" } else { "" };
+            let _ = write!(schema, " {}:{}:{}{}", a.name, a.data_type, kind, key);
+        }
+        schema.push('\n');
+
+        let mut data = String::new();
+        for (_, row) in db.table(rel.id).iter() {
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    data.push('\t');
+                }
+                data.push_str(&escape(v));
+            }
+            data.push('\n');
+        }
+        std::fs::write(dir.join(format!("{}.tsv", rel.name)), data)?;
+    }
+    for fk in db.catalog().join_edges() {
+        let _ = writeln!(
+            schema,
+            "join {} {}",
+            db.catalog().attr_name(fk.from),
+            db.catalog().attr_name(fk.to)
+        );
+    }
+    std::fs::write(dir.join("_schema.txt"), schema)
+}
+
+/// Reads a database previously written by [`dump_dir`].
+pub fn load_dir(dir: &Path) -> io::Result<Database> {
+    let schema = std::fs::read_to_string(dir.join("_schema.txt"))?;
+    let mut db = Database::new();
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut joins: Vec<(String, String)> = Vec::new();
+    for line in schema.lines() {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("relation") => {
+                let name =
+                    parts.next().ok_or_else(|| bad("relation line without name".into()))?;
+                let mut attrs = Vec::new();
+                let mut keys: Vec<String> = Vec::new();
+                for spec in parts {
+                    let fields: Vec<&str> = spec.split(':').collect();
+                    if fields.len() < 3 {
+                        return Err(bad(format!("bad attribute spec `{spec}`")));
+                    }
+                    let aname = fields[0];
+                    let ty = match fields[1] {
+                        "INT" => DataType::Int,
+                        "FLOAT" => DataType::Float,
+                        "TEXT" => DataType::Text,
+                        "BOOL" => DataType::Bool,
+                        other => return Err(bad(format!("unknown type `{other}`"))),
+                    };
+                    let domain = match fields[2] {
+                        "numeric" => DomainKind::Numeric,
+                        "categorical" => DomainKind::Categorical,
+                        other => return Err(bad(format!("unknown domain `{other}`"))),
+                    };
+                    if fields.get(3) == Some(&"key") {
+                        keys.push(aname.to_string());
+                    }
+                    attrs.push(Attribute::new(aname, ty).with_domain(domain));
+                }
+                let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+                db.create_relation(name, attrs, &key_refs)
+                    .map_err(|e| bad(e.to_string()))?;
+            }
+            Some("join") => {
+                let a = parts.next().ok_or_else(|| bad("join line missing".into()))?;
+                let b = parts.next().ok_or_else(|| bad("join line missing".into()))?;
+                joins.push((a.to_string(), b.to_string()));
+            }
+            _ => {}
+        }
+    }
+    for (a, b) in joins {
+        let (ra, aa) = a.split_once('.').ok_or_else(|| bad(format!("bad join attr {a}")))?;
+        let (rb, ab) = b.split_once('.').ok_or_else(|| bad(format!("bad join attr {b}")))?;
+        // add_join_edge registers both directions; duplicates are ignored
+        db.catalog_mut()
+            .add_join_edge_by_name(ra, aa, rb, ab)
+            .map_err(|e| bad(e.to_string()))?;
+    }
+    // data
+    let rels: Vec<(crate::schema::RelId, String, Vec<DataType>)> = db
+        .catalog()
+        .relations()
+        .iter()
+        .map(|r| (r.id, r.name.clone(), r.attributes.iter().map(|a| a.data_type).collect()))
+        .collect();
+    for (rel, name, types) in rels {
+        let path = dir.join(format!("{name}.tsv"));
+        let text = std::fs::read_to_string(&path)?;
+        let mut rows = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let cells: Vec<&str> = line.split('\t').collect();
+            if cells.len() != types.len() {
+                return Err(bad(format!(
+                    "{name}.tsv line {}: expected {} cells, got {}",
+                    ln + 1,
+                    types.len(),
+                    cells.len()
+                )));
+            }
+            let row: Vec<Value> = cells
+                .iter()
+                .zip(&types)
+                .map(|(c, t)| unescape(c, *t))
+                .collect::<Result<_, _>>()
+                .map_err(|e: String| bad(format!("{name}.tsv line {}: {e}", ln + 1)))?;
+            rows.push(row);
+        }
+        db.bulk_load(rel, rows);
+    }
+    Ok(db)
+}
+
+fn escape(v: &Value) -> String {
+    match v {
+        Value::Null => "\\N".to_string(),
+        other => other
+            .to_string()
+            .replace('\\', "\\\\")
+            .replace('\t', "\\t")
+            .replace('\n', "\\n")
+            .replace('\r', "\\r"),
+    }
+}
+
+fn unescape(cell: &str, ty: DataType) -> Result<Value, String> {
+    if cell == "\\N" {
+        return Ok(Value::Null);
+    }
+    let mut out = String::with_capacity(cell.len());
+    let mut chars = cell.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('\\') => out.push('\\'),
+                other => return Err(format!("bad escape \\{other:?}")),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(match ty {
+        DataType::Int => Value::Int(out.parse().map_err(|e| format!("int: {e}"))?),
+        DataType::Float => Value::Float(out.parse().map_err(|e| format!("float: {e}"))?),
+        DataType::Bool => Value::Bool(out.parse().map_err(|e| format!("bool: {e}"))?),
+        DataType::Text => Value::str(out),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            "MOVIE",
+            vec![
+                Attribute::new("mid", DataType::Int),
+                Attribute::new("title", DataType::Text),
+                Attribute::new("rating", DataType::Float),
+                Attribute::new("code", DataType::Int).with_domain(DomainKind::Categorical),
+            ],
+            &["mid"],
+        )
+        .unwrap();
+        db.create_relation(
+            "GENRE",
+            vec![Attribute::new("mid", DataType::Int), Attribute::new("genre", DataType::Text)],
+            &["mid", "genre"],
+        )
+        .unwrap();
+        db.catalog_mut().add_join_edge_by_name("MOVIE", "mid", "GENRE", "mid").unwrap();
+        db.insert_by_name(
+            "MOVIE",
+            vec![Value::Int(1), Value::str("tab\there"), Value::Float(8.5), Value::Int(3)],
+        )
+        .unwrap();
+        db.insert_by_name(
+            "MOVIE",
+            vec![Value::Int(2), Value::str("line\nbreak \\ slash"), Value::Null, Value::Null],
+        )
+        .unwrap();
+        db.insert_by_name("GENRE", vec![Value::Int(1), Value::str("comedy")]).unwrap();
+        db
+    }
+
+    #[test]
+    fn round_trip() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join(format!("qp_dump_{}", std::process::id()));
+        dump_dir(&db, &dir).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        // schema survives
+        let rel = loaded.catalog().relation_by_name("MOVIE").unwrap();
+        assert_eq!(rel.arity(), 4);
+        assert!(rel.attr_is_unique(0));
+        assert_eq!(rel.attributes[3].domain, DomainKind::Categorical);
+        let g = loaded.catalog().relation_by_name("GENRE").unwrap();
+        assert_eq!(g.primary_key.len(), 2);
+        // join edges survive
+        let m = loaded.catalog().resolve("MOVIE", "mid").unwrap();
+        let gm = loaded.catalog().resolve("GENRE", "mid").unwrap();
+        assert!(loaded.catalog().is_joinable(m, gm));
+
+        // data (including escapes and NULL) survives
+        let t = loaded.table_by_name("MOVIE").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[0][1], Value::str("tab\there"));
+        assert_eq!(t.rows()[1][1], Value::str("line\nbreak \\ slash"));
+        assert!(t.rows()[1][2].is_null());
+    }
+
+    #[test]
+    fn missing_schema_errors() {
+        let dir = std::env::temp_dir().join(format!("qp_dump_missing_{}", std::process::id()));
+        assert!(load_dir(&dir).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join(format!("qp_dump_bad_{}", std::process::id()));
+        dump_dir(&db, &dir).unwrap();
+        std::fs::write(dir.join("GENRE.tsv"), "1\tcomedy\textra\n").unwrap();
+        let err = load_dir(&dir);
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+/// Errors raised by catalog and table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A relation name was not found in the catalog.
+    UnknownRelation(String),
+    /// An attribute was not found on the given relation.
+    UnknownAttribute {
+        /// Relation searched.
+        relation: String,
+        /// Attribute requested.
+        attribute: String,
+    },
+    /// A relation with this name already exists.
+    DuplicateRelation(String),
+    /// An attribute appears twice in a relation definition.
+    DuplicateAttribute {
+        /// Relation being defined.
+        relation: String,
+        /// Offending attribute.
+        attribute: String,
+    },
+    /// A row's arity does not match the relation's attribute count.
+    ArityMismatch {
+        /// Relation being inserted into.
+        relation: String,
+        /// Attributes the relation declares.
+        expected: usize,
+        /// Values the row supplied.
+        got: usize,
+    },
+    /// A value's type does not match the attribute's declared type.
+    TypeMismatch {
+        /// Relation being inserted into.
+        relation: String,
+        /// Attribute with the mismatch.
+        attribute: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A foreign-key endpoint is invalid.
+    InvalidForeignKey(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            StorageError::UnknownAttribute { relation, attribute } => {
+                write!(f, "unknown attribute `{relation}.{attribute}`")
+            }
+            StorageError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` already exists")
+            }
+            StorageError::DuplicateAttribute { relation, attribute } => {
+                write!(f, "duplicate attribute `{attribute}` in relation `{relation}`")
+            }
+            StorageError::ArityMismatch { relation, expected, got } => write!(
+                f,
+                "arity mismatch inserting into `{relation}`: expected {expected} values, got {got}"
+            ),
+            StorageError::TypeMismatch { relation, attribute, detail } => {
+                write!(f, "type mismatch for `{relation}.{attribute}`: {detail}")
+            }
+            StorageError::InvalidForeignKey(detail) => {
+                write!(f, "invalid foreign key: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StorageError::UnknownRelation("MOVIE".into());
+        assert_eq!(e.to_string(), "unknown relation `MOVIE`");
+        let e = StorageError::ArityMismatch { relation: "MOVIE".into(), expected: 4, got: 3 };
+        assert!(e.to_string().contains("expected 4"));
+    }
+}

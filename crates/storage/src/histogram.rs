@@ -1,0 +1,332 @@
+//! Simple single-attribute histograms for selectivity estimation.
+//!
+//! §5 of the paper: "Let S be the set of the corresponding queries in order
+//! of increasing selectivity. *We use simple histograms to obtain this
+//! information.*" PPA orders presence and absence sub-queries by estimated
+//! selectivity; these histograms provide the estimates.
+//!
+//! Numeric attributes get an equi-width histogram (plus exact min/max and
+//! null counts); all attributes additionally get a most-common-values list,
+//! which is exact when the attribute has few distinct values (the common
+//! case for categorical attributes like `GENRE.genre`).
+
+use std::collections::HashMap;
+
+use crate::value::Value;
+
+/// Number of equi-width buckets for numeric attributes.
+const NUM_BUCKETS: usize = 64;
+/// Maximum number of most-common values tracked.
+const MAX_MCV: usize = 128;
+
+/// Comparison operators the estimator understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A histogram over one attribute.
+///
+/// ```
+/// use qp_storage::{Histogram, Value};
+/// use qp_storage::histogram::CmpOp;
+/// let years: Vec<Value> = (1950..2000).map(Value::Int).collect();
+/// let h = Histogram::build(years.iter());
+/// let sel = h.selectivity(CmpOp::Lt, &Value::Int(1975));
+/// assert!((sel - 0.5).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    rows: usize,
+    nulls: usize,
+    distinct: usize,
+    /// Most common values with exact counts; covers the whole column when
+    /// `mcv_complete`.
+    mcv: Vec<(Value, usize)>,
+    mcv_complete: bool,
+    /// Equi-width buckets for numeric attributes: counts of non-null
+    /// numeric values in `[min + i*w, min + (i+1)*w)`.
+    buckets: Option<Buckets>,
+}
+
+#[derive(Debug, Clone)]
+struct Buckets {
+    min: f64,
+    max: f64,
+    counts: Vec<usize>,
+}
+
+impl Buckets {
+    fn width(&self) -> f64 {
+        let w = (self.max - self.min) / self.counts.len() as f64;
+        if w > 0.0 {
+            w
+        } else {
+            1.0
+        }
+    }
+
+    /// Estimated number of values strictly less than `x`.
+    fn count_below(&self, x: f64) -> f64 {
+        if x <= self.min {
+            return 0.0;
+        }
+        if x > self.max {
+            return self.counts.iter().sum::<usize>() as f64;
+        }
+        let w = self.width();
+        let pos = (x - self.min) / w;
+        let full = pos.floor() as usize;
+        let frac = pos - pos.floor();
+        let mut total = 0.0;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i < full {
+                total += *c as f64;
+            } else if i == full {
+                total += *c as f64 * frac;
+            } else {
+                break;
+            }
+        }
+        total
+    }
+}
+
+impl Histogram {
+    /// Builds a histogram by scanning a column.
+    pub fn build<'a>(column: impl Iterator<Item = &'a Value>) -> Self {
+        let mut rows = 0usize;
+        let mut nulls = 0usize;
+        let mut counts: HashMap<Value, usize> = HashMap::new();
+        let mut numeric: Vec<f64> = Vec::new();
+        let mut all_numeric = true;
+        for v in column {
+            rows += 1;
+            if v.is_null() {
+                nulls += 1;
+                continue;
+            }
+            *counts.entry(v.clone()).or_insert(0) += 1;
+            match v.as_f64() {
+                Some(x) => numeric.push(x),
+                None => all_numeric = false,
+            }
+        }
+        let distinct = counts.len();
+        let mut mcv: Vec<(Value, usize)> = counts.into_iter().collect();
+        mcv.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mcv_complete = mcv.len() <= MAX_MCV;
+        mcv.truncate(MAX_MCV);
+
+        let buckets = if all_numeric && !numeric.is_empty() {
+            let min = numeric.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = numeric.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut b = Buckets { min, max, counts: vec![0; NUM_BUCKETS] };
+            let w = b.width();
+            for x in &numeric {
+                let mut i = ((x - min) / w) as usize;
+                if i >= NUM_BUCKETS {
+                    i = NUM_BUCKETS - 1;
+                }
+                b.counts[i] += 1;
+            }
+            Some(b)
+        } else {
+            None
+        };
+
+        Histogram { rows, nulls, distinct, mcv, mcv_complete, buckets }
+    }
+
+    /// Total rows scanned (including NULLs).
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// NULL count.
+    pub fn null_count(&self) -> usize {
+        self.nulls
+    }
+
+    /// Number of distinct non-null values (exact while the column fits the
+    /// MCV budget; otherwise the scan-time count, still exact here since we
+    /// count during the build).
+    pub fn distinct_count(&self) -> usize {
+        self.distinct
+    }
+
+    /// Estimated fraction of rows satisfying `attr op value` (NULLs never
+    /// satisfy). Returns a value in `[0, 1]`.
+    pub fn selectivity(&self, op: CmpOp, value: &Value) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        let non_null = (self.rows - self.nulls) as f64;
+        if non_null == 0.0 {
+            return 0.0;
+        }
+        let total = self.rows as f64;
+        let eq = self.eq_count_estimate(value);
+        let sel = match op {
+            CmpOp::Eq => eq,
+            CmpOp::Ne => non_null - eq,
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                let below = self.count_below_estimate(value);
+                match op {
+                    CmpOp::Lt => below,
+                    CmpOp::Le => below + eq,
+                    CmpOp::Gt => non_null - below - eq,
+                    CmpOp::Ge => non_null - below,
+                    _ => unreachable!(),
+                }
+            }
+        };
+        (sel / total).clamp(0.0, 1.0)
+    }
+
+    /// Estimated fraction of rows with `lo <= attr <= hi` (inclusive ends).
+    pub fn selectivity_between(&self, lo: &Value, hi: &Value) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        let below_lo = self.count_below_estimate(lo);
+        let below_hi = self.count_below_estimate(hi) + self.eq_count_estimate(hi);
+        ((below_hi - below_lo) / self.rows as f64).clamp(0.0, 1.0)
+    }
+
+    /// Estimated number of rows equal to `value`.
+    fn eq_count_estimate(&self, value: &Value) -> f64 {
+        if let Some((_, c)) = self.mcv.iter().find(|(v, _)| v == value) {
+            return *c as f64;
+        }
+        if self.mcv_complete {
+            return 0.0;
+        }
+        // Uniformity over the values not covered by the MCV list.
+        let covered: usize = self.mcv.iter().map(|(_, c)| c).sum();
+        let rest_rows = (self.rows - self.nulls).saturating_sub(covered) as f64;
+        let rest_distinct = self.distinct.saturating_sub(self.mcv.len()).max(1) as f64;
+        rest_rows / rest_distinct
+    }
+
+    /// Estimated number of non-null values strictly below `value`.
+    fn count_below_estimate(&self, value: &Value) -> f64 {
+        match (&self.buckets, value.as_f64()) {
+            (Some(b), Some(x)) => b.count_below(x),
+            _ => {
+                // Categorical ordering: count MCVs below (complete lists make
+                // this exact; otherwise fall back to half the column).
+                if self.mcv_complete {
+                    self.mcv
+                        .iter()
+                        .filter(|(v, _)| v.total_cmp(value) == std::cmp::Ordering::Less)
+                        .map(|(_, c)| *c as f64)
+                        .sum()
+                } else {
+                    (self.rows - self.nulls) as f64 / 2.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(values: Vec<Value>) -> Histogram {
+        Histogram::build(values.iter())
+    }
+
+    #[test]
+    fn empty_column() {
+        let h = hist(vec![]);
+        assert_eq!(h.row_count(), 0);
+        assert_eq!(h.selectivity(CmpOp::Eq, &Value::Int(1)), 0.0);
+    }
+
+    #[test]
+    fn exact_equality_on_small_domains() {
+        let vals: Vec<Value> =
+            ["a", "b", "a", "a", "c"].iter().map(|s| Value::str(*s)).collect();
+        let h = hist(vals);
+        assert!((h.selectivity(CmpOp::Eq, &Value::str("a")) - 0.6).abs() < 1e-9);
+        assert!((h.selectivity(CmpOp::Eq, &Value::str("c")) - 0.2).abs() < 1e-9);
+        assert_eq!(h.selectivity(CmpOp::Eq, &Value::str("zz")), 0.0);
+        assert_eq!(h.distinct_count(), 3);
+    }
+
+    #[test]
+    fn ne_is_complement_over_non_null() {
+        let vals: Vec<Value> = vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::Null];
+        let h = hist(vals);
+        // 2 of 4 rows are != 1 and non-null ... one row (Int 2).
+        assert!((h.selectivity(CmpOp::Ne, &Value::Int(1)) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn numeric_range_estimates() {
+        let vals: Vec<Value> = (0..100).map(Value::Int).collect();
+        let h = hist(vals);
+        let lt50 = h.selectivity(CmpOp::Lt, &Value::Int(50));
+        assert!((lt50 - 0.5).abs() < 0.05, "lt50={lt50}");
+        let ge90 = h.selectivity(CmpOp::Ge, &Value::Int(90));
+        assert!((ge90 - 0.1).abs() < 0.05, "ge90={ge90}");
+    }
+
+    #[test]
+    fn between_estimate() {
+        let vals: Vec<Value> = (0..1000).map(Value::Int).collect();
+        let h = hist(vals);
+        let sel = h.selectivity_between(&Value::Int(100), &Value::Int(299));
+        assert!((sel - 0.2).abs() < 0.05, "sel={sel}");
+    }
+
+    #[test]
+    fn nulls_counted_but_never_selected() {
+        let vals = vec![Value::Null, Value::Null, Value::Int(5)];
+        let h = hist(vals);
+        assert_eq!(h.null_count(), 2);
+        assert!((h.selectivity(CmpOp::Eq, &Value::Int(5)) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_domain_falls_back_to_uniform() {
+        // 1000 distinct strings -> MCV incomplete
+        let vals: Vec<Value> = (0..1000).map(|i| Value::str(format!("v{i:04}"))).collect();
+        let h = hist(vals);
+        let sel = h.selectivity(CmpOp::Eq, &Value::str("v0500"));
+        assert!(sel > 0.0 && sel < 0.01, "sel={sel}");
+    }
+
+    #[test]
+    fn selectivity_clamped() {
+        let vals: Vec<Value> = (0..10).map(Value::Int).collect();
+        let h = hist(vals);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for v in [-100i64, 0, 5, 9, 100] {
+                let s = h.selectivity(op, &Value::Int(v));
+                assert!((0.0..=1.0).contains(&s), "{op:?} {v} -> {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_column() {
+        let vals: Vec<Value> = vec![Value::Int(7); 50];
+        let h = hist(vals);
+        assert!((h.selectivity(CmpOp::Eq, &Value::Int(7)) - 1.0).abs() < 1e-9);
+        assert_eq!(h.selectivity(CmpOp::Lt, &Value::Int(7)), 0.0);
+    }
+}

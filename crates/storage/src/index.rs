@@ -1,0 +1,74 @@
+//! Hash indexes mapping attribute values to row ids.
+//!
+//! The execution engine uses these for index nested-loop joins and for the
+//! row-id-bound parameterized queries of the PPA algorithm.
+
+use std::collections::HashMap;
+
+use crate::table::RowId;
+use crate::value::Value;
+
+/// A hash index over one attribute. NULLs are not indexed (they never match
+/// an equality predicate under SQL semantics).
+#[derive(Debug, Clone, Default)]
+pub struct Index {
+    map: HashMap<Value, Vec<RowId>>,
+}
+
+impl Index {
+    /// Builds an index by scanning a column.
+    pub fn build<'a>(column: impl Iterator<Item = &'a Value>) -> Self {
+        let mut map: HashMap<Value, Vec<RowId>> = HashMap::new();
+        for (i, v) in column.enumerate() {
+            if v.is_null() {
+                continue;
+            }
+            map.entry(v.clone()).or_default().push(RowId(i as u64));
+        }
+        Index { map }
+    }
+
+    /// Row ids whose attribute equals `value` (empty for NULL probes).
+    pub fn lookup(&self, value: &Value) -> &[RowId] {
+        if value.is_null() {
+            return &[];
+        }
+        self.map.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_count(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let vals = [Value::Int(1), Value::Int(2), Value::Int(1), Value::Null];
+        let idx = Index::build(vals.iter());
+        assert_eq!(idx.lookup(&Value::Int(1)), &[RowId(0), RowId(2)]);
+        assert_eq!(idx.lookup(&Value::Int(2)), &[RowId(1)]);
+        assert!(idx.lookup(&Value::Int(3)).is_empty());
+        assert_eq!(idx.distinct_count(), 2);
+    }
+
+    #[test]
+    fn null_probe_matches_nothing() {
+        let vals = [Value::Null, Value::Null];
+        let idx = Index::build(vals.iter());
+        assert!(idx.lookup(&Value::Null).is_empty());
+        assert_eq!(idx.distinct_count(), 0);
+    }
+
+    #[test]
+    fn cross_type_numeric_lookup() {
+        let vals = [Value::Int(2)];
+        let idx = Index::build(vals.iter());
+        // Float(2.0) hashes and compares equal to Int(2).
+        assert_eq!(idx.lookup(&Value::Float(2.0)), &[RowId(0)]);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # qp-storage
+//!
+//! In-memory relational storage substrate for the personalized-queries
+//! workspace. This crate provides everything the paper assumes from its
+//! underlying DBMS (Oracle 9i in the original evaluation):
+//!
+//! * typed [`Value`]s with a total order (NULL-aware, float-safe),
+//! * a [`Catalog`] describing relations, attributes, keys and the schema
+//!   graph the personalization graph extends,
+//! * row-oriented [`Table`]s addressed by [`RowId`],
+//! * [`Histogram`]s for the selectivity estimation the PPA algorithm uses
+//!   to order sub-queries,
+//! * hash [`Index`]es used by the execution engine for joins and lookups.
+//!
+//! The crate is deliberately free of query-processing logic; `qp-exec`
+//! builds the executor on top of these primitives.
+
+pub mod database;
+pub mod dump;
+pub mod error;
+pub mod histogram;
+pub mod index;
+pub mod schema;
+pub mod table;
+pub mod types;
+pub mod value;
+
+pub use database::Database;
+pub use dump::{dump_dir, load_dir};
+pub use error::StorageError;
+pub use histogram::Histogram;
+pub use index::Index;
+pub use schema::{AttrId, Attribute, Catalog, ForeignKey, RelId, Relation};
+pub use table::{Row, RowId, Table};
+pub use types::{DataType, DomainKind};
+pub use value::Value;

@@ -1,0 +1,415 @@
+//! Catalog: relations, attributes, keys, and the schema graph.
+//!
+//! The personalization graph of the paper (§3.1) is an extension of the
+//! database schema graph, so the catalog records which attribute pairs are
+//! joinable ([`ForeignKey`] edges) and enough key metadata to classify joins
+//! as 1–1 or 1–n — the distinction §5 uses to pick between plain negation
+//! and `NOT IN` sub-queries for absence preferences.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::StorageError;
+use crate::types::{DataType, DomainKind};
+
+/// Identifier of a relation within a [`Catalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+/// Identifier of an attribute: a relation plus the attribute's ordinal
+/// position inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId {
+    /// Owning relation.
+    pub rel: RelId,
+    /// Zero-based position within the relation.
+    pub idx: u32,
+}
+
+impl AttrId {
+    /// Convenience constructor.
+    pub fn new(rel: RelId, idx: u32) -> Self {
+        AttrId { rel, idx }
+    }
+}
+
+/// An attribute (column) definition.
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    /// Attribute name, stored as given; lookups are case-insensitive.
+    pub name: String,
+    /// Storage type.
+    pub data_type: DataType,
+    /// Whether preferences over this attribute may be elastic.
+    pub domain: DomainKind,
+    /// Declared unique (single-column primary key or unique constraint).
+    pub unique: bool,
+}
+
+impl Attribute {
+    /// A non-unique attribute with the type's default domain kind.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Attribute {
+            name: name.into(),
+            data_type,
+            domain: data_type.default_domain(),
+            unique: false,
+        }
+    }
+
+    /// Marks the attribute unique (e.g. a single-column primary key).
+    pub fn unique(mut self) -> Self {
+        self.unique = true;
+        self
+    }
+
+    /// Overrides the domain kind (e.g. an INT code that is categorical).
+    pub fn with_domain(mut self, domain: DomainKind) -> Self {
+        self.domain = domain;
+        self
+    }
+}
+
+/// A relation (table) definition.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// This relation's id in the catalog.
+    pub id: RelId,
+    /// Relation name; lookups are case-insensitive.
+    pub name: String,
+    /// Ordered attribute definitions.
+    pub attributes: Vec<Attribute>,
+    /// Ordinal positions of the primary key attributes (possibly composite,
+    /// possibly empty when no key was declared).
+    pub primary_key: Vec<usize>,
+}
+
+impl Relation {
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Finds an attribute by case-insensitive name.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Whether the attribute at `idx` uniquely identifies rows (declared
+    /// unique or the sole primary-key column).
+    pub fn attr_is_unique(&self, idx: usize) -> bool {
+        self.attributes[idx].unique || (self.primary_key.len() == 1 && self.primary_key[0] == idx)
+    }
+}
+
+/// A directed joinable-attribute edge in the schema graph.
+///
+/// `from` and `to` are attribute endpoints of a potential equi-join. The
+/// catalog stores one edge per declared direction; [`Catalog::add_join_edge`]
+/// registers both directions at once since schema joinability is symmetric
+/// (the *preference* direction of §3.1 lives in the personalization graph,
+/// not here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ForeignKey {
+    /// Source attribute.
+    pub from: AttrId,
+    /// Target attribute.
+    pub to: AttrId,
+}
+
+/// How many rows of the right relation a single left row can join with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinMultiplicity {
+    /// Each left row matches at most one right row.
+    ToOne,
+    /// A left row may match many right rows.
+    ToMany,
+}
+
+/// The schema catalog.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: Vec<Relation>,
+    by_name: HashMap<String, RelId>,
+    join_edges: Vec<ForeignKey>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Adds a relation. `primary_key` lists attribute names forming the key.
+    pub fn add_relation(
+        &mut self,
+        name: impl Into<String>,
+        attributes: Vec<Attribute>,
+        primary_key: &[&str],
+    ) -> Result<RelId, StorageError> {
+        let name = name.into();
+        let key = name.to_ascii_uppercase();
+        if self.by_name.contains_key(&key) {
+            return Err(StorageError::DuplicateRelation(name));
+        }
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name.eq_ignore_ascii_case(&a.name)) {
+                return Err(StorageError::DuplicateAttribute {
+                    relation: name,
+                    attribute: a.name.clone(),
+                });
+            }
+        }
+        let id = RelId(self.relations.len() as u32);
+        let mut rel = Relation { id, name: name.clone(), attributes, primary_key: vec![] };
+        for pk in primary_key {
+            let idx = rel.attr_index(pk).ok_or_else(|| StorageError::UnknownAttribute {
+                relation: name.clone(),
+                attribute: (*pk).to_string(),
+            })?;
+            rel.primary_key.push(idx);
+        }
+        if rel.primary_key.len() == 1 {
+            let idx = rel.primary_key[0];
+            rel.attributes[idx].unique = true;
+        }
+        self.relations.push(rel);
+        self.by_name.insert(key, id);
+        Ok(id)
+    }
+
+    /// All relations in definition order.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Looks a relation up by id.
+    pub fn relation(&self, id: RelId) -> &Relation {
+        &self.relations[id.0 as usize]
+    }
+
+    /// Looks a relation up by case-insensitive name.
+    pub fn relation_by_name(&self, name: &str) -> Result<&Relation, StorageError> {
+        self.by_name
+            .get(&name.to_ascii_uppercase())
+            .map(|id| self.relation(*id))
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Resolves `"MOVIE", "mid"` to an [`AttrId`].
+    pub fn resolve(&self, relation: &str, attribute: &str) -> Result<AttrId, StorageError> {
+        let rel = self.relation_by_name(relation)?;
+        let idx = rel.attr_index(attribute).ok_or_else(|| StorageError::UnknownAttribute {
+            relation: relation.to_string(),
+            attribute: attribute.to_string(),
+        })?;
+        Ok(AttrId::new(rel.id, idx as u32))
+    }
+
+    /// The [`Attribute`] definition behind an [`AttrId`].
+    pub fn attribute(&self, id: AttrId) -> &Attribute {
+        &self.relation(id.rel).attributes[id.idx as usize]
+    }
+
+    /// `"MOVIE.mid"`-style display name for an attribute.
+    pub fn attr_name(&self, id: AttrId) -> String {
+        let rel = self.relation(id.rel);
+        format!("{}.{}", rel.name, rel.attributes[id.idx as usize].name)
+    }
+
+    /// Registers a joinable attribute pair; both directions are added.
+    pub fn add_join_edge(&mut self, a: AttrId, b: AttrId) -> Result<(), StorageError> {
+        if a.rel == b.rel {
+            return Err(StorageError::InvalidForeignKey(
+                "self-joins are not part of the schema graph".to_string(),
+            ));
+        }
+        let ta = self.attribute(a).data_type;
+        let tb = self.attribute(b).data_type;
+        if ta != tb {
+            return Err(StorageError::InvalidForeignKey(format!(
+                "type mismatch {} vs {}",
+                ta, tb
+            )));
+        }
+        let fwd = ForeignKey { from: a, to: b };
+        if !self.join_edges.contains(&fwd) {
+            self.join_edges.push(fwd);
+            self.join_edges.push(ForeignKey { from: b, to: a });
+        }
+        Ok(())
+    }
+
+    /// Convenience: register a join edge by names.
+    pub fn add_join_edge_by_name(
+        &mut self,
+        rel_a: &str,
+        attr_a: &str,
+        rel_b: &str,
+        attr_b: &str,
+    ) -> Result<(), StorageError> {
+        let a = self.resolve(rel_a, attr_a)?;
+        let b = self.resolve(rel_b, attr_b)?;
+        self.add_join_edge(a, b)
+    }
+
+    /// All directed join edges of the schema graph.
+    pub fn join_edges(&self) -> &[ForeignKey] {
+        &self.join_edges
+    }
+
+    /// Join edges leaving attributes of `rel`.
+    pub fn join_edges_from(&self, rel: RelId) -> impl Iterator<Item = &ForeignKey> {
+        self.join_edges.iter().filter(move |fk| fk.from.rel == rel)
+    }
+
+    /// Whether `from.attr = to.attr` is a registered joinable pair.
+    pub fn is_joinable(&self, from: AttrId, to: AttrId) -> bool {
+        self.join_edges.iter().any(|fk| fk.from == from && fk.to == to)
+    }
+
+    /// Multiplicity of the join `from = to`, viewed from the left side: if
+    /// the right attribute uniquely identifies rows of its relation the join
+    /// is [`JoinMultiplicity::ToOne`], otherwise [`JoinMultiplicity::ToMany`].
+    pub fn join_multiplicity(&self, _from: AttrId, to: AttrId) -> JoinMultiplicity {
+        let rel = self.relation(to.rel);
+        if rel.attr_is_unique(to.idx as usize) {
+            JoinMultiplicity::ToOne
+        } else {
+            JoinMultiplicity::ToMany
+        }
+    }
+}
+
+impl fmt::Display for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rel in &self.relations {
+            write!(f, "{}(", rel.name)?;
+            for (i, a) in rel.attributes.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}: {}", a.name, a.data_type)?;
+            }
+            writeln!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn movie_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(
+            "MOVIE",
+            vec![
+                Attribute::new("mid", DataType::Int),
+                Attribute::new("title", DataType::Text),
+                Attribute::new("year", DataType::Int),
+            ],
+            &["mid"],
+        )
+        .unwrap();
+        c.add_relation(
+            "GENRE",
+            vec![Attribute::new("mid", DataType::Int), Attribute::new("genre", DataType::Text)],
+            &["mid", "genre"],
+        )
+        .unwrap();
+        c.add_join_edge_by_name("MOVIE", "mid", "GENRE", "mid").unwrap();
+        c
+    }
+
+    #[test]
+    fn resolve_case_insensitive() {
+        let c = movie_catalog();
+        let a = c.resolve("movie", "MID").unwrap();
+        assert_eq!(a.rel, RelId(0));
+        assert_eq!(a.idx, 0);
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut c = movie_catalog();
+        let err = c.add_relation("movie", vec![Attribute::new("x", DataType::Int)], &[]);
+        assert!(matches!(err, Err(StorageError::DuplicateRelation(_))));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let mut c = Catalog::new();
+        let err = c.add_relation(
+            "R",
+            vec![Attribute::new("a", DataType::Int), Attribute::new("A", DataType::Int)],
+            &[],
+        );
+        assert!(matches!(err, Err(StorageError::DuplicateAttribute { .. })));
+    }
+
+    #[test]
+    fn unknown_pk_rejected() {
+        let mut c = Catalog::new();
+        let err = c.add_relation("R", vec![Attribute::new("a", DataType::Int)], &["b"]);
+        assert!(matches!(err, Err(StorageError::UnknownAttribute { .. })));
+    }
+
+    #[test]
+    fn single_pk_marks_unique() {
+        let c = movie_catalog();
+        let rel = c.relation_by_name("MOVIE").unwrap();
+        assert!(rel.attr_is_unique(0));
+        assert!(!rel.attr_is_unique(1));
+    }
+
+    #[test]
+    fn composite_pk_not_unique_per_column() {
+        let c = movie_catalog();
+        let rel = c.relation_by_name("GENRE").unwrap();
+        assert!(!rel.attr_is_unique(0));
+        assert!(!rel.attr_is_unique(1));
+    }
+
+    #[test]
+    fn join_edges_symmetric() {
+        let c = movie_catalog();
+        let m = c.resolve("MOVIE", "mid").unwrap();
+        let g = c.resolve("GENRE", "mid").unwrap();
+        assert!(c.is_joinable(m, g));
+        assert!(c.is_joinable(g, m));
+    }
+
+    #[test]
+    fn multiplicity_classification() {
+        let c = movie_catalog();
+        let m = c.resolve("MOVIE", "mid").unwrap();
+        let g = c.resolve("GENRE", "mid").unwrap();
+        // MOVIE -> GENRE is 1-n (genre.mid not unique)
+        assert_eq!(c.join_multiplicity(m, g), JoinMultiplicity::ToMany);
+        // GENRE -> MOVIE is n-1 (movie.mid unique)
+        assert_eq!(c.join_multiplicity(g, m), JoinMultiplicity::ToOne);
+    }
+
+    #[test]
+    fn join_edge_type_mismatch_rejected() {
+        let mut c = movie_catalog();
+        let err = c.add_join_edge_by_name("MOVIE", "title", "GENRE", "mid");
+        assert!(matches!(err, Err(StorageError::InvalidForeignKey(_))));
+    }
+
+    #[test]
+    fn self_join_edge_rejected() {
+        let mut c = movie_catalog();
+        let err = c.add_join_edge_by_name("MOVIE", "mid", "MOVIE", "year");
+        assert!(matches!(err, Err(StorageError::InvalidForeignKey(_))));
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let c = movie_catalog();
+        let s = c.to_string();
+        assert!(s.contains("MOVIE(mid: INT, title: TEXT, year: INT)"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Row-oriented tables.
+//!
+//! A [`Table`] stores rows of [`Value`]s for one relation. Rows are
+//! addressed by [`RowId`] — the "tuple id" the PPA algorithm's
+//! parameterized queries bind (§5). Rows are append-only: the paper's
+//! workloads are read-mostly and personalization never mutates data.
+
+use crate::error::StorageError;
+use crate::schema::Relation;
+use crate::types::DataType;
+use crate::value::Value;
+
+/// Identifier of a row within its table (stable: rows are append-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u64);
+
+/// A single row: one [`Value`] per attribute.
+pub type Row = Vec<Value>;
+
+/// Rows of one relation.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Table::default()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row after checking its arity and types against `rel`.
+    /// NULLs are accepted in any column.
+    pub fn insert(&mut self, rel: &Relation, row: Row) -> Result<RowId, StorageError> {
+        if row.len() != rel.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: rel.name.clone(),
+                expected: rel.arity(),
+                got: row.len(),
+            });
+        }
+        for (value, attr) in row.iter().zip(&rel.attributes) {
+            let ok = match (value.data_type(), attr.data_type) {
+                (None, _) => true,
+                (Some(t), expected) if t == expected => true,
+                // ints widen into float columns
+                (Some(DataType::Int), DataType::Float) => true,
+                _ => false,
+            };
+            if !ok {
+                return Err(StorageError::TypeMismatch {
+                    relation: rel.name.clone(),
+                    attribute: attr.name.clone(),
+                    detail: format!(
+                        "expected {}, got {:?}",
+                        attr.data_type,
+                        value.data_type()
+                    ),
+                });
+            }
+        }
+        let id = RowId(self.rows.len() as u64);
+        self.rows.push(row);
+        Ok(id)
+    }
+
+    /// Appends a row without validation. The caller must guarantee arity
+    /// and types; data generators use this on their own validated output to
+    /// avoid per-row checking costs.
+    pub fn insert_unchecked(&mut self, row: Row) -> RowId {
+        let id = RowId(self.rows.len() as u64);
+        self.rows.push(row);
+        id
+    }
+
+    /// The row behind `id`, if it exists.
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        self.rows.get(id.0 as usize)
+    }
+
+    /// Iterates `(RowId, &Row)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows.iter().enumerate().map(|(i, r)| (RowId(i as u64), r))
+    }
+
+    /// All rows as a slice, indexed by `RowId.0`.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Values of one column, in row order (NULLs included).
+    pub fn column(&self, idx: usize) -> impl Iterator<Item = &Value> {
+        self.rows.iter().map(move |r| &r[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Catalog};
+
+    fn rel() -> (Catalog, crate::schema::RelId) {
+        let mut c = Catalog::new();
+        let id = c
+            .add_relation(
+                "MOVIE",
+                vec![
+                    Attribute::new("mid", DataType::Int),
+                    Attribute::new("title", DataType::Text),
+                    Attribute::new("rating", DataType::Float),
+                ],
+                &["mid"],
+            )
+            .unwrap();
+        (c, id)
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let (c, id) = rel();
+        let mut t = Table::new();
+        let rid = t
+            .insert(c.relation(id), vec![Value::Int(1), Value::str("Heat"), Value::Float(8.3)])
+            .unwrap();
+        assert_eq!(rid, RowId(0));
+        assert_eq!(t.get(rid).unwrap()[1], Value::str("Heat"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let (c, id) = rel();
+        let mut t = Table::new();
+        let err = t.insert(c.relation(id), vec![Value::Int(1)]);
+        assert!(matches!(err, Err(StorageError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn type_checked() {
+        let (c, id) = rel();
+        let mut t = Table::new();
+        let err =
+            t.insert(c.relation(id), vec![Value::str("x"), Value::str("t"), Value::Float(0.0)]);
+        assert!(matches!(err, Err(StorageError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn int_widens_to_float_column() {
+        let (c, id) = rel();
+        let mut t = Table::new();
+        t.insert(c.relation(id), vec![Value::Int(1), Value::str("t"), Value::Int(8)]).unwrap();
+    }
+
+    #[test]
+    fn null_allowed_anywhere() {
+        let (c, id) = rel();
+        let mut t = Table::new();
+        t.insert(c.relation(id), vec![Value::Int(1), Value::Null, Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn iter_yields_stable_row_ids() {
+        let (c, id) = rel();
+        let mut t = Table::new();
+        for i in 0..5 {
+            t.insert(c.relation(id), vec![Value::Int(i), Value::str("t"), Value::Float(0.0)])
+                .unwrap();
+        }
+        let ids: Vec<u64> = t.iter().map(|(rid, _)| rid.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn column_iterator() {
+        let (c, id) = rel();
+        let mut t = Table::new();
+        for i in 0..3 {
+            t.insert(c.relation(id), vec![Value::Int(i), Value::str("t"), Value::Float(0.0)])
+                .unwrap();
+        }
+        let mids: Vec<i64> = t.column(0).filter_map(|v| v.as_i64()).collect();
+        assert_eq!(mids, vec![0, 1, 2]);
+    }
+}

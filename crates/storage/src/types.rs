@@ -1,0 +1,100 @@
+//! Attribute data types and domain kinds.
+//!
+//! The paper's *elasticity* dimension (§3.1) distinguishes categorical
+//! domains (preferences are exact) from numeric domains (preferences may be
+//! elastic). [`DomainKind`] carries that distinction through the catalog so
+//! the preference model can validate elastic preferences.
+
+use std::fmt;
+
+/// The storage type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+impl DataType {
+    /// Whether values of this type are numeric (ints or floats).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// The default [`DomainKind`] for this type: numeric types get numeric
+    /// domains, everything else is categorical.
+    pub fn default_domain(self) -> DomainKind {
+        if self.is_numeric() {
+            DomainKind::Numeric
+        } else {
+            DomainKind::Categorical
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether an attribute's domain supports elastic (approximately
+/// satisfiable) preferences.
+///
+/// Per §3.1: "Given the mutual independence of categorical values,
+/// preferences for these are considered exact […] preferences for numeric
+/// values may be smoothly continuous over their domain […] and thus are
+/// considered elastic."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DomainKind {
+    /// Mutually independent values; preferences are satisfied exactly or
+    /// not at all.
+    Categorical,
+    /// Smoothly continuous values; preferences may be elastic.
+    Numeric,
+}
+
+impl fmt::Display for DomainKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainKind::Categorical => f.write_str("categorical"),
+            DomainKind::Numeric => f.write_str("numeric"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_types() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Text.is_numeric());
+        assert!(!DataType::Bool.is_numeric());
+    }
+
+    #[test]
+    fn default_domains_follow_type() {
+        assert_eq!(DataType::Int.default_domain(), DomainKind::Numeric);
+        assert_eq!(DataType::Text.default_domain(), DomainKind::Categorical);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DataType::Int.to_string(), "INT");
+        assert_eq!(DomainKind::Numeric.to_string(), "numeric");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the value model and histograms.
+
+use proptest::prelude::*;
+use qp_storage::histogram::CmpOp;
+use qp_storage::{Histogram, Value};
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        // finite floats keep the numeric-equivalence property testable
+        (-1.0e12..1.0e12f64).prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-z]{0,8}".prop_map(Value::str),
+    ]
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #[test]
+    fn total_cmp_is_antisymmetric(a in arb_value(), b in arb_value()) {
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+    }
+
+    #[test]
+    fn total_cmp_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut vals = [a, b, c];
+        vals.sort_by(|x, y| x.total_cmp(y));
+        // sorted order must be internally consistent
+        prop_assert_ne!(vals[0].total_cmp(&vals[1]), Ordering::Greater);
+        prop_assert_ne!(vals[1].total_cmp(&vals[2]), Ordering::Greater);
+        prop_assert_ne!(vals[0].total_cmp(&vals[2]), Ordering::Greater);
+    }
+
+    #[test]
+    fn eq_implies_equal_hash(a in arb_value(), b in arb_value()) {
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    #[test]
+    fn sql_cmp_null_propagates(a in arb_value()) {
+        prop_assert_eq!(Value::Null.sql_cmp(&a), None);
+        prop_assert_eq!(a.sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn int_float_equivalence(i in -1_000_000i64..1_000_000) {
+        let a = Value::Int(i);
+        let b = Value::Float(i as f64);
+        prop_assert_eq!(a.total_cmp(&b), Ordering::Equal);
+        prop_assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn histogram_selectivities_bounded(
+        values in prop::collection::vec(-500i64..500, 1..400),
+        probe in -600i64..600,
+    ) {
+        let vals: Vec<Value> = values.iter().copied().map(Value::Int).collect();
+        let h = Histogram::build(vals.iter());
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let s = h.selectivity(op, &Value::Int(probe));
+            prop_assert!((0.0..=1.0).contains(&s), "{op:?} -> {s}");
+        }
+        // Lt + Ge partitions the non-null values
+        let lt = h.selectivity(CmpOp::Lt, &Value::Int(probe));
+        let ge = h.selectivity(CmpOp::Ge, &Value::Int(probe));
+        prop_assert!((lt + ge - 1.0).abs() < 0.02, "lt={lt} ge={ge}");
+    }
+
+    #[test]
+    fn histogram_eq_exact_on_small_domains(
+        values in prop::collection::vec(0i64..16, 1..300),
+        probe in 0i64..16,
+    ) {
+        let vals: Vec<Value> = values.iter().copied().map(Value::Int).collect();
+        let h = Histogram::build(vals.iter());
+        let exact = values.iter().filter(|v| **v == probe).count() as f64 / values.len() as f64;
+        let est = h.selectivity(CmpOp::Eq, &Value::Int(probe));
+        prop_assert!((est - exact).abs() < 1e-9, "est={est} exact={exact}");
+    }
+
+    #[test]
+    fn histogram_between_monotone(
+        values in prop::collection::vec(-100i64..100, 1..200),
+        lo in -100i64..0,
+        width1 in 0i64..50,
+        width2 in 50i64..150,
+    ) {
+        let vals: Vec<Value> = values.iter().copied().map(Value::Int).collect();
+        let h = Histogram::build(vals.iter());
+        let narrow = h.selectivity_between(&Value::Int(lo), &Value::Int(lo + width1));
+        let wide = h.selectivity_between(&Value::Int(lo), &Value::Int(lo + width2));
+        prop_assert!(wide >= narrow - 0.05, "narrow={narrow} wide={wide}");
+    }
+}

@@ -1,0 +1,146 @@
+//! The paper's future-work section, implemented: mining a profile from
+//! feedback, authoring preferences against a higher-level concept model,
+//! adapting them to the query context, and asking for "best" answers via
+//! qualitative descriptors.
+//!
+//! Run with: `cargo run --release --example adaptive_profiles`
+
+use personalized_queries::core::{
+    mine_profile, AnswerAlgorithm, ConceptSchema, Context, ContextRule, ContextualProfile,
+    Feedback, MinerConfig, PersonalizationOptions, Personalizer, Profile, QualityDescriptor,
+    SelectionCriterion,
+};
+use personalized_queries::core::context::suggest_options;
+use personalized_queries::datagen::{self, ImdbScale};
+use personalized_queries::storage::RowId;
+
+fn main() {
+    let db = datagen::generate(ImdbScale { movies: 1_500, ..ImdbScale::small() });
+
+    // --- 1. semi-automatic profile construction (§7) -------------------
+    // Synthesize a viewing history: the user watched and liked W. Allen
+    // comedies, bailed on everything long and everything horror.
+    let engine = personalized_queries::exec::Engine::new();
+    let liked = engine
+        .execute_sql(
+            &db,
+            "select M.rowid from MOVIE M, GENRE G, DIRECTED D \
+             where M.mid = G.mid and M.mid = D.mid and G.genre = 'comedy' and D.did = 0",
+        )
+        .expect("history query runs");
+    let disliked = engine
+        .execute_sql(
+            &db,
+            "select M.rowid from MOVIE M, GENRE G where M.mid = G.mid and G.genre = 'horror'",
+        )
+        .expect("history query runs");
+    let mut feedback: Vec<Feedback> = Vec::new();
+    for r in liked.rows.iter().take(60) {
+        feedback.push(Feedback { row: RowId(r[0].as_i64().unwrap() as u64), liked: true });
+    }
+    for r in disliked.rows.iter().take(60) {
+        feedback.push(Feedback { row: RowId(r[0].as_i64().unwrap() as u64), liked: false });
+    }
+    let mined = mine_profile(&db, "MOVIE", &feedback, &MinerConfig::default())
+        .expect("mining succeeds");
+    println!("mined from {} feedback events:\n{}", feedback.len(), mined.to_dsl(db.catalog()));
+
+    // --- 2. preferences over a higher-level model (§7) ------------------
+    let mut concepts = ConceptSchema::new();
+    concepts.add_concept(db.catalog(), "Film", "MOVIE").unwrap();
+    concepts.add_direct_attr(db.catalog(), "Film", "released", ("MOVIE", "year")).unwrap();
+    concepts
+        .add_path_attr(
+            db.catalog(),
+            "Film",
+            "director",
+            &[(("MOVIE", "mid"), ("DIRECTED", "mid")), (("DIRECTED", "did"), ("DIRECTOR", "did"))],
+            ("DIRECTOR", "name"),
+        )
+        .unwrap();
+    concepts
+        .add_path_attr(
+            db.catalog(),
+            "Film",
+            "category",
+            &[(("MOVIE", "mid"), ("GENRE", "mid"))],
+            ("GENRE", "genre"),
+        )
+        .unwrap();
+    let authored = concepts
+        .parse_profile(
+            db.catalog(),
+            "# written against the concept model, not the schema\n\
+             doi(Film.director = 'W. Allen') = (0.8, 0)\n\
+             doi(Film.category = 'musical') = (-0.9, 0.7)\n\
+             doi(Film.released < 1980) = (-0.7, 0)\n",
+        )
+        .expect("concept profile parses");
+    println!(
+        "concept-level profile expanded to {} schema preferences ({} joins materialized)",
+        authored.selections().count(),
+        authored.joins().count()
+    );
+
+    // --- 3. context-aware adaptation (§1, §7) ---------------------------
+    let mut contextual = ContextualProfile::new(authored);
+    let mut evening_overlay = Profile::new();
+    evening_overlay
+        .add_selection(
+            db.catalog(),
+            "GENRE",
+            "genre",
+            personalized_queries::core::CompareOp::Eq,
+            "comedy",
+            personalized_queries::core::Doi::presence(0.6).unwrap(),
+        )
+        .unwrap();
+    contextual
+        .add_rule(ContextRule {
+            facet: "time".into(),
+            value: "evening".into(),
+            overlay: evening_overlay,
+            base_weight: 1.0,
+        })
+        .unwrap();
+
+    for ctx in [
+        Context::new().with("time", "morning").with("device", "desktop"),
+        Context::new().with("time", "evening").with("device", "mobile"),
+    ] {
+        let profile = contextual.resolve(&ctx);
+        let options = suggest_options(&ctx);
+        let mut p = Personalizer::new(&db);
+        let report = p
+            .personalize_sql(&profile, "select title from MOVIE", &options)
+            .expect("personalizes");
+        println!(
+            "context {:?}/{:?}: K = {:?}, {} active preferences, {} tuples",
+            ctx.get("time").unwrap_or("-"),
+            ctx.get("device").unwrap_or("-"),
+            options.criterion.k_limit(),
+            profile.selections().count(),
+            report.answer.len()
+        );
+    }
+
+    // --- 4. qualitative descriptors (§2) --------------------------------
+    let profile = contextual.resolve(&Context::new().with("time", "evening"));
+    let mut p = Personalizer::new(&db);
+    let report = p
+        .personalize_sql(
+            &profile,
+            "select title from MOVIE",
+            &PersonalizationOptions {
+                criterion: SelectionCriterion::TopK(8),
+                l: 1,
+                algorithm: AnswerAlgorithm::Ppa,
+                ..Default::default()
+            },
+        )
+        .expect("personalizes");
+    println!("\nanswer quality bands:");
+    for d in QualityDescriptor::ALL {
+        println!("  {d:<5} (doi >= {:.1}): {} tuples", d.min_doi(), d.filter(&report.answer).len());
+    }
+}

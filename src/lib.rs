@@ -1,0 +1,33 @@
+//! # personalized-queries
+//!
+//! A reproduction of *Koutrika & Ioannidis, "Personalized Queries under a
+//! Generalized Preference Model" (ICDE 2005)* as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`storage`] — in-memory relational store (catalog, tables, histograms).
+//! * [`sql`] — SQL front-end for the SPJ subset (lexer, parser, AST).
+//! * [`exec`] — query execution engine with UDF registries.
+//! * [`core`] — the paper's contribution: the generalized preference model,
+//!   preference selection (SPS / FakeCrit / doi-driven), ranking functions,
+//!   and personalized answer generation (SPA / PPA).
+//! * [`datagen`] — synthetic IMDB-style data, profiles, simulated users.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use qp_core as core;
+pub use qp_datagen as datagen;
+pub use qp_exec as exec;
+pub use qp_sql as sql;
+pub use qp_storage as storage;
+
+/// Commonly used items, importable with `use personalized_queries::prelude::*`.
+pub mod prelude {
+    pub use qp_core::{
+        Doi, ElasticFunction, Personalizer, PersonalizationOptions, Preference, Profile,
+        RankingKind,
+    };
+    pub use qp_exec::Engine;
+    pub use qp_sql::parse_query;
+    pub use qp_storage::{Database, Value};
+}

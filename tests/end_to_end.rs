@@ -1,0 +1,258 @@
+//! End-to-end integration tests: generated database → profile →
+//! personalization → ranked answer, across both answer algorithms and all
+//! three selection algorithms.
+
+use personalized_queries::core::{
+    AnswerAlgorithm, MixedKind, PersonalizationOptions, Personalizer, Ranking, RankingKind,
+    SelectionAlgorithm, SelectionCriterion,
+};
+use personalized_queries::datagen::{self, ImdbScale};
+
+fn test_db() -> personalized_queries::storage::Database {
+    datagen::generate(ImdbScale { movies: 500, ..ImdbScale::small() })
+}
+
+fn options(k: usize, l: usize, algorithm: AnswerAlgorithm) -> PersonalizationOptions {
+    PersonalizationOptions {
+        criterion: SelectionCriterion::TopK(k),
+        l,
+        ranking: Ranking::new(RankingKind::Inflationary, MixedKind::CountWeighted),
+        algorithm,
+        selection: SelectionAlgorithm::FakeCrit,
+    }
+}
+
+#[test]
+fn als_profile_personalizes_movie_query() {
+    let db = test_db();
+    let profile = datagen::als_profile(&db).unwrap();
+    let mut p = Personalizer::new(&db);
+    let report = p
+        .personalize_sql(&profile, "select title from MOVIE", &options(6, 1, AnswerAlgorithm::Ppa))
+        .unwrap();
+    assert!(!report.selected.is_empty(), "no preferences selected");
+    assert!(!report.answer.is_empty(), "empty personalized answer");
+    // selected preferences are ordered by decreasing criticality
+    for w in report.selected.windows(2) {
+        assert!(w[0].criticality >= w[1].criticality - 1e-9);
+    }
+    // answer emitted in non-increasing doi order
+    for w in report.answer.tuples.windows(2) {
+        assert!(w[0].doi >= w[1].doi - 1e-9, "emission order violates ranking");
+    }
+    // PPA answers are self-explanatory: every tuple explains itself and
+    // satisfied/failed partition the selected preferences
+    let k = report.selected.len();
+    for t in &report.answer.tuples {
+        assert!(t.tuple_id.is_some());
+        let mut all: Vec<usize> = t.satisfied.iter().chain(&t.failed).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), t.satisfied.len() + t.failed.len(), "overlap in explanation");
+        assert!(all.iter().all(|i| *i < k));
+        assert_eq!(all.len(), k, "explanation must cover all K preferences");
+    }
+    assert!(report.first_response.is_some());
+    assert!(report.first_response.unwrap() <= report.execution_time);
+}
+
+#[test]
+fn spa_and_ppa_agree_on_membership_and_scores() {
+    let db = test_db();
+    let profile = datagen::als_profile(&db).unwrap();
+    for l in [1, 2] {
+        let mut p = Personalizer::new(&db);
+        let spa = p
+            .personalize_sql(&profile, "select title from MOVIE", &options(6, l, AnswerAlgorithm::Spa))
+            .unwrap();
+        let mut p = Personalizer::new(&db);
+        let ppa = p
+            .personalize_sql(&profile, "select title from MOVIE", &options(6, l, AnswerAlgorithm::Ppa))
+            .unwrap();
+        // same tuple set (by title)
+        let mut spa_titles: Vec<String> =
+            spa.answer.tuples.iter().map(|t| t.row[0].to_string()).collect();
+        let mut ppa_titles: Vec<String> =
+            ppa.answer.tuples.iter().map(|t| t.row[0].to_string()).collect();
+        spa_titles.sort();
+        spa_titles.dedup();
+        ppa_titles.sort();
+        ppa_titles.dedup();
+        assert_eq!(spa_titles, ppa_titles, "L={l}: SPA and PPA disagree on the answer set");
+    }
+}
+
+#[test]
+fn ppa_doi_matches_direct_ranking() {
+    // Recompute each PPA tuple's doi from its explanation and the
+    // selected preferences; it must match the reported doi.
+    let db = test_db();
+    let profile = datagen::als_profile(&db).unwrap();
+    let ranking = Ranking::new(RankingKind::Inflationary, MixedKind::CountWeighted);
+    let mut p = Personalizer::new(&db);
+    let report = p
+        .personalize_sql(&profile, "select title from MOVIE", &options(6, 1, AnswerAlgorithm::Ppa))
+        .unwrap();
+    for t in report.answer.tuples.iter().take(50) {
+        // exact preferences only: elastic degrees are tuple-dependent and
+        // already covered by the emission-order check
+        let exact = t
+            .satisfied
+            .iter()
+            .all(|&i| !report.selected[i].sel(&profile).doi.is_elastic())
+            && t.failed
+                .iter()
+                .all(|&i| !report.selected[i].sel(&profile).doi.is_elastic());
+        if !exact {
+            continue;
+        }
+        let pos: Vec<f64> =
+            t.satisfied.iter().map(|&i| report.selected[i].d_plus_peak(&profile)).collect();
+        let neg: Vec<f64> = t
+            .failed
+            .iter()
+            .map(|&i| report.selected[i].d_minus(&profile))
+            .filter(|d| *d < 0.0)
+            .collect();
+        let expect = ranking.mixed(&pos, &neg);
+        assert!(
+            (t.doi - expect).abs() < 1e-9,
+            "tuple {:?}: reported {} vs recomputed {}",
+            t.row,
+            t.doi,
+            expect
+        );
+    }
+}
+
+#[test]
+fn l_monotonicity() {
+    // Larger L can only shrink the answer.
+    let db = test_db();
+    let profile = datagen::als_profile(&db).unwrap();
+    let mut sizes = Vec::new();
+    for l in 1..=3 {
+        let mut p = Personalizer::new(&db);
+        let r = p
+            .personalize_sql(&profile, "select title from MOVIE", &options(6, l, AnswerAlgorithm::Ppa))
+            .unwrap();
+        sizes.push(r.answer.len());
+    }
+    assert!(sizes[0] >= sizes[1] && sizes[1] >= sizes[2], "{sizes:?}");
+}
+
+#[test]
+fn all_selection_algorithms_agree() {
+    let db = test_db();
+    let profile = datagen::random_profile(&db, &datagen::ProfileSpec::mixed(16, 99));
+    let query = personalized_queries::sql::parse_query("select title from MOVIE").unwrap();
+    let p = Personalizer::new(&db);
+    let mut opts = options(8, 1, AnswerAlgorithm::Ppa);
+    let fake = p.select_preferences(&profile, &query, &opts).unwrap();
+    opts.selection = SelectionAlgorithm::Sps;
+    let sps = p.select_preferences(&profile, &query, &opts).unwrap();
+    assert_eq!(fake, sps, "SPS and FakeCrit must select the same top-K");
+    opts.selection = SelectionAlgorithm::DoiBased { d_r: 0.7, n_estimate: None };
+    let doi = p.select_preferences(&profile, &query, &opts).unwrap();
+    // doi-based selection also returns preferences in criticality order
+    for w in doi.windows(2) {
+        assert!(w[0].criticality >= w[1].criticality - 1e-9);
+    }
+}
+
+#[test]
+fn personalized_answer_is_subset_of_plain_answer() {
+    let db = test_db();
+    let profile = datagen::als_profile(&db).unwrap();
+    let mut p = Personalizer::new(&db);
+    let plain = p.engine().execute_sql(&db, "select title from MOVIE").unwrap();
+    let report = p
+        .personalize_sql(&profile, "select title from MOVIE", &options(6, 2, AnswerAlgorithm::Ppa))
+        .unwrap();
+    let plain_titles: std::collections::HashSet<String> =
+        plain.rows.iter().map(|r| r[0].to_string()).collect();
+    assert!(report.answer.len() <= plain.len());
+    for t in &report.answer.tuples {
+        assert!(plain_titles.contains(&t.row[0].to_string()));
+    }
+}
+
+#[test]
+fn elastic_preferences_produce_graded_dois() {
+    // A profile with a single elastic preference: tuples closer to the
+    // center must rank higher.
+    let db = test_db();
+    let profile = personalized_queries::core::Profile::parse(
+        db.catalog(),
+        "doi(MOVIE.duration = around(120, 40)) = (e(0.9), 0)\n",
+    )
+    .unwrap();
+    let mut p = Personalizer::new(&db);
+    let report = p
+        .personalize_sql(
+            &profile,
+            "select title, duration from MOVIE",
+            &options(1, 1, AnswerAlgorithm::Ppa),
+        )
+        .unwrap();
+    assert!(report.answer.len() > 2);
+    // doi should decrease with distance from 120
+    for w in report.answer.tuples.windows(2) {
+        let d0 = (w[0].row[1].as_f64().unwrap() - 120.0).abs();
+        let d1 = (w[1].row[1].as_f64().unwrap() - 120.0).abs();
+        assert!(d0 <= d1 + 1e-9, "not ordered by elastic distance: {d0} then {d1}");
+    }
+    // best tuple is within the support
+    assert!((report.answer.tuples[0].row[1].as_f64().unwrap() - 120.0).abs() < 40.0);
+}
+
+#[test]
+fn multi_relation_initial_query() {
+    let db = test_db();
+    let profile = datagen::als_profile(&db).unwrap();
+    let mut p = Personalizer::new(&db);
+    let report = p
+        .personalize_sql(
+            &profile,
+            "select T.name, M.title from THEATRE T, PLAY P, MOVIE M \
+             where T.tid = P.tid and P.mid = M.mid",
+            &options(6, 1, AnswerAlgorithm::Ppa),
+        )
+        .unwrap();
+    assert!(!report.selected.is_empty());
+    // the answer should include theatre-level information
+    assert_eq!(report.answer.columns, vec!["name", "title"]);
+}
+
+#[test]
+fn empty_related_preferences_returns_plain_answer() {
+    let db = test_db();
+    // profile only about theatres; query only about actors
+    let profile = personalized_queries::core::Profile::parse(
+        db.catalog(),
+        "doi(THEATRE.region = 'downtown') = (0.7, 0)\n",
+    )
+    .unwrap();
+    let mut p = Personalizer::new(&db);
+    let report = p
+        .personalize_sql(&profile, "select name from ACTOR", &options(5, 1, AnswerAlgorithm::Ppa))
+        .unwrap();
+    assert!(report.selected.is_empty());
+    let plain = p.engine().execute_sql(&db, "select name from ACTOR").unwrap();
+    assert_eq!(report.answer.len(), plain.len());
+}
+
+#[test]
+fn spa_with_doi_based_selection() {
+    let db = test_db();
+    let profile = datagen::random_profile(&db, &datagen::ProfileSpec::mixed(12, 5));
+    let mut opts = options(8, 1, AnswerAlgorithm::Spa);
+    opts.selection = SelectionAlgorithm::DoiBased { d_r: 0.6, n_estimate: None };
+    let mut p = Personalizer::new(&db);
+    let report = p.personalize_sql(&profile, "select title from MOVIE", &opts).unwrap();
+    // either some preferences were selected and integrated, or none were
+    // needed; both are valid outcomes — the call must simply succeed
+    for w in report.answer.tuples.windows(2) {
+        assert!(w[0].doi >= w[1].doi - 1e-9);
+    }
+}

@@ -1,0 +1,237 @@
+//! Integration tests for the future-work extensions (§7): concept
+//! mapping, profile mining, context-aware personalization, and
+//! qualitative descriptors — each driven end-to-end through the
+//! personalizer on generated data.
+
+use personalized_queries::core::context::suggest_options;
+use personalized_queries::core::{
+    mine_profile, AnswerAlgorithm, ConceptSchema, Context, ContextRule, ContextualProfile,
+    Doi, Feedback, MinerConfig, PersonalizationOptions, Personalizer, Profile,
+    QualityDescriptor, SelectionCriterion,
+};
+use personalized_queries::datagen::{self, ImdbScale};
+use personalized_queries::exec::Engine;
+use personalized_queries::storage::RowId;
+
+fn db() -> personalized_queries::storage::Database {
+    datagen::generate(ImdbScale { movies: 800, ..ImdbScale::small() })
+}
+
+fn film_concepts(db: &personalized_queries::storage::Database) -> ConceptSchema {
+    let mut s = ConceptSchema::new();
+    let c = db.catalog();
+    s.add_concept(c, "Film", "MOVIE").unwrap();
+    s.add_direct_attr(c, "Film", "released", ("MOVIE", "year")).unwrap();
+    s.add_path_attr(
+        c,
+        "Film",
+        "director",
+        &[(("MOVIE", "mid"), ("DIRECTED", "mid")), (("DIRECTED", "did"), ("DIRECTOR", "did"))],
+        ("DIRECTOR", "name"),
+    )
+    .unwrap();
+    s.add_path_attr(c, "Film", "category", &[(("MOVIE", "mid"), ("GENRE", "mid"))], ("GENRE", "genre"))
+        .unwrap();
+    s
+}
+
+#[test]
+fn concept_profile_personalizes_end_to_end() {
+    let db = db();
+    let concepts = film_concepts(&db);
+    let profile = concepts
+        .parse_profile(
+            db.catalog(),
+            "doi(Film.director = 'W. Allen') = (0.8, 0)\n\
+             doi(Film.category = 'comedy') = (0.6, 0)\n",
+        )
+        .unwrap();
+    let mut p = Personalizer::new(&db);
+    let report = p
+        .personalize_sql(
+            &profile,
+            "select title from MOVIE",
+            &PersonalizationOptions {
+                criterion: SelectionCriterion::TopK(2),
+                l: 1,
+                algorithm: AnswerAlgorithm::Ppa,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(report.selected.len(), 2);
+    assert!(!report.answer.is_empty());
+    // concept-level degrees survive intact: top criticality is 0.8
+    assert!((report.selected[0].criticality - 0.8).abs() < 1e-9);
+}
+
+#[test]
+fn concept_and_schema_profiles_are_equivalent() {
+    let db = db();
+    let concepts = film_concepts(&db);
+    let via_concepts = concepts
+        .parse_profile(db.catalog(), "doi(Film.director = 'W. Allen') = (0.8, 0)\n")
+        .unwrap();
+    let via_schema = Profile::parse(
+        db.catalog(),
+        "doi(MOVIE.mid = DIRECTED.mid) = (1)\n\
+         doi(DIRECTED.did = DIRECTOR.did) = (1)\n\
+         doi(DIRECTOR.name = 'W. Allen') = (0.8, 0)\n",
+    )
+    .unwrap();
+    let opts = PersonalizationOptions {
+        criterion: SelectionCriterion::TopK(1),
+        l: 1,
+        algorithm: AnswerAlgorithm::Ppa,
+        ..Default::default()
+    };
+    let mut p = Personalizer::new(&db);
+    let a = p.personalize_sql(&via_concepts, "select title from MOVIE", &opts).unwrap();
+    let mut p = Personalizer::new(&db);
+    let b = p.personalize_sql(&via_schema, "select title from MOVIE", &opts).unwrap();
+    let ids_a: Vec<_> = a.answer.tuples.iter().map(|t| t.tuple_id).collect();
+    let ids_b: Vec<_> = b.answer.tuples.iter().map(|t| t.tuple_id).collect();
+    assert_eq!(ids_a, ids_b);
+}
+
+#[test]
+fn mined_profile_reflects_feedback_and_personalizes() {
+    let db = db();
+    let engine = Engine::new();
+    // history: liked = dramas, disliked = comedies
+    let liked = engine
+        .execute_sql(
+            &db,
+            "select M.rowid from MOVIE M, GENRE G where M.mid = G.mid and G.genre = 'drama'",
+        )
+        .unwrap();
+    let disliked = engine
+        .execute_sql(
+            &db,
+            "select M.rowid from MOVIE M, GENRE G where M.mid = G.mid and G.genre = 'comedy'",
+        )
+        .unwrap();
+    let mut feedback = Vec::new();
+    for r in liked.rows.iter().take(50) {
+        feedback.push(Feedback { row: RowId(r[0].as_i64().unwrap() as u64), liked: true });
+    }
+    for r in disliked.rows.iter().take(50) {
+        feedback.push(Feedback { row: RowId(r[0].as_i64().unwrap() as u64), liked: false });
+    }
+    let mined = mine_profile(&db, "MOVIE", &feedback, &MinerConfig::default()).unwrap();
+    // drama mined positive
+    let drama = mined
+        .selections()
+        .find(|(_, s)| s.condition.value.as_str() == Some("drama"))
+        .expect("drama preference mined");
+    assert!(drama.1.is_presence());
+    // and the mined profile actually ranks dramas first
+    let mut p = Personalizer::new(&db);
+    let report = p
+        .personalize_sql(
+            &mined,
+            "select M.title from MOVIE M, GENRE G where M.mid = G.mid and G.genre = 'drama'",
+            &PersonalizationOptions {
+                criterion: SelectionCriterion::TopK(5),
+                l: 1,
+                algorithm: AnswerAlgorithm::Ppa,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert!(!report.answer.is_empty());
+}
+
+#[test]
+fn context_switches_answers() {
+    let db = db();
+    let c = db.catalog();
+    let mut base = Profile::new();
+    base.add_selection(
+        c,
+        "MOVIE",
+        "year",
+        personalized_queries::core::CompareOp::Ge,
+        1990,
+        Doi::presence(0.5).unwrap(),
+    )
+    .unwrap();
+    let mut overlay = Profile::new();
+    overlay
+        .add_selection(
+            c,
+            "GENRE",
+            "genre",
+            personalized_queries::core::CompareOp::Eq,
+            "comedy",
+            Doi::presence(0.9).unwrap(),
+        )
+        .unwrap();
+    overlay.add_join(c, ("MOVIE", "mid"), ("GENRE", "mid"), 1.0).unwrap();
+    let mut ctx_profile = ContextualProfile::new(base);
+    ctx_profile
+        .add_rule(ContextRule {
+            facet: "time".into(),
+            value: "evening".into(),
+            overlay,
+            base_weight: 1.0,
+        })
+        .unwrap();
+
+    let opts = PersonalizationOptions {
+        criterion: SelectionCriterion::TopK(5),
+        l: 1,
+        algorithm: AnswerAlgorithm::Ppa,
+        ..Default::default()
+    };
+    let morning = ctx_profile.resolve(&Context::new().with("time", "morning"));
+    let evening = ctx_profile.resolve(&Context::new().with("time", "evening"));
+    let mut p = Personalizer::new(&db);
+    let rm = p.personalize_sql(&morning, "select title from MOVIE", &opts).unwrap();
+    let mut p = Personalizer::new(&db);
+    let re = p.personalize_sql(&evening, "select title from MOVIE", &opts).unwrap();
+    assert_eq!(rm.selected.len(), 1);
+    assert_eq!(re.selected.len(), 2, "evening adds the comedy preference");
+    // the evening top tuple satisfies the comedy preference
+    assert!(!re.answer.tuples[0].satisfied.is_empty());
+}
+
+#[test]
+fn suggested_options_run_end_to_end() {
+    let db = db();
+    let profile = datagen::als_profile(&db).unwrap();
+    for ctx in [
+        Context::new().with("device", "mobile"),
+        Context::new().with("device", "tv"),
+        Context::new(),
+    ] {
+        let opts = suggest_options(&ctx);
+        let mut p = Personalizer::new(&db);
+        let report = p.personalize_sql(&profile, "select title from MOVIE", &opts).unwrap();
+        assert!(report.selected.len() <= opts.criterion.k_limit().unwrap());
+    }
+}
+
+#[test]
+fn best_descriptor_selects_until_guaranteed() {
+    let db = db();
+    let profile = datagen::als_profile(&db).unwrap();
+    let opts = PersonalizationOptions {
+        criterion: SelectionCriterion::TopK(10),
+        l: 1,
+        algorithm: AnswerAlgorithm::Ppa,
+        selection: QualityDescriptor::Good.selection_algorithm(),
+        ..Default::default()
+    };
+    let mut p = Personalizer::new(&db);
+    let report = p.personalize_sql(&profile, "select title from MOVIE", &opts).unwrap();
+    // the doi-driven selection picked enough preferences (or none were
+    // needed); filtering the answer by the descriptor keeps a subset
+    let best = QualityDescriptor::Best.filter(&report.answer);
+    let good = QualityDescriptor::Good.filter(&report.answer);
+    assert!(best.len() <= good.len());
+    assert!(good.len() <= report.answer.len());
+    for t in &best.tuples {
+        assert!(t.doi >= 0.9);
+    }
+}

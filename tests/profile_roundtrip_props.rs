@@ -1,0 +1,46 @@
+//! Property test: any generated profile serializes to the Figure-2 DSL
+//! and parses back to an equal profile — the DSL is a faithful,
+//! lossless storage format for every preference type.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use personalized_queries::core::Profile;
+use personalized_queries::datagen::{self, ImdbScale, ProfileSpec};
+use personalized_queries::storage::Database;
+
+fn shared_db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| datagen::generate(ImdbScale { movies: 200, ..ImdbScale::small() }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_profiles_round_trip_through_dsl(
+        positive in 0usize..10,
+        negative in 0usize..6,
+        complex in 0usize..6,
+        elastic in 0usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let db = shared_db();
+        let spec = ProfileSpec { positive_presence: positive, negative, complex, elastic, seed };
+        let profile = datagen::random_profile(db, &spec);
+        let dsl = profile.to_dsl(db.catalog());
+        let reparsed = Profile::parse(db.catalog(), &dsl)
+            .unwrap_or_else(|e| panic!("{e}\n--- dsl ---\n{dsl}"));
+        prop_assert_eq!(&profile, &reparsed, "dsl:\n{}", dsl);
+    }
+
+    #[test]
+    fn als_profile_round_trips_repeatedly(_n in 0u8..4) {
+        let db = shared_db();
+        let p1 = datagen::als_profile(db).unwrap();
+        let p2 = Profile::parse(db.catalog(), &p1.to_dsl(db.catalog())).unwrap();
+        let p3 = Profile::parse(db.catalog(), &p2.to_dsl(db.catalog())).unwrap();
+        prop_assert_eq!(&p1, &p2);
+        prop_assert_eq!(&p2, &p3);
+    }
+}
