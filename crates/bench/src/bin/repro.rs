@@ -1,9 +1,15 @@
 //! Regenerates every figure of the paper's evaluation (§6).
 //!
 //! ```text
-//! repro [--scale small|medium|large] [--runs N] <figure>
-//!   figure: fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 all
+//! repro [--scale small|medium|large] [--runs N]
+//!       [--deadline-ms MS] [--max-rows N] <figure>
+//!   figure: fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
+//!           ablation guardrails all
 //! ```
+//!
+//! `--deadline-ms` and `--max-rows` configure the `guardrails` figure: a
+//! PPA run under a [`qp_exec::QueryGuard`], showing the partial ranked
+//! answer and the degradation report a production deployment would see.
 //!
 //! Absolute numbers differ from the paper (in-memory Rust engine vs 2005
 //! Oracle 9i on disk); the *shapes* are what EXPERIMENTS.md records:
@@ -24,6 +30,8 @@ use qp_storage::Database;
 fn main() {
     let mut scale = Scale::Medium;
     let mut runs = 3usize;
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_rows: Option<u64> = None;
     let mut figures: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -38,6 +46,20 @@ fn main() {
             "--runs" => {
                 runs = args.next().and_then(|v| v.parse().ok()).unwrap_or(3);
             }
+            "--deadline-ms" => {
+                deadline_ms = args.next().and_then(|v| v.parse().ok());
+                if deadline_ms.is_none() {
+                    eprintln!("--deadline-ms expects an integer number of milliseconds");
+                    std::process::exit(2);
+                }
+            }
+            "--max-rows" => {
+                max_rows = args.next().and_then(|v| v.parse().ok());
+                if max_rows.is_none() {
+                    eprintln!("--max-rows expects an integer row budget");
+                    std::process::exit(2);
+                }
+            }
             other => figures.push(other.to_string()),
         }
     }
@@ -49,7 +71,7 @@ fn main() {
 
     println!("scale: {scale:?} ({} movies), runs: {runs}", scale.imdb().movies);
 
-    if want("fig7") || want("fig8") || want("ablation") {
+    if want("fig7") || want("fig8") || want("ablation") || want("guardrails") {
         let db = bench_db(scale);
         if want("fig7") {
             fig7(&db, runs);
@@ -59,6 +81,9 @@ fn main() {
         }
         if want("ablation") {
             ablation(&db);
+        }
+        if want("guardrails") {
+            guardrails(&db, deadline_ms, max_rows);
         }
     }
     // The user-study simulations run at a fixed, smaller scale: the
@@ -306,6 +331,67 @@ fn ablation(db: &Database) {
     );
 }
 
+/// Guardrails demo: the same personalized query executed unlimited, then
+/// under the requested deadline / row budget. The guarded run never
+/// errors — it returns the ranked prefix it could afford plus a
+/// degradation report.
+fn guardrails(db: &Database, deadline_ms: Option<u64>, max_rows: Option<u64>) {
+    use qp_exec::QueryGuard;
+    use std::time::Duration;
+
+    let profile = positive_profile(db, 50, 7);
+    let query = parse_query("select title from MOVIE").unwrap();
+    let opts = efficiency_options(20, 1, AnswerAlgorithm::Ppa);
+
+    let mut p = Personalizer::new(db);
+    let full = p
+        .personalize_guarded(&profile, &query, &opts, &QueryGuard::unlimited())
+        .expect("unlimited run personalizes");
+
+    // With neither flag given, default to a row budget that visibly
+    // truncates the unlimited answer, so the demo always shows a cut.
+    let default_rows = (full.answer.len() as u64 / 2).max(1);
+    let mut builder = QueryGuard::builder();
+    let mut config = Vec::new();
+    if let Some(ms) = deadline_ms {
+        builder = builder.deadline(Duration::from_millis(ms));
+        config.push(format!("deadline {ms} ms"));
+    }
+    if let Some(n) = max_rows {
+        builder = builder.max_output_rows(n);
+        config.push(format!("max rows {n}"));
+    }
+    if config.is_empty() {
+        builder = builder.max_output_rows(default_rows);
+        config.push(format!("max rows {default_rows} (default demo budget)"));
+    }
+    let guard = builder.build();
+
+    let mut p = Personalizer::new(db);
+    let guarded =
+        p.personalize_guarded(&profile, &query, &opts, &guard).expect("guarded run degrades to Ok");
+
+    let rows = vec![
+        vec![
+            "unlimited".to_string(),
+            full.answer.len().to_string(),
+            full.first_response.map(ms).unwrap_or_default(),
+            full.degradation.summary(),
+        ],
+        vec![
+            config.join(", "),
+            guarded.answer.len().to_string(),
+            guarded.first_response.map(ms).unwrap_or_default(),
+            guarded.degradation.summary(),
+        ],
+    ];
+    print_table(
+        "Guardrails — PPA under a QueryGuard (partial ranked answers, never a panic)",
+        &["guard", "|answer|", "first response", "degradation"],
+        &rows,
+    );
+}
+
 /// Personalization options for the user study: "we chose K to be the
 /// number of preferences in a user profile, and L = 2".
 fn study_options(user: &SimulatedUser) -> PersonalizationOptions {
@@ -315,6 +401,7 @@ fn study_options(user: &SimulatedUser) -> PersonalizationOptions {
         ranking: Ranking::new(user.philosophy, MixedKind::CountWeighted),
         algorithm: AnswerAlgorithm::Ppa,
         selection: SelectionAlgorithm::FakeCrit,
+        fallback_to_original: false,
     }
 }
 

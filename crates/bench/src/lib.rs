@@ -60,6 +60,7 @@ pub fn efficiency_options(k: usize, l: usize, algorithm: AnswerAlgorithm) -> Per
         ranking: Ranking::new(RankingKind::Inflationary, MixedKind::CountWeighted),
         algorithm,
         selection: SelectionAlgorithm::FakeCrit,
+        fallback_to_original: false,
     }
 }
 

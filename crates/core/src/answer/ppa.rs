@@ -35,16 +35,24 @@ use std::collections::{BinaryHeap, HashSet};
 use std::time::{Duration, Instant};
 
 use qp_exec::planner::CompiledQuery;
-use qp_exec::{Engine, ExecStats};
+use qp_exec::{Engine, ExecError, ExecStats, QueryGuard};
 use qp_sql::{builder, Query, Select, SelectItem, TableRef};
 use qp_storage::{Database, RelId};
 
 use crate::answer::subquery::{classify, failure_select, merge_filter, satisfaction_select, IntegrationKind};
 use crate::answer::{PersonalizedAnswer, PersonalizedTuple};
+use crate::degrade::{DegradeCause, DegradeEvent, Degradation, PpaPhase};
 use crate::error::PrefError;
 use crate::profile::Profile;
 use crate::ranking::Ranking;
 use crate::select::SelectedPreference;
+
+/// Maps an armed failpoint at `site` onto [`ExecError::Fault`]; a no-op
+/// without the `failpoints` feature.
+#[inline]
+fn fail_point(site: &str) -> Result<(), ExecError> {
+    qp_storage::failpoint::check(site).map_err(ExecError::Fault)
+}
 
 /// Instrumentation of a PPA run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -116,6 +124,36 @@ pub fn ppa_limited(
     ranking: &Ranking,
     limit: Option<usize>,
 ) -> Result<(PersonalizedAnswer, PpaStats), PrefError> {
+    ppa_guarded(db, engine, initial, profile, selected, l, ranking, limit, &QueryGuard::unlimited())
+        .map(|(a, s, _)| (a, s))
+}
+
+/// Runs PPA under a [`QueryGuard`], degrading instead of failing.
+///
+/// Once the phase queries are prepared, a guard trip (deadline, budget,
+/// cancellation) or an injected fault mid-phase does not error out:
+/// progression stops, every buffered tuple whose doi still clears the MEDI
+/// bound of the phase reached is emitted, and the cut is described in the
+/// returned [`Degradation`]. The partial answer is a prefix of the
+/// complete run's answer: no emitted tuple ranks below an omitted one —
+/// the same MEDI argument that makes a complete run's emission order
+/// correct applies to the truncated one.
+///
+/// Errors *before* the phase loop (an unsupported query shape, failed
+/// preparation) are still returned as `Err`: there is nothing partial to
+/// salvage.
+#[allow(clippy::too_many_arguments)]
+pub fn ppa_guarded(
+    db: &Database,
+    engine: &mut Engine,
+    initial: &Query,
+    profile: &Profile,
+    selected: &[SelectedPreference],
+    l: usize,
+    ranking: &Ranking,
+    limit: Option<usize>,
+    guard: &QueryGuard,
+) -> Result<(PersonalizedAnswer, PpaStats, Degradation), PrefError> {
     let started = Instant::now();
     let selects = initial.selects();
     if selects.len() != 1 {
@@ -229,27 +267,46 @@ pub fn ppa_limited(
     let mut first_response: Option<Duration> = None;
     // Emits every buffered tuple whose doi clears the MEDI bound,
     // fetching its projected row via the prepared row-fetch query.
+    // Evaluates to `Option<ExecError>`: `Some` when the guard tripped (or
+    // a fault fired) mid-emission, with the unfetched tuple left buffered.
     macro_rules! emit_ready {
         ($medi:expr) => {{
             let medi: f64 = $medi;
+            let mut emit_err: Option<ExecError> = None;
             while let Some(top) = buffered.peek() {
                 if top.doi + 1e-12 < medi {
                     break;
                 }
-                let rec = buffered.pop().expect("peeked");
+                // each emitted tuple is one row of user output
+                if let Err(e) = guard.charge_output(1) {
+                    emit_err = Some(e);
+                    break;
+                }
+                let Some(rec) = buffered.pop() else { break };
                 if first_response.is_none() {
                     first_response = Some(started.elapsed());
                 }
                 fetch_prepared.rebind_rowid(first_rel, rec.tid);
-                let rs = engine.execute_prepared_rows(db, &fetch_prepared, &mut estats);
-                let row = rs
-                    .into_iter()
-                    .next()
-                    .map(|mut r| {
-                        r.remove(0);
-                        r
-                    })
-                    .unwrap_or_default();
+                let row = match engine.execute_prepared_rows_guarded(
+                    db,
+                    &fetch_prepared,
+                    &mut estats,
+                    guard,
+                ) {
+                    Ok(rs) => rs
+                        .into_iter()
+                        .next()
+                        .map(|mut r| {
+                            r.remove(0);
+                            r
+                        })
+                        .unwrap_or_default(),
+                    Err(e) => {
+                        buffered.push(rec);
+                        emit_err = Some(e);
+                        break;
+                    }
+                };
                 emitted.push(PersonalizedTuple {
                     tuple_id: Some(rec.tid),
                     row,
@@ -258,6 +315,7 @@ pub fn ppa_limited(
                     failed: rec.failed,
                 });
             }
+            emit_err
         }};
     }
 
@@ -272,15 +330,38 @@ pub fn ppa_limited(
     };
 
     let mut seen: HashSet<u64> = HashSet::new();
+    // Where and why the run stopped progressing, if it did.
+    let mut cut: Option<(PpaPhase, DegradeCause)> = None;
+    // Completed phase counts (for the degradation report and the final
+    // emission bound).
+    let mut presence_done = 0usize;
+    let mut absence_done = 0usize;
+    let mut limit_hit = false;
+    // best doi an unseen tuple can reach once the presence stage is over
+    let medi_abs = {
+        let pos: Vec<f64> = a_order.iter().map(|&i| d_plus(i)).collect();
+        ranking.positive(&pos)
+    };
 
     // --- presence stage ------------------------------------------------
-    for (si, &pref_i) in s_order.iter().enumerate() {
+    'presence: for (si, &pref_i) in s_order.iter().enumerate() {
         // remaining queries (incl. this) + all absence prefs must reach L
         if (s_order.len() - si) + a_order.len() < l {
             break;
         }
+        if let Err(e) = guard.check_now().and_then(|()| fail_point("ppa.presence")) {
+            cut = Some((PpaPhase::Presence(si), DegradeCause::from_exec(&e)));
+            break 'presence;
+        }
         stats.presence_queries += 1;
-        let rs = engine.execute(db, &Query::from_select(s_queries[si].clone()))?;
+        let rs = match engine.execute_uncharged(db, &Query::from_select(s_queries[si].clone()), guard)
+        {
+            Ok(rs) => rs,
+            Err(e) => {
+                cut = Some((PpaPhase::Presence(si), DegradeCause::from_exec(&e)));
+                break 'presence;
+            }
+        };
         for row in rs.rows {
             let tid = match row[0].as_i64() {
                 Some(t) if t >= 0 => t as u64,
@@ -295,7 +376,17 @@ pub fn ppa_limited(
             for (sj, &pref_j) in s_order.iter().enumerate().skip(si + 1) {
                 stats.parameterized_queries += 1;
                 s_prepared[sj].rebind_rowid(first_rel, tid);
-                let prs = engine.execute_prepared_rows(db, &s_prepared[sj], &mut estats);
+                let prs = match engine
+                    .execute_prepared_rows_guarded(db, &s_prepared[sj], &mut estats, guard)
+                {
+                    Ok(r) => r,
+                    Err(e) => {
+                        // the partially probed tuple is dropped: its doi
+                        // is unknown, so it cannot be ranked
+                        cut = Some((PpaPhase::Presence(si), DegradeCause::from_exec(&e)));
+                        break 'presence;
+                    }
+                };
                 if let Some(r) = prs.first() {
                     let d = r[1].as_f64().unwrap_or(d_plus(pref_j));
                     sat.push((pref_j, d.max(0.0)));
@@ -309,7 +400,15 @@ pub fn ppa_limited(
             for (aj, &pref_j) in a_order.iter().enumerate() {
                 stats.parameterized_queries += 1;
                 a_prepared[aj].rebind_rowid(first_rel, tid);
-                let ars = engine.execute_prepared_rows(db, &a_prepared[aj], &mut estats);
+                let ars = match engine
+                    .execute_prepared_rows_guarded(db, &a_prepared[aj], &mut estats, guard)
+                {
+                    Ok(r) => r,
+                    Err(e) => {
+                        cut = Some((PpaPhase::Presence(si), DegradeCause::from_exec(&e)));
+                        break 'presence;
+                    }
+                };
                 if let Some(r) = ars.first() {
                     let d = r[1].as_f64().unwrap_or(d_minus(pref_j));
                     abs_failed.push((pref_j, d.min(0.0)));
@@ -336,13 +435,15 @@ pub fn ppa_limited(
                 buffered.push(Buffered { tid, doi, satisfied, failed });
             }
         }
+        presence_done = si + 1;
         let medi = medi_at(si + 1);
-        emit_ready!(medi);
+        if let Some(e) = emit_ready!(medi) {
+            cut = Some((PpaPhase::Presence(si), DegradeCause::from_exec(&e)));
+            break 'presence;
+        }
         if limit.is_some_and(|n| emitted.len() >= n) {
-            emitted.truncate(limit.expect("checked"));
-            stats.first_response = first_response;
-            stats.total = started.elapsed();
-            return Ok((PersonalizedAnswer { columns, tuples: emitted }, stats));
+            limit_hit = true;
+            break 'presence;
         }
     }
 
@@ -351,14 +452,24 @@ pub fn ppa_limited(
     // absence preferences, so the whole stage (and step 3) is skipped when
     // |A| < L.
     let mut nids: HashSet<u64> = HashSet::new();
-    if a_order.len() >= l {
-        let medi_abs = {
-            let pos: Vec<f64> = a_order.iter().map(|&i| d_plus(i)).collect();
-            ranking.positive(&pos)
-        };
-        for (ai, &pref_i) in a_order.iter().enumerate() {
+    if a_order.len() >= l && cut.is_none() && !limit_hit {
+        'absence: for (ai, &pref_i) in a_order.iter().enumerate() {
+            if let Err(e) = guard.check_now().and_then(|()| fail_point("ppa.absence")) {
+                cut = Some((PpaPhase::Absence(ai), DegradeCause::from_exec(&e)));
+                break 'absence;
+            }
             stats.absence_queries += 1;
-            let rs = engine.execute(db, &Query::from_select(a_queries[ai].clone()))?;
+            let rs = match engine.execute_uncharged(
+                db,
+                &Query::from_select(a_queries[ai].clone()),
+                guard,
+            ) {
+                Ok(rs) => rs,
+                Err(e) => {
+                    cut = Some((PpaPhase::Absence(ai), DegradeCause::from_exec(&e)));
+                    break 'absence;
+                }
+            };
             for row in rs.rows {
                 let tid = match row[0].as_i64() {
                     Some(t) if t >= 0 => t as u64,
@@ -378,7 +489,15 @@ pub fn ppa_limited(
                 for (aj, &pref_j) in a_order.iter().enumerate().skip(ai + 1) {
                     stats.parameterized_queries += 1;
                     a_prepared[aj].rebind_rowid(first_rel, tid);
-                    let ars = engine.execute_prepared_rows(db, &a_prepared[aj], &mut estats);
+                    let ars = match engine
+                        .execute_prepared_rows_guarded(db, &a_prepared[aj], &mut estats, guard)
+                    {
+                        Ok(r) => r,
+                        Err(e) => {
+                            cut = Some((PpaPhase::Absence(ai), DegradeCause::from_exec(&e)));
+                            break 'absence;
+                        }
+                    };
                     if let Some(r) = ars.first() {
                         let d = r[1].as_f64().unwrap_or(d_minus(pref_j));
                         abs_failed.push((pref_j, d.min(0.0)));
@@ -402,55 +521,103 @@ pub fn ppa_limited(
                     buffered.push(Buffered { tid, doi, satisfied, failed });
                 }
             }
-            emit_ready!(medi_abs);
+            absence_done = ai + 1;
+            if let Some(e) = emit_ready!(medi_abs) {
+                cut = Some((PpaPhase::Absence(ai), DegradeCause::from_exec(&e)));
+                break 'absence;
+            }
             if limit.is_some_and(|n| emitted.len() >= n) {
-                break;
+                limit_hit = true;
+                break 'absence;
             }
         }
 
         // --- step 3: tuples never returned by any absence query satisfy
         // every absence preference (the full tuple-id set is materialized
         // only here, where it is genuinely needed) ----------------------
-        let mut base_ids = initial_select.clone();
-        base_ids.items =
-            vec![builder::item_as(builder::col(&first_binding, "rowid"), "qp_tid")];
-        base_ids.distinct = true;
-        let rs = engine.execute(db, &Query::from_select(base_ids))?;
-        let all_ids: Vec<u64> = rs
-            .rows
-            .iter()
-            .filter_map(|r| r[0].as_i64())
-            .filter(|t| *t >= 0)
-            .map(|t| t as u64)
-            .collect();
-        for &tid in &all_ids {
-            if seen.contains(&tid) || nids.contains(&tid) {
-                continue;
-            }
-            let satisfied: Vec<usize> = a_order.clone();
-            if satisfied.len() >= l {
-                let pos: Vec<f64> = a_order.iter().map(|&i| d_plus(i)).collect();
-                let neg: Vec<f64> =
-                    s_order.iter().map(|&i| d_minus(i)).filter(|d| *d < 0.0).collect();
-                let doi = ranking.mixed(&pos, &neg);
-                let mut failed: Vec<usize> = s_order.clone();
-                failed.sort_unstable();
-                let mut satisfied = satisfied;
-                satisfied.sort_unstable();
-                buffered.push(Buffered { tid, doi, satisfied, failed });
+        if cut.is_none() && !limit_hit {
+            'residual: {
+                if let Err(e) = guard.check_now().and_then(|()| fail_point("ppa.step3")) {
+                    cut = Some((PpaPhase::Residual, DegradeCause::from_exec(&e)));
+                    break 'residual;
+                }
+                let mut base_ids = initial_select.clone();
+                base_ids.items =
+                    vec![builder::item_as(builder::col(&first_binding, "rowid"), "qp_tid")];
+                base_ids.distinct = true;
+                let rs = match engine.execute_uncharged(db, &Query::from_select(base_ids), guard)
+                {
+                    Ok(rs) => rs,
+                    Err(e) => {
+                        cut = Some((PpaPhase::Residual, DegradeCause::from_exec(&e)));
+                        break 'residual;
+                    }
+                };
+                let all_ids: Vec<u64> = rs
+                    .rows
+                    .iter()
+                    .filter_map(|r| r[0].as_i64())
+                    .filter(|t| *t >= 0)
+                    .map(|t| t as u64)
+                    .collect();
+                for &tid in &all_ids {
+                    if seen.contains(&tid) || nids.contains(&tid) {
+                        continue;
+                    }
+                    let satisfied: Vec<usize> = a_order.clone();
+                    if satisfied.len() >= l {
+                        let pos: Vec<f64> = a_order.iter().map(|&i| d_plus(i)).collect();
+                        let neg: Vec<f64> =
+                            s_order.iter().map(|&i| d_minus(i)).filter(|d| *d < 0.0).collect();
+                        let doi = ranking.mixed(&pos, &neg);
+                        let mut failed: Vec<usize> = s_order.clone();
+                        failed.sort_unstable();
+                        let mut satisfied = satisfied;
+                        satisfied.sort_unstable();
+                        buffered.push(Buffered { tid, doi, satisfied, failed });
+                    }
+                }
             }
         }
     }
 
-    // flush everything left
-    emit_ready!(f64::NEG_INFINITY);
+    // --- final flush -----------------------------------------------------
+    // On a limit hit the emitted prefix already holds `limit` provably
+    // ranked tuples; anything still buffered ranks at or below them, so
+    // flushing would only be truncated away again.
+    if !limit_hit {
+        // The bound an unseen (never-evaluated) tuple could still reach at
+        // the point the run stopped: a complete run flushes everything, a
+        // cut run emits only what is provably ranked above that bound.
+        let bound = match &cut {
+            None => f64::NEG_INFINITY,
+            Some((PpaPhase::Presence(_), _)) => medi_at(presence_done),
+            Some((PpaPhase::Absence(_) | PpaPhase::Residual, _)) => medi_abs,
+        };
+        if let Some(e) = emit_ready!(bound) {
+            if cut.is_none() {
+                cut = Some((PpaPhase::Residual, DegradeCause::from_exec(&e)));
+            }
+        }
+    }
     if let Some(n) = limit {
         emitted.truncate(n);
     }
 
+    let mut degradation = Degradation::default();
+    if let Some((phase, cause)) = cut {
+        degradation.push(DegradeEvent::PpaCutoff {
+            phase,
+            cause,
+            presence_unevaluated: s_order.len() - presence_done,
+            absence_unevaluated: a_order.len() - absence_done,
+            buffered_discarded: buffered.len(),
+        });
+    }
+
     stats.first_response = first_response;
     stats.total = started.elapsed();
-    Ok((PersonalizedAnswer { columns, tuples: emitted }, stats))
+    Ok((PersonalizedAnswer { columns, tuples: emitted }, stats, degradation))
 }
 
 // `RelId` is used in the prepared-query rebinds above.

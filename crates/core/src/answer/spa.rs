@@ -12,7 +12,7 @@
 //! 1–n absence preferences cost a `NOT IN` sub-query each, and no tuple
 //! is returned before the entire statement finishes.
 
-use qp_exec::{AggState, Engine};
+use qp_exec::{AggState, Engine, ExecError, QueryGuard};
 use qp_sql::{builder, Expr, Query, SelectItem};
 use qp_storage::{Database, Value};
 
@@ -38,9 +38,31 @@ pub fn spa(
     l: usize,
     ranking: &Ranking,
 ) -> Result<PersonalizedAnswer, PrefError> {
+    spa_guarded(db, engine, initial, profile, selected, l, ranking, &QueryGuard::unlimited())
+}
+
+/// [`spa`] under a [`QueryGuard`]. Unlike PPA, SPA is a single statement
+/// and cannot degrade to a partial answer: a guard trip (or an injected
+/// fault at the `spa.execute` site) fails the whole run with a typed
+/// error. [`crate::Personalizer`] turns that failure into a fallback to
+/// the unpersonalized query when
+/// [`crate::PersonalizationOptions::fallback_to_original`] is set.
+#[allow(clippy::too_many_arguments)]
+pub fn spa_guarded(
+    db: &Database,
+    engine: &mut Engine,
+    initial: &Query,
+    profile: &Profile,
+    selected: &[SelectedPreference],
+    l: usize,
+    ranking: &Ranking,
+    guard: &QueryGuard,
+) -> Result<PersonalizedAnswer, PrefError> {
     let query = build_spa_query(db, engine, initial, profile, selected, l)?;
     register_rank_udf(engine, ranking.kind);
-    let rs = engine.execute(db, &query)?;
+    qp_storage::failpoint::check("spa.execute")
+        .map_err(|msg| PrefError::from(ExecError::Fault(msg)))?;
+    let (rs, _stats) = engine.execute_with_guard(db, &query, guard)?;
     let ncols = rs.columns.len() - 1; // last column is the score
     let tuples = rs
         .rows

@@ -128,8 +128,11 @@ pub fn classify(
 /// of §5).
 fn path_is_to_one(catalog: &Catalog, profile: &Profile, sp: &SelectedPreference) -> bool {
     sp.joins.iter().all(|j| {
-        let jp = profile.get(*j).as_join().expect("join id");
-        catalog.join_multiplicity(jp.from, jp.to) == JoinMultiplicity::ToOne
+        // a non-join id in the path would be a selection bug; treating the
+        // step as to-many (the conservative 1–n classification) is safe
+        profile.get(*j).as_join().is_some_and(|jp| {
+            catalog.join_multiplicity(jp.from, jp.to) == JoinMultiplicity::ToOne
+        })
     })
 }
 
@@ -198,7 +201,11 @@ pub fn append_path(
 ) -> Result<String, PrefError> {
     let mut prev = anchor_binding(catalog, select, sp)?;
     for (step, j) in sp.joins.iter().enumerate() {
-        let jp = profile.get(*j).as_join().expect("join id");
+        let jp = profile.get(*j).as_join().ok_or_else(|| {
+            PrefError::InvalidCriterion(format!(
+                "path step {step} of the selected preference is not a join preference"
+            ))
+        })?;
         let from_name = &catalog.relation(jp.from.rel).attributes[jp.from.idx as usize].name;
         let to_rel = catalog.relation(jp.to.rel);
         let to_name = &to_rel.attributes[jp.to.idx as usize].name;

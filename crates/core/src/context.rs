@@ -151,6 +151,7 @@ pub fn suggest_options(ctx: &Context) -> PersonalizationOptions {
         ranking: Ranking::default(),
         algorithm: AnswerAlgorithm::Ppa,
         selection: SelectionAlgorithm::FakeCrit,
+        fallback_to_original: false,
     }
 }
 

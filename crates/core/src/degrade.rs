@@ -1,0 +1,243 @@
+//! Degradation reports: what was cut when a personalization run hit a
+//! guardrail.
+//!
+//! The PPA algorithm is progressive by construction, which makes it
+//! naturally *degradable*: when a [`qp_exec::QueryGuard`] trips — or a
+//! fault is injected mid-phase — the run stops advancing, emits every
+//! buffered tuple whose degree of interest still clears the MEDI bound of
+//! the phase it reached, and returns `Ok` with the partial answer plus a
+//! [`Degradation`] describing the cut. Because the emission bound is the
+//! same one a complete run would have used at that point, the partial
+//! answer is always a *prefix* of the complete answer: no returned tuple
+//! ranks below one that was omitted.
+//!
+//! SPA, being a single statement, cannot return a partial answer; under a
+//! tripped guard it fails outright, and
+//! [`crate::Personalizer`] (with
+//! [`crate::PersonalizationOptions::fallback_to_original`]) degrades by
+//! executing the unpersonalized query instead, recording a
+//! [`DegradeEvent::Fallback`].
+
+use std::fmt;
+
+use qp_exec::{ExecError, ResourceKind};
+
+/// Why a run was cut short.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegradeCause {
+    /// The wall-clock deadline passed (limit in milliseconds).
+    Deadline(u64),
+    /// The result-row budget was spent.
+    OutputBudget(u64),
+    /// The operator-intermediate-row budget was spent.
+    IntermediateBudget(u64),
+    /// The cancellation token was flipped.
+    Cancelled,
+    /// An injected failpoint fired.
+    Fault(String),
+    /// Any other execution error encountered mid-run.
+    Exec(String),
+}
+
+impl DegradeCause {
+    /// Classifies an execution error.
+    pub fn from_exec(e: &ExecError) -> Self {
+        match e {
+            ExecError::ResourceExhausted { resource: ResourceKind::Deadline, limit } => {
+                DegradeCause::Deadline(*limit)
+            }
+            ExecError::ResourceExhausted { resource: ResourceKind::OutputRows, limit } => {
+                DegradeCause::OutputBudget(*limit)
+            }
+            ExecError::ResourceExhausted { resource: ResourceKind::IntermediateRows, limit } => {
+                DegradeCause::IntermediateBudget(*limit)
+            }
+            ExecError::Cancelled => DegradeCause::Cancelled,
+            ExecError::Fault(msg) => DegradeCause::Fault(msg.clone()),
+            other => DegradeCause::Exec(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for DegradeCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeCause::Deadline(ms) => write!(f, "deadline of {ms} ms passed"),
+            DegradeCause::OutputBudget(n) => write!(f, "output budget of {n} rows spent"),
+            DegradeCause::IntermediateBudget(n) => {
+                write!(f, "intermediate budget of {n} rows spent")
+            }
+            DegradeCause::Cancelled => write!(f, "cancelled"),
+            DegradeCause::Fault(msg) => write!(f, "injected fault: {msg}"),
+            DegradeCause::Exec(msg) => write!(f, "execution error: {msg}"),
+        }
+    }
+}
+
+/// Which PPA phase a cut happened in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PpaPhase {
+    /// Presence query `i` (0-based, in selectivity order).
+    Presence(usize),
+    /// Absence query `i` (0-based, in selectivity order).
+    Absence(usize),
+    /// Step 3: enumerating tuples never returned by any absence query.
+    Residual,
+}
+
+impl fmt::Display for PpaPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PpaPhase::Presence(i) => write!(f, "presence query {i}"),
+            PpaPhase::Absence(i) => write!(f, "absence query {i}"),
+            PpaPhase::Residual => write!(f, "residual enumeration"),
+        }
+    }
+}
+
+/// One degradation that occurred during a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegradeEvent {
+    /// PPA stopped progressing at a phase; the answer holds only the
+    /// tuples provably ranked at that point.
+    PpaCutoff {
+        /// Phase the run was in when it stopped.
+        phase: PpaPhase,
+        /// Why it stopped.
+        cause: DegradeCause,
+        /// Presence queries never executed.
+        presence_unevaluated: usize,
+        /// Absence queries never executed.
+        absence_unevaluated: usize,
+        /// Qualified tuples buffered but below the emission bound —
+        /// found, but not provably ranked, so dropped.
+        buffered_discarded: usize,
+    },
+    /// Personalization failed and the unpersonalized query was executed
+    /// instead.
+    Fallback {
+        /// Which stage failed (`"selection"`, `"spa"`, `"ppa"`).
+        stage: String,
+        /// The error that triggered the fallback.
+        error: String,
+    },
+}
+
+impl fmt::Display for DegradeEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeEvent::PpaCutoff {
+                phase,
+                cause,
+                presence_unevaluated,
+                absence_unevaluated,
+                buffered_discarded,
+            } => write!(
+                f,
+                "PPA cut at {phase} ({cause}): {presence_unevaluated} presence + \
+                 {absence_unevaluated} absence queries unevaluated, \
+                 {buffered_discarded} buffered tuples discarded"
+            ),
+            DegradeEvent::Fallback { stage, error } => {
+                write!(f, "fell back to the unpersonalized query ({stage} failed: {error})")
+            }
+        }
+    }
+}
+
+/// Everything that was cut from a personalization run. Empty means the
+/// run completed exactly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Degradation {
+    /// The degradations, in occurrence order.
+    pub events: Vec<DegradeEvent>,
+}
+
+impl Degradation {
+    /// `true` when nothing was cut: the answer is exact.
+    pub fn is_complete(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Records an event.
+    pub fn push(&mut self, event: DegradeEvent) {
+        self.events.push(event);
+    }
+
+    /// A one-line human-readable summary (`"complete"` when empty).
+    pub fn summary(&self) -> String {
+        if self.is_complete() {
+            "complete".to_string()
+        } else {
+            self.events.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; ")
+        }
+    }
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cause_classification_round_trips_exec_errors() {
+        let cases = [
+            (
+                ExecError::ResourceExhausted { resource: ResourceKind::Deadline, limit: 5 },
+                DegradeCause::Deadline(5),
+            ),
+            (
+                ExecError::ResourceExhausted { resource: ResourceKind::OutputRows, limit: 7 },
+                DegradeCause::OutputBudget(7),
+            ),
+            (
+                ExecError::ResourceExhausted {
+                    resource: ResourceKind::IntermediateRows,
+                    limit: 9,
+                },
+                DegradeCause::IntermediateBudget(9),
+            ),
+            (ExecError::Cancelled, DegradeCause::Cancelled),
+            (ExecError::Fault("x".into()), DegradeCause::Fault("x".into())),
+        ];
+        for (err, want) in cases {
+            assert_eq!(DegradeCause::from_exec(&err), want);
+        }
+        assert_eq!(
+            DegradeCause::from_exec(&ExecError::UnknownColumn("c".into())),
+            DegradeCause::Exec("unknown column `c`".to_string())
+        );
+    }
+
+    #[test]
+    fn summary_reads_well() {
+        let mut d = Degradation::default();
+        assert!(d.is_complete());
+        assert_eq!(d.summary(), "complete");
+        d.push(DegradeEvent::PpaCutoff {
+            phase: PpaPhase::Presence(2),
+            cause: DegradeCause::Deadline(50),
+            presence_unevaluated: 1,
+            absence_unevaluated: 2,
+            buffered_discarded: 3,
+        });
+        let s = d.summary();
+        assert!(s.contains("presence query 2"), "{s}");
+        assert!(s.contains("deadline of 50 ms"), "{s}");
+        assert!(s.contains("3 buffered"), "{s}");
+        assert!(!d.is_complete());
+    }
+
+    #[test]
+    fn fallback_event_display() {
+        let e = DegradeEvent::Fallback { stage: "spa".into(), error: "query cancelled".into() };
+        let s = e.to_string();
+        assert!(s.contains("unpersonalized"), "{s}");
+        assert!(s.contains("spa failed"), "{s}");
+    }
+}

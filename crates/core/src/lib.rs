@@ -40,6 +40,7 @@
 pub mod answer;
 pub mod context;
 pub mod criticality;
+pub mod degrade;
 pub mod descriptor;
 pub mod doi;
 pub mod elastic;
@@ -55,9 +56,10 @@ pub mod select;
 pub mod skyline;
 
 pub use answer::explain::{explain_answer, explain_tuple};
-pub use answer::ppa::ppa_limited;
+pub use answer::ppa::{ppa_guarded, ppa_limited};
 pub use answer::{PersonalizedAnswer, PersonalizedTuple};
 pub use context::{Context, ContextRule, ContextualProfile};
+pub use degrade::{DegradeCause, DegradeEvent, Degradation, PpaPhase};
 pub use descriptor::QualityDescriptor;
 pub use mapping::ConceptSchema;
 pub use mining::{mine_profile, Feedback, MinerConfig};

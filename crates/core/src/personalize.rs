@@ -8,13 +8,14 @@
 
 use std::time::{Duration, Instant};
 
-use qp_exec::Engine;
+use qp_exec::{Engine, QueryGuard};
 use qp_sql::{parse_query, Query};
 use qp_storage::Database;
 
-use crate::answer::ppa::{ppa, PpaStats};
-use crate::answer::spa::spa;
-use crate::answer::PersonalizedAnswer;
+use crate::answer::ppa::{ppa_guarded, PpaStats};
+use crate::answer::spa::spa_guarded;
+use crate::answer::{PersonalizedAnswer, PersonalizedTuple};
+use crate::degrade::{DegradeEvent, Degradation};
 use crate::error::PrefError;
 use crate::graph::PersonalizationGraph;
 use crate::profile::Profile;
@@ -65,11 +66,17 @@ pub struct PersonalizationOptions {
     pub algorithm: AnswerAlgorithm,
     /// Preference selection algorithm.
     pub selection: SelectionAlgorithm,
+    /// When personalization fails (selection error, SPA under a tripped
+    /// guard, an injected fault), execute the *unpersonalized* query
+    /// instead of surfacing the error. The substitution is recorded as a
+    /// [`DegradeEvent::Fallback`] in the report's
+    /// [`PersonalizationReport::degradation`].
+    pub fallback_to_original: bool,
 }
 
 impl Default for PersonalizationOptions {
     /// `K = 10, L = 2` (the paper's empirical evaluation used `L = 2`),
-    /// inflationary/count-weighted ranking, FakeCrit + PPA.
+    /// inflationary/count-weighted ranking, FakeCrit + PPA, no fallback.
     fn default() -> Self {
         PersonalizationOptions {
             criterion: SelectionCriterion::TopK(10),
@@ -77,6 +84,7 @@ impl Default for PersonalizationOptions {
             ranking: Ranking::default(),
             algorithm: AnswerAlgorithm::Ppa,
             selection: SelectionAlgorithm::FakeCrit,
+            fallback_to_original: false,
         }
     }
 }
@@ -98,6 +106,9 @@ pub struct PersonalizationReport {
     pub first_response: Option<Duration>,
     /// PPA work counters, when PPA ran.
     pub ppa_stats: Option<PpaStats>,
+    /// What was cut or substituted when the run degraded; empty
+    /// ([`Degradation::is_complete`]) for an exact answer.
+    pub degradation: Degradation,
 }
 
 /// The personalization engine: owns a query engine (UDF registrations for
@@ -162,56 +173,152 @@ impl<'db> Personalizer<'db> {
         query: &Query,
         options: &PersonalizationOptions,
     ) -> Result<PersonalizationReport, PrefError> {
+        self.personalize_guarded(profile, query, options, &QueryGuard::unlimited())
+    }
+
+    /// [`Personalizer::personalize`] under a [`QueryGuard`]: the guard's
+    /// deadline, row budgets, and cancellation token bind every statement
+    /// the run executes.
+    ///
+    /// PPA degrades on its own — a guard trip mid-run yields a partial
+    /// ranked answer with the cut described in
+    /// [`PersonalizationReport::degradation`]. SPA and preference
+    /// selection cannot return partial results; when they fail and
+    /// [`PersonalizationOptions::fallback_to_original`] is set, the
+    /// *unpersonalized* query is executed instead (under a fresh budget
+    /// attempt — the deadline and cancellation token keep binding) and the
+    /// substitution is reported as a [`DegradeEvent::Fallback`].
+    pub fn personalize_guarded(
+        &mut self,
+        profile: &Profile,
+        query: &Query,
+        options: &PersonalizationOptions,
+        guard: &QueryGuard,
+    ) -> Result<PersonalizationReport, PrefError> {
         let t0 = Instant::now();
-        let selected = self.select_preferences(profile, query, options)?;
+        let selected = match self.select_preferences(profile, query, options) {
+            Ok(s) => s,
+            Err(e) if options.fallback_to_original => {
+                return self.fallback(query, vec![], t0.elapsed(), "selection", &e, guard);
+            }
+            Err(e) => return Err(e),
+        };
         let selection_time = t0.elapsed();
 
         if selected.is_empty() {
             // nothing related to this query: the answer is the plain query
-            let rs = self.engine.execute(self.db, query)?;
+            let answer = self.plain_answer(query, guard)?;
             return Ok(PersonalizationReport {
-                answer: PersonalizedAnswer {
-                    columns: rs.columns,
-                    tuples: rs
-                        .rows
-                        .into_iter()
-                        .map(|row| crate::answer::PersonalizedTuple {
-                            tuple_id: None,
-                            row,
-                            doi: 0.0,
-                            satisfied: vec![],
-                            failed: vec![],
-                        })
-                        .collect(),
-                },
+                answer,
                 selected,
                 selection_time,
                 execution_time: t0.elapsed() - selection_time,
                 first_response: None,
                 ppa_stats: None,
+                degradation: Degradation::default(),
             });
         }
 
         let l = options.l.min(selected.len()).max(1);
         let t1 = Instant::now();
-        let (answer, first_response, ppa_stats) = match options.algorithm {
-            AnswerAlgorithm::Spa => {
-                let a = spa(self.db, &mut self.engine, query, profile, &selected, l, &options.ranking)?;
-                (a, None, None)
-            }
-            AnswerAlgorithm::Ppa => {
-                let (a, st) =
-                    ppa(self.db, &mut self.engine, query, profile, &selected, l, &options.ranking)?;
-                (a, st.first_response, Some(st))
-            }
+        let outcome = match options.algorithm {
+            AnswerAlgorithm::Spa => spa_guarded(
+                self.db,
+                &mut self.engine,
+                query,
+                profile,
+                &selected,
+                l,
+                &options.ranking,
+                guard,
+            )
+            .map(|a| (a, None, None, Degradation::default())),
+            AnswerAlgorithm::Ppa => ppa_guarded(
+                self.db,
+                &mut self.engine,
+                query,
+                profile,
+                &selected,
+                l,
+                &options.ranking,
+                None,
+                guard,
+            )
+            .map(|(a, st, deg)| (a, st.first_response, Some(st), deg)),
         };
+        match outcome {
+            Ok((answer, first_response, ppa_stats, degradation)) => Ok(PersonalizationReport {
+                answer,
+                selected,
+                selection_time,
+                execution_time: t1.elapsed(),
+                first_response,
+                ppa_stats,
+                degradation,
+            }),
+            Err(e) if options.fallback_to_original => {
+                let stage = match options.algorithm {
+                    AnswerAlgorithm::Spa => "spa",
+                    AnswerAlgorithm::Ppa => "ppa",
+                };
+                self.fallback(query, selected, selection_time, stage, &e, guard)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Executes the unpersonalized query in place of a failed
+    /// personalization, reporting the substitution.
+    fn fallback(
+        &mut self,
+        query: &Query,
+        selected: Vec<SelectedPreference>,
+        selection_time: Duration,
+        stage: &str,
+        error: &PrefError,
+        guard: &QueryGuard,
+    ) -> Result<PersonalizationReport, PrefError> {
+        let t = Instant::now();
+        // Row budgets restart for the retry; an expired deadline or a
+        // flipped cancellation token still fails it — there is no answer
+        // left to degrade to.
+        let answer = self.plain_answer(query, &guard.fresh_attempt())?;
+        let mut degradation = Degradation::default();
+        degradation.push(DegradeEvent::Fallback {
+            stage: stage.to_string(),
+            error: error.to_string(),
+        });
         Ok(PersonalizationReport {
             answer,
             selected,
             selection_time,
-            execution_time: t1.elapsed(),
-            first_response,
-            ppa_stats,
+            execution_time: t.elapsed(),
+            first_response: None,
+            ppa_stats: None,
+            degradation,
+        })
+    }
+
+    /// The unpersonalized query's rows as a doi-0 answer.
+    fn plain_answer(
+        &mut self,
+        query: &Query,
+        guard: &QueryGuard,
+    ) -> Result<PersonalizedAnswer, PrefError> {
+        let (rs, _stats) = self.engine.execute_with_guard(self.db, query, guard)?;
+        Ok(PersonalizedAnswer {
+            columns: rs.columns,
+            tuples: rs
+                .rows
+                .into_iter()
+                .map(|row| PersonalizedTuple {
+                    tuple_id: None,
+                    row,
+                    doi: 0.0,
+                    satisfied: vec![],
+                    failed: vec![],
+                })
+                .collect(),
         })
     }
 }

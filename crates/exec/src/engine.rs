@@ -8,6 +8,7 @@ use qp_storage::{Database, Row, Value};
 
 use crate::error::ExecError;
 use crate::functions::{AggState, FunctionRegistry};
+use crate::guard::QueryGuard;
 use crate::planner::{CompiledQuery, KeySource, Planner};
 use crate::result::ResultSet;
 
@@ -21,6 +22,10 @@ pub struct ExecStats {
     pub index_probes: u64,
     /// Uncorrelated `IN` sub-queries materialized at plan time.
     pub subqueries: u64,
+    /// Rows materialized by operators (scan outputs, join outputs,
+    /// aggregation groups) — the quantity a
+    /// [`crate::guard::QueryGuard`] intermediate-row budget bounds.
+    pub rows_intermediate: u64,
 }
 
 impl ExecStats {
@@ -29,6 +34,7 @@ impl ExecStats {
         self.rows_scanned += other.rows_scanned;
         self.index_probes += other.index_probes;
         self.subqueries += other.subqueries;
+        self.rows_intermediate += other.rows_intermediate;
     }
 }
 
@@ -87,11 +93,43 @@ impl Engine {
         db: &Database,
         query: &Query,
     ) -> Result<(ResultSet, ExecStats), ExecError> {
-        let mut planner = Planner::new(db, &self.registry);
+        self.execute_with_guard(db, query, &QueryGuard::unlimited())
+    }
+
+    /// Executes a query AST under a [`QueryGuard`]: planning (including
+    /// `IN` sub-query materialization) and every operator respect the
+    /// guard's deadline, budgets, and cancellation token. The result rows
+    /// are charged against the guard's output budget.
+    pub fn execute_with_guard(
+        &self,
+        db: &Database,
+        query: &Query,
+        guard: &QueryGuard,
+    ) -> Result<(ResultSet, ExecStats), ExecError> {
+        let mut planner = Planner::new(db, &self.registry).with_guard(guard.clone());
         let compiled = planner.compile(query)?;
         let mut stats = planner.take_stats();
-        let rows = run_compiled(db, &compiled, &mut stats);
+        let rows = run_compiled(db, &compiled, &mut stats, guard)?;
+        guard.charge_output(rows.len() as u64)?;
         Ok((ResultSet::new(compiled.columns.clone(), rows), stats))
+    }
+
+    /// Executes a query AST under a [`QueryGuard`] *without* charging the
+    /// result rows to the guard's output budget. Internal bookkeeping
+    /// statements (PPA's phase and probe queries) use this: their rows
+    /// are algorithm state, not user output — the personalization layer
+    /// charges the output budget per *emitted* tuple instead.
+    pub fn execute_uncharged(
+        &self,
+        db: &Database,
+        query: &Query,
+        guard: &QueryGuard,
+    ) -> Result<ResultSet, ExecError> {
+        let mut planner = Planner::new(db, &self.registry).with_guard(guard.clone());
+        let compiled = planner.compile(query)?;
+        let mut stats = planner.take_stats();
+        let rows = run_compiled(db, &compiled, &mut stats, guard)?;
+        Ok(ResultSet::new(compiled.columns.clone(), rows))
     }
 
     /// Compiles a query for repeated execution.
@@ -113,9 +151,9 @@ impl Engine {
         db: &Database,
         compiled: &CompiledQuery,
         stats: &mut ExecStats,
-    ) -> ResultSet {
-        let rows = run_compiled(db, compiled, stats);
-        ResultSet::new(compiled.columns.clone(), rows)
+    ) -> Result<ResultSet, ExecError> {
+        let rows = run_compiled(db, compiled, stats, &QueryGuard::unlimited())?;
+        Ok(ResultSet::new(compiled.columns.clone(), rows))
     }
 
     /// Executes a previously prepared query, returning only the rows —
@@ -126,8 +164,21 @@ impl Engine {
         db: &Database,
         compiled: &CompiledQuery,
         stats: &mut ExecStats,
-    ) -> Vec<Row> {
-        run_compiled(db, compiled, stats)
+    ) -> Result<Vec<Row>, ExecError> {
+        run_compiled(db, compiled, stats, &QueryGuard::unlimited())
+    }
+
+    /// [`Engine::execute_prepared_rows`] under a [`QueryGuard`]. Result
+    /// rows are *not* charged to the output budget here: prepared hot
+    /// loops (PPA probes) produce bookkeeping rows, not user output.
+    pub fn execute_prepared_rows_guarded(
+        &self,
+        db: &Database,
+        compiled: &CompiledQuery,
+        stats: &mut ExecStats,
+        guard: &QueryGuard,
+    ) -> Result<Vec<Row>, ExecError> {
+        run_compiled(db, compiled, stats, guard)
     }
 }
 
@@ -137,16 +188,19 @@ pub(crate) fn run_compiled(
     db: &Database,
     compiled: &CompiledQuery,
     stats: &mut ExecStats,
-) -> Vec<Row> {
+    guard: &QueryGuard,
+) -> Result<Vec<Row>, ExecError> {
     // (source row, output row) pairs; source rows back ORDER BY
     // expressions that are not output columns.
     let mut pairs: Vec<(Option<Row>, Row)> = Vec::new();
     let single_branch = compiled.branches.len() == 1;
     for branch in &compiled.branches {
-        let input = branch.plan.run(db, stats);
+        let input = branch.plan.run(db, stats, guard)?;
         let sources: Vec<Row> = match &branch.agg {
             Some(agg) => {
                 let mut inter = agg.spec.run(input);
+                stats.rows_intermediate += inter.len() as u64;
+                guard.charge_intermediate(inter.len() as u64)?;
                 if let Some(h) = &agg.having {
                     inter.retain(|r| h.eval_bool(r));
                 }
@@ -178,8 +232,12 @@ pub(crate) fn run_compiled(
                     .iter()
                     .map(|k| match &k.source {
                         KeySource::Output(c) => out[*c].clone(),
+                        // `keep_source` retained sources iff a Source key
+                        // exists on a single branch; a missing source here
+                        // would be a planner bug, surfaced as NULL keys
+                        // rather than a panic.
                         KeySource::Source(e) => {
-                            e.eval(src.as_deref().expect("source kept for Source keys"))
+                            src.as_deref().map_or(Value::Null, |s| e.eval(s))
                         }
                     })
                     .collect();
@@ -205,13 +263,13 @@ pub(crate) fn run_compiled(
         if let Some(n) = compiled.limit {
             rows.truncate(n as usize);
         }
-        return rows;
+        return Ok(rows);
     }
     let mut rows: Vec<Row> = pairs.into_iter().map(|(_, out)| out).collect();
     if let Some(n) = compiled.limit {
         rows.truncate(n as usize);
     }
-    rows
+    Ok(rows)
 }
 
 // keep the AggState import used (trait methods are called through plan.rs)

@@ -42,8 +42,48 @@ pub enum ExecError {
     UnresolvedOrderBy(String),
     /// A type error during evaluation.
     Type(String),
+    /// A [`crate::guard::QueryGuard`] budget was exhausted; the query was
+    /// stopped before completion.
+    ResourceExhausted {
+        /// Which budget tripped.
+        resource: ResourceKind,
+        /// The configured limit (milliseconds for deadlines, rows
+        /// otherwise).
+        limit: u64,
+    },
+    /// The query was cancelled through its
+    /// [`crate::guard::CancelToken`].
+    Cancelled,
+    /// An injected fault fired at a [`qp_storage::failpoint`] site (only
+    /// under the `failpoints` feature).
+    Fault(String),
+    /// An internal invariant was violated — a bug in the planner or
+    /// engine, surfaced as an error instead of a panic so callers can
+    /// degrade gracefully.
+    Internal(String),
     /// Anything else.
     Unsupported(String),
+}
+
+/// The budget dimension named by [`ExecError::ResourceExhausted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The result-row budget was spent.
+    OutputRows,
+    /// The operator-intermediate-row budget was spent.
+    IntermediateRows,
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceKind::Deadline => write!(f, "deadline"),
+            ResourceKind::OutputRows => write!(f, "output rows"),
+            ResourceKind::IntermediateRows => write!(f, "intermediate rows"),
+        }
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -75,12 +115,27 @@ impl fmt::Display for ExecError {
                 write!(f, "cannot resolve ORDER BY expression `{e}`")
             }
             ExecError::Type(msg) => write!(f, "type error: {msg}"),
+            ExecError::ResourceExhausted { resource, limit } => {
+                let unit = if *resource == ResourceKind::Deadline { "ms" } else { "rows" };
+                write!(f, "query exceeded its {resource} budget ({limit} {unit})")
+            }
+            ExecError::Cancelled => write!(f, "query cancelled"),
+            ExecError::Fault(msg) => write!(f, "injected fault: {msg}"),
+            ExecError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
             ExecError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }
 }
 
-impl std::error::Error for ExecError {}
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Parse(e) => Some(e),
+            ExecError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<StorageError> for ExecError {
     fn from(e: StorageError) -> Self {
@@ -104,5 +159,35 @@ mod tests {
         assert!(ExecError::UnionArityMismatch { expected: 2, got: 3 }
             .to_string()
             .contains("2 vs 3"));
+    }
+
+    #[test]
+    fn display_guard_variants() {
+        let e = ExecError::ResourceExhausted { resource: ResourceKind::Deadline, limit: 250 };
+        assert_eq!(e.to_string(), "query exceeded its deadline budget (250 ms)");
+        let e = ExecError::ResourceExhausted { resource: ResourceKind::OutputRows, limit: 10 };
+        assert_eq!(e.to_string(), "query exceeded its output rows budget (10 rows)");
+        let e =
+            ExecError::ResourceExhausted { resource: ResourceKind::IntermediateRows, limit: 99 };
+        assert_eq!(e.to_string(), "query exceeded its intermediate rows budget (99 rows)");
+        assert_eq!(ExecError::Cancelled.to_string(), "query cancelled");
+        assert_eq!(ExecError::Fault("exec.scan".into()).to_string(), "injected fault: exec.scan");
+        assert_eq!(
+            ExecError::Internal("oops".into()).to_string(),
+            "internal invariant violated: oops"
+        );
+    }
+
+    #[test]
+    fn source_chains_only_wrapped_errors() {
+        use std::error::Error;
+        let e = ExecError::Storage(StorageError::UnknownRelation("R".into()));
+        let src = e.source().expect("storage errors chain");
+        assert!(src.to_string().contains('R'));
+        assert!(ExecError::Cancelled.source().is_none());
+        assert!(ExecError::ResourceExhausted { resource: ResourceKind::Deadline, limit: 1 }
+            .source()
+            .is_none());
+        assert!(ExecError::Fault("site".into()).source().is_none());
     }
 }

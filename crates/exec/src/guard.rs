@@ -1,0 +1,342 @@
+//! Query guardrails: deadlines, row budgets, and cooperative cancellation.
+//!
+//! A [`QueryGuard`] is a cheap, clonable handle threaded through every
+//! operator in [`crate::plan`] and [`crate::engine`]. It carries up to
+//! four limits:
+//!
+//! * a **wall-clock deadline** — checked at a sampled stride so the hot
+//!   row loops pay (almost) no `Instant::now` cost,
+//! * an **output-row budget** — charged against the final result rows of
+//!   each statement the guard supervises,
+//! * an **intermediate-row budget** — charged for every row an operator
+//!   materializes (scans, join outputs, aggregation groups), the knob
+//!   that bounds runaway cross products even when the final result is
+//!   tiny,
+//! * a **cancellation token** — an `Arc<AtomicBool>` another thread (or a
+//!   test) can flip; operators poll it every row, so even a nested-loop
+//!   join stops within one batch.
+//!
+//! Counters are shared through an [`Arc`], so clones of a guard draw down
+//! the *same* budgets: a personalization run that executes dozens of
+//! statements is bounded as a whole, not per statement.
+//! [`QueryGuard::fresh_attempt`] derives a guard with the same limits,
+//! deadline and token but zeroed counters — the degradation paths use it
+//! when falling back to a cheaper query, where the deadline must still
+//! bind but the failed attempt's row consumption should not.
+//!
+//! [`QueryGuard::unlimited`] (also `Default`) never trips and adds one
+//! branch per check; every pre-existing engine entry point uses it, so
+//! unguarded callers are unaffected.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{ExecError, ResourceKind};
+
+/// How many rows are processed between wall-clock deadline samples.
+/// Cancellation is an atomic load and is polled on every check.
+const DEADLINE_STRIDE: u64 = 64;
+
+/// A shareable cancellation flag. Cloning shares the flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; every guard holding this token trips on its
+    /// next check.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[derive(Debug)]
+struct GuardState {
+    deadline: Option<Instant>,
+    deadline_budget: Option<Duration>,
+    output_budget: Option<u64>,
+    intermediate_budget: Option<u64>,
+    cancel: CancelToken,
+    output_rows: AtomicU64,
+    intermediate_rows: AtomicU64,
+    ticks: AtomicU64,
+}
+
+/// Execution limits threaded through the engine; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct QueryGuard {
+    // `None` means "unlimited": checks reduce to one branch and charges
+    // to nothing, so the unguarded engine paths stay at full speed.
+    state: Option<Arc<GuardState>>,
+}
+
+impl QueryGuard {
+    /// A guard that never trips (the default).
+    pub fn unlimited() -> Self {
+        QueryGuard { state: None }
+    }
+
+    /// Starts building a limited guard.
+    pub fn builder() -> QueryGuardBuilder {
+        QueryGuardBuilder::default()
+    }
+
+    /// Whether this guard carries any limit at all.
+    pub fn is_limited(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// The guard's cancellation token (a fresh inert token when
+    /// unlimited, so callers need not special-case it).
+    pub fn cancel_token(&self) -> CancelToken {
+        match &self.state {
+            Some(s) => s.cancel.clone(),
+            None => CancelToken::new(),
+        }
+    }
+
+    /// A guard with the same limits, deadline, and cancellation token but
+    /// zeroed row counters — for retrying with a cheaper query after a
+    /// budget trip (the wall clock keeps running; budgets restart).
+    pub fn fresh_attempt(&self) -> QueryGuard {
+        match &self.state {
+            None => QueryGuard::unlimited(),
+            Some(s) => QueryGuard {
+                state: Some(Arc::new(GuardState {
+                    deadline: s.deadline,
+                    deadline_budget: s.deadline_budget,
+                    output_budget: s.output_budget,
+                    intermediate_budget: s.intermediate_budget,
+                    cancel: s.cancel.clone(),
+                    output_rows: AtomicU64::new(0),
+                    intermediate_rows: AtomicU64::new(0),
+                    ticks: AtomicU64::new(0),
+                })),
+            },
+        }
+    }
+
+    /// Rows of intermediate budget consumed so far (0 when unlimited).
+    pub fn intermediate_rows(&self) -> u64 {
+        self.state.as_ref().map_or(0, |s| s.intermediate_rows.load(Ordering::Relaxed))
+    }
+
+    /// Polls cancellation and (at a sampled stride) the deadline. Called
+    /// once per processed row in the operator loops.
+    #[inline]
+    pub fn check(&self) -> Result<(), ExecError> {
+        let Some(s) = &self.state else { return Ok(()) };
+        if s.cancel.is_cancelled() {
+            return Err(ExecError::Cancelled);
+        }
+        if s.deadline.is_some() {
+            let t = s.ticks.fetch_add(1, Ordering::Relaxed);
+            if t % DEADLINE_STRIDE == 0 {
+                self.check_deadline_now(s)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Polls cancellation and the deadline *unconditionally* (no stride).
+    /// Phase boundaries use this so a blown deadline is seen immediately.
+    pub fn check_now(&self) -> Result<(), ExecError> {
+        let Some(s) = &self.state else { return Ok(()) };
+        if s.cancel.is_cancelled() {
+            return Err(ExecError::Cancelled);
+        }
+        if s.deadline.is_some() {
+            self.check_deadline_now(s)?;
+        }
+        Ok(())
+    }
+
+    #[cold]
+    fn check_deadline_now(&self, s: &GuardState) -> Result<(), ExecError> {
+        if let Some(d) = s.deadline {
+            if Instant::now() >= d {
+                let limit = s.deadline_budget.unwrap_or_default().as_millis() as u64;
+                return Err(ExecError::ResourceExhausted { resource: ResourceKind::Deadline, limit });
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges `n` materialized intermediate rows and polls the limits.
+    #[inline]
+    pub fn charge_intermediate(&self, n: u64) -> Result<(), ExecError> {
+        let Some(s) = &self.state else { return Ok(()) };
+        if let Some(budget) = s.intermediate_budget {
+            let total = s.intermediate_rows.fetch_add(n, Ordering::Relaxed) + n;
+            if total > budget {
+                return Err(ExecError::ResourceExhausted {
+                    resource: ResourceKind::IntermediateRows,
+                    limit: budget,
+                });
+            }
+        }
+        self.check()
+    }
+
+    /// Charges `n` result rows of a supervised statement against the
+    /// output budget.
+    pub fn charge_output(&self, n: u64) -> Result<(), ExecError> {
+        let Some(s) = &self.state else { return Ok(()) };
+        if let Some(budget) = s.output_budget {
+            let total = s.output_rows.fetch_add(n, Ordering::Relaxed) + n;
+            if total > budget {
+                return Err(ExecError::ResourceExhausted {
+                    resource: ResourceKind::OutputRows,
+                    limit: budget,
+                });
+            }
+        }
+        self.check_now()
+    }
+}
+
+/// Builder for a limited [`QueryGuard`].
+#[derive(Debug, Default)]
+pub struct QueryGuardBuilder {
+    deadline_budget: Option<Duration>,
+    output_budget: Option<u64>,
+    intermediate_budget: Option<u64>,
+    cancel: Option<CancelToken>,
+}
+
+impl QueryGuardBuilder {
+    /// Trips the guard `d` after `build()` is called.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline_budget = Some(d);
+        self
+    }
+
+    /// Caps the number of result rows produced by supervised statements.
+    pub fn max_output_rows(mut self, n: u64) -> Self {
+        self.output_budget = Some(n);
+        self
+    }
+
+    /// Caps the total rows materialized by operators.
+    pub fn max_intermediate_rows(mut self, n: u64) -> Self {
+        self.intermediate_budget = Some(n);
+        self
+    }
+
+    /// Attaches an externally held cancellation token.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Finishes the guard; the deadline clock starts now.
+    pub fn build(self) -> QueryGuard {
+        QueryGuard {
+            state: Some(Arc::new(GuardState {
+                deadline: self.deadline_budget.map(|d| Instant::now() + d),
+                deadline_budget: self.deadline_budget,
+                output_budget: self.output_budget,
+                intermediate_budget: self.intermediate_budget,
+                cancel: self.cancel.unwrap_or_default(),
+                output_rows: AtomicU64::new(0),
+                intermediate_rows: AtomicU64::new(0),
+                ticks: AtomicU64::new(0),
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let g = QueryGuard::unlimited();
+        assert!(!g.is_limited());
+        for _ in 0..10_000 {
+            g.charge_intermediate(1_000_000).unwrap();
+        }
+        g.charge_output(u64::MAX / 2).unwrap();
+        g.check_now().unwrap();
+    }
+
+    #[test]
+    fn intermediate_budget_trips_at_limit() {
+        let g = QueryGuard::builder().max_intermediate_rows(10).build();
+        g.charge_intermediate(10).unwrap();
+        let err = g.charge_intermediate(1).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::ResourceExhausted { resource: ResourceKind::IntermediateRows, limit: 10 }
+        );
+    }
+
+    #[test]
+    fn output_budget_trips_at_limit() {
+        let g = QueryGuard::builder().max_output_rows(3).build();
+        g.charge_output(3).unwrap();
+        let err = g.charge_output(1).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::ResourceExhausted { resource: ResourceKind::OutputRows, limit: 3 }
+        );
+    }
+
+    #[test]
+    fn cancellation_trips_every_check() {
+        let token = CancelToken::new();
+        let g = QueryGuard::builder().cancel_token(token.clone()).build();
+        g.check().unwrap();
+        token.cancel();
+        assert_eq!(g.check(), Err(ExecError::Cancelled));
+        assert_eq!(g.check_now(), Err(ExecError::Cancelled));
+        assert_eq!(g.charge_intermediate(1), Err(ExecError::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_trips_check_now() {
+        let g = QueryGuard::builder().deadline(Duration::ZERO).build();
+        // Instant::now() >= deadline immediately.
+        let err = g.check_now().unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::ResourceExhausted { resource: ResourceKind::Deadline, .. }
+        ));
+        // the strided check also sees it on its first tick
+        let g2 = QueryGuard::builder().deadline(Duration::ZERO).build();
+        assert!(g2.check().is_err());
+    }
+
+    #[test]
+    fn clones_share_budgets_fresh_attempt_resets_them() {
+        let g = QueryGuard::builder().max_intermediate_rows(10).build();
+        let g2 = g.clone();
+        g.charge_intermediate(6).unwrap();
+        assert!(g2.charge_intermediate(6).is_err(), "clone draws the same budget");
+        let fresh = g.fresh_attempt();
+        fresh.charge_intermediate(6).unwrap();
+        assert_eq!(fresh.intermediate_rows(), 6);
+    }
+
+    #[test]
+    fn fresh_attempt_keeps_cancel_token() {
+        let token = CancelToken::new();
+        let g = QueryGuard::builder().cancel_token(token.clone()).build();
+        let fresh = g.fresh_attempt();
+        token.cancel();
+        assert_eq!(fresh.check_now(), Err(ExecError::Cancelled));
+    }
+}

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 //! # qp-exec
 //!
@@ -30,11 +31,17 @@ pub mod explain;
 pub mod error;
 pub mod expr;
 pub mod functions;
+pub mod guard;
 pub mod plan;
 pub mod planner;
 pub mod result;
 
 pub use engine::{Engine, ExecStats};
-pub use error::ExecError;
+pub use error::{ExecError, ResourceKind};
 pub use functions::{AggState, AggregateFunction, ScalarUdf};
+pub use guard::{CancelToken, QueryGuard, QueryGuardBuilder};
 pub use result::ResultSet;
+
+// Fault-injection sites live in qp-storage so every layer can share one
+// registry; re-exported here for the engine's tests and callers.
+pub use qp_storage::failpoint;

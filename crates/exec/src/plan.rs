@@ -10,9 +10,18 @@ use std::collections::HashMap;
 use qp_storage::{AttrId, Database, RelId, Row, RowId, Value};
 
 use crate::engine::ExecStats;
+use crate::error::ExecError;
 use crate::expr::PhysExpr;
 use crate::functions::AggregateFunction;
+use crate::guard::QueryGuard;
 use std::sync::Arc;
+
+/// Maps an armed failpoint at `site` onto [`ExecError::Fault`]. Compiles
+/// to nothing without the `failpoints` feature.
+#[inline]
+fn fail_point(site: &str) -> Result<(), ExecError> {
+    qp_storage::failpoint::check(site).map_err(ExecError::Fault)
+}
 
 /// One aggregate call inside an [`AggSpec`].
 pub struct AggCall {
@@ -101,118 +110,172 @@ pub enum Plan {
 
 impl Plan {
     /// Executes the plan to a materialized batch, accumulating statistics.
-    pub fn run(&self, db: &Database, stats: &mut ExecStats) -> Vec<Row> {
+    /// Every materialized row is charged against `guard`; the operator
+    /// loops poll cancellation per row, so a tripped guard stops even a
+    /// cross product mid-batch.
+    pub fn run(
+        &self,
+        db: &Database,
+        stats: &mut ExecStats,
+        guard: &QueryGuard,
+    ) -> Result<Vec<Row>, ExecError> {
         match self {
             Plan::Scan { rel, fetch_rowid, filter } => {
+                fail_point("exec.scan")?;
                 let table = db.table(*rel);
                 let mut out = Vec::new();
-                let emit = |rowid: u64, row: &Row, out: &mut Vec<Row>, stats: &mut ExecStats| {
+                let emit = |rowid: u64,
+                            row: &Row,
+                            out: &mut Vec<Row>,
+                            stats: &mut ExecStats|
+                 -> Result<(), ExecError> {
                     stats.rows_scanned += 1;
+                    guard.check()?;
                     let mut r = Vec::with_capacity(row.len() + 1);
                     r.push(Value::Int(rowid as i64));
                     r.extend(row.iter().cloned());
                     match filter {
                         Some(p) if !p.eval_bool(&r) => {}
-                        _ => out.push(r),
+                        _ => {
+                            charge(guard, stats, 1)?;
+                            out.push(r);
+                        }
                     }
+                    Ok(())
                 };
                 match fetch_rowid {
                     Some(id) => {
                         if let Some(row) = table.get(RowId(*id)) {
-                            emit(*id, row, &mut out, stats);
+                            emit(*id, row, &mut out, stats)?;
                         }
                     }
                     None => {
                         for (rid, row) in table.iter() {
-                            emit(rid.0, row, &mut out, stats);
+                            emit(rid.0, row, &mut out, stats)?;
                         }
                     }
                 }
-                out
+                Ok(out)
             }
-            Plan::Values => vec![vec![]],
+            Plan::Values => Ok(vec![vec![]]),
             Plan::Filter { input, predicate } => {
-                let rows = input.run(db, stats);
-                rows.into_iter().filter(|r| predicate.eval_bool(r)).collect()
+                let rows = input.run(db, stats, guard)?;
+                let mut out = Vec::with_capacity(rows.len());
+                for r in rows {
+                    guard.check()?;
+                    if predicate.eval_bool(&r) {
+                        charge(guard, stats, 1)?;
+                        out.push(r);
+                    }
+                }
+                Ok(out)
             }
             Plan::HashJoin { left, right, left_key, right_key } => {
-                let right_rows = right.run(db, stats);
+                fail_point("exec.hash_join.build")?;
+                let right_rows = right.run(db, stats, guard)?;
                 let mut table: HashMap<Value, Vec<usize>> = HashMap::new();
                 for (i, r) in right_rows.iter().enumerate() {
+                    guard.check()?;
                     let k = right_key.eval(r);
                     if !k.is_null() {
                         table.entry(k).or_default().push(i);
                     }
                 }
-                let left_rows = left.run(db, stats);
+                let left_rows = left.run(db, stats, guard)?;
                 let mut out = Vec::new();
                 for l in left_rows {
+                    guard.check()?;
                     let k = left_key.eval(&l);
                     if k.is_null() {
                         continue;
                     }
                     if let Some(matches) = table.get(&k) {
                         for &i in matches {
+                            charge(guard, stats, 1)?;
                             let mut row = l.clone();
                             row.extend(right_rows[i].iter().cloned());
                             out.push(row);
                         }
                     }
                 }
-                out
+                Ok(out)
             }
             Plan::IndexJoin { left, left_key, right_attr, residual } => {
+                fail_point("exec.index_join")?;
                 let index = db.index(*right_attr);
                 let table = db.table(right_attr.rel);
-                let left_rows = left.run(db, stats);
+                let left_rows = left.run(db, stats, guard)?;
                 let mut out = Vec::new();
                 for l in left_rows {
+                    guard.check()?;
                     let k = left_key.eval(&l);
                     if k.is_null() {
                         continue;
                     }
                     stats.index_probes += 1;
                     for rid in index.lookup(&k) {
-                        let right = table.get(*rid).expect("index points at live row");
+                        let right = table.get(*rid).ok_or_else(|| {
+                            ExecError::Internal(format!(
+                                "index of {right_attr:?} points at missing row {rid:?}"
+                            ))
+                        })?;
                         let mut row = Vec::with_capacity(l.len() + right.len() + 1);
                         row.extend(l.iter().cloned());
                         row.push(Value::Int(rid.0 as i64));
                         row.extend(right.iter().cloned());
                         match residual {
                             Some(p) if !p.eval_bool(&row) => {}
-                            _ => out.push(row),
+                            _ => {
+                                charge(guard, stats, 1)?;
+                                out.push(row);
+                            }
                         }
                     }
                 }
-                out
+                Ok(out)
             }
             Plan::NestedLoop { left, right, predicate } => {
-                let right_rows = right.run(db, stats);
-                let left_rows = left.run(db, stats);
+                fail_point("exec.nested_loop")?;
+                let right_rows = right.run(db, stats, guard)?;
+                let left_rows = left.run(db, stats, guard)?;
                 let mut out = Vec::new();
                 for l in &left_rows {
                     for r in &right_rows {
+                        // polled per pair: cancellation must stop the
+                        // cross product inside a single batch
+                        guard.check()?;
                         let mut row = Vec::with_capacity(l.len() + r.len());
                         row.extend(l.iter().cloned());
                         row.extend(r.iter().cloned());
                         match predicate {
                             Some(p) if !p.eval_bool(&row) => {}
-                            _ => out.push(row),
+                            _ => {
+                                charge(guard, stats, 1)?;
+                                out.push(row);
+                            }
                         }
                     }
                 }
-                out
+                Ok(out)
             }
             Plan::UnionAll { inputs } => {
                 let mut out = Vec::new();
                 for p in inputs {
-                    out.extend(p.run(db, stats));
+                    out.extend(p.run(db, stats, guard)?);
                 }
-                out
+                Ok(out)
             }
-            Plan::Derived { query } => crate::engine::run_compiled(db, query, stats),
+            Plan::Derived { query } => crate::engine::run_compiled(db, query, stats, guard),
         }
     }
+}
+
+/// Charges one operator-output row against the guard and mirrors the
+/// count into the stats record.
+#[inline]
+fn charge(guard: &QueryGuard, stats: &mut ExecStats, n: u64) -> Result<(), ExecError> {
+    stats.rows_intermediate += n;
+    guard.charge_intermediate(n)
 }
 
 /// Grouping/aggregation spec applied to a plan's output.

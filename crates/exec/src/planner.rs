@@ -22,6 +22,7 @@ use crate::engine::{run_compiled, ExecStats};
 use crate::error::ExecError;
 use crate::expr::PhysExpr;
 use crate::functions::FunctionRegistry;
+use crate::guard::QueryGuard;
 use crate::plan::{AggCall, AggSpec, Plan};
 
 /// A fully compiled query, ready to execute against the database it was
@@ -185,12 +186,20 @@ pub struct Planner<'a> {
     db: &'a Database,
     registry: &'a FunctionRegistry,
     stats: ExecStats,
+    guard: QueryGuard,
 }
 
 impl<'a> Planner<'a> {
     /// Creates a planner.
     pub fn new(db: &'a Database, registry: &'a FunctionRegistry) -> Self {
-        Planner { db, registry, stats: ExecStats::default() }
+        Planner { db, registry, stats: ExecStats::default(), guard: QueryGuard::unlimited() }
+    }
+
+    /// Attaches a [`QueryGuard`] so plan-time work (materializing
+    /// uncorrelated `IN` sub-queries) is bounded too.
+    pub fn with_guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = guard;
+        self
     }
 
     /// Statistics accumulated during planning (sub-query executions).
@@ -275,7 +284,11 @@ impl<'a> Planner<'a> {
             collect_binding_refs(c, &scope, &mut refs)?;
             match refs.len() {
                 0 => residual.push(c),
-                1 => pushed[*refs.iter().next().unwrap()].push(c),
+                1 => {
+                    if let Some(&b) = refs.iter().next() {
+                        pushed[b].push(c);
+                    }
+                }
                 2 => {
                     if let Expr::Binary { left, op: BinaryOp::Eq, right } = c {
                         let lb = single_binding_of(left, &scope)?;
@@ -383,7 +396,9 @@ impl<'a> Planner<'a> {
                         }
                     }
                     SelectItem::Expr { .. } => {
-                        let e = item_iter.next().unwrap();
+                        let e = item_iter.next().ok_or_else(|| {
+                            ExecError::Internal("projection item list desynchronized".into())
+                        })?;
                         project.push(self.compile_expr(e, &scope, None)?);
                     }
                 }
@@ -420,8 +435,8 @@ impl<'a> Planner<'a> {
         }
 
         let start = (0..n)
-            .min_by(|&a, &b| estimates[a].partial_cmp(&estimates[b]).unwrap())
-            .expect("non-empty FROM");
+            .min_by(|&a, &b| estimates[a].total_cmp(&estimates[b]))
+            .ok_or_else(|| ExecError::Internal("join ordering over empty FROM".into()))?;
 
         let mut joined: Vec<usize> = vec![start];
         let mut used_edges: HashSet<usize> = HashSet::new();
@@ -479,11 +494,14 @@ impl<'a> Planner<'a> {
                         }
                     }
 
-                    let is_base = scope.bindings[new_b].rel.is_some();
-                    if is_base {
+                    // Index joins need a base relation *and* a bare column
+                    // on the inner side; anything else (derived tables,
+                    // computed join keys like `M.x = N.y + 1`) hash-joins.
+                    let base_col = scope.bindings[new_b]
+                        .rel
+                        .and_then(|rel| column_of(inner_expr).map(|col| (rel, col)));
+                    if let Some((rel, col)) = base_col {
                         // index nested-loop join on the inner column
-                        let rel = scope.bindings[new_b].rel.unwrap();
-                        let col = column_of(inner_expr).expect("join edge side is a column");
                         let attr_idx = self
                             .db
                             .catalog()
@@ -513,16 +531,17 @@ impl<'a> Planner<'a> {
                             residual: residual_pred,
                         };
                     } else {
-                        // hash join against the derived table
+                        // hash join against the inner source
                         let inner_plan =
                             self.source_plan(scope, new_b, &mut derived_plans, &pushed[new_b])?;
-                        // inner key compiled against the derived table's own
-                        // local layout
+                        // inner key compiled against the source's own
+                        // local layout (keeping `rel` so base-relation
+                        // bindings resolve past their hidden rowid slot)
                         let local_scope = Scope {
                             bindings: vec![Binding {
                                 name: scope.bindings[new_b].name.clone(),
                                 columns: scope.bindings[new_b].columns.clone(),
-                                rel: None,
+                                rel: scope.bindings[new_b].rel,
                                 width: scope.bindings[new_b].width,
                                 offset: 0,
                             }],
@@ -556,8 +575,10 @@ impl<'a> Planner<'a> {
                     // remaining source
                     let new_b = (0..n)
                         .filter(|i| !joined.contains(i))
-                        .min_by(|&a, &b| estimates[a].partial_cmp(&estimates[b]).unwrap())
-                        .unwrap();
+                        .min_by(|&a, &b| estimates[a].total_cmp(&estimates[b]))
+                        .ok_or_else(|| {
+                            ExecError::Internal("cross-join candidate set empty".into())
+                        })?;
                     let inner_plan =
                         self.source_plan(scope, new_b, &mut derived_plans, &pushed[new_b])?;
                     joined.push(new_b);
@@ -626,7 +647,9 @@ impl<'a> Planner<'a> {
                 Ok(Plan::Scan { rel, fetch_rowid, filter })
             }
             None => {
-                let plan = derived_plans[idx].take().expect("derived plan consumed once");
+                let plan = derived_plans[idx].take().ok_or_else(|| {
+                    ExecError::Internal("derived plan consumed twice".into())
+                })?;
                 match PhysExprList::compile_all(self, pushed, &local_scope, None)? {
                     Some(p) => Ok(Plan::Filter { input: Box::new(plan), predicate: p }),
                     None => Ok(plan),
@@ -739,7 +762,7 @@ impl<'a> Planner<'a> {
                     return Err(ExecError::SubqueryArity(compiled.columns.len()));
                 }
                 self.stats.subqueries += 1;
-                let rows = run_compiled(self.db, &compiled, &mut self.stats);
+                let rows = run_compiled(self.db, &compiled, &mut self.stats, &self.guard)?;
                 let mut set = HashSet::with_capacity(rows.len());
                 let mut has_null = false;
                 for mut r in rows {

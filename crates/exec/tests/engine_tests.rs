@@ -510,8 +510,8 @@ fn prepared_queries_reusable() {
     let q = qp_sql::parse_query("select title from MOVIE where year < 1980").unwrap();
     let prepared = e.prepare(&db, &q).unwrap();
     let mut stats = qp_exec::ExecStats::default();
-    let r1 = e.execute_prepared(&db, &prepared, &mut stats);
-    let r2 = e.execute_prepared(&db, &prepared, &mut stats);
+    let r1 = e.execute_prepared(&db, &prepared, &mut stats).unwrap();
+    let r2 = e.execute_prepared(&db, &prepared, &mut stats).unwrap();
     assert_eq!(r1, r2);
     assert_eq!(r1.len(), 3);
 }

@@ -1,0 +1,97 @@
+//! Property tests for [`qp_exec::QueryGuard`]: a budgeted execution
+//! either produces exactly the unbudgeted result, or fails with the
+//! matching `ResourceExhausted` error — never a different answer.
+
+use proptest::prelude::*;
+use qp_exec::{Engine, ExecError, ExecStats, QueryGuard, ResourceKind};
+use qp_sql::parse_query;
+use qp_storage::{Attribute, DataType, Database, Row, Value};
+
+fn build_db(rows: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    db.create_relation(
+        "T",
+        vec![Attribute::new("a", DataType::Int), Attribute::new("b", DataType::Int)],
+        &[],
+    )
+    .unwrap();
+    for (a, b) in rows {
+        db.insert_by_name("T", vec![Value::Int(*a), Value::Int(*b)]).unwrap();
+    }
+    db
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((0i64..50, 0i64..8), 0..40)
+}
+
+/// Queries whose work scales differently: scan, filtered scan, join,
+/// aggregation — exercising all charge sites.
+fn arb_sql() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("select a, b from T"),
+        Just("select a from T where b < 4"),
+        Just("select A.a, B.b from T A, T B where A.b = B.b"),
+        Just("select b, count(*) from T group by b"),
+        Just("select a from T order by a desc"),
+    ]
+}
+
+fn run(db: &Database, sql: &str, guard: &QueryGuard) -> Result<(Vec<Row>, ExecStats), ExecError> {
+    let engine = Engine::new();
+    let query = parse_query(sql).unwrap();
+    engine.execute_with_guard(db, &query, guard).map(|(rs, stats)| (rs.rows, stats))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn budgeted_run_is_exact_or_typed_trip(
+        rows in arb_rows(),
+        sql in arb_sql(),
+        out_budget in 0u64..80,
+        inter_budget in 1u64..400,
+    ) {
+        let db = build_db(&rows);
+        let (full, full_stats) = run(&db, sql, &QueryGuard::unlimited()).unwrap();
+        let guard = QueryGuard::builder()
+            .max_output_rows(out_budget)
+            .max_intermediate_rows(inter_budget)
+            .build();
+        match run(&db, sql, &guard) {
+            Ok((rows, stats)) => {
+                // fits in budget: identical rows, identical work
+                prop_assert_eq!(&rows, &full);
+                prop_assert!(rows.len() as u64 <= out_budget);
+                prop_assert_eq!(stats.rows_intermediate, full_stats.rows_intermediate);
+                prop_assert!(stats.rows_intermediate <= inter_budget);
+            }
+            Err(ExecError::ResourceExhausted { resource: ResourceKind::OutputRows, limit }) => {
+                prop_assert_eq!(limit, out_budget);
+                prop_assert!(full.len() as u64 > out_budget,
+                    "tripped output budget but the full result has only {} rows", full.len());
+            }
+            Err(ExecError::ResourceExhausted {
+                resource: ResourceKind::IntermediateRows,
+                limit,
+            }) => {
+                prop_assert_eq!(limit, inter_budget);
+                prop_assert!(full_stats.rows_intermediate > inter_budget,
+                    "tripped intermediate budget but the full run materialized only {} rows",
+                    full_stats.rows_intermediate);
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_guard_is_identity(rows in arb_rows(), sql in arb_sql()) {
+        let db = build_db(&rows);
+        let engine = Engine::new();
+        let query = parse_query(sql).unwrap();
+        let plain = engine.execute(&db, &query).unwrap();
+        let (guarded, _) = engine.execute_with_guard(&db, &query, &QueryGuard::unlimited()).unwrap();
+        prop_assert_eq!(plain.rows, guarded.rows);
+    }
+}

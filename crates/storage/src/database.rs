@@ -68,6 +68,7 @@ impl Database {
     /// Inserts a validated row. Invalidates histograms and indexes on the
     /// relation's attributes.
     pub fn insert(&mut self, rel: RelId, row: Row) -> Result<RowId, StorageError> {
+        crate::failpoint::check("storage.insert").map_err(StorageError::Injected)?;
         let relation = self.catalog.relation(rel);
         let id = self.tables[rel.0 as usize].insert(relation, row)?;
         self.invalidate_stats(rel);

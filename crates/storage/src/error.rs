@@ -43,6 +43,9 @@ pub enum StorageError {
     },
     /// A foreign-key endpoint is invalid.
     InvalidForeignKey(String),
+    /// An injected fault fired at a [`crate::failpoint`] site (only under
+    /// the `failpoints` feature).
+    Injected(String),
 }
 
 impl fmt::Display for StorageError {
@@ -68,6 +71,7 @@ impl fmt::Display for StorageError {
             StorageError::InvalidForeignKey(detail) => {
                 write!(f, "invalid foreign key: {detail}")
             }
+            StorageError::Injected(msg) => write!(f, "injected fault: {msg}"),
         }
     }
 }

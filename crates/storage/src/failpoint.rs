@@ -1,0 +1,243 @@
+//! Failpoint-style fault injection, modeled on the `fail` crate but
+//! implemented locally so the workspace stays dependency-free.
+//!
+//! A *failpoint* is a named site in the code (`failpoint::check("site")`)
+//! that normally does nothing. Tests compiled with the `failpoints`
+//! feature can *arm* a site with a [`FailAction`] — return an injected
+//! error, sleep, or fire only after N passes — to exercise the error and
+//! degradation paths deterministically. Without the feature every entry
+//! point compiles to a no-op, so production builds pay nothing.
+//!
+//! Sites are process-global. Tests that arm failpoints must serialize
+//! through [`FailScenario::setup`], which takes a global lock and clears
+//! the registry on setup and drop, so parallel tests cannot observe each
+//! other's injected faults.
+//!
+//! Named sites in this workspace:
+//!
+//! | site                  | location                                   |
+//! |-----------------------|--------------------------------------------|
+//! | `storage.insert`      | `Database::insert` (before the table write) |
+//! | `exec.scan`           | `Plan::Scan` (before iterating the table)   |
+//! | `exec.hash_join.build`| `Plan::HashJoin` (before building the hash) |
+//! | `exec.index_join`     | `Plan::IndexJoin` (before probing)          |
+//! | `exec.nested_loop`    | `Plan::NestedLoop` (before the cross loop)  |
+//! | `ppa.presence`        | before each PPA presence query              |
+//! | `ppa.absence`         | before each PPA absence query               |
+//! | `ppa.step3`           | before PPA's residual-tuple enumeration     |
+//! | `spa.execute`         | before executing the SPA statement          |
+
+/// What an armed failpoint does when its site is passed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailAction {
+    /// Fail with this message (mapped to a typed error at the site).
+    Error(String),
+    /// Sleep for this many milliseconds, then continue.
+    Delay(u64),
+    /// Pass `skip` times, then fail with the message on every later pass.
+    ErrorAfter {
+        /// Number of passes that succeed before the fault fires.
+        skip: u64,
+        /// Injected failure message.
+        message: String,
+    },
+}
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use super::FailAction;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    struct Armed {
+        action: FailAction,
+        passes: u64,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, Armed>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Armed>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// Fast path: skip the registry lock entirely while nothing is armed.
+    static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+    fn scenario_lock() -> &'static Mutex<()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+    }
+
+    /// See [`super::check`].
+    pub fn check(site: &str) -> Result<(), String> {
+        if !ANY_ARMED.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let action = {
+            let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+            match reg.get_mut(site) {
+                None => return Ok(()),
+                Some(armed) => {
+                    armed.passes += 1;
+                    match &armed.action {
+                        FailAction::ErrorAfter { skip, message } => {
+                            if armed.passes <= *skip {
+                                return Ok(());
+                            }
+                            FailAction::Error(message.clone())
+                        }
+                        other => other.clone(),
+                    }
+                }
+            }
+        };
+        match action {
+            FailAction::Error(msg) => Err(msg),
+            FailAction::Delay(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
+            }
+            FailAction::ErrorAfter { .. } => unreachable!("rewritten above"),
+        }
+    }
+
+    /// See [`super::arm`].
+    pub fn arm(site: &str, action: FailAction) {
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        reg.insert(site.to_string(), Armed { action, passes: 0 });
+        ANY_ARMED.store(true, Ordering::Release);
+    }
+
+    /// See [`super::disarm`].
+    pub fn disarm(site: &str) {
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        reg.remove(site);
+        if reg.is_empty() {
+            ANY_ARMED.store(false, Ordering::Release);
+        }
+    }
+
+    /// See [`super::clear`].
+    pub fn clear() {
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        reg.clear();
+        ANY_ARMED.store(false, Ordering::Release);
+    }
+
+    /// See [`super::FailScenario`].
+    pub struct FailScenario {
+        _guard: MutexGuard<'static, ()>,
+    }
+
+    impl FailScenario {
+        /// See [`super::FailScenario::setup`].
+        pub fn setup() -> Self {
+            let guard = scenario_lock().lock().unwrap_or_else(|e| e.into_inner());
+            clear();
+            FailScenario { _guard: guard }
+        }
+    }
+
+    impl Drop for FailScenario {
+        fn drop(&mut self) {
+            clear();
+        }
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+mod imp {
+    use super::FailAction;
+
+    /// No-op without the `failpoints` feature.
+    #[inline(always)]
+    pub fn check(_site: &str) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// No-op without the `failpoints` feature.
+    pub fn arm(_site: &str, _action: FailAction) {}
+
+    /// No-op without the `failpoints` feature.
+    pub fn disarm(_site: &str) {}
+
+    /// No-op without the `failpoints` feature.
+    pub fn clear() {}
+
+    /// Without the `failpoints` feature the scenario guard does nothing
+    /// (there is no registry to isolate).
+    pub struct FailScenario;
+
+    impl FailScenario {
+        /// No-op without the `failpoints` feature.
+        pub fn setup() -> Self {
+            FailScenario
+        }
+    }
+}
+
+pub use imp::FailScenario;
+
+/// Passes the named site: `Err(message)` if an error action is armed
+/// there, otherwise (possibly after an injected delay) `Ok`. Call sites
+/// map the message onto their layer's typed error.
+#[inline]
+pub fn check(site: &str) -> Result<(), String> {
+    imp::check(site)
+}
+
+/// Arms `site` with `action`. Only meaningful under the `failpoints`
+/// feature; a no-op otherwise.
+pub fn arm(site: &str, action: FailAction) {
+    imp::arm(site, action)
+}
+
+/// Disarms `site`.
+pub fn disarm(site: &str) {
+    imp::disarm(site)
+}
+
+/// Disarms every site.
+pub fn clear() {
+    imp::clear()
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_site_passes() {
+        let _s = FailScenario::setup();
+        assert_eq!(check("nowhere"), Ok(()));
+    }
+
+    #[test]
+    fn armed_error_fires_and_disarms() {
+        let _s = FailScenario::setup();
+        arm("t.site", FailAction::Error("boom".into()));
+        assert_eq!(check("t.site"), Err("boom".to_string()));
+        disarm("t.site");
+        assert_eq!(check("t.site"), Ok(()));
+    }
+
+    #[test]
+    fn error_after_skips_then_fires() {
+        let _s = FailScenario::setup();
+        arm("t.after", FailAction::ErrorAfter { skip: 2, message: "late".into() });
+        assert_eq!(check("t.after"), Ok(()));
+        assert_eq!(check("t.after"), Ok(()));
+        assert_eq!(check("t.after"), Err("late".to_string()));
+        assert_eq!(check("t.after"), Err("late".to_string()));
+    }
+
+    #[test]
+    fn scenario_clears_on_drop() {
+        {
+            let _s = FailScenario::setup();
+            arm("t.drop", FailAction::Error("x".into()));
+        }
+        let _s = FailScenario::setup();
+        assert_eq!(check("t.drop"), Ok(()));
+    }
+}

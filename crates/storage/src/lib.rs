@@ -20,6 +20,7 @@
 pub mod database;
 pub mod dump;
 pub mod error;
+pub mod failpoint;
 pub mod histogram;
 pub mod index;
 pub mod schema;

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full verification gate. Run from the repo root before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test (workspace)"
+cargo test -q --workspace
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test (failpoints feature)"
+cargo test -q -p qp-exec -p qp-core --features failpoints
+
+echo "ok: all checks passed"

@@ -19,6 +19,7 @@ fn options(k: usize, l: usize, algorithm: AnswerAlgorithm) -> PersonalizationOpt
         ranking: Ranking::new(RankingKind::Inflationary, MixedKind::CountWeighted),
         algorithm,
         selection: SelectionAlgorithm::FakeCrit,
+        fallback_to_original: false,
     }
 }
 

@@ -1,0 +1,830 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored shim implements the subset of the `proptest` API the
+//! workspace's property tests use: the [`Strategy`] trait with
+//! `prop_map` / `prop_filter` / `prop_filter_map` / `prop_recursive`,
+//! range and tuple and `&'static str` (mini-regex) strategies,
+//! [`collection::vec`], [`option::of`] / [`option::weighted`],
+//! [`any`], [`Just`], `prop_oneof!`, and the `proptest!` test-runner
+//! macro with `prop_assert*` assertions.
+//!
+//! Differences from upstream, deliberately accepted for an offline test
+//! dependency: no shrinking (failures report the raw inputs), a fixed
+//! deterministic seed derived from the test name (runs are exactly
+//! reproducible), and a simplified regex dialect for string strategies
+//! (character classes and `{m,n}` repetition, which is all the
+//! workspace's generators use).
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// Deterministic test RNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from a raw value.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x5DEE_CE66_D1CE_4E5B }
+    }
+
+    /// A generator seeded from a test name (stable across runs).
+    pub fn for_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self::from_seed(h)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy trait and object-safe erasure
+// ---------------------------------------------------------------------
+
+/// A generator of test values.
+pub trait Strategy: 'static {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values for which `f` returns true (bounded retries).
+    fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        Filter { inner: self, reason: reason.into(), f }
+    }
+
+    /// Filter and map in one step: `None` values are re-drawn.
+    fn prop_filter_map<U, F>(self, reason: impl Into<String>, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U> + 'static,
+    {
+        FilterMap { inner: self, reason: reason.into(), f }
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf case and
+    /// `recurse` wraps an inner strategy into the recursive cases.
+    /// `depth` bounds the nesting; the size hints are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            strat = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+trait ErasedStrategy<T> {
+    fn generate_erased(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> ErasedStrategy<S::Value> for S {
+    fn generate_erased(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn ErasedStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_erased(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + 'static,
+    U: 'static,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+const FILTER_RETRIES: usize = 10_000;
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool + 'static,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.reason);
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    reason: String,
+    f: F,
+}
+
+impl<S, U, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<U> + 'static,
+    U: 'static,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        for _ in 0..FILTER_RETRIES {
+            if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map exhausted retries: {}", self.reason);
+    }
+}
+
+/// A constant strategy.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among same-typed strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive strategies: ranges, any, strings, tuples
+// ---------------------------------------------------------------------
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + (rng.next_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_range_strategy_float!(f32, f64);
+
+/// Types with a canonical whole-domain strategy, for [`any`].
+pub trait Arbitrary: Sized + 'static {
+    /// Strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A strategy backed by a plain function.
+pub struct FnStrategy<T>(fn(&mut TestRng) -> T);
+
+impl<T: 'static> Strategy for FnStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// The canonical whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = FnStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                FnStrategy(|rng| rng.next_u64() as $t)
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = FnStrategy<bool>;
+    fn arbitrary() -> Self::Strategy {
+        FnStrategy(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = FnStrategy<f64>;
+    fn arbitrary() -> Self::Strategy {
+        // finite values only; magnitudes spread across a wide range
+        FnStrategy(|rng| {
+            let mag = (rng.next_f64() * 2.0 - 1.0) * 1.0e12;
+            mag * rng.next_f64()
+        })
+    }
+}
+
+// --- &'static str: a mini-regex string strategy -----------------------
+
+enum PatAtom {
+    Lit(char),
+    Class(Vec<char>),
+}
+
+fn parse_pattern(pat: &str) -> Vec<(PatAtom, usize, usize)> {
+    let mut chars = pat.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = if c == '[' {
+            let mut set = Vec::new();
+            let mut prev: Option<char> = None;
+            for c in chars.by_ref() {
+                if c == ']' {
+                    break;
+                }
+                if c == '-' {
+                    // a trailing '-' (or one with no successor yet) is
+                    // handled when the next char arrives or as a literal
+                    if prev.is_some() {
+                        prev = Some('\u{0}'); // marker: pending range
+                        continue;
+                    }
+                    set.push('-');
+                    continue;
+                }
+                if prev == Some('\u{0}') {
+                    // complete a range: last pushed char up to c
+                    let lo = *set.last().expect("range has a start");
+                    for x in (lo as u32 + 1)..=(c as u32) {
+                        if let Some(ch) = char::from_u32(x) {
+                            set.push(ch);
+                        }
+                    }
+                    prev = Some(c);
+                    continue;
+                }
+                set.push(c);
+                prev = Some(c);
+            }
+            if prev == Some('\u{0}') {
+                set.push('-'); // pattern ended "x-]": treat '-' literally
+            }
+            PatAtom::Class(set)
+        } else {
+            PatAtom::Lit(c)
+        };
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("repeat lower bound"),
+                    b.trim().parse().expect("repeat upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, lo, hi) in parse_pattern(self) {
+            let n = if lo == hi { lo } else { lo + rng.below(hi - lo + 1) };
+            for _ in 0..n {
+                match &atom {
+                    PatAtom::Lit(c) => out.push(*c),
+                    PatAtom::Class(set) => {
+                        assert!(!set.is_empty(), "empty character class in `{self}`");
+                        out.push(set[rng.below(set.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// --- tuples -----------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+// ---------------------------------------------------------------------
+// collection / option modules
+// ---------------------------------------------------------------------
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for `Vec`s of `elem` values with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                self.size.lo + rng.below(self.size.hi - self.size.lo + 1)
+            };
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// See [`of`] / [`weighted`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+        some_prob: f64,
+    }
+
+    /// `Some` with probability 0.75 (matching upstream's default).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        weighted(0.75, inner)
+    }
+
+    /// `Some` with probability `some_prob`.
+    pub fn weighted<S: Strategy>(some_prob: f64, inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner, some_prob }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_f64() < self.some_prob {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// `prop::…` paths used via the prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+// ---------------------------------------------------------------------
+// Runner config and macros
+// ---------------------------------------------------------------------
+
+/// Test-runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Defines `#[test]` functions that run their body over generated
+/// inputs. Supported syntax mirrors upstream:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0i64..10, v in prop::collection::vec(any::<bool>(), 0..4)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let __strategy = ( $( $strat, )+ );
+                let mut __rng = $crate::TestRng::for_name(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    let __inputs = $crate::Strategy::generate(&__strategy, &mut __rng);
+                    let __desc = format!("{:?}", __inputs);
+                    let __result: ::std::result::Result<(), ::std::string::String> = (|| {
+                        let ( $($arg,)+ ) = __inputs;
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(__msg) = __result {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}:\n{}\ninputs: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __cfg.cases,
+                            __msg,
+                            __desc
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among the listed strategies (all must generate the
+/// same type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `{:?}` != `{:?}`", __l, __r));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}", __l, __r, format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if __l == __r {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `{:?}` == `{:?}`", __l, __r));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if __l == __r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}", __l, __r, format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Everything the workspace's tests import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, Union,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = TestRng::for_name("ranges");
+        let s = (0i64..10, 0usize..=3, -1.0..=1.0f64);
+        for _ in 0..1000 {
+            let (a, b, c) = s.generate(&mut rng);
+            assert!((0..10).contains(&a));
+            assert!(b <= 3);
+            assert!((-1.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn string_pattern() {
+        let mut rng = TestRng::for_name("string");
+        for _ in 0..500 {
+            let s = "[a-c][a-z0-9_]{0,6}x".generate(&mut rng);
+            assert!(s.ends_with('x'));
+            let first = s.chars().next().unwrap();
+            assert!(('a'..='c').contains(&first), "{s}");
+            assert!(s.len() >= 2 && s.len() <= 8, "{s}");
+        }
+        // class with literal '-' at the end and spaces/quotes
+        for _ in 0..200 {
+            let s = "[a-zA-Z '._-]{0,10}".generate(&mut rng);
+            assert!(s.len() <= 10);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphabetic() || " '._-".contains(c)), "{s}");
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive() {
+        #[derive(Debug, Clone)]
+        enum T {
+            #[allow(dead_code)]
+            Leaf(i64),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 1,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0i64..5).prop_map(T::Leaf);
+        let strat = leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::for_name("recursive");
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 4);
+            saw_node |= matches!(t, T::Node(..));
+        }
+        assert!(saw_node);
+    }
+
+    proptest! {
+        #[test]
+        fn runner_smoke(v in prop::collection::vec(any::<u8>(), 0..8), flag in any::<bool>()) {
+            prop_assert!(v.len() < 8);
+            if flag {
+                prop_assert_eq!(v.len(), v.len());
+            } else {
+                prop_assert_ne!(v.len() + 1, v.len());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest `always_fails` failed")]
+    fn failure_reports_inputs() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0i64..10) {
+                prop_assert!(x < 0, "x = {}", x);
+            }
+        }
+        always_fails();
+    }
+}
