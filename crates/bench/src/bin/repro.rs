@@ -2,14 +2,19 @@
 //!
 //! ```text
 //! repro [--scale small|medium|large] [--runs N]
-//!       [--deadline-ms MS] [--max-rows N] <figure>
+//!       [--deadline-ms MS] [--max-rows N] [--trace-json PATH] <figure>
 //!   figure: fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
-//!           ablation guardrails all
+//!           ablation guardrails trace all
 //! ```
 //!
 //! `--deadline-ms` and `--max-rows` configure the `guardrails` figure: a
 //! PPA run under a [`qp_exec::QueryGuard`], showing the partial ranked
 //! answer and the degradation report a production deployment would see.
+//!
+//! `--trace-json PATH` configures the `trace` figure (and implies it if no
+//! figure was requested): a traced SPA + PPA run over a mixed profile whose
+//! span/event/metric records are written to PATH as JSON lines, with a
+//! phase breakdown printed as a table. See OBSERVABILITY.md.
 //!
 //! Absolute numbers differ from the paper (in-memory Rust engine vs 2005
 //! Oracle 9i on disk); the *shapes* are what EXPERIMENTS.md records:
@@ -32,6 +37,7 @@ fn main() {
     let mut runs = 3usize;
     let mut deadline_ms: Option<u64> = None;
     let mut max_rows: Option<u64> = None;
+    let mut trace_json: Option<String> = None;
     let mut figures: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -60,18 +66,27 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--trace-json" => {
+                trace_json = args.next();
+                if trace_json.is_none() {
+                    eprintln!("--trace-json expects an output path");
+                    std::process::exit(2);
+                }
+            }
             other => figures.push(other.to_string()),
         }
     }
     if figures.is_empty() {
-        figures.push("all".to_string());
+        // A bare `--trace-json out.jsonl` means "run the traced workload",
+        // not "regenerate every figure with tracing bolted on".
+        figures.push(if trace_json.is_some() { "trace" } else { "all" }.to_string());
     }
     let all = figures.iter().any(|f| f == "all");
     let want = |f: &str| all || figures.iter().any(|x| x == f);
 
     println!("scale: {scale:?} ({} movies), runs: {runs}", scale.imdb().movies);
 
-    if want("fig7") || want("fig8") || want("ablation") || want("guardrails") {
+    if want("fig7") || want("fig8") || want("ablation") || want("guardrails") || want("trace") {
         let db = bench_db(scale);
         if want("fig7") {
             fig7(&db, runs);
@@ -84,6 +99,9 @@ fn main() {
         }
         if want("guardrails") {
             guardrails(&db, deadline_ms, max_rows);
+        }
+        if want("trace") {
+            trace(&db, trace_json.as_deref());
         }
     }
     // The user-study simulations run at a fixed, smaller scale: the
@@ -390,6 +408,102 @@ fn guardrails(db: &Database, deadline_ms: Option<u64>, max_rows: Option<u64>) {
         &["guard", "|answer|", "first response", "degradation"],
         &rows,
     );
+}
+
+/// Traced workload: one SPA run and one PPA run of the same query over a
+/// mixed profile (positive presence + 1–n absence preferences, so every
+/// PPA phase — presence rounds, absence rounds, the residual parameterized
+/// probes — executes). Every span, event, and final metric value is
+/// captured; with `--trace-json` they are also written as JSON lines.
+/// OBSERVABILITY.md documents the record format.
+fn trace(db: &Database, path: Option<&str>) {
+    use qp_obs::{MemoryRecorder, MetricValue, Record, Tracer};
+    use std::io::Write as _;
+    use std::sync::Arc;
+
+    let spec = qp_datagen::ProfileSpec {
+        positive_presence: 12,
+        negative: 4,
+        complex: 0,
+        elastic: 0,
+        seed: 7,
+    };
+    let profile = qp_datagen::random_profile(db, &spec);
+    let query = parse_query("select title from MOVIE").expect("traced query parses");
+
+    let recorder = Arc::new(MemoryRecorder::new());
+    let tracer = Tracer::new(recorder.clone());
+    let mut p = Personalizer::new(db);
+    p.set_tracer(tracer.clone());
+
+    let k = 16;
+    p.personalize(&profile, &query, &efficiency_options(k, 2, AnswerAlgorithm::Spa))
+        .expect("traced SPA run personalizes");
+    p.personalize(&profile, &query, &efficiency_options(k, 2, AnswerAlgorithm::Ppa))
+        .expect("traced PPA run personalizes");
+
+    // Final metric values go at the end of the trace so the JSONL file is
+    // self-contained: spans tell the story, metrics give the totals.
+    tracer.record_metrics(&p.metrics());
+    let records = recorder.take();
+
+    if let Some(path) = path {
+        let f = std::fs::File::create(path)
+            .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        let mut out = std::io::BufWriter::new(f);
+        for r in &records {
+            writeln!(out, "{}", r.to_json_line()).expect("trace line writes");
+        }
+        out.flush().expect("trace file flushes");
+        println!("wrote {} trace records to {path}", records.len());
+    }
+
+    // Phase breakdown: spans aggregated by name, in first-seen order
+    // (children complete before their parents, so leaves list first).
+    let mut order: Vec<&str> = Vec::new();
+    let mut agg: std::collections::HashMap<&str, (u64, u64)> = std::collections::HashMap::new();
+    for r in &records {
+        if let Record::Span(s) = r {
+            let e = agg.entry(s.name.as_str()).or_insert_with(|| {
+                order.push(s.name.as_str());
+                (0, 0)
+            });
+            e.0 += 1;
+            e.1 += s.elapsed_us;
+        }
+    }
+    let rows: Vec<Vec<String>> = order
+        .iter()
+        .map(|name| {
+            let (count, us) = agg[name];
+            vec![name.to_string(), count.to_string(), format!("{:.3}", us as f64 / 1000.0)]
+        })
+        .collect();
+    print_table(
+        "Trace — phase breakdown (spans aggregated by name, SPA + PPA run)",
+        &["span", "count", "total ms"],
+        &rows,
+    );
+
+    let mut rows: Vec<Vec<String>> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Metric(m) => Some(vec![
+                m.name.clone(),
+                match &m.value {
+                    MetricValue::Counter(n) => n.to_string(),
+                    MetricValue::Gauge(n) => n.to_string(),
+                    MetricValue::Histogram { count, sum_us, .. } => {
+                        let mean = if *count == 0 { 0.0 } else { *sum_us as f64 / *count as f64 };
+                        format!("count={count} mean={mean:.0}us")
+                    }
+                },
+            ]),
+            _ => None,
+        })
+        .collect();
+    rows.sort();
+    print_table("Trace — final metric values", &["metric", "value"], &rows);
 }
 
 /// Personalization options for the user study: "we chose K to be the

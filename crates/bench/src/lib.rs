@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Shared fixtures for the benchmark harness and the figure-reproduction
 //! binary (`repro`).
 

@@ -155,6 +155,10 @@ pub fn ppa_guarded(
     guard: &QueryGuard,
 ) -> Result<(PersonalizedAnswer, PpaStats, Degradation), PrefError> {
     let started = Instant::now();
+    let tracer = engine.tracer().clone();
+    let mut run_span = tracer.span("ppa.run");
+    run_span.attr("k", selected.len());
+    run_span.attr("l", l);
     let selects = initial.selects();
     if selects.len() != 1 {
         return Err(PrefError::UnsupportedQuery("initial query must be a single SELECT".into()));
@@ -172,6 +176,10 @@ pub fn ppa_guarded(
         )));
     }
     let catalog = db.catalog();
+    // Subquery generation: classification, selectivity-based ordering,
+    // and preparation of the S/A queries plus their parameterized
+    // (rebindable) versions — everything before the first phase runs.
+    let mut prepare_span = tracer.span("ppa.prepare");
     let infos = classify(db, engine, profile, selected);
 
     // order presence queries by increasing satisfaction selectivity,
@@ -254,6 +262,9 @@ pub fn ppa_guarded(
     for a in &a_queries {
         a_prepared.push(prepare_bound(engine, a)?);
     }
+    prepare_span.attr("presence_queries", s_order.len());
+    prepare_span.attr("absence_queries", a_order.len());
+    prepare_span.finish();
     let mut estats = ExecStats::default();
 
     let mut stats = PpaStats::default();
@@ -349,6 +360,9 @@ pub fn ppa_guarded(
         if (s_order.len() - si) + a_order.len() < l {
             break;
         }
+        let mut round_span = tracer.span("ppa.presence");
+        round_span.attr("round", si);
+        round_span.attr("pref", pref_i);
         if let Err(e) = guard.check_now().and_then(|()| fail_point("ppa.presence")) {
             cut = Some((PpaPhase::Presence(si), DegradeCause::from_exec(&e)));
             break 'presence;
@@ -441,6 +455,8 @@ pub fn ppa_guarded(
             cut = Some((PpaPhase::Presence(si), DegradeCause::from_exec(&e)));
             break 'presence;
         }
+        round_span.attr("emitted_total", emitted.len());
+        round_span.attr("buffered", buffered.len());
         if limit.is_some_and(|n| emitted.len() >= n) {
             limit_hit = true;
             break 'presence;
@@ -454,6 +470,9 @@ pub fn ppa_guarded(
     let mut nids: HashSet<u64> = HashSet::new();
     if a_order.len() >= l && cut.is_none() && !limit_hit {
         'absence: for (ai, &pref_i) in a_order.iter().enumerate() {
+            let mut round_span = tracer.span("ppa.absence");
+            round_span.attr("round", ai);
+            round_span.attr("pref", pref_i);
             if let Err(e) = guard.check_now().and_then(|()| fail_point("ppa.absence")) {
                 cut = Some((PpaPhase::Absence(ai), DegradeCause::from_exec(&e)));
                 break 'absence;
@@ -526,6 +545,8 @@ pub fn ppa_guarded(
                 cut = Some((PpaPhase::Absence(ai), DegradeCause::from_exec(&e)));
                 break 'absence;
             }
+            round_span.attr("emitted_total", emitted.len());
+            round_span.attr("buffered", buffered.len());
             if limit.is_some_and(|n| emitted.len() >= n) {
                 limit_hit = true;
                 break 'absence;
@@ -536,6 +557,7 @@ pub fn ppa_guarded(
         // every absence preference (the full tuple-id set is materialized
         // only here, where it is genuinely needed) ----------------------
         if cut.is_none() && !limit_hit {
+            let _residual_span = tracer.span("ppa.residual");
             'residual: {
                 if let Err(e) = guard.check_now().and_then(|()| fail_point("ppa.step3")) {
                     cut = Some((PpaPhase::Residual, DegradeCause::from_exec(&e)));
@@ -606,6 +628,14 @@ pub fn ppa_guarded(
 
     let mut degradation = Degradation::default();
     if let Some((phase, cause)) = cut {
+        tracer.event(
+            "ppa.cut",
+            &[
+                ("phase", format!("{phase:?}").into()),
+                ("cause", format!("{cause:?}").into()),
+                ("buffered_discarded", buffered.len().into()),
+            ],
+        );
         degradation.push(DegradeEvent::PpaCutoff {
             phase,
             cause,
@@ -617,6 +647,26 @@ pub fn ppa_guarded(
 
     stats.first_response = first_response;
     stats.total = started.elapsed();
+
+    run_span.attr("emitted", emitted.len());
+    run_span.attr("presence_queries", stats.presence_queries);
+    run_span.attr("absence_queries", stats.absence_queries);
+    run_span.attr("parameterized_queries", stats.parameterized_queries);
+    run_span.attr("degraded", !degradation.is_complete());
+    let metrics = engine.metrics();
+    metrics.counter("ppa.runs").inc();
+    metrics.counter("ppa.presence_queries").add(stats.presence_queries as u64);
+    metrics.counter("ppa.absence_queries").add(stats.absence_queries as u64);
+    metrics.counter("ppa.parameterized_queries").add(stats.parameterized_queries as u64);
+    metrics.counter("ppa.emitted").add(emitted.len() as u64);
+    // Registered unconditionally so a complete run reports `ppa.cuts = 0`
+    // rather than omitting the counter from snapshots.
+    metrics.counter("ppa.cuts").add(u64::from(!degradation.is_complete()));
+    metrics.histogram("ppa.total_us").observe(stats.total);
+    if let Some(fr) = first_response {
+        metrics.histogram("ppa.first_response_us").observe(fr);
+    }
+
     Ok((PersonalizedAnswer { columns, tuples: emitted }, stats, degradation))
 }
 

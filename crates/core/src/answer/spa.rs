@@ -58,11 +58,27 @@ pub fn spa_guarded(
     ranking: &Ranking,
     guard: &QueryGuard,
 ) -> Result<PersonalizedAnswer, PrefError> {
+    let started = std::time::Instant::now();
+    let tracer = engine.tracer().clone();
+    let mut run_span = tracer.span("spa.run");
+    run_span.attr("k", selected.len());
+    run_span.attr("l", l);
+    // Rewriting: classification plus assembly of the single UNION ALL /
+    // HAVING / ranking-UDF statement.
+    let build_span = tracer.span("spa.build");
     let query = build_spa_query(db, engine, initial, profile, selected, l)?;
     register_rank_udf(engine, ranking.kind);
+    build_span.finish();
     qp_storage::failpoint::check("spa.execute")
         .map_err(|msg| PrefError::from(ExecError::Fault(msg)))?;
+    let exec_span = tracer.span("spa.execute");
     let (rs, _stats) = engine.execute_with_guard(db, &query, guard)?;
+    exec_span.finish();
+    let metrics = engine.metrics();
+    metrics.counter("spa.runs").inc();
+    metrics.counter("spa.answer_tuples").add(rs.rows.len() as u64);
+    metrics.histogram("spa.total_us").observe(started.elapsed());
+    run_span.attr("rows", rs.rows.len());
     let ncols = rs.columns.len() - 1; // last column is the score
     let tuples = rs
         .rows

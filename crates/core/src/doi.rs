@@ -135,7 +135,7 @@ impl Doi {
     }
 
     /// A simple positive presence preference `(d, 0)` — the only type the
-    /// earlier model [16] captured.
+    /// earlier model \[16\] captured.
     pub fn presence(d: f64) -> Result<Self, PrefError> {
         Doi::new(d, 0.0)
     }

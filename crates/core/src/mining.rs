@@ -2,7 +2,7 @@
 //!
 //! The conclusions list "how various profiling methods proposed in the
 //! literature may be adapted for (semi-)automatic construction of user
-//! profiles" as ongoing work (citing preference mining, [10]). This
+//! profiles" as ongoing work (citing preference mining, \[10\]). This
 //! module implements a frequency-lift miner over tuple-level feedback:
 //!
 //! 1. candidate attributes are discovered by walking the schema graph

@@ -8,7 +8,10 @@
 
 use std::time::{Duration, Instant};
 
+use std::sync::Arc;
+
 use qp_exec::{Engine, QueryGuard};
+use qp_obs::{MetricsRegistry, Tracer};
 use qp_sql::{parse_query, Query};
 use qp_storage::Database;
 
@@ -131,9 +134,38 @@ impl<'db> Personalizer<'db> {
         &self.engine
     }
 
+    /// Installs a tracer; every phase of subsequent personalization runs
+    /// (selection, SPA/PPA, engine-level query execution) emits spans and
+    /// events to its [`qp_obs::Recorder`]. The default is a disabled
+    /// tracer, which costs one branch per would-be span.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.engine.set_tracer(tracer);
+    }
+
+    /// The tracer spans are reported to (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        self.engine.tracer()
+    }
+
+    /// The metrics registry accumulating counters and latency histograms
+    /// across every run through this personalizer (shared with the
+    /// underlying engine).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        self.engine.metrics().clone()
+    }
+
     /// The database.
     pub fn db(&self) -> &'db Database {
         self.db
+    }
+
+    /// `EXPLAIN ANALYZE` for an arbitrary query against the personalizer's
+    /// database: executes it with per-operator profiling and renders the
+    /// annotated plan (rows, elapsed time, observed vs. estimated
+    /// selectivity). Useful for inspecting how a personalized rewriting
+    /// actually ran.
+    pub fn explain_analyze(&self, query: &Query) -> Result<String, PrefError> {
+        Ok(self.engine.explain_analyze(self.db, query)?)
     }
 
     /// Personalizes a SQL string.
@@ -154,15 +186,40 @@ impl<'db> Personalizer<'db> {
         query: &Query,
         options: &PersonalizationOptions,
     ) -> Result<Vec<SelectedPreference>, PrefError> {
+        let started = Instant::now();
+        let tracer = self.engine.tracer().clone();
+        let mut span = tracer.span("selection");
+        let algorithm = match options.selection {
+            SelectionAlgorithm::FakeCrit => "fakecrit",
+            SelectionAlgorithm::Sps => "sps",
+            SelectionAlgorithm::DoiBased { .. } => "doi_based",
+        };
+        span.attr("algorithm", algorithm);
+
+        let mut graph_span = tracer.span("selection.graph");
         let graph = PersonalizationGraph::build(profile);
+        graph_span.attr("preferences", profile.len());
+        graph_span.finish();
+
         let qc = QueryContext::from_query(self.db.catalog(), query)?;
-        match options.selection {
+        let crit_span = tracer.span("selection.criterion");
+        let result = match options.selection {
             SelectionAlgorithm::FakeCrit => fakecrit(&graph, &qc, options.criterion),
             SelectionAlgorithm::Sps => sps(&graph, &qc, options.criterion),
             SelectionAlgorithm::DoiBased { d_r, n_estimate } => {
                 doi_based(&graph, &qc, d_r, &options.ranking, n_estimate)
             }
+        };
+        crit_span.finish();
+
+        if let Ok(selected) = &result {
+            span.attr("selected", selected.len());
+            let metrics = self.engine.metrics();
+            metrics.counter("selection.runs").inc();
+            metrics.counter("selection.selected").add(selected.len() as u64);
+            metrics.histogram("selection.total_us").observe(started.elapsed());
         }
+        result
     }
 
     /// Personalizes a parsed query: selects preferences, integrates them,
@@ -196,6 +253,17 @@ impl<'db> Personalizer<'db> {
         guard: &QueryGuard,
     ) -> Result<PersonalizationReport, PrefError> {
         let t0 = Instant::now();
+        let tracer = self.engine.tracer().clone();
+        let mut root_span = tracer.span("personalize");
+        root_span.attr(
+            "algorithm",
+            match options.algorithm {
+                AnswerAlgorithm::Spa => "spa",
+                AnswerAlgorithm::Ppa => "ppa",
+            },
+        );
+        root_span.attr("l", options.l);
+
         let selected = match self.select_preferences(profile, query, options) {
             Ok(s) => s,
             Err(e) if options.fallback_to_original => {
@@ -204,6 +272,7 @@ impl<'db> Personalizer<'db> {
             Err(e) => return Err(e),
         };
         let selection_time = t0.elapsed();
+        root_span.attr("selected", selected.len());
 
         if selected.is_empty() {
             // nothing related to this query: the answer is the plain query
@@ -247,15 +316,19 @@ impl<'db> Personalizer<'db> {
             .map(|(a, st, deg)| (a, st.first_response, Some(st), deg)),
         };
         match outcome {
-            Ok((answer, first_response, ppa_stats, degradation)) => Ok(PersonalizationReport {
-                answer,
-                selected,
-                selection_time,
-                execution_time: t1.elapsed(),
-                first_response,
-                ppa_stats,
-                degradation,
-            }),
+            Ok((answer, first_response, ppa_stats, degradation)) => {
+                root_span.attr("rows", answer.tuples.len());
+                root_span.attr("degraded", !degradation.is_complete());
+                Ok(PersonalizationReport {
+                    answer,
+                    selected,
+                    selection_time,
+                    execution_time: t1.elapsed(),
+                    first_response,
+                    ppa_stats,
+                    degradation,
+                })
+            }
             Err(e) if options.fallback_to_original => {
                 let stage = match options.algorithm {
                     AnswerAlgorithm::Spa => "spa",
@@ -279,6 +352,11 @@ impl<'db> Personalizer<'db> {
         guard: &QueryGuard,
     ) -> Result<PersonalizationReport, PrefError> {
         let t = Instant::now();
+        self.engine.tracer().event(
+            "personalize.fallback",
+            &[("stage", stage.into()), ("error", error.to_string().into())],
+        );
+        self.engine.metrics().counter("personalize.fallbacks").inc();
         // Row budgets restart for the retry; an expired deadline or a
         // flipped cancellation token still fails it — there is no answer
         // left to degrade to.

@@ -1,0 +1,233 @@
+//! Observability tests: a traced personalization run emits a
+//! deterministic set of spans whose parent links form the documented
+//! hierarchy, and the final metric values agree with the report's own
+//! counters ([`qp_core::answer::ppa::PpaStats`]).
+
+use std::sync::Arc;
+
+use qp_core::{
+    AnswerAlgorithm, PersonalizationOptions, Personalizer, Profile, SelectionCriterion,
+};
+use qp_obs::{MemoryRecorder, MetricValue, Record, SpanRecord, Tracer};
+use qp_sql::parse_query;
+use qp_storage::{Attribute, DataType, Database, Value};
+
+/// The SPA/PPA fixture: W. Allen comedies, a musical, and old films.
+fn movies_db() -> Database {
+    let mut db = Database::new();
+    db.create_relation(
+        "MOVIE",
+        vec![
+            Attribute::new("mid", DataType::Int),
+            Attribute::new("title", DataType::Text),
+            Attribute::new("year", DataType::Int),
+        ],
+        &["mid"],
+    )
+    .unwrap();
+    db.create_relation(
+        "GENRE",
+        vec![Attribute::new("mid", DataType::Int), Attribute::new("genre", DataType::Text)],
+        &["mid", "genre"],
+    )
+    .unwrap();
+    db.create_relation(
+        "DIRECTED",
+        vec![Attribute::new("mid", DataType::Int), Attribute::new("did", DataType::Int)],
+        &["mid"],
+    )
+    .unwrap();
+    db.create_relation(
+        "DIRECTOR",
+        vec![Attribute::new("did", DataType::Int), Attribute::new("name", DataType::Text)],
+        &["did"],
+    )
+    .unwrap();
+    for (mid, t, y) in [
+        (1, "Annie Hall", 1977),
+        (2, "Manhattan", 1979),
+        (3, "Zelig", 1983),
+        (4, "Heat", 1995),
+        (5, "Chicago", 2002),
+    ] {
+        db.insert_by_name("MOVIE", vec![Value::Int(mid), Value::str(t), Value::Int(y)]).unwrap();
+    }
+    for (mid, g) in [(1, "comedy"), (2, "comedy"), (3, "comedy"), (4, "thriller"), (5, "musical")]
+    {
+        db.insert_by_name("GENRE", vec![Value::Int(mid), Value::str(g)]).unwrap();
+    }
+    for (did, n) in [(1, "W. Allen"), (2, "M. Mann"), (3, "R. Marshall")] {
+        db.insert_by_name("DIRECTOR", vec![Value::Int(did), Value::str(n)]).unwrap();
+    }
+    for (mid, did) in [(1, 1), (2, 1), (3, 1), (4, 2), (5, 3)] {
+        db.insert_by_name("DIRECTED", vec![Value::Int(mid), Value::Int(did)]).unwrap();
+    }
+    db
+}
+
+fn als_profile(db: &Database) -> Profile {
+    Profile::parse(
+        db.catalog(),
+        "doi(DIRECTOR.name = 'W. Allen') = (0.8, 0)\n\
+         doi(MOVIE.year < 1980) = (-0.7, 0)\n\
+         doi(GENRE.genre = 'musical') = (-0.9, 0.7)\n\
+         doi(MOVIE.mid = DIRECTED.mid) = (1)\n\
+         doi(DIRECTED.did = DIRECTOR.did) = (0.9)\n\
+         doi(MOVIE.mid = GENRE.mid) = (0.8)\n",
+    )
+    .unwrap()
+}
+
+fn options(algorithm: AnswerAlgorithm) -> PersonalizationOptions {
+    PersonalizationOptions {
+        criterion: SelectionCriterion::TopK(3),
+        l: 1,
+        algorithm,
+        ..Default::default()
+    }
+}
+
+/// Runs one traced personalization and returns (spans, metric records,
+/// report).
+fn traced_run(
+    algorithm: AnswerAlgorithm,
+) -> (Vec<SpanRecord>, Vec<Record>, qp_core::personalize::PersonalizationReport) {
+    let db = movies_db();
+    let profile = als_profile(&db);
+    let query = parse_query("select title from MOVIE").unwrap();
+
+    let recorder = Arc::new(MemoryRecorder::new());
+    let mut p = Personalizer::new(&db);
+    p.set_tracer(Tracer::new(recorder.clone()));
+    let report = p.personalize(&profile, &query, &options(algorithm)).unwrap();
+    p.tracer().record_metrics(&p.metrics());
+    let spans = recorder.spans();
+    let records = recorder.take();
+    (spans, records, report)
+}
+
+fn span<'a>(spans: &'a [SpanRecord], name: &str) -> &'a SpanRecord {
+    spans
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("span `{name}` missing from {:?}", names(spans)))
+}
+
+fn names(spans: &[SpanRecord]) -> Vec<String> {
+    spans.iter().map(|s| s.name.clone()).collect()
+}
+
+fn counter(records: &[Record], name: &str) -> u64 {
+    records
+        .iter()
+        .find_map(|r| match r {
+            Record::Metric(m) if m.name == name => match m.value {
+                MetricValue::Counter(n) => Some(n),
+                _ => None,
+            },
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("counter `{name}` missing"))
+}
+
+#[test]
+fn ppa_run_emits_the_documented_span_hierarchy() {
+    let (spans, _, _) = traced_run(AnswerAlgorithm::Ppa);
+
+    let root = span(&spans, "personalize");
+    assert_eq!(root.parent, None, "personalize is the root span");
+
+    let selection = span(&spans, "selection");
+    assert_eq!(selection.parent, Some(root.id));
+    assert_eq!(span(&spans, "selection.graph").parent, Some(selection.id));
+    assert_eq!(span(&spans, "selection.criterion").parent, Some(selection.id));
+
+    let run = span(&spans, "ppa.run");
+    assert_eq!(run.parent, Some(root.id));
+    assert_eq!(span(&spans, "ppa.prepare").parent, Some(run.id));
+    for s in spans.iter().filter(|s| s.name == "ppa.presence" || s.name == "ppa.absence") {
+        assert_eq!(s.parent, Some(run.id), "round span {} nests under ppa.run", s.name);
+    }
+    // Als profile has both presence and absence preferences in the top 3,
+    // so both round kinds execute.
+    assert!(spans.iter().any(|s| s.name == "ppa.presence"), "{:?}", names(&spans));
+    assert!(spans.iter().any(|s| s.name == "ppa.absence"), "{:?}", names(&spans));
+
+    // All timing is recorded, and children never outlive their parent.
+    for s in &spans {
+        if let Some(pid) = s.parent {
+            if let Some(parent) = spans.iter().find(|p| p.id == pid) {
+                assert!(
+                    s.start_us >= parent.start_us,
+                    "child {} starts before its parent",
+                    s.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn spa_run_emits_build_and_execute_phases() {
+    let (spans, records, report) = traced_run(AnswerAlgorithm::Spa);
+    let root = span(&spans, "personalize");
+    let run = span(&spans, "spa.run");
+    assert_eq!(run.parent, Some(root.id));
+    assert_eq!(span(&spans, "spa.build").parent, Some(run.id));
+    let exec = span(&spans, "spa.execute");
+    assert_eq!(exec.parent, Some(run.id));
+    // The single SPA statement runs inside the execute phase.
+    assert!(
+        spans.iter().any(|s| s.name == "exec.query" && s.parent == Some(exec.id)),
+        "{:?}",
+        names(&spans)
+    );
+    assert_eq!(counter(&records, "spa.runs"), 1);
+    assert_eq!(counter(&records, "spa.answer_tuples"), report.answer.len() as u64);
+}
+
+#[test]
+fn ppa_metrics_agree_with_the_reported_stats() {
+    let (spans, records, report) = traced_run(AnswerAlgorithm::Ppa);
+    let stats = report.ppa_stats.expect("PPA ran");
+
+    assert_eq!(counter(&records, "ppa.runs"), 1);
+    assert_eq!(counter(&records, "ppa.presence_queries"), stats.presence_queries as u64);
+    assert_eq!(counter(&records, "ppa.absence_queries"), stats.absence_queries as u64);
+    assert_eq!(
+        counter(&records, "ppa.parameterized_queries"),
+        stats.parameterized_queries as u64
+    );
+    assert_eq!(counter(&records, "ppa.emitted"), report.answer.len() as u64);
+    assert_eq!(counter(&records, "selection.runs"), 1);
+    assert_eq!(counter(&records, "selection.selected"), report.selected.len() as u64);
+    assert_eq!(counter(&records, "ppa.cuts"), 0, "unguarded run never cuts");
+
+    // One round span per executed progressive query.
+    let presence_spans = spans.iter().filter(|s| s.name == "ppa.presence").count();
+    let absence_spans = spans.iter().filter(|s| s.name == "ppa.absence").count();
+    assert_eq!(presence_spans, stats.presence_queries);
+    assert_eq!(absence_spans, stats.absence_queries);
+}
+
+#[test]
+fn traced_runs_are_deterministic() {
+    let (a, _, _) = traced_run(AnswerAlgorithm::Ppa);
+    let (b, _, _) = traced_run(AnswerAlgorithm::Ppa);
+    assert_eq!(names(&a), names(&b), "same query, same profile, same span sequence");
+    let parents = |spans: &[SpanRecord]| spans.iter().map(|s| s.parent).collect::<Vec<_>>();
+    assert_eq!(parents(&a), parents(&b));
+}
+
+#[test]
+fn disabled_tracer_records_nothing() {
+    let db = movies_db();
+    let profile = als_profile(&db);
+    let query = parse_query("select title from MOVIE").unwrap();
+    let mut p = Personalizer::new(&db);
+    assert!(!p.tracer().is_enabled());
+    p.personalize(&profile, &query, &options(AnswerAlgorithm::Ppa)).unwrap();
+    // Metrics still accumulate even without a tracer: they are registry
+    // state, not trace records.
+    assert_eq!(p.metrics().counter("ppa.runs").get(), 1);
+}

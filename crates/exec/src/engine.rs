@@ -2,13 +2,18 @@
 
 use std::cmp::Ordering;
 use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
 
+use qp_obs::{Counter, LatencyHistogram, MetricsRegistry, Tracer};
 use qp_sql::{parse_query, Query};
 use qp_storage::{Database, Row, Value};
 
+use crate::analyze::PlanProfile;
 use crate::error::ExecError;
 use crate::functions::{AggState, FunctionRegistry};
 use crate::guard::QueryGuard;
+use crate::plan::ExecCtx;
 use crate::planner::{CompiledQuery, KeySource, Planner};
 use crate::result::ResultSet;
 
@@ -55,15 +60,71 @@ impl ExecStats {
 /// let rs = engine.execute_sql(&db, "select title from MOVIE where mid = 1").unwrap();
 /// assert_eq!(rs.rows[0][0], Value::str("Annie Hall"));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Engine {
     registry: FunctionRegistry,
+    tracer: Tracer,
+    metrics: Arc<MetricsRegistry>,
+    counters: EngineCounters,
+}
+
+/// Handles into the engine's [`MetricsRegistry`], fetched once at
+/// construction so the per-query path never touches the registry lock.
+#[derive(Debug)]
+struct EngineCounters {
+    /// `exec.queries`: queries executed through the plan-and-run paths.
+    queries: Arc<Counter>,
+    /// `exec.prepared_execs`: executions of pre-compiled queries (PPA's
+    /// per-tuple probes live here).
+    prepared_execs: Arc<Counter>,
+    /// `exec.rows_scanned`: base-table rows touched, all queries.
+    rows_scanned: Arc<Counter>,
+    /// `exec.index_probes`: index lookups, all queries.
+    index_probes: Arc<Counter>,
+    /// `exec.rows_intermediate`: operator-materialized rows, all queries.
+    rows_intermediate: Arc<Counter>,
+    /// `exec.rows_out`: result rows returned to callers.
+    rows_out: Arc<Counter>,
+    /// `exec.query_us`: per-query wall-clock latency.
+    query_us: Arc<LatencyHistogram>,
+}
+
+impl EngineCounters {
+    fn new(metrics: &MetricsRegistry) -> Self {
+        EngineCounters {
+            queries: metrics.counter("exec.queries"),
+            prepared_execs: metrics.counter("exec.prepared_execs"),
+            rows_scanned: metrics.counter("exec.rows_scanned"),
+            index_probes: metrics.counter("exec.index_probes"),
+            rows_intermediate: metrics.counter("exec.rows_intermediate"),
+            rows_out: metrics.counter("exec.rows_out"),
+            query_us: metrics.histogram("exec.query_us"),
+        }
+    }
+
+    /// Folds one query's work counters and result size into the totals.
+    fn note(&self, stats: &ExecStats, rows_out: u64, elapsed: std::time::Duration) {
+        self.rows_scanned.add(stats.rows_scanned);
+        self.index_probes.add(stats.index_probes);
+        self.rows_intermediate.add(stats.rows_intermediate);
+        self.rows_out.add(rows_out);
+        self.query_us.observe(elapsed);
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
 }
 
 impl Engine {
-    /// An engine with the built-in functions registered.
+    /// An engine with the built-in functions registered and observability
+    /// off (a disabled [`Tracer`], an empty [`MetricsRegistry`]).
     pub fn new() -> Self {
-        Engine { registry: FunctionRegistry::new() }
+        let metrics = Arc::new(MetricsRegistry::new());
+        let counters = EngineCounters::new(&metrics);
+        Engine { registry: FunctionRegistry::new(), tracer: Tracer::disabled(), metrics, counters }
     }
 
     /// The function registry (for UDF registration).
@@ -74,6 +135,25 @@ impl Engine {
     /// Read access to the registry.
     pub fn registry(&self) -> &FunctionRegistry {
         &self.registry
+    }
+
+    /// Attaches a tracer: every subsequent query emits an `exec.query`
+    /// span (and higher layers that share this engine nest their phase
+    /// spans around it). Pass [`Tracer::disabled`] to turn tracing off.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The engine's tracer (disabled by default). Cloning it gives
+    /// callers a handle that parents their spans around engine work.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The engine's metrics registry. Counters accumulate across the
+    /// engine's lifetime; see `OBSERVABILITY.md` for the metric names.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Parses and executes SQL text.
@@ -106,11 +186,17 @@ impl Engine {
         query: &Query,
         guard: &QueryGuard,
     ) -> Result<(ResultSet, ExecStats), ExecError> {
+        let mut span = self.tracer.span("exec.query");
+        let t0 = Instant::now();
+        self.counters.queries.inc();
         let mut planner = Planner::new(db, &self.registry).with_guard(guard.clone());
         let compiled = planner.compile(query)?;
         let mut stats = planner.take_stats();
         let rows = run_compiled(db, &compiled, &mut stats, guard)?;
         guard.charge_output(rows.len() as u64)?;
+        self.counters.note(&stats, rows.len() as u64, t0.elapsed());
+        span.attr("rows", rows.len());
+        span.attr("rows_scanned", stats.rows_scanned);
         Ok((ResultSet::new(compiled.columns.clone(), rows), stats))
     }
 
@@ -125,10 +211,16 @@ impl Engine {
         query: &Query,
         guard: &QueryGuard,
     ) -> Result<ResultSet, ExecError> {
+        let mut span = self.tracer.span("exec.query");
+        let t0 = Instant::now();
+        self.counters.queries.inc();
         let mut planner = Planner::new(db, &self.registry).with_guard(guard.clone());
         let compiled = planner.compile(query)?;
         let mut stats = planner.take_stats();
         let rows = run_compiled(db, &compiled, &mut stats, guard)?;
+        self.counters.note(&stats, rows.len() as u64, t0.elapsed());
+        span.attr("rows", rows.len());
+        span.attr("rows_scanned", stats.rows_scanned);
         Ok(ResultSet::new(compiled.columns.clone(), rows))
     }
 
@@ -152,19 +244,24 @@ impl Engine {
         compiled: &CompiledQuery,
         stats: &mut ExecStats,
     ) -> Result<ResultSet, ExecError> {
+        self.counters.prepared_execs.inc();
         let rows = run_compiled(db, compiled, stats, &QueryGuard::unlimited())?;
         Ok(ResultSet::new(compiled.columns.clone(), rows))
     }
 
     /// Executes a previously prepared query, returning only the rows —
     /// the allocation-free-of-metadata path hot loops (PPA's per-tuple
-    /// parameterized queries) use.
+    /// parameterized queries) use. Deliberately span-free: a traced PPA
+    /// run issues hundreds of these per phase, and the phase span plus
+    /// the `exec.prepared_execs` counter carry the signal without
+    /// flooding the trace.
     pub fn execute_prepared_rows(
         &self,
         db: &Database,
         compiled: &CompiledQuery,
         stats: &mut ExecStats,
     ) -> Result<Vec<Row>, ExecError> {
+        self.counters.prepared_execs.inc();
         run_compiled(db, compiled, stats, &QueryGuard::unlimited())
     }
 
@@ -178,7 +275,57 @@ impl Engine {
         stats: &mut ExecStats,
         guard: &QueryGuard,
     ) -> Result<Vec<Row>, ExecError> {
+        self.counters.prepared_execs.inc();
         run_compiled(db, compiled, stats, guard)
+    }
+
+    /// Executes a query with a per-node [`PlanProfile`] attached,
+    /// returning the result, the work counters, and the profile. This is
+    /// the programmatic face of [`Engine::explain_analyze`].
+    pub fn execute_profiled(
+        &self,
+        db: &Database,
+        query: &Query,
+        guard: &QueryGuard,
+    ) -> Result<(ResultSet, ExecStats, PlanProfile), ExecError> {
+        let (compiled, rows, stats, profile) = self.run_profiled(db, query, guard)?;
+        Ok((ResultSet::new(compiled.columns.clone(), rows), stats, profile))
+    }
+
+    /// Executes the query, then renders the annotated plan tree: per
+    /// node, actual rows out, elapsed time, and observed selectivity next
+    /// to the planner's histogram estimate. The query *runs in full* —
+    /// like PostgreSQL's `EXPLAIN ANALYZE`, this reports actuals, not
+    /// estimates alone.
+    pub fn explain_analyze(&self, db: &Database, query: &Query) -> Result<String, ExecError> {
+        let (compiled, _rows, _stats, profile) =
+            self.run_profiled(db, query, &QueryGuard::unlimited())?;
+        Ok(crate::analyze::render_analyzed(db, &compiled, &profile))
+    }
+
+    fn run_profiled(
+        &self,
+        db: &Database,
+        query: &Query,
+        guard: &QueryGuard,
+    ) -> Result<(CompiledQuery, Vec<Row>, ExecStats, PlanProfile), ExecError> {
+        let mut span = self.tracer.span("exec.query");
+        self.counters.queries.inc();
+        let mut planner = Planner::new(db, &self.registry).with_guard(guard.clone());
+        let compiled = planner.compile(query)?;
+        let mut stats = planner.take_stats();
+        let profile = PlanProfile::for_query(&compiled);
+        let t0 = Instant::now();
+        let rows = {
+            let mut ctx = ExecCtx { stats: &mut stats, guard, profile: Some(&profile) };
+            run_compiled_at(db, &compiled, &mut ctx, 0)?
+        };
+        guard.charge_output(rows.len() as u64)?;
+        profile.set_result(rows.len() as u64, t0.elapsed());
+        self.counters.note(&stats, rows.len() as u64, t0.elapsed());
+        span.attr("rows", rows.len());
+        span.attr("profiled", true);
+        Ok((compiled, rows, stats, profile))
     }
 }
 
@@ -190,17 +337,33 @@ pub(crate) fn run_compiled(
     stats: &mut ExecStats,
     guard: &QueryGuard,
 ) -> Result<Vec<Row>, ExecError> {
+    let mut ctx = ExecCtx { stats, guard, profile: None };
+    run_compiled_at(db, compiled, &mut ctx, 0)
+}
+
+/// [`run_compiled`] with an execution context and a node-id base: branch
+/// plans occupy consecutive pre-order id ranges starting at `base` (see
+/// [`crate::analyze::PlanProfile`]). Derived-table execution re-enters
+/// here with the derived node's own base.
+pub(crate) fn run_compiled_at(
+    db: &Database,
+    compiled: &CompiledQuery,
+    ctx: &mut ExecCtx<'_>,
+    base: usize,
+) -> Result<Vec<Row>, ExecError> {
     // (source row, output row) pairs; source rows back ORDER BY
     // expressions that are not output columns.
     let mut pairs: Vec<(Option<Row>, Row)> = Vec::new();
     let single_branch = compiled.branches.len() == 1;
+    let mut branch_base = base;
     for branch in &compiled.branches {
-        let input = branch.plan.run(db, stats, guard)?;
+        let input = branch.plan.run_node(db, ctx, branch_base)?;
+        branch_base += branch.plan.node_count();
         let sources: Vec<Row> = match &branch.agg {
             Some(agg) => {
                 let mut inter = agg.spec.run(input);
-                stats.rows_intermediate += inter.len() as u64;
-                guard.charge_intermediate(inter.len() as u64)?;
+                ctx.stats.rows_intermediate += inter.len() as u64;
+                ctx.guard.charge_intermediate(inter.len() as u64)?;
                 if let Some(h) = &agg.having {
                     inter.retain(|r| h.eval_bool(r));
                 }

@@ -70,7 +70,7 @@ fn render_select(db: &Database, select: &CompiledSelect, depth: usize, out: &mut
 fn render_plan(db: &Database, plan: &Plan, depth: usize, out: &mut String) {
     let pad = "  ".repeat(depth);
     match plan {
-        Plan::Scan { rel, fetch_rowid, filter } => {
+        Plan::Scan { rel, fetch_rowid, filter, .. } => {
             let name = &db.catalog().relation(*rel).name;
             let mut extra = String::new();
             if let Some(id) = fetch_rowid {

@@ -26,6 +26,7 @@
 //! appropriate for the workload sizes of the paper's evaluation and keeps
 //! the operators easy to verify.
 
+pub mod analyze;
 pub mod engine;
 pub mod explain;
 pub mod error;
@@ -36,6 +37,7 @@ pub mod plan;
 pub mod planner;
 pub mod result;
 
+pub use analyze::{NodeStats, PlanProfile};
 pub use engine::{Engine, ExecStats};
 pub use error::{ExecError, ResourceKind};
 pub use functions::{AggState, AggregateFunction, ScalarUdf};

@@ -38,6 +38,29 @@ impl std::fmt::Debug for AggCall {
     }
 }
 
+/// Planner-time cardinality estimate attached to a scan, kept on the plan
+/// so `EXPLAIN ANALYZE` can print estimated vs. observed selectivity —
+/// the feedback loop PPA's subquery ordering is judged by.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanEstimate {
+    /// Estimated output rows (table cardinality × selectivity).
+    pub rows: f64,
+    /// Estimated fraction of the table surviving the pushed predicates.
+    pub selectivity: f64,
+}
+
+/// Execution context threaded through the operator tree: statistics,
+/// the resource guard, and (when profiling) the per-node stats sink.
+pub(crate) struct ExecCtx<'a> {
+    /// Work counters, accumulated across the whole query.
+    pub stats: &'a mut ExecStats,
+    /// Resource guard polled per materialized row.
+    pub guard: &'a QueryGuard,
+    /// Per-node profile, present only under `EXPLAIN ANALYZE` /
+    /// [`Engine::execute_profiled`](crate::Engine::execute_profiled).
+    pub profile: Option<&'a crate::analyze::PlanProfile>,
+}
+
 /// A physical plan node producing a batch of rows.
 #[derive(Debug)]
 pub enum Plan {
@@ -50,6 +73,8 @@ pub enum Plan {
         fetch_rowid: Option<u64>,
         /// Pushed-down single-table predicate (over `[rowid, cols…]`).
         filter: Option<PhysExpr>,
+        /// Planner-time cardinality estimate (None for synthesized scans).
+        est: Option<ScanEstimate>,
     },
     /// A single empty row — the input of a `FROM`-less select.
     Values,
@@ -109,6 +134,27 @@ pub enum Plan {
 }
 
 impl Plan {
+    /// Number of plan nodes in this subtree (this node included), with
+    /// derived sub-queries counted through. Node ids used by
+    /// [`crate::analyze::PlanProfile`] are pre-order positions derived
+    /// from these counts, so they depend only on plan *shape*, never on
+    /// execution order (a hash join runs its build side first but its
+    /// probe side still gets the lower id).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Plan::Scan { .. } | Plan::Values => 1,
+            Plan::Filter { input, .. } => 1 + input.node_count(),
+            Plan::HashJoin { left, right, .. } | Plan::NestedLoop { left, right, .. } => {
+                1 + left.node_count() + right.node_count()
+            }
+            Plan::IndexJoin { left, .. } => 1 + left.node_count(),
+            Plan::UnionAll { inputs } => {
+                1 + inputs.iter().map(Plan::node_count).sum::<usize>()
+            }
+            Plan::Derived { query } => 1 + query.plan_node_count(),
+        }
+    }
+
     /// Executes the plan to a materialized batch, accumulating statistics.
     /// Every materialized row is charged against `guard`; the operator
     /// loops poll cancellation per row, so a tripped guard stops even a
@@ -119,25 +165,55 @@ impl Plan {
         stats: &mut ExecStats,
         guard: &QueryGuard,
     ) -> Result<Vec<Row>, ExecError> {
+        let mut ctx = ExecCtx { stats, guard, profile: None };
+        self.run_node(db, &mut ctx, 0)
+    }
+
+    /// Executes this node as node `node` of the enclosing profile (a
+    /// pre-order position, see [`Plan::node_count`]). Timing is taken
+    /// only when a profile is attached, so the unprofiled path pays a
+    /// single branch per node.
+    pub(crate) fn run_node(
+        &self,
+        db: &Database,
+        ctx: &mut ExecCtx<'_>,
+        node: usize,
+    ) -> Result<Vec<Row>, ExecError> {
+        let t0 = ctx.profile.map(|_| std::time::Instant::now());
+        let out = self.run_inner(db, ctx, node)?;
+        if let (Some(profile), Some(t0)) = (ctx.profile, t0) {
+            profile.node(node).observe(out.len() as u64, t0.elapsed());
+        }
+        Ok(out)
+    }
+
+    fn run_inner(
+        &self,
+        db: &Database,
+        ctx: &mut ExecCtx<'_>,
+        node: usize,
+    ) -> Result<Vec<Row>, ExecError> {
         match self {
-            Plan::Scan { rel, fetch_rowid, filter } => {
+            Plan::Scan { rel, fetch_rowid, filter, .. } => {
                 fail_point("exec.scan")?;
                 let table = db.table(*rel);
                 let mut out = Vec::new();
-                let emit = |rowid: u64,
-                            row: &Row,
-                            out: &mut Vec<Row>,
-                            stats: &mut ExecStats|
+                let mut scanned = 0u64;
+                let mut emit = |rowid: u64,
+                                row: &Row,
+                                out: &mut Vec<Row>,
+                                ctx: &mut ExecCtx<'_>|
                  -> Result<(), ExecError> {
-                    stats.rows_scanned += 1;
-                    guard.check()?;
+                    ctx.stats.rows_scanned += 1;
+                    scanned += 1;
+                    ctx.guard.check()?;
                     let mut r = Vec::with_capacity(row.len() + 1);
                     r.push(Value::Int(rowid as i64));
                     r.extend(row.iter().cloned());
                     match filter {
                         Some(p) if !p.eval_bool(&r) => {}
                         _ => {
-                            charge(guard, stats, 1)?;
+                            charge(ctx, 1)?;
                             out.push(r);
                         }
                     }
@@ -146,25 +222,28 @@ impl Plan {
                 match fetch_rowid {
                     Some(id) => {
                         if let Some(row) = table.get(RowId(*id)) {
-                            emit(*id, row, &mut out, stats)?;
+                            emit(*id, row, &mut out, ctx)?;
                         }
                     }
                     None => {
                         for (rid, row) in table.iter() {
-                            emit(rid.0, row, &mut out, stats)?;
+                            emit(rid.0, row, &mut out, ctx)?;
                         }
                     }
+                }
+                if let Some(profile) = ctx.profile {
+                    profile.node(node).add_scanned(scanned);
                 }
                 Ok(out)
             }
             Plan::Values => Ok(vec![vec![]]),
             Plan::Filter { input, predicate } => {
-                let rows = input.run(db, stats, guard)?;
+                let rows = input.run_node(db, ctx, node + 1)?;
                 let mut out = Vec::with_capacity(rows.len());
                 for r in rows {
-                    guard.check()?;
+                    ctx.guard.check()?;
                     if predicate.eval_bool(&r) {
-                        charge(guard, stats, 1)?;
+                        charge(ctx, 1)?;
                         out.push(r);
                     }
                 }
@@ -172,26 +251,28 @@ impl Plan {
             }
             Plan::HashJoin { left, right, left_key, right_key } => {
                 fail_point("exec.hash_join.build")?;
-                let right_rows = right.run(db, stats, guard)?;
+                let left_node = node + 1;
+                let right_node = left_node + left.node_count();
+                let right_rows = right.run_node(db, ctx, right_node)?;
                 let mut table: HashMap<Value, Vec<usize>> = HashMap::new();
                 for (i, r) in right_rows.iter().enumerate() {
-                    guard.check()?;
+                    ctx.guard.check()?;
                     let k = right_key.eval(r);
                     if !k.is_null() {
                         table.entry(k).or_default().push(i);
                     }
                 }
-                let left_rows = left.run(db, stats, guard)?;
+                let left_rows = left.run_node(db, ctx, left_node)?;
                 let mut out = Vec::new();
                 for l in left_rows {
-                    guard.check()?;
+                    ctx.guard.check()?;
                     let k = left_key.eval(&l);
                     if k.is_null() {
                         continue;
                     }
                     if let Some(matches) = table.get(&k) {
                         for &i in matches {
-                            charge(guard, stats, 1)?;
+                            charge(ctx, 1)?;
                             let mut row = l.clone();
                             row.extend(right_rows[i].iter().cloned());
                             out.push(row);
@@ -204,15 +285,17 @@ impl Plan {
                 fail_point("exec.index_join")?;
                 let index = db.index(*right_attr);
                 let table = db.table(right_attr.rel);
-                let left_rows = left.run(db, stats, guard)?;
+                let left_rows = left.run_node(db, ctx, node + 1)?;
                 let mut out = Vec::new();
+                let mut probes = 0u64;
                 for l in left_rows {
-                    guard.check()?;
+                    ctx.guard.check()?;
                     let k = left_key.eval(&l);
                     if k.is_null() {
                         continue;
                     }
-                    stats.index_probes += 1;
+                    ctx.stats.index_probes += 1;
+                    probes += 1;
                     for rid in index.lookup(&k) {
                         let right = table.get(*rid).ok_or_else(|| {
                             ExecError::Internal(format!(
@@ -226,31 +309,36 @@ impl Plan {
                         match residual {
                             Some(p) if !p.eval_bool(&row) => {}
                             _ => {
-                                charge(guard, stats, 1)?;
+                                charge(ctx, 1)?;
                                 out.push(row);
                             }
                         }
                     }
                 }
+                if let Some(profile) = ctx.profile {
+                    profile.node(node).add_probes(probes);
+                }
                 Ok(out)
             }
             Plan::NestedLoop { left, right, predicate } => {
                 fail_point("exec.nested_loop")?;
-                let right_rows = right.run(db, stats, guard)?;
-                let left_rows = left.run(db, stats, guard)?;
+                let left_node = node + 1;
+                let right_node = left_node + left.node_count();
+                let right_rows = right.run_node(db, ctx, right_node)?;
+                let left_rows = left.run_node(db, ctx, left_node)?;
                 let mut out = Vec::new();
                 for l in &left_rows {
                     for r in &right_rows {
                         // polled per pair: cancellation must stop the
                         // cross product inside a single batch
-                        guard.check()?;
+                        ctx.guard.check()?;
                         let mut row = Vec::with_capacity(l.len() + r.len());
                         row.extend(l.iter().cloned());
                         row.extend(r.iter().cloned());
                         match predicate {
                             Some(p) if !p.eval_bool(&row) => {}
                             _ => {
-                                charge(guard, stats, 1)?;
+                                charge(ctx, 1)?;
                                 out.push(row);
                             }
                         }
@@ -260,12 +348,14 @@ impl Plan {
             }
             Plan::UnionAll { inputs } => {
                 let mut out = Vec::new();
+                let mut child = node + 1;
                 for p in inputs {
-                    out.extend(p.run(db, stats, guard)?);
+                    out.extend(p.run_node(db, ctx, child)?);
+                    child += p.node_count();
                 }
                 Ok(out)
             }
-            Plan::Derived { query } => crate::engine::run_compiled(db, query, stats, guard),
+            Plan::Derived { query } => crate::engine::run_compiled_at(db, query, ctx, node + 1),
         }
     }
 }
@@ -273,9 +363,9 @@ impl Plan {
 /// Charges one operator-output row against the guard and mirrors the
 /// count into the stats record.
 #[inline]
-fn charge(guard: &QueryGuard, stats: &mut ExecStats, n: u64) -> Result<(), ExecError> {
-    stats.rows_intermediate += n;
-    guard.charge_intermediate(n)
+fn charge(ctx: &mut ExecCtx<'_>, n: u64) -> Result<(), ExecError> {
+    ctx.stats.rows_intermediate += n;
+    ctx.guard.charge_intermediate(n)
 }
 
 /// Grouping/aggregation spec applied to a plan's output.

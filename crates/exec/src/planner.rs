@@ -23,7 +23,7 @@ use crate::error::ExecError;
 use crate::expr::PhysExpr;
 use crate::functions::FunctionRegistry;
 use crate::guard::QueryGuard;
-use crate::plan::{AggCall, AggSpec, Plan};
+use crate::plan::{AggCall, AggSpec, Plan, ScanEstimate};
 
 /// A fully compiled query, ready to execute against the database it was
 /// planned for.
@@ -51,6 +51,13 @@ impl CompiledQuery {
             n += rebind_plan(&mut b.plan, rel, rowid);
         }
         n
+    }
+
+    /// Total number of plan nodes across all branches (derived sub-queries
+    /// counted through) — the size of a matching
+    /// [`crate::analyze::PlanProfile`].
+    pub fn plan_node_count(&self) -> usize {
+        self.branches.iter().map(|b| b.plan.node_count()).sum()
     }
 }
 
@@ -643,8 +650,20 @@ impl<'a> Planner<'a> {
                         _ => rest.push(p),
                     }
                 }
+                // Record the planner's cardinality estimate on the scan so
+                // EXPLAIN ANALYZE can report estimated vs. observed
+                // selectivity — the same per-predicate estimates that drive
+                // join ordering and PPA's subquery ordering.
+                let selectivity: f64 = pushed
+                    .iter()
+                    .map(|p| self.estimate_selectivity(rel, p, &b.name))
+                    .product();
+                let est = ScanEstimate {
+                    rows: self.db.table(rel).len() as f64 * selectivity,
+                    selectivity,
+                };
                 let filter = PhysExprList::compile_all(self, &rest, &local_scope, None)?;
-                Ok(Plan::Scan { rel, fetch_rowid, filter })
+                Ok(Plan::Scan { rel, fetch_rowid, filter, est: Some(est) })
             }
             None => {
                 let plan = derived_plans[idx].take().ok_or_else(|| {

@@ -1,0 +1,82 @@
+//! Property tests for plan profiling: in a guard-free run the profiled
+//! root operator of each branch accounts for every result row — the
+//! `rows=` numbers EXPLAIN ANALYZE prints are the true result
+//! cardinality, not a sample.
+
+use proptest::prelude::*;
+use qp_exec::{Engine, QueryGuard};
+use qp_sql::parse_query;
+use qp_storage::{Attribute, DataType, Database, Value};
+
+fn build_db(rows: &[(Option<i64>, i64)]) -> Database {
+    let mut db = Database::new();
+    db.create_relation(
+        "T",
+        vec![Attribute::new("a", DataType::Int), Attribute::new("b", DataType::Int)],
+        &[],
+    )
+    .unwrap();
+    for (a, b) in rows {
+        db.insert_by_name(
+            "T",
+            vec![a.map(Value::Int).unwrap_or(Value::Null), Value::Int(*b)],
+        )
+        .unwrap();
+    }
+    db.warm_statistics();
+    db
+}
+
+fn pred_strategy() -> impl Strategy<Value = String> {
+    let col = prop_oneof![Just("a"), Just("b")];
+    let op = prop_oneof![Just("="), Just("<"), Just("<="), Just(">"), Just(">="), Just("<>")];
+    (col, op, -5i64..15).prop_map(|(c, o, v)| format!("{c} {o} {v}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-branch select: the root plan node's `rows_out` equals the
+    /// final cardinality (projection drops no rows, and there is no
+    /// distinct / limit / aggregation to shrink the batch afterwards).
+    #[test]
+    fn root_rows_out_equals_result_cardinality(
+        rows in prop::collection::vec((prop::option::of(-5i64..15), -5i64..15), 0..40),
+        pred in pred_strategy(),
+    ) {
+        let db = build_db(&rows);
+        let e = Engine::new();
+        let q = parse_query(&format!("select a, b from T where {pred}")).unwrap();
+        let (rs, _stats, profile) =
+            e.execute_profiled(&db, &q, &QueryGuard::unlimited()).unwrap();
+        prop_assert_eq!(profile.node(0).rows_out(), rs.rows.len() as u64);
+        prop_assert_eq!(profile.result_rows(), rs.rows.len() as u64);
+        // The scan never reads more than the table holds, and never
+        // produces more than it reads.
+        prop_assert!(profile.node(0).rows_scanned() <= rows.len() as u64);
+        prop_assert!(profile.node(0).rows_out() <= profile.node(0).rows_scanned().max(rows.len() as u64));
+    }
+
+    /// UNION ALL: per-branch root `rows_out` values sum to the final
+    /// cardinality.
+    #[test]
+    fn union_branch_rows_sum_to_result(
+        rows in prop::collection::vec((prop::option::of(-5i64..15), -5i64..15), 0..40),
+        p1 in pred_strategy(),
+        p2 in pred_strategy(),
+    ) {
+        let db = build_db(&rows);
+        let e = Engine::new();
+        let q = parse_query(&format!(
+            "select a from T where {p1} union all select b from T where {p2}"
+        ))
+        .unwrap();
+        let (rs, _stats, profile) =
+            e.execute_profiled(&db, &q, &QueryGuard::unlimited()).unwrap();
+        prop_assert_eq!(profile.node_count(), 2);
+        prop_assert_eq!(
+            profile.node(0).rows_out() + profile.node(1).rows_out(),
+            rs.rows.len() as u64
+        );
+    }
+}

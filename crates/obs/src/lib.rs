@@ -1,0 +1,55 @@
+//! # qp-obs — zero-dependency observability for the query stack
+//!
+//! Structured spans, atomic metrics, and pluggable recorders, built on
+//! `std` alone so every crate in the workspace can afford to depend on
+//! it. This is the feedback loop the paper's evaluation (§7 of Koutrika
+//! & Ioannidis, ICDE 2005) is built on: *where does personalization time
+//! go* — preference selection, SPA rewriting, or PPA's progressive
+//! phases — and *how good were the selectivity estimates* that PPA used
+//! to order its subqueries.
+//!
+//! Three pieces:
+//!
+//! * [`Tracer`] / [`Span`] — scoped timers with parent/child nesting.
+//!   A disabled tracer (the default) costs one branch per call site, so
+//!   instrumentation stays compiled in unconditionally.
+//! * [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s, and
+//!   fixed-bucket [`LatencyHistogram`]s. Registration takes a lock;
+//!   updates are relaxed atomics on pre-fetched handles.
+//! * [`Recorder`] — where finished records go: [`MemoryRecorder`] for
+//!   tests and in-process analysis, [`JsonLinesRecorder`] for streaming
+//!   a trace file (`repro --trace-json`).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use qp_obs::{MemoryRecorder, Tracer};
+//!
+//! let recorder = Arc::new(MemoryRecorder::new());
+//! let tracer = Tracer::new(recorder.clone());
+//! {
+//!     let mut phase = tracer.span("ppa.presence");
+//!     phase.attr("round", 0usize);
+//!     let _q = tracer.span("exec.query"); // child of ppa.presence
+//! }
+//! let spans = recorder.spans();
+//! assert_eq!(spans.len(), 2);
+//! assert_eq!(spans[0].parent, Some(spans[1].id));
+//! ```
+//!
+//! Naming conventions, the recorder contract, and how the engine's
+//! `EXPLAIN ANALYZE` builds on this crate are documented in
+//! `OBSERVABILITY.md` at the repository root.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, LatencyHistogram, MetricsRegistry, DEFAULT_LATENCY_BOUNDS_US};
+pub use recorder::{
+    AttrValue, Attrs, EventRecord, JsonLinesRecorder, MemoryRecorder, MetricRecord, MetricValue,
+    Record, Recorder, SpanRecord,
+};
+pub use span::{Span, Tracer};

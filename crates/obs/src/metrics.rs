@@ -1,0 +1,285 @@
+//! Atomic metrics: counters, gauges, and fixed-bucket latency histograms.
+//!
+//! The [`MetricsRegistry`] is a name → handle map behind a mutex; the
+//! handles themselves ([`Counter`], [`Gauge`], [`LatencyHistogram`]) are
+//! plain atomics. The intended pattern is *register once, update
+//! lock-free*: code on a hot path fetches its handle up front (or once
+//! per query) and then increments without ever touching the registry
+//! lock. Updates use `Relaxed` ordering — metrics are monotone tallies,
+//! not synchronization.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::recorder::{MetricRecord, MetricValue};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1 to the counter.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins signed level (e.g. live rows held by an operator).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the gauge by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency bucket upper bounds, in microseconds: a 1-2-5 ladder
+/// from 1 µs to 1 s. A final implicit overflow bucket catches the rest.
+pub const DEFAULT_LATENCY_BOUNDS_US: &[u64] = &[
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    200_000, 500_000, 1_000_000,
+];
+
+/// A fixed-bucket latency histogram. Observations are durations; buckets
+/// are cumulative-free counts per upper bound (in µs) plus an overflow
+/// bucket. All updates are single relaxed atomic adds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>, // len == bounds.len() + 1 (overflow last)
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::with_bounds(DEFAULT_LATENCY_BOUNDS_US)
+    }
+}
+
+impl LatencyHistogram {
+    /// Builds a histogram with the given strictly increasing upper
+    /// bounds (µs). An overflow bucket is appended automatically.
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must increase");
+        LatencyHistogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, d: Duration) {
+        let us = d.as_micros() as u64;
+        let idx = self.bounds.partition_point(|&b| b < us);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us() as f64 / n as f64
+        }
+    }
+
+    /// `(upper_bound_us, count)` pairs; the overflow bucket reports
+    /// `u64::MAX` as its bound.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(u64::MAX))
+            .zip(self.buckets.iter().map(|b| b.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct Registered {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<LatencyHistogram>>,
+}
+
+/// A name → metric map. Lookup locks a mutex; the returned handles are
+/// lock-free. Names are dotted paths (`layer.noun[_unit]`, see
+/// `OBSERVABILITY.md`).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Registered>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("metrics lock");
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        match inner.counters.get(name) {
+            Some(c) => c.clone(),
+            None => {
+                let c = Arc::new(Counter::default());
+                inner.counters.insert(name.to_string(), c.clone());
+                c
+            }
+        }
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        match inner.gauges.get(name) {
+            Some(g) => g.clone(),
+            None => {
+                let g = Arc::new(Gauge::default());
+                inner.gauges.insert(name.to_string(), g.clone());
+                g
+            }
+        }
+    }
+
+    /// Returns the latency histogram named `name` (default 1-2-5 µs
+    /// ladder), creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        match inner.histograms.get(name) {
+            Some(h) => h.clone(),
+            None => {
+                let h = Arc::new(LatencyHistogram::default());
+                inner.histograms.insert(name.to_string(), h.clone());
+                h
+            }
+        }
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name
+    /// within each kind (counters, then gauges, then histograms).
+    pub fn snapshot(&self) -> Vec<MetricRecord> {
+        let inner = self.inner.lock().expect("metrics lock");
+        let mut out = Vec::new();
+        for (name, c) in &inner.counters {
+            out.push(MetricRecord { name: name.clone(), value: MetricValue::Counter(c.get()) });
+        }
+        for (name, g) in &inner.gauges {
+            out.push(MetricRecord { name: name.clone(), value: MetricValue::Gauge(g.get()) });
+        }
+        for (name, h) in &inner.histograms {
+            out.push(MetricRecord {
+                name: name.clone(),
+                value: MetricValue::Histogram {
+                    buckets: h.buckets(),
+                    count: h.count(),
+                    sum_us: h.sum_us(),
+                },
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("exec.queries");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name → same handle.
+        assert_eq!(reg.counter("exec.queries").get(), 5);
+
+        let g = reg.gauge("exec.live_rows");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let h = LatencyHistogram::with_bounds(&[10, 100]);
+        h.observe(Duration::from_micros(5)); // ≤ 10
+        h.observe(Duration::from_micros(10)); // ≤ 10 (inclusive bound)
+        h.observe(Duration::from_micros(70)); // ≤ 100
+        h.observe(Duration::from_micros(5_000)); // overflow
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum_us(), 5 + 10 + 70 + 5_000);
+        let buckets = h.buckets();
+        assert_eq!(buckets, vec![(10, 2), (100, 1), (u64::MAX, 1)]);
+        assert!((h.mean_us() - 1271.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_reports_every_kind() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.count").add(2);
+        reg.gauge("a.level").set(-1);
+        reg.histogram("c.lat_us").observe(Duration::from_micros(3));
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["b.count", "a.level", "c.lat_us"]);
+        match &snap[2].value {
+            MetricValue::Histogram { count, sum_us, .. } => {
+                assert_eq!((*count, *sum_us), (1, 3));
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,493 @@
+//! Recorder sinks: where finished spans, events, and metric snapshots go.
+//!
+//! A [`Recorder`] is the pluggable back half of the tracing pipeline. The
+//! [`Tracer`](crate::Tracer) assembles [`Record`]s on the application
+//! thread and hands them to the recorder; the recorder decides what to do
+//! with them — buffer them in memory ([`MemoryRecorder`]), stream them to
+//! a file as JSON lines ([`JsonLinesRecorder`]), or anything else.
+//!
+//! # Contract
+//!
+//! Implementations must be [`Send`] + [`Sync`] and must tolerate being
+//! called from span destructors: `record` must not panic, must not block
+//! for long, and must not itself create spans on the same tracer (that
+//! would re-enter the span stack mid-pop). `flush` is advisory — callers
+//! invoke it at the end of a run; buffered recorders should persist
+//! whatever they hold.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::Mutex;
+
+/// An attribute value attached to a span or event.
+///
+/// Kept deliberately small: everything the query engine reports fits in
+/// these five shapes, and each serializes to a bare JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (row counts, ids).
+    Uint(u64),
+    /// A float (selectivities, ratios). Non-finite values serialize as
+    /// `null`.
+    Float(f64),
+    /// A string (names, causes).
+    Str(String),
+    /// A boolean flag.
+    Bool(bool),
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<i32> for AttrValue {
+    fn from(v: i32) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::Uint(v)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Uint(v as u64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+/// A key/value attribute list.
+pub type Attrs = Vec<(String, AttrValue)>;
+
+/// A completed span: a named interval with parent/child nesting.
+///
+/// Timestamps are microseconds relative to the tracer's epoch (the moment
+/// the tracer was created), so traces are trivially diff-able across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id within the tracer (1-based, allocation order).
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Dotted span name, e.g. `ppa.presence` (see OBSERVABILITY.md).
+    pub name: String,
+    /// Start offset from the tracer epoch, in microseconds.
+    pub start_us: u64,
+    /// Wall-clock duration, in microseconds.
+    pub elapsed_us: u64,
+    /// Attributes set while the span was open.
+    pub attrs: Attrs,
+}
+
+/// A point-in-time event (zero duration), e.g. a guard trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Id of the span that was open when the event fired, if any.
+    pub parent: Option<u64>,
+    /// Dotted event name, e.g. `ppa.cut`.
+    pub name: String,
+    /// Offset from the tracer epoch, in microseconds.
+    pub at_us: u64,
+    /// Attributes describing the event.
+    pub attrs: Attrs,
+}
+
+/// A single metric at snapshot time (see
+/// [`MetricsRegistry::snapshot`](crate::MetricsRegistry::snapshot)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRecord {
+    /// Dotted metric name, e.g. `exec.rows_scanned`.
+    pub name: String,
+    /// The metric's value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// The value payload of a [`MetricRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter total.
+    Counter(u64),
+    /// Last-write-wins gauge level.
+    Gauge(i64),
+    /// Latency histogram: cumulative-free per-bucket counts plus totals.
+    Histogram {
+        /// `(upper_bound_us, count)` per bucket; the final bucket's bound
+        /// is `u64::MAX` (overflow).
+        buckets: Vec<(u64, u64)>,
+        /// Total number of observations.
+        count: u64,
+        /// Sum of all observations, in microseconds.
+        sum_us: u64,
+    },
+}
+
+/// Anything a [`Recorder`] can receive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A completed span.
+    Span(SpanRecord),
+    /// A point-in-time event.
+    Event(EventRecord),
+    /// A metric snapshot entry.
+    Metric(MetricRecord),
+}
+
+impl Record {
+    /// The record's name (span name, event name, or metric name).
+    pub fn name(&self) -> &str {
+        match self {
+            Record::Span(s) => &s.name,
+            Record::Event(e) => &e.name,
+            Record::Metric(m) => &m.name,
+        }
+    }
+
+    /// Serializes the record as a single JSON object on one line (no
+    /// trailing newline). This is the JSON-lines wire format written by
+    /// [`JsonLinesRecorder`]; it is hand-rolled so the crate stays
+    /// dependency-free.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(128);
+        match self {
+            Record::Span(sp) => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":{},\"start_us\":{},\"elapsed_us\":{}",
+                    sp.id,
+                    opt_u64(sp.parent),
+                    json_str(&sp.name),
+                    sp.start_us,
+                    sp.elapsed_us
+                );
+                push_attrs(&mut s, &sp.attrs);
+                s.push('}');
+            }
+            Record::Event(ev) => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"event\",\"parent\":{},\"name\":{},\"at_us\":{}",
+                    opt_u64(ev.parent),
+                    json_str(&ev.name),
+                    ev.at_us
+                );
+                push_attrs(&mut s, &ev.attrs);
+                s.push('}');
+            }
+            Record::Metric(m) => {
+                let _ = write!(s, "{{\"type\":\"metric\",\"name\":{}", json_str(&m.name));
+                match &m.value {
+                    MetricValue::Counter(v) => {
+                        let _ = write!(s, ",\"kind\":\"counter\",\"value\":{v}");
+                    }
+                    MetricValue::Gauge(v) => {
+                        let _ = write!(s, ",\"kind\":\"gauge\",\"value\":{v}");
+                    }
+                    MetricValue::Histogram { buckets, count, sum_us } => {
+                        let _ = write!(s, ",\"kind\":\"histogram\",\"count\":{count},\"sum_us\":{sum_us},\"buckets\":[");
+                        for (i, (bound, n)) in buckets.iter().enumerate() {
+                            if i > 0 {
+                                s.push(',');
+                            }
+                            if *bound == u64::MAX {
+                                let _ = write!(s, "[null,{n}]");
+                            } else {
+                                let _ = write!(s, "[{bound},{n}]");
+                            }
+                        }
+                        s.push(']');
+                    }
+                }
+                s.push('}');
+            }
+        }
+        s
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn push_attrs(s: &mut String, attrs: &Attrs) {
+    if attrs.is_empty() {
+        return;
+    }
+    s.push_str(",\"attrs\":{");
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&json_str(k));
+        s.push(':');
+        match v {
+            AttrValue::Int(v) => {
+                let _ = write!(s, "{v}");
+            }
+            AttrValue::Uint(v) => {
+                let _ = write!(s, "{v}");
+            }
+            AttrValue::Float(v) => {
+                if v.is_finite() {
+                    let _ = write!(s, "{v}");
+                } else {
+                    s.push_str("null");
+                }
+            }
+            AttrValue::Str(v) => s.push_str(&json_str(v)),
+            AttrValue::Bool(v) => {
+                let _ = write!(s, "{v}");
+            }
+        }
+    }
+    s.push('}');
+}
+
+/// Escapes a string for inclusion in JSON output, quotes included.
+fn json_str(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A sink for finished [`Record`]s. See the module docs for the contract.
+pub trait Recorder: Send + Sync {
+    /// Accepts one finished record.
+    fn record(&self, record: Record);
+
+    /// Persists buffered records, if the sink buffers. Default: no-op.
+    fn flush(&self) {}
+}
+
+/// A recorder that buffers every record in memory, for tests and for
+/// post-run analysis (e.g. the `repro` phase breakdown).
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    records: Mutex<Vec<Record>>,
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy of everything recorded so far.
+    pub fn records(&self) -> Vec<Record> {
+        self.records.lock().expect("recorder lock").clone()
+    }
+
+    /// Drains and returns everything recorded so far.
+    pub fn take(&self) -> Vec<Record> {
+        std::mem::take(&mut *self.records.lock().expect("recorder lock"))
+    }
+
+    /// Returns only the spans recorded so far, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.records
+            .lock()
+            .expect("recorder lock")
+            .iter()
+            .filter_map(|r| match r {
+                Record::Span(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Returns only the events recorded so far, in emission order.
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.records
+            .lock()
+            .expect("recorder lock")
+            .iter()
+            .filter_map(|r| match r {
+                Record::Event(e) => Some(e.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, record: Record) {
+        self.records.lock().expect("recorder lock").push(record);
+    }
+}
+
+/// A recorder that streams each record as one JSON object per line.
+///
+/// The writer is wrapped in a [`std::io::BufWriter`]; call
+/// [`Recorder::flush`] (or drop the tracer) at the end of a run to make
+/// sure everything hits the file. Write errors are counted, not
+/// propagated — a broken trace file must never fail the query it was
+/// observing.
+pub struct JsonLinesRecorder<W: std::io::Write + Send> {
+    out: Mutex<std::io::BufWriter<W>>,
+    errors: std::sync::atomic::AtomicU64,
+}
+
+impl JsonLinesRecorder<std::fs::File> {
+    /// Creates (truncating) `path` and streams records to it.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(Self::from_writer(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: std::io::Write + Send> JsonLinesRecorder<W> {
+    /// Wraps an arbitrary writer (e.g. a `Vec<u8>` in tests).
+    pub fn from_writer(w: W) -> Self {
+        JsonLinesRecorder {
+            out: Mutex::new(std::io::BufWriter::new(w)),
+            errors: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Number of records dropped because the underlying writer errored.
+    pub fn write_errors(&self) -> u64 {
+        self.errors.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl<W: std::io::Write + Send> Recorder for JsonLinesRecorder<W> {
+    fn record(&self, record: Record) {
+        let line = record.to_json_line();
+        let mut out = self.out.lock().expect("recorder lock");
+        if writeln!(out, "{line}").is_err() {
+            self.errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("recorder lock").flush();
+    }
+}
+
+impl<W: std::io::Write + Send> Drop for JsonLinesRecorder<W> {
+    fn drop(&mut self) {
+        Recorder::flush(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("line\nfeed\ttab"), "\"line\\nfeed\\ttab\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn span_json_shape() {
+        let r = Record::Span(SpanRecord {
+            id: 3,
+            parent: Some(1),
+            name: "exec.query".into(),
+            start_us: 10,
+            elapsed_us: 25,
+            attrs: vec![
+                ("rows".into(), AttrValue::Uint(7)),
+                ("sel".into(), AttrValue::Float(0.5)),
+                ("phase".into(), AttrValue::Str("presence".into())),
+            ],
+        });
+        assert_eq!(
+            r.to_json_line(),
+            "{\"type\":\"span\",\"id\":3,\"parent\":1,\"name\":\"exec.query\",\
+             \"start_us\":10,\"elapsed_us\":25,\
+             \"attrs\":{\"rows\":7,\"sel\":0.5,\"phase\":\"presence\"}}"
+        );
+    }
+
+    #[test]
+    fn event_without_attrs_omits_attrs_key() {
+        let r = Record::Event(EventRecord {
+            parent: None,
+            name: "ppa.cut".into(),
+            at_us: 99,
+            attrs: vec![],
+        });
+        assert_eq!(
+            r.to_json_line(),
+            "{\"type\":\"event\",\"parent\":null,\"name\":\"ppa.cut\",\"at_us\":99}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        let r = Record::Event(EventRecord {
+            parent: None,
+            name: "e".into(),
+            at_us: 0,
+            attrs: vec![("x".into(), AttrValue::Float(f64::NAN))],
+        });
+        assert!(r.to_json_line().contains("\"x\":null"));
+    }
+
+    #[test]
+    fn jsonl_recorder_writes_one_line_per_record() {
+        let rec = JsonLinesRecorder::from_writer(Vec::new());
+        rec.record(Record::Event(EventRecord {
+            parent: None,
+            name: "a".into(),
+            at_us: 1,
+            attrs: vec![],
+        }));
+        rec.record(Record::Metric(MetricRecord {
+            name: "m".into(),
+            value: MetricValue::Counter(2),
+        }));
+        rec.flush();
+        let buf = {
+            let guard = rec.out.lock().expect("lock");
+            guard.get_ref().clone()
+        };
+        let text = String::from_utf8(buf).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+}

@@ -1,0 +1,261 @@
+//! The [`Tracer`] and its RAII [`Span`] guard.
+//!
+//! A tracer is either *enabled* (wraps a [`Recorder`]) or *disabled*
+//! (the default). Disabled tracers are a single `Option` check on every
+//! call — instrumented code pays nothing when nobody is listening, so the
+//! engine can keep its instrumentation unconditionally compiled in.
+//!
+//! Span nesting is tracked with an explicit stack inside the tracer, not
+//! thread-locals: the engine is single-threaded by design (see the scope
+//! notes in `README.md`), and an explicit stack keeps the crate free of
+//! global state. Opening spans from multiple threads on one tracer is
+//! safe (everything is behind a mutex) but will interleave parents
+//! unpredictably; give each thread its own tracer instead.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::MetricsRegistry;
+use crate::recorder::{AttrValue, Attrs, EventRecord, Record, Recorder, SpanRecord};
+
+struct Inner {
+    recorder: Arc<dyn Recorder>,
+    epoch: Instant,
+    next_id: AtomicU64,
+    stack: Mutex<Vec<u64>>,
+}
+
+/// Cheaply clonable handle that assembles spans and events and forwards
+/// them to its [`Recorder`]. See the module docs.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing. Every operation is a no-op.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A tracer that forwards finished spans and events to `recorder`.
+    /// The tracer's epoch (time zero for all `start_us`/`at_us` offsets)
+    /// is the moment of this call.
+    pub fn new(recorder: Arc<dyn Recorder>) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                recorder,
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                stack: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Whether spans/events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span. The span records itself when dropped (or when
+    /// [`Span::finish`] is called); spans opened while it is live become
+    /// its children. On a disabled tracer this is free.
+    pub fn span(&self, name: &str) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span { inner: None, id: 0, parent: None, name: String::new(), start: None, attrs: Vec::new() };
+        };
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = {
+            let mut stack = inner.stack.lock().expect("span stack");
+            let parent = stack.last().copied();
+            stack.push(id);
+            parent
+        };
+        Span {
+            inner: Some(inner.clone()),
+            id,
+            parent,
+            name: name.to_string(),
+            start: Some(Instant::now()),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Emits a point-in-time event, parented to the innermost open span.
+    pub fn event(&self, name: &str, attrs: &[(&str, AttrValue)]) {
+        let Some(inner) = &self.inner else { return };
+        let parent = inner.stack.lock().expect("span stack").last().copied();
+        inner.recorder.record(Record::Event(EventRecord {
+            parent,
+            name: name.to_string(),
+            at_us: inner.epoch.elapsed().as_micros() as u64,
+            attrs: attrs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        }));
+    }
+
+    /// Snapshots `metrics` and records one [`Record::Metric`] per metric.
+    /// Typically called once at the end of a traced run.
+    pub fn record_metrics(&self, metrics: &MetricsRegistry) {
+        let Some(inner) = &self.inner else { return };
+        for m in metrics.snapshot() {
+            inner.recorder.record(Record::Metric(m));
+        }
+    }
+
+    /// Flushes the underlying recorder.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.flush();
+        }
+    }
+}
+
+/// RAII guard for an open span. Records a [`SpanRecord`] on drop.
+///
+/// The guard is deliberately not `Clone`: one open span, one owner.
+#[must_use = "a span measures the scope it lives in; binding it to `_` drops it immediately"]
+pub struct Span {
+    inner: Option<Arc<Inner>>,
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start: Option<Instant>,
+    attrs: Attrs,
+}
+
+impl Span {
+    /// The span's id (0 on a disabled tracer). Useful in tests.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attaches an attribute. Later writes to the same key append rather
+    /// than overwrite — readers take the last occurrence.
+    pub fn attr(&mut self, key: &str, value: impl Into<AttrValue>) {
+        if self.inner.is_some() {
+            self.attrs.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Closes the span now (identical to dropping it, but reads better
+    /// at call sites that end a phase mid-function).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else { return };
+        {
+            let mut stack = inner.stack.lock().expect("span stack");
+            // Normal case: we are the innermost span. If spans were
+            // dropped out of order, fall back to removing our id
+            // wherever it sits so the stack never leaks entries.
+            if stack.last() == Some(&self.id) {
+                stack.pop();
+            } else {
+                stack.retain(|&id| id != self.id);
+            }
+        }
+        let start = self.start.unwrap_or_else(Instant::now);
+        let start_us = start.saturating_duration_since(inner.epoch).as_micros() as u64;
+        inner.recorder.record(Record::Span(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            start_us,
+            elapsed_us: start.elapsed().as_micros() as u64,
+            attrs: std::mem::take(&mut self.attrs),
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::MemoryRecorder;
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_is_cheap() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let mut s = t.span("anything");
+        s.attr("k", 1u64);
+        drop(s);
+        t.event("e", &[]);
+        t.flush();
+    }
+
+    #[test]
+    fn nesting_assigns_parents() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let t = Tracer::new(rec.clone());
+        {
+            let outer = t.span("outer");
+            {
+                let _inner = t.span("inner");
+            }
+            t.event("tick", &[]);
+            drop(outer);
+        }
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2);
+        // Completion order: inner first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].parent, None);
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].parent, Some(spans[1].id));
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let t = Tracer::new(rec.clone());
+        let root = t.span("root");
+        let root_id = root.id();
+        for _ in 0..3 {
+            let _child = t.span("child");
+        }
+        drop(root);
+        let spans = rec.spans();
+        assert_eq!(spans.iter().filter(|s| s.parent == Some(root_id)).count(), 3);
+    }
+
+    #[test]
+    fn out_of_order_drop_does_not_leak_stack_entries() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let t = Tracer::new(rec.clone());
+        let a = t.span("a");
+        let b = t.span("b");
+        drop(a); // dropped before its child
+        drop(b);
+        let _after = t.span("after");
+        drop(_after);
+        let spans = rec.spans();
+        // `after` must be a root span: the stack recovered.
+        let after = spans.iter().find(|s| s.name == "after").expect("after span");
+        assert_eq!(after.parent, None);
+    }
+
+    #[test]
+    fn attrs_round_trip() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let t = Tracer::new(rec.clone());
+        let mut s = t.span("s");
+        s.attr("rows", 42u64);
+        s.attr("name", "scan");
+        drop(s);
+        let spans = rec.spans();
+        assert_eq!(spans[0].attrs[0], ("rows".to_string(), AttrValue::Uint(42)));
+        assert_eq!(spans[0].attrs[1], ("name".to_string(), AttrValue::Str("scan".into())));
+    }
+}

@@ -101,6 +101,10 @@ impl Buckets {
         }
         total
     }
+
+    fn total(&self) -> f64 {
+        self.counts.iter().sum::<usize>() as f64
+    }
 }
 
 impl Histogram {
@@ -223,7 +227,24 @@ impl Histogram {
     /// Estimated number of non-null values strictly below `value`.
     fn count_below_estimate(&self, value: &Value) -> f64 {
         match (&self.buckets, value.as_f64()) {
-            (Some(b), Some(x)) => b.count_below(x),
+            (Some(b), Some(x)) => {
+                if x.is_nan() {
+                    // An unordered bound has no position in the bucket
+                    // range; assume half the column rather than letting
+                    // NaN propagate into the estimate.
+                    return (self.rows - self.nulls) as f64 / 2.0;
+                }
+                if x == b.max {
+                    // The interpolation in `count_below` lands on the full
+                    // count at the upper bound, which wrongly includes the
+                    // rows *equal* to the maximum: `< max` would estimate
+                    // 1.0 and `>= max` would estimate 0.0. Subtract the
+                    // equal rows instead. This also covers constant
+                    // columns (max == min, zero-width buckets).
+                    return (b.total() - self.eq_count_estimate(value)).max(0.0);
+                }
+                b.count_below(x)
+            }
             _ => {
                 // Categorical ordering: count MCVs below (complete lists make
                 // this exact; otherwise fall back to half the column).
@@ -328,5 +349,73 @@ mod tests {
         let h = hist(vals);
         assert!((h.selectivity(CmpOp::Eq, &Value::Int(7)) - 1.0).abs() < 1e-9);
         assert_eq!(h.selectivity(CmpOp::Lt, &Value::Int(7)), 0.0);
+    }
+
+    // Regression: with max == min every bucket is zero-width; predicates
+    // on either side of the single value must still resolve exactly.
+    #[test]
+    fn constant_column_zero_width_buckets() {
+        let vals: Vec<Value> = vec![Value::Int(7); 50];
+        let h = hist(vals);
+        assert_eq!(h.selectivity(CmpOp::Lt, &Value::Float(7.5)), 1.0);
+        assert_eq!(h.selectivity(CmpOp::Gt, &Value::Float(6.5)), 1.0);
+        assert_eq!(h.selectivity(CmpOp::Gt, &Value::Int(7)), 0.0);
+        assert_eq!(h.selectivity(CmpOp::Ge, &Value::Int(7)), 1.0);
+        assert_eq!(h.selectivity(CmpOp::Le, &Value::Int(7)), 1.0);
+    }
+
+    // Regression: a predicate pinned at the column maximum used to fold
+    // the max-valued rows into `count_below`, so `< max` estimated 1.0
+    // and `>= max` estimated 0.0 — inverting PPA's subquery ordering for
+    // exactly the boundary preferences users state most often.
+    #[test]
+    fn predicate_at_column_max() {
+        let vals: Vec<Value> = (0..100).map(Value::Int).collect();
+        let h = hist(vals);
+        let lt_max = h.selectivity(CmpOp::Lt, &Value::Int(99));
+        assert!(lt_max < 1.0, "lt_max={lt_max}");
+        assert!((lt_max - 0.99).abs() < 0.02, "lt_max={lt_max}");
+        let ge_max = h.selectivity(CmpOp::Ge, &Value::Int(99));
+        assert!(ge_max > 0.0, "ge_max={ge_max}");
+        assert!((ge_max - 0.01).abs() < 0.02, "ge_max={ge_max}");
+        assert_eq!(h.selectivity(CmpOp::Le, &Value::Int(99)), 1.0);
+        assert_eq!(h.selectivity(CmpOp::Gt, &Value::Int(99)), 0.0);
+    }
+
+    // Regression: out-of-range predicates must saturate, not extrapolate.
+    #[test]
+    fn out_of_range_predicates_saturate() {
+        let vals: Vec<Value> = (0..100).map(Value::Int).collect();
+        let h = hist(vals);
+        assert_eq!(h.selectivity(CmpOp::Lt, &Value::Int(-5)), 0.0);
+        assert_eq!(h.selectivity(CmpOp::Ge, &Value::Int(-5)), 1.0);
+        assert_eq!(h.selectivity(CmpOp::Gt, &Value::Int(1000)), 0.0);
+        assert_eq!(h.selectivity(CmpOp::Le, &Value::Int(1000)), 1.0);
+        assert_eq!(h.selectivity_between(&Value::Int(500), &Value::Int(600)), 0.0);
+    }
+
+    // Regression: a NaN bound used to propagate through the interpolation
+    // and out of `clamp` (clamp(NaN) is NaN). Estimates must stay finite.
+    #[test]
+    fn nan_bound_yields_finite_estimates() {
+        let vals: Vec<Value> = (0..100).map(Value::Int).collect();
+        let h = hist(vals);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let s = h.selectivity(op, &Value::Float(f64::NAN));
+            assert!(s.is_finite(), "{op:?} -> {s}");
+            assert!((0.0..=1.0).contains(&s), "{op:?} -> {s}");
+        }
+        let s = h.selectivity_between(&Value::Float(f64::NAN), &Value::Int(50));
+        assert!(s.is_finite() && (0.0..=1.0).contains(&s), "between -> {s}");
+    }
+
+    // A degenerate BETWEEN (lo == hi) reduces to equality.
+    #[test]
+    fn between_single_point_matches_equality() {
+        let vals: Vec<Value> = (0..100).map(|i| Value::Int(i % 10)).collect();
+        let h = hist(vals);
+        let between = h.selectivity_between(&Value::Int(4), &Value::Int(4));
+        let eq = h.selectivity(CmpOp::Eq, &Value::Int(4));
+        assert!((between - eq).abs() < 0.02, "between={between} eq={eq}");
     }
 }

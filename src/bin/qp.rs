@@ -73,7 +73,7 @@ impl Shell {
             "quit" | "q" | "exit" => return Ok(false),
             "help" | "h" => {
                 println!(
-                    "commands:\n  \\gen <movies>        regenerate the database\n  \\schema              show the catalog\n  \\profile al|<file>   load a profile (Figure-2 notation)\n  \\profile show        print the active profile\n  \\k <n> | \\l <n>      set K / L\n  \\ranking inflationary|dominant|reserved\n  \\algo spa|ppa        answer algorithm\n  \\explain on|off      per-tuple explanations\n  \\plain <sql>         run SQL without personalization\n  <sql>                run SQL personalized\n  \\quit"
+                    "commands:\n  \\gen <movies>        regenerate the database\n  \\schema              show the catalog\n  \\profile al|<file>   load a profile (Figure-2 notation)\n  \\profile show        print the active profile\n  \\k <n> | \\l <n>      set K / L\n  \\ranking inflationary|dominant|reserved\n  \\algo spa|ppa        answer algorithm\n  \\explain on|off      per-tuple explanations\n  \\explain <sql>       show the physical plan\n  \\analyze <sql>       EXPLAIN ANALYZE: run with per-operator profiling\n  \\plain <sql>         run SQL without personalization\n  <sql>                run SQL personalized\n  \\quit"
                 );
             }
             "gen" => {
@@ -143,6 +143,16 @@ impl Shell {
             "explain" => {
                 self.explain = !matches!(rest.first().copied(), Some("off"));
                 println!("explanations {}", if self.explain { "on" } else { "off" });
+            }
+            "analyze" => {
+                let sql = rest.join(" ");
+                if sql.is_empty() {
+                    return Err("usage: \\analyze <sql>".to_string());
+                }
+                let engine = personalized_queries::exec::Engine::new();
+                let query = personalized_queries::sql::parse_query(&sql).map_err(|e| e.to_string())?;
+                let plan = engine.explain_analyze(&self.db, &query).map_err(|e| e.to_string())?;
+                print!("{plan}");
             }
             "dump" => {
                 let dir = rest.first().ok_or("usage: \\dump <dir>")?;

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # personalized-queries
 //!
 //! A reproduction of *Koutrika & Ioannidis, "Personalized Queries under a
@@ -12,12 +14,15 @@
 //!   preference selection (SPS / FakeCrit / doi-driven), ranking functions,
 //!   and personalized answer generation (SPA / PPA).
 //! * [`datagen`] — synthetic IMDB-style data, profiles, simulated users.
+//! * [`obs`] — zero-dependency observability: structured spans, metrics,
+//!   pluggable trace recorders (see OBSERVABILITY.md).
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
 pub use qp_core as core;
 pub use qp_datagen as datagen;
 pub use qp_exec as exec;
+pub use qp_obs as obs;
 pub use qp_sql as sql;
 pub use qp_storage as storage;
 
