@@ -1,0 +1,73 @@
+//! The serving layer under criterion: PPA with the worker pool fanned
+//! out vs the serial path, and repeated requests with the plan +
+//! preference caches warm vs bypassed (run `repro --bench-parallel` for
+//! the at-scale snapshot written to BENCH_parallel.json).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qp_bench::{bench_db, efficiency_options, positive_profile, Scale};
+use qp_core::{AnswerAlgorithm, PersonalizeRequest, Personalizer};
+
+fn parallel_ppa_benches(c: &mut Criterion) {
+    let db = bench_db(Scale::Small);
+    let profile = positive_profile(&db, 30, 7);
+    let opts = efficiency_options(15, 1, AnswerAlgorithm::Ppa);
+    let sql = "select title from MOVIE";
+
+    // Worker-pool scaling. Caches are bypassed per request so every
+    // iteration measures the same planning + probe work; on a single-core
+    // host the parallel rows can at best tie the serial one.
+    let mut g = c.benchmark_group("parallel_ppa");
+    g.sample_size(20);
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            let mut p = Personalizer::new(&db);
+            b.iter(|| {
+                p.run(
+                    PersonalizeRequest::sql(&profile, sql)
+                        .options(opts)
+                        .parallelism(w)
+                        .plan_cache(false)
+                        .preference_cache(false),
+                )
+                .expect("personalizes")
+            })
+        });
+    }
+    g.finish();
+
+    // Repeated-request serving: one Personalizer answering the same
+    // point query again and again, cold (caches bypassed) vs warm
+    // (plans + selection reused).
+    let point_sql = "select M.title from MOVIE M where M.mid = 242";
+    let mut g = c.benchmark_group("cache_reuse");
+    g.sample_size(50);
+    g.bench_function("cold", |b| {
+        let mut p = Personalizer::new(&db);
+        b.iter(|| {
+            p.run(
+                PersonalizeRequest::sql(&profile, point_sql)
+                    .options(opts)
+                    .plan_cache(false)
+                    .preference_cache(false),
+            )
+            .expect("personalizes")
+        })
+    });
+    g.bench_function("warm", |b| {
+        let mut p = Personalizer::new(&db);
+        p.run(PersonalizeRequest::sql(&profile, point_sql).options(opts))
+            .expect("warming run personalizes");
+        b.iter(|| {
+            p.run(PersonalizeRequest::sql(&profile, point_sql).options(opts))
+                .expect("personalizes")
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = parallel_ppa_benches
+}
+criterion_main!(benches);

@@ -6,8 +6,8 @@
 use std::time::{Duration, Instant};
 
 use qp_core::{
-    AnswerAlgorithm, MixedKind, PersonalizationOptions, Personalizer, Ranking, RankingKind,
-    SelectionAlgorithm, SelectionCriterion,
+    AnswerAlgorithm, MixedKind, PersonalizationOptions, PersonalizeRequest, Personalizer, Ranking,
+    RankingKind, SelectionAlgorithm, SelectionCriterion,
 };
 use qp_datagen::{generate, ImdbScale, ProfileSpec};
 use qp_storage::Database;
@@ -108,7 +108,9 @@ pub fn run_personalization(
     options: &PersonalizationOptions,
 ) -> qp_core::personalize::PersonalizationReport {
     let mut p = Personalizer::new(db);
-    p.personalize_sql(profile, sql, options).expect("personalization succeeds")
+    p.run(PersonalizeRequest::sql(profile, sql).options(*options))
+        .expect("personalization succeeds")
+        .report
 }
 
 /// Prints an aligned table: header + rows of equal arity. When the

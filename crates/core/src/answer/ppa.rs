@@ -30,12 +30,26 @@
 //! still satisfy every *executed* absence query's preference precisely by
 //! not having been returned by it. We use the corrected bound (all
 //! absence preferences) so emission order provably respects rank.
+//!
+//! **Parallelism.** Per-tuple probes within a round are independent, so
+//! when the engine's parallelism allows, each round collects its fresh
+//! tuples serially (the dedup against `seen` is order-sensitive), splits
+//! them into contiguous chunks, and fans the chunks out over
+//! [`qp_exec::parallel_map`]'s scoped worker threads under a
+//! `ppa.parallel_round` span. Each worker clones the prepared probes once
+//! and rebinds them in place per tuple. Workers share the engine, database
+//! and guard immutably and return their results in input order, so a
+//! parallel round buffers exactly what a serial one would — answers are
+//! byte-identical. On a guard trip or fault the whole round's batch is
+//! discarded; every tuple of that round is bounded by the round's MEDI,
+//! which is also the cut's final emission bound, so the degraded answer
+//! still emits nothing it cannot prove the rank of.
 
 use std::collections::{BinaryHeap, HashSet};
 use std::time::{Duration, Instant};
 
 use qp_exec::planner::CompiledQuery;
-use qp_exec::{Engine, ExecError, ExecStats, QueryGuard};
+use qp_exec::{parallel_map, Engine, ExecError, ExecStats, QueryGuard};
 use qp_sql::{builder, Query, Select, SelectItem, TableRef};
 use qp_storage::{Database, RelId};
 
@@ -94,6 +108,84 @@ impl Ord for Buffered {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.doi.total_cmp(&other.doi).then_with(|| other.tid.cmp(&self.tid))
     }
+}
+
+/// Everything the parameterized probes learn about one candidate tuple.
+struct Probed {
+    /// Presence preferences the tuple satisfies, with degrees.
+    sat: Vec<(usize, f64)>,
+    /// Absence preferences the tuple fails, with (non-positive) degrees.
+    abs_failed: Vec<(usize, f64)>,
+    /// Parameterized queries executed for this tuple.
+    queries: usize,
+    /// Execution counters those queries accrued.
+    stats: ExecStats,
+}
+
+/// Splits `items` into at most `workers` contiguous chunks whose sizes
+/// differ by at most one. Chunk order equals input order, so flattening
+/// the per-chunk results reproduces the serial processing order exactly.
+fn chunked<T>(items: Vec<T>, workers: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let base = n / workers;
+    let extra = n % workers;
+    let mut iter = items.into_iter();
+    (0..workers).map(|w| iter.by_ref().take(base + usize::from(w < extra)).collect()).collect()
+}
+
+/// Evaluates the remaining parameterized queries for one chunk of fresh
+/// tuples. The chunk clones each pristine prepared probe (compiled with
+/// the placeholder row id 0) exactly once and then rebinds it in place
+/// per tuple — one plan clone per probe per *worker*, not per tuple, so
+/// the per-tuple cost is running the probe, nothing else. The guard is
+/// shared — across threads its budget atomics stay global, so a parallel
+/// round cannot out-spend a serial one.
+fn probe_chunk(
+    engine: &Engine,
+    db: &Database,
+    guard: &QueryGuard,
+    first_rel: RelId,
+    chunk: Vec<(u64, f64)>,
+    s_probe: &[(usize, &CompiledQuery, f64)],
+    a_probe: &[(usize, &CompiledQuery, f64)],
+) -> Result<Vec<(u64, f64, Probed)>, ExecError> {
+    let mut s_local: Vec<(usize, CompiledQuery, f64)> =
+        s_probe.iter().map(|(p, q, d)| (*p, (*q).clone(), *d)).collect();
+    let mut a_local: Vec<(usize, CompiledQuery, f64)> =
+        a_probe.iter().map(|(p, q, d)| (*p, (*q).clone(), *d)).collect();
+    let mut out = Vec::with_capacity(chunk.len());
+    for (tid, degree) in chunk {
+        let mut probed = Probed {
+            sat: Vec::new(),
+            abs_failed: Vec::new(),
+            queries: 0,
+            stats: ExecStats::default(),
+        };
+        for (pref, q, d_plus) in s_local.iter_mut() {
+            probed.queries += 1;
+            q.rebind_rowid(first_rel, tid);
+            let rows = engine.execute_prepared_rows_guarded(db, q, &mut probed.stats, guard)?;
+            if let Some(r) = rows.first() {
+                let d = r[1].as_f64().unwrap_or(*d_plus);
+                probed.sat.push((*pref, d.max(0.0)));
+            }
+        }
+        for (pref, q, d_minus) in a_local.iter_mut() {
+            probed.queries += 1;
+            q.rebind_rowid(first_rel, tid);
+            let rows = engine.execute_prepared_rows_guarded(db, q, &mut probed.stats, guard)?;
+            if let Some(r) = rows.first() {
+                let d = r[1].as_f64().unwrap_or(*d_minus);
+                probed.abs_failed.push((*pref, d.min(0.0)));
+            }
+        }
+        out.push((tid, degree, probed));
+    }
+    Ok(out)
 }
 
 /// Runs PPA and returns the (emission-ordered) answer plus stats.
@@ -376,6 +468,9 @@ pub fn ppa_guarded(
                 break 'presence;
             }
         };
+        // Fresh tuples are collected serially (dedup against `seen`), then
+        // probed — across worker threads when parallelism allows.
+        let mut fresh: Vec<(u64, f64)> = Vec::new();
         for row in rs.rows {
             let tid = match row[0].as_i64() {
                 Some(t) if t >= 0 => t as u64,
@@ -384,50 +479,51 @@ pub fn ppa_guarded(
             if !seen.insert(tid) {
                 continue;
             }
-            let degree = row[1].as_f64().unwrap_or(d_plus(pref_i));
-            let mut sat: Vec<(usize, f64)> = vec![(pref_i, degree.max(0.0))];
-            // later presence queries, rebound to this tuple
-            for (sj, &pref_j) in s_order.iter().enumerate().skip(si + 1) {
-                stats.parameterized_queries += 1;
-                s_prepared[sj].rebind_rowid(first_rel, tid);
-                let prs = match engine
-                    .execute_prepared_rows_guarded(db, &s_prepared[sj], &mut estats, guard)
-                {
-                    Ok(r) => r,
-                    Err(e) => {
-                        // the partially probed tuple is dropped: its doi
-                        // is unknown, so it cannot be ranked
-                        cut = Some((PpaPhase::Presence(si), DegradeCause::from_exec(&e)));
-                        break 'presence;
-                    }
-                };
-                if let Some(r) = prs.first() {
-                    let d = r[1].as_f64().unwrap_or(d_plus(pref_j));
-                    sat.push((pref_j, d.max(0.0)));
-                }
+            fresh.push((tid, row[1].as_f64().unwrap_or(d_plus(pref_i))));
+        }
+        // later presence queries plus all absence queries, rebound per tuple
+        let s_probe: Vec<(usize, &CompiledQuery, f64)> = s_order
+            .iter()
+            .enumerate()
+            .skip(si + 1)
+            .map(|(sj, &p)| (p, &s_prepared[sj], d_plus(p)))
+            .collect();
+        let a_probe: Vec<(usize, &CompiledQuery, f64)> =
+            a_order.iter().enumerate().map(|(aj, &p)| (p, &a_prepared[aj], d_minus(p))).collect();
+        let workers = engine.parallelism().min(fresh.len());
+        let par_span = (workers > 1).then(|| {
+            let mut sp = tracer.span("ppa.parallel_round");
+            sp.attr("phase", "presence");
+            sp.attr("round", si);
+            sp.attr("tuples", fresh.len());
+            sp.attr("workers", workers);
+            sp
+        });
+        let shared: &Engine = engine;
+        let probed = parallel_map(chunked(fresh, workers.max(1)), workers, |_, chunk| {
+            probe_chunk(shared, db, guard, first_rel, chunk, &s_probe, &a_probe)
+        });
+        drop(par_span);
+        let probed: Vec<(u64, f64, Probed)> = match probed {
+            Ok(p) => p.into_iter().flatten().collect(),
+            Err(e) => {
+                // the round's batch is dropped whole: partially probed
+                // tuples have unknown doi, and every tuple of this round
+                // is bounded by the round's MEDI — the cut's emission
+                // bound — so nothing emitted can be outranked by a drop
+                cut = Some((PpaPhase::Presence(si), DegradeCause::from_exec(&e)));
+                break 'presence;
             }
+        };
+        for (tid, degree, p) in probed {
+            stats.parameterized_queries += p.queries;
+            estats.merge(&p.stats);
+            let mut sat: Vec<(usize, f64)> = vec![(pref_i, degree.max(0.0))];
+            sat.extend(p.sat);
             let sat_pres: HashSet<usize> = sat.iter().map(|(i, _)| *i).collect();
             let pres_failed: Vec<usize> =
                 s_order.iter().copied().filter(|i| !sat_pres.contains(i)).collect();
-            // all absence queries, rebound to this tuple: rows are failures
-            let mut abs_failed: Vec<(usize, f64)> = Vec::new();
-            for (aj, &pref_j) in a_order.iter().enumerate() {
-                stats.parameterized_queries += 1;
-                a_prepared[aj].rebind_rowid(first_rel, tid);
-                let ars = match engine
-                    .execute_prepared_rows_guarded(db, &a_prepared[aj], &mut estats, guard)
-                {
-                    Ok(r) => r,
-                    Err(e) => {
-                        cut = Some((PpaPhase::Presence(si), DegradeCause::from_exec(&e)));
-                        break 'presence;
-                    }
-                };
-                if let Some(r) = ars.first() {
-                    let d = r[1].as_f64().unwrap_or(d_minus(pref_j));
-                    abs_failed.push((pref_j, d.min(0.0)));
-                }
-            }
+            let abs_failed = p.abs_failed;
             let failed_abs: HashSet<usize> = abs_failed.iter().map(|(i, _)| *i).collect();
             let abs_sat: Vec<usize> =
                 a_order.iter().copied().filter(|i| !failed_abs.contains(i)).collect();
@@ -489,6 +585,7 @@ pub fn ppa_guarded(
                     break 'absence;
                 }
             };
+            let mut fresh: Vec<(u64, f64)> = Vec::new();
             for row in rs.rows {
                 let tid = match row[0].as_i64() {
                     Some(t) if t >= 0 => t as u64,
@@ -503,25 +600,41 @@ pub fn ppa_guarded(
                     continue;
                 }
                 seen.insert(tid);
-                let d0 = row[1].as_f64().unwrap_or(d_minus(pref_i));
-                let mut abs_failed: Vec<(usize, f64)> = vec![(pref_i, d0.min(0.0))];
-                for (aj, &pref_j) in a_order.iter().enumerate().skip(ai + 1) {
-                    stats.parameterized_queries += 1;
-                    a_prepared[aj].rebind_rowid(first_rel, tid);
-                    let ars = match engine
-                        .execute_prepared_rows_guarded(db, &a_prepared[aj], &mut estats, guard)
-                    {
-                        Ok(r) => r,
-                        Err(e) => {
-                            cut = Some((PpaPhase::Absence(ai), DegradeCause::from_exec(&e)));
-                            break 'absence;
-                        }
-                    };
-                    if let Some(r) = ars.first() {
-                        let d = r[1].as_f64().unwrap_or(d_minus(pref_j));
-                        abs_failed.push((pref_j, d.min(0.0)));
-                    }
+                fresh.push((tid, row[1].as_f64().unwrap_or(d_minus(pref_i))));
+            }
+            // remaining absence queries, rebound per tuple
+            let a_probe: Vec<(usize, &CompiledQuery, f64)> = a_order
+                .iter()
+                .enumerate()
+                .skip(ai + 1)
+                .map(|(aj, &p)| (p, &a_prepared[aj], d_minus(p)))
+                .collect();
+            let workers = engine.parallelism().min(fresh.len());
+            let par_span = (workers > 1).then(|| {
+                let mut sp = tracer.span("ppa.parallel_round");
+                sp.attr("phase", "absence");
+                sp.attr("round", ai);
+                sp.attr("tuples", fresh.len());
+                sp.attr("workers", workers);
+                sp
+            });
+            let shared: &Engine = engine;
+            let probed = parallel_map(chunked(fresh, workers.max(1)), workers, |_, chunk| {
+                probe_chunk(shared, db, guard, first_rel, chunk, &[], &a_probe)
+            });
+            drop(par_span);
+            let probed: Vec<(u64, f64, Probed)> = match probed {
+                Ok(p) => p.into_iter().flatten().collect(),
+                Err(e) => {
+                    cut = Some((PpaPhase::Absence(ai), DegradeCause::from_exec(&e)));
+                    break 'absence;
                 }
+            };
+            for (tid, d0, p) in probed {
+                stats.parameterized_queries += p.queries;
+                estats.merge(&p.stats);
+                let mut abs_failed: Vec<(usize, f64)> = vec![(pref_i, d0.min(0.0))];
+                abs_failed.extend(p.abs_failed);
                 let failed_abs: HashSet<usize> = abs_failed.iter().map(|(i, _)| *i).collect();
                 let abs_sat: Vec<usize> =
                     a_order.iter().copied().filter(|i| !failed_abs.contains(i)).collect();

@@ -67,11 +67,16 @@ pub use doi::{Degree, Doi};
 pub use elastic::{ElasticFunction, ElasticShape};
 pub use error::PrefError;
 pub use graph::PersonalizationGraph;
-pub use personalize::{AnswerAlgorithm, PersonalizationOptions, Personalizer, SelectionAlgorithm};
+pub use personalize::{
+    AnswerAlgorithm, CacheActivity, PersonalizationOptions, PersonalizeOutcome,
+    PersonalizeRequest, Personalizer, ProfileStats, SelectionAlgorithm,
+};
 pub use preference::{
     CompareOp, JoinPreference, PrefId, Preference, SelCondition, SelectionPreference,
 };
 pub use profile::Profile;
 pub use ranking::{MixedKind, Ranking, RankingKind};
-pub use select::{SelectedPreference, SelectionCriterion, SelectionStats};
+pub use select::{
+    PrefKey, PreferenceCache, SelectedPreference, SelectionCriterion, SelectionStats,
+};
 pub use skyline::skyline;

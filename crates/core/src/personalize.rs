@@ -5,6 +5,21 @@
 //! the query), *preference integration* (sub-query construction), and
 //! *personalized answer* generation (SPA or PPA, satisfying at least L of
 //! the K preferences, ranked by a configurable ranking function).
+//!
+//! The serving API is **request/response**: describe one run with a
+//! [`PersonalizeRequest`] (profile + query, plus per-request options,
+//! guard, parallelism, cache toggles and trace opt-in as builder
+//! methods), hand it to [`Personalizer::run`], and get a
+//! [`PersonalizeOutcome`] back — the ranked answer and degradation
+//! report, profile statistics, and the run's cache activity. The older
+//! `personalize_sql` / `personalize` / `personalize_guarded` entry
+//! points remain as thin deprecated shims over the same engine.
+//!
+//! A `Personalizer` built with [`Personalizer::shared`] owns an
+//! `Arc<Database>` and is `'static`, so multi-user serving can hand each
+//! worker thread its own personalizer over one shared database; the
+//! borrowing [`Personalizer::new`] constructor stays for single-threaded
+//! callers.
 
 use std::time::{Duration, Instant};
 
@@ -24,8 +39,8 @@ use crate::graph::PersonalizationGraph;
 use crate::profile::Profile;
 use crate::ranking::Ranking;
 use crate::select::{
-    doi_based::doi_based, fakecrit::fakecrit, sps::sps, QueryContext, SelectedPreference,
-    SelectionCriterion,
+    doi_based::doi_based, fakecrit::fakecrit, sps::sps, PreferenceCache, QueryContext,
+    SelectedPreference, SelectionCriterion,
 };
 
 /// Which preference-selection algorithm to run (§4).
@@ -114,18 +129,258 @@ pub struct PersonalizationReport {
     pub degradation: Degradation,
 }
 
+/// The query of a [`PersonalizeRequest`]: SQL text (parsed by the run)
+/// or an already-parsed AST.
+enum QueryInput<'a> {
+    Sql(&'a str),
+    Parsed(&'a Query),
+}
+
+/// One personalization run, described declaratively: who ([`Profile`]),
+/// what (SQL text or parsed query), and how (options, guard,
+/// parallelism, cache toggles, tracing). Build with
+/// [`PersonalizeRequest::sql`] or [`PersonalizeRequest::query`], refine
+/// with the builder methods, and execute with [`Personalizer::run`].
+///
+/// Every knob is optional: an unrefined request runs with the
+/// personalizer's current configuration, an unlimited guard, and
+/// default [`PersonalizationOptions`]. Overrides apply to **this run
+/// only** — `run` restores the personalizer's configuration afterwards
+/// (disabling a cache for one request does not cold-start later ones).
+pub struct PersonalizeRequest<'a> {
+    profile: &'a Profile,
+    query: QueryInput<'a>,
+    options: PersonalizationOptions,
+    guard: QueryGuard,
+    parallelism: Option<usize>,
+    plan_cache: Option<bool>,
+    preference_cache: Option<bool>,
+    trace: Option<Tracer>,
+}
+
+impl<'a> PersonalizeRequest<'a> {
+    /// A request personalizing a SQL string for `profile`.
+    pub fn sql(profile: &'a Profile, sql: &'a str) -> Self {
+        PersonalizeRequest {
+            profile,
+            query: QueryInput::Sql(sql),
+            options: PersonalizationOptions::default(),
+            guard: QueryGuard::unlimited(),
+            parallelism: None,
+            plan_cache: None,
+            preference_cache: None,
+            trace: None,
+        }
+    }
+
+    /// A request personalizing an already-parsed query for `profile`.
+    pub fn query(profile: &'a Profile, query: &'a Query) -> Self {
+        let mut r = PersonalizeRequest::sql(profile, "");
+        r.query = QueryInput::Parsed(query);
+        r
+    }
+
+    /// Replaces the whole option block (criterion, L, ranking,
+    /// algorithms, fallback).
+    pub fn options(mut self, options: PersonalizationOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the selection criterion (K).
+    pub fn criterion(mut self, criterion: SelectionCriterion) -> Self {
+        self.options.criterion = criterion;
+        self
+    }
+
+    /// Sets L, the minimum number of selected preferences a returned
+    /// tuple must satisfy.
+    pub fn l(mut self, l: usize) -> Self {
+        self.options.l = l;
+        self
+    }
+
+    /// Sets the ranking function.
+    pub fn ranking(mut self, ranking: Ranking) -> Self {
+        self.options.ranking = ranking;
+        self
+    }
+
+    /// Sets the answer-generation algorithm (SPA or PPA).
+    pub fn algorithm(mut self, algorithm: AnswerAlgorithm) -> Self {
+        self.options.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the preference-selection algorithm.
+    pub fn selection(mut self, selection: SelectionAlgorithm) -> Self {
+        self.options.selection = selection;
+        self
+    }
+
+    /// Falls back to the unpersonalized query when personalization
+    /// fails, recording the substitution in the degradation report.
+    pub fn fallback_to_original(mut self, fallback: bool) -> Self {
+        self.options.fallback_to_original = fallback;
+        self
+    }
+
+    /// Binds the run to a [`QueryGuard`] (deadline, row budgets,
+    /// cancellation). The default is unlimited.
+    pub fn guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// Overrides the engine's parallelism for this run (worker threads
+    /// for PPA probe rounds and large hash joins; 1 = serial).
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = Some(parallelism);
+        self
+    }
+
+    /// Enables or disables the compiled-plan cache for this run.
+    /// Disabling does not drop the personalizer's warm cache — it is
+    /// set aside and restored after the run.
+    pub fn plan_cache(mut self, enabled: bool) -> Self {
+        self.plan_cache = Some(enabled);
+        self
+    }
+
+    /// Enables or disables the preference-selection cache for this run.
+    /// Disabling does not drop the warm cache (see
+    /// [`PersonalizeRequest::plan_cache`]).
+    pub fn preference_cache(mut self, enabled: bool) -> Self {
+        self.preference_cache = Some(enabled);
+        self
+    }
+
+    /// Attaches a tracer for this run only; the personalizer's tracer is
+    /// restored afterwards.
+    pub fn trace(mut self, tracer: Tracer) -> Self {
+        self.trace = Some(tracer);
+        self
+    }
+}
+
+/// Snapshot of the profile a run personalized for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileStats {
+    /// [`Profile::id`] of the profile.
+    pub id: u64,
+    /// [`Profile::version`] at run time.
+    pub version: u64,
+    /// Stored atomic preferences in the profile.
+    pub preferences: usize,
+    /// Preferences selected (and integrated) for this query.
+    pub selected: usize,
+}
+
+/// Cache hit/miss activity observed during one run (deltas of the plan
+/// and preference cache counters, taken before and after). With several
+/// threads sharing one cache the deltas may include concurrent runs'
+/// lookups — they are serving-side telemetry, not an exact audit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheActivity {
+    /// Compiled-plan cache hits.
+    pub plan_hits: u64,
+    /// Compiled-plan cache misses.
+    pub plan_misses: u64,
+    /// Preference-selection cache hits.
+    pub pref_hits: u64,
+    /// Preference-selection cache misses.
+    pub pref_misses: u64,
+}
+
+impl CacheActivity {
+    fn delta(&self, before: &CacheActivity) -> CacheActivity {
+        CacheActivity {
+            plan_hits: self.plan_hits.saturating_sub(before.plan_hits),
+            plan_misses: self.plan_misses.saturating_sub(before.plan_misses),
+            pref_hits: self.pref_hits.saturating_sub(before.pref_hits),
+            pref_misses: self.pref_misses.saturating_sub(before.pref_misses),
+        }
+    }
+}
+
+/// What [`Personalizer::run`] returns: the full phase
+/// [`PersonalizationReport`] plus run-level context.
+#[derive(Debug, Clone)]
+pub struct PersonalizeOutcome {
+    /// The phase report: answer, selected preferences, timings, PPA
+    /// stats, degradation.
+    pub report: PersonalizationReport,
+    /// The profile the run personalized for.
+    pub profile: ProfileStats,
+    /// Cache activity attributable to this run.
+    pub cache: CacheActivity,
+}
+
+impl PersonalizeOutcome {
+    /// The ranked personalized answer.
+    pub fn answer(&self) -> &PersonalizedAnswer {
+        &self.report.answer
+    }
+
+    /// What was cut or substituted when the run degraded.
+    pub fn degradation(&self) -> &Degradation {
+        &self.report.degradation
+    }
+
+    /// Whether the answer is exact (nothing was cut or substituted).
+    pub fn is_complete(&self) -> bool {
+        self.report.degradation.is_complete()
+    }
+}
+
+/// The database handle a [`Personalizer`] runs against: borrowed (the
+/// classic single-threaded construction) or shared via `Arc` (so one
+/// database serves many personalizers across threads).
+enum DbRef<'db> {
+    Borrowed(&'db Database),
+    Shared(Arc<Database>),
+}
+
+impl DbRef<'_> {
+    fn get(&self) -> &Database {
+        match self {
+            DbRef::Borrowed(db) => db,
+            DbRef::Shared(db) => db,
+        }
+    }
+}
+
+/// Truthy when the environment variable is set to anything but
+/// `0`/`false` (case-insensitive) or the empty string.
+fn env_flag(name: &str) -> bool {
+    std::env::var(name)
+        .map(|v| !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false"))
+        .unwrap_or(false)
+}
+
 /// The personalization engine: owns a query engine (UDF registrations for
-/// elastic preferences and ranking functions land there) and borrows the
-/// database.
+/// elastic preferences and ranking functions land there) and a database
+/// handle — borrowed ([`Personalizer::new`]) or shared
+/// ([`Personalizer::shared`]).
 pub struct Personalizer<'db> {
-    db: &'db Database,
+    db: DbRef<'db>,
     engine: Engine,
+    pref_cache: Option<Arc<PreferenceCache>>,
 }
 
 impl<'db> Personalizer<'db> {
-    /// Creates a personalizer over a database.
+    /// Creates a personalizer borrowing a database.
     pub fn new(db: &'db Database) -> Self {
-        Personalizer { db, engine: Engine::new() }
+        Personalizer::with_db(DbRef::Borrowed(db))
+    }
+
+    fn with_db(db: DbRef<'db>) -> Personalizer<'db> {
+        let pref_cache = if env_flag("QP_DISABLE_PREF_CACHE") {
+            None
+        } else {
+            Some(Arc::new(PreferenceCache::new()))
+        };
+        Personalizer { db, engine: Engine::new(), pref_cache }
     }
 
     /// The underlying query engine (e.g. to run non-personalized SQL for
@@ -155,8 +410,49 @@ impl<'db> Personalizer<'db> {
     }
 
     /// The database.
-    pub fn db(&self) -> &'db Database {
-        self.db
+    pub fn db(&self) -> &Database {
+        self.db.get()
+    }
+
+    /// Worker threads available to PPA probe rounds and large hash
+    /// joins (1 = serial; the `QP_PARALLELISM` default).
+    pub fn set_parallelism(&mut self, parallelism: usize) {
+        self.engine.set_parallelism(parallelism);
+    }
+
+    /// Enables or disables the engine's plan cache (the
+    /// [`Engine::set_plan_cache_enabled`] passthrough, so callers can
+    /// override the `QP_DISABLE_PLAN_CACHE` default without reaching
+    /// into the engine). Disabling drops cached plans;
+    /// [`PersonalizeRequest::plan_cache`] is the non-destructive
+    /// per-run override.
+    pub fn set_plan_cache_enabled(&mut self, enabled: bool) {
+        self.engine.set_plan_cache_enabled(enabled);
+    }
+
+    /// Enables or disables the preference-selection cache. Disabling
+    /// drops cached selections; [`PersonalizeRequest::preference_cache`]
+    /// is the non-destructive per-run override.
+    pub fn set_preference_cache_enabled(&mut self, enabled: bool) {
+        match (enabled, self.pref_cache.is_some()) {
+            (true, false) => self.pref_cache = Some(Arc::new(PreferenceCache::new())),
+            (false, true) => self.pref_cache = None,
+            _ => {}
+        }
+    }
+
+    /// The preference-selection cache, when enabled.
+    pub fn preference_cache(&self) -> Option<&Arc<PreferenceCache>> {
+        self.pref_cache.as_ref()
+    }
+
+    /// Eagerly drops every cached selection for one profile (by
+    /// [`Profile::id`]). Version-keyed lookups already never serve stale
+    /// selections after a mutation; this reclaims the memory at once.
+    pub fn invalidate_profile(&self, profile_id: u64) {
+        if let Some(cache) = &self.pref_cache {
+            cache.invalidate_profile(profile_id);
+        }
     }
 
     /// `EXPLAIN ANALYZE` for an arbitrary query against the personalizer's
@@ -165,10 +461,108 @@ impl<'db> Personalizer<'db> {
     /// selectivity). Useful for inspecting how a personalized rewriting
     /// actually ran.
     pub fn explain_analyze(&self, query: &Query) -> Result<String, PrefError> {
-        Ok(self.engine.explain_analyze(self.db, query)?)
+        Ok(self.engine.explain_analyze(self.db.get(), query)?)
+    }
+
+    /// Executes one [`PersonalizeRequest`]: applies its per-run
+    /// overrides (parallelism, cache toggles, tracer), runs the three
+    /// personalization phases under its guard, restores the
+    /// personalizer's configuration, and wraps the report in a
+    /// [`PersonalizeOutcome`].
+    pub fn run(&mut self, request: PersonalizeRequest<'_>) -> Result<PersonalizeOutcome, PrefError> {
+        let PersonalizeRequest {
+            profile,
+            query,
+            options,
+            guard,
+            parallelism,
+            plan_cache,
+            preference_cache,
+            trace,
+        } = request;
+        let parsed;
+        let query: &Query = match query {
+            QueryInput::Sql(sql) => {
+                parsed = parse_query(sql)?;
+                &parsed
+            }
+            QueryInput::Parsed(q) => q,
+        };
+
+        // Apply per-run overrides, remembering what they replaced. The
+        // cache objects themselves are set aside (not dropped), so a
+        // disabled-for-one-run cache keeps its warm entries.
+        let saved_parallelism = parallelism.map(|p| {
+            let prev = self.engine.parallelism();
+            self.engine.set_parallelism(p);
+            prev
+        });
+        let saved_plan_cache = plan_cache.map(|enabled| {
+            let prev = self.engine.plan_cache().cloned();
+            match (enabled, prev.is_some()) {
+                (true, false) => self.engine.set_plan_cache_enabled(true),
+                (false, true) => self.engine.set_plan_cache(None),
+                _ => {}
+            }
+            prev
+        });
+        let saved_pref_cache = preference_cache.map(|enabled| {
+            let prev = self.pref_cache.take();
+            self.pref_cache = match (enabled, prev.clone()) {
+                (true, Some(cache)) => Some(cache),
+                (true, None) => Some(Arc::new(PreferenceCache::new())),
+                (false, _) => None,
+            };
+            prev
+        });
+        let saved_tracer = trace.map(|t| {
+            let prev = self.engine.tracer().clone();
+            self.engine.set_tracer(t);
+            prev
+        });
+
+        let before = self.cache_counters();
+        let result = self.personalize_inner(profile, query, &options, &guard);
+        let after = self.cache_counters();
+
+        // Restore the personalizer's own configuration on every path.
+        if let Some(p) = saved_parallelism {
+            self.engine.set_parallelism(p);
+        }
+        if let Some(prev) = saved_plan_cache {
+            self.engine.set_plan_cache(prev);
+        }
+        if let Some(prev) = saved_pref_cache {
+            self.pref_cache = prev;
+        }
+        if let Some(t) = saved_tracer {
+            self.engine.set_tracer(t);
+        }
+
+        let report = result?;
+        Ok(PersonalizeOutcome {
+            profile: ProfileStats {
+                id: profile.id(),
+                version: profile.version(),
+                preferences: profile.len(),
+                selected: report.selected.len(),
+            },
+            cache: after.delta(&before),
+            report,
+        })
+    }
+
+    /// Current cumulative cache counters (zeros for disabled caches).
+    fn cache_counters(&self) -> CacheActivity {
+        let (plan_hits, plan_misses) =
+            self.engine.plan_cache().map_or((0, 0), |c| (c.hits(), c.misses()));
+        let (pref_hits, pref_misses) =
+            self.pref_cache.as_ref().map_or((0, 0), |c| (c.hits(), c.misses()));
+        CacheActivity { plan_hits, plan_misses, pref_hits, pref_misses }
     }
 
     /// Personalizes a SQL string.
+    #[deprecated(note = "use `PersonalizeRequest::sql` + `Personalizer::run`")]
     pub fn personalize_sql(
         &mut self,
         profile: &Profile,
@@ -176,11 +570,39 @@ impl<'db> Personalizer<'db> {
         options: &PersonalizationOptions,
     ) -> Result<PersonalizationReport, PrefError> {
         let query = parse_query(sql)?;
-        self.personalize(profile, &query, options)
+        self.personalize_inner(profile, &query, options, &QueryGuard::unlimited())
     }
 
-    /// Runs only the preference-selection phase.
+    /// Runs only the preference-selection phase. Consults the
+    /// preference-selection cache when enabled: a hit skips the graph
+    /// walk entirely (`cache.pref.hits` / `cache.pref.misses` count the
+    /// traffic, a `cache.pref.hit` event marks hits on traces).
     pub fn select_preferences(
+        &self,
+        profile: &Profile,
+        query: &Query,
+        options: &PersonalizationOptions,
+    ) -> Result<Vec<SelectedPreference>, PrefError> {
+        if let Some(cache) = &self.pref_cache {
+            if let Some(hit) = cache.get(profile, query, options) {
+                self.engine.metrics().counter("cache.pref.hits").inc();
+                self.engine
+                    .tracer()
+                    .event("cache.pref.hit", &[("selected", hit.len().into())]);
+                return Ok((*hit).clone());
+            }
+            self.engine.metrics().counter("cache.pref.misses").inc();
+        }
+        let result = self.compute_selection(profile, query, options);
+        if let (Some(cache), Ok(selected)) = (&self.pref_cache, &result) {
+            cache.insert(profile, query, options, selected.clone());
+        }
+        result
+    }
+
+    /// The uncached selection phase: graph construction plus the chosen
+    /// selection algorithm.
+    fn compute_selection(
         &self,
         profile: &Profile,
         query: &Query,
@@ -201,7 +623,7 @@ impl<'db> Personalizer<'db> {
         graph_span.attr("preferences", profile.len());
         graph_span.finish();
 
-        let qc = QueryContext::from_query(self.db.catalog(), query)?;
+        let qc = QueryContext::from_query(self.db.get().catalog(), query)?;
         let crit_span = tracer.span("selection.criterion");
         let result = match options.selection {
             SelectionAlgorithm::FakeCrit => fakecrit(&graph, &qc, options.criterion),
@@ -224,18 +646,31 @@ impl<'db> Personalizer<'db> {
 
     /// Personalizes a parsed query: selects preferences, integrates them,
     /// and generates the ranked answer.
+    #[deprecated(note = "use `PersonalizeRequest::query` + `Personalizer::run`")]
     pub fn personalize(
         &mut self,
         profile: &Profile,
         query: &Query,
         options: &PersonalizationOptions,
     ) -> Result<PersonalizationReport, PrefError> {
-        self.personalize_guarded(profile, query, options, &QueryGuard::unlimited())
+        self.personalize_inner(profile, query, options, &QueryGuard::unlimited())
     }
 
-    /// [`Personalizer::personalize`] under a [`QueryGuard`]: the guard's
-    /// deadline, row budgets, and cancellation token bind every statement
-    /// the run executes.
+    /// Personalization under a [`QueryGuard`]: the guard's deadline, row
+    /// budgets, and cancellation token bind every statement the run
+    /// executes.
+    #[deprecated(note = "use `PersonalizeRequest::query(..).guard(..)` + `Personalizer::run`")]
+    pub fn personalize_guarded(
+        &mut self,
+        profile: &Profile,
+        query: &Query,
+        options: &PersonalizationOptions,
+        guard: &QueryGuard,
+    ) -> Result<PersonalizationReport, PrefError> {
+        self.personalize_inner(profile, query, options, guard)
+    }
+
+    /// The three phases under a [`QueryGuard`].
     ///
     /// PPA degrades on its own — a guard trip mid-run yields a partial
     /// ranked answer with the cut described in
@@ -245,7 +680,7 @@ impl<'db> Personalizer<'db> {
     /// *unpersonalized* query is executed instead (under a fresh budget
     /// attempt — the deadline and cancellation token keep binding) and the
     /// substitution is reported as a [`DegradeEvent::Fallback`].
-    pub fn personalize_guarded(
+    fn personalize_inner(
         &mut self,
         profile: &Profile,
         query: &Query,
@@ -292,7 +727,7 @@ impl<'db> Personalizer<'db> {
         let t1 = Instant::now();
         let outcome = match options.algorithm {
             AnswerAlgorithm::Spa => spa_guarded(
-                self.db,
+                self.db.get(),
                 &mut self.engine,
                 query,
                 profile,
@@ -303,7 +738,7 @@ impl<'db> Personalizer<'db> {
             )
             .map(|a| (a, None, None, Degradation::default())),
             AnswerAlgorithm::Ppa => ppa_guarded(
-                self.db,
+                self.db.get(),
                 &mut self.engine,
                 query,
                 profile,
@@ -383,7 +818,7 @@ impl<'db> Personalizer<'db> {
         query: &Query,
         guard: &QueryGuard,
     ) -> Result<PersonalizedAnswer, PrefError> {
-        let (rs, _stats) = self.engine.execute_with_guard(self.db, query, guard)?;
+        let (rs, _stats) = self.engine.execute_with_guard(self.db.get(), query, guard)?;
         Ok(PersonalizedAnswer {
             columns: rs.columns,
             tuples: rs
@@ -398,5 +833,14 @@ impl<'db> Personalizer<'db> {
                 })
                 .collect(),
         })
+    }
+}
+
+impl Personalizer<'static> {
+    /// Creates a personalizer sharing ownership of a database: the
+    /// resulting personalizer is `'static`, so multi-user serving can
+    /// move one per worker thread over a single shared database.
+    pub fn shared(db: Arc<Database>) -> Personalizer<'static> {
+        Personalizer::with_db(DbRef::Shared(db))
     }
 }

@@ -17,6 +17,8 @@
 //! `R.A = around(center, width)` with `e(peak[, width])` degrees; join
 //! preferences use `R.A = S.B` with a single degree `(d)`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use qp_sql::lexer::{tokenize, Token};
 use qp_storage::{AttrId, Catalog, Value};
 
@@ -47,15 +49,65 @@ use crate::preference::{
 /// // the profile serializes back to the paper's own notation
 /// assert!(profile.to_dsl(&catalog).contains("doi(MOVIE.year < 1980)"));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug)]
 pub struct Profile {
     prefs: Vec<Preference>,
+    /// Process-unique identity; see [`Profile::id`].
+    id: u64,
+    /// Mutation counter; see [`Profile::version`].
+    version: u64,
+}
+
+/// Process-wide source of unique profile ids.
+static NEXT_PROFILE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_profile_id() -> u64 {
+    NEXT_PROFILE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Default for Profile {
+    fn default() -> Self {
+        Profile { prefs: Vec::new(), id: next_profile_id(), version: 0 }
+    }
+}
+
+impl Clone for Profile {
+    /// Clones the preferences into a profile with a **fresh identity**
+    /// (new id, version 0). Two clones that later diverge must never
+    /// share an `(id, version)` pair, or preference-selection caches
+    /// keyed on it would serve one clone's selections to the other.
+    fn clone(&self) -> Self {
+        Profile { prefs: self.prefs.clone(), id: next_profile_id(), version: 0 }
+    }
+}
+
+impl PartialEq for Profile {
+    /// Profiles compare by *content* (their preferences); the cache
+    /// identity fields are deliberately excluded so parse/serialize
+    /// round-trips and clones still compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.prefs == other.prefs
+    }
 }
 
 impl Profile {
     /// An empty profile.
     pub fn new() -> Self {
         Profile::default()
+    }
+
+    /// A process-unique identifier for this profile instance. Cloning
+    /// produces a *new* id; parsing produces a new id. Caches key on
+    /// `(id, version)`.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The profile's mutation counter: every added preference bumps it,
+    /// which invalidates preference-selection cache entries keyed on the
+    /// previous version.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of stored preferences.
@@ -117,8 +169,9 @@ impl Profile {
         Ok(self.push(Preference::Join(pref)))
     }
 
-    /// Adds a pre-built preference.
+    /// Adds a pre-built preference. Bumps [`Profile::version`].
     pub fn push(&mut self, pref: Preference) -> PrefId {
+        self.version += 1;
         self.prefs.push(pref);
         PrefId(self.prefs.len() - 1)
     }
@@ -613,6 +666,21 @@ doi(MOVIE.mid = GENRE.mid) = (0.8)
         let c = catalog();
         let err = Profile::parse(&c, "doi(MOVIE.duration = 120) = (e(0.7), 0)");
         assert!(matches!(err, Err(PrefError::ProfileSyntax { .. })));
+    }
+
+    #[test]
+    fn identity_is_fresh_on_clone_and_version_tracks_mutation() {
+        let c = catalog();
+        let mut p = Profile::parse(&c, ALS_PROFILE).unwrap();
+        let v0 = p.version();
+        assert_eq!(v0, 9, "one bump per parsed preference");
+        p.add_join(&c, ("MOVIE", "mid"), ("GENRE", "mid"), 0.5).unwrap();
+        assert_eq!(p.version(), v0 + 1);
+
+        let q = p.clone();
+        assert_eq!(p, q, "clone compares equal by content");
+        assert_ne!(p.id(), q.id(), "clone gets a fresh identity");
+        assert_eq!(q.version(), 0, "clone restarts its mutation counter");
     }
 
     #[test]

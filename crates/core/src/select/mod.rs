@@ -13,9 +13,12 @@
 //! * [`doi_based::doi_based`] — §4.2: selection driven by the desired doi
 //!   of results, using the `dworst` bound over the unseen preferences.
 
+pub mod cache;
 pub mod doi_based;
 pub mod fakecrit;
 pub mod sps;
+
+pub use cache::{PrefKey, PreferenceCache};
 
 use std::collections::HashSet;
 

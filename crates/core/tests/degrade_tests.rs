@@ -9,8 +9,8 @@ use qp_core::answer::ppa::{ppa, ppa_guarded};
 use qp_core::degrade::{DegradeCause, DegradeEvent};
 use qp_core::select::{fakecrit::fakecrit, QueryContext, SelectionCriterion};
 use qp_core::{
-    AnswerAlgorithm, PersonalizationOptions, PersonalizationGraph, Personalizer, Profile, Ranking,
-    SelectedPreference,
+    AnswerAlgorithm, PersonalizationOptions, PersonalizationGraph, PersonalizeRequest,
+    Personalizer, Profile, Ranking, SelectedPreference,
 };
 use qp_exec::{CancelToken, Engine, QueryGuard};
 use qp_sql::{parse_query, Query};
@@ -231,7 +231,10 @@ fn spa_falls_back_to_plain_query_under_budget() {
         ..Default::default()
     };
     let mut p = Personalizer::new(&db);
-    let report = p.personalize_guarded(&profile, &query, &options, &guard).unwrap();
+    let report = p
+        .run(PersonalizeRequest::query(&profile, &query).options(options).guard(guard))
+        .unwrap()
+        .report;
     assert_eq!(report.answer.tuples.len(), 5, "fallback returns the plain rows");
     assert!(report.answer.tuples.iter().all(|t| t.doi == 0.0));
     assert!(!report.degradation.is_complete());
@@ -257,7 +260,9 @@ fn spa_without_fallback_surfaces_the_error() {
         ..Default::default()
     };
     let mut p = Personalizer::new(&db);
-    let err = p.personalize_guarded(&profile, &query, &options, &guard).unwrap_err();
+    let err = p
+        .run(PersonalizeRequest::query(&profile, &query).options(options).guard(guard))
+        .unwrap_err();
     assert!(err.to_string().contains("intermediate rows"), "{err}");
 }
 
@@ -273,10 +278,12 @@ fn ppa_personalizer_reports_degradation() {
         ..Default::default()
     };
     let mut p = Personalizer::new(&db);
-    let report = p.personalize_guarded(&profile, &query, &options, &guard).unwrap();
-    assert_eq!(report.answer.tuples.len(), 2);
-    assert!(!report.degradation.is_complete());
-    assert!(report.degradation.summary().contains("output budget"));
+    let outcome = p
+        .run(PersonalizeRequest::query(&profile, &query).options(options).guard(guard))
+        .unwrap();
+    assert!(!outcome.is_complete());
+    assert_eq!(outcome.answer().tuples.len(), 2);
+    assert!(outcome.degradation().summary().contains("output budget"));
 }
 
 #[cfg(feature = "failpoints")]
@@ -375,7 +382,10 @@ mod failpoints {
             ..Default::default()
         };
         let mut p = Personalizer::new(&db);
-        let report = p.personalize(&profile, &query, &options).unwrap();
+        let report = p
+            .run(PersonalizeRequest::query(&profile, &query).options(options))
+            .unwrap()
+            .report;
         assert_eq!(report.answer.tuples.len(), 5);
         assert!(!report.degradation.is_complete());
         match &report.degradation.events[0] {

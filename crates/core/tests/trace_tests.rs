@@ -6,7 +6,8 @@
 use std::sync::Arc;
 
 use qp_core::{
-    AnswerAlgorithm, PersonalizationOptions, Personalizer, Profile, SelectionCriterion,
+    AnswerAlgorithm, PersonalizationOptions, PersonalizeRequest, Personalizer, Profile,
+    SelectionCriterion,
 };
 use qp_obs::{MemoryRecorder, MetricValue, Record, SpanRecord, Tracer};
 use qp_sql::parse_query;
@@ -99,7 +100,10 @@ fn traced_run(
     let recorder = Arc::new(MemoryRecorder::new());
     let mut p = Personalizer::new(&db);
     p.set_tracer(Tracer::new(recorder.clone()));
-    let report = p.personalize(&profile, &query, &options(algorithm)).unwrap();
+    let report = p
+        .run(PersonalizeRequest::query(&profile, &query).options(options(algorithm)))
+        .unwrap()
+        .report;
     p.tracer().record_metrics(&p.metrics());
     let spans = recorder.spans();
     let records = recorder.take();
@@ -226,7 +230,8 @@ fn disabled_tracer_records_nothing() {
     let query = parse_query("select title from MOVIE").unwrap();
     let mut p = Personalizer::new(&db);
     assert!(!p.tracer().is_enabled());
-    p.personalize(&profile, &query, &options(AnswerAlgorithm::Ppa)).unwrap();
+    p.run(PersonalizeRequest::query(&profile, &query).options(options(AnswerAlgorithm::Ppa)))
+        .unwrap();
     // Metrics still accumulate even without a tracer: they are registry
     // state, not trace records.
     assert_eq!(p.metrics().counter("ppa.runs").get(), 1);

@@ -284,11 +284,14 @@ fn render_plan(
     let pad = "  ".repeat(depth);
     let ann = annotate(plan, profile, id);
     match plan {
-        Plan::Scan { rel, fetch_rowid, filter, .. } => {
+        Plan::Scan { rel, fetch_rowid, index_eq, filter, .. } => {
             let name = &db.catalog().relation(*rel).name;
             let mut extra = String::new();
             if let Some(id) = fetch_rowid {
                 let _ = write!(extra, " rowid={id}");
+            }
+            if let Some((attr, key)) = index_eq {
+                let _ = write!(extra, " index {}={}", db.catalog().attr_name(*attr), key);
             }
             if filter.is_some() {
                 extra.push_str(" filtered");

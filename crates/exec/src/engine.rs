@@ -10,6 +10,7 @@ use qp_sql::{parse_query, Query};
 use qp_storage::{Database, Row, Value};
 
 use crate::analyze::PlanProfile;
+use crate::cache::PlanCache;
 use crate::error::ExecError;
 use crate::functions::{AggState, FunctionRegistry};
 use crate::guard::QueryGuard;
@@ -66,6 +67,10 @@ pub struct Engine {
     tracer: Tracer,
     metrics: Arc<MetricsRegistry>,
     counters: EngineCounters,
+    /// Worker threads data-parallel operators may fan out to; 1 = serial.
+    parallelism: usize,
+    /// Compiled-plan cache; `None` when disabled.
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 /// Handles into the engine's [`MetricsRegistry`], fetched once at
@@ -87,6 +92,10 @@ struct EngineCounters {
     rows_out: Arc<Counter>,
     /// `exec.query_us`: per-query wall-clock latency.
     query_us: Arc<LatencyHistogram>,
+    /// `cache.plan.hits`: plan-cache lookups that skipped parse+plan.
+    plan_cache_hits: Arc<Counter>,
+    /// `cache.plan.misses`: plan-cache lookups that had to compile.
+    plan_cache_misses: Arc<Counter>,
 }
 
 impl EngineCounters {
@@ -99,6 +108,8 @@ impl EngineCounters {
             rows_intermediate: metrics.counter("exec.rows_intermediate"),
             rows_out: metrics.counter("exec.rows_out"),
             query_us: metrics.histogram("exec.query_us"),
+            plan_cache_hits: metrics.counter("cache.plan.hits"),
+            plan_cache_misses: metrics.counter("cache.plan.misses"),
         }
     }
 
@@ -121,10 +132,69 @@ impl Default for Engine {
 impl Engine {
     /// An engine with the built-in functions registered and observability
     /// off (a disabled [`Tracer`], an empty [`MetricsRegistry`]).
+    ///
+    /// Concurrency defaults come from the environment so test/CI legs can
+    /// sweep configurations without code changes: `QP_PARALLELISM` sets
+    /// the worker count (default 1 = serial), `QP_DISABLE_PLAN_CACHE=1`
+    /// starts the engine without a plan cache.
     pub fn new() -> Self {
         let metrics = Arc::new(MetricsRegistry::new());
         let counters = EngineCounters::new(&metrics);
-        Engine { registry: FunctionRegistry::new(), tracer: Tracer::disabled(), metrics, counters }
+        let parallelism = std::env::var("QP_PARALLELISM")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1);
+        let plan_cache = if env_flag("QP_DISABLE_PLAN_CACHE") {
+            None
+        } else {
+            Some(Arc::new(PlanCache::new()))
+        };
+        Engine {
+            registry: FunctionRegistry::new(),
+            tracer: Tracer::disabled(),
+            metrics,
+            counters,
+            parallelism,
+            plan_cache,
+        }
+    }
+
+    /// Sets the number of worker threads data-parallel operators (hash
+    /// join build/probe) and callers that consult
+    /// [`Engine::parallelism`] (PPA's per-round probes) may use. 1 means
+    /// fully serial; values are clamped to at least 1.
+    pub fn set_parallelism(&mut self, parallelism: usize) {
+        self.parallelism = parallelism.max(1);
+    }
+
+    /// The configured worker-thread count (1 = serial).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Enables (with a fresh default-geometry cache) or disables the plan
+    /// cache. Disabling drops the cache and its contents.
+    pub fn set_plan_cache_enabled(&mut self, enabled: bool) {
+        match (enabled, self.plan_cache.is_some()) {
+            (true, false) => self.plan_cache = Some(Arc::new(PlanCache::new())),
+            (false, true) => self.plan_cache = None,
+            _ => {}
+        }
+    }
+
+    /// The plan cache, when enabled — callers can inspect hit/miss
+    /// totals or [`PlanCache::clear`] it.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plan_cache.as_ref()
+    }
+
+    /// Installs (or removes) a specific plan cache instance. This is the
+    /// non-destructive sibling of [`Engine::set_plan_cache_enabled`]:
+    /// callers that disable caching for one run set the warm cache
+    /// aside and put the same `Arc` back afterwards.
+    pub fn set_plan_cache(&mut self, cache: Option<Arc<PlanCache>>) {
+        self.plan_cache = cache;
     }
 
     /// The function registry (for UDF registration).
@@ -189,10 +259,8 @@ impl Engine {
         let mut span = self.tracer.span("exec.query");
         let t0 = Instant::now();
         self.counters.queries.inc();
-        let mut planner = Planner::new(db, &self.registry).with_guard(guard.clone());
-        let compiled = planner.compile(query)?;
-        let mut stats = planner.take_stats();
-        let rows = run_compiled(db, &compiled, &mut stats, guard)?;
+        let (compiled, mut stats) = self.compile_cached(db, query, guard)?;
+        let rows = self.run(db, &compiled, &mut stats, guard)?;
         guard.charge_output(rows.len() as u64)?;
         self.counters.note(&stats, rows.len() as u64, t0.elapsed());
         span.attr("rows", rows.len());
@@ -214,10 +282,8 @@ impl Engine {
         let mut span = self.tracer.span("exec.query");
         let t0 = Instant::now();
         self.counters.queries.inc();
-        let mut planner = Planner::new(db, &self.registry).with_guard(guard.clone());
-        let compiled = planner.compile(query)?;
-        let mut stats = planner.take_stats();
-        let rows = run_compiled(db, &compiled, &mut stats, guard)?;
+        let (compiled, mut stats) = self.compile_cached(db, query, guard)?;
+        let rows = self.run(db, &compiled, &mut stats, guard)?;
         self.counters.note(&stats, rows.len() as u64, t0.elapsed());
         span.attr("rows", rows.len());
         span.attr("rows_scanned", stats.rows_scanned);
@@ -228,6 +294,60 @@ impl Engine {
     pub fn prepare(&self, db: &Database, query: &Query) -> Result<CompiledQuery, ExecError> {
         let mut planner = Planner::new(db, &self.registry);
         planner.compile(query)
+    }
+
+    /// Compiles through the plan cache, returning a shared handle:
+    /// repeated preparation of the same (normalized) query text against
+    /// an unchanged database skips parse+plan entirely. Callers that must
+    /// mutate the plan ([`CompiledQuery::rebind_rowid`]) clone the
+    /// `CompiledQuery` out of the `Arc`. Falls back to a plain
+    /// [`Engine::prepare`] when the cache is disabled.
+    pub fn prepare_cached(
+        &self,
+        db: &Database,
+        query: &Query,
+    ) -> Result<Arc<CompiledQuery>, ExecError> {
+        self.compile_cached(db, query, &QueryGuard::unlimited()).map(|(c, _)| c)
+    }
+
+    /// Cache-aware compilation. On a hit the returned stats are empty
+    /// (no plan-time sub-queries ran — that is the point); on a miss the
+    /// freshly compiled plan is cached under the database's current
+    /// version and the planner's stats are returned.
+    fn compile_cached(
+        &self,
+        db: &Database,
+        query: &Query,
+        guard: &QueryGuard,
+    ) -> Result<(Arc<CompiledQuery>, ExecStats), ExecError> {
+        let Some(cache) = &self.plan_cache else {
+            let mut planner = Planner::new(db, &self.registry).with_guard(guard.clone());
+            let compiled = planner.compile(query)?;
+            return Ok((Arc::new(compiled), planner.take_stats()));
+        };
+        let sql = query.to_string();
+        if let Some(hit) = cache.get(db, &sql) {
+            self.counters.plan_cache_hits.inc();
+            self.tracer.event("cache.plan.hit", &[("sql_len", (sql.len() as u64).into())]);
+            return Ok((hit, ExecStats::default()));
+        }
+        self.counters.plan_cache_misses.inc();
+        let mut planner = Planner::new(db, &self.registry).with_guard(guard.clone());
+        let compiled = planner.compile(query)?;
+        Ok((cache.insert(db, sql, compiled), planner.take_stats()))
+    }
+
+    /// Runs a compiled query with this engine's configured parallelism.
+    fn run(
+        &self,
+        db: &Database,
+        compiled: &CompiledQuery,
+        stats: &mut ExecStats,
+        guard: &QueryGuard,
+    ) -> Result<Vec<Row>, ExecError> {
+        let mut ctx =
+            ExecCtx { stats, guard, profile: None, parallelism: self.parallelism };
+        run_compiled_at(db, compiled, &mut ctx, 0)
     }
 
     /// Compiles a query and renders its physical plan as an indented
@@ -245,7 +365,7 @@ impl Engine {
         stats: &mut ExecStats,
     ) -> Result<ResultSet, ExecError> {
         self.counters.prepared_execs.inc();
-        let rows = run_compiled(db, compiled, stats, &QueryGuard::unlimited())?;
+        let rows = self.run(db, compiled, stats, &QueryGuard::unlimited())?;
         Ok(ResultSet::new(compiled.columns.clone(), rows))
     }
 
@@ -262,7 +382,7 @@ impl Engine {
         stats: &mut ExecStats,
     ) -> Result<Vec<Row>, ExecError> {
         self.counters.prepared_execs.inc();
-        run_compiled(db, compiled, stats, &QueryGuard::unlimited())
+        self.run(db, compiled, stats, &QueryGuard::unlimited())
     }
 
     /// [`Engine::execute_prepared_rows`] under a [`QueryGuard`]. Result
@@ -276,7 +396,7 @@ impl Engine {
         guard: &QueryGuard,
     ) -> Result<Vec<Row>, ExecError> {
         self.counters.prepared_execs.inc();
-        run_compiled(db, compiled, stats, guard)
+        self.run(db, compiled, stats, guard)
     }
 
     /// Executes a query with a per-node [`PlanProfile`] attached,
@@ -308,16 +428,19 @@ impl Engine {
         db: &Database,
         query: &Query,
         guard: &QueryGuard,
-    ) -> Result<(CompiledQuery, Vec<Row>, ExecStats, PlanProfile), ExecError> {
+    ) -> Result<(Arc<CompiledQuery>, Vec<Row>, ExecStats, PlanProfile), ExecError> {
         let mut span = self.tracer.span("exec.query");
         self.counters.queries.inc();
-        let mut planner = Planner::new(db, &self.registry).with_guard(guard.clone());
-        let compiled = planner.compile(query)?;
-        let mut stats = planner.take_stats();
+        let (compiled, mut stats) = self.compile_cached(db, query, guard)?;
         let profile = PlanProfile::for_query(&compiled);
         let t0 = Instant::now();
         let rows = {
-            let mut ctx = ExecCtx { stats: &mut stats, guard, profile: Some(&profile) };
+            let mut ctx = ExecCtx {
+                stats: &mut stats,
+                guard,
+                profile: Some(&profile),
+                parallelism: self.parallelism,
+            };
             run_compiled_at(db, &compiled, &mut ctx, 0)?
         };
         guard.charge_output(rows.len() as u64)?;
@@ -337,7 +460,7 @@ pub(crate) fn run_compiled(
     stats: &mut ExecStats,
     guard: &QueryGuard,
 ) -> Result<Vec<Row>, ExecError> {
-    let mut ctx = ExecCtx { stats, guard, profile: None };
+    let mut ctx = ExecCtx { stats, guard, profile: None, parallelism: 1 };
     run_compiled_at(db, compiled, &mut ctx, 0)
 }
 
@@ -433,6 +556,18 @@ pub(crate) fn run_compiled_at(
         rows.truncate(n as usize);
     }
     Ok(rows)
+}
+
+/// `true` when the environment variable `name` is set to a truthy value
+/// (anything other than empty, `0`, or `false`).
+fn env_flag(name: &str) -> bool {
+    match std::env::var(name) {
+        Ok(v) => {
+            let v = v.trim();
+            !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false"))
+        }
+        Err(_) => false,
+    }
 }
 
 // keep the AggState import used (trait methods are called through plan.rs)

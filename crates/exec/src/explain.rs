@@ -70,11 +70,14 @@ fn render_select(db: &Database, select: &CompiledSelect, depth: usize, out: &mut
 fn render_plan(db: &Database, plan: &Plan, depth: usize, out: &mut String) {
     let pad = "  ".repeat(depth);
     match plan {
-        Plan::Scan { rel, fetch_rowid, filter, .. } => {
+        Plan::Scan { rel, fetch_rowid, index_eq, filter, .. } => {
             let name = &db.catalog().relation(*rel).name;
             let mut extra = String::new();
             if let Some(id) = fetch_rowid {
                 let _ = write!(extra, " rowid={id}");
+            }
+            if let Some((attr, key)) = index_eq {
+                let _ = write!(extra, " index {}={}", db.catalog().attr_name(*attr), key);
             }
             if filter.is_some() {
                 extra.push_str(" filtered");

@@ -27,6 +27,7 @@
 //! the operators easy to verify.
 
 pub mod analyze;
+pub mod cache;
 pub mod engine;
 pub mod explain;
 pub mod error;
@@ -35,13 +36,16 @@ pub mod functions;
 pub mod guard;
 pub mod plan;
 pub mod planner;
+pub mod pool;
 pub mod result;
 
 pub use analyze::{NodeStats, PlanProfile};
+pub use cache::{PlanCache, PlanKey, ShardedCache};
 pub use engine::{Engine, ExecStats};
 pub use error::{ExecError, ResourceKind};
 pub use functions::{AggState, AggregateFunction, ScalarUdf};
 pub use guard::{CancelToken, QueryGuard, QueryGuardBuilder};
+pub use pool::{parallel_map, PARALLEL_THRESHOLD};
 pub use result::ResultSet;
 
 // Fault-injection sites live in qp-storage so every layer can share one

@@ -24,6 +24,7 @@ fn fail_point(site: &str) -> Result<(), ExecError> {
 }
 
 /// One aggregate call inside an [`AggSpec`].
+#[derive(Clone)]
 pub struct AggCall {
     /// Resolved aggregate implementation.
     pub func: Arc<dyn AggregateFunction>,
@@ -59,10 +60,14 @@ pub(crate) struct ExecCtx<'a> {
     /// Per-node profile, present only under `EXPLAIN ANALYZE` /
     /// [`Engine::execute_profiled`](crate::Engine::execute_profiled).
     pub profile: Option<&'a crate::analyze::PlanProfile>,
+    /// Worker threads data-parallel operators may fan out to (1 = serial).
+    /// Flows into derived sub-queries; guard budgets stay global because
+    /// workers share the guard's atomics.
+    pub parallelism: usize,
 }
 
 /// A physical plan node producing a batch of rows.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum Plan {
     /// Scans a base relation, emitting `[rowid, cols…]` rows.
     Scan {
@@ -71,6 +76,11 @@ pub enum Plan {
         /// O(1) row fetch for `binding.rowid = k` predicates (the PPA
         /// parameterized-query fast path).
         fetch_rowid: Option<u64>,
+        /// Point lookup via the persistent hash index for a selective
+        /// `attr = literal` predicate: only the matching rows are fetched
+        /// instead of iterating the whole table. The predicate also stays
+        /// in `filter`, so the residual check keeps scan semantics exact.
+        index_eq: Option<(AttrId, Value)>,
         /// Pushed-down single-table predicate (over `[rowid, cols…]`).
         filter: Option<PhysExpr>,
         /// Planner-time cardinality estimate (None for synthesized scans).
@@ -165,7 +175,7 @@ impl Plan {
         stats: &mut ExecStats,
         guard: &QueryGuard,
     ) -> Result<Vec<Row>, ExecError> {
-        let mut ctx = ExecCtx { stats, guard, profile: None };
+        let mut ctx = ExecCtx { stats, guard, profile: None, parallelism: 1 };
         self.run_node(db, &mut ctx, 0)
     }
 
@@ -194,7 +204,7 @@ impl Plan {
         node: usize,
     ) -> Result<Vec<Row>, ExecError> {
         match self {
-            Plan::Scan { rel, fetch_rowid, filter, .. } => {
+            Plan::Scan { rel, fetch_rowid, index_eq, filter, .. } => {
                 fail_point("exec.scan")?;
                 let table = db.table(*rel);
                 let mut out = Vec::new();
@@ -219,13 +229,25 @@ impl Plan {
                     }
                     Ok(())
                 };
-                match fetch_rowid {
-                    Some(id) => {
+                match (fetch_rowid, index_eq) {
+                    (Some(id), _) => {
                         if let Some(row) = table.get(RowId(*id)) {
                             emit(*id, row, &mut out, ctx)?;
                         }
                     }
-                    None => {
+                    (None, Some((attr, key))) => {
+                        let index = db.index(*attr);
+                        ctx.stats.index_probes += 1;
+                        for rid in index.lookup(key) {
+                            let row = table.get(*rid).ok_or_else(|| {
+                                ExecError::Internal(format!(
+                                    "index of {attr:?} points at missing row {rid:?}"
+                                ))
+                            })?;
+                            emit(rid.0, row, &mut out, ctx)?;
+                        }
+                    }
+                    (None, None) => {
                         for (rid, row) in table.iter() {
                             emit(rid.0, row, &mut out, ctx)?;
                         }
@@ -254,15 +276,93 @@ impl Plan {
                 let left_node = node + 1;
                 let right_node = left_node + left.node_count();
                 let right_rows = right.run_node(db, ctx, right_node)?;
-                let mut table: HashMap<Value, Vec<usize>> = HashMap::new();
-                for (i, r) in right_rows.iter().enumerate() {
-                    ctx.guard.check()?;
-                    let k = right_key.eval(r);
-                    if !k.is_null() {
-                        table.entry(k).or_default().push(i);
+                let parallel = ctx.parallelism > 1;
+
+                // --- build --------------------------------------------
+                // Parallel build partitions the build side into contiguous
+                // chunks; per-chunk maps merge in chunk order, so each
+                // key's match list stays in ascending row order — the same
+                // order the serial loop produces.
+                let table: HashMap<Value, Vec<usize>> = if parallel
+                    && right_rows.len() >= crate::pool::PARALLEL_THRESHOLD
+                {
+                    let chunk = right_rows.len().div_ceil(ctx.parallelism);
+                    let guard = ctx.guard;
+                    let partials = crate::pool::parallel_map(
+                        right_rows.chunks(chunk).collect::<Vec<_>>(),
+                        ctx.parallelism,
+                        |ci, rows| {
+                            let base = ci * chunk;
+                            let mut m: HashMap<Value, Vec<usize>> = HashMap::new();
+                            for (i, r) in rows.iter().enumerate() {
+                                guard.check()?;
+                                let k = right_key.eval(r);
+                                if !k.is_null() {
+                                    m.entry(k).or_default().push(base + i);
+                                }
+                            }
+                            Ok::<_, ExecError>(m)
+                        },
+                    )?;
+                    let mut table: HashMap<Value, Vec<usize>> = HashMap::new();
+                    for m in partials {
+                        for (k, v) in m {
+                            table.entry(k).or_default().extend(v);
+                        }
                     }
-                }
+                    table
+                } else {
+                    let mut table: HashMap<Value, Vec<usize>> = HashMap::new();
+                    for (i, r) in right_rows.iter().enumerate() {
+                        ctx.guard.check()?;
+                        let k = right_key.eval(r);
+                        if !k.is_null() {
+                            table.entry(k).or_default().push(i);
+                        }
+                    }
+                    table
+                };
+
+                // --- probe --------------------------------------------
                 let left_rows = left.run_node(db, ctx, left_node)?;
+                if parallel && left_rows.len() >= crate::pool::PARALLEL_THRESHOLD {
+                    // Workers charge the *shared* guard per emitted row
+                    // (global intermediate-row budget) while counting into
+                    // local stats merged deterministically afterwards.
+                    let guard = ctx.guard;
+                    let chunk = left_rows.len().div_ceil(ctx.parallelism);
+                    let parts = crate::pool::parallel_map(
+                        left_rows.chunks(chunk).collect::<Vec<_>>(),
+                        ctx.parallelism,
+                        |_, rows| {
+                            let mut out = Vec::new();
+                            let mut emitted = 0u64;
+                            for l in rows {
+                                guard.check()?;
+                                let k = left_key.eval(l);
+                                if k.is_null() {
+                                    continue;
+                                }
+                                if let Some(matches) = table.get(&k) {
+                                    for &i in matches {
+                                        guard.charge_intermediate(1)?;
+                                        emitted += 1;
+                                        let mut row = l.clone();
+                                        row.extend(right_rows[i].iter().cloned());
+                                        out.push(row);
+                                    }
+                                }
+                            }
+                            Ok::<_, ExecError>((out, emitted))
+                        },
+                    )?;
+                    let mut out = Vec::new();
+                    for (rows, emitted) in parts {
+                        ctx.stats.rows_intermediate += emitted;
+                        out.extend(rows);
+                    }
+                    return Ok(out);
+                }
                 let mut out = Vec::new();
                 for l in left_rows {
                     ctx.guard.check()?;
@@ -369,7 +469,7 @@ fn charge(ctx: &mut ExecCtx<'_>, n: u64) -> Result<(), ExecError> {
 }
 
 /// Grouping/aggregation spec applied to a plan's output.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AggSpec {
     /// Group-key expressions over the input row.
     pub group: Vec<PhysExpr>,

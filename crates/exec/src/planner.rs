@@ -27,7 +27,13 @@ use crate::plan::{AggCall, AggSpec, Plan, ScanEstimate};
 
 /// A fully compiled query, ready to execute against the database it was
 /// planned for.
-#[derive(Debug)]
+///
+/// `Clone` is cheap relative to planning (expression trees are copied;
+/// materialized `IN`-sets and UDF handles are `Arc`-shared): the plan
+/// cache hands out [`std::sync::Arc<CompiledQuery>`]s and callers that
+/// need mutation (PPA's `rebind_rowid`) clone a private copy — one clone
+/// per worker also makes the per-round probes data-parallel.
+#[derive(Debug, Clone)]
 pub struct CompiledQuery {
     /// One compiled select per `UNION ALL` branch.
     pub branches: Vec<CompiledSelect>,
@@ -79,7 +85,7 @@ fn rebind_plan(plan: &mut Plan, rel: RelId, rowid: u64) -> usize {
 }
 
 /// One compiled `SELECT` block.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CompiledSelect {
     /// The join/filter tree.
     pub plan: Plan,
@@ -93,7 +99,7 @@ pub struct CompiledSelect {
 }
 
 /// Compiled grouping/aggregation.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CompiledAgg {
     /// Group keys and aggregate calls.
     pub spec: AggSpec,
@@ -102,7 +108,7 @@ pub struct CompiledAgg {
 }
 
 /// A compiled `ORDER BY` key.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OrderKey {
     /// Where the key value comes from.
     pub source: KeySource,
@@ -111,7 +117,7 @@ pub struct OrderKey {
 }
 
 /// Where an order key is evaluated.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum KeySource {
     /// An output column (by index).
     Output(usize),
@@ -662,8 +668,13 @@ impl<'a> Planner<'a> {
                     rows: self.db.table(rel).len() as f64 * selectivity,
                     selectivity,
                 };
+                let index_eq = if fetch_rowid.is_none() {
+                    self.pick_index_eq(rel, &b.name, &rest)
+                } else {
+                    None
+                };
                 let filter = PhysExprList::compile_all(self, &rest, &local_scope, None)?;
-                Ok(Plan::Scan { rel, fetch_rowid, filter, est: Some(est) })
+                Ok(Plan::Scan { rel, fetch_rowid, index_eq, filter, est: Some(est) })
             }
             None => {
                 let plan = derived_plans[idx].take().ok_or_else(|| {
@@ -675,6 +686,54 @@ impl<'a> Planner<'a> {
                 }
             }
         }
+    }
+
+    /// Chooses a selective `attr = literal` predicate the scan can serve
+    /// through the persistent hash index instead of iterating the whole
+    /// table. Returns the most selective candidate, or `None` when every
+    /// equality is too unselective (fetching most of the table through
+    /// the index is slower than the straight scan) or the table is small
+    /// enough that a scan is already cheap. The chosen predicate is *not*
+    /// removed from the residual filter — the index only narrows which
+    /// rows are fetched, so scan semantics stay exact.
+    fn pick_index_eq(
+        &self,
+        rel: RelId,
+        binding: &str,
+        pushed: &[&Expr],
+    ) -> Option<(qp_storage::AttrId, Value)> {
+        use qp_storage::histogram::CmpOp;
+        const MIN_ROWS: usize = 64;
+        const MAX_SELECTIVITY: f64 = 0.2;
+        if self.db.table(rel).len() < MIN_ROWS {
+            return None;
+        }
+        let relation = self.db.catalog().relation(rel);
+        let mut best: Option<(qp_storage::AttrId, Value, f64)> = None;
+        for p in pushed {
+            let Expr::Binary { left, op: BinaryOp::Eq, right } = *p else {
+                continue;
+            };
+            let (col, lit) = match (column_of(left), literal_value(right)) {
+                (Some(c), Some(v)) => (c, v),
+                _ => match (column_of(right), literal_value(left)) {
+                    (Some(c), Some(v)) => (c, v),
+                    _ => continue,
+                },
+            };
+            if col.0.as_deref().is_some_and(|t| !t.eq_ignore_ascii_case(binding)) {
+                continue;
+            }
+            let Some(attr_idx) = relation.attr_index(&col.1) else {
+                continue;
+            };
+            let attr = qp_storage::AttrId::new(rel, attr_idx as u32);
+            let sel = self.db.histogram(attr).selectivity(CmpOp::Eq, &lit);
+            if sel <= MAX_SELECTIVITY && best.as_ref().is_none_or(|(_, _, s)| sel < *s) {
+                best = Some((attr, lit, sel));
+            }
+        }
+        best.map(|(attr, lit, _)| (attr, lit))
     }
 
     /// Histogram-based selectivity estimate of a single-table predicate.

@@ -1,0 +1,161 @@
+//! Zero-dependency data-parallel execution over scoped OS threads.
+//!
+//! [`parallel_map`] fans a batch of independent work items out across up
+//! to `parallelism` worker threads and reassembles the results **in input
+//! order**, so a parallel run is byte-identical to the serial one. Threads
+//! come from [`std::thread::scope`], which lets workers borrow from the
+//! caller's stack (the database, compiled plans, a shared
+//! [`crate::guard::QueryGuard`]) without `'static` bounds or a persistent
+//! pool — there is no queue, no channels, and nothing to shut down.
+//!
+//! Error handling is deterministic too: every worker maps its own chunk
+//! and stops at its first error; the caller receives the error of the
+//! **lowest-indexed chunk** that failed. Guard trips (deadline, budget)
+//! are the one sanctioned source of nondeterminism — budget counters are
+//! shared atomics, so *which* row trips the budget depends on thread
+//! interleaving, but whether the budget trips at all does not.
+//!
+//! Callers decide when parallelism pays: pass `parallelism <= 1` (or a
+//! single item) and the whole thing degrades to a plain serial loop with
+//! no thread spawned. [`PARALLEL_THRESHOLD`] is the shared heuristic for
+//! row-granularity work (hash-join build/probe); coarser work like PPA's
+//! per-tuple probe queries parallelizes profitably at much smaller batch
+//! sizes.
+
+/// Minimum number of *row-granularity* items before operators fan out.
+/// Below this, thread spawn overhead dwarfs the per-row work.
+pub const PARALLEL_THRESHOLD: usize = 256;
+
+/// Maps `f` over `items` using up to `parallelism` scoped worker threads,
+/// returning results in input order. `f` receives the item's original
+/// index alongside the item. With `parallelism <= 1` or fewer than two
+/// items this runs serially on the calling thread.
+///
+/// On error, the error from the lowest-indexed chunk that failed is
+/// returned (later chunks' work is discarded). A panicking worker
+/// propagates its panic to the caller.
+pub fn parallel_map<T, R, E, F>(items: Vec<T>, parallelism: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(usize, T) -> Result<R, E> + Sync,
+{
+    let n = items.len();
+    let workers = parallelism.min(n);
+    if workers <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // Contiguous chunks whose sizes differ by at most one; chunk order ==
+    // input order, which is what makes reassembly deterministic.
+    let base = n / workers;
+    let extra = n % workers;
+    let mut iter = items.into_iter();
+    let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        chunks.push((start, iter.by_ref().take(len).collect()));
+        start += len;
+    }
+
+    let f = &f;
+    let results: Vec<Result<Vec<R>, E>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(start, chunk)| {
+                scope.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .enumerate()
+                        .map(|(j, t)| f(start + j, t))
+                        .collect::<Result<Vec<R>, E>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+            .collect()
+    });
+
+    let mut out = Vec::with_capacity(n);
+    for chunk in results {
+        out.extend(chunk?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        for par in [1, 2, 3, 8, 64] {
+            let items: Vec<usize> = (0..100).collect();
+            let out: Vec<usize> =
+                parallel_map(items, par, |i, x| Ok::<_, ()>(i * 1000 + x * 3)).unwrap();
+            let expect: Vec<usize> = (0..100).map(|x| x * 1000 + x * 3).collect();
+            assert_eq!(out, expect, "parallelism={par}");
+        }
+    }
+
+    #[test]
+    fn serial_path_spawns_no_threads() {
+        // With parallelism 1 the closure runs on the calling thread.
+        let caller = std::thread::current().id();
+        let out = parallel_map(vec![1, 2, 3], 1, |_, x| {
+            assert_eq!(std::thread::current().id(), caller);
+            Ok::<_, ()>(x * 2)
+        })
+        .unwrap();
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 8, |_, x| Ok::<_, ()>(x)).unwrap();
+        assert!(out.is_empty());
+        let out = parallel_map(vec![7], 8, |_, x| Ok::<_, ()>(x + 1)).unwrap();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn first_chunk_error_wins() {
+        // Chunks: with 4 workers over 8 items, item 1 is in chunk 0 and
+        // item 7 in chunk 3; both fail, chunk 0's error must win.
+        let items: Vec<usize> = (0..8).collect();
+        let err = parallel_map(items, 4, |_, x| {
+            if x == 1 || x == 7 {
+                Err(format!("boom {x}"))
+            } else {
+                Ok(x)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, "boom 1");
+    }
+
+    #[test]
+    fn all_items_visited_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        let out = parallel_map(items, 7, |_, x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            Ok::<_, ()>(x)
+        })
+        .unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn workers_can_borrow_caller_state() {
+        let shared = [10, 20, 30];
+        let out = parallel_map(vec![0usize, 1, 2], 3, |_, i| Ok::<_, ()>(shared[i])).unwrap();
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+}

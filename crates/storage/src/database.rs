@@ -7,6 +7,7 @@
 //! consults its catalog statistics.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -17,13 +18,38 @@ use crate::index::Index;
 use crate::schema::{AttrId, Attribute, Catalog, RelId};
 use crate::table::{Row, RowId, Table};
 
+/// Process-wide source of unique database ids (see [`Database::id`]).
+static NEXT_DATABASE_ID: AtomicU64 = AtomicU64::new(1);
+
 /// An in-memory database instance.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Database {
     catalog: Catalog,
     tables: Vec<Table>,
     histograms: RwLock<HashMap<AttrId, Arc<Histogram>>>,
     indexes: RwLock<HashMap<AttrId, Arc<Index>>>,
+    /// Process-unique instance id; cache keys combine it with
+    /// [`Database::version`] so entries from one database never serve
+    /// another.
+    id: u64,
+    /// Monotonic catalog/content version, bumped on every mutation
+    /// (relation creation, insert, bulk load). Plan caches key on it:
+    /// a stale version means cached plans (and the selectivities and
+    /// materialized `IN`-sets frozen inside them) may no longer match.
+    version: u64,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            catalog: Catalog::default(),
+            tables: Vec::new(),
+            histograms: RwLock::new(HashMap::new()),
+            indexes: RwLock::new(HashMap::new()),
+            id: NEXT_DATABASE_ID.fetch_add(1, Ordering::Relaxed),
+            version: 0,
+        }
+    }
 }
 
 impl Database {
@@ -32,13 +58,28 @@ impl Database {
         Database::default()
     }
 
+    /// A process-unique identifier for this database instance.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The current content/catalog version. Any mutation (DDL or DML)
+    /// increments it, which invalidates plan-cache entries keyed on the
+    /// previous version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// The schema catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }
 
-    /// Mutable catalog access for join-edge registration.
+    /// Mutable catalog access for join-edge registration. Conservatively
+    /// bumps [`Database::version`]: the caller may change schema metadata
+    /// that compiled plans depend on.
     pub fn catalog_mut(&mut self) -> &mut Catalog {
+        self.version += 1;
         &mut self.catalog
     }
 
@@ -51,6 +92,7 @@ impl Database {
     ) -> Result<RelId, StorageError> {
         let id = self.catalog.add_relation(name, attributes, primary_key)?;
         self.tables.push(Table::new());
+        self.version += 1;
         Ok(id)
     }
 
@@ -91,6 +133,7 @@ impl Database {
     }
 
     fn invalidate_stats(&mut self, rel: RelId) {
+        self.version += 1;
         self.histograms.get_mut().retain(|attr, _| attr.rel != rel);
         self.indexes.get_mut().retain(|attr, _| attr.rel != rel);
     }
@@ -209,6 +252,28 @@ mod tests {
         let h1 = db.histogram(attr);
         let h2 = db.histogram(attr);
         assert!(Arc::ptr_eq(&h1, &h2));
+    }
+
+    #[test]
+    fn version_bumps_on_mutation_and_ids_are_unique() {
+        let a = Database::new();
+        let b = Database::new();
+        assert_ne!(a.id(), b.id());
+
+        let mut db = db(); // 1 create_relation + 10 inserts
+        let v0 = db.version();
+        assert!(v0 >= 11);
+        db.insert_by_name("MOVIE", vec![Value::Int(99), Value::str("x"), Value::Int(2000)])
+            .unwrap();
+        assert_eq!(db.version(), v0 + 1);
+        let rel = db.catalog().relation_by_name("MOVIE").unwrap().id;
+        db.bulk_load(rel, vec![vec![Value::Int(100), Value::str("y"), Value::Int(2001)]]);
+        assert_eq!(db.version(), v0 + 2);
+        // Reads do not bump.
+        let _ = db.table(rel);
+        let attr = db.catalog().resolve("MOVIE", "year").unwrap();
+        let _ = db.histogram(attr);
+        assert_eq!(db.version(), v0 + 2);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use personalized_queries::core::{
     mine_profile, AnswerAlgorithm, ConceptSchema, Context, ContextRule, ContextualProfile,
-    Feedback, MinerConfig, PersonalizationOptions, Personalizer, Profile, QualityDescriptor,
+    Feedback, MinerConfig, PersonalizeRequest, Personalizer, Profile, QualityDescriptor,
     SelectionCriterion,
 };
 use personalized_queries::core::context::suggest_options;
@@ -112,8 +112,9 @@ fn main() {
         let options = suggest_options(&ctx);
         let mut p = Personalizer::new(&db);
         let report = p
-            .personalize_sql(&profile, "select title from MOVIE", &options)
-            .expect("personalizes");
+            .run(PersonalizeRequest::sql(&profile, "select title from MOVIE").options(options))
+            .expect("personalizes")
+            .report;
         println!(
             "context {:?}/{:?}: K = {:?}, {} active preferences, {} tuples",
             ctx.get("time").unwrap_or("-"),
@@ -128,17 +129,14 @@ fn main() {
     let profile = contextual.resolve(&Context::new().with("time", "evening"));
     let mut p = Personalizer::new(&db);
     let report = p
-        .personalize_sql(
-            &profile,
-            "select title from MOVIE",
-            &PersonalizationOptions {
-                criterion: SelectionCriterion::TopK(8),
-                l: 1,
-                algorithm: AnswerAlgorithm::Ppa,
-                ..Default::default()
-            },
+        .run(
+            PersonalizeRequest::sql(&profile, "select title from MOVIE")
+                .criterion(SelectionCriterion::TopK(8))
+                .l(1)
+                .algorithm(AnswerAlgorithm::Ppa),
         )
-        .expect("personalizes");
+        .expect("personalizes")
+        .report;
     println!("\nanswer quality bands:");
     for d in QualityDescriptor::ALL {
         println!("  {d:<5} (doi >= {:.1}): {} tuples", d.min_doi(), d.filter(&report.answer).len());

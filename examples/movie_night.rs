@@ -9,7 +9,8 @@
 //! Run with: `cargo run --release --example movie_night`
 
 use personalized_queries::core::{
-    AnswerAlgorithm, PersonalizationOptions, Personalizer, Profile, SelectionCriterion,
+    AnswerAlgorithm, PersonalizationOptions, PersonalizeRequest, Personalizer, Profile,
+    SelectionCriterion,
 };
 use personalized_queries::datagen::{self, ImdbScale};
 
@@ -46,7 +47,10 @@ fn main() {
 
     for (name, profile) in [("Al", &al), ("Julie", &julie)] {
         let mut p = Personalizer::new(&db);
-        let report = p.personalize_sql(profile, QUERY, &options).expect("personalizes");
+        let report = p
+            .run(PersonalizeRequest::sql(profile, QUERY).options(options))
+            .expect("personalizes")
+            .report;
         println!("=== {name} ===");
         println!("preferences related to the query:");
         for sp in &report.selected {
@@ -63,13 +67,15 @@ fn main() {
     println!("=== SPA vs PPA (Al, L = 2) ===");
     for algorithm in [AnswerAlgorithm::Spa, AnswerAlgorithm::Ppa] {
         let mut p = Personalizer::new(&db);
-        let opts = PersonalizationOptions {
-            criterion: SelectionCriterion::TopK(5),
-            l: 2,
-            algorithm,
-            ..Default::default()
-        };
-        let report = p.personalize_sql(&al, QUERY, &opts).expect("personalizes");
+        let report = p
+            .run(
+                PersonalizeRequest::sql(&al, QUERY)
+                    .criterion(SelectionCriterion::TopK(5))
+                    .l(2)
+                    .algorithm(algorithm),
+            )
+            .expect("personalizes")
+            .report;
         match algorithm {
             AnswerAlgorithm::Spa => println!(
                 "SPA: {} tuples in {:?} (single SQL statement, no explanations, \

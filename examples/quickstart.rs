@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use personalized_queries::core::{
-    AnswerAlgorithm, PersonalizationOptions, Personalizer, SelectionCriterion,
+    AnswerAlgorithm, PersonalizationOptions, PersonalizeRequest, Personalizer, SelectionCriterion,
 };
 use personalized_queries::datagen::{self, ImdbScale};
 
@@ -29,9 +29,15 @@ fn main() {
         ..Default::default()
     };
     let mut personalizer = Personalizer::new(&db);
-    let report = personalizer
-        .personalize_sql(&profile, "select title from MOVIE", &options)
+    let outcome = personalizer
+        .run(PersonalizeRequest::sql(&profile, "select title from MOVIE").options(options))
         .expect("personalization succeeds");
+    println!(
+        "profile #{} v{}: {} of {} preferences selected\n",
+        outcome.profile.id, outcome.profile.version, outcome.profile.selected,
+        outcome.profile.preferences,
+    );
+    let report = outcome.report;
 
     println!("selected preferences (most critical first):");
     for (i, sp) in report.selected.iter().enumerate() {

@@ -8,8 +8,8 @@
 //! Run with: `cargo run --release --example ranking_philosophies`
 
 use personalized_queries::core::{
-    AnswerAlgorithm, MixedKind, PersonalizationOptions, Personalizer, Ranking, RankingKind,
-    SelectionCriterion,
+    AnswerAlgorithm, MixedKind, PersonalizationOptions, PersonalizeRequest, Personalizer, Ranking,
+    RankingKind, SelectionCriterion,
 };
 use personalized_queries::datagen::{self, users, ImdbScale};
 use personalized_queries::sql::parse_query;
@@ -40,8 +40,10 @@ fn main() {
             ..Default::default()
         };
         let mut p = Personalizer::new(&db);
-        let report =
-            p.personalize_sql(&profile, "select title from MOVIE", &options).expect("personalizes");
+        let report = p
+            .run(PersonalizeRequest::sql(&profile, "select title from MOVIE").options(options))
+            .expect("personalizes")
+            .report;
         print!("{kind:?}: ");
         for t in report.answer.tuples.iter().take(3) {
             print!("{} ({:.3})  ", t.row[0], t.doi);

@@ -9,7 +9,8 @@
 //! Run with: `cargo run --release --example restaurant_guide`
 
 use personalized_queries::core::{
-    AnswerAlgorithm, PersonalizationOptions, Personalizer, Profile, SelectionCriterion,
+    AnswerAlgorithm, PersonalizationOptions, PersonalizeRequest, Personalizer, Profile,
+    SelectionCriterion,
 };
 use personalized_queries::storage::{Attribute, DataType, Database, DomainKind, Value};
 
@@ -122,7 +123,10 @@ fn main() {
 
     for (who, profile) in [("Nina", &nina), ("Marco", &marco)] {
         let mut p = Personalizer::new(&db);
-        let report = p.personalize_sql(profile, QUERY, &options).expect("personalizes");
+        let report = p
+            .run(PersonalizeRequest::sql(profile, QUERY).options(options))
+            .expect("personalizes")
+            .report;
         println!("=== {who} ===");
         for sp in &report.selected {
             println!("  c={:.3}  {}", sp.criticality, sp.describe(profile, db.catalog()));

@@ -15,6 +15,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test (failpoints feature)"
 cargo test -q -p qp-exec -p qp-core --features failpoints
 
+# The serving configuration sweep: everything must pass with the worker
+# pool fanned out and again with both caches bypassed — parallelism and
+# caching are transparent optimizations, never behavioural switches.
+echo "==> cargo test (QP_PARALLELISM=4)"
+QP_PARALLELISM=4 cargo test -q --workspace
+
+echo "==> cargo test (caches disabled)"
+QP_DISABLE_PLAN_CACHE=1 QP_DISABLE_PREF_CACHE=1 cargo test -q --workspace
+
 # First-party crates only: the vendored offline shims (vendor/*) are API
 # stand-ins and are not held to the documentation gate.
 FIRST_PARTY=(-p personalized-queries -p qp-storage -p qp-obs -p qp-sql

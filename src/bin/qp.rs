@@ -17,8 +17,8 @@
 use std::io::{BufRead, Write};
 
 use personalized_queries::core::{
-    AnswerAlgorithm, MixedKind, PersonalizationOptions, Personalizer, Profile, Ranking,
-    RankingKind, SelectionAlgorithm, SelectionCriterion,
+    AnswerAlgorithm, MixedKind, PersonalizationOptions, PersonalizeRequest, Personalizer, Profile,
+    Ranking, RankingKind, SelectionAlgorithm, SelectionCriterion,
 };
 use personalized_queries::datagen::{self, ImdbScale};
 use personalized_queries::storage::Database;
@@ -190,8 +190,9 @@ impl Shell {
         let mut p = Personalizer::new(&self.db);
         self.options.selection = SelectionAlgorithm::FakeCrit;
         let report = p
-            .personalize_sql(&self.profile, sql, &self.options)
-            .map_err(|e| e.to_string())?;
+            .run(PersonalizeRequest::sql(&self.profile, sql).options(self.options))
+            .map_err(|e| e.to_string())?
+            .report;
         println!("-- {} preferences selected:", report.selected.len());
         for (i, sp) in report.selected.iter().enumerate() {
             println!("--   [{i}] c={:.3}  {}", sp.criticality, sp.describe(&self.profile, self.db.catalog()));

@@ -29,10 +29,10 @@ pub use qp_storage as storage;
 /// Commonly used items, importable with `use personalized_queries::prelude::*`.
 pub mod prelude {
     pub use qp_core::{
-        Doi, ElasticFunction, Personalizer, PersonalizationOptions, Preference, Profile,
-        RankingKind,
+        Doi, ElasticFunction, PersonalizationOptions, PersonalizeOutcome, PersonalizeRequest,
+        Personalizer, Preference, Profile, RankingKind,
     };
-    pub use qp_exec::Engine;
+    pub use qp_exec::{Engine, QueryGuard};
     pub use qp_sql::parse_query;
     pub use qp_storage::{Database, Value};
 }

@@ -3,8 +3,8 @@
 //! three selection algorithms.
 
 use personalized_queries::core::{
-    AnswerAlgorithm, MixedKind, PersonalizationOptions, Personalizer, Ranking, RankingKind,
-    SelectionAlgorithm, SelectionCriterion,
+    AnswerAlgorithm, MixedKind, PersonalizationOptions, PersonalizeRequest, Personalizer, Ranking,
+    RankingKind, SelectionAlgorithm, SelectionCriterion,
 };
 use personalized_queries::datagen::{self, ImdbScale};
 
@@ -28,9 +28,16 @@ fn als_profile_personalizes_movie_query() {
     let db = test_db();
     let profile = datagen::als_profile(&db).unwrap();
     let mut p = Personalizer::new(&db);
-    let report = p
-        .personalize_sql(&profile, "select title from MOVIE", &options(6, 1, AnswerAlgorithm::Ppa))
+    let outcome = p
+        .run(
+            PersonalizeRequest::sql(&profile, "select title from MOVIE")
+                .options(options(6, 1, AnswerAlgorithm::Ppa)),
+        )
         .unwrap();
+    assert_eq!(outcome.profile.id, profile.id());
+    assert_eq!(outcome.profile.preferences, profile.len());
+    assert!(outcome.is_complete());
+    let report = outcome.report;
     assert!(!report.selected.is_empty(), "no preferences selected");
     assert!(!report.answer.is_empty(), "empty personalized answer");
     // selected preferences are ordered by decreasing criticality
@@ -64,12 +71,20 @@ fn spa_and_ppa_agree_on_membership_and_scores() {
     for l in [1, 2] {
         let mut p = Personalizer::new(&db);
         let spa = p
-            .personalize_sql(&profile, "select title from MOVIE", &options(6, l, AnswerAlgorithm::Spa))
-            .unwrap();
+            .run(
+                PersonalizeRequest::sql(&profile, "select title from MOVIE")
+                    .options(options(6, l, AnswerAlgorithm::Spa)),
+            )
+            .unwrap()
+            .report;
         let mut p = Personalizer::new(&db);
         let ppa = p
-            .personalize_sql(&profile, "select title from MOVIE", &options(6, l, AnswerAlgorithm::Ppa))
-            .unwrap();
+            .run(
+                PersonalizeRequest::sql(&profile, "select title from MOVIE")
+                    .options(options(6, l, AnswerAlgorithm::Ppa)),
+            )
+            .unwrap()
+            .report;
         // same tuple set (by title)
         let mut spa_titles: Vec<String> =
             spa.answer.tuples.iter().map(|t| t.row[0].to_string()).collect();
@@ -92,8 +107,12 @@ fn ppa_doi_matches_direct_ranking() {
     let ranking = Ranking::new(RankingKind::Inflationary, MixedKind::CountWeighted);
     let mut p = Personalizer::new(&db);
     let report = p
-        .personalize_sql(&profile, "select title from MOVIE", &options(6, 1, AnswerAlgorithm::Ppa))
-        .unwrap();
+        .run(
+            PersonalizeRequest::sql(&profile, "select title from MOVIE")
+                .options(options(6, 1, AnswerAlgorithm::Ppa)),
+        )
+        .unwrap()
+        .report;
     for t in report.answer.tuples.iter().take(50) {
         // exact preferences only: elastic degrees are tuple-dependent and
         // already covered by the emission-order check
@@ -135,9 +154,12 @@ fn l_monotonicity() {
     for l in 1..=3 {
         let mut p = Personalizer::new(&db);
         let r = p
-            .personalize_sql(&profile, "select title from MOVIE", &options(6, l, AnswerAlgorithm::Ppa))
+            .run(
+                PersonalizeRequest::sql(&profile, "select title from MOVIE")
+                    .options(options(6, l, AnswerAlgorithm::Ppa)),
+            )
             .unwrap();
-        sizes.push(r.answer.len());
+        sizes.push(r.answer().len());
     }
     assert!(sizes[0] >= sizes[1] && sizes[1] >= sizes[2], "{sizes:?}");
 }
@@ -168,8 +190,12 @@ fn personalized_answer_is_subset_of_plain_answer() {
     let mut p = Personalizer::new(&db);
     let plain = p.engine().execute_sql(&db, "select title from MOVIE").unwrap();
     let report = p
-        .personalize_sql(&profile, "select title from MOVIE", &options(6, 2, AnswerAlgorithm::Ppa))
-        .unwrap();
+        .run(
+            PersonalizeRequest::sql(&profile, "select title from MOVIE")
+                .options(options(6, 2, AnswerAlgorithm::Ppa)),
+        )
+        .unwrap()
+        .report;
     let plain_titles: std::collections::HashSet<String> =
         plain.rows.iter().map(|r| r[0].to_string()).collect();
     assert!(report.answer.len() <= plain.len());
@@ -190,12 +216,12 @@ fn elastic_preferences_produce_graded_dois() {
     .unwrap();
     let mut p = Personalizer::new(&db);
     let report = p
-        .personalize_sql(
-            &profile,
-            "select title, duration from MOVIE",
-            &options(1, 1, AnswerAlgorithm::Ppa),
+        .run(
+            PersonalizeRequest::sql(&profile, "select title, duration from MOVIE")
+                .options(options(1, 1, AnswerAlgorithm::Ppa)),
         )
-        .unwrap();
+        .unwrap()
+        .report;
     assert!(report.answer.len() > 2);
     // doi should decrease with distance from 120
     for w in report.answer.tuples.windows(2) {
@@ -213,13 +239,16 @@ fn multi_relation_initial_query() {
     let profile = datagen::als_profile(&db).unwrap();
     let mut p = Personalizer::new(&db);
     let report = p
-        .personalize_sql(
-            &profile,
-            "select T.name, M.title from THEATRE T, PLAY P, MOVIE M \
-             where T.tid = P.tid and P.mid = M.mid",
-            &options(6, 1, AnswerAlgorithm::Ppa),
+        .run(
+            PersonalizeRequest::sql(
+                &profile,
+                "select T.name, M.title from THEATRE T, PLAY P, MOVIE M \
+                 where T.tid = P.tid and P.mid = M.mid",
+            )
+            .options(options(6, 1, AnswerAlgorithm::Ppa)),
         )
-        .unwrap();
+        .unwrap()
+        .report;
     assert!(!report.selected.is_empty());
     // the answer should include theatre-level information
     assert_eq!(report.answer.columns, vec!["name", "title"]);
@@ -236,8 +265,12 @@ fn empty_related_preferences_returns_plain_answer() {
     .unwrap();
     let mut p = Personalizer::new(&db);
     let report = p
-        .personalize_sql(&profile, "select name from ACTOR", &options(5, 1, AnswerAlgorithm::Ppa))
-        .unwrap();
+        .run(
+            PersonalizeRequest::sql(&profile, "select name from ACTOR")
+                .options(options(5, 1, AnswerAlgorithm::Ppa)),
+        )
+        .unwrap()
+        .report;
     assert!(report.selected.is_empty());
     let plain = p.engine().execute_sql(&db, "select name from ACTOR").unwrap();
     assert_eq!(report.answer.len(), plain.len());
@@ -250,7 +283,10 @@ fn spa_with_doi_based_selection() {
     let mut opts = options(8, 1, AnswerAlgorithm::Spa);
     opts.selection = SelectionAlgorithm::DoiBased { d_r: 0.6, n_estimate: None };
     let mut p = Personalizer::new(&db);
-    let report = p.personalize_sql(&profile, "select title from MOVIE", &opts).unwrap();
+    let report = p
+        .run(PersonalizeRequest::sql(&profile, "select title from MOVIE").options(opts))
+        .unwrap()
+        .report;
     // either some preferences were selected and integrated, or none were
     // needed; both are valid outcomes — the call must simply succeed
     for w in report.answer.tuples.windows(2) {

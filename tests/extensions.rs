@@ -6,8 +6,8 @@
 use personalized_queries::core::context::suggest_options;
 use personalized_queries::core::{
     mine_profile, AnswerAlgorithm, ConceptSchema, Context, ContextRule, ContextualProfile,
-    Doi, Feedback, MinerConfig, PersonalizationOptions, Personalizer, Profile,
-    QualityDescriptor, SelectionCriterion,
+    Doi, Feedback, MinerConfig, PersonalizationOptions, PersonalizeRequest, Personalizer,
+    Profile, QualityDescriptor, SelectionCriterion,
 };
 use personalized_queries::datagen::{self, ImdbScale};
 use personalized_queries::exec::Engine;
@@ -48,17 +48,14 @@ fn concept_profile_personalizes_end_to_end() {
         .unwrap();
     let mut p = Personalizer::new(&db);
     let report = p
-        .personalize_sql(
-            &profile,
-            "select title from MOVIE",
-            &PersonalizationOptions {
-                criterion: SelectionCriterion::TopK(2),
-                l: 1,
-                algorithm: AnswerAlgorithm::Ppa,
-                ..Default::default()
-            },
+        .run(
+            PersonalizeRequest::sql(&profile, "select title from MOVIE")
+                .criterion(SelectionCriterion::TopK(2))
+                .l(1)
+                .algorithm(AnswerAlgorithm::Ppa),
         )
-        .unwrap();
+        .unwrap()
+        .report;
     assert_eq!(report.selected.len(), 2);
     assert!(!report.answer.is_empty());
     // concept-level degrees survive intact: top criticality is 0.8
@@ -86,9 +83,15 @@ fn concept_and_schema_profiles_are_equivalent() {
         ..Default::default()
     };
     let mut p = Personalizer::new(&db);
-    let a = p.personalize_sql(&via_concepts, "select title from MOVIE", &opts).unwrap();
+    let a = p
+        .run(PersonalizeRequest::sql(&via_concepts, "select title from MOVIE").options(opts))
+        .unwrap()
+        .report;
     let mut p = Personalizer::new(&db);
-    let b = p.personalize_sql(&via_schema, "select title from MOVIE", &opts).unwrap();
+    let b = p
+        .run(PersonalizeRequest::sql(&via_schema, "select title from MOVIE").options(opts))
+        .unwrap()
+        .report;
     let ids_a: Vec<_> = a.answer.tuples.iter().map(|t| t.tuple_id).collect();
     let ids_b: Vec<_> = b.answer.tuples.iter().map(|t| t.tuple_id).collect();
     assert_eq!(ids_a, ids_b);
@@ -128,17 +131,17 @@ fn mined_profile_reflects_feedback_and_personalizes() {
     // and the mined profile actually ranks dramas first
     let mut p = Personalizer::new(&db);
     let report = p
-        .personalize_sql(
-            &mined,
-            "select M.title from MOVIE M, GENRE G where M.mid = G.mid and G.genre = 'drama'",
-            &PersonalizationOptions {
-                criterion: SelectionCriterion::TopK(5),
-                l: 1,
-                algorithm: AnswerAlgorithm::Ppa,
-                ..Default::default()
-            },
+        .run(
+            PersonalizeRequest::sql(
+                &mined,
+                "select M.title from MOVIE M, GENRE G where M.mid = G.mid and G.genre = 'drama'",
+            )
+            .criterion(SelectionCriterion::TopK(5))
+            .l(1)
+            .algorithm(AnswerAlgorithm::Ppa),
         )
-        .unwrap();
+        .unwrap()
+        .report;
     assert!(!report.answer.is_empty());
 }
 
@@ -187,9 +190,15 @@ fn context_switches_answers() {
     let morning = ctx_profile.resolve(&Context::new().with("time", "morning"));
     let evening = ctx_profile.resolve(&Context::new().with("time", "evening"));
     let mut p = Personalizer::new(&db);
-    let rm = p.personalize_sql(&morning, "select title from MOVIE", &opts).unwrap();
+    let rm = p
+        .run(PersonalizeRequest::sql(&morning, "select title from MOVIE").options(opts))
+        .unwrap()
+        .report;
     let mut p = Personalizer::new(&db);
-    let re = p.personalize_sql(&evening, "select title from MOVIE", &opts).unwrap();
+    let re = p
+        .run(PersonalizeRequest::sql(&evening, "select title from MOVIE").options(opts))
+        .unwrap()
+        .report;
     assert_eq!(rm.selected.len(), 1);
     assert_eq!(re.selected.len(), 2, "evening adds the comedy preference");
     // the evening top tuple satisfies the comedy preference
@@ -207,7 +216,10 @@ fn suggested_options_run_end_to_end() {
     ] {
         let opts = suggest_options(&ctx);
         let mut p = Personalizer::new(&db);
-        let report = p.personalize_sql(&profile, "select title from MOVIE", &opts).unwrap();
+        let report = p
+            .run(PersonalizeRequest::sql(&profile, "select title from MOVIE").options(opts))
+            .unwrap()
+            .report;
         assert!(report.selected.len() <= opts.criterion.k_limit().unwrap());
     }
 }
@@ -224,7 +236,10 @@ fn best_descriptor_selects_until_guaranteed() {
         ..Default::default()
     };
     let mut p = Personalizer::new(&db);
-    let report = p.personalize_sql(&profile, "select title from MOVIE", &opts).unwrap();
+    let report = p
+        .run(PersonalizeRequest::sql(&profile, "select title from MOVIE").options(opts))
+        .unwrap()
+        .report;
     // the doi-driven selection picked enough preferences (or none were
     // needed); filtering the answer by the descriptor keeps a subset
     let best = QualityDescriptor::Best.filter(&report.answer);
