@@ -6,6 +6,7 @@
 //!   figure: fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 //!           ablation guardrails trace all
 //! repro --bench-parallel [--scale ...] [--runs N]
+//! repro --bench-chaos [--scale ...] [--runs N]
 //! ```
 //!
 //! `--bench-parallel` runs the serving benchmarks introduced with the
@@ -13,6 +14,13 @@
 //! repeated-query latency with the plan + preference caches warm vs
 //! bypassed. Results are printed and snapshotted to `BENCH_parallel.json`
 //! in the current directory.
+//!
+//! `--bench-chaos` runs the robustness benchmark: a multi-thread serving
+//! fleet (snapshot store + shared resilience bundle) measured steady, then
+//! again under the seeded [`qp_storage::ChaosPlan`] fault schedule —
+//! throughput, completion/degradation/shed/retry rates, and the breaker's
+//! behaviour. Results are snapshotted to `BENCH_robustness.json`. Compile
+//! with `--features failpoints` or the chaos phase injects nothing.
 //!
 //! `--deadline-ms` and `--max-rows` configure the `guardrails` figure: a
 //! PPA run under a [`qp_exec::QueryGuard`], showing the partial ranked
@@ -81,6 +89,7 @@ fn main() {
                 }
             }
             "--bench-parallel" => figures.push("bench-parallel".to_string()),
+            "--bench-chaos" => figures.push("bench-chaos".to_string()),
             other => figures.push(other.to_string()),
         }
     }
@@ -93,6 +102,12 @@ fn main() {
     let want = |f: &str| all || figures.iter().any(|x| x == f);
 
     println!("scale: {scale:?} ({} movies), runs: {runs}", scale.imdb().movies);
+
+    // bench-chaos owns its database (the snapshot store takes it by
+    // value), so it runs before the shared read-only block.
+    if figures.iter().any(|f| f == "bench-chaos") {
+        bench_chaos(bench_db(scale), runs);
+    }
 
     let bench_parallel_wanted = figures.iter().any(|f| f == "bench-parallel");
     if want("fig7")
@@ -865,6 +880,199 @@ fn bench_parallel(db: &Database, runs: usize) {
     match std::fs::write("BENCH_parallel.json", &json) {
         Ok(()) => println!("wrote BENCH_parallel.json"),
         Err(e) => eprintln!("warning: could not write BENCH_parallel.json: {e}"),
+    }
+}
+
+/// Robustness benchmark: a four-thread serving fleet over a snapshot
+/// store with a shared resilience bundle, measured steady and then under
+/// the seeded chaos schedule ([`qp_storage::ChaosPlan::serving_default`]).
+/// The numbers of interest are the *rates*: how much throughput the fault
+/// storm costs, and where the affected requests went (degraded answers,
+/// typed errors, breaker short-circuits, retries) — never panics. The
+/// snapshot lands in `BENCH_robustness.json`.
+///
+/// Without `--features failpoints` the chaos phase arms nothing; the
+/// snapshot records `"failpoints": false` so a diff can't silently compare
+/// a faultless "chaos" run against a real one.
+fn bench_chaos(db: Database, runs: usize) {
+    use qp_core::{AdmissionConfig, BreakerConfig, PrefError, Resilience, RetryPolicy};
+    use qp_storage::failpoint::FailScenario;
+    use qp_storage::{ChaosPlan, SnapshotStore};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let threads = 4usize;
+    let per_thread = runs.max(3) * 10;
+    let seed = 42u64;
+    let queries = [
+        "select title from MOVIE",
+        "select M.title from MOVIE M where M.mid = 4242",
+        "select title from MOVIE where year > 1990",
+    ];
+
+    let store = Arc::new(SnapshotStore::new(db));
+    let movies = store.snapshot().table_by_name("MOVIE").map_or(0, |t| t.len());
+    let profile = positive_profile(&store.snapshot(), 50, 7);
+
+    #[derive(Default)]
+    struct Tally {
+        complete: AtomicU64,
+        degraded: AtomicU64,
+        errored: AtomicU64,
+        shed: AtomicU64,
+        retries: AtomicU64,
+        short_circuited: AtomicU64,
+    }
+
+    // The soak test's schedule is deliberately hot (it wants every
+    // degradation path exercised); a full-scan PPA request passes hundreds
+    // of failpoint sites, so at those rates nearly every request faults
+    // and the breaker collapses to short-circuits. The benchmark wants
+    // the *partial-degradation* regime instead: rates an order of
+    // magnitude milder, where most requests complete and the fleet pays
+    // for the faults it absorbs.
+    let bench_plan = || {
+        ChaosPlan::new(seed)
+            .error("exec.scan", 3)
+            .error("ppa.presence", 5)
+            .error("ppa.absence", 5)
+            .error("spa.execute", 5)
+            .error("cache.plan.shard", 3)
+            .error("cache.pref.shard", 3)
+            .panic("exec.pool.spawn", 3)
+    };
+
+    // The serving defaults assume wall-clock-scale traffic; this workload
+    // finishes in tens of milliseconds, so the breaker gets a cooldown on
+    // the workload's own timescale and a trip ratio that only sustained
+    // failure reaches — the benchmark measures the fleet absorbing
+    // faults, with the breaker as backstop rather than first responder.
+    let bench_bundle = || {
+        Resilience::new()
+            .with_admission(AdmissionConfig::default())
+            .with_breaker(BreakerConfig {
+                window: 32,
+                min_samples: 16,
+                trip_ratio: 0.9,
+                cooldown: std::time::Duration::from_millis(5),
+                forced_open: false,
+            })
+            .with_retry(RetryPolicy::quick(seed))
+    };
+
+    let run_phase = |with_chaos: bool| -> (std::time::Duration, Tally) {
+        // Held for the phase; dropping it disarms every site (a no-op
+        // struct without the failpoints feature).
+        let _scenario = FailScenario::setup();
+        if with_chaos {
+            bench_plan().arm();
+        }
+        let bundle = Arc::new(bench_bundle());
+        let tally = Tally::default();
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let (store, profile, bundle, tally, queries) =
+                    (&store, &profile, &bundle, &tally, &queries);
+                scope.spawn(move || {
+                    let mut p = Personalizer::serving(Arc::clone(store));
+                    p.set_resilience(Some(Arc::clone(bundle)));
+                    for i in 0..per_thread {
+                        let sql = queries[(t + i) % queries.len()];
+                        let req = PersonalizeRequest::sql(profile, sql)
+                            .options(efficiency_options(20, 1, AnswerAlgorithm::Ppa))
+                            .parallelism(2);
+                        match p.run(req) {
+                            Ok(out) => {
+                                tally
+                                    .retries
+                                    .fetch_add(u64::from(out.resilience.retries), Ordering::Relaxed);
+                                if out.resilience.short_circuited {
+                                    tally.short_circuited.fetch_add(1, Ordering::Relaxed);
+                                }
+                                if out.is_complete() {
+                                    tally.complete.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    tally.degraded.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(PrefError::Overloaded { .. }) => {
+                                tally.shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                tally.errored.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        (start.elapsed(), tally)
+    };
+
+    let total = (threads * per_thread) as u64;
+    let (steady_t, steady) = run_phase(false);
+    let (chaos_t, chaos) = run_phase(true);
+    let failpoints = cfg!(feature = "failpoints");
+    if !failpoints {
+        eprintln!(
+            "note: compiled without --features failpoints; the chaos phase injected nothing"
+        );
+    }
+
+    let rps = |d: std::time::Duration| total as f64 / d.as_secs_f64().max(1e-9);
+    let row = |label: &str, t: std::time::Duration, s: &Tally| {
+        vec![
+            label.to_string(),
+            format!("{:.1}", rps(t)),
+            s.complete.load(Ordering::Relaxed).to_string(),
+            s.degraded.load(Ordering::Relaxed).to_string(),
+            s.errored.load(Ordering::Relaxed).to_string(),
+            s.shed.load(Ordering::Relaxed).to_string(),
+            s.short_circuited.load(Ordering::Relaxed).to_string(),
+            s.retries.load(Ordering::Relaxed).to_string(),
+        ]
+    };
+    print_table(
+        &format!(
+            "Robustness — {threads} threads x {per_thread} requests, seed {seed}, failpoints {failpoints}"
+        ),
+        &["phase", "req/s", "complete", "degraded", "errored", "shed", "short-circuit", "retries"],
+        &[row("steady", steady_t, &steady), row("chaos", chaos_t, &chaos)],
+    );
+
+    let phase_json = |t: std::time::Duration, s: &Tally| {
+        format!(
+            "{{\"elapsed_ms\": {:.1}, \"requests_per_s\": {:.2}, \"complete\": {}, \"degraded\": {}, \
+              \"errored\": {}, \"shed\": {}, \"short_circuited\": {}, \"retries\": {}}}",
+            t.as_secs_f64() * 1e3,
+            rps(t),
+            s.complete.load(Ordering::Relaxed),
+            s.degraded.load(Ordering::Relaxed),
+            s.errored.load(Ordering::Relaxed),
+            s.shed.load(Ordering::Relaxed),
+            s.short_circuited.load(Ordering::Relaxed),
+            s.retries.load(Ordering::Relaxed),
+        )
+    };
+    // Degraded requests cut rounds early and finish *cheaper* than
+    // complete ones, so raw requests/s can rise under chaos; the retained
+    // metric that matters is complete answers per second.
+    let cps = |t: std::time::Duration, s: &Tally| {
+        s.complete.load(Ordering::Relaxed) as f64 / t.as_secs_f64().max(1e-9)
+    };
+    let json = format!(
+        "{{\n  \"workload\": {{\"movies\": {movies}, \"preferences\": 50, \"k\": 20, \"l\": 1, \
+           \"threads\": {threads}, \"requests\": {total}, \"seed\": {seed}, \"failpoints\": {failpoints}}},\n  \
+           \"steady\": {},\n  \"chaos\": {},\n  \
+           \"complete_per_s_retained\": {:.3}\n}}\n",
+        phase_json(steady_t, &steady),
+        phase_json(chaos_t, &chaos),
+        cps(chaos_t, &chaos) / cps(steady_t, &steady).max(1e-9),
+    );
+    match std::fs::write("BENCH_robustness.json", &json) {
+        Ok(()) => println!("wrote BENCH_robustness.json"),
+        Err(e) => eprintln!("warning: could not write BENCH_robustness.json: {e}"),
     }
 }
 

@@ -1,0 +1,682 @@
+//! Serving resilience: admission control, retry, and circuit breaking.
+//!
+//! Three independent mechanisms, bundled by [`Resilience`] and consulted
+//! by [`crate::Personalizer::run`]:
+//!
+//! * **Admission control** ([`AdmissionController`]) — a semaphore-style
+//!   in-flight permit limiter with a bounded queue wait. A request that
+//!   cannot get a permit before the wait expires is *shed* with a typed
+//!   [`crate::PrefError::Overloaded`], which costs microseconds, instead
+//!   of joining an unbounded convoy that costs everyone seconds.
+//! * **Retry** ([`RetryPolicy`]) — re-attempts requests that failed with
+//!   an error classified *transient* ([`is_transient`]: the injected-I/O
+//!   class), sleeping a decorrelated-jitter backoff between attempts so
+//!   synchronized retry storms decorrelate.
+//! * **Circuit breaking** ([`CircuitBreaker`]) — a rolling window over
+//!   recent run outcomes (errors and deadline trips count as failures).
+//!   When the failure ratio trips the threshold the breaker *opens*:
+//!   requests skip personalization entirely and serve the unpersonalized
+//!   query as a degraded answer (the paper's own "serve less, never
+//!   fail" semantics). After a cooldown one probe request runs the full
+//!   pipeline (*half-open*); success closes the breaker, failure re-opens
+//!   it.
+//!
+//! The mechanisms are deliberately free of observability dependencies:
+//! they return typed decisions/transitions and the personalizer maps
+//! those onto `admission.*` / `breaker.*` / `retry.*` metrics and events
+//! (see OBSERVABILITY.md).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use qp_exec::ExecError;
+use qp_storage::StorageError;
+
+use crate::error::PrefError;
+
+/// Geometry of an [`AdmissionController`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum requests holding permits simultaneously.
+    pub max_inflight: usize,
+    /// Longest a request may queue for a permit before being shed.
+    pub max_queue_wait: Duration,
+}
+
+impl Default for AdmissionConfig {
+    /// 64 in-flight requests, 50 ms queue wait — sized for the workloads
+    /// in this repository's benchmarks; serving deployments tune both.
+    fn default() -> Self {
+        AdmissionConfig { max_inflight: 64, max_queue_wait: Duration::from_millis(50) }
+    }
+}
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shed {
+    /// Requests in flight when the wait expired.
+    pub in_flight: usize,
+    /// How long the request queued before being shed.
+    pub waited: Duration,
+}
+
+/// A semaphore-style in-flight limiter with a bounded queue wait.
+///
+/// [`AdmissionController::try_acquire`] returns an RAII
+/// [`AdmissionPermit`]; dropping it releases the slot and wakes one
+/// queued waiter.
+#[derive(Debug)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    in_flight: Mutex<usize>,
+    released: Condvar,
+}
+
+/// An admitted request's slot; dropping it releases the slot.
+#[derive(Debug)]
+pub struct AdmissionPermit<'a> {
+    controller: &'a AdmissionController,
+    /// How long the request queued before admission.
+    pub waited: Duration,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let mut count =
+            self.controller.in_flight.lock().unwrap_or_else(PoisonError::into_inner);
+        *count = count.saturating_sub(1);
+        self.controller.released.notify_one();
+    }
+}
+
+impl AdmissionController {
+    /// A controller with the given geometry.
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionController { config, in_flight: Mutex::new(0), released: Condvar::new() }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> AdmissionConfig {
+        self.config
+    }
+
+    /// Requests currently holding permits.
+    pub fn in_flight(&self) -> usize {
+        *self.in_flight.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires a permit, queueing up to the configured wait. Sheds
+    /// (`Err`) when the wait expires with the controller still full, or
+    /// when the `admission.queue` failpoint injects a fault.
+    pub fn try_acquire(&self) -> Result<AdmissionPermit<'_>, Shed> {
+        let start = Instant::now();
+        if qp_storage::failpoint::check("admission.queue").is_err() {
+            return Err(Shed { in_flight: self.in_flight(), waited: start.elapsed() });
+        }
+        let deadline = start + self.config.max_queue_wait;
+        let mut count = self.in_flight.lock().unwrap_or_else(PoisonError::into_inner);
+        while *count >= self.config.max_inflight {
+            let now = Instant::now();
+            if now >= deadline {
+                let shed = Shed { in_flight: *count, waited: start.elapsed() };
+                return Err(shed);
+            }
+            let (guard, _timeout) = self
+                .released
+                .wait_timeout(count, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            count = guard;
+        }
+        *count += 1;
+        Ok(AdmissionPermit { controller: self, waited: start.elapsed() })
+    }
+}
+
+/// Whether an error belongs to the *transient* class a retry may cure:
+/// injected I/O faults (and worker panics they caused). Budget trips,
+/// cancellations, planning errors, and model errors are deterministic —
+/// retrying them wastes the budget of every queued request behind them.
+pub fn is_transient(e: &PrefError) -> bool {
+    matches!(
+        e,
+        PrefError::Exec(ExecError::Fault(_))
+            | PrefError::Exec(ExecError::Storage(StorageError::Injected(_)))
+            | PrefError::Storage(StorageError::Injected(_))
+    )
+}
+
+/// Retry with decorrelated-jitter backoff (the "decorrelated jitter"
+/// schedule: each delay is drawn uniformly from `[base, prev * 3]`,
+/// capped). Deterministically seeded so tests replay.
+#[derive(Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Lower bound of every delay.
+    pub base_delay: Duration,
+    /// Upper cap of every delay.
+    pub max_delay: Duration,
+    rng: Mutex<u64>,
+}
+
+impl RetryPolicy {
+    /// A policy of `max_attempts` total attempts with delays in
+    /// `[base_delay, max_delay]`, jittered from `seed`.
+    pub fn new(max_attempts: u32, base_delay: Duration, max_delay: Duration, seed: u64) -> Self {
+        RetryPolicy { max_attempts, base_delay, max_delay, rng: Mutex::new(seed.max(1)) }
+    }
+
+    /// A modest default: 3 attempts, 1–20 ms delays.
+    pub fn quick(seed: u64) -> Self {
+        RetryPolicy::new(3, Duration::from_millis(1), Duration::from_millis(20), seed)
+    }
+
+    fn next_u64(&self) -> u64 {
+        let mut rng = self.rng.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut x = *rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *rng = x;
+        x
+    }
+
+    /// The delay to sleep before the next attempt, given the previous
+    /// delay (`None` for the first retry).
+    pub fn next_delay(&self, prev: Option<Duration>) -> Duration {
+        let base = self.base_delay.as_micros() as u64;
+        let prev = prev.unwrap_or(self.base_delay).as_micros() as u64;
+        let hi = (prev.saturating_mul(3)).max(base + 1);
+        let drawn = base + self.next_u64() % (hi - base);
+        Duration::from_micros(drawn).min(self.max_delay)
+    }
+
+    /// Runs `op` until it succeeds, fails non-transiently, or exhausts
+    /// the attempt budget; returns the final result and the number of
+    /// *retries* performed (0 = first attempt sufficed or was final).
+    pub fn run<T>(
+        &self,
+        is_retryable: impl Fn(&PrefError) -> bool,
+        mut op: impl FnMut(u32) -> Result<T, PrefError>,
+    ) -> (Result<T, PrefError>, u32) {
+        let mut prev_delay = None;
+        let mut retries = 0u32;
+        loop {
+            let attempt = retries;
+            match op(attempt) {
+                Ok(v) => return (Ok(v), retries),
+                Err(e) if retries + 1 < self.max_attempts && is_retryable(&e) => {
+                    let delay = self.next_delay(prev_delay);
+                    std::thread::sleep(delay);
+                    prev_delay = Some(delay);
+                    retries += 1;
+                }
+                Err(e) => return (Err(e), retries),
+            }
+        }
+    }
+}
+
+/// Geometry of a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Rolling window of recent run outcomes considered.
+    pub window: usize,
+    /// Minimum outcomes in the window before the breaker may trip.
+    pub min_samples: usize,
+    /// Failure ratio (failures / samples) at which the breaker opens.
+    pub trip_ratio: f64,
+    /// How long the breaker stays open before a half-open probe.
+    pub cooldown: Duration,
+    /// Diagnostic override: the breaker starts (and stays) open,
+    /// short-circuiting every request into the degraded path. Defaults to
+    /// the `QP_BREAKER_FORCE_OPEN` environment flag, which is how
+    /// `scripts/check.sh` proves the degraded path serves green.
+    pub forced_open: bool,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 32,
+            min_samples: 8,
+            trip_ratio: 0.5,
+            cooldown: Duration::from_millis(500),
+            forced_open: crate::personalize::env_flag("QP_BREAKER_FORCE_OPEN"),
+        }
+    }
+}
+
+/// The breaker's state machine position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests run the full pipeline.
+    Closed,
+    /// Tripped: requests short-circuit into the degraded path.
+    Open,
+    /// Probing: one request runs the full pipeline, the rest
+    /// short-circuit, until the probe's outcome decides.
+    HalfOpen,
+}
+
+/// What the breaker tells a request to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Run the full pipeline.
+    Allow,
+    /// Run the full pipeline *as the half-open probe*; report the result
+    /// with `was_probe = true`.
+    Probe,
+    /// Skip personalization; serve the degraded answer.
+    ShortCircuit,
+}
+
+/// A state change, for `breaker.*` events and counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerTransition {
+    /// Closed/HalfOpen → Open.
+    Opened,
+    /// Open → HalfOpen (a probe was dispatched).
+    HalfOpened,
+    /// HalfOpen → Closed (the probe succeeded).
+    Closed,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    outcomes: VecDeque<bool>, // true = failed
+    failures: usize,
+    state: BreakerState,
+    opened_at: Option<Instant>,
+    probe_outstanding: bool,
+}
+
+/// A rolling-window circuit breaker over run outcomes. See the module
+/// docs for the state machine; thread-safe behind one small mutex.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// A breaker with the given geometry. With
+    /// [`BreakerConfig::forced_open`] it starts open and never leaves.
+    pub fn new(config: BreakerConfig) -> Self {
+        let state = if config.forced_open { BreakerState::Open } else { BreakerState::Closed };
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(BreakerInner {
+                outcomes: VecDeque::new(),
+                failures: 0,
+                state,
+                opened_at: None,
+                probe_outstanding: false,
+            }),
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
+    /// The current state-machine position.
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).state
+    }
+
+    /// Decides what the next request does, advancing Open → HalfOpen
+    /// when the cooldown has elapsed. The transition (if any) is returned
+    /// so the caller can emit the `breaker.half_open` event.
+    pub fn preflight(&self) -> (BreakerDecision, Option<BreakerTransition>) {
+        if self.config.forced_open {
+            return (BreakerDecision::ShortCircuit, None);
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        match inner.state {
+            BreakerState::Closed => (BreakerDecision::Allow, None),
+            BreakerState::Open => {
+                let cooled = inner
+                    .opened_at
+                    .map(|t| t.elapsed() >= self.config.cooldown)
+                    .unwrap_or(true);
+                if cooled && !inner.probe_outstanding {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_outstanding = true;
+                    (BreakerDecision::Probe, Some(BreakerTransition::HalfOpened))
+                } else {
+                    (BreakerDecision::ShortCircuit, None)
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probe_outstanding {
+                    (BreakerDecision::ShortCircuit, None)
+                } else {
+                    inner.probe_outstanding = true;
+                    (BreakerDecision::Probe, None)
+                }
+            }
+        }
+    }
+
+    /// Records a run outcome. `was_probe` marks the half-open probe's
+    /// result: success closes the breaker (clearing the window), failure
+    /// re-opens it. Ordinary closed-state outcomes roll through the
+    /// window and may trip the breaker open. Returns the transition, if
+    /// any, so the caller can emit `breaker.open` / `breaker.close`.
+    pub fn record(&self, failed: bool, was_probe: bool) -> Option<BreakerTransition> {
+        if self.config.forced_open {
+            return None;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if was_probe {
+            inner.probe_outstanding = false;
+            if failed {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+                return Some(BreakerTransition::Opened);
+            }
+            inner.state = BreakerState::Closed;
+            inner.outcomes.clear();
+            inner.failures = 0;
+            return Some(BreakerTransition::Closed);
+        }
+        if inner.state != BreakerState::Closed {
+            // A run admitted before the breaker opened is finishing late;
+            // its outcome is stale, so it neither trips nor heals.
+            return None;
+        }
+        inner.outcomes.push_back(failed);
+        if failed {
+            inner.failures += 1;
+        }
+        while inner.outcomes.len() > self.config.window {
+            if inner.outcomes.pop_front() == Some(true) {
+                inner.failures -= 1;
+            }
+        }
+        let samples = inner.outcomes.len();
+        if samples >= self.config.min_samples.max(1) {
+            let ratio = inner.failures as f64 / samples as f64;
+            if ratio >= self.config.trip_ratio {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+                inner.outcomes.clear();
+                inner.failures = 0;
+                return Some(BreakerTransition::Opened);
+            }
+        }
+        None
+    }
+}
+
+/// The resilience bundle a [`crate::Personalizer`] consults around every
+/// [`crate::Personalizer::run`]: any subset of admission control, circuit
+/// breaking, and retry. Share one bundle (via `Arc`) across the
+/// personalizers of a serving fleet so they shed, trip, and recover
+/// together.
+#[derive(Debug, Default)]
+pub struct Resilience {
+    /// In-flight permit limiter, if any.
+    pub admission: Option<AdmissionController>,
+    /// Circuit breaker, if any.
+    pub breaker: Option<CircuitBreaker>,
+    /// Retry policy for transient errors, if any.
+    pub retry: Option<RetryPolicy>,
+}
+
+impl Resilience {
+    /// An empty bundle; attach mechanisms with the `with_*` builders.
+    pub fn new() -> Self {
+        Resilience::default()
+    }
+
+    /// Attaches an admission controller.
+    pub fn with_admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = Some(AdmissionController::new(config));
+        self
+    }
+
+    /// Attaches a circuit breaker.
+    pub fn with_breaker(mut self, config: BreakerConfig) -> Self {
+        self.breaker = Some(CircuitBreaker::new(config));
+        self
+    }
+
+    /// Attaches a retry policy.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// A serving-oriented default: default admission geometry, default
+    /// breaker, quick retry seeded from `seed`.
+    pub fn serving_default(seed: u64) -> Self {
+        Resilience::new()
+            .with_admission(AdmissionConfig::default())
+            .with_breaker(BreakerConfig::default())
+            .with_retry(RetryPolicy::quick(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_env_breaker(mut config: BreakerConfig) -> CircuitBreaker {
+        config.forced_open = false;
+        CircuitBreaker::new(config)
+    }
+
+    #[test]
+    fn admission_admits_up_to_capacity_then_sheds() {
+        let ctrl = AdmissionController::new(AdmissionConfig {
+            max_inflight: 2,
+            max_queue_wait: Duration::from_millis(5),
+        });
+        let p1 = ctrl.try_acquire().expect("first");
+        let p2 = ctrl.try_acquire().expect("second");
+        assert_eq!(ctrl.in_flight(), 2);
+        let shed = ctrl.try_acquire().expect_err("third must shed");
+        assert_eq!(shed.in_flight, 2);
+        assert!(shed.waited >= Duration::from_millis(5));
+        drop(p1);
+        let p3 = ctrl.try_acquire().expect("slot released");
+        drop(p2);
+        drop(p3);
+        assert_eq!(ctrl.in_flight(), 0);
+    }
+
+    #[test]
+    fn queued_request_admits_when_a_permit_frees() {
+        let ctrl = std::sync::Arc::new(AdmissionController::new(AdmissionConfig {
+            max_inflight: 1,
+            max_queue_wait: Duration::from_secs(5),
+        }));
+        let permit = ctrl.try_acquire().expect("first");
+        let waiter = {
+            let ctrl = std::sync::Arc::clone(&ctrl);
+            std::thread::spawn(move || ctrl.try_acquire().map(|p| p.waited))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        drop(permit);
+        let waited = waiter.join().expect("no panic").expect("admitted after release");
+        assert!(waited >= Duration::from_millis(10), "actually queued: {waited:?}");
+    }
+
+    #[test]
+    fn retry_runs_until_transient_errors_stop() {
+        let policy = RetryPolicy::new(4, Duration::from_micros(10), Duration::from_micros(50), 7);
+        let mut failures_left = 2;
+        let (out, retries) = policy.run(
+            |_| true,
+            |attempt| {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    Err(PrefError::Exec(ExecError::Fault(format!("attempt {attempt}"))))
+                } else {
+                    Ok(attempt)
+                }
+            },
+        );
+        assert_eq!(out.unwrap(), 2, "succeeded on the third attempt");
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn retry_stops_at_non_transient_and_at_budget() {
+        let policy = RetryPolicy::new(3, Duration::from_micros(10), Duration::from_micros(50), 7);
+        let (out, retries) =
+            policy.run(is_transient, |_| Err::<(), _>(PrefError::UnsupportedQuery("x".into())));
+        assert!(out.is_err());
+        assert_eq!(retries, 0, "non-transient errors are not retried");
+
+        let (out, retries) =
+            policy.run(is_transient, |_| Err::<(), _>(PrefError::Exec(ExecError::Fault("io".into()))));
+        assert!(out.is_err());
+        assert_eq!(retries, 2, "budget of 3 attempts = 2 retries");
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(is_transient(&PrefError::Exec(ExecError::Fault("x".into()))));
+        assert!(is_transient(&PrefError::Storage(StorageError::Injected("x".into()))));
+        assert!(!is_transient(&PrefError::Exec(ExecError::Cancelled)));
+        assert!(!is_transient(&PrefError::UnsupportedQuery("x".into())));
+    }
+
+    #[test]
+    fn backoff_stays_within_bounds_and_replays_per_seed() {
+        let bounds = (Duration::from_micros(100), Duration::from_millis(5));
+        let draw = |seed| {
+            let p = RetryPolicy::new(5, bounds.0, bounds.1, seed);
+            let mut prev = None;
+            (0..32)
+                .map(|_| {
+                    let d = p.next_delay(prev);
+                    prev = Some(d);
+                    d
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = draw(11);
+        assert_eq!(a, draw(11), "seeded jitter replays");
+        assert_ne!(a, draw(12));
+        for d in a {
+            assert!(d >= bounds.0 && d <= bounds.1, "{d:?} out of bounds");
+        }
+    }
+
+    #[test]
+    fn breaker_trips_on_failure_ratio_and_short_circuits() {
+        let b = no_env_breaker(BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            trip_ratio: 0.5,
+            cooldown: Duration::from_secs(60),
+            forced_open: false,
+        });
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.record(false, false), None);
+        assert_eq!(b.record(true, false), None);
+        assert_eq!(b.record(true, false), None, "below min_samples");
+        let transition = b.record(true, false);
+        assert_eq!(transition, Some(BreakerTransition::Opened), "3/4 failures ≥ 0.5");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.preflight().0, BreakerDecision::ShortCircuit, "cooldown not elapsed");
+    }
+
+    #[test]
+    fn breaker_probes_after_cooldown_and_closes_on_success() {
+        let b = no_env_breaker(BreakerConfig {
+            window: 8,
+            min_samples: 2,
+            trip_ratio: 0.5,
+            cooldown: Duration::from_millis(10),
+            forced_open: false,
+        });
+        b.record(true, false);
+        assert_eq!(b.record(true, false), Some(BreakerTransition::Opened));
+        std::thread::sleep(Duration::from_millis(15));
+        let (decision, transition) = b.preflight();
+        assert_eq!(decision, BreakerDecision::Probe);
+        assert_eq!(transition, Some(BreakerTransition::HalfOpened));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Concurrent requests keep short-circuiting while the probe runs.
+        assert_eq!(b.preflight().0, BreakerDecision::ShortCircuit);
+        assert_eq!(b.record(false, true), Some(BreakerTransition::Closed));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.preflight().0, BreakerDecision::Allow);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = no_env_breaker(BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            trip_ratio: 0.5,
+            cooldown: Duration::from_millis(1),
+            forced_open: false,
+        });
+        b.record(true, false);
+        b.record(true, false);
+        std::thread::sleep(Duration::from_millis(3));
+        assert_eq!(b.preflight().0, BreakerDecision::Probe);
+        assert_eq!(b.record(true, true), Some(BreakerTransition::Opened));
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn stale_outcomes_do_not_heal_an_open_breaker() {
+        let b = no_env_breaker(BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            trip_ratio: 0.5,
+            cooldown: Duration::from_secs(60),
+            forced_open: false,
+        });
+        b.record(true, false);
+        b.record(true, false);
+        assert_eq!(b.state(), BreakerState::Open);
+        // A slow request admitted before the trip finishes successfully.
+        assert_eq!(b.record(false, false), None);
+        assert_eq!(b.state(), BreakerState::Open, "stale success must not close it");
+    }
+
+    #[test]
+    fn forced_open_always_short_circuits_and_never_recovers() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            trip_ratio: 0.5,
+            cooldown: Duration::from_millis(1),
+            forced_open: true,
+        });
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.preflight().0, BreakerDecision::ShortCircuit);
+        assert_eq!(b.record(false, false), None);
+        std::thread::sleep(Duration::from_millis(3));
+        assert_eq!(b.preflight().0, BreakerDecision::ShortCircuit, "no probes when forced");
+    }
+
+    #[test]
+    fn window_rolls_old_outcomes_out() {
+        let b = no_env_breaker(BreakerConfig {
+            window: 4,
+            min_samples: 4,
+            trip_ratio: 0.75,
+            cooldown: Duration::from_secs(60),
+            forced_open: false,
+        });
+        // Two failures, then a stream of successes: the failures roll out
+        // of the window, so the breaker never trips.
+        b.record(true, false);
+        b.record(true, false);
+        for _ in 0..8 {
+            assert_eq!(b.record(false, false), None);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -35,6 +35,9 @@ pub enum DegradeCause {
     Cancelled,
     /// An injected failpoint fired.
     Fault(String),
+    /// A worker thread panicked; the unwind was caught at the chunk
+    /// boundary and the run degraded instead of the process dying.
+    WorkerPanic(String),
     /// Any other execution error encountered mid-run.
     Exec(String),
 }
@@ -54,6 +57,7 @@ impl DegradeCause {
             }
             ExecError::Cancelled => DegradeCause::Cancelled,
             ExecError::Fault(msg) => DegradeCause::Fault(msg.clone()),
+            ExecError::WorkerPanic { message, .. } => DegradeCause::WorkerPanic(message.clone()),
             other => DegradeCause::Exec(other.to_string()),
         }
     }
@@ -69,6 +73,7 @@ impl fmt::Display for DegradeCause {
             }
             DegradeCause::Cancelled => write!(f, "cancelled"),
             DegradeCause::Fault(msg) => write!(f, "injected fault: {msg}"),
+            DegradeCause::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
             DegradeCause::Exec(msg) => write!(f, "execution error: {msg}"),
         }
     }
@@ -164,6 +169,25 @@ impl Degradation {
         self.events.push(event);
     }
 
+    /// `true` when an event signals server-side unhealth: a deadline
+    /// trip, an injected fault, a worker panic, an unexpected execution
+    /// error, or a fallback substitution. Budget cuts and cancellations
+    /// are excluded — they are configured or requested behaviour. This
+    /// is the circuit breaker's failure signal
+    /// (see [`crate::admission::CircuitBreaker`]).
+    pub fn has_fault_signal(&self) -> bool {
+        self.events.iter().any(|e| match e {
+            DegradeEvent::Fallback { .. } => true,
+            DegradeEvent::PpaCutoff { cause, .. } => matches!(
+                cause,
+                DegradeCause::Deadline(_)
+                    | DegradeCause::Fault(_)
+                    | DegradeCause::WorkerPanic(_)
+                    | DegradeCause::Exec(_)
+            ),
+        })
+    }
+
     /// A one-line human-readable summary (`"complete"` when empty).
     pub fn summary(&self) -> String {
         if self.is_complete() {
@@ -204,6 +228,10 @@ mod tests {
             ),
             (ExecError::Cancelled, DegradeCause::Cancelled),
             (ExecError::Fault("x".into()), DegradeCause::Fault("x".into())),
+            (
+                ExecError::WorkerPanic { chunk: 1, message: "boom".into() },
+                DegradeCause::WorkerPanic("boom".into()),
+            ),
         ];
         for (err, want) in cases {
             assert_eq!(DegradeCause::from_exec(&err), want);
@@ -231,6 +259,27 @@ mod tests {
         assert!(s.contains("deadline of 50 ms"), "{s}");
         assert!(s.contains("3 buffered"), "{s}");
         assert!(!d.is_complete());
+    }
+
+    #[test]
+    fn fault_signal_classification() {
+        let cut = |cause| DegradeEvent::PpaCutoff {
+            phase: PpaPhase::Residual,
+            cause,
+            presence_unevaluated: 0,
+            absence_unevaluated: 0,
+            buffered_discarded: 0,
+        };
+        let signal = |event| Degradation { events: vec![event] }.has_fault_signal();
+        assert!(!Degradation::default().has_fault_signal());
+        assert!(signal(cut(DegradeCause::Deadline(10))), "deadline trips are unhealth");
+        assert!(signal(cut(DegradeCause::Fault("io".into()))));
+        assert!(signal(cut(DegradeCause::WorkerPanic("boom".into()))));
+        assert!(signal(cut(DegradeCause::Exec("oops".into()))));
+        assert!(signal(DegradeEvent::Fallback { stage: "spa".into(), error: "x".into() }));
+        assert!(!signal(cut(DegradeCause::OutputBudget(5))), "budget cuts are configured");
+        assert!(!signal(cut(DegradeCause::IntermediateBudget(5))));
+        assert!(!signal(cut(DegradeCause::Cancelled)), "cancellation is requested");
     }
 
     #[test]

@@ -46,6 +46,15 @@ pub enum PrefError {
     UnsupportedQuery(String),
     /// A selection criterion was invalid (e.g. K = 0).
     InvalidCriterion(String),
+    /// The admission controller shed the request: the in-flight limit
+    /// was reached and the queue wait expired before a permit freed.
+    Overloaded {
+        /// Requests in flight when the shed decision was made.
+        in_flight: usize,
+        /// How long the request queued before being shed, in
+        /// milliseconds.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for PrefError {
@@ -79,6 +88,10 @@ impl fmt::Display for PrefError {
             PrefError::Exec(e) => write!(f, "{e}"),
             PrefError::UnsupportedQuery(msg) => write!(f, "unsupported query: {msg}"),
             PrefError::InvalidCriterion(msg) => write!(f, "invalid criterion: {msg}"),
+            PrefError::Overloaded { in_flight, waited_ms } => write!(
+                f,
+                "overloaded: request shed after {waited_ms} ms with {in_flight} in flight"
+            ),
         }
     }
 }

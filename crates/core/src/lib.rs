@@ -37,6 +37,7 @@
 //! * [`Personalizer`] — the high-level facade: profile + SQL in,
 //!   personalized ranked answer out.
 
+pub mod admission;
 pub mod answer;
 pub mod context;
 pub mod criticality;
@@ -55,6 +56,11 @@ pub mod ranking;
 pub mod select;
 pub mod skyline;
 
+pub use admission::{
+    is_transient, AdmissionConfig, AdmissionController, AdmissionPermit, BreakerConfig,
+    BreakerDecision, BreakerState, BreakerTransition, CircuitBreaker, Resilience, RetryPolicy,
+    Shed,
+};
 pub use answer::explain::{explain_answer, explain_tuple};
 pub use answer::ppa::{ppa_guarded, ppa_limited};
 pub use answer::{PersonalizedAnswer, PersonalizedTuple};
@@ -68,8 +74,8 @@ pub use elastic::{ElasticFunction, ElasticShape};
 pub use error::PrefError;
 pub use graph::PersonalizationGraph;
 pub use personalize::{
-    AnswerAlgorithm, CacheActivity, PersonalizationOptions, PersonalizeOutcome,
-    PersonalizeRequest, Personalizer, ProfileStats, SelectionAlgorithm,
+    AnswerAlgorithm, CacheActivity, DbPin, PersonalizationOptions, PersonalizeOutcome,
+    PersonalizeRequest, Personalizer, ProfileStats, ResilienceActivity, SelectionAlgorithm,
 };
 pub use preference::{
     CompareOp, JoinPreference, PrefId, Preference, SelCondition, SelectionPreference,

@@ -21,6 +21,7 @@
 //! borrowing [`Personalizer::new`] constructor stays for single-threaded
 //! callers.
 
+use std::ops::Deref;
 use std::time::{Duration, Instant};
 
 use std::sync::Arc;
@@ -28,7 +29,9 @@ use std::sync::Arc;
 use qp_exec::{Engine, QueryGuard};
 use qp_obs::{MetricsRegistry, Tracer};
 use qp_sql::{parse_query, Query};
-use qp_storage::Database;
+use qp_storage::{Database, SnapshotStore};
+
+use crate::admission::{is_transient, BreakerDecision, BreakerTransition, Resilience};
 
 use crate::answer::ppa::{ppa_guarded, PpaStats};
 use crate::answer::spa::spa_guarded;
@@ -303,6 +306,21 @@ impl CacheActivity {
     }
 }
 
+/// What the resilience layer did to one run (all zeros/false when no
+/// [`Resilience`] bundle is attached).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceActivity {
+    /// Time spent queued for an admission permit.
+    pub queue_wait: Duration,
+    /// Transient-error retries performed (0 = first attempt stood).
+    pub retries: u32,
+    /// The circuit breaker short-circuited this run into the degraded
+    /// path (the answer is the unpersonalized query's).
+    pub short_circuited: bool,
+    /// This run was the half-open probe deciding the breaker's fate.
+    pub probe: bool,
+}
+
 /// What [`Personalizer::run`] returns: the full phase
 /// [`PersonalizationReport`] plus run-level context.
 #[derive(Debug, Clone)]
@@ -314,6 +332,8 @@ pub struct PersonalizeOutcome {
     pub profile: ProfileStats,
     /// Cache activity attributable to this run.
     pub cache: CacheActivity,
+    /// What the resilience layer (admission, breaker, retry) did.
+    pub resilience: ResilienceActivity,
 }
 
 impl PersonalizeOutcome {
@@ -334,25 +354,59 @@ impl PersonalizeOutcome {
 }
 
 /// The database handle a [`Personalizer`] runs against: borrowed (the
-/// classic single-threaded construction) or shared via `Arc` (so one
-/// database serves many personalizers across threads).
+/// classic single-threaded construction), shared via `Arc` (so one
+/// database serves many personalizers across threads), or a
+/// [`SnapshotStore`] (so writers can publish new epochs while requests
+/// are in flight).
 enum DbRef<'db> {
     Borrowed(&'db Database),
     Shared(Arc<Database>),
+    Store(Arc<SnapshotStore>),
 }
 
-impl DbRef<'_> {
-    fn get(&self) -> &Database {
+impl<'db> DbRef<'db> {
+    /// Pins the database for one request. Borrowed and shared handles
+    /// always resolve to the same database; a store handle pins the
+    /// *current* snapshot epoch, so every read of the request sees one
+    /// immutable database even while writers publish updates.
+    ///
+    /// The returned pin's lifetime is the handle's `'db`, not the
+    /// `&self` borrow, so the caller can keep using `&mut self` (for the
+    /// engine) while the pin is alive.
+    fn pin(&self) -> DbPin<'db> {
         match self {
-            DbRef::Borrowed(db) => db,
-            DbRef::Shared(db) => db,
+            DbRef::Borrowed(db) => DbPin(PinInner::Borrowed(db)),
+            DbRef::Shared(db) => DbPin(PinInner::Pinned(Arc::clone(db))),
+            DbRef::Store(store) => DbPin(PinInner::Pinned(store.snapshot())),
+        }
+    }
+}
+
+/// A database pinned for the duration of one request (dereferences to
+/// [`Database`]). For a personalizer serving a [`SnapshotStore`] this is
+/// one immutable epoch: updates published while the pin is held become
+/// visible only to later pins, never mid-request.
+pub struct DbPin<'a>(PinInner<'a>);
+
+enum PinInner<'a> {
+    Borrowed(&'a Database),
+    Pinned(Arc<Database>),
+}
+
+impl Deref for DbPin<'_> {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        match &self.0 {
+            PinInner::Borrowed(db) => db,
+            PinInner::Pinned(db) => db,
         }
     }
 }
 
 /// Truthy when the environment variable is set to anything but
 /// `0`/`false` (case-insensitive) or the empty string.
-fn env_flag(name: &str) -> bool {
+pub(crate) fn env_flag(name: &str) -> bool {
     std::env::var(name)
         .map(|v| !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false"))
         .unwrap_or(false)
@@ -366,6 +420,7 @@ pub struct Personalizer<'db> {
     db: DbRef<'db>,
     engine: Engine,
     pref_cache: Option<Arc<PreferenceCache>>,
+    resilience: Option<Arc<Resilience>>,
 }
 
 impl<'db> Personalizer<'db> {
@@ -380,7 +435,21 @@ impl<'db> Personalizer<'db> {
         } else {
             Some(Arc::new(PreferenceCache::new()))
         };
-        Personalizer { db, engine: Engine::new(), pref_cache }
+        Personalizer { db, engine: Engine::new(), pref_cache, resilience: None }
+    }
+
+    /// Attaches (or with `None`, detaches) a [`Resilience`] bundle:
+    /// subsequent [`Personalizer::run`] calls go through its admission
+    /// controller, circuit breaker, and retry policy. Share one bundle
+    /// across a serving fleet's personalizers so they shed, trip, and
+    /// recover together.
+    pub fn set_resilience(&mut self, resilience: Option<Arc<Resilience>>) {
+        self.resilience = resilience;
+    }
+
+    /// The attached resilience bundle, if any.
+    pub fn resilience(&self) -> Option<&Arc<Resilience>> {
+        self.resilience.as_ref()
     }
 
     /// The underlying query engine (e.g. to run non-personalized SQL for
@@ -409,9 +478,10 @@ impl<'db> Personalizer<'db> {
         self.engine.metrics().clone()
     }
 
-    /// The database.
-    pub fn db(&self) -> &Database {
-        self.db.get()
+    /// Pins and returns the database — for a serving personalizer built
+    /// with [`Personalizer::serving`], the current snapshot epoch.
+    pub fn db(&self) -> DbPin<'db> {
+        self.db.pin()
     }
 
     /// Worker threads available to PPA probe rounds and large hash
@@ -461,15 +531,67 @@ impl<'db> Personalizer<'db> {
     /// selectivity). Useful for inspecting how a personalized rewriting
     /// actually ran.
     pub fn explain_analyze(&self, query: &Query) -> Result<String, PrefError> {
-        Ok(self.engine.explain_analyze(self.db.get(), query)?)
+        let db = self.db.pin();
+        Ok(self.engine.explain_analyze(&db, query)?)
     }
 
-    /// Executes one [`PersonalizeRequest`]: applies its per-run
-    /// overrides (parallelism, cache toggles, tracer), runs the three
-    /// personalization phases under its guard, restores the
-    /// personalizer's configuration, and wraps the report in a
-    /// [`PersonalizeOutcome`].
+    /// Executes one [`PersonalizeRequest`]: consults the attached
+    /// [`Resilience`] bundle (admission, breaker preflight), applies the
+    /// request's per-run overrides (parallelism, cache toggles, tracer),
+    /// runs the three personalization phases under its guard — retrying
+    /// transient faults per the retry policy — restores the
+    /// personalizer's configuration, records the outcome with the
+    /// breaker, and wraps the report in a [`PersonalizeOutcome`].
+    ///
+    /// Resilience interventions are visible, never silent: a shed
+    /// request is a typed [`PrefError::Overloaded`], a short-circuited
+    /// one carries a `"breaker"` [`DegradeEvent::Fallback`] in its
+    /// degradation report, and every intervention is counted in
+    /// [`PersonalizeOutcome::resilience`].
     pub fn run(&mut self, request: PersonalizeRequest<'_>) -> Result<PersonalizeOutcome, PrefError> {
+        let resilience = self.resilience.clone();
+        let mut activity = ResilienceActivity::default();
+
+        // Admission first: a shed request costs nothing downstream — not
+        // even the SQL parse.
+        let _permit = match resilience.as_deref().and_then(|r| r.admission.as_ref()) {
+            Some(admission) => match admission.try_acquire() {
+                Ok(permit) => {
+                    activity.queue_wait = permit.waited;
+                    let metrics = self.engine.metrics();
+                    metrics.counter("admission.admitted").inc();
+                    metrics.histogram("admission.queue_wait_us").observe(permit.waited);
+                    Some(permit)
+                }
+                Err(shed) => {
+                    let waited_ms = shed.waited.as_millis() as u64;
+                    self.engine.metrics().counter("admission.shed").inc();
+                    self.engine.tracer().event(
+                        "admission.shed",
+                        &[("in_flight", shed.in_flight.into()), ("waited_ms", waited_ms.into())],
+                    );
+                    return Err(PrefError::Overloaded { in_flight: shed.in_flight, waited_ms });
+                }
+            },
+            None => None,
+        };
+
+        // Breaker preflight: full pipeline, half-open probe, or the
+        // degraded short-circuit path.
+        let mut probe = false;
+        let mut short_circuit = false;
+        if let Some(breaker) = resilience.as_deref().and_then(|r| r.breaker.as_ref()) {
+            let (decision, transition) = breaker.preflight();
+            self.note_breaker(transition);
+            match decision {
+                BreakerDecision::Allow => {}
+                BreakerDecision::Probe => probe = true,
+                BreakerDecision::ShortCircuit => short_circuit = true,
+            }
+        }
+        activity.probe = probe;
+        activity.short_circuited = short_circuit;
+
         let PersonalizeRequest {
             profile,
             query,
@@ -521,8 +643,31 @@ impl<'db> Personalizer<'db> {
             prev
         });
 
+        // Pin one database epoch for the whole request: selection, answer
+        // generation, retries, and the degraded path all read the same
+        // immutable database even if a writer publishes mid-run.
+        let db = self.db.pin();
         let before = self.cache_counters();
-        let result = self.personalize_inner(profile, query, &options, &guard);
+        let result = if short_circuit {
+            self.breaker_short_circuit(&db, query, &guard)
+        } else {
+            match resilience.as_deref().and_then(|r| r.retry.as_ref()) {
+                Some(retry) => {
+                    let (result, retries) = retry.run(is_transient, |attempt| {
+                        if attempt > 0 {
+                            self.engine.metrics().counter("retry.attempts").inc();
+                            self.engine
+                                .tracer()
+                                .event("retry.attempt", &[("attempt", u64::from(attempt).into())]);
+                        }
+                        self.personalize_inner(&db, profile, query, &options, &guard)
+                    });
+                    activity.retries = retries;
+                    result
+                }
+                None => self.personalize_inner(&db, profile, query, &options, &guard),
+            }
+        };
         let after = self.cache_counters();
 
         // Restore the personalizer's own configuration on every path.
@@ -539,6 +684,18 @@ impl<'db> Personalizer<'db> {
             self.engine.set_tracer(t);
         }
 
+        // Feed the breaker. Short-circuited runs never exercised the
+        // pipeline, so their outcome says nothing about its health.
+        if !short_circuit {
+            if let Some(breaker) = resilience.as_deref().and_then(|r| r.breaker.as_ref()) {
+                let failed = match &result {
+                    Err(_) => true,
+                    Ok(report) => report.degradation.has_fault_signal(),
+                };
+                self.note_breaker(breaker.record(failed, probe));
+            }
+        }
+
         let report = result?;
         Ok(PersonalizeOutcome {
             profile: ProfileStats {
@@ -548,7 +705,50 @@ impl<'db> Personalizer<'db> {
                 selected: report.selected.len(),
             },
             cache: after.delta(&before),
+            resilience: activity,
             report,
+        })
+    }
+
+    /// Emits the event + counter for a breaker state change.
+    fn note_breaker(&self, transition: Option<BreakerTransition>) {
+        let Some(t) = transition else { return };
+        let (event, counter, state) = match t {
+            BreakerTransition::Opened => ("breaker.open", "breaker.opened", "open"),
+            BreakerTransition::HalfOpened => {
+                ("breaker.half_open", "breaker.half_opened", "half-open")
+            }
+            BreakerTransition::Closed => ("breaker.close", "breaker.closed", "closed"),
+        };
+        self.engine.tracer().event(event, &[("state", state.into())]);
+        self.engine.metrics().counter(counter).inc();
+    }
+
+    /// The open-breaker path: serve the unpersonalized query and report
+    /// the substitution as a `"breaker"` fallback degradation.
+    fn breaker_short_circuit(
+        &mut self,
+        db: &Database,
+        query: &Query,
+        guard: &QueryGuard,
+    ) -> Result<PersonalizationReport, PrefError> {
+        let t = Instant::now();
+        self.engine.tracer().event("breaker.short_circuit", &[]);
+        self.engine.metrics().counter("breaker.short_circuited").inc();
+        let answer = self.plain_answer(db, query, guard)?;
+        let mut degradation = Degradation::default();
+        degradation.push(DegradeEvent::Fallback {
+            stage: "breaker".to_string(),
+            error: "circuit breaker open".to_string(),
+        });
+        Ok(PersonalizationReport {
+            answer,
+            selected: vec![],
+            selection_time: Duration::ZERO,
+            execution_time: t.elapsed(),
+            first_response: None,
+            ppa_stats: None,
+            degradation,
         })
     }
 
@@ -570,7 +770,8 @@ impl<'db> Personalizer<'db> {
         options: &PersonalizationOptions,
     ) -> Result<PersonalizationReport, PrefError> {
         let query = parse_query(sql)?;
-        self.personalize_inner(profile, &query, options, &QueryGuard::unlimited())
+        let db = self.db.pin();
+        self.personalize_inner(&db, profile, &query, options, &QueryGuard::unlimited())
     }
 
     /// Runs only the preference-selection phase. Consults the
@@ -579,6 +780,19 @@ impl<'db> Personalizer<'db> {
     /// traffic, a `cache.pref.hit` event marks hits on traces).
     pub fn select_preferences(
         &self,
+        profile: &Profile,
+        query: &Query,
+        options: &PersonalizationOptions,
+    ) -> Result<Vec<SelectedPreference>, PrefError> {
+        let db = self.db.pin();
+        self.select_preferences_at(&db, profile, query, options)
+    }
+
+    /// Selection against an already-pinned database epoch (so one
+    /// request's phases all see the same snapshot).
+    fn select_preferences_at(
+        &self,
+        db: &Database,
         profile: &Profile,
         query: &Query,
         options: &PersonalizationOptions,
@@ -593,7 +807,7 @@ impl<'db> Personalizer<'db> {
             }
             self.engine.metrics().counter("cache.pref.misses").inc();
         }
-        let result = self.compute_selection(profile, query, options);
+        let result = self.compute_selection(db, profile, query, options);
         if let (Some(cache), Ok(selected)) = (&self.pref_cache, &result) {
             cache.insert(profile, query, options, selected.clone());
         }
@@ -604,6 +818,7 @@ impl<'db> Personalizer<'db> {
     /// selection algorithm.
     fn compute_selection(
         &self,
+        db: &Database,
         profile: &Profile,
         query: &Query,
         options: &PersonalizationOptions,
@@ -623,7 +838,7 @@ impl<'db> Personalizer<'db> {
         graph_span.attr("preferences", profile.len());
         graph_span.finish();
 
-        let qc = QueryContext::from_query(self.db.get().catalog(), query)?;
+        let qc = QueryContext::from_query(db.catalog(), query)?;
         let crit_span = tracer.span("selection.criterion");
         let result = match options.selection {
             SelectionAlgorithm::FakeCrit => fakecrit(&graph, &qc, options.criterion),
@@ -653,7 +868,8 @@ impl<'db> Personalizer<'db> {
         query: &Query,
         options: &PersonalizationOptions,
     ) -> Result<PersonalizationReport, PrefError> {
-        self.personalize_inner(profile, query, options, &QueryGuard::unlimited())
+        let db = self.db.pin();
+        self.personalize_inner(&db, profile, query, options, &QueryGuard::unlimited())
     }
 
     /// Personalization under a [`QueryGuard`]: the guard's deadline, row
@@ -667,7 +883,8 @@ impl<'db> Personalizer<'db> {
         options: &PersonalizationOptions,
         guard: &QueryGuard,
     ) -> Result<PersonalizationReport, PrefError> {
-        self.personalize_inner(profile, query, options, guard)
+        let db = self.db.pin();
+        self.personalize_inner(&db, profile, query, options, guard)
     }
 
     /// The three phases under a [`QueryGuard`].
@@ -682,6 +899,7 @@ impl<'db> Personalizer<'db> {
     /// substitution is reported as a [`DegradeEvent::Fallback`].
     fn personalize_inner(
         &mut self,
+        db: &Database,
         profile: &Profile,
         query: &Query,
         options: &PersonalizationOptions,
@@ -699,10 +917,10 @@ impl<'db> Personalizer<'db> {
         );
         root_span.attr("l", options.l);
 
-        let selected = match self.select_preferences(profile, query, options) {
+        let selected = match self.select_preferences_at(db, profile, query, options) {
             Ok(s) => s,
             Err(e) if options.fallback_to_original => {
-                return self.fallback(query, vec![], t0.elapsed(), "selection", &e, guard);
+                return self.fallback(db, query, vec![], t0.elapsed(), "selection", &e, guard);
             }
             Err(e) => return Err(e),
         };
@@ -711,7 +929,7 @@ impl<'db> Personalizer<'db> {
 
         if selected.is_empty() {
             // nothing related to this query: the answer is the plain query
-            let answer = self.plain_answer(query, guard)?;
+            let answer = self.plain_answer(db, query, guard)?;
             return Ok(PersonalizationReport {
                 answer,
                 selected,
@@ -727,7 +945,7 @@ impl<'db> Personalizer<'db> {
         let t1 = Instant::now();
         let outcome = match options.algorithm {
             AnswerAlgorithm::Spa => spa_guarded(
-                self.db.get(),
+                db,
                 &mut self.engine,
                 query,
                 profile,
@@ -738,7 +956,7 @@ impl<'db> Personalizer<'db> {
             )
             .map(|a| (a, None, None, Degradation::default())),
             AnswerAlgorithm::Ppa => ppa_guarded(
-                self.db.get(),
+                db,
                 &mut self.engine,
                 query,
                 profile,
@@ -769,7 +987,7 @@ impl<'db> Personalizer<'db> {
                     AnswerAlgorithm::Spa => "spa",
                     AnswerAlgorithm::Ppa => "ppa",
                 };
-                self.fallback(query, selected, selection_time, stage, &e, guard)
+                self.fallback(db, query, selected, selection_time, stage, &e, guard)
             }
             Err(e) => Err(e),
         }
@@ -777,8 +995,10 @@ impl<'db> Personalizer<'db> {
 
     /// Executes the unpersonalized query in place of a failed
     /// personalization, reporting the substitution.
+    #[allow(clippy::too_many_arguments)]
     fn fallback(
         &mut self,
+        db: &Database,
         query: &Query,
         selected: Vec<SelectedPreference>,
         selection_time: Duration,
@@ -795,7 +1015,7 @@ impl<'db> Personalizer<'db> {
         // Row budgets restart for the retry; an expired deadline or a
         // flipped cancellation token still fails it — there is no answer
         // left to degrade to.
-        let answer = self.plain_answer(query, &guard.fresh_attempt())?;
+        let answer = self.plain_answer(db, query, &guard.fresh_attempt())?;
         let mut degradation = Degradation::default();
         degradation.push(DegradeEvent::Fallback {
             stage: stage.to_string(),
@@ -815,10 +1035,11 @@ impl<'db> Personalizer<'db> {
     /// The unpersonalized query's rows as a doi-0 answer.
     fn plain_answer(
         &mut self,
+        db: &Database,
         query: &Query,
         guard: &QueryGuard,
     ) -> Result<PersonalizedAnswer, PrefError> {
-        let (rs, _stats) = self.engine.execute_with_guard(self.db.get(), query, guard)?;
+        let (rs, _stats) = self.engine.execute_with_guard(db, query, guard)?;
         Ok(PersonalizedAnswer {
             columns: rs.columns,
             tuples: rs
@@ -842,5 +1063,15 @@ impl Personalizer<'static> {
     /// move one per worker thread over a single shared database.
     pub fn shared(db: Arc<Database>) -> Personalizer<'static> {
         Personalizer::with_db(DbRef::Shared(db))
+    }
+
+    /// Creates a personalizer serving a [`SnapshotStore`]: every run
+    /// pins the store's *current* epoch for its whole duration, so
+    /// profile updates and data loads published through the store while
+    /// the request is in flight are never observed mid-request — and the
+    /// `(db id, version)`-keyed plan and preference caches invalidate
+    /// naturally when a new epoch lands.
+    pub fn serving(store: Arc<SnapshotStore>) -> Personalizer<'static> {
+        Personalizer::with_db(DbRef::Store(store))
     }
 }

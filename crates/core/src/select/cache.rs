@@ -83,9 +83,14 @@ impl PreferenceCache {
     }
 
     /// A preference cache with explicit shard count and per-shard
-    /// capacity.
+    /// capacity. The `cache.pref.shard` failpoint is wired in: an
+    /// injected error forces misses / drops inserts, an injected panic
+    /// poisons a shard (which lookups then recover from).
     pub fn with_capacity(shards: usize, shard_capacity: usize) -> Self {
-        PreferenceCache { inner: ShardedCache::new(shards, shard_capacity) }
+        PreferenceCache {
+            inner: ShardedCache::new(shards, shard_capacity)
+                .with_failpoint_site("cache.pref.shard"),
+        }
     }
 
     /// Looks up the memoized selection for this (profile, query,
@@ -191,6 +196,49 @@ mod tests {
         let mut c = a;
         c.l = a.l + 1;
         assert_eq!(PrefKey::new(&p, &q, &a), PrefKey::new(&p, &q, &c));
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn injected_error_forces_miss_and_drops_insert() {
+        use qp_storage::failpoint::{self, FailAction, FailScenario};
+        let _s = FailScenario::setup();
+        let cache = PreferenceCache::new();
+        let p = Profile::new();
+        let q = parse("SELECT year FROM movie");
+        let opts = PersonalizationOptions::default();
+        cache.insert(&p, &q, &opts, vec![]);
+        failpoint::arm("cache.pref.shard", FailAction::Error("io".into()));
+        assert!(cache.get(&p, &q, &opts).is_none(), "fault forces a miss");
+        assert_eq!(cache.misses(), 1);
+        cache.insert(&p, &q, &opts, vec![]); // dropped under the fault
+        failpoint::disarm("cache.pref.shard");
+        assert_eq!(cache.len(), 1, "the faulted insert was not stored");
+        assert!(cache.get(&p, &q, &opts).is_some(), "healthy path is back");
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn injected_panic_mid_insert_does_not_poison_lookups() {
+        use qp_storage::failpoint::{self, FailAction, FailScenario};
+        let _s = FailScenario::setup();
+        let cache = PreferenceCache::new();
+        let p = Profile::new();
+        let q = parse("SELECT year FROM movie");
+        let opts = PersonalizationOptions::default();
+        cache.insert(&p, &q, &opts, vec![]);
+        failpoint::arm("cache.pref.shard", FailAction::Panic("pref shard poison".into()));
+        // The panic fires under the shard lock of *this key's* shard,
+        // poisoning the very mutex the later lookup must take.
+        std::thread::scope(|s| {
+            let h = s.spawn(|| cache.insert(&p, &q, &opts, vec![]));
+            assert!(h.join().is_err(), "the injected panic escaped the insert");
+        });
+        failpoint::disarm("cache.pref.shard");
+        // Subsequent lookups recover the poisoned shard instead of failing.
+        assert!(cache.get(&p, &q, &opts).is_some(), "lookup after poison still hits");
+        cache.insert(&p, &q, &opts, vec![]);
+        assert!(!cache.is_empty());
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub struct ShardedCache<K, V> {
     shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Optional failpoint site consulted *under the shard lock* on every
+    /// get/insert. An injected error degrades gracefully (forced miss /
+    /// dropped insert — a cache may always lose); an injected panic
+    /// poisons the shard mutex, which [`ShardedCache::lock`]'s
+    /// poison-recovery then shrugs off.
+    failpoint_site: Option<&'static str>,
 }
 
 struct Shard<K, V> {
@@ -69,6 +75,25 @@ impl<K: Eq + Hash, V> ShardedCache<K, V> {
             shard_capacity: shard_capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            failpoint_site: None,
+        }
+    }
+
+    /// Names the failpoint site this cache's shard operations pass (see
+    /// the `failpoint_site` field docs). A no-op without the
+    /// `failpoints` feature.
+    pub fn with_failpoint_site(mut self, site: &'static str) -> Self {
+        self.failpoint_site = Some(site);
+        self
+    }
+
+    /// Passes the configured failpoint site, if any. Always `Ok` in
+    /// production builds ([`qp_storage::failpoint::check`] is a no-op
+    /// without the `failpoints` feature).
+    fn fail_check(&self) -> Result<(), String> {
+        match self.failpoint_site {
+            Some(site) => qp_storage::failpoint::check(site),
+            None => Ok(()),
         }
     }
 
@@ -92,6 +117,12 @@ impl<K: Eq + Hash, V> ShardedCache<K, V> {
     /// hit/miss totals.
     pub fn get(&self, key: &K) -> Option<Arc<V>> {
         let mut shard = self.lock(self.shard_of(key));
+        if self.fail_check().is_err() {
+            // An injected shard fault is a forced miss: a cache is always
+            // allowed to lose, so the caller just recomputes.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         shard.tick += 1;
         let tick = shard.tick;
         match shard.map.get_mut(key) {
@@ -116,6 +147,10 @@ impl<K: Eq + Hash, V> ShardedCache<K, V> {
     {
         let value = Arc::new(value);
         let mut shard = self.lock(self.shard_of(&key));
+        if self.fail_check().is_err() {
+            // Injected shard fault: drop the insert, hand the value back.
+            return value;
+        }
         shard.tick += 1;
         let tick = shard.tick;
         shard.map.insert(key, Entry { value: Arc::clone(&value), last_used: tick });
@@ -210,7 +245,10 @@ impl PlanCache {
 
     /// A plan cache with explicit shard count and per-shard capacity.
     pub fn with_capacity(shards: usize, shard_capacity: usize) -> Self {
-        PlanCache { inner: ShardedCache::new(shards, shard_capacity) }
+        PlanCache {
+            inner: ShardedCache::new(shards, shard_capacity)
+                .with_failpoint_site("cache.plan.shard"),
+        }
     }
 
     /// Looks up the plan for `sql` compiled against the current version
@@ -303,6 +341,27 @@ mod tests {
         assert_eq!(c.hits(), 1);
     }
 
+    /// Satellite of the poison-recovery idiom: a panic *while holding a
+    /// shard lock* (here provoked directly, without failpoints) must not
+    /// poison the cache for later callers.
+    #[test]
+    fn panic_mid_operation_does_not_poison_lookups() {
+        let c: std::sync::Arc<ShardedCache<u32, u32>> =
+            std::sync::Arc::new(ShardedCache::new(1, 8));
+        c.insert(1, 10);
+        let c2 = std::sync::Arc::clone(&c);
+        // Panic inside retain's closure: the shard guard is held at the
+        // moment of unwind, so the mutex is genuinely poisoned.
+        let panicked = std::thread::spawn(move || {
+            c2.retain(|_| panic!("mid-mutation panic"));
+        })
+        .join();
+        assert!(panicked.is_err(), "the closure must have panicked");
+        assert_eq!(*c.get(&1).expect("poisoned shard recovered"), 10);
+        c.insert(2, 20);
+        assert_eq!(*c.get(&2).expect("inserts keep working"), 20);
+    }
+
     #[test]
     fn concurrent_access_is_safe_and_counted() {
         // Capacity comfortably above the 400 total inserts so racing
@@ -320,6 +379,45 @@ mod tests {
             }
         });
         assert_eq!(c.hits() + c.misses(), 400);
+    }
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod failpoint_tests {
+    use super::*;
+    use qp_storage::failpoint::{self, FailAction, FailScenario};
+
+    #[test]
+    fn injected_shard_error_forces_miss_and_drops_insert() {
+        let _s = FailScenario::setup();
+        let c: ShardedCache<u32, u32> =
+            ShardedCache::new(1, 8).with_failpoint_site("t.cache.shard");
+        c.insert(1, 10);
+        failpoint::arm("t.cache.shard", FailAction::Error("shard io".into()));
+        assert!(c.get(&1).is_none(), "armed site forces a miss");
+        let v = c.insert(2, 20);
+        assert_eq!(*v, 20, "caller still gets its value back");
+        failpoint::disarm("t.cache.shard");
+        assert!(c.get(&2).is_none(), "the faulted insert was dropped");
+        assert_eq!(*c.get(&1).expect("original entry intact"), 10);
+    }
+
+    /// A `Panic` action fires while the shard lock is held — the exact
+    /// scenario the `PoisonError::into_inner` recovery exists for.
+    #[test]
+    fn injected_panic_mid_insert_does_not_poison_the_cache() {
+        let _s = FailScenario::setup();
+        let c: std::sync::Arc<ShardedCache<u32, u32>> =
+            std::sync::Arc::new(ShardedCache::new(1, 8).with_failpoint_site("t.cache.poison"));
+        c.insert(1, 10);
+        failpoint::arm("t.cache.poison", FailAction::Panic("poisoned shard".into()));
+        let c2 = std::sync::Arc::clone(&c);
+        let panicked = std::thread::spawn(move || c2.insert(2, 20)).join();
+        assert!(panicked.is_err(), "the insert must have panicked under the lock");
+        failpoint::disarm("t.cache.poison");
+        assert_eq!(*c.get(&1).expect("lookups survive the poisoned shard"), 10);
+        c.insert(3, 30);
+        assert_eq!(*c.get(&3).expect("inserts survive too"), 30);
     }
 }
 

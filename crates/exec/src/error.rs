@@ -57,6 +57,15 @@ pub enum ExecError {
     /// An injected fault fired at a [`qp_storage::failpoint`] site (only
     /// under the `failpoints` feature).
     Fault(String),
+    /// A [`crate::pool::parallel_map`] worker panicked; the unwind was
+    /// caught at the chunk boundary (see [`crate::pool::WorkerPanic`]) so
+    /// the request degrades instead of the serving thread dying.
+    WorkerPanic {
+        /// Index of the chunk whose worker panicked.
+        chunk: usize,
+        /// The panic payload rendered as text.
+        message: String,
+    },
     /// An internal invariant was violated — a bug in the planner or
     /// engine, surfaced as an error instead of a panic so callers can
     /// degrade gracefully.
@@ -121,6 +130,9 @@ impl fmt::Display for ExecError {
             }
             ExecError::Cancelled => write!(f, "query cancelled"),
             ExecError::Fault(msg) => write!(f, "injected fault: {msg}"),
+            ExecError::WorkerPanic { chunk, message } => {
+                write!(f, "worker for chunk {chunk} panicked: {message}")
+            }
             ExecError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
             ExecError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
@@ -134,6 +146,12 @@ impl std::error::Error for ExecError {
             ExecError::Storage(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::pool::WorkerPanic> for ExecError {
+    fn from(p: crate::pool::WorkerPanic) -> Self {
+        ExecError::WorkerPanic { chunk: p.chunk, message: p.message }
     }
 }
 
@@ -172,6 +190,10 @@ mod tests {
         assert_eq!(e.to_string(), "query exceeded its intermediate rows budget (99 rows)");
         assert_eq!(ExecError::Cancelled.to_string(), "query cancelled");
         assert_eq!(ExecError::Fault("exec.scan".into()).to_string(), "injected fault: exec.scan");
+        assert_eq!(
+            ExecError::WorkerPanic { chunk: 2, message: "boom".into() }.to_string(),
+            "worker for chunk 2 panicked: boom"
+        );
         assert_eq!(
             ExecError::Internal("oops".into()).to_string(),
             "internal invariant violated: oops"

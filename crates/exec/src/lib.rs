@@ -45,7 +45,7 @@ pub use engine::{Engine, ExecStats};
 pub use error::{ExecError, ResourceKind};
 pub use functions::{AggState, AggregateFunction, ScalarUdf};
 pub use guard::{CancelToken, QueryGuard, QueryGuardBuilder};
-pub use pool::{parallel_map, PARALLEL_THRESHOLD};
+pub use pool::{panic_message, parallel_map, WorkerPanic, PARALLEL_THRESHOLD};
 pub use result::ResultSet;
 
 // Fault-injection sites live in qp-storage so every layer can share one

@@ -15,6 +15,15 @@
 //! shared atomics, so *which* row trips the budget depends on thread
 //! interleaving, but whether the budget trips at all does not.
 //!
+//! Panics are isolated, not propagated: each worker (and the serial
+//! fallback) runs under [`std::panic::catch_unwind`], and a panicking
+//! chunk surfaces as a typed [`WorkerPanic`] error converted into the
+//! caller's error type. One poisoned tuple therefore degrades the request
+//! it belongs to instead of aborting the serving thread; guard budgets
+//! live in shared atomics, so everything charged before the panic stays
+//! settled. Chunk ordering still applies — a plain error in chunk 0 beats
+//! a panic in chunk 2, and vice versa.
+//!
 //! Callers decide when parallelism pays: pass `parallelism <= 1` (or a
 //! single item) and the whole thing degrades to a plain serial loop with
 //! no thread spawned. [`PARALLEL_THRESHOLD`] is the shared heuristic for
@@ -22,9 +31,56 @@
 //! per-tuple probe queries parallelizes profitably at much smaller batch
 //! sizes.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 /// Minimum number of *row-granularity* items before operators fan out.
 /// Below this, thread spawn overhead dwarfs the per-row work.
 pub const PARALLEL_THRESHOLD: usize = 256;
+
+/// A worker closure panicked while mapping its chunk.
+///
+/// [`parallel_map`] catches the unwind at the chunk boundary and converts
+/// it into the caller's error type via `From<WorkerPanic>`, so a panic in
+/// one request's worker cannot take down the thread (or process) serving
+/// other requests. The original panic payload is rendered into `message`
+/// when it is a `&str` or `String` (the overwhelmingly common cases);
+/// other payload types are reported generically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the chunk whose worker panicked (0 on the serial path).
+    pub chunk: usize,
+    /// The panic payload rendered as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker for chunk {} panicked: {}", self.chunk, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Convenience conversion so plain-`String` error types (tests, ad-hoc
+/// tools) satisfy [`parallel_map`]'s `E: From<WorkerPanic>` bound.
+impl From<WorkerPanic> for String {
+    fn from(p: WorkerPanic) -> Self {
+        p.to_string()
+    }
+}
+
+/// Renders a caught panic payload as text: `&str` and `String` payloads
+/// (everything `panic!` with a message produces) are preserved verbatim,
+/// anything else is reported generically.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Maps `f` over `items` using up to `parallelism` scoped worker threads,
 /// returning results in input order. `f` receives the item's original
@@ -32,19 +88,29 @@ pub const PARALLEL_THRESHOLD: usize = 256;
 /// items this runs serially on the calling thread.
 ///
 /// On error, the error from the lowest-indexed chunk that failed is
-/// returned (later chunks' work is discarded). A panicking worker
-/// propagates its panic to the caller.
+/// returned (later chunks' work is discarded). A panicking worker does
+/// **not** propagate its panic: the unwind is caught at the chunk
+/// boundary and surfaces as a [`WorkerPanic`] converted into `E`, ranked
+/// against other chunks' errors by the same lowest-chunk-wins rule. The
+/// closures are asserted unwind-safe ([`AssertUnwindSafe`]): the shared
+/// state they touch in this codebase (guard atomics, metrics counters,
+/// poison-recovering cache shards) stays coherent across an unwind.
 pub fn parallel_map<T, R, E, F>(items: Vec<T>, parallelism: usize, f: F) -> Result<Vec<R>, E>
 where
     T: Send,
     R: Send,
-    E: Send,
+    E: Send + From<WorkerPanic>,
     F: Fn(usize, T) -> Result<R, E> + Sync,
 {
     let n = items.len();
     let workers = parallelism.min(n);
     if workers <= 1 {
-        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return catch_unwind(AssertUnwindSafe(|| {
+            items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect()
+        }))
+        .unwrap_or_else(|payload| {
+            Err(E::from(WorkerPanic { chunk: 0, message: panic_message(&*payload) }))
+        });
     }
 
     // Contiguous chunks whose sizes differ by at most one; chunk order ==
@@ -66,17 +132,35 @@ where
             .into_iter()
             .map(|(start, chunk)| {
                 scope.spawn(move || {
-                    chunk
-                        .into_iter()
-                        .enumerate()
-                        .map(|(j, t)| f(start + j, t))
-                        .collect::<Result<Vec<R>, E>>()
+                    // `exec.pool.spawn` models infrastructure failure at
+                    // worker startup; it has no typed error channel of its
+                    // own, so any armed action surfaces as a worker panic.
+                    #[cfg(feature = "failpoints")]
+                    if let Err(msg) = qp_storage::failpoint::check("exec.pool.spawn") {
+                        std::panic::panic_any(format!("injected fault: {msg}"));
+                    }
+                    catch_unwind(AssertUnwindSafe(|| {
+                        chunk
+                            .into_iter()
+                            .enumerate()
+                            .map(|(j, t)| f(start + j, t))
+                            .collect::<Result<Vec<R>, E>>()
+                    }))
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+            .enumerate()
+            .map(|(idx, h)| match h.join() {
+                Ok(Ok(res)) => res,
+                // Inner Err: the closure panicked and `catch_unwind`
+                // caught it. Outer Err: the unwind escaped the catch
+                // (possible only for panics-in-drop); same treatment.
+                Ok(Err(payload)) | Err(payload) => {
+                    Err(E::from(WorkerPanic { chunk: idx, message: panic_message(&*payload) }))
+                }
+            })
             .collect()
     });
 
@@ -97,7 +181,7 @@ mod tests {
         for par in [1, 2, 3, 8, 64] {
             let items: Vec<usize> = (0..100).collect();
             let out: Vec<usize> =
-                parallel_map(items, par, |i, x| Ok::<_, ()>(i * 1000 + x * 3)).unwrap();
+                parallel_map(items, par, |i, x| Ok::<_, String>(i * 1000 + x * 3)).unwrap();
             let expect: Vec<usize> = (0..100).map(|x| x * 1000 + x * 3).collect();
             assert_eq!(out, expect, "parallelism={par}");
         }
@@ -109,7 +193,7 @@ mod tests {
         let caller = std::thread::current().id();
         let out = parallel_map(vec![1, 2, 3], 1, |_, x| {
             assert_eq!(std::thread::current().id(), caller);
-            Ok::<_, ()>(x * 2)
+            Ok::<_, String>(x * 2)
         })
         .unwrap();
         assert_eq!(out, vec![2, 4, 6]);
@@ -117,9 +201,10 @@ mod tests {
 
     #[test]
     fn empty_and_single_item() {
-        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 8, |_, x| Ok::<_, ()>(x)).unwrap();
+        let out: Vec<i32> =
+            parallel_map(Vec::<i32>::new(), 8, |_, x| Ok::<_, String>(x)).unwrap();
         assert!(out.is_empty());
-        let out = parallel_map(vec![7], 8, |_, x| Ok::<_, ()>(x + 1)).unwrap();
+        let out = parallel_map(vec![7], 8, |_, x| Ok::<_, String>(x + 1)).unwrap();
         assert_eq!(out, vec![8]);
     }
 
@@ -145,7 +230,7 @@ mod tests {
         let items: Vec<usize> = (0..1000).collect();
         let out = parallel_map(items, 7, |_, x| {
             count.fetch_add(1, Ordering::Relaxed);
-            Ok::<_, ()>(x)
+            Ok::<_, String>(x)
         })
         .unwrap();
         assert_eq!(count.load(Ordering::Relaxed), 1000);
@@ -155,7 +240,95 @@ mod tests {
     #[test]
     fn workers_can_borrow_caller_state() {
         let shared = [10, 20, 30];
-        let out = parallel_map(vec![0usize, 1, 2], 3, |_, i| Ok::<_, ()>(shared[i])).unwrap();
+        let out = parallel_map(vec![0usize, 1, 2], 3, |_, i| Ok::<_, String>(shared[i])).unwrap();
         assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    /// Panics are confined to their chunk and reported as typed errors —
+    /// the caller's thread keeps running.
+    #[test]
+    fn panicking_worker_surfaces_typed_error() {
+        let items: Vec<usize> = (0..8).collect();
+        let err: WorkerPanicProbe = parallel_map(items, 4, |_, x| {
+            if x == 7 {
+                panic!("poisoned tuple {x}");
+            }
+            Ok::<_, WorkerPanicProbe>(x)
+        })
+        .unwrap_err();
+        assert_eq!(err.0.chunk, 3, "item 7 lives in chunk 3 of 4");
+        assert_eq!(err.0.message, "poisoned tuple 7");
+    }
+
+    #[test]
+    fn serial_path_catches_panics_identically() {
+        let err: WorkerPanicProbe =
+            parallel_map(vec![1, 2, 3], 1, |_, x: i32| -> Result<i32, WorkerPanicProbe> {
+                if x == 2 {
+                    panic!("serial boom");
+                }
+                Ok(x)
+            })
+            .unwrap_err();
+        assert_eq!(err.0, WorkerPanic { chunk: 0, message: "serial boom".into() });
+    }
+
+    #[test]
+    fn plain_error_in_earlier_chunk_beats_panic_in_later_chunk() {
+        let items: Vec<usize> = (0..8).collect();
+        let err = parallel_map(items, 4, |_, x| {
+            if x == 0 {
+                return Err("typed error".to_string());
+            }
+            if x == 7 {
+                panic!("later panic");
+            }
+            Ok(x)
+        })
+        .unwrap_err();
+        assert_eq!(err, "typed error");
+
+        // And symmetrically: a panic in chunk 0 beats an error in chunk 3.
+        let items: Vec<usize> = (0..8).collect();
+        let err = parallel_map(items, 4, |_, x| {
+            if x == 0 {
+                panic!("early panic");
+            }
+            if x == 7 {
+                return Err("late error".to_string());
+            }
+            Ok(x)
+        })
+        .unwrap_err();
+        assert!(err.contains("early panic"), "got: {err}");
+    }
+
+    /// Work charged to shared state before the panic is not rolled back —
+    /// the same property that keeps guard budgets settled.
+    #[test]
+    fn shared_state_charged_before_panic_stays_settled() {
+        let charged = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let res: Result<Vec<usize>, WorkerPanicProbe> = parallel_map(items, 4, |_, x| {
+            charged.fetch_add(1, Ordering::Relaxed);
+            if x == 99 {
+                panic!("late panic");
+            }
+            Ok(x)
+        });
+        assert!(res.is_err());
+        let seen = charged.load(Ordering::Relaxed);
+        assert!(seen >= 76, "chunks 0-2 fully charged before chunk 3's panic: {seen}");
+    }
+
+    /// Wrapper proving the `E: From<WorkerPanic>` bound carries the full
+    /// structured payload, not just a rendered string.
+    #[derive(Debug, PartialEq)]
+    struct WorkerPanicProbe(WorkerPanic);
+
+    impl From<WorkerPanic> for WorkerPanicProbe {
+        fn from(p: WorkerPanic) -> Self {
+            WorkerPanicProbe(p)
+        }
     }
 }

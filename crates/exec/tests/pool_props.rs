@@ -1,0 +1,60 @@
+//! Property tests for the worker pool: for any (len, parallelism) pair,
+//! `parallel_map` must be indistinguishable from the serial loop — same
+//! results, same order, every index visited exactly once — and a panic
+//! anywhere must surface as a typed error, never an unwind.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use qp_exec::parallel_map;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Order identity: the parallel result equals the serial map for any
+    /// batch length and worker count, including the degenerate ones
+    /// (empty batch, one item, more workers than items).
+    #[test]
+    fn order_identical_to_serial(len in 0usize..700, par in 1usize..16) {
+        let items: Vec<u64> = (0..len as u64).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 31 + 7).collect();
+        let out = parallel_map(items, par, |i, x| {
+            prop_assert_eq!(i as u64, x, "closure sees the original index");
+            Ok::<_, String>(x * 31 + 7)
+        }).unwrap();
+        prop_assert_eq!(out, serial, "len={} par={}", len, par);
+    }
+
+    /// Every item is visited exactly once regardless of chunking.
+    #[test]
+    fn each_item_visited_once(len in 1usize..400, par in 1usize..12) {
+        let visits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..len).collect();
+        let out = parallel_map(items, par, |_, x| {
+            visits.fetch_add(1, Ordering::Relaxed);
+            Ok::<_, String>(x)
+        }).unwrap();
+        prop_assert_eq!(visits.load(Ordering::Relaxed), len);
+        prop_assert_eq!(out.len(), len);
+    }
+
+    /// A panic at an arbitrary index is caught and typed for any shape;
+    /// the caller's thread survives to inspect the error.
+    #[test]
+    fn panic_is_always_typed(len in 1usize..200, par in 1usize..10, at in 0usize..200) {
+        let at = at % len;
+        let items: Vec<usize> = (0..len).collect();
+        let err = parallel_map(items, par, |_, x| {
+            if x == at {
+                panic!("injected panic at {x}");
+            }
+            Ok::<_, String>(x)
+        }).unwrap_err();
+        prop_assert!(
+            err.contains(&format!("injected panic at {at}")),
+            "panic payload preserved: {}", err
+        );
+        prop_assert!(err.contains("panicked"), "typed as a worker panic: {}", err);
+    }
+}

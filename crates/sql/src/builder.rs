@@ -161,7 +161,9 @@ impl SelectBuilder {
 /// Combines selects into a `UNION ALL` query. Panics on an empty input.
 pub fn union_all(selects: Vec<Select>) -> Query {
     let mut it = selects.into_iter();
-    let first = it.next().expect("union_all requires at least one select");
+    let Some(first) = it.next() else {
+        panic!("union_all requires at least one select");
+    };
     let mut body = SetExpr::Select(Box::new(first));
     for s in it {
         body = SetExpr::UnionAll(Box::new(body), Box::new(s));

@@ -158,11 +158,22 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                             break;
                         }
                     } else {
-                        // copy the full UTF-8 character
+                        // copy the full UTF-8 character; `i` always sits
+                        // on a char boundary, so the error arm is
+                        // unreachable in practice but degrades typed.
                         let ch_start = i;
-                        let ch = input[ch_start..].chars().next().unwrap();
-                        s.push(ch);
-                        i += ch.len_utf8();
+                        match input[ch_start..].chars().next() {
+                            Some(ch) => {
+                                s.push(ch);
+                                i += ch.len_utf8();
+                            }
+                            None => {
+                                return Err(ParseError::new(
+                                    "unterminated string literal",
+                                    start,
+                                ));
+                            }
+                        }
                     }
                 }
                 tokens.push(Spanned { token: Token::Str(s), offset: start });

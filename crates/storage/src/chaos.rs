@@ -1,0 +1,212 @@
+//! Deterministic, seed-driven chaos scheduling over the failpoint sites.
+//!
+//! A [`ChaosPlan`] describes *which* failpoint sites misbehave and *how
+//! often*, all derived from one master seed: each site gets a private
+//! xorshift stream seeded by `splitmix64(master ^ hash(site))`, so the
+//! whole fault schedule — which pass of which site errors, panics, or
+//! sails through — is a pure function of `(seed, site, pass index)`.
+//! Re-arming the same plan replays the same faults, which is what lets
+//! the soak test assert answer identity between a chaotic parallel run
+//! and a clean serial one: the *sites* fire nondeterministically across
+//! threads, but every individual request still ends in one of the three
+//! sanctioned states (complete answer, well-formed degradation, typed
+//! error).
+//!
+//! Like every failpoint facility, a plan only has effect under the
+//! `failpoints` feature; arming it in a production build is a no-op.
+
+use crate::failpoint::{self, FailAction};
+
+/// SplitMix64 — used to decorrelate per-site seeds derived from the
+/// master seed, so adjacent master seeds don't produce correlated site
+/// streams.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the site name; stable across runs and platforms.
+fn site_hash(site: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in site.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One site's misbehaviour rates, in basis points (1/10 000 per pass).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SiteRates {
+    error: u32,
+    panic: u32,
+}
+
+/// A reproducible chaos schedule: a master seed plus per-site fault
+/// rates.
+///
+/// ```
+/// use qp_storage::ChaosPlan;
+/// let plan = ChaosPlan::new(7)
+///     .error("exec.scan", 500)      // 5% of scans fail
+///     .panic("ppa.presence", 100);  // 1% of presence probes panic
+/// let scenario = qp_storage::failpoint::FailScenario::setup();
+/// plan.arm();
+/// // ... run the workload; faults replay exactly for seed 7 ...
+/// drop(scenario);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    seed: u64,
+    sites: Vec<(String, SiteRates)>,
+}
+
+impl ChaosPlan {
+    /// An empty plan for `seed`. Sites are added with
+    /// [`ChaosPlan::error`] / [`ChaosPlan::panic`].
+    pub fn new(seed: u64) -> Self {
+        ChaosPlan { seed, sites: Vec::new() }
+    }
+
+    /// The master seed the per-site streams derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets the injected-*error* rate (basis points per pass) for `site`.
+    pub fn error(mut self, site: &str, rate_bp: u32) -> Self {
+        self.entry(site).error = rate_bp;
+        self
+    }
+
+    /// Sets the injected-*panic* rate (basis points per pass) for `site`.
+    pub fn panic(mut self, site: &str, rate_bp: u32) -> Self {
+        self.entry(site).panic = rate_bp;
+        self
+    }
+
+    fn entry(&mut self, site: &str) -> &mut SiteRates {
+        if let Some(i) = self.sites.iter().position(|(s, _)| s == site) {
+            return &mut self.sites[i].1;
+        }
+        self.sites.push((site.to_string(), SiteRates { error: 0, panic: 0 }));
+        let last = self.sites.len() - 1;
+        &mut self.sites[last].1
+    }
+
+    /// The sites this plan arms, in insertion order.
+    pub fn sites(&self) -> impl Iterator<Item = &str> {
+        self.sites.iter().map(|(s, _)| s.as_str())
+    }
+
+    /// Arms every site in the plan. The caller is responsible for holding
+    /// a [`crate::failpoint::FailScenario`] so concurrent tests don't
+    /// observe the faults; [`ChaosPlan::disarm`] (or the scenario's drop)
+    /// removes them.
+    pub fn arm(&self) {
+        for (site, rates) in &self.sites {
+            let seed = match splitmix64(self.seed ^ site_hash(site)) {
+                0 => 1, // 0 would disable the stream
+                s => s,
+            };
+            failpoint::arm(
+                site,
+                FailAction::Chaos { seed, error_rate: rates.error, panic_rate: rates.panic },
+            );
+        }
+    }
+
+    /// Disarms every site in the plan (leaving unrelated sites alone).
+    pub fn disarm(&self) {
+        for (site, _) in &self.sites {
+            failpoint::disarm(site);
+        }
+    }
+
+    /// A broad default schedule for soak tests: low-rate errors across
+    /// the execution, PPA, cache, and snapshot sites, plus a trickle of
+    /// worker panics — wide enough to exercise every degradation path,
+    /// mild enough that most requests still complete. Panics are confined
+    /// to `exec.pool.spawn`, the one site inside the pool's
+    /// `catch_unwind` isolation boundary: coordinator-thread sites map
+    /// injected *errors* onto typed degradations, but have no panic
+    /// isolation by design.
+    pub fn serving_default(seed: u64) -> Self {
+        ChaosPlan::new(seed)
+            .error("exec.scan", 150)
+            .error("exec.hash_join.build", 150)
+            .error("ppa.presence", 200)
+            .error("ppa.absence", 200)
+            .error("ppa.step3", 150)
+            .error("spa.execute", 200)
+            .error("cache.plan.shard", 100)
+            .error("cache.pref.shard", 100)
+            .error("snapshot.update", 200)
+            .panic("exec.pool.spawn", 80)
+    }
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+    use crate::failpoint::FailScenario;
+
+    #[test]
+    fn plan_faults_replay_per_seed() {
+        let sequence = |seed: u64| {
+            let _s = FailScenario::setup();
+            ChaosPlan::new(seed).error("t.chaos.a", 2500).error("t.chaos.b", 2500).arm();
+            (0..48)
+                .map(|i| {
+                    let site = if i % 2 == 0 { "t.chaos.a" } else { "t.chaos.b" };
+                    failpoint::check(site).is_err()
+                })
+                .collect::<Vec<bool>>()
+        };
+        let a = sequence(1);
+        assert_eq!(a, sequence(1));
+        assert_ne!(a, sequence(2));
+    }
+
+    #[test]
+    fn sites_decorrelate_under_one_master_seed() {
+        let _s = FailScenario::setup();
+        ChaosPlan::new(9).error("t.dec.a", 5000).error("t.dec.b", 5000).arm();
+        let a: Vec<bool> = (0..64).map(|_| failpoint::check("t.dec.a").is_err()).collect();
+        let b: Vec<bool> = (0..64).map(|_| failpoint::check("t.dec.b").is_err()).collect();
+        assert_ne!(a, b, "same master seed must not give both sites the same stream");
+    }
+
+    #[test]
+    fn rates_compose_on_one_site() {
+        let plan = ChaosPlan::new(3).error("t.mix", 1000).panic("t.mix", 1000);
+        assert_eq!(plan.sites().count(), 1, "error+panic on one site share an entry");
+        let _s = FailScenario::setup();
+        plan.arm();
+        let mut errors = 0;
+        let mut panics = 0;
+        for _ in 0..400 {
+            match std::panic::catch_unwind(|| failpoint::check("t.mix")) {
+                Ok(Ok(())) => {}
+                Ok(Err(_)) => errors += 1,
+                Err(_) => panics += 1,
+            }
+        }
+        assert!(errors > 0, "error share fires");
+        assert!(panics > 0, "panic share fires");
+    }
+
+    #[test]
+    fn disarm_removes_only_plan_sites() {
+        let _s = FailScenario::setup();
+        failpoint::arm("t.other", FailAction::Error("keep".into()));
+        let plan = ChaosPlan::new(5).error("t.mine", 10_000);
+        plan.arm();
+        assert!(failpoint::check("t.mine").is_err());
+        plan.disarm();
+        assert_eq!(failpoint::check("t.mine"), Ok(()));
+        assert!(failpoint::check("t.other").is_err(), "unrelated site survives");
+    }
+}

@@ -22,10 +22,16 @@ use crate::table::{Row, RowId, Table};
 static NEXT_DATABASE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// An in-memory database instance.
+///
+/// Tables are held behind [`Arc`] so a snapshot clone (see
+/// [`crate::SnapshotStore`]) is cheap — only the table *pointers* are
+/// copied; a writer that then mutates one table copies just that table
+/// via [`Arc::make_mut`], leaving every other table shared with the
+/// snapshot it was cloned from.
 #[derive(Debug)]
 pub struct Database {
     catalog: Catalog,
-    tables: Vec<Table>,
+    tables: Vec<Arc<Table>>,
     histograms: RwLock<HashMap<AttrId, Arc<Histogram>>>,
     indexes: RwLock<HashMap<AttrId, Arc<Index>>>,
     /// Process-unique instance id; cache keys combine it with
@@ -56,6 +62,25 @@ impl Database {
     /// Creates an empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// A copy-on-write snapshot clone for [`crate::SnapshotStore`]:
+    /// preserves `id` **and** `version` (the clone *is* the same logical
+    /// database at the same point in time), Arc-shares every table, and
+    /// carries over the already-built histogram/index caches. Deliberately
+    /// not a public `Clone` impl: two clones mutated independently would
+    /// collide on `(id, version)` cache keys, so cloning is reserved for
+    /// the store, which serializes writers and publishes every mutation
+    /// through a version bump.
+    pub(crate) fn snapshot_clone(&self) -> Database {
+        Database {
+            catalog: self.catalog.clone(),
+            tables: self.tables.clone(),
+            histograms: RwLock::new(self.histograms.read().clone()),
+            indexes: RwLock::new(self.indexes.read().clone()),
+            id: self.id,
+            version: self.version,
+        }
     }
 
     /// A process-unique identifier for this database instance.
@@ -91,14 +116,14 @@ impl Database {
         primary_key: &[&str],
     ) -> Result<RelId, StorageError> {
         let id = self.catalog.add_relation(name, attributes, primary_key)?;
-        self.tables.push(Table::new());
+        self.tables.push(Arc::new(Table::new()));
         self.version += 1;
         Ok(id)
     }
 
     /// The table of a relation.
     pub fn table(&self, rel: RelId) -> &Table {
-        &self.tables[rel.0 as usize]
+        self.tables[rel.0 as usize].as_ref()
     }
 
     /// The table of a relation, by name.
@@ -112,7 +137,7 @@ impl Database {
     pub fn insert(&mut self, rel: RelId, row: Row) -> Result<RowId, StorageError> {
         crate::failpoint::check("storage.insert").map_err(StorageError::Injected)?;
         let relation = self.catalog.relation(rel);
-        let id = self.tables[rel.0 as usize].insert(relation, row)?;
+        let id = Arc::make_mut(&mut self.tables[rel.0 as usize]).insert(relation, row)?;
         self.invalidate_stats(rel);
         Ok(id)
     }
@@ -125,7 +150,7 @@ impl Database {
 
     /// Bulk-loads rows without per-row validation (generator fast path).
     pub fn bulk_load(&mut self, rel: RelId, rows: impl IntoIterator<Item = Row>) {
-        let table = &mut self.tables[rel.0 as usize];
+        let table = Arc::make_mut(&mut self.tables[rel.0 as usize]);
         for row in rows {
             table.insert_unchecked(row);
         }
@@ -174,7 +199,7 @@ impl Database {
 
     /// Total number of rows across all tables.
     pub fn total_rows(&self) -> usize {
-        self.tables.iter().map(Table::len).sum()
+        self.tables.iter().map(|t| t.len()).sum()
     }
 }
 

@@ -26,6 +26,11 @@
 //! | `ppa.absence`         | before each PPA absence query               |
 //! | `ppa.step3`           | before PPA's residual-tuple enumeration     |
 //! | `spa.execute`         | before executing the SPA statement          |
+//! | `snapshot.update`     | `SnapshotStore::update` (before mutating)   |
+//! | `exec.pool.spawn`     | worker startup in `parallel_map` (any armed action surfaces as a worker panic) |
+//! | `cache.plan.shard`    | plan-cache shard ops, checked under the shard lock (error → forced miss / dropped insert) |
+//! | `cache.pref.shard`    | preference-cache shard ops, same contract   |
+//! | `admission.queue`     | admission-permit wait in `qp_core::admission` |
 
 /// What an armed failpoint does when its site is passed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +46,23 @@ pub enum FailAction {
         /// Injected failure message.
         message: String,
     },
+    /// Panic with this message. Exercises the panic-isolation paths
+    /// (`parallel_map`'s `catch_unwind`, the caches' poison recovery).
+    Panic(String),
+    /// Seeded stochastic fault: on each pass an xorshift stream derived
+    /// from `seed` decides (deterministically, in pass order) whether to
+    /// fail, panic, or continue. Rates are per-10 000 so integer-only
+    /// configs stay exact; `error_rate` is evaluated first.
+    Chaos {
+        /// Seed of the per-site random stream (must be non-zero to
+        /// produce faults; 0 disables the stream).
+        seed: u64,
+        /// Probability of injecting an error, in basis points (1/10 000).
+        error_rate: u32,
+        /// Probability of panicking, in basis points, evaluated on the
+        /// passes that did not error.
+        panic_rate: u32,
+    },
 }
 
 #[cfg(feature = "failpoints")]
@@ -53,6 +75,9 @@ mod imp {
     struct Armed {
         action: FailAction,
         passes: u64,
+        /// Per-site xorshift state for [`FailAction::Chaos`]; 0 for every
+        /// other action (and for a disabled chaos stream).
+        rng: u64,
     }
 
     fn registry() -> &'static Mutex<HashMap<String, Armed>> {
@@ -86,6 +111,29 @@ mod imp {
                             }
                             FailAction::Error(message.clone())
                         }
+                        FailAction::Chaos { error_rate, panic_rate, .. } => {
+                            if armed.rng == 0 {
+                                return Ok(());
+                            }
+                            // Advance the site's private xorshift stream;
+                            // the fault sequence is a pure function of
+                            // (seed, pass index), so a chaos run replays
+                            // exactly under the same arming order.
+                            let mut x = armed.rng;
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            armed.rng = x;
+                            let roll = (x >> 11) % 10_000;
+                            let pass = armed.passes;
+                            if roll < u64::from(*error_rate) {
+                                FailAction::Error(format!("chaos@{site}#{pass}"))
+                            } else if roll < u64::from(*error_rate + *panic_rate) {
+                                FailAction::Panic(format!("chaos@{site}#{pass}"))
+                            } else {
+                                return Ok(());
+                            }
+                        }
                         other => other.clone(),
                     }
                 }
@@ -97,14 +145,23 @@ mod imp {
                 std::thread::sleep(std::time::Duration::from_millis(ms));
                 Ok(())
             }
-            FailAction::ErrorAfter { .. } => unreachable!("rewritten above"),
+            // Deliberately outside the registry lock, so a panicking site
+            // never wedges the registry itself.
+            FailAction::Panic(msg) => std::panic::panic_any(msg),
+            FailAction::ErrorAfter { .. } | FailAction::Chaos { .. } => {
+                unreachable!("rewritten above")
+            }
         }
     }
 
     /// See [`super::arm`].
     pub fn arm(site: &str, action: FailAction) {
+        let rng = match &action {
+            FailAction::Chaos { seed, .. } => *seed,
+            _ => 0,
+        };
         let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
-        reg.insert(site.to_string(), Armed { action, passes: 0 });
+        reg.insert(site.to_string(), Armed { action, passes: 0, rng });
         ANY_ARMED.store(true, Ordering::Release);
     }
 
@@ -229,6 +286,40 @@ mod tests {
         assert_eq!(check("t.after"), Ok(()));
         assert_eq!(check("t.after"), Err("late".to_string()));
         assert_eq!(check("t.after"), Err("late".to_string()));
+    }
+
+    #[test]
+    fn panic_action_panics_with_its_message() {
+        let _s = FailScenario::setup();
+        arm("t.panic", FailAction::Panic("kaboom".into()));
+        let caught = std::panic::catch_unwind(|| check("t.panic")).unwrap_err();
+        assert_eq!(caught.downcast_ref::<String>().map(String::as_str), Some("kaboom"));
+        // The registry survived the panicking site.
+        disarm("t.panic");
+        assert_eq!(check("t.panic"), Ok(()));
+    }
+
+    #[test]
+    fn chaos_stream_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let _s = FailScenario::setup();
+            arm("t.chaos", FailAction::Chaos { seed, error_rate: 3000, panic_rate: 0 });
+            (0..64).map(|_| check("t.chaos").is_err()).collect::<Vec<bool>>()
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed, same fault sequence");
+        assert_ne!(a, run(43), "different seed, different sequence");
+        let faults = a.iter().filter(|f| **f).count();
+        assert!(faults > 0 && faults < 64, "~30% rate fires sometimes, not always: {faults}/64");
+    }
+
+    #[test]
+    fn chaos_zero_seed_is_inert() {
+        let _s = FailScenario::setup();
+        arm("t.chaos0", FailAction::Chaos { seed: 0, error_rate: 10_000, panic_rate: 0 });
+        for _ in 0..16 {
+            assert_eq!(check("t.chaos0"), Ok(()));
+        }
     }
 
     #[test]

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 //! # qp-storage
 //!
@@ -17,6 +18,7 @@
 //! The crate is deliberately free of query-processing logic; `qp-exec`
 //! builds the executor on top of these primitives.
 
+pub mod chaos;
 pub mod database;
 pub mod dump;
 pub mod error;
@@ -24,16 +26,19 @@ pub mod failpoint;
 pub mod histogram;
 pub mod index;
 pub mod schema;
+pub mod snapshot;
 pub mod table;
 pub mod types;
 pub mod value;
 
+pub use chaos::ChaosPlan;
 pub use database::Database;
 pub use dump::{dump_dir, load_dir};
 pub use error::StorageError;
 pub use histogram::Histogram;
 pub use index::Index;
 pub use schema::{AttrId, Attribute, Catalog, ForeignKey, RelId, Relation};
+pub use snapshot::SnapshotStore;
 pub use table::{Row, RowId, Table};
 pub use types::{DataType, DomainKind};
 pub use value::Value;

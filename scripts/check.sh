@@ -24,6 +24,19 @@ QP_PARALLELISM=4 cargo test -q --workspace
 echo "==> cargo test (caches disabled)"
 QP_DISABLE_PLAN_CACHE=1 QP_DISABLE_PREF_CACHE=1 cargo test -q --workspace
 
+# Chaos leg: the seeded soak harness drives a multi-thread serving fleet
+# through the ChaosPlan failpoint schedule with the pool fanned out. The
+# seeds are fixed inside the test, so failures replay exactly.
+echo "==> cargo test (chaos soak, failpoints + QP_PARALLELISM=4)"
+QP_PARALLELISM=4 cargo test -q -p qp-core --features failpoints --test chaos_soak
+
+# Forced-open breaker: every serving test must still pass when the
+# circuit breaker is pinned open — personalizers without a resilience
+# bundle are unaffected, and those with one keep serving degraded
+# answers deterministically (tests construct explicit BreakerConfigs).
+echo "==> cargo test (QP_BREAKER_FORCE_OPEN=1, serving + resilience)"
+QP_BREAKER_FORCE_OPEN=1 cargo test -q --test serving --test resilience
+
 # First-party crates only: the vendored offline shims (vendor/*) are API
 # stand-ins and are not held to the documentation gate.
 FIRST_PARTY=(-p personalized-queries -p qp-storage -p qp-obs -p qp-sql

@@ -1,0 +1,326 @@
+//! Serving-resilience integration: the circuit breaker trips on
+//! sustained unhealth and recovers through a half-open probe, the
+//! admission controller sheds excess load as a typed error, a forced-open
+//! breaker serves degraded answers deterministically, and a
+//! [`SnapshotStore`]-backed personalizer pins one database epoch per
+//! request while writers publish updates.
+//!
+//! Every breaker in this file uses an explicit [`BreakerConfig`] with
+//! `forced_open` pinned, so the assertions hold regardless of the
+//! `QP_BREAKER_FORCE_OPEN` environment (check.sh re-runs this suite with
+//! it set).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qp_core::{
+    AdmissionConfig, AnswerAlgorithm, BreakerConfig, BreakerState, DegradeEvent,
+    PersonalizationOptions, PersonalizeRequest, Personalizer, PrefError, Profile, Resilience,
+    SelectionCriterion,
+};
+use qp_exec::QueryGuard;
+use qp_obs::{MemoryRecorder, Tracer};
+use qp_storage::{Attribute, DataType, Database, SnapshotStore, Value};
+
+fn movies_db() -> Database {
+    let mut db = Database::new();
+    db.create_relation(
+        "MOVIE",
+        vec![
+            Attribute::new("mid", DataType::Int),
+            Attribute::new("title", DataType::Text),
+            Attribute::new("year", DataType::Int),
+        ],
+        &["mid"],
+    )
+    .unwrap();
+    db.create_relation(
+        "GENRE",
+        vec![Attribute::new("mid", DataType::Int), Attribute::new("genre", DataType::Text)],
+        &["mid", "genre"],
+    )
+    .unwrap();
+    for (mid, t, y) in [
+        (1, "Annie Hall", 1977),
+        (2, "Manhattan", 1979),
+        (3, "Zelig", 1983),
+        (4, "Heat", 1995),
+        (5, "Chicago", 2002),
+    ] {
+        db.insert_by_name("MOVIE", vec![Value::Int(mid), Value::str(t), Value::Int(y)]).unwrap();
+    }
+    for (mid, g) in [(1, "comedy"), (2, "comedy"), (3, "comedy"), (4, "thriller"), (5, "musical")]
+    {
+        db.insert_by_name("GENRE", vec![Value::Int(mid), Value::str(g)]).unwrap();
+    }
+    db
+}
+
+fn profile(db: &Database) -> Profile {
+    Profile::parse(
+        db.catalog(),
+        "doi(MOVIE.year < 1980) = (0.8, 0)\n\
+         doi(GENRE.genre = 'musical') = (-0.9, 0.7)\n\
+         doi(MOVIE.mid = GENRE.mid) = (0.9)\n",
+    )
+    .unwrap()
+}
+
+fn options() -> PersonalizationOptions {
+    PersonalizationOptions {
+        criterion: SelectionCriterion::TopK(3),
+        l: 1,
+        algorithm: AnswerAlgorithm::Ppa,
+        ..Default::default()
+    }
+}
+
+/// A breaker config that trips fast, probes fast, and ignores the
+/// `QP_BREAKER_FORCE_OPEN` environment.
+fn test_breaker() -> BreakerConfig {
+    BreakerConfig {
+        window: 8,
+        min_samples: 2,
+        trip_ratio: 0.5,
+        cooldown: Duration::from_millis(40),
+        forced_open: false,
+    }
+}
+
+/// An immediately-expired guard: PPA degrades with a deadline cut, which
+/// is the breaker's failure signal.
+fn expired_guard() -> QueryGuard {
+    QueryGuard::builder().deadline(Duration::ZERO).build()
+}
+
+#[test]
+fn breaker_trips_short_circuits_and_recovers() {
+    let db = movies_db();
+    let profile = profile(&db);
+    let recorder = Arc::new(MemoryRecorder::new());
+    let mut p = Personalizer::new(&db);
+    p.set_tracer(Tracer::new(recorder.clone()));
+    p.set_resilience(Some(Arc::new(Resilience::new().with_breaker(test_breaker()))));
+
+    // Two deadline-tripped runs: both degrade (PPA cuts at the deadline),
+    // and the second one trips the breaker open.
+    for _ in 0..2 {
+        let out = p
+            .run(PersonalizeRequest::sql(&profile, "select title from MOVIE")
+                .options(options())
+                .guard(expired_guard()))
+            .unwrap();
+        assert!(!out.is_complete(), "a zero deadline must cut the run");
+    }
+    let breaker = Arc::clone(p.resilience().unwrap());
+    let breaker = breaker.breaker.as_ref().unwrap();
+    assert_eq!(breaker.state(), BreakerState::Open, "2/2 failures past min_samples");
+
+    // While open, requests short-circuit into the degraded path: the
+    // unpersonalized answer, with the substitution on the record.
+    let out = p
+        .run(PersonalizeRequest::sql(&profile, "select title from MOVIE").options(options()))
+        .unwrap();
+    assert!(out.resilience.short_circuited);
+    assert!(!out.resilience.probe);
+    assert_eq!(out.answer().len(), 5, "the degraded answer is the plain query's rows");
+    assert!(out.answer().tuples.iter().all(|t| t.doi == 0.0), "unpersonalized: doi 0");
+    assert!(
+        out.degradation().events.iter().any(|e| matches!(
+            e,
+            DegradeEvent::Fallback { stage, .. } if stage == "breaker"
+        )),
+        "breaker substitution is reported, not silent: {:?}",
+        out.degradation()
+    );
+
+    // After the cooldown, exactly one request runs as the half-open
+    // probe; it succeeds (no deadline this time) and closes the breaker.
+    std::thread::sleep(Duration::from_millis(50));
+    let out = p
+        .run(PersonalizeRequest::sql(&profile, "select title from MOVIE").options(options()))
+        .unwrap();
+    assert!(out.resilience.probe, "first post-cooldown request is the probe");
+    assert!(!out.resilience.short_circuited);
+    assert!(out.is_complete());
+    assert_eq!(breaker.state(), BreakerState::Closed, "successful probe closes the breaker");
+
+    // Fully recovered: the next run is an ordinary complete one.
+    let out = p
+        .run(PersonalizeRequest::sql(&profile, "select title from MOVIE").options(options()))
+        .unwrap();
+    assert!(out.is_complete() && !out.resilience.probe && !out.resilience.short_circuited);
+
+    // The life cycle is observable: state-change events and counters.
+    let events: Vec<String> = recorder.events().into_iter().map(|e| e.name).collect();
+    assert!(events.iter().any(|e| e == "breaker.open"), "{events:?}");
+    assert!(events.iter().any(|e| e == "breaker.half_open"), "{events:?}");
+    assert!(events.iter().any(|e| e == "breaker.close"), "{events:?}");
+    assert!(events.iter().any(|e| e == "breaker.short_circuit"), "{events:?}");
+    assert_eq!(p.metrics().counter("breaker.opened").get(), 1);
+    assert_eq!(p.metrics().counter("breaker.closed").get(), 1);
+    assert!(p.metrics().counter("breaker.short_circuited").get() >= 1);
+}
+
+#[test]
+fn admission_sheds_overload_as_a_typed_error() {
+    let db = movies_db();
+    let profile = profile(&db);
+    let mut p = Personalizer::new(&db);
+    let bundle = Arc::new(Resilience::new().with_admission(AdmissionConfig {
+        max_inflight: 1,
+        max_queue_wait: Duration::from_millis(5),
+    }));
+    p.set_resilience(Some(Arc::clone(&bundle)));
+
+    // Occupy the only permit, as a concurrent request would.
+    let permit = bundle.admission.as_ref().unwrap().try_acquire().unwrap();
+    let err = p
+        .run(PersonalizeRequest::sql(&profile, "select title from MOVIE").options(options()))
+        .expect_err("the full controller must shed");
+    match err {
+        PrefError::Overloaded { in_flight, .. } => assert_eq!(in_flight, 1),
+        other => panic!("expected Overloaded, got {other}"),
+    }
+    assert_eq!(p.metrics().counter("admission.shed").get(), 1);
+
+    // Releasing the permit re-opens the door.
+    drop(permit);
+    let out = p
+        .run(PersonalizeRequest::sql(&profile, "select title from MOVIE").options(options()))
+        .unwrap();
+    assert!(out.is_complete());
+    assert_eq!(p.metrics().counter("admission.admitted").get(), 1);
+}
+
+#[test]
+fn forced_open_breaker_serves_degraded_answers_deterministically() {
+    let db = movies_db();
+    let profile = profile(&db);
+    let mut p = Personalizer::new(&db);
+    let mut config = test_breaker();
+    config.forced_open = true;
+    p.set_resilience(Some(Arc::new(Resilience::new().with_breaker(config))));
+
+    for _ in 0..3 {
+        let out = p
+            .run(PersonalizeRequest::sql(&profile, "select title from MOVIE").options(options()))
+            .unwrap();
+        assert!(out.resilience.short_circuited, "forced-open never lets a request through");
+        assert!(!out.resilience.probe, "forced-open never probes");
+        assert_eq!(out.answer().len(), 5);
+        assert!(!out.is_complete());
+    }
+}
+
+#[test]
+fn serving_personalizer_pins_one_epoch_per_request() {
+    let store = Arc::new(SnapshotStore::new(movies_db()));
+    let profile = {
+        let snap = store.snapshot();
+        profile(&snap)
+    };
+    let mut p = Personalizer::serving(Arc::clone(&store));
+    // This test asserts on hit/miss bookkeeping, so it forces both caches
+    // on: the check.sh sweep re-runs the suite with
+    // QP_DISABLE_PLAN_CACHE/QP_DISABLE_PREF_CACHE set, and this test must
+    // describe the caches, not the environment.
+    p.set_plan_cache_enabled(true);
+    p.set_preference_cache_enabled(true);
+
+    let first = p
+        .run(PersonalizeRequest::sql(&profile, "select title from MOVIE").options(options()))
+        .unwrap();
+    // Chicago (2002, musical) satisfies none of the three preferences at
+    // L = 1, so the personalized answer holds the other four movies.
+    assert_eq!(first.answer().len(), 4);
+    assert_eq!(first.cache.pref_misses, 1, "cold preference cache");
+
+    let warm = p
+        .run(PersonalizeRequest::sql(&profile, "select title from MOVIE").options(options()))
+        .unwrap();
+    assert_eq!(warm.cache.pref_hits, 1, "same profile version: selection memoized");
+    assert_eq!(warm.cache.plan_hits, first.cache.plan_misses, "every compiled plan re-hit");
+
+    // Publish a new epoch while the personalizer keeps serving.
+    let v_before = p.db().version();
+    store
+        .update(|db| {
+            db.insert_by_name(
+                "MOVIE",
+                vec![Value::Int(6), Value::str("Sleeper"), Value::Int(1973)],
+            )
+            .map(|_| ())
+        })
+        .unwrap();
+    assert!(p.db().version() > v_before, "the personalizer sees the new epoch");
+
+    let after = p
+        .run(PersonalizeRequest::sql(&profile, "select title from MOVIE").options(options()))
+        .unwrap();
+    assert_eq!(after.answer().len(), 5, "the new epoch's row is served");
+    assert!(
+        after.answer().tuples.iter().any(|t| t.row.iter().any(|v| v == &Value::str("Sleeper"))),
+        "the inserted movie appears"
+    );
+    assert_eq!(
+        after.cache.plan_hits, 0,
+        "(db id, version) plan keys invalidate naturally on publish"
+    );
+    assert_eq!(after.cache.pref_hits, 1, "selection depends on the catalog, not the rows");
+}
+
+#[test]
+fn concurrent_publishes_never_tear_served_answers() {
+    // Writers insert rows in pairs; every served answer must observe the
+    // initial 5 rows plus a whole number of pairs.
+    let store = Arc::new(SnapshotStore::new(movies_db()));
+    let empty = Profile::new(); // no preferences: the plain answer path
+    std::thread::scope(|scope| {
+        for w in 0..2i64 {
+            let store = Arc::clone(&store);
+            scope.spawn(move || {
+                for i in 0..12 {
+                    let base = 100 + w * 100 + i * 2;
+                    store
+                        .update(|db| {
+                            db.insert_by_name(
+                                "MOVIE",
+                                vec![Value::Int(base), Value::str("a"), Value::Int(1990)],
+                            )?;
+                            db.insert_by_name(
+                                "MOVIE",
+                                vec![Value::Int(base + 1), Value::str("b"), Value::Int(1991)],
+                            )
+                            .map(|_| ())
+                        })
+                        .unwrap();
+                }
+            });
+        }
+        for _ in 0..3 {
+            let store = Arc::clone(&store);
+            let empty = &empty;
+            scope.spawn(move || {
+                let mut p = Personalizer::serving(store);
+                for _ in 0..40 {
+                    let out = p
+                        .run(PersonalizeRequest::sql(empty, "select title from MOVIE"))
+                        .unwrap();
+                    let n = out.answer().len();
+                    assert!(out.is_complete());
+                    assert!(
+                        n >= 5 && (n - 5).is_multiple_of(2),
+                        "torn read: {n} rows observed mid-publish"
+                    );
+                }
+            });
+        }
+    });
+    let final_count = Personalizer::serving(Arc::clone(&store))
+        .run(PersonalizeRequest::sql(&Profile::new(), "select title from MOVIE"))
+        .unwrap()
+        .answer()
+        .len();
+    assert_eq!(final_count, 5 + 2 * 24, "all published pairs are visible at the end");
+}
