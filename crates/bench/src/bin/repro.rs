@@ -6,6 +6,7 @@
 //!   figure: fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 //!           ablation guardrails trace all
 //! repro --bench-parallel [--scale ...] [--runs N]
+//! repro --bench-vectorized [--scale ...] [--runs N]
 //! repro --bench-chaos [--scale ...] [--runs N]
 //! ```
 //!
@@ -14,6 +15,15 @@
 //! repeated-query latency with the plan + preference caches warm vs
 //! bypassed. Results are printed and snapshotted to `BENCH_parallel.json`
 //! in the current directory.
+//!
+//! `--bench-vectorized` compares the vectorized batch engine against the
+//! `QP_ROW_ENGINE` row-at-a-time oracle on the scan+filter+join workload
+//! and on an end-to-end PPA personalization, asserting byte-identical
+//! results before trusting either time. Each side reports its minimum
+//! over `--runs` repetitions — external load only ever inflates a
+//! measurement, so the minimum is the noise-robust basis for the
+//! engine-vs-engine ratio. The snapshot lands in `BENCH_vectorized.json`
+//! with the host's `cpus`.
 //!
 //! `--bench-chaos` runs the robustness benchmark: a multi-thread serving
 //! fleet (snapshot store + shared resilience bundle) measured steady, then
@@ -89,6 +99,7 @@ fn main() {
                 }
             }
             "--bench-parallel" => figures.push("bench-parallel".to_string()),
+            "--bench-vectorized" => figures.push("bench-vectorized".to_string()),
             "--bench-chaos" => figures.push("bench-chaos".to_string()),
             other => figures.push(other.to_string()),
         }
@@ -110,16 +121,21 @@ fn main() {
     }
 
     let bench_parallel_wanted = figures.iter().any(|f| f == "bench-parallel");
+    let bench_vectorized_wanted = figures.iter().any(|f| f == "bench-vectorized");
     if want("fig7")
         || want("fig8")
         || want("ablation")
         || want("guardrails")
         || want("trace")
         || bench_parallel_wanted
+        || bench_vectorized_wanted
     {
         let db = bench_db(scale);
         if bench_parallel_wanted {
             bench_parallel(&db, runs);
+        }
+        if bench_vectorized_wanted {
+            bench_vectorized(&db, runs);
         }
         if want("fig7") {
             fig7(&db, runs);
@@ -750,7 +766,7 @@ fn fig15_17(db: &Database, users: &[SimulatedUser], fig: &str, kind: RankingKind
 /// preference caches warm vs bypassed per request. The measured numbers
 /// are snapshotted to `BENCH_parallel.json` so regressions are diffable.
 fn bench_parallel(db: &Database, runs: usize) {
-    let runs = runs.max(5);
+    let runs = runs.max(7);
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let workers = cpus.clamp(2, 4);
     let profile = positive_profile(db, 50, 7);
@@ -880,6 +896,104 @@ fn bench_parallel(db: &Database, runs: usize) {
     match std::fs::write("BENCH_parallel.json", &json) {
         Ok(()) => println!("wrote BENCH_parallel.json"),
         Err(e) => eprintln!("warning: could not write BENCH_parallel.json: {e}"),
+    }
+}
+
+/// Vectorized-engine benchmark: the batch engine against the
+/// `QP_ROW_ENGINE` row-at-a-time oracle, first on the raw
+/// scan+filter+join workload, then on an end-to-end PPA personalization
+/// whose per-round probes the batch engine collapses into set-fetch
+/// executions. Both comparisons assert byte-identical results before
+/// trusting either time; the snapshot lands in `BENCH_vectorized.json`
+/// with the host's `cpus` (the comparison is serial on both sides, but
+/// recording the machine keeps snapshots diffable across hosts).
+fn bench_vectorized(db: &Database, runs: usize) {
+    use qp_core::answer::ppa::ppa;
+    use qp_core::select::{fakecrit::fakecrit, QueryContext};
+    use qp_core::PersonalizationGraph;
+
+    let runs = runs.max(7);
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut batch_engine = qp_exec::Engine::new();
+    batch_engine.set_row_engine(false);
+    let mut row_engine = qp_exec::Engine::new();
+    row_engine.set_row_engine(true);
+
+    // --- scan + filter + join -------------------------------------------
+    // A selective filter over the movie table joined against a derived
+    // genre set (derived so the planner takes the hash-join path instead
+    // of an index join): the scan and filter run vectorized over borrowed
+    // column slices, the join probes whole batches.
+    let sfj_sql = "select M.title, M.year from MOVIE M, \
+                   (select mid from GENRE where genre = 'drama') G \
+                   where M.mid = G.mid and M.year >= 1990 and M.duration < 120";
+    let sfj = parse_query(sfj_sql).unwrap();
+    let (row_rs, row_sfj) = qp_bench::min_time(runs, || row_engine.execute(db, &sfj).unwrap());
+    let (batch_rs, batch_sfj) =
+        qp_bench::min_time(runs, || batch_engine.execute(db, &sfj).unwrap());
+    assert_eq!(batch_rs, row_rs, "engines must agree on the scan+filter+join result");
+    let sfj_speedup = row_sfj.as_secs_f64() / batch_sfj.as_secs_f64().max(1e-9);
+
+    // --- end-to-end PPA --------------------------------------------------
+    // Full-table personalization so every presence/absence round carries a
+    // large probe batch; the batch engine materializes each preference
+    // query once and probes it by hash lookup where the row oracle runs
+    // one parameterized execution per tuple.
+    let profile = positive_profile(db, 50, 7);
+    let graph = PersonalizationGraph::build(&profile);
+    let initial = parse_query("select title from MOVIE").unwrap();
+    let qc = QueryContext::from_query(db.catalog(), &initial).expect("query context");
+    let selected =
+        fakecrit(&graph, &qc, SelectionCriterion::TopK(20)).expect("preference selection");
+    let ranking = Ranking::default();
+    let (row_ans, row_ppa) = qp_bench::min_time(runs, || {
+        ppa(db, &mut row_engine, &initial, &profile, &selected, 1, &ranking).expect("row PPA")
+    });
+    let (batch_ans, batch_ppa) = qp_bench::min_time(runs, || {
+        ppa(db, &mut batch_engine, &initial, &profile, &selected, 1, &ranking).expect("batch PPA")
+    });
+    assert_eq!(
+        batch_ans.0, row_ans.0,
+        "batched PPA probes must not change the personalized answer"
+    );
+    let ppa_speedup = row_ppa.as_secs_f64() / batch_ppa.as_secs_f64().max(1e-9);
+
+    print_table(
+        "Vectorized execution — batch engine vs row oracle (ms, min of runs)",
+        &["measurement", "row", "batch", "speedup"],
+        &[
+            vec![
+                "scan+filter+join".into(),
+                ms(row_sfj),
+                ms(batch_sfj),
+                format!("{sfj_speedup:.2}x"),
+            ],
+            vec![
+                "PPA end-to-end (k=20, l=1)".into(),
+                ms(row_ppa),
+                ms(batch_ppa),
+                format!("{ppa_speedup:.2}x"),
+            ],
+        ],
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": {{\"movies\": {}, \"preferences\": 50, \"k\": 20, \"l\": 1, \"runs\": {runs}, \"cpus\": {cpus}}},\n  \
+           \"scan_filter_join\": {{\"row_ms\": {}, \"batch_ms\": {}, \"speedup\": {:.3}}},\n  \
+           \"ppa\": {{\"row_ms\": {}, \"batch_ms\": {}, \"speedup\": {:.3}, \"row_probes\": {}, \"batch_probes\": {}}}\n}}\n",
+        db.table_by_name("MOVIE").map_or(0, |t| t.len()),
+        ms(row_sfj),
+        ms(batch_sfj),
+        sfj_speedup,
+        ms(row_ppa),
+        ms(batch_ppa),
+        ppa_speedup,
+        row_ans.1.parameterized_queries,
+        batch_ans.1.parameterized_queries,
+    );
+    match std::fs::write("BENCH_vectorized.json", &json) {
+        Ok(()) => println!("wrote BENCH_vectorized.json"),
+        Err(e) => eprintln!("warning: could not write BENCH_vectorized.json: {e}"),
     }
 }
 

@@ -94,6 +94,23 @@ pub fn median_time<T>(n: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
     (last.expect("n >= 1"), times[times.len() / 2])
 }
 
+/// Runs a closure `n` times and returns the minimum duration (and the
+/// last output). The minimum is the noise-robust estimator for
+/// engine-vs-engine comparisons: external load can only inflate a
+/// measurement, never deflate it, so on shared machines the fastest
+/// observation is the closest to each engine's true cost.
+pub fn min_time<T>(n: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    assert!(n >= 1);
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..n {
+        let (out, d) = time(&mut f);
+        best = best.min(d);
+        last = Some(out);
+    }
+    (last.expect("n >= 1"), best)
+}
+
 /// Formats a duration in milliseconds with 2 decimals.
 pub fn ms(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)

@@ -36,22 +36,40 @@
 //! tuples serially (the dedup against `seen` is order-sensitive), splits
 //! them into contiguous chunks, and fans the chunks out over
 //! [`qp_exec::parallel_map`]'s scoped worker threads under a
-//! `ppa.parallel_round` span. Each worker clones the prepared probes once
-//! and rebinds them in place per tuple. Workers share the engine, database
+//! `ppa.parallel_round` span. On the row path each worker clones the
+//! prepared probes once and rebinds them in place per tuple; on the
+//! vectorized path workers share the materialized preference results
+//! read-only. Workers share the engine, database
 //! and guard immutably and return their results in input order, so a
 //! parallel round buffers exactly what a serial one would — answers are
 //! byte-identical. On a guard trip or fault the whole round's batch is
 //! discarded; every tuple of that round is bounded by the round's MEDI,
 //! which is also the cut's final emission bound, so the degraded answer
 //! still emits nothing it cannot prove the rank of.
+//!
+//! **Batched probes.** On the vectorized engine the per-tuple probe
+//! executions disappear entirely: the first round that needs to probe a
+//! preference materializes that preference query's *full* result once
+//! (`PrefResult`) — first row per tuple id, in plan output order, which
+//! is exactly the per-tuple `rows.first()` rule — and every later round
+//! probes it by hash lookup. When the materialized preference's own round
+//! comes up, the round replays the stored result instead of re-executing
+//! the query, so a complete run executes each preference query exactly
+//! once — the per-round work is pure in-memory lookups. Emission row
+//! fetches are still batched per burst through
+//! [`CompiledQuery::rebind_rowid_set`]: one set-fetch execution per
+//! multi-tuple burst, returning rows in listed-id order. `QP_ROW_ENGINE=1`
+//! falls back to per-tuple probes, which doubles as the parity oracle for
+//! the batched path.
 
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qp_exec::planner::CompiledQuery;
 use qp_exec::{parallel_map, Engine, ExecError, ExecStats, QueryGuard};
 use qp_sql::{builder, Query, Select, SelectItem, TableRef};
-use qp_storage::{Database, RelId};
+use qp_storage::{Database, RelId, Row};
 
 use crate::answer::subquery::{classify, failure_select, merge_filter, satisfaction_select, IntegrationKind};
 use crate::answer::{PersonalizedAnswer, PersonalizedTuple};
@@ -68,6 +86,36 @@ fn fail_point(site: &str) -> Result<(), ExecError> {
     qp_storage::failpoint::check(site).map_err(ExecError::Fault)
 }
 
+/// A splitmix64-style hasher for tuple-id keys. The tid sets and maps in
+/// this module are membership-only (iteration order is never observed),
+/// and at tens of thousands of probe-id operations per run the default
+/// SipHash shows up in end-to-end PPA latency.
+#[derive(Default)]
+struct TidHasher(u64);
+
+impl std::hash::Hasher for TidHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let mut x = n.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = x ^ (x >> 31);
+    }
+}
+
+type TidBuild = std::hash::BuildHasherDefault<TidHasher>;
+type TidSet = HashSet<u64, TidBuild>;
+type TidMap<V> = HashMap<u64, V, TidBuild>;
+
 /// Instrumentation of a PPA run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PpaStats {
@@ -75,11 +123,15 @@ pub struct PpaStats {
     pub first_response: Option<Duration>,
     /// Total execution time.
     pub total: Duration,
-    /// Number of presence queries executed.
+    /// Number of presence rounds evaluated (on the vectorized engine a
+    /// round may replay an already-materialized preference result rather
+    /// than re-execute its query).
     pub presence_queries: usize,
-    /// Number of absence queries executed.
+    /// Number of absence rounds evaluated (see `presence_queries`).
     pub absence_queries: usize,
-    /// Number of parameterized (per-tuple) queries executed.
+    /// Number of parameterized probe executions: one per remaining query
+    /// per tuple on the row path, one per preference — its one-time full
+    /// materialization — on the vectorized engine.
     pub parameterized_queries: usize,
 }
 
@@ -118,6 +170,9 @@ struct Probed {
     abs_failed: Vec<(usize, f64)>,
     /// Parameterized queries executed for this tuple.
     queries: usize,
+    /// Tuples covered by batched probe executions (0 on the per-tuple
+    /// path; the batched path reports chunk totals on its first tuple).
+    batched_tuples: usize,
     /// Execution counters those queries accrued.
     stats: ExecStats,
 }
@@ -163,6 +218,7 @@ fn probe_chunk(
             sat: Vec::new(),
             abs_failed: Vec::new(),
             queries: 0,
+            batched_tuples: 0,
             stats: ExecStats::default(),
         };
         for (pref, q, d_plus) in s_local.iter_mut() {
@@ -186,6 +242,105 @@ fn probe_chunk(
         out.push((tid, degree, probed));
     }
     Ok(out)
+}
+
+/// One preference query's full qualifying result, materialized at most
+/// once per run on the vectorized engine: first-occurrence `(tuple id,
+/// degree)` pairs in plan output order — the per-tuple path's
+/// `rows.first()` rule — plus a hash index over them. Later rounds probe
+/// it by lookup instead of re-executing the preference query against each
+/// round's fresh tuples, and the preference's own round replays its query
+/// from `rows`, so a complete run executes each preference query exactly
+/// once.
+struct PrefResult {
+    /// `(tid, degree)` per qualifying tuple, first row per id, in result
+    /// order; NULL degrees already defaulted to the preference's d+/d−.
+    rows: Vec<(u64, f64)>,
+    /// tid → degree over the same pairs, for O(1) probes.
+    index: TidMap<f64>,
+}
+
+/// Executes one preference query in full (no rowid constraint) and
+/// materializes its [`PrefResult`]. Runs under the shared guard with the
+/// same accounting as the per-round probe executions it replaces, so a
+/// deadline or budget trip mid-materialization cuts the round exactly
+/// like a failed probe would.
+fn materialize_pref(
+    engine: &Engine,
+    db: &Database,
+    guard: &QueryGuard,
+    select: &Select,
+    default: f64,
+    stats: &mut ExecStats,
+) -> Result<PrefResult, ExecError> {
+    let q = engine.prepare(db, &Query::from_select(select.clone()))?;
+    let result = engine.execute_prepared_rows_guarded(db, &q, stats, guard)?;
+    let mut index: TidMap<f64> =
+        TidMap::with_capacity_and_hasher(result.len(), TidBuild::default());
+    let mut rows = Vec::with_capacity(result.len());
+    for r in &result {
+        let tid = match r[0].as_i64() {
+            Some(t) if t >= 0 => t as u64,
+            _ => continue,
+        };
+        if let std::collections::hash_map::Entry::Vacant(e) = index.entry(tid) {
+            let d = r[1].as_f64().unwrap_or(default);
+            e.insert(d);
+            rows.push((tid, d));
+        }
+    }
+    Ok(PrefResult { rows, index })
+}
+
+/// Probes one chunk of fresh tuples against materialized preference
+/// results: pure hash lookups, no engine execution. Probe-major iteration
+/// in probe-list order reproduces the per-tuple path's `sat` /
+/// `abs_failed` orderings byte-for-byte, and the materialized first-row
+/// degrees match its `rows.first()` rule. The chunk's covered-tuple total
+/// rides on the first tuple (executions are counted by the caller at
+/// materialization time).
+fn probe_chunk_cached(
+    chunk: Vec<(u64, f64)>,
+    s_probe: &[(usize, Arc<PrefResult>)],
+    a_probe: &[(usize, Arc<PrefResult>)],
+) -> Vec<(u64, f64, Probed)> {
+    let mut out: Vec<(u64, f64, Probed)> = chunk
+        .into_iter()
+        .map(|(tid, degree)| {
+            let probed = Probed {
+                sat: Vec::new(),
+                abs_failed: Vec::new(),
+                queries: 0,
+                batched_tuples: 0,
+                stats: ExecStats::default(),
+            };
+            (tid, degree, probed)
+        })
+        .collect();
+    if out.is_empty() {
+        return out;
+    }
+    let mut batched_tuples = 0usize;
+    for (pref, res) in s_probe {
+        batched_tuples += out.len();
+        for (tid, _, p) in out.iter_mut() {
+            if let Some(&d) = res.index.get(tid) {
+                p.sat.push((*pref, d.max(0.0)));
+            }
+        }
+    }
+    for (pref, res) in a_probe {
+        batched_tuples += out.len();
+        for (tid, _, p) in out.iter_mut() {
+            if let Some(&d) = res.index.get(tid) {
+                p.abs_failed.push((*pref, d.min(0.0)));
+            }
+        }
+    }
+    if let Some((_, _, p)) = out.first_mut() {
+        p.batched_tuples = batched_tuples;
+    }
+    out
 }
 
 /// Runs PPA and returns the (emission-ordered) answer plus stats.
@@ -315,6 +470,9 @@ pub fn ppa_guarded(
         builder::eq(builder::col(&first_binding, "rowid"), builder::int(0)),
     );
     let mut fetch_prepared = engine.prepare(db, &Query::from_select(fetch))?;
+    // A second copy of the fetch plan for multi-tuple emission bursts on
+    // the vectorized engine, rebound to the burst's rowid set per flush.
+    let mut fetch_prepared_set = fetch_prepared.clone();
     let columns: Vec<String> = fetch_prepared.columns.iter().skip(1).cloned().collect();
 
     // --- build + prepare the S and A queries ---------------------------
@@ -360,22 +518,44 @@ pub fn ppa_guarded(
     let mut estats = ExecStats::default();
 
     let mut stats = PpaStats::default();
+    // Tuples covered by batched probe executions (metrics only; 0 on the
+    // row-engine per-tuple path).
+    let mut probe_batch_tuples: u64 = 0;
+    // The vectorized engine materializes each preference query's full
+    // result at most once and probes it by hash lookup; the row engine is
+    // the per-tuple parity oracle.
+    let probes_batched = !engine.row_engine();
+    // Materialized preference results, indexed by preference index; only
+    // populated on the vectorized path.
+    let mut pref_results: Vec<Option<Arc<PrefResult>>> = vec![None; selected.len()];
     let ranking = *ranking;
     let d_plus = |i: usize| infos[i].d_plus;
     let d_minus = |i: usize| infos[i].d_minus;
+    // Scratch degree buffers for the per-tuple doi computation, reused
+    // across every probed tuple of the run: rounds process tens of
+    // thousands of tuples, so per-tuple Vec/HashSet churn here shows up
+    // directly in end-to-end PPA latency.
+    let mut pos_buf: Vec<f64> = Vec::new();
+    let mut neg_buf: Vec<f64> = Vec::new();
 
     // ranked emission machinery
     let mut buffered: BinaryHeap<Buffered> = BinaryHeap::new();
     let mut emitted: Vec<PersonalizedTuple> = Vec::new();
     let mut first_response: Option<Duration> = None;
     // Emits every buffered tuple whose doi clears the MEDI bound,
-    // fetching its projected row via the prepared row-fetch query.
+    // fetching its projected rows via the prepared row-fetch query. The
+    // output budget is charged as each tuple is popped (so a budget trip
+    // still emits the exact prefix the per-tuple path would). On the
+    // vectorized engine a multi-tuple burst is fetched with one rowid-set
+    // execution — the set fetch returns rows in listed-id order, so the
+    // first row per tuple id is byte-identical to the per-tuple fetch.
     // Evaluates to `Option<ExecError>`: `Some` when the guard tripped (or
-    // a fault fired) mid-emission, with the unfetched tuple left buffered.
+    // a fault fired) mid-emission, with unfetched tuples left buffered.
     macro_rules! emit_ready {
         ($medi:expr) => {{
             let medi: f64 = $medi;
             let mut emit_err: Option<ExecError> = None;
+            let mut ready: Vec<Buffered> = Vec::new();
             while let Some(top) = buffered.peek() {
                 if top.doi + 1e-12 < medi {
                     break;
@@ -389,34 +569,89 @@ pub fn ppa_guarded(
                 if first_response.is_none() {
                     first_response = Some(started.elapsed());
                 }
-                fetch_prepared.rebind_rowid(first_rel, rec.tid);
-                let row = match engine.execute_prepared_rows_guarded(
+                ready.push(rec);
+            }
+            if probes_batched && ready.len() > 1 {
+                // one set fetch for the whole burst
+                let ids: Arc<Vec<u64>> = Arc::new(ready.iter().map(|r| r.tid).collect());
+                fetch_prepared_set.rebind_rowid_set(first_rel, &ids);
+                match engine.execute_prepared_rows_guarded(
                     db,
-                    &fetch_prepared,
+                    &fetch_prepared_set,
                     &mut estats,
                     guard,
                 ) {
-                    Ok(rs) => rs
-                        .into_iter()
-                        .next()
-                        .map(|mut r| {
-                            r.remove(0);
-                            r
-                        })
-                        .unwrap_or_default(),
-                    Err(e) => {
-                        buffered.push(rec);
-                        emit_err = Some(e);
-                        break;
+                    Ok(rows) => {
+                        let mut by_tid: TidMap<Row> = TidMap::with_capacity_and_hasher(ready.len(), TidBuild::default());
+                        for r in rows {
+                            let tid = match r[0].as_i64() {
+                                Some(t) if t >= 0 => t as u64,
+                                _ => continue,
+                            };
+                            by_tid.entry(tid).or_insert(r);
+                        }
+                        for rec in ready.drain(..) {
+                            let row = by_tid
+                                .remove(&rec.tid)
+                                .map(|mut r| {
+                                    r.remove(0);
+                                    r
+                                })
+                                .unwrap_or_default();
+                            emitted.push(PersonalizedTuple {
+                                tuple_id: Some(rec.tid),
+                                row,
+                                doi: rec.doi,
+                                satisfied: rec.satisfied,
+                                failed: rec.failed,
+                            });
+                        }
                     }
-                };
-                emitted.push(PersonalizedTuple {
-                    tuple_id: Some(rec.tid),
-                    row,
-                    doi: rec.doi,
-                    satisfied: rec.satisfied,
-                    failed: rec.failed,
-                });
+                    Err(e) => {
+                        // nothing from the burst was emitted; re-buffer it
+                        // whole — emission stays a ranked prefix
+                        for rec in ready.drain(..) {
+                            buffered.push(rec);
+                        }
+                        emit_err = Some(e);
+                    }
+                }
+            } else {
+                for rec in ready.drain(..) {
+                    if emit_err.is_some() {
+                        // a fetch failed earlier in the burst; re-buffer
+                        buffered.push(rec);
+                        continue;
+                    }
+                    fetch_prepared.rebind_rowid(first_rel, rec.tid);
+                    let row = match engine.execute_prepared_rows_guarded(
+                        db,
+                        &fetch_prepared,
+                        &mut estats,
+                        guard,
+                    ) {
+                        Ok(rs) => rs
+                            .into_iter()
+                            .next()
+                            .map(|mut r| {
+                                r.remove(0);
+                                r
+                            })
+                            .unwrap_or_default(),
+                        Err(e) => {
+                            buffered.push(rec);
+                            emit_err = Some(e);
+                            continue;
+                        }
+                    };
+                    emitted.push(PersonalizedTuple {
+                        tuple_id: Some(rec.tid),
+                        row,
+                        doi: rec.doi,
+                        satisfied: rec.satisfied,
+                        failed: rec.failed,
+                    });
+                }
             }
             emit_err
         }};
@@ -432,7 +667,7 @@ pub fn ppa_guarded(
         ranking.positive(&pos)
     };
 
-    let mut seen: HashSet<u64> = HashSet::new();
+    let mut seen: TidSet = TidSet::default();
     // Where and why the run stopped progressing, if it did.
     let mut cut: Option<(PpaPhase, DegradeCause)> = None;
     // Completed phase counts (for the degradation report and the final
@@ -460,36 +695,76 @@ pub fn ppa_guarded(
             break 'presence;
         }
         stats.presence_queries += 1;
-        let rs = match engine.execute_uncharged(db, &Query::from_select(s_queries[si].clone()), guard)
-        {
-            Ok(rs) => rs,
-            Err(e) => {
-                cut = Some((PpaPhase::Presence(si), DegradeCause::from_exec(&e)));
-                break 'presence;
-            }
-        };
+        // A round whose preference result was already materialized for an
+        // earlier round's probes replays it instead of re-executing the
+        // query; first-occurrence order and degrees are those the
+        // execution produced.
+        let cached_round = if probes_batched { pref_results[pref_i].clone() } else { None };
         // Fresh tuples are collected serially (dedup against `seen`), then
         // probed — across worker threads when parallelism allows.
         let mut fresh: Vec<(u64, f64)> = Vec::new();
-        for row in rs.rows {
-            let tid = match row[0].as_i64() {
-                Some(t) if t >= 0 => t as u64,
-                _ => continue,
-            };
-            if !seen.insert(tid) {
-                continue;
+        if let Some(c) = &cached_round {
+            for &(tid, d) in &c.rows {
+                if seen.insert(tid) {
+                    fresh.push((tid, d));
+                }
             }
-            fresh.push((tid, row[1].as_f64().unwrap_or(d_plus(pref_i))));
+        } else {
+            let rs = match engine.execute_uncharged(
+                db,
+                &Query::from_select(s_queries[si].clone()),
+                guard,
+            ) {
+                Ok(rs) => rs,
+                Err(e) => {
+                    cut = Some((PpaPhase::Presence(si), DegradeCause::from_exec(&e)));
+                    break 'presence;
+                }
+            };
+            for row in rs.rows {
+                let tid = match row[0].as_i64() {
+                    Some(t) if t >= 0 => t as u64,
+                    _ => continue,
+                };
+                if !seen.insert(tid) {
+                    continue;
+                }
+                fresh.push((tid, row[1].as_f64().unwrap_or(d_plus(pref_i))));
+            }
         }
-        // later presence queries plus all absence queries, rebound per tuple
-        let s_probe: Vec<(usize, &CompiledQuery, f64)> = s_order
-            .iter()
-            .enumerate()
-            .skip(si + 1)
-            .map(|(sj, &p)| (p, &s_prepared[sj], d_plus(p)))
-            .collect();
-        let a_probe: Vec<(usize, &CompiledQuery, f64)> =
-            a_order.iter().enumerate().map(|(aj, &p)| (p, &a_prepared[aj], d_minus(p))).collect();
+        // Vectorized path: materialize any not-yet-built later presence /
+        // absence results — one full execution each, replacing every
+        // per-round, per-tuple probe of that preference for the rest of
+        // the run.
+        let mut s_probe_c: Vec<(usize, Arc<PrefResult>)> = Vec::new();
+        let mut a_probe_c: Vec<(usize, Arc<PrefResult>)> = Vec::new();
+        if probes_batched && !fresh.is_empty() {
+            let mut build = || -> Result<(), ExecError> {
+                for (sj, &p) in s_order.iter().enumerate().skip(si + 1) {
+                    if pref_results[p].is_none() {
+                        let r =
+                            materialize_pref(engine, db, guard, &s_queries[sj], d_plus(p), &mut estats)?;
+                        stats.parameterized_queries += 1;
+                        pref_results[p] = Some(Arc::new(r));
+                    }
+                    s_probe_c.push((p, Arc::clone(pref_results[p].as_ref().expect("materialized"))));
+                }
+                for (aj, &p) in a_order.iter().enumerate() {
+                    if pref_results[p].is_none() {
+                        let r =
+                            materialize_pref(engine, db, guard, &a_queries[aj], d_minus(p), &mut estats)?;
+                        stats.parameterized_queries += 1;
+                        pref_results[p] = Some(Arc::new(r));
+                    }
+                    a_probe_c.push((p, Arc::clone(pref_results[p].as_ref().expect("materialized"))));
+                }
+                Ok(())
+            };
+            if let Err(e) = build() {
+                cut = Some((PpaPhase::Presence(si), DegradeCause::from_exec(&e)));
+                break 'presence;
+            }
+        }
         let workers = engine.parallelism().min(fresh.len());
         let par_span = (workers > 1).then(|| {
             let mut sp = tracer.span("ppa.parallel_round");
@@ -500,9 +775,25 @@ pub fn ppa_guarded(
             sp
         });
         let shared: &Engine = engine;
-        let probed = parallel_map(chunked(fresh, workers.max(1)), workers, |_, chunk| {
-            probe_chunk(shared, db, guard, first_rel, chunk, &s_probe, &a_probe)
-        });
+        let probed = if probes_batched {
+            parallel_map(chunked(fresh, workers.max(1)), workers, |_, chunk| {
+                Ok::<_, ExecError>(probe_chunk_cached(chunk, &s_probe_c, &a_probe_c))
+            })
+        } else {
+            // later presence queries plus all absence queries, rebound per
+            // tuple
+            let s_probe: Vec<(usize, &CompiledQuery, f64)> = s_order
+                .iter()
+                .enumerate()
+                .skip(si + 1)
+                .map(|(sj, &p)| (p, &s_prepared[sj], d_plus(p)))
+                .collect();
+            let a_probe: Vec<(usize, &CompiledQuery, f64)> =
+                a_order.iter().enumerate().map(|(aj, &p)| (p, &a_prepared[aj], d_minus(p))).collect();
+            parallel_map(chunked(fresh, workers.max(1)), workers, |_, chunk| {
+                probe_chunk(shared, db, guard, first_rel, chunk, &s_probe, &a_probe)
+            })
+        };
         drop(par_span);
         let probed: Vec<(u64, f64, Probed)> = match probed {
             Ok(p) => p.into_iter().flatten().collect(),
@@ -517,33 +808,58 @@ pub fn ppa_guarded(
         };
         for (tid, degree, p) in probed {
             stats.parameterized_queries += p.queries;
+            probe_batch_tuples += p.batched_tuples as u64;
             estats.merge(&p.stats);
-            let mut sat: Vec<(usize, f64)> = vec![(pref_i, degree.max(0.0))];
-            sat.extend(p.sat);
-            let sat_pres: HashSet<usize> = sat.iter().map(|(i, _)| *i).collect();
-            let pres_failed: Vec<usize> =
-                s_order.iter().copied().filter(|i| !sat_pres.contains(i)).collect();
-            let abs_failed = p.abs_failed;
-            let failed_abs: HashSet<usize> = abs_failed.iter().map(|(i, _)| *i).collect();
-            let abs_sat: Vec<usize> =
-                a_order.iter().copied().filter(|i| !failed_abs.contains(i)).collect();
-
-            let cur_l = sat.len() + abs_sat.len();
-            if cur_l >= l {
-                let mut pos: Vec<f64> = sat.iter().map(|(_, d)| *d).collect();
-                pos.extend(abs_sat.iter().map(|&i| d_plus(i)));
-                let mut neg: Vec<f64> = pres_failed.iter().map(|&i| d_minus(i)).collect();
-                neg.extend(abs_failed.iter().map(|(_, d)| *d));
-                let neg: Vec<f64> = neg.into_iter().filter(|d| *d < 0.0).collect();
-                let doi = ranking.mixed(&pos, &neg);
-                let mut satisfied: Vec<usize> = sat_pres.iter().copied().collect();
-                satisfied.extend(&abs_sat);
-                satisfied.sort_unstable();
-                let mut failed: Vec<usize> = pres_failed;
-                failed.extend(abs_failed.iter().map(|(i, _)| *i));
-                failed.sort_unstable();
-                buffered.push(Buffered { tid, doi, satisfied, failed });
+            // Satisfied presence prefs: this round's plus the probe hits;
+            // a probe records each pref at most once, and every recorded
+            // absence pref belongs to `a_order`, so the counts below are
+            // exact without materializing the sets.
+            let sat_n = 1 + p.sat.len();
+            let cur_l = sat_n + (a_order.len() - p.abs_failed.len());
+            if cur_l < l {
+                continue;
             }
+            pos_buf.clear();
+            neg_buf.clear();
+            let mut satisfied: Vec<usize> = Vec::with_capacity(cur_l);
+            satisfied.push(pref_i);
+            pos_buf.push(degree.max(0.0));
+            for &(i, d) in &p.sat {
+                satisfied.push(i);
+                pos_buf.push(d);
+            }
+            let mut failed: Vec<usize> =
+                Vec::with_capacity(s_order.len() + a_order.len() - cur_l);
+            for &i in &s_order {
+                if !satisfied[..sat_n].contains(&i) {
+                    let d = d_minus(i);
+                    if d < 0.0 {
+                        neg_buf.push(d);
+                    }
+                    failed.push(i);
+                }
+            }
+            // `p.abs_failed` lists failed absence prefs in `a_order` order,
+            // so one pass over `a_order` splits it while preserving the
+            // degree ordering the doi computation has always used.
+            for &i in &a_order {
+                match p.abs_failed.iter().find(|(j, _)| *j == i) {
+                    Some(&(_, d)) => {
+                        if d < 0.0 {
+                            neg_buf.push(d);
+                        }
+                        failed.push(i);
+                    }
+                    None => {
+                        satisfied.push(i);
+                        pos_buf.push(d_plus(i));
+                    }
+                }
+            }
+            let doi = ranking.mixed(&pos_buf, &neg_buf);
+            satisfied.sort_unstable();
+            failed.sort_unstable();
+            buffered.push(Buffered { tid, doi, satisfied, failed });
         }
         presence_done = si + 1;
         let medi = medi_at(si + 1);
@@ -563,7 +879,7 @@ pub fn ppa_guarded(
     // Unseen tuples satisfy no presence preference; they qualify only via
     // absence preferences, so the whole stage (and step 3) is skipped when
     // |A| < L.
-    let mut nids: HashSet<u64> = HashSet::new();
+    let mut nids: TidSet = TidSet::default();
     if a_order.len() >= l && cut.is_none() && !limit_hit {
         'absence: for (ai, &pref_i) in a_order.iter().enumerate() {
             let mut round_span = tracer.span("ppa.absence");
@@ -574,41 +890,80 @@ pub fn ppa_guarded(
                 break 'absence;
             }
             stats.absence_queries += 1;
-            let rs = match engine.execute_uncharged(
-                db,
-                &Query::from_select(a_queries[ai].clone()),
-                guard,
-            ) {
-                Ok(rs) => rs,
-                Err(e) => {
+            // Replay a materialized result when an earlier round's probes
+            // already executed this preference query in full.
+            let cached_round = if probes_batched { pref_results[pref_i].clone() } else { None };
+            let mut fresh: Vec<(u64, f64)> = Vec::new();
+            if let Some(c) = &cached_round {
+                for &(tid, d) in &c.rows {
+                    nids.insert(tid);
+                    if seen.contains(&tid) {
+                        continue;
+                    }
+                    // a new tuple fails pref_i; it can satisfy at most |A|-1
+                    if a_order.len() - 1 < l {
+                        continue;
+                    }
+                    seen.insert(tid);
+                    fresh.push((tid, d));
+                }
+            } else {
+                let rs = match engine.execute_uncharged(
+                    db,
+                    &Query::from_select(a_queries[ai].clone()),
+                    guard,
+                ) {
+                    Ok(rs) => rs,
+                    Err(e) => {
+                        cut = Some((PpaPhase::Absence(ai), DegradeCause::from_exec(&e)));
+                        break 'absence;
+                    }
+                };
+                for row in rs.rows {
+                    let tid = match row[0].as_i64() {
+                        Some(t) if t >= 0 => t as u64,
+                        _ => continue,
+                    };
+                    nids.insert(tid);
+                    if seen.contains(&tid) {
+                        continue;
+                    }
+                    // a new tuple fails pref_i; it can satisfy at most |A|-1
+                    if a_order.len() - 1 < l {
+                        continue;
+                    }
+                    seen.insert(tid);
+                    fresh.push((tid, row[1].as_f64().unwrap_or(d_minus(pref_i))));
+                }
+            }
+            // Vectorized path: materialize any remaining absence results
+            // not built during the presence stage.
+            let mut a_probe_c: Vec<(usize, Arc<PrefResult>)> = Vec::new();
+            if probes_batched && !fresh.is_empty() {
+                let mut build = || -> Result<(), ExecError> {
+                    for (aj, &p) in a_order.iter().enumerate().skip(ai + 1) {
+                        if pref_results[p].is_none() {
+                            let r = materialize_pref(
+                                engine,
+                                db,
+                                guard,
+                                &a_queries[aj],
+                                d_minus(p),
+                                &mut estats,
+                            )?;
+                            stats.parameterized_queries += 1;
+                            pref_results[p] = Some(Arc::new(r));
+                        }
+                        a_probe_c
+                            .push((p, Arc::clone(pref_results[p].as_ref().expect("materialized"))));
+                    }
+                    Ok(())
+                };
+                if let Err(e) = build() {
                     cut = Some((PpaPhase::Absence(ai), DegradeCause::from_exec(&e)));
                     break 'absence;
                 }
-            };
-            let mut fresh: Vec<(u64, f64)> = Vec::new();
-            for row in rs.rows {
-                let tid = match row[0].as_i64() {
-                    Some(t) if t >= 0 => t as u64,
-                    _ => continue,
-                };
-                nids.insert(tid);
-                if seen.contains(&tid) {
-                    continue;
-                }
-                // a new tuple fails pref_i; it can satisfy at most |A|-1
-                if a_order.len() - 1 < l {
-                    continue;
-                }
-                seen.insert(tid);
-                fresh.push((tid, row[1].as_f64().unwrap_or(d_minus(pref_i))));
             }
-            // remaining absence queries, rebound per tuple
-            let a_probe: Vec<(usize, &CompiledQuery, f64)> = a_order
-                .iter()
-                .enumerate()
-                .skip(ai + 1)
-                .map(|(aj, &p)| (p, &a_prepared[aj], d_minus(p)))
-                .collect();
             let workers = engine.parallelism().min(fresh.len());
             let par_span = (workers > 1).then(|| {
                 let mut sp = tracer.span("ppa.parallel_round");
@@ -619,9 +974,22 @@ pub fn ppa_guarded(
                 sp
             });
             let shared: &Engine = engine;
-            let probed = parallel_map(chunked(fresh, workers.max(1)), workers, |_, chunk| {
-                probe_chunk(shared, db, guard, first_rel, chunk, &[], &a_probe)
-            });
+            let probed = if probes_batched {
+                parallel_map(chunked(fresh, workers.max(1)), workers, |_, chunk| {
+                    Ok::<_, ExecError>(probe_chunk_cached(chunk, &[], &a_probe_c))
+                })
+            } else {
+                // remaining absence queries, rebound per tuple
+                let a_probe: Vec<(usize, &CompiledQuery, f64)> = a_order
+                    .iter()
+                    .enumerate()
+                    .skip(ai + 1)
+                    .map(|(aj, &p)| (p, &a_prepared[aj], d_minus(p)))
+                    .collect();
+                parallel_map(chunked(fresh, workers.max(1)), workers, |_, chunk| {
+                    probe_chunk(shared, db, guard, first_rel, chunk, &[], &a_probe)
+                })
+            };
             drop(par_span);
             let probed: Vec<(u64, f64, Probed)> = match probed {
                 Ok(p) => p.into_iter().flatten().collect(),
@@ -632,26 +1000,53 @@ pub fn ppa_guarded(
             };
             for (tid, d0, p) in probed {
                 stats.parameterized_queries += p.queries;
+                probe_batch_tuples += p.batched_tuples as u64;
                 estats.merge(&p.stats);
-                let mut abs_failed: Vec<(usize, f64)> = vec![(pref_i, d0.min(0.0))];
-                abs_failed.extend(p.abs_failed);
-                let failed_abs: HashSet<usize> = abs_failed.iter().map(|(i, _)| *i).collect();
-                let abs_sat: Vec<usize> =
-                    a_order.iter().copied().filter(|i| !failed_abs.contains(i)).collect();
-                let cur_l = abs_sat.len();
-                if cur_l >= l {
-                    let pos: Vec<f64> = abs_sat.iter().map(|&i| d_plus(i)).collect();
-                    let mut neg: Vec<f64> = s_order.iter().map(|&i| d_minus(i)).collect();
-                    neg.extend(abs_failed.iter().map(|(_, d)| *d));
-                    let neg: Vec<f64> = neg.into_iter().filter(|d| *d < 0.0).collect();
-                    let doi = ranking.mixed(&pos, &neg);
-                    let mut satisfied = abs_sat;
-                    satisfied.sort_unstable();
-                    let mut failed: Vec<usize> = s_order.clone();
-                    failed.extend(abs_failed.iter().map(|(i, _)| *i));
-                    failed.sort_unstable();
-                    buffered.push(Buffered { tid, doi, satisfied, failed });
+                // This round's pref plus the probe hits are the failed
+                // absence prefs, each recorded at most once and all in
+                // `a_order`, so the satisfied count needs no set.
+                let failed_n = 1 + p.abs_failed.len();
+                let cur_l = a_order.len() - failed_n;
+                if cur_l < l {
+                    continue;
                 }
+                pos_buf.clear();
+                neg_buf.clear();
+                let mut satisfied: Vec<usize> = Vec::with_capacity(cur_l);
+                let mut failed: Vec<usize> = Vec::with_capacity(s_order.len() + failed_n);
+                for &i in &s_order {
+                    let d = d_minus(i);
+                    if d < 0.0 {
+                        neg_buf.push(d);
+                    }
+                    failed.push(i);
+                }
+                // Failed absence prefs arrive in `a_order` order (this
+                // round's first, probes after), so one ordered pass keeps
+                // the historical degree ordering for the doi.
+                for &i in &a_order {
+                    let d = if i == pref_i {
+                        Some(d0.min(0.0))
+                    } else {
+                        p.abs_failed.iter().find(|(j, _)| *j == i).map(|&(_, d)| d)
+                    };
+                    match d {
+                        Some(d) => {
+                            if d < 0.0 {
+                                neg_buf.push(d);
+                            }
+                            failed.push(i);
+                        }
+                        None => {
+                            satisfied.push(i);
+                            pos_buf.push(d_plus(i));
+                        }
+                    }
+                }
+                let doi = ranking.mixed(&pos_buf, &neg_buf);
+                satisfied.sort_unstable();
+                failed.sort_unstable();
+                buffered.push(Buffered { tid, doi, satisfied, failed });
             }
             absence_done = ai + 1;
             if let Some(e) = emit_ready!(medi_abs) {
@@ -771,6 +1166,9 @@ pub fn ppa_guarded(
     metrics.counter("ppa.presence_queries").add(stats.presence_queries as u64);
     metrics.counter("ppa.absence_queries").add(stats.absence_queries as u64);
     metrics.counter("ppa.parameterized_queries").add(stats.parameterized_queries as u64);
+    // Tuples covered by batched probe executions; stays 0 under
+    // `QP_ROW_ENGINE=1`, where every probe is per-tuple.
+    metrics.counter("ppa.probe.batch_size").add(probe_batch_tuples);
     metrics.counter("ppa.emitted").add(emitted.len() as u64);
     // Registered unconditionally so a complete run reports `ppa.cuts = 0`
     // rather than omitting the counter from snapshots.

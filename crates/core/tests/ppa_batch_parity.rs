@@ -1,0 +1,178 @@
+//! Batched-vs-per-tuple PPA probe parity: on the vectorized engine each
+//! preference query is executed once in full and materialized, and every
+//! round's parameterized probes are hash lookups against the stored
+//! result; under `QP_ROW_ENGINE` semantics every probe runs once per
+//! tuple. Both paths must produce **byte-identical** personalized
+//! answers — same tuples, same order, same dois, same satisfied/failed
+//! explanations — while the batched path executes strictly fewer probe
+//! queries whenever a round surfaces more than one fresh tuple.
+
+use qp_core::answer::ppa::ppa;
+use qp_core::select::{fakecrit::fakecrit, QueryContext, SelectionCriterion};
+use qp_core::{PersonalizationGraph, Profile, Ranking};
+use qp_exec::Engine;
+use qp_sql::parse_query;
+use qp_storage::{Attribute, DataType, Database, Value};
+
+/// The movies fixture with `extra` filler rows so presence/absence rounds
+/// surface multi-tuple batches.
+fn movies_db(extra: i64) -> Database {
+    let mut db = Database::new();
+    db.create_relation(
+        "MOVIE",
+        vec![
+            Attribute::new("mid", DataType::Int),
+            Attribute::new("title", DataType::Text),
+            Attribute::new("year", DataType::Int),
+        ],
+        &["mid"],
+    )
+    .unwrap();
+    db.create_relation(
+        "GENRE",
+        vec![Attribute::new("mid", DataType::Int), Attribute::new("genre", DataType::Text)],
+        &["mid", "genre"],
+    )
+    .unwrap();
+    db.create_relation(
+        "DIRECTED",
+        vec![Attribute::new("mid", DataType::Int), Attribute::new("did", DataType::Int)],
+        &["mid"],
+    )
+    .unwrap();
+    db.create_relation(
+        "DIRECTOR",
+        vec![Attribute::new("did", DataType::Int), Attribute::new("name", DataType::Text)],
+        &["did"],
+    )
+    .unwrap();
+    for (mid, t, y) in [
+        (1, "Annie Hall", 1977),
+        (2, "Manhattan", 1979),
+        (3, "Zelig", 1983),
+        (4, "Heat", 1995),
+        (5, "Chicago", 2002),
+    ] {
+        db.insert_by_name("MOVIE", vec![Value::Int(mid), Value::str(t), Value::Int(y)]).unwrap();
+    }
+    for i in 0..extra {
+        let mid = 6 + i;
+        db.insert_by_name(
+            "MOVIE",
+            vec![Value::Int(mid), Value::str(format!("Filler {i}")), Value::Int(1960 + (i % 60))],
+        )
+        .unwrap();
+        db.insert_by_name(
+            "GENRE",
+            vec![Value::Int(mid), Value::str(if i % 2 == 0 { "comedy" } else { "musical" })],
+        )
+        .unwrap();
+        db.insert_by_name("DIRECTED", vec![Value::Int(mid), Value::Int(1 + (i % 3))]).unwrap();
+    }
+    for (mid, g) in [(1, "comedy"), (2, "comedy"), (3, "comedy"), (4, "thriller"), (5, "musical")]
+    {
+        db.insert_by_name("GENRE", vec![Value::Int(mid), Value::str(g)]).unwrap();
+    }
+    for (did, n) in [(1, "W. Allen"), (2, "M. Mann"), (3, "R. Marshall")] {
+        db.insert_by_name("DIRECTOR", vec![Value::Int(did), Value::str(n)]).unwrap();
+    }
+    for (mid, did) in [(1, 1), (2, 1), (3, 1), (4, 2), (5, 3)] {
+        db.insert_by_name("DIRECTED", vec![Value::Int(mid), Value::Int(did)]).unwrap();
+    }
+    db
+}
+
+fn als_profile(db: &Database) -> Profile {
+    Profile::parse(
+        db.catalog(),
+        "doi(DIRECTOR.name = 'W. Allen') = (0.8, 0)\n\
+         doi(MOVIE.year < 1980) = (-0.7, 0)\n\
+         doi(GENRE.genre = 'musical') = (-0.9, 0.7)\n\
+         doi(MOVIE.mid = DIRECTED.mid) = (1)\n\
+         doi(DIRECTED.did = DIRECTOR.did) = (0.9)\n\
+         doi(MOVIE.mid = GENRE.mid) = (0.8)\n",
+    )
+    .unwrap()
+}
+
+#[test]
+fn batched_probes_match_per_tuple_probes() {
+    for extra in [0i64, 7, 40] {
+        for l in [1usize, 2] {
+            for parallelism in [1usize, 4] {
+                let db = movies_db(extra);
+                let profile = als_profile(&db);
+                let graph = PersonalizationGraph::build(&profile);
+                let initial = parse_query("select title from MOVIE").unwrap();
+                let qc = QueryContext::from_query(db.catalog(), &initial).unwrap();
+                let selected = fakecrit(&graph, &qc, SelectionCriterion::TopK(3)).unwrap();
+                let ranking = Ranking::default();
+
+                let mut row_engine = Engine::new();
+                row_engine.set_row_engine(true);
+                row_engine.set_parallelism(parallelism);
+                let (row_answer, row_stats) =
+                    ppa(&db, &mut row_engine, &initial, &profile, &selected, l, &ranking)
+                        .unwrap();
+
+                let mut batch_engine = Engine::new();
+                batch_engine.set_row_engine(false);
+                batch_engine.set_parallelism(parallelism);
+                let (batch_answer, batch_stats) =
+                    ppa(&db, &mut batch_engine, &initial, &profile, &selected, l, &ranking)
+                        .unwrap();
+
+                assert_eq!(
+                    batch_answer, row_answer,
+                    "answers diverge (extra={extra}, l={l}, parallelism={parallelism})"
+                );
+                // Batched probes execute each preference query once, so
+                // with multi-tuple rounds they must execute fewer probe
+                // queries than the per-tuple oracle — never more.
+                assert!(
+                    batch_stats.parameterized_queries <= row_stats.parameterized_queries,
+                    "batched path ran more probes ({}) than per-tuple ({})",
+                    batch_stats.parameterized_queries,
+                    row_stats.parameterized_queries
+                );
+                if extra >= 7 && parallelism == 1 {
+                    assert!(
+                        batch_stats.parameterized_queries < row_stats.parameterized_queries,
+                        "multi-tuple rounds should collapse probes \
+                         (batched {}, per-tuple {})",
+                        batch_stats.parameterized_queries,
+                        row_stats.parameterized_queries
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn probe_batch_size_counter_tracks_engine_mode() {
+    let db = movies_db(12);
+    let profile = als_profile(&db);
+    let graph = PersonalizationGraph::build(&profile);
+    let initial = parse_query("select title from MOVIE").unwrap();
+    let qc = QueryContext::from_query(db.catalog(), &initial).unwrap();
+    let selected = fakecrit(&graph, &qc, SelectionCriterion::TopK(3)).unwrap();
+    let ranking = Ranking::default();
+
+    let mut batch_engine = Engine::new();
+    batch_engine.set_row_engine(false);
+    ppa(&db, &mut batch_engine, &initial, &profile, &selected, 1, &ranking).unwrap();
+    assert!(
+        batch_engine.metrics().counter("ppa.probe.batch_size").get() > 0,
+        "vectorized PPA should record tuples covered by batched probes"
+    );
+
+    let mut row_engine = Engine::new();
+    row_engine.set_row_engine(true);
+    ppa(&db, &mut row_engine, &initial, &profile, &selected, 1, &ranking).unwrap();
+    assert_eq!(
+        row_engine.metrics().counter("ppa.probe.batch_size").get(),
+        0,
+        "per-tuple PPA must not report batched probes"
+    );
+}

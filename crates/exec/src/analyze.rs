@@ -35,6 +35,7 @@ pub struct NodeStats {
     rows_out: AtomicU64,
     rows_scanned: AtomicU64,
     index_probes: AtomicU64,
+    batches: AtomicU64,
     elapsed_ns: AtomicU64,
 }
 
@@ -59,6 +60,11 @@ impl NodeStats {
         self.index_probes.load(Ordering::Relaxed)
     }
 
+    /// Columnar batches the node emitted (0 on the row path).
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
     /// Total wall-clock time inside the node, children included.
     pub fn elapsed(&self) -> Duration {
         Duration::from_nanos(self.elapsed_ns.load(Ordering::Relaxed))
@@ -76,6 +82,10 @@ impl NodeStats {
 
     pub(crate) fn add_probes(&self, n: u64) {
         self.index_probes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_batches(&self, n: u64) {
+        self.batches.fetch_add(n, Ordering::Relaxed);
     }
 }
 
@@ -266,6 +276,9 @@ fn annotate(plan: &Plan, profile: &PlanProfile, id: usize) -> String {
         }
         Plan::Values | Plan::UnionAll { .. } | Plan::Derived { .. } => {}
     }
+    if stats.batches() > 0 {
+        let _ = write!(s, ", batches={}", stats.batches());
+    }
     if stats.invocations() > 1 {
         let _ = write!(s, ", calls={}", stats.invocations());
     }
@@ -287,8 +300,14 @@ fn render_plan(
         Plan::Scan { rel, fetch_rowid, index_eq, filter, .. } => {
             let name = &db.catalog().relation(*rel).name;
             let mut extra = String::new();
-            if let Some(id) = fetch_rowid {
-                let _ = write!(extra, " rowid={id}");
+            match fetch_rowid {
+                Some(crate::plan::RowIdFetch::One(id)) => {
+                    let _ = write!(extra, " rowid={id}");
+                }
+                Some(crate::plan::RowIdFetch::Set(ids)) => {
+                    let _ = write!(extra, " rowid in ({} ids)", ids.len());
+                }
+                None => {}
             }
             if let Some((attr, key)) = index_eq {
                 let _ = write!(extra, " index {}={}", db.catalog().attr_name(*attr), key);

@@ -71,6 +71,9 @@ pub struct Engine {
     parallelism: usize,
     /// Compiled-plan cache; `None` when disabled.
     plan_cache: Option<Arc<PlanCache>>,
+    /// Route execution through the legacy row-at-a-time operator path
+    /// instead of the vectorized batch engine (the parity oracle).
+    row_engine: bool,
 }
 
 /// Handles into the engine's [`MetricsRegistry`], fetched once at
@@ -96,6 +99,11 @@ struct EngineCounters {
     plan_cache_hits: Arc<Counter>,
     /// `cache.plan.misses`: plan-cache lookups that had to compile.
     plan_cache_misses: Arc<Counter>,
+    /// `exec.batch.count`: columnar batches produced by the vectorized
+    /// path (0 while `QP_ROW_ENGINE` routes through the row path).
+    batch_count: Arc<Counter>,
+    /// `exec.batch.rows`: live rows carried by those batches.
+    batch_rows: Arc<Counter>,
 }
 
 impl EngineCounters {
@@ -110,6 +118,8 @@ impl EngineCounters {
             query_us: metrics.histogram("exec.query_us"),
             plan_cache_hits: metrics.counter("cache.plan.hits"),
             plan_cache_misses: metrics.counter("cache.plan.misses"),
+            batch_count: metrics.counter("exec.batch.count"),
+            batch_rows: metrics.counter("exec.batch.rows"),
         }
     }
 
@@ -136,7 +146,9 @@ impl Engine {
     /// Concurrency defaults come from the environment so test/CI legs can
     /// sweep configurations without code changes: `QP_PARALLELISM` sets
     /// the worker count (default 1 = serial), `QP_DISABLE_PLAN_CACHE=1`
-    /// starts the engine without a plan cache.
+    /// starts the engine without a plan cache, `QP_ROW_ENGINE=1` routes
+    /// execution through the legacy row-at-a-time path (the vectorized
+    /// engine's parity oracle).
     pub fn new() -> Self {
         let metrics = Arc::new(MetricsRegistry::new());
         let counters = EngineCounters::new(&metrics);
@@ -157,7 +169,23 @@ impl Engine {
             counters,
             parallelism,
             plan_cache,
+            row_engine: env_flag("QP_ROW_ENGINE"),
         }
+    }
+
+    /// Switches between the vectorized batch engine (default, `false`)
+    /// and the legacy row-at-a-time path (`true`). The row path is kept
+    /// as the parity oracle: both produce byte-identical results, and
+    /// the parity suites run every query on both. Also selects PPA's
+    /// probe strategy (batched IN-set probes vs. per-tuple point probes).
+    pub fn set_row_engine(&mut self, enabled: bool) {
+        self.row_engine = enabled;
+    }
+
+    /// Whether the legacy row-at-a-time path is active (see
+    /// [`Engine::set_row_engine`] and the `QP_ROW_ENGINE` env toggle).
+    pub fn row_engine(&self) -> bool {
+        self.row_engine
     }
 
     /// Sets the number of worker threads data-parallel operators (hash
@@ -337,7 +365,9 @@ impl Engine {
         Ok((cache.insert(db, sql, compiled), planner.take_stats()))
     }
 
-    /// Runs a compiled query with this engine's configured parallelism.
+    /// Runs a compiled query with this engine's configured parallelism,
+    /// dispatching to the vectorized batch path unless the row engine is
+    /// selected.
     fn run(
         &self,
         db: &Database,
@@ -345,9 +375,29 @@ impl Engine {
         stats: &mut ExecStats,
         guard: &QueryGuard,
     ) -> Result<Vec<Row>, ExecError> {
-        let mut ctx =
-            ExecCtx { stats, guard, profile: None, parallelism: self.parallelism };
-        run_compiled_at(db, compiled, &mut ctx, 0)
+        let mut ctx = ExecCtx {
+            stats,
+            guard,
+            profile: None,
+            parallelism: self.parallelism,
+            batch_count: 0,
+            batch_rows: 0,
+        };
+        let rows = if self.row_engine {
+            run_compiled_at(db, compiled, &mut ctx, 0)?
+        } else {
+            crate::batch::run_compiled_batched_at(db, compiled, &mut ctx, 0)?
+        };
+        self.note_batches(&ctx);
+        Ok(rows)
+    }
+
+    /// Folds one execution's batch counters into the engine totals.
+    fn note_batches(&self, ctx: &ExecCtx<'_>) {
+        if ctx.batch_count > 0 {
+            self.counters.batch_count.add(ctx.batch_count);
+            self.counters.batch_rows.add(ctx.batch_rows);
+        }
     }
 
     /// Compiles a query and renders its physical plan as an indented
@@ -440,8 +490,16 @@ impl Engine {
                 guard,
                 profile: Some(&profile),
                 parallelism: self.parallelism,
+                batch_count: 0,
+                batch_rows: 0,
             };
-            run_compiled_at(db, &compiled, &mut ctx, 0)?
+            let rows = if self.row_engine {
+                run_compiled_at(db, &compiled, &mut ctx, 0)?
+            } else {
+                crate::batch::run_compiled_batched_at(db, &compiled, &mut ctx, 0)?
+            };
+            self.note_batches(&ctx);
+            rows
         };
         guard.charge_output(rows.len() as u64)?;
         profile.set_result(rows.len() as u64, t0.elapsed());
@@ -460,7 +518,8 @@ pub(crate) fn run_compiled(
     stats: &mut ExecStats,
     guard: &QueryGuard,
 ) -> Result<Vec<Row>, ExecError> {
-    let mut ctx = ExecCtx { stats, guard, profile: None, parallelism: 1 };
+    let mut ctx =
+        ExecCtx { stats, guard, profile: None, parallelism: 1, batch_count: 0, batch_rows: 0 };
     run_compiled_at(db, compiled, &mut ctx, 0)
 }
 
@@ -474,10 +533,16 @@ pub(crate) fn run_compiled_at(
     ctx: &mut ExecCtx<'_>,
     base: usize,
 ) -> Result<Vec<Row>, ExecError> {
-    // (source row, output row) pairs; source rows back ORDER BY
-    // expressions that are not output columns.
-    let mut pairs: Vec<(Option<Row>, Row)> = Vec::new();
-    let single_branch = compiled.branches.len() == 1;
+    let mut rows: Vec<Row> = Vec::new();
+    // One extracted key column per ORDER BY Source key (evaluated against
+    // the pre-projection row); columnar so the sort can read keys by
+    // reference instead of cloning a key row per input row.
+    let src_exprs = source_key_exprs(compiled);
+    let mut skeys: Vec<Vec<Value>> = vec![Vec::new(); src_exprs.len()];
+    // Source keys are only compiled on single-branch queries; for any
+    // other shape the old code sorted missing sources as NULL keys, which
+    // the final `resize` below reproduces.
+    let keep_source = compiled.branches.len() == 1 && !src_exprs.is_empty();
     let mut branch_base = base;
     for branch in &compiled.branches {
         let input = branch.plan.run_node(db, ctx, branch_base)?;
@@ -494,68 +559,94 @@ pub(crate) fn run_compiled_at(
             }
             None => input,
         };
-        let keep_source = single_branch
-            && compiled.order.iter().any(|k| matches!(k.source, KeySource::Source(_)));
-        let mut branch_pairs: Vec<(Option<Row>, Row)> = Vec::with_capacity(sources.len());
+        let mut branch_rows: Vec<Row> = Vec::with_capacity(sources.len());
         for src in sources {
-            let out: Row = branch.project.iter().map(|p| p.eval(&src)).collect();
-            branch_pairs.push((if keep_source { Some(src) } else { None }, out));
+            branch_rows.push(branch.project.iter().map(|p| p.eval(&src)).collect());
+            if keep_source {
+                for (j, e) in src_exprs.iter().enumerate() {
+                    skeys[j].push(e.eval(&src));
+                }
+            }
         }
         if branch.distinct {
-            let mut seen: HashSet<Row> = HashSet::with_capacity(branch_pairs.len());
-            branch_pairs.retain(|(_, out)| seen.insert(out.clone()));
+            let mut seen: HashSet<Row> = HashSet::with_capacity(branch_rows.len());
+            branch_rows.retain(|out| seen.insert(out.clone()));
         }
-        pairs.extend(branch_pairs);
+        rows.extend(branch_rows);
     }
-    if !compiled.order.is_empty() {
-        // Pre-compute sort keys.
-        let mut keyed: Vec<(Vec<Value>, usize)> = pairs
-            .iter()
-            .enumerate()
-            .map(|(i, (src, out))| {
-                let keys: Vec<Value> = compiled
-                    .order
-                    .iter()
-                    .map(|k| match &k.source {
-                        KeySource::Output(c) => out[*c].clone(),
-                        // `keep_source` retained sources iff a Source key
-                        // exists on a single branch; a missing source here
-                        // would be a planner bug, surfaced as NULL keys
-                        // rather than a panic.
-                        KeySource::Source(e) => {
-                            src.as_deref().map_or(Value::Null, |s| e.eval(s))
-                        }
-                    })
-                    .collect();
-                (keys, i)
-            })
-            .collect();
-        keyed.sort_by(|(ka, ia), (kb, ib)| {
-            for (k, spec) in ka.iter().zip(kb).zip(&compiled.order) {
-                let (a, b) = k;
-                let ord = a.total_cmp(b);
+    Ok(sort_and_limit(compiled, rows, skeys))
+}
+
+/// The ORDER BY Source-key expressions, in key order.
+pub(crate) fn source_key_exprs(compiled: &CompiledQuery) -> Vec<&crate::expr::PhysExpr> {
+    compiled
+        .order
+        .iter()
+        .filter_map(|k| match &k.source {
+            KeySource::Source(e) => Some(e),
+            KeySource::Output(_) => None,
+        })
+        .collect()
+}
+
+/// Shared final stage of both engines: ORDER BY + LIMIT over projected
+/// rows. `skeys` holds one extracted column per Source order key (see
+/// [`source_key_exprs`]); Output keys read the projected rows directly.
+/// Sorts a permutation of row indices — keys are compared by reference,
+/// so no `Value` is cloned per row — with the deterministic tie-break on
+/// original row position, then reorders once.
+pub(crate) fn sort_and_limit(
+    compiled: &CompiledQuery,
+    mut rows: Vec<Row>,
+    mut skeys: Vec<Vec<Value>>,
+) -> Vec<Row> {
+    if !compiled.order.is_empty() && rows.len() > 1 {
+        // Pad short source-key columns with NULLs (multi-branch queries
+        // never retain sources; the planner rejects DISTINCT + Source
+        // keys, so on the retained path lengths already match).
+        for col in &mut skeys {
+            col.resize(rows.len(), Value::Null);
+        }
+        enum KeyCol {
+            Out(usize),
+            Src(usize),
+        }
+        let mut cols = Vec::with_capacity(compiled.order.len());
+        let mut s = 0usize;
+        for k in &compiled.order {
+            match &k.source {
+                KeySource::Output(c) => cols.push(KeyCol::Out(*c)),
+                KeySource::Source(_) => {
+                    cols.push(KeyCol::Src(s));
+                    s += 1;
+                }
+            }
+        }
+        let mut idx: Vec<usize> = (0..rows.len()).collect();
+        idx.sort_unstable_by(|&a, &b| {
+            for (kc, spec) in cols.iter().zip(&compiled.order) {
+                let (va, vb) = match kc {
+                    KeyCol::Out(c) => (&rows[a][*c], &rows[b][*c]),
+                    KeyCol::Src(j) => (&skeys[*j][a], &skeys[*j][b]),
+                };
+                let ord = va.total_cmp(vb);
                 let ord = if spec.desc { ord.reverse() } else { ord };
                 if ord != Ordering::Equal {
                     return ord;
                 }
             }
-            ia.cmp(ib) // stable tie-break on original position
+            a.cmp(&b) // stable tie-break on original position
         });
-        let mut reordered = Vec::with_capacity(pairs.len());
-        for (_, i) in keyed {
-            reordered.push(std::mem::take(&mut pairs[i].1));
+        let mut reordered = Vec::with_capacity(rows.len());
+        for &i in &idx {
+            reordered.push(std::mem::take(&mut rows[i]));
         }
-        let mut rows = reordered;
-        if let Some(n) = compiled.limit {
-            rows.truncate(n as usize);
-        }
-        return Ok(rows);
+        rows = reordered;
     }
-    let mut rows: Vec<Row> = pairs.into_iter().map(|(_, out)| out).collect();
     if let Some(n) = compiled.limit {
         rows.truncate(n as usize);
     }
-    Ok(rows)
+    rows
 }
 
 /// `true` when the environment variable `name` is set to a truthy value

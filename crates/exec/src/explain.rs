@@ -73,8 +73,14 @@ fn render_plan(db: &Database, plan: &Plan, depth: usize, out: &mut String) {
         Plan::Scan { rel, fetch_rowid, index_eq, filter, .. } => {
             let name = &db.catalog().relation(*rel).name;
             let mut extra = String::new();
-            if let Some(id) = fetch_rowid {
-                let _ = write!(extra, " rowid={id}");
+            match fetch_rowid {
+                Some(crate::plan::RowIdFetch::One(id)) => {
+                    let _ = write!(extra, " rowid={id}");
+                }
+                Some(crate::plan::RowIdFetch::Set(ids)) => {
+                    let _ = write!(extra, " rowid in ({} ids)", ids.len());
+                }
+                None => {}
             }
             if let Some((attr, key)) = index_eq {
                 let _ = write!(extra, " index {}={}", db.catalog().attr_name(*attr), key);

@@ -108,6 +108,114 @@ impl std::fmt::Debug for PhysExpr {
     }
 }
 
+/// Columnar row access for batch evaluation: a *view* exposes `len()`
+/// rows whose column values can be borrowed without cloning. The batch
+/// engine implements this for its [`crate::batch::Batch`] and for the
+/// scan's pre-materialization row view; the row path adapts a single
+/// `&[Value]` row through [`RowView`]. One generic evaluator serves all
+/// three, so the row and batch engines cannot drift semantically.
+pub(crate) trait ColView {
+    /// Number of physical rows in the view.
+    fn len(&self) -> usize;
+    /// Borrow of the value at (`col`, `row`).
+    fn value(&self, col: usize, row: usize) -> &Value;
+}
+
+/// A single flat row viewed as a one-row [`ColView`].
+struct RowView<'a>(&'a [Value]);
+
+impl ColView for RowView<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        1
+    }
+    #[inline]
+    fn value(&self, col: usize, _row: usize) -> &Value {
+        &self.0[col]
+    }
+}
+
+/// A leaf operand the comparison fast paths can read by reference —
+/// a column offset or a literal. Anything else falls back to the
+/// generic recursive evaluator.
+enum Operand<'e> {
+    Col(usize),
+    Lit(&'e Value),
+}
+
+impl Operand<'_> {
+    #[inline]
+    fn get<'v, V: ColView>(&'v self, view: &'v V, row: usize) -> &'v Value {
+        match self {
+            Operand::Col(c) => view.value(*c, row),
+            Operand::Lit(v) => v,
+        }
+    }
+}
+
+fn operand(e: &PhysExpr) -> Option<Operand<'_>> {
+    match e {
+        PhysExpr::Column(i) => Some(Operand::Col(*i)),
+        PhysExpr::Literal(v) => Some(Operand::Lit(v)),
+        _ => None,
+    }
+}
+
+/// Applies `keep` to every selected row (`None` = all rows) and collects
+/// the surviving positions — the shape of every selection-vector pass.
+fn retain_sel<V: ColView>(
+    view: &V,
+    sel: Option<&[u32]>,
+    mut keep: impl FnMut(usize) -> bool,
+) -> Vec<u32> {
+    match sel {
+        Some(s) => {
+            let mut out = Vec::with_capacity(s.len());
+            for &r in s {
+                if keep(r as usize) {
+                    out.push(r);
+                }
+            }
+            out
+        }
+        None => {
+            let mut out = Vec::with_capacity(view.len());
+            for r in 0..view.len() {
+                if keep(r) {
+                    out.push(r as u32);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Union of two ascending selection vectors (for `OR`).
+fn merge_sel(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
 /// Three-valued boolean: `Some(bool)` or unknown.
 type Tri = Option<bool>;
 
@@ -132,11 +240,18 @@ impl PhysExpr {
     /// arithmetic yield `NULL`, mirroring how the planner's lack of full
     /// static typing is resolved at runtime in permissive SQL dialects.
     pub fn eval(&self, row: &[Value]) -> Value {
+        self.eval_at(&RowView(row), 0)
+    }
+
+    /// Evaluates the expression against row `row` of a column view. The
+    /// single generic evaluator behind both [`PhysExpr::eval`] (via
+    /// [`RowView`]) and the batch engine.
+    pub(crate) fn eval_at<V: ColView>(&self, view: &V, row: usize) -> Value {
         match self {
             PhysExpr::Literal(v) => v.clone(),
-            PhysExpr::Column(i) => row[*i].clone(),
+            PhysExpr::Column(i) => view.value(*i, row).clone(),
             PhysExpr::Unary { op, expr } => {
-                let v = expr.eval(row);
+                let v = expr.eval_at(view, row);
                 match op {
                     UnaryOp::Neg => match v {
                         Value::Int(i) => Value::Int(-i),
@@ -151,11 +266,11 @@ impl PhysExpr {
                     BinaryOp::And => {
                         // Short-circuit: false AND x = false even when x is
                         // unknown.
-                        let l = value_to_tri(&left.eval(row));
+                        let l = value_to_tri(&left.eval_at(view, row));
                         if l == Some(false) {
                             return Value::Bool(false);
                         }
-                        let r = value_to_tri(&right.eval(row));
+                        let r = value_to_tri(&right.eval_at(view, row));
                         return tri_to_value(match (l, r) {
                             (_, Some(false)) => Some(false),
                             (Some(true), Some(true)) => Some(true),
@@ -163,11 +278,11 @@ impl PhysExpr {
                         });
                     }
                     BinaryOp::Or => {
-                        let l = value_to_tri(&left.eval(row));
+                        let l = value_to_tri(&left.eval_at(view, row));
                         if l == Some(true) {
                             return Value::Bool(true);
                         }
-                        let r = value_to_tri(&right.eval(row));
+                        let r = value_to_tri(&right.eval_at(view, row));
                         return tri_to_value(match (l, r) {
                             (_, Some(true)) => Some(true),
                             (Some(false), Some(false)) => Some(false),
@@ -176,17 +291,17 @@ impl PhysExpr {
                     }
                     _ => {}
                 }
-                let l = left.eval(row);
-                let r = right.eval(row);
+                let l = left.eval_at(view, row);
+                let r = right.eval_at(view, row);
                 if op.is_comparison() {
                     return tri_to_value(compare(&l, op, &r));
                 }
                 arithmetic(&l, *op, &r)
             }
             PhysExpr::Between { expr, negated, low, high } => {
-                let v = expr.eval(row);
-                let lo = low.eval(row);
-                let hi = high.eval(row);
+                let v = expr.eval_at(view, row);
+                let lo = low.eval_at(view, row);
+                let hi = high.eval_at(view, row);
                 let ge = compare(&v, &BinaryOp::Ge, &lo);
                 let le = compare(&v, &BinaryOp::Le, &hi);
                 let t = match (ge, le) {
@@ -197,13 +312,13 @@ impl PhysExpr {
                 tri_to_value(apply_negation(t, *negated))
             }
             PhysExpr::InList { expr, negated, list } => {
-                let v = expr.eval(row);
+                let v = expr.eval_at(view, row);
                 if v.is_null() {
                     return Value::Null;
                 }
                 let mut saw_null = false;
                 for e in list {
-                    let c = e.eval(row);
+                    let c = e.eval_at(view, row);
                     match v.sql_eq(&c) {
                         Some(true) => return tri_to_value(apply_negation(Some(true), *negated)),
                         Some(false) => {}
@@ -214,7 +329,7 @@ impl PhysExpr {
                 tri_to_value(apply_negation(t, *negated))
             }
             PhysExpr::InSet { expr, negated, set, has_null } => {
-                let v = expr.eval(row);
+                let v = expr.eval_at(view, row);
                 if v.is_null() {
                     return Value::Null;
                 }
@@ -228,11 +343,11 @@ impl PhysExpr {
                 tri_to_value(apply_negation(t, *negated))
             }
             PhysExpr::IsNull { expr, negated } => {
-                let v = expr.eval(row);
+                let v = expr.eval_at(view, row);
                 Value::Bool(v.is_null() != *negated)
             }
             PhysExpr::Scalar { f, args, .. } => {
-                let vals: Vec<Value> = args.iter().map(|a| a.eval(row)).collect();
+                let vals: Vec<Value> = args.iter().map(|a| a.eval_at(view, row)).collect();
                 f(&vals)
             }
         }
@@ -241,6 +356,96 @@ impl PhysExpr {
     /// Evaluates as a filter predicate: `NULL`/unknown is *not satisfied*.
     pub fn eval_bool(&self, row: &[Value]) -> bool {
         matches!(self.eval(row), Value::Bool(true))
+    }
+
+    /// Batch filter: evaluates the predicate over the rows of `view`
+    /// selected by `sel` (`None` = all rows) and returns the surviving
+    /// positions as an ascending selection vector.
+    ///
+    /// Filter semantics are "row passes iff the predicate is `true`"
+    /// (NULL never passes), so the 3VL connectives decompose exactly:
+    /// `AND` is sequential refinement of the selection vector, `OR` is
+    /// the union of both sides' vectors. Comparisons over column/literal
+    /// operands run by reference without cloning a single `Value`; every
+    /// other shape falls back to the generic per-row evaluator.
+    pub(crate) fn filter_view<V: ColView>(&self, view: &V, sel: Option<&[u32]>) -> Vec<u32> {
+        match self {
+            PhysExpr::Binary { left, op: BinaryOp::And, right } => {
+                let l = left.filter_view(view, sel);
+                right.filter_view(view, Some(&l))
+            }
+            PhysExpr::Binary { left, op: BinaryOp::Or, right } => {
+                let l = left.filter_view(view, sel);
+                let r = right.filter_view(view, sel);
+                merge_sel(&l, &r)
+            }
+            PhysExpr::Binary { left, op, right } if op.is_comparison() => {
+                match (operand(left), operand(right)) {
+                    (Some(a), Some(b)) => retain_sel(view, sel, |r| {
+                        compare(a.get(view, r), op, b.get(view, r)) == Some(true)
+                    }),
+                    _ => self.filter_fallback(view, sel),
+                }
+            }
+            PhysExpr::Between { expr, negated, low, high } => {
+                match (operand(expr), operand(low), operand(high)) {
+                    (Some(v), Some(lo), Some(hi)) => retain_sel(view, sel, |r| {
+                        let val = v.get(view, r);
+                        let ge = compare(val, &BinaryOp::Ge, lo.get(view, r));
+                        let le = compare(val, &BinaryOp::Le, hi.get(view, r));
+                        let t = match (ge, le) {
+                            (Some(false), _) | (_, Some(false)) => Some(false),
+                            (Some(true), Some(true)) => Some(true),
+                            _ => None,
+                        };
+                        apply_negation(t, *negated) == Some(true)
+                    }),
+                    _ => self.filter_fallback(view, sel),
+                }
+            }
+            PhysExpr::InSet { expr, negated, set, has_null } => match operand(expr) {
+                Some(v) => retain_sel(view, sel, |r| {
+                    let val = v.get(view, r);
+                    if val.is_null() {
+                        return false;
+                    }
+                    let t = if set.contains(val) {
+                        Some(true)
+                    } else if *has_null {
+                        None
+                    } else {
+                        Some(false)
+                    };
+                    apply_negation(t, *negated) == Some(true)
+                }),
+                None => self.filter_fallback(view, sel),
+            },
+            PhysExpr::IsNull { expr, negated } => match operand(expr) {
+                Some(v) => retain_sel(view, sel, |r| v.get(view, r).is_null() != *negated),
+                None => self.filter_fallback(view, sel),
+            },
+            _ => self.filter_fallback(view, sel),
+        }
+    }
+
+    fn filter_fallback<V: ColView>(&self, view: &V, sel: Option<&[u32]>) -> Vec<u32> {
+        retain_sel(view, sel, |r| matches!(self.eval_at(view, r), Value::Bool(true)))
+    }
+
+    /// Batch projection of one expression: appends the value for every
+    /// selected row of `view` to `out` (used for join keys and output
+    /// columns). `Column` references clone straight out of the view.
+    pub(crate) fn eval_view<V: ColView>(&self, view: &V, sel: Option<&[u32]>, out: &mut Vec<Value>) {
+        match self {
+            PhysExpr::Column(i) => match sel {
+                Some(s) => out.extend(s.iter().map(|&r| view.value(*i, r as usize).clone())),
+                None => out.extend((0..view.len()).map(|r| view.value(*i, r).clone())),
+            },
+            _ => match sel {
+                Some(s) => out.extend(s.iter().map(|&r| self.eval_at(view, r as usize))),
+                None => out.extend((0..view.len()).map(|r| self.eval_at(view, r))),
+            },
+        }
     }
 }
 

@@ -22,11 +22,15 @@
 //!   PPA algorithm's parameterized queries bind; `binding.rowid = <k>`
 //!   predicates short-circuit into O(1) row fetches.
 //!
-//! Execution is operator-at-a-time over materialized row batches, which is
-//! appropriate for the workload sizes of the paper's evaluation and keeps
-//! the operators easy to verify.
+//! Execution is vectorized: operators exchange fixed-capacity columnar
+//! [`batch::Batch`]es with selection vectors, scans materialize only the
+//! rows that survive their pushed predicates, and guard budgets are
+//! charged per batch. The original row-at-a-time path is retained behind
+//! the `QP_ROW_ENGINE=1` toggle as the parity oracle — both paths produce
+//! byte-identical results, enforced by property tests.
 
 pub mod analyze;
+pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod explain;
@@ -40,6 +44,7 @@ pub mod pool;
 pub mod result;
 
 pub use analyze::{NodeStats, PlanProfile};
+pub use batch::{Batch, BATCH_CAPACITY};
 pub use cache::{PlanCache, PlanKey, ShardedCache};
 pub use engine::{Engine, ExecStats};
 pub use error::{ExecError, ResourceKind};

@@ -19,8 +19,21 @@ use std::sync::Arc;
 /// Maps an armed failpoint at `site` onto [`ExecError::Fault`]. Compiles
 /// to nothing without the `failpoints` feature.
 #[inline]
-fn fail_point(site: &str) -> Result<(), ExecError> {
+pub(crate) fn fail_point(site: &str) -> Result<(), ExecError> {
     qp_storage::failpoint::check(site).map_err(ExecError::Fault)
+}
+
+/// Row-id fetch attached to a scan — the short-circuit path for
+/// `binding.rowid = k` predicates (the PPA parameterized-query fast
+/// path).
+#[derive(Debug, Clone)]
+pub enum RowIdFetch {
+    /// Fetch a single row by id (classic per-tuple point probe).
+    One(u64),
+    /// Fetch every listed row id in list order, skipping missing ids —
+    /// the batched PPA probe's tuple-id IN-set: one execution evaluates
+    /// the prepared probe for a whole round of fresh tuples at once.
+    Set(Arc<Vec<u64>>),
 }
 
 /// One aggregate call inside an [`AggSpec`].
@@ -64,6 +77,13 @@ pub(crate) struct ExecCtx<'a> {
     /// Flows into derived sub-queries; guard budgets stay global because
     /// workers share the guard's atomics.
     pub parallelism: usize,
+    /// Batches produced by the vectorized path this execution (0 on the
+    /// row path). Folded into the engine's `exec.batch.count` counter;
+    /// kept out of [`ExecStats`] because batch boundaries legitimately
+    /// differ between serial and parallel runs of the same query.
+    pub batch_count: u64,
+    /// Live rows carried by those batches (`exec.batch.rows`).
+    pub batch_rows: u64,
 }
 
 /// A physical plan node producing a batch of rows.
@@ -73,9 +93,9 @@ pub enum Plan {
     Scan {
         /// Relation scanned.
         rel: RelId,
-        /// O(1) row fetch for `binding.rowid = k` predicates (the PPA
-        /// parameterized-query fast path).
-        fetch_rowid: Option<u64>,
+        /// O(1) row fetch(es) for `binding.rowid = k` predicates (the PPA
+        /// parameterized-query fast path); see [`RowIdFetch`].
+        fetch_rowid: Option<RowIdFetch>,
         /// Point lookup via the persistent hash index for a selective
         /// `attr = literal` predicate: only the matching rows are fetched
         /// instead of iterating the whole table. The predicate also stays
@@ -175,7 +195,8 @@ impl Plan {
         stats: &mut ExecStats,
         guard: &QueryGuard,
     ) -> Result<Vec<Row>, ExecError> {
-        let mut ctx = ExecCtx { stats, guard, profile: None, parallelism: 1 };
+        let mut ctx =
+            ExecCtx { stats, guard, profile: None, parallelism: 1, batch_count: 0, batch_rows: 0 };
         self.run_node(db, &mut ctx, 0)
     }
 
@@ -230,9 +251,16 @@ impl Plan {
                     Ok(())
                 };
                 match (fetch_rowid, index_eq) {
-                    (Some(id), _) => {
+                    (Some(RowIdFetch::One(id)), _) => {
                         if let Some(row) = table.get(RowId(*id)) {
                             emit(*id, row, &mut out, ctx)?;
+                        }
+                    }
+                    (Some(RowIdFetch::Set(ids)), _) => {
+                        for &id in ids.iter() {
+                            if let Some(row) = table.get(RowId(id)) {
+                                emit(id, row, &mut out, ctx)?;
+                            }
                         }
                     }
                     (None, Some((attr, key))) => {
@@ -463,7 +491,7 @@ impl Plan {
 /// Charges one operator-output row against the guard and mirrors the
 /// count into the stats record.
 #[inline]
-fn charge(ctx: &mut ExecCtx<'_>, n: u64) -> Result<(), ExecError> {
+pub(crate) fn charge(ctx: &mut ExecCtx<'_>, n: u64) -> Result<(), ExecError> {
     ctx.stats.rows_intermediate += n;
     ctx.guard.charge_intermediate(n)
 }

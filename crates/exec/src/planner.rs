@@ -23,7 +23,7 @@ use crate::error::ExecError;
 use crate::expr::PhysExpr;
 use crate::functions::FunctionRegistry;
 use crate::guard::QueryGuard;
-use crate::plan::{AggCall, AggSpec, Plan, ScanEstimate};
+use crate::plan::{AggCall, AggSpec, Plan, RowIdFetch, ScanEstimate};
 
 /// A fully compiled query, ready to execute against the database it was
 /// planned for.
@@ -54,7 +54,21 @@ impl CompiledQuery {
     pub fn rebind_rowid(&mut self, rel: RelId, rowid: u64) -> usize {
         let mut n = 0;
         for b in &mut self.branches {
-            n += rebind_plan(&mut b.plan, rel, rowid);
+            n += rebind_plan(&mut b.plan, rel, &RowIdFetch::One(rowid));
+        }
+        n
+    }
+
+    /// Rebinds every row-id fetch on scans of `rel` to a *set* of row
+    /// ids — the batched PPA probe. One execution then evaluates the
+    /// prepared probe for every listed tuple at once (a hash semi-join
+    /// against the id set): the fetch scan emits the listed rows in set
+    /// order, so the result is the concatenation of the per-tuple
+    /// results in that order. Returns the number of scans rebound.
+    pub fn rebind_rowid_set(&mut self, rel: RelId, rowids: &Arc<Vec<u64>>) -> usize {
+        let mut n = 0;
+        for b in &mut self.branches {
+            n += rebind_plan(&mut b.plan, rel, &RowIdFetch::Set(Arc::clone(rowids)));
         }
         n
     }
@@ -67,20 +81,26 @@ impl CompiledQuery {
     }
 }
 
-fn rebind_plan(plan: &mut Plan, rel: RelId, rowid: u64) -> usize {
+fn rebind_plan(plan: &mut Plan, rel: RelId, fetch: &RowIdFetch) -> usize {
     match plan {
-        Plan::Scan { rel: r, fetch_rowid: Some(id), .. } if *r == rel => {
-            *id = rowid;
+        Plan::Scan { rel: r, fetch_rowid: Some(f), .. } if *r == rel => {
+            *f = fetch.clone();
             1
         }
         Plan::Scan { .. } | Plan::Values => 0,
-        Plan::Filter { input, .. } => rebind_plan(input, rel, rowid),
+        Plan::Filter { input, .. } => rebind_plan(input, rel, fetch),
         Plan::HashJoin { left, right, .. } | Plan::NestedLoop { left, right, .. } => {
-            rebind_plan(left, rel, rowid) + rebind_plan(right, rel, rowid)
+            rebind_plan(left, rel, fetch) + rebind_plan(right, rel, fetch)
         }
-        Plan::IndexJoin { left, .. } => rebind_plan(left, rel, rowid),
-        Plan::UnionAll { inputs } => inputs.iter_mut().map(|p| rebind_plan(p, rel, rowid)).sum(),
-        Plan::Derived { query } => query.rebind_rowid(rel, rowid),
+        Plan::IndexJoin { left, .. } => rebind_plan(left, rel, fetch),
+        Plan::UnionAll { inputs } => inputs.iter_mut().map(|p| rebind_plan(p, rel, fetch)).sum(),
+        Plan::Derived { query } => {
+            let mut n = 0;
+            for b in &mut query.branches {
+                n += rebind_plan(&mut b.plan, rel, fetch);
+            }
+            n
+        }
     }
 }
 
@@ -674,7 +694,13 @@ impl<'a> Planner<'a> {
                     None
                 };
                 let filter = PhysExprList::compile_all(self, &rest, &local_scope, None)?;
-                Ok(Plan::Scan { rel, fetch_rowid, index_eq, filter, est: Some(est) })
+                Ok(Plan::Scan {
+                    rel,
+                    fetch_rowid: fetch_rowid.map(RowIdFetch::One),
+                    index_eq,
+                    filter,
+                    est: Some(est),
+                })
             }
             None => {
                 let plan = derived_plans[idx].take().ok_or_else(|| {

@@ -61,6 +61,31 @@ fn intermediate_budget_bounds_cross_product() {
 }
 
 #[test]
+fn intermediate_overshoot_bounded_by_one_batch() {
+    // The vectorized engine charges the intermediate budget once per batch
+    // flush rather than per row, so a tripped guard may have admitted the
+    // rows of the batch that crossed the line — but never more. Pin the
+    // worst-case overshoot to one batch capacity so a future regression
+    // to coarser charging (per operator, per query) fails loudly.
+    let db = table_db(200);
+    let budget = 50u64;
+    let guard = QueryGuard::builder().max_intermediate_rows(budget).build();
+    // 200×200 cross product: 40 000 join rows dwarf the 50-row budget.
+    let err = run(&db, "select A.id, B.id from T A, T B", &guard).unwrap_err();
+    assert_eq!(
+        err,
+        ExecError::ResourceExhausted { resource: ResourceKind::IntermediateRows, limit: budget }
+    );
+    let spent = guard.intermediate_rows();
+    assert!(
+        spent <= budget + qp_exec::BATCH_CAPACITY as u64,
+        "guard admitted {spent} intermediate rows against a budget of {budget}: \
+         overshoot exceeds one batch ({})",
+        qp_exec::BATCH_CAPACITY
+    );
+}
+
+#[test]
 fn cancellation_stops_nested_loop_mid_batch() {
     let db = table_db(30);
     let token = CancelToken::new();

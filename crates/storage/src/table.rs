@@ -102,6 +102,18 @@ impl Table {
     pub fn column(&self, idx: usize) -> impl Iterator<Item = &Value> {
         self.rows.iter().map(move |r| &r[idx])
     }
+
+    /// Iterates the table in contiguous chunks of at most `cap` rows,
+    /// yielding each chunk's starting row id with a borrowed row slice —
+    /// the batch-scan entry point: a vectorized scan reads one chunk per
+    /// batch without per-row bookkeeping (row ids are `base..base+len`).
+    ///
+    /// # Panics
+    /// If `cap` is zero.
+    pub fn chunks(&self, cap: usize) -> impl Iterator<Item = (RowId, &[Row])> {
+        assert!(cap > 0, "chunk capacity must be non-zero");
+        self.rows.chunks(cap).enumerate().map(move |(i, c)| (RowId((i * cap) as u64), c))
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,35 @@ QP_PARALLELISM=4 cargo test -q --workspace
 echo "==> cargo test (caches disabled)"
 QP_DISABLE_PLAN_CACHE=1 QP_DISABLE_PREF_CACHE=1 cargo test -q --workspace
 
+# Row-engine oracle leg: the row-at-a-time interpreter is the parity
+# oracle for the vectorized batch engine; the whole suite must pass with
+# it forced on, or the oracle itself has drifted.
+echo "==> cargo test (QP_ROW_ENGINE=1)"
+QP_ROW_ENGINE=1 cargo test -q --workspace
+
+# Vectorization regression tripwire: re-run the vectorized bench fresh
+# and compare each workload's row/batch speedup against the committed
+# BENCH_vectorized.json snapshot. A fresh speedup below 80% of the
+# committed one is flagged loudly. Advisory only (shared machines are
+# noisy): the build refreshes the snapshot via `repro --bench-vectorized`
+# deliberately, not through this gate.
+if [ -f BENCH_vectorized.json ]; then
+  echo "==> vectorized bench regression check (fresh run vs committed)"
+  repro_bin="$PWD/target/release/repro"
+  bench_tmp="$(mktemp -d)"
+  (cd "$bench_tmp" && "$repro_bin" --bench-vectorized --runs 7 >/dev/null)
+  awk -F'"speedup": ' '
+    FNR == 1 { f++ }
+    /"speedup":/ { split($2, a, /[,}]/); n[f]++; v[f, n[f]] = a[1] + 0 }
+    END {
+      bad = 0
+      for (i = 1; i <= n[2]; i++) if (v[2, i] < 0.8 * v[1, i]) bad = 1
+      if (bad) print "WARNING: fresh vectorized run regresses the committed BENCH_vectorized.json by >20%"
+      else print "fresh vectorized speedups within 20% of the committed snapshot"
+    }' BENCH_vectorized.json "$bench_tmp/BENCH_vectorized.json"
+  rm -rf "$bench_tmp"
+fi
+
 # Chaos leg: the seeded soak harness drives a multi-thread serving fleet
 # through the ChaosPlan failpoint schedule with the pool fanned out. The
 # seeds are fixed inside the test, so failures replay exactly.
