@@ -1,0 +1,204 @@
+//! `qp-client` — an interactive REPL over the qp wire protocol.
+//!
+//! ```text
+//! $ qp-client 127.0.0.1:7878
+//! qp-client> \user al                      # pick the user key
+//! qp-client> \profile path/to/profile.doi  # register a profile file
+//! qp-client> \k 6
+//! qp-client> select title from MOVIE       # personalized over the wire
+//! qp-client> \stats
+//! qp-client> \quit
+//! ```
+//!
+//! Set `QP_BATCH=1` to suppress prompts when piping scripts in.
+
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+use qp_client::{Client, ClientError, Json, PersonalizeCall};
+
+struct Repl {
+    addr: String,
+    client: Client,
+    user: String,
+    k: Option<u64>,
+    l: Option<u64>,
+    algorithm: Option<String>,
+}
+
+const HELP: &str = "commands:
+  \\connect <addr>       reconnect to a different server
+  \\user <name>          set the user key (default: guest)
+  \\profile <file>       register <file> (Figure-2 notation) for the user
+  \\profile 'doi(...)'   register inline profile text
+  \\k <n> | \\l <n>       set K / L for personalize calls
+  \\algo spa|ppa         answer algorithm
+  \\ping                 liveness probe
+  \\stats                dump server metrics
+  <sql>                 personalize the SQL under the active user
+  \\quit";
+
+impl Repl {
+    fn connect(addr: &str) -> Result<Client, ClientError> {
+        Client::connect(addr, Duration::from_secs(5))
+    }
+
+    fn handle(&mut self, line: &str) -> Result<bool, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(true);
+        }
+        if let Some(cmd) = line.strip_prefix('\\') {
+            return self.command(cmd);
+        }
+        self.query(line)?;
+        Ok(true)
+    }
+
+    fn command(&mut self, cmd: &str) -> Result<bool, String> {
+        let mut parts = cmd.splitn(2, char::is_whitespace);
+        let head = parts.next().unwrap_or("");
+        let rest = parts.next().unwrap_or("").trim();
+        match head {
+            "quit" | "q" | "exit" => return Ok(false),
+            "help" | "h" => println!("{HELP}"),
+            "connect" => {
+                let addr =
+                    if rest.is_empty() { self.addr.clone() } else { rest.to_string() };
+                self.client = Repl::connect(&addr).map_err(|e| e.to_string())?;
+                println!("connected to {addr}");
+                self.addr = addr;
+            }
+            "user" => {
+                if rest.is_empty() {
+                    return Err("usage: \\user <name>".to_string());
+                }
+                self.user = rest.to_string();
+                println!("user = {}", self.user);
+            }
+            "profile" => {
+                if rest.is_empty() {
+                    return Err("usage: \\profile <file>|'doi(...)'".to_string());
+                }
+                let text = if rest.contains("doi(") {
+                    rest.trim_matches('\'').to_string()
+                } else {
+                    std::fs::read_to_string(rest).map_err(|e| format!("{rest}: {e}"))?
+                };
+                let n = self
+                    .client
+                    .register_profile(&self.user, &text)
+                    .map_err(|e| e.to_string())?;
+                println!("registered {n} preferences for {}", self.user);
+            }
+            "k" => {
+                self.k = Some(rest.parse().map_err(|_| "usage: \\k <n>".to_string())?);
+                println!("K = {}", rest);
+            }
+            "l" => {
+                self.l = Some(rest.parse().map_err(|_| "usage: \\l <n>".to_string())?);
+                println!("L = {}", rest);
+            }
+            "algo" => {
+                if rest != "spa" && rest != "ppa" {
+                    return Err("usage: \\algo spa|ppa".to_string());
+                }
+                self.algorithm = Some(rest.to_string());
+                println!("algorithm = {rest}");
+            }
+            "ping" => {
+                let start = std::time::Instant::now();
+                self.client.ping().map_err(|e| e.to_string())?;
+                println!("pong ({:?})", start.elapsed());
+            }
+            "stats" => {
+                let metrics = self.client.stats().map_err(|e| e.to_string())?;
+                for (name, value) in metrics {
+                    println!("{name:<40} {value}");
+                }
+            }
+            other => return Err(format!("unknown command \\{other} (try \\help)")),
+        }
+        Ok(true)
+    }
+
+    fn query(&mut self, sql: &str) -> Result<(), String> {
+        let mut call = PersonalizeCall::new(&self.user, sql);
+        if let Some(k) = self.k {
+            call = call.k(k);
+        }
+        if let Some(l) = self.l {
+            call = call.l(l);
+        }
+        if let Some(a) = &self.algorithm {
+            call = call.algorithm(a.clone());
+        }
+        let answer = self.client.personalize(call).map_err(|e| e.to_string())?;
+        println!("-- {}", answer.columns.join(" | "));
+        for t in &answer.tuples {
+            let row: Vec<String> = t
+                .row
+                .iter()
+                .map(|v| match v {
+                    Json::Str(s) => s.clone(),
+                    other => other.to_string(),
+                })
+                .collect();
+            println!("{:<7.4} {}", t.doi, row.join(" | "));
+        }
+        println!(
+            "({} tuples, {} µs server-side{}{})",
+            answer.tuples.len(),
+            answer.elapsed_us,
+            if answer.degraded { ", degraded" } else { "" },
+            if answer.retries > 0 {
+                format!(", {} retries", answer.retries)
+            } else {
+                String::new()
+            }
+        );
+        Ok(())
+    }
+}
+
+fn main() {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let client = match Repl::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("qp-client: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("qp-client — connected to {addr} (\\help for commands)");
+    let mut repl = Repl {
+        addr,
+        client,
+        user: "guest".to_string(),
+        k: None,
+        l: None,
+        algorithm: None,
+    };
+
+    let stdin = std::io::stdin();
+    let interactive = std::env::var_os("QP_BATCH").is_none();
+    loop {
+        if interactive {
+            print!("qp-client> ");
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => match repl.handle(&line) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => eprintln!("error: {e}"),
+            },
+            Err(e) => {
+                eprintln!("error: {e}");
+                break;
+            }
+        }
+    }
+}

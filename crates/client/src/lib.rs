@@ -1,0 +1,216 @@
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+//! # qp-client
+//!
+//! A typed client for the qp wire protocol (see [`wire`] for the frame
+//! format), plus the protocol definition itself — `qp-server` depends on
+//! this crate, not the other way round, so the client stays free of the
+//! engine stack.
+//!
+//! ```no_run
+//! use qp_client::{Client, PersonalizeCall};
+//! use std::time::Duration;
+//!
+//! let mut c = Client::connect("127.0.0.1:7878", Duration::from_secs(2)).unwrap();
+//! c.register_profile("al", "doi(MOVIE.genre = 'comedy') = (0.8, 0.1)").unwrap();
+//! let answer = c
+//!     .personalize(PersonalizeCall::new("al", "select title from MOVIE").k(5))
+//!     .unwrap();
+//! for t in &answer.tuples {
+//!     println!("{:.3}  {:?}", t.doi, t.row);
+//! }
+//! ```
+
+pub mod json;
+pub mod wire;
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+pub use json::Json;
+pub use wire::{Answer, ErrorCode, FrameError, Request, Response, WireError, WireTuple, DEFAULT_MAX_FRAME};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, timeout, reset).
+    Io(std::io::Error),
+    /// The byte stream broke protocol (torn frame, oversized frame,
+    /// non-JSON payload, or a response shape the client cannot decode).
+    Protocol(String),
+    /// The server replied with a typed error.
+    Server(WireError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server(e) => write!(f, "server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => ClientError::Io(io),
+            FrameError::Closed => ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                "server closed the connection",
+            )),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// Builder for a `personalize` request.
+#[derive(Debug, Clone)]
+pub struct PersonalizeCall {
+    user: String,
+    sql: String,
+    k: Option<u64>,
+    l: Option<u64>,
+    algorithm: Option<String>,
+}
+
+impl PersonalizeCall {
+    /// Personalize `sql` under `user`'s registered profile, with the
+    /// server's default K / L / algorithm.
+    pub fn new(user: impl Into<String>, sql: impl Into<String>) -> Self {
+        PersonalizeCall {
+            user: user.into(),
+            sql: sql.into(),
+            k: None,
+            l: None,
+            algorithm: None,
+        }
+    }
+
+    /// Selects the top-K preferences.
+    pub fn k(mut self, k: u64) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Requires at least L satisfied preferences per answer tuple.
+    pub fn l(mut self, l: u64) -> Self {
+        self.l = Some(l);
+        self
+    }
+
+    /// Picks the answer algorithm (`"spa"` or `"ppa"`).
+    pub fn algorithm(mut self, algorithm: impl Into<String>) -> Self {
+        self.algorithm = Some(algorithm.into());
+        self
+    }
+
+    fn into_request(self) -> Request {
+        Request::Personalize {
+            user: self.user,
+            sql: self.sql,
+            k: self.k,
+            l: self.l,
+            algorithm: self.algorithm,
+        }
+    }
+}
+
+/// A connected protocol client. One request is in flight at a time; the
+/// connection is reused across requests until an error poisons it.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects to `addr` and applies `timeout` to connect, reads, and
+    /// writes. A timed-out read surfaces as [`ClientError::Io`].
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Client, ClientError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(ClientError::Io)?
+            .next()
+            .ok_or_else(|| ClientError::Protocol("address resolved to nothing".to_string()))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout).map_err(ClientError::Io)?;
+        Client::from_stream(stream, timeout)
+    }
+
+    /// Wraps an already-connected stream (used by tests and the load
+    /// generator to control socket construction).
+    pub fn from_stream(stream: TcpStream, timeout: Duration) -> Result<Client, ClientError> {
+        stream.set_read_timeout(Some(timeout)).map_err(ClientError::Io)?;
+        stream.set_write_timeout(Some(timeout)).map_err(ClientError::Io)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone().map_err(ClientError::Io)?);
+        Ok(Client { reader, writer: BufWriter::new(stream), max_frame: DEFAULT_MAX_FRAME })
+    }
+
+    /// Overrides the maximum response frame size this client accepts.
+    pub fn with_max_frame(mut self, max_frame: usize) -> Client {
+        self.max_frame = max_frame;
+        self
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Registers (or replaces) `user`'s profile; returns the number of
+    /// preferences the server parsed out of the DSL text.
+    pub fn register_profile(
+        &mut self,
+        user: &str,
+        profile_dsl: &str,
+    ) -> Result<u64, ClientError> {
+        let req = Request::RegisterProfile {
+            user: user.to_string(),
+            profile: profile_dsl.to_string(),
+        };
+        match self.roundtrip(&req)? {
+            Response::ProfileRegistered { preferences, .. } => Ok(preferences),
+            other => Err(unexpected("profile_registered", &other)),
+        }
+    }
+
+    /// Runs one personalized query.
+    pub fn personalize(&mut self, call: PersonalizeCall) -> Result<Answer, ClientError> {
+        match self.roundtrip(&call.into_request())? {
+            Response::Answer(a) => Ok(a),
+            other => Err(unexpected("answer", &other)),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot as `(name, value)` pairs.
+    pub fn stats(&mut self) -> Result<Vec<(String, Json)>, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(metrics) => Ok(metrics),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Sends one request frame and decodes one response frame. A typed
+    /// server failure becomes [`ClientError::Server`].
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        wire::write_frame(&mut self.writer, &request.to_json()).map_err(ClientError::Io)?;
+        let frame = wire::read_frame(&mut self.reader, self.max_frame)?;
+        match Response::from_json(&frame).map_err(ClientError::Protocol)? {
+            Response::Error(e) => Err(ClientError::Server(e)),
+            ok => Ok(ok),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted:?}, got {got:?}"))
+}

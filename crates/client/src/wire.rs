@@ -1,0 +1,585 @@
+//! The qp wire protocol: framing, request/response shapes, and error
+//! codes, shared verbatim by `qp-server` and the client in this crate.
+//!
+//! # Frame format
+//!
+//! Every message — in either direction — is one *frame*:
+//!
+//! ```text
+//! +----------------+----------------------------------+
+//! | length: u32 BE | payload: `length` bytes of UTF-8 |
+//! +----------------+----------------------------------+
+//! ```
+//!
+//! The payload is exactly one JSON object (see [`crate::json`]). Frames
+//! larger than the receiver's max-frame limit (default
+//! [`DEFAULT_MAX_FRAME`]) are rejected without reading the payload;
+//! payloads that are not valid JSON poison only the connection that sent
+//! them.
+//!
+//! # Requests and responses
+//!
+//! Requests carry an `"op"` discriminator (`ping`, `register_profile`,
+//! `personalize`, `stats`). Successful responses carry `"ok": true` and
+//! their own `"op"`; failures carry `"ok": false` and an `"error"`
+//! object with a stable [`ErrorCode`], a human-readable message, and a
+//! `"retryable"` hint.
+
+use std::io::{self, Read, Write};
+
+use crate::json::{self, Json};
+
+/// Default cap on a single frame's payload, in bytes (256 KiB).
+pub const DEFAULT_MAX_FRAME: usize = 256 * 1024;
+
+/// Reading a frame failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// An I/O error (including timeouts) interrupted the frame.
+    Io(io::Error),
+    /// The declared payload length exceeds the receiver's limit.
+    TooLarge {
+        /// Declared payload length.
+        declared: usize,
+        /// The receiver's limit.
+        limit: usize,
+    },
+    /// The payload was not one well-formed JSON object.
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+            FrameError::TooLarge { declared, limit } => {
+                write!(f, "frame of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one frame: 4-byte big-endian length, then the encoded value.
+pub fn write_frame(w: &mut impl Write, value: &Json) -> io::Result<()> {
+    write_payload(w, value.to_string().as_bytes())
+}
+
+/// Writes one already-encoded frame payload with its length header.
+/// Callers that need the encoded size first (e.g. a server enforcing its
+/// own frame limit on *writes*) encode once, inspect, then call this.
+pub fn write_payload(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let header = (payload.len() as u32).to_be_bytes();
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, enforcing `max_frame` on the declared length.
+///
+/// A clean EOF *before any header byte* is [`FrameError::Closed`]; EOF
+/// mid-frame is an [`FrameError::Io`] (`UnexpectedEof`) because the peer
+/// tore the frame.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Json, FrameError> {
+    let declared = read_header(r, max_frame)?;
+    read_body(r, declared)
+}
+
+/// Reads one frame header and validates the declared length against
+/// `max_frame` — without touching the payload, so an oversized frame is
+/// rejected before a single payload byte is read. Servers use this
+/// split (header under the idle timeout, body under the I/O deadline);
+/// most callers want [`read_frame`].
+pub fn read_header(r: &mut impl Read, max_frame: usize) -> Result<usize, FrameError> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Err(FrameError::Closed),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let declared = u32::from_be_bytes(header) as usize;
+    if declared > max_frame {
+        return Err(FrameError::TooLarge { declared, limit: max_frame });
+    }
+    Ok(declared)
+}
+
+/// Reads and parses a frame body whose length [`read_header`] already
+/// validated.
+pub fn read_body(r: &mut impl Read, declared: usize) -> Result<Json, FrameError> {
+    let mut payload = vec![0u8; declared];
+    r.read_exact(&mut payload).map_err(FrameError::Io)?;
+    let text = String::from_utf8(payload)
+        .map_err(|_| FrameError::Malformed("payload is not UTF-8".to_string()))?;
+    match json::parse(&text) {
+        Ok(value @ Json::Obj(_)) => Ok(value),
+        Ok(_) => Err(FrameError::Malformed("payload is not a JSON object".to_string())),
+        Err(e) => Err(FrameError::Malformed(e)),
+    }
+}
+
+/// Stable error codes carried in failure responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The server shed the request before parsing it (admission control
+    /// or accept-queue bound). Retry after backoff.
+    Overloaded,
+    /// The frame payload was not one well-formed JSON object. The server
+    /// closes the connection after sending this.
+    BadFrame,
+    /// The declared frame length exceeds the server's limit. The server
+    /// closes the connection after sending this.
+    FrameTooLarge,
+    /// The JSON parsed but the request is invalid (unknown op, missing
+    /// or ill-typed fields, profile that fails to parse).
+    BadRequest,
+    /// `personalize` for a user with no registered profile.
+    UnknownUser,
+    /// The personalized answer encoded larger than the server's frame
+    /// limit. The connection stays usable; narrow the query (or run a
+    /// server with a larger `max_frame`) and retry.
+    AnswerTooLarge,
+    /// Personalization failed with a typed engine error.
+    Query,
+    /// The connection handler panicked; the request died but the server
+    /// survives. The connection is closed after this response.
+    Internal,
+    /// The server is draining for shutdown and takes no new requests.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The stable string carried on the wire.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::BadFrame => "bad_frame",
+            ErrorCode::FrameTooLarge => "frame_too_large",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownUser => "unknown_user",
+            ErrorCode::AnswerTooLarge => "answer_too_large",
+            ErrorCode::Query => "query",
+            ErrorCode::Internal => "internal",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Parses the wire string back into a code.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "overloaded" => ErrorCode::Overloaded,
+            "bad_frame" => ErrorCode::BadFrame,
+            "frame_too_large" => ErrorCode::FrameTooLarge,
+            "bad_request" => ErrorCode::BadRequest,
+            "unknown_user" => ErrorCode::UnknownUser,
+            "answer_too_large" => ErrorCode::AnswerTooLarge,
+            "query" => ErrorCode::Query,
+            "internal" => ErrorCode::Internal,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// A typed failure response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Stable error code.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+    /// Whether the client may retry the same request.
+    pub retryable: bool,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+impl WireError {
+    /// Encodes the failure as a response frame value.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("ok", Json::Bool(false)),
+            (
+                "error",
+                Json::obj(vec![
+                    ("code", Json::str(self.code.as_str())),
+                    ("message", Json::str(self.message.clone())),
+                    ("retryable", Json::Bool(self.retryable)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Registers (or replaces) `user`'s preference profile, given in the
+    /// paper's Figure-2 `doi(...) = (x, y)` notation.
+    RegisterProfile {
+        /// User key.
+        user: String,
+        /// Profile text in the DSL.
+        profile: String,
+    },
+    /// Personalizes `sql` under `user`'s registered profile.
+    Personalize {
+        /// User key (must have a registered profile).
+        user: String,
+        /// The SQL query to personalize.
+        sql: String,
+        /// Top-K preferences to select (server default if absent).
+        k: Option<u64>,
+        /// Minimum satisfied preferences per answer tuple.
+        l: Option<u64>,
+        /// `"spa"` or `"ppa"` (server default if absent).
+        algorithm: Option<String>,
+    },
+    /// Dumps the server's metrics registry.
+    Stats,
+}
+
+impl Request {
+    /// Encodes the request as a frame value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Ping => Json::obj(vec![("op", Json::str("ping"))]),
+            Request::RegisterProfile { user, profile } => Json::obj(vec![
+                ("op", Json::str("register_profile")),
+                ("user", Json::str(user.clone())),
+                ("profile", Json::str(profile.clone())),
+            ]),
+            Request::Personalize { user, sql, k, l, algorithm } => {
+                let mut pairs = vec![
+                    ("op", Json::str("personalize")),
+                    ("user", Json::str(user.clone())),
+                    ("sql", Json::str(sql.clone())),
+                ];
+                if let Some(k) = k {
+                    pairs.push(("k", Json::num(*k as f64)));
+                }
+                if let Some(l) = l {
+                    pairs.push(("l", Json::num(*l as f64)));
+                }
+                if let Some(a) = algorithm {
+                    pairs.push(("algorithm", Json::str(a.clone())));
+                }
+                Json::obj(pairs)
+            }
+            Request::Stats => Json::obj(vec![("op", Json::str("stats"))]),
+        }
+    }
+
+    /// Decodes a request frame; `Err` carries a `bad_request` message.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        let op = v.str_field("op").ok_or("missing \"op\"")?;
+        match op {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "register_profile" => Ok(Request::RegisterProfile {
+                user: v.str_field("user").ok_or("missing \"user\"")?.to_string(),
+                profile: v.str_field("profile").ok_or("missing \"profile\"")?.to_string(),
+            }),
+            "personalize" => {
+                for key in ["k", "l"] {
+                    if v.get(key).is_some() && v.u64_field(key).is_none() {
+                        return Err(format!("\"{key}\" must be a non-negative integer"));
+                    }
+                }
+                Ok(Request::Personalize {
+                    user: v.str_field("user").ok_or("missing \"user\"")?.to_string(),
+                    sql: v.str_field("sql").ok_or("missing \"sql\"")?.to_string(),
+                    k: v.u64_field("k"),
+                    l: v.u64_field("l"),
+                    algorithm: v.str_field("algorithm").map(str::to_string),
+                })
+            }
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// One answer tuple on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTuple {
+    /// Degree of interest the ranking assigned.
+    pub doi: f64,
+    /// Projected row values (strings/numbers/bools/null).
+    pub row: Vec<Json>,
+}
+
+/// A successful `personalize` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Answer {
+    /// Projected column names.
+    pub columns: Vec<String>,
+    /// Answer tuples, best first.
+    pub tuples: Vec<WireTuple>,
+    /// True if the server degraded the answer (dropped probes, breaker
+    /// short-circuit) rather than computing it fully.
+    pub degraded: bool,
+    /// Transient-fault retries the server's `RetryPolicy` absorbed.
+    pub retries: u64,
+    /// Server-side latency for this request, in microseconds.
+    pub elapsed_us: u64,
+}
+
+/// A decoded server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Reply to [`Request::RegisterProfile`].
+    ProfileRegistered {
+        /// Echoed user key.
+        user: String,
+        /// Number of preferences parsed from the profile text.
+        preferences: u64,
+    },
+    /// Reply to [`Request::Personalize`].
+    Answer(Answer),
+    /// Reply to [`Request::Stats`]: metric name → value (counters and
+    /// gauges as numbers; histograms as objects).
+    Stats(Vec<(String, Json)>),
+    /// A typed failure.
+    Error(WireError),
+}
+
+impl Response {
+    /// Encodes the response as a frame value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Pong => {
+                Json::obj(vec![("ok", Json::Bool(true)), ("op", Json::str("pong"))])
+            }
+            Response::ProfileRegistered { user, preferences } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", Json::str("profile_registered")),
+                ("user", Json::str(user.clone())),
+                ("preferences", Json::num(*preferences as f64)),
+            ]),
+            Response::Answer(a) => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", Json::str("answer")),
+                (
+                    "columns",
+                    Json::Arr(a.columns.iter().map(|c| Json::str(c.clone())).collect()),
+                ),
+                (
+                    "tuples",
+                    Json::Arr(
+                        a.tuples
+                            .iter()
+                            .map(|t| {
+                                Json::obj(vec![
+                                    ("doi", Json::num(t.doi)),
+                                    ("row", Json::Arr(t.row.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("degraded", Json::Bool(a.degraded)),
+                ("retries", Json::num(a.retries as f64)),
+                ("elapsed_us", Json::num(a.elapsed_us as f64)),
+            ]),
+            Response::Stats(metrics) => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", Json::str("stats")),
+                ("metrics", Json::Obj(metrics.clone())),
+            ]),
+            Response::Error(e) => e.to_json(),
+        }
+    }
+
+    /// Decodes a response frame; `Err` means the peer broke protocol.
+    pub fn from_json(v: &Json) -> Result<Response, String> {
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => {
+                let e = v.get("error").ok_or("failure response without \"error\"")?;
+                let code_str = e.str_field("code").ok_or("error without \"code\"")?;
+                let code = ErrorCode::parse(code_str)
+                    .ok_or_else(|| format!("unknown error code {code_str:?}"))?;
+                return Ok(Response::Error(WireError {
+                    code,
+                    message: e.str_field("message").unwrap_or_default().to_string(),
+                    retryable: e.get("retryable").and_then(Json::as_bool).unwrap_or(false),
+                }));
+            }
+            None => return Err("response without \"ok\"".to_string()),
+        }
+        match v.str_field("op").ok_or("success response without \"op\"")? {
+            "pong" => Ok(Response::Pong),
+            "profile_registered" => Ok(Response::ProfileRegistered {
+                user: v.str_field("user").ok_or("missing \"user\"")?.to_string(),
+                preferences: v.u64_field("preferences").ok_or("missing \"preferences\"")?,
+            }),
+            "answer" => {
+                let columns = v
+                    .get("columns")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing \"columns\"")?
+                    .iter()
+                    .map(|c| c.as_str().map(str::to_string).ok_or("non-string column"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let tuples = v
+                    .get("tuples")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing \"tuples\"")?
+                    .iter()
+                    .map(|t| {
+                        Ok(WireTuple {
+                            doi: t.get("doi").and_then(Json::as_f64).ok_or("tuple without doi")?,
+                            row: t
+                                .get("row")
+                                .and_then(Json::as_arr)
+                                .ok_or("tuple without row")?
+                                .to_vec(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, &str>>()?;
+                Ok(Response::Answer(Answer {
+                    columns,
+                    tuples,
+                    degraded: v.get("degraded").and_then(Json::as_bool).unwrap_or(false),
+                    retries: v.u64_field("retries").unwrap_or(0),
+                    elapsed_us: v.u64_field("elapsed_us").unwrap_or(0),
+                }))
+            }
+            "stats" => match v.get("metrics") {
+                Some(Json::Obj(pairs)) => Ok(Response::Stats(pairs.clone())),
+                _ => Err("missing \"metrics\"".to_string()),
+            },
+            other => Err(format!("unknown response op {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let decoded = Request::from_json(&req.to_json()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::RegisterProfile {
+            user: "al".into(),
+            profile: "doi(MOVIE.genre = 'comedy') = (0.8, 0.1)".into(),
+        });
+        round_trip_request(Request::Personalize {
+            user: "al".into(),
+            sql: "select title from MOVIE".into(),
+            k: Some(5),
+            l: Some(1),
+            algorithm: Some("ppa".into()),
+        });
+        round_trip_request(Request::Personalize {
+            user: "al".into(),
+            sql: "select title from MOVIE".into(),
+            k: None,
+            l: None,
+            algorithm: None,
+        });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = vec![
+            Response::Pong,
+            Response::ProfileRegistered { user: "al".into(), preferences: 7 },
+            Response::Answer(Answer {
+                columns: vec!["title".into()],
+                tuples: vec![WireTuple {
+                    doi: 0.75,
+                    row: vec![Json::str("Psycho"), Json::Null, Json::num(3.0)],
+                }],
+                degraded: true,
+                retries: 2,
+                elapsed_us: 1234,
+            }),
+            Response::Stats(vec![("server.requests".into(), Json::num(9.0))]),
+            Response::Error(WireError {
+                code: ErrorCode::Overloaded,
+                message: "64 in flight".into(),
+                retryable: true,
+            }),
+        ];
+        for case in cases {
+            assert_eq!(Response::from_json(&case.to_json()).unwrap(), case);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let value = Request::Ping.to_json();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &value).unwrap();
+        let payload_len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        assert_eq!(payload_len, buf.len() - 4, "header declares the payload length");
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(), value);
+    }
+
+    #[test]
+    fn frame_reader_enforces_the_limit() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Ping.to_json()).unwrap();
+        let mut cursor = &buf[..];
+        assert!(matches!(read_frame(&mut cursor, 4), Err(FrameError::TooLarge { .. })));
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(), Request::Ping.to_json());
+    }
+
+    #[test]
+    fn clean_eof_is_closed_and_torn_frame_is_io() {
+        let mut empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut empty, 1024), Err(FrameError::Closed)));
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Ping.to_json()).unwrap();
+        let mut torn = &buf[..buf.len() - 3];
+        assert!(matches!(read_frame(&mut torn, 1024), Err(FrameError::Io(_))));
+        let mut torn_header = &buf[..2];
+        assert!(matches!(read_frame(&mut torn_header, 1024), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn non_object_payload_is_malformed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::Arr(vec![])).unwrap();
+        let mut cursor = &buf[..];
+        assert!(matches!(read_frame(&mut cursor, 1024), Err(FrameError::Malformed(_))));
+
+        let garbage = [0u8, 0, 0, 3, b'{', b'{', b'{'];
+        let mut cursor = &garbage[..];
+        assert!(matches!(read_frame(&mut cursor, 1024), Err(FrameError::Malformed(_))));
+    }
+}

@@ -1,0 +1,70 @@
+//! `qp-server` — serves personalized queries over TCP.
+//!
+//! ```text
+//! $ qp-server 127.0.0.1:7878 --movies 2000
+//! qp-server listening on 127.0.0.1:7878 (2000-movie database)
+//! ```
+//!
+//! The process serves until stdin reaches EOF (or the process is
+//! killed), then drains gracefully — `echo | qp-server` starts, serves
+//! nothing, and exits cleanly, which is what the scripted smoke test
+//! leans on.
+
+use std::io::Read;
+use std::sync::Arc;
+use std::time::Duration;
+
+use qp_server::testsupport::fixture_db;
+use qp_server::{Server, ServerConfig};
+use qp_storage::SnapshotStore;
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut movies = 2_000usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--movies" => {
+                movies = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--movies wants a number"));
+            }
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
+            other => addr = other.to_string(),
+        }
+    }
+
+    let config = ServerConfig {
+        addr,
+        idle_timeout: Duration::from_secs(60),
+        ..ServerConfig::default()
+    };
+    let store = Arc::new(SnapshotStore::new(fixture_db(movies)));
+    let mut server = match Server::start(config, store) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("qp-server: cannot bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("qp-server listening on {} ({movies}-movie database)", server.local_addr());
+
+    // Serve until stdin closes, then drain.
+    let mut sink = Vec::new();
+    std::io::stdin().read_to_end(&mut sink).ok();
+    let report = server.shutdown();
+    println!(
+        "qp-server: shut down (drained {}, aborted {})",
+        report.drained, report.aborted
+    );
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("qp-server: {error}");
+    }
+    eprintln!("usage: qp-server [addr] [--movies N]");
+    std::process::exit(if error.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,169 @@
+//! Test fixtures for wire-level server tests: an ephemeral-port server
+//! over a small generated database, plus assertion macros.
+//!
+//! ```no_run
+//! use qp_server::testsupport::TestServer;
+//!
+//! let mut ts = TestServer::spawn();
+//! let mut client = ts.client();
+//! client.ping().expect("server is up");
+//! ts.shutdown();
+//! ```
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use qp_client::Client;
+use qp_datagen::{self, ImdbScale};
+use qp_obs::MetricValue;
+use qp_storage::{Database, SnapshotStore};
+
+use crate::{Server, ServerConfig, ShutdownReport};
+
+/// A small IMDB-style database sized for fast wire tests.
+pub fn fixture_db(movies: usize) -> Database {
+    let db = qp_datagen::generate(ImdbScale {
+        movies,
+        actors: movies * 2,
+        directors: (movies / 10).max(10),
+        theatres: (movies / 50).max(5),
+        plays_per_theatre: 25,
+        seed: 42,
+    });
+    db.warm_statistics();
+    db
+}
+
+/// The paper's Figure-2 profile, rendered in the DSL the wire protocol
+/// registers profiles with.
+pub fn als_profile_dsl(db: &Database) -> String {
+    qp_datagen::als_profile(db)
+        .expect("fixture database supports Al's profile")
+        .to_dsl(db.catalog())
+}
+
+/// A `ServerConfig` with short timeouts suited to tests: requests stay
+/// snappy, stalled-client tests don't take seconds, and the drain window
+/// is long enough for one in-flight request.
+pub fn quick_config() -> ServerConfig {
+    ServerConfig {
+        io_timeout: Duration::from_millis(500),
+        idle_timeout: Duration::from_secs(5),
+        drain_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    }
+}
+
+/// A live server on an ephemeral port plus handles to poke it with.
+pub struct TestServer {
+    server: Server,
+    store: Arc<SnapshotStore>,
+}
+
+impl TestServer {
+    /// Spawns a server over a fresh 300-movie fixture database with
+    /// [`quick_config`].
+    pub fn spawn() -> TestServer {
+        TestServer::spawn_with(quick_config())
+    }
+
+    /// Spawns over the fixture database with a custom config.
+    pub fn spawn_with(config: ServerConfig) -> TestServer {
+        TestServer::spawn_on(config, Arc::new(SnapshotStore::new(fixture_db(300))))
+    }
+
+    /// Spawns over a caller-provided snapshot store.
+    pub fn spawn_on(config: ServerConfig, store: Arc<SnapshotStore>) -> TestServer {
+        let server = Server::start(config, Arc::clone(&store)).expect("bind ephemeral port");
+        TestServer { server, store }
+    }
+
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The snapshot store the server serves from.
+    pub fn store(&self) -> &Arc<SnapshotStore> {
+        &self.store
+    }
+
+    /// The running server.
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// A connected typed client with a generous test deadline.
+    pub fn client(&self) -> Client {
+        Client::connect(self.addr(), Duration::from_secs(5)).expect("connect to test server")
+    }
+
+    /// A raw TCP stream for protocol-abuse tests (torn frames, stalls).
+    pub fn raw_stream(&self) -> TcpStream {
+        TcpStream::connect(self.addr()).expect("connect raw stream")
+    }
+
+    /// Current value of a `server.*` counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.server
+            .metrics()
+            .snapshot()
+            .into_iter()
+            .find(|r| r.name == name)
+            .map(|r| match r.value {
+                MetricValue::Counter(n) => n,
+                _ => 0,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Graceful shutdown; returns what the drain accomplished.
+    pub fn shutdown(&mut self) -> ShutdownReport {
+        self.server.shutdown()
+    }
+}
+
+/// Polls `predicate` every millisecond until it holds or `timeout`
+/// expires; panics with `what` on expiry.
+pub fn wait_for(timeout: Duration, what: &str, mut predicate: impl FnMut() -> bool) {
+    let deadline = std::time::Instant::now() + timeout;
+    while !predicate() {
+        assert!(std::time::Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Asserts that a client call failed with a typed server error carrying
+/// the given [`qp_client::ErrorCode`]; evaluates to the [`qp_client::WireError`].
+#[macro_export]
+macro_rules! assert_server_error {
+    ($result:expr, $code:expr) => {{
+        match $result {
+            Err(qp_client::ClientError::Server(e)) => {
+                assert_eq!(e.code, $code, "unexpected error code: {e}");
+                e
+            }
+            Err(other) => panic!("expected server error {:?}, got {other}", $code),
+            Ok(_) => panic!("expected server error {:?}, got success", $code),
+        }
+    }};
+}
+
+/// Asserts that a client call failed at the I/O or protocol layer (the
+/// connection died or broke framing) rather than with a typed server
+/// error; evaluates to the [`qp_client::ClientError`].
+#[macro_export]
+macro_rules! assert_connection_broken {
+    ($result:expr) => {{
+        match $result {
+            Err(
+                e @ (qp_client::ClientError::Io(_) | qp_client::ClientError::Protocol(_)),
+            ) => e,
+            Err(qp_client::ClientError::Server(e)) => {
+                panic!("expected a broken connection, got typed server error {e}")
+            }
+            Ok(_) => panic!("expected a broken connection, got success"),
+        }
+    }};
+}

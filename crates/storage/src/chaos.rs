@@ -42,6 +42,12 @@ fn site_hash(site: &str) -> u64 {
 struct SiteRates {
     error: u32,
     panic: u32,
+    delay: u32,
+    delay_ms: u64,
+}
+
+impl SiteRates {
+    const ZERO: SiteRates = SiteRates { error: 0, panic: 0, delay: 0, delay_ms: 0 };
 }
 
 /// A reproducible chaos schedule: a master seed plus per-site fault
@@ -87,11 +93,21 @@ impl ChaosPlan {
         self
     }
 
+    /// Sets the injected-*delay* rate (basis points per pass) and the
+    /// sleep duration for `site`. Models slow I/O on the wire: the pass
+    /// still succeeds, it just takes `ms` longer.
+    pub fn delay(mut self, site: &str, rate_bp: u32, ms: u64) -> Self {
+        let entry = self.entry(site);
+        entry.delay = rate_bp;
+        entry.delay_ms = ms;
+        self
+    }
+
     fn entry(&mut self, site: &str) -> &mut SiteRates {
         if let Some(i) = self.sites.iter().position(|(s, _)| s == site) {
             return &mut self.sites[i].1;
         }
-        self.sites.push((site.to_string(), SiteRates { error: 0, panic: 0 }));
+        self.sites.push((site.to_string(), SiteRates::ZERO));
         let last = self.sites.len() - 1;
         &mut self.sites[last].1
     }
@@ -113,7 +129,13 @@ impl ChaosPlan {
             };
             failpoint::arm(
                 site,
-                FailAction::Chaos { seed, error_rate: rates.error, panic_rate: rates.panic },
+                FailAction::Chaos {
+                    seed,
+                    error_rate: rates.error,
+                    panic_rate: rates.panic,
+                    delay_rate: rates.delay,
+                    delay_ms: rates.delay_ms,
+                },
             );
         }
     }
@@ -145,6 +167,22 @@ impl ChaosPlan {
             .error("cache.pref.shard", 100)
             .error("snapshot.update", 200)
             .panic("exec.pool.spawn", 80)
+    }
+
+    /// A network-layer schedule for the wire-protocol soak: low-rate read
+    /// and write errors (the server aborts the offending connection with
+    /// a typed error or a hang-up the client surfaces as `Io`), a trickle
+    /// of torn writes (partial frame then disconnect), and delayed reads
+    /// that model slow clients pressing against the server's deadlines.
+    /// Compose with [`ChaosPlan::serving_default`]-style sites by
+    /// chaining more builder calls on the returned plan.
+    pub fn wire_default(seed: u64) -> Self {
+        ChaosPlan::new(seed)
+            .error("net.read", 150)
+            .error("net.write", 150)
+            .error("net.write.short", 100)
+            .delay("net.read", 200, 5)
+            .delay("net.write", 100, 5)
     }
 }
 
@@ -196,6 +234,35 @@ mod tests {
         }
         assert!(errors > 0, "error share fires");
         assert!(panics > 0, "panic share fires");
+    }
+
+    #[test]
+    fn delay_share_composes_with_errors() {
+        let plan = ChaosPlan::new(4).error("t.wire", 2000).delay("t.wire", 8000, 1);
+        assert_eq!(plan.sites().count(), 1, "error+delay on one site share an entry");
+        let _s = FailScenario::setup();
+        plan.arm();
+        let mut errors = 0;
+        let start = std::time::Instant::now();
+        for _ in 0..64 {
+            if failpoint::check("t.wire").is_err() {
+                errors += 1;
+            }
+        }
+        assert!(errors > 0, "error share fires");
+        assert!(
+            start.elapsed() >= std::time::Duration::from_millis(10),
+            "~80% delay share slept a measurable amount across 64 passes"
+        );
+    }
+
+    #[test]
+    fn wire_default_covers_network_sites() {
+        let plan = ChaosPlan::wire_default(1);
+        let sites: Vec<&str> = plan.sites().collect();
+        for expected in ["net.read", "net.write", "net.write.short"] {
+            assert!(sites.contains(&expected), "missing {expected}");
+        }
     }
 
     #[test]

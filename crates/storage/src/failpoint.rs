@@ -31,6 +31,9 @@
 //! | `cache.plan.shard`    | plan-cache shard ops, checked under the shard lock (error → forced miss / dropped insert) |
 //! | `cache.pref.shard`    | preference-cache shard ops, same contract   |
 //! | `admission.queue`     | admission-permit wait in `qp_core::admission` |
+//! | `net.read`            | `qp-server` before reading a frame from a connection (error → connection aborted; delay → slow client read) |
+//! | `net.write`           | `qp-server` before writing a response frame (error → connection aborted before any bytes) |
+//! | `net.write.short`     | `qp-server` torn-write site: an injected error makes the server write a partial frame and sever the connection |
 
 /// What an armed failpoint does when its site is passed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,13 +49,22 @@ pub enum FailAction {
         /// Injected failure message.
         message: String,
     },
+    /// Fail the first `times` passes, then pass forever: the shape of a
+    /// *transient* fault, which a retry loop is expected to absorb.
+    ErrorTimes {
+        /// Number of leading passes that fail before the site heals.
+        times: u64,
+        /// Injected failure message.
+        message: String,
+    },
     /// Panic with this message. Exercises the panic-isolation paths
     /// (`parallel_map`'s `catch_unwind`, the caches' poison recovery).
     Panic(String),
     /// Seeded stochastic fault: on each pass an xorshift stream derived
     /// from `seed` decides (deterministically, in pass order) whether to
-    /// fail, panic, or continue. Rates are per-10 000 so integer-only
-    /// configs stay exact; `error_rate` is evaluated first.
+    /// fail, panic, delay, or continue. Rates are per-10 000 so
+    /// integer-only configs stay exact; `error_rate` is evaluated first,
+    /// then `panic_rate`, then `delay_rate`.
     Chaos {
         /// Seed of the per-site random stream (must be non-zero to
         /// produce faults; 0 disables the stream).
@@ -62,6 +74,13 @@ pub enum FailAction {
         /// Probability of panicking, in basis points, evaluated on the
         /// passes that did not error.
         panic_rate: u32,
+        /// Probability of sleeping for `delay_ms`, in basis points,
+        /// evaluated on the passes that neither errored nor panicked.
+        /// Models slow I/O (stalled reads, congested writes) on the
+        /// network sites.
+        delay_rate: u32,
+        /// Sleep duration for delay faults, in milliseconds.
+        delay_ms: u64,
     },
 }
 
@@ -111,7 +130,13 @@ mod imp {
                             }
                             FailAction::Error(message.clone())
                         }
-                        FailAction::Chaos { error_rate, panic_rate, .. } => {
+                        FailAction::ErrorTimes { times, message } => {
+                            if armed.passes > *times {
+                                return Ok(());
+                            }
+                            FailAction::Error(message.clone())
+                        }
+                        FailAction::Chaos { error_rate, panic_rate, delay_rate, delay_ms, .. } => {
                             if armed.rng == 0 {
                                 return Ok(());
                             }
@@ -130,6 +155,8 @@ mod imp {
                                 FailAction::Error(format!("chaos@{site}#{pass}"))
                             } else if roll < u64::from(*error_rate + *panic_rate) {
                                 FailAction::Panic(format!("chaos@{site}#{pass}"))
+                            } else if roll < u64::from(*error_rate + *panic_rate + *delay_rate) {
+                                FailAction::Delay(*delay_ms)
                             } else {
                                 return Ok(());
                             }
@@ -148,7 +175,9 @@ mod imp {
             // Deliberately outside the registry lock, so a panicking site
             // never wedges the registry itself.
             FailAction::Panic(msg) => std::panic::panic_any(msg),
-            FailAction::ErrorAfter { .. } | FailAction::Chaos { .. } => {
+            FailAction::ErrorAfter { .. }
+            | FailAction::ErrorTimes { .. }
+            | FailAction::Chaos { .. } => {
                 unreachable!("rewritten above")
             }
         }
@@ -303,7 +332,10 @@ mod tests {
     fn chaos_stream_is_deterministic_per_seed() {
         let run = |seed: u64| {
             let _s = FailScenario::setup();
-            arm("t.chaos", FailAction::Chaos { seed, error_rate: 3000, panic_rate: 0 });
+            arm(
+                "t.chaos",
+                FailAction::Chaos { seed, error_rate: 3000, panic_rate: 0, delay_rate: 0, delay_ms: 0 },
+            );
             (0..64).map(|_| check("t.chaos").is_err()).collect::<Vec<bool>>()
         };
         let a = run(42);
@@ -314,9 +346,34 @@ mod tests {
     }
 
     #[test]
+    fn error_times_fails_then_heals() {
+        let _s = FailScenario::setup();
+        arm("t.times", FailAction::ErrorTimes { times: 2, message: "flaky".into() });
+        assert_eq!(check("t.times"), Err("flaky".to_string()));
+        assert_eq!(check("t.times"), Err("flaky".to_string()));
+        assert_eq!(check("t.times"), Ok(()));
+        assert_eq!(check("t.times"), Ok(()));
+    }
+
+    #[test]
+    fn chaos_delay_share_sleeps() {
+        let _s = FailScenario::setup();
+        arm(
+            "t.delay",
+            FailAction::Chaos { seed: 11, error_rate: 0, panic_rate: 0, delay_rate: 10_000, delay_ms: 2 },
+        );
+        let start = std::time::Instant::now();
+        assert_eq!(check("t.delay"), Ok(()), "delay faults still pass");
+        assert!(start.elapsed() >= std::time::Duration::from_millis(2), "the pass slept");
+    }
+
+    #[test]
     fn chaos_zero_seed_is_inert() {
         let _s = FailScenario::setup();
-        arm("t.chaos0", FailAction::Chaos { seed: 0, error_rate: 10_000, panic_rate: 0 });
+        arm(
+            "t.chaos0",
+            FailAction::Chaos { seed: 0, error_rate: 10_000, panic_rate: 0, delay_rate: 0, delay_ms: 0 },
+        );
         for _ in 0..16 {
             assert_eq!(check("t.chaos0"), Ok(()));
         }

@@ -59,6 +59,23 @@ fi
 echo "==> cargo test (chaos soak, failpoints + QP_PARALLELISM=4)"
 QP_PARALLELISM=4 cargo test -q -p qp-core --features failpoints --test chaos_soak
 
+# Wire-serving leg: build the server and client crates, run the
+# server integration suite (failpoints arm the panic-isolation and
+# network-chaos soak tests; failpoint registries are process-global, so
+# this binary must run single-threaded), then smoke the load generator
+# end to end at a tiny scale — an in-process qp-server, 30 users
+# registering over the wire, steady + chaos legs.
+echo "==> cargo build (qp-server, qp-client)"
+cargo build --release -p qp-server -p qp-client
+echo "==> cargo test (server integration, failpoints)"
+cargo test -q --features failpoints --test server_integration -- --test-threads=1
+echo "==> bench-serving smoke (small scale)"
+cargo build --release -p qp-bench --features failpoints
+repro_fp_bin="$PWD/target/release/repro"
+serving_tmp="$(mktemp -d)"
+(cd "$serving_tmp" && "$repro_fp_bin" --bench-serving --scale small --runs 1 --users 30 >/dev/null)
+rm -rf "$serving_tmp"
+
 # Forced-open breaker: every serving test must still pass when the
 # circuit breaker is pinned open — personalizers without a resilience
 # bundle are unaffected, and those with one keep serving degraded
@@ -69,7 +86,8 @@ QP_BREAKER_FORCE_OPEN=1 cargo test -q --test serving --test resilience
 # First-party crates only: the vendored offline shims (vendor/*) are API
 # stand-ins and are not held to the documentation gate.
 FIRST_PARTY=(-p personalized-queries -p qp-storage -p qp-obs -p qp-sql
-             -p qp-exec -p qp-core -p qp-datagen -p qp-bench)
+             -p qp-exec -p qp-core -p qp-datagen -p qp-bench
+             -p qp-client -p qp-server)
 
 echo "==> cargo doc -D warnings (first-party crates)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q "${FIRST_PARTY[@]}"

@@ -1,0 +1,483 @@
+//! Wire-level lifecycle tests for `qp-server`, driven through
+//! `qp-client` and raw TCP streams via the `qp_server::testsupport`
+//! fixture.
+//!
+//! The tests in the root module need no fault injection and run under
+//! plain `cargo test`. The `chaos` module arms failpoints and only
+//! compiles with `--features failpoints`; run it single-threaded
+//! (`-- --test-threads=1`) because failpoint sites are process-global
+//! and the plain tests here would otherwise observe armed sites.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use qp_client::{wire, Client, ErrorCode, Json, PersonalizeCall, Response};
+use qp_server::testsupport::{als_profile_dsl, quick_config, wait_for, TestServer};
+use qp_server::{assert_server_error, ServerConfig};
+
+/// Reads one response frame off a raw stream.
+fn read_response(raw: &mut std::net::TcpStream) -> Response {
+    raw.set_read_timeout(Some(Duration::from_secs(5))).expect("set timeout");
+    let frame = wire::read_frame(raw, wire::DEFAULT_MAX_FRAME).expect("response frame");
+    Response::from_json(&frame).expect("well-formed response")
+}
+
+/// Asserts the server closed the stream: the next read yields EOF (or a
+/// reset) rather than data.
+fn assert_stream_closed(raw: &mut std::net::TcpStream) {
+    raw.set_read_timeout(Some(Duration::from_secs(5))).expect("set timeout");
+    let mut buf = [0u8; 1];
+    match raw.read(&mut buf) {
+        Ok(0) => {}
+        Ok(_) => panic!("expected the server to close the connection, got more data"),
+        Err(e) => assert!(
+            !matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut),
+            "expected close, got timeout: {e}"
+        ),
+    }
+}
+
+#[test]
+fn clean_request_response_roundtrip() {
+    let mut ts = TestServer::spawn();
+    let mut client = ts.client();
+    client.ping().expect("ping");
+
+    let dsl = als_profile_dsl(&ts.store().snapshot());
+    let preferences = client.register_profile("al", &dsl).expect("register profile");
+    assert!(preferences > 0, "Al's profile has preferences");
+
+    let answer = client
+        .personalize(PersonalizeCall::new("al", "select title from MOVIE").k(4).l(1))
+        .expect("personalize");
+    assert_eq!(answer.columns, vec!["title".to_string()]);
+    assert!(!answer.tuples.is_empty(), "personalized answer has tuples");
+    assert!(
+        answer.tuples.windows(2).all(|w| w[0].doi >= w[1].doi),
+        "tuples arrive best-first"
+    );
+    assert!(answer.tuples.iter().all(|t| matches!(t.row[0], Json::Str(_))));
+
+    let stats = client.stats().expect("stats");
+    let responses = stats
+        .iter()
+        .find(|(name, _)| name == "server.responses")
+        .and_then(|(_, v)| v.as_u64())
+        .expect("server.responses counter");
+    assert!(responses >= 3, "ping + register + personalize all counted: {responses}");
+
+    ts.shutdown();
+}
+
+#[test]
+fn typed_request_errors_keep_the_connection_usable() {
+    let mut ts = TestServer::spawn();
+    let mut client = ts.client();
+
+    assert_server_error!(
+        client.personalize(PersonalizeCall::new("nobody", "select title from MOVIE")),
+        ErrorCode::UnknownUser
+    );
+    assert_server_error!(
+        client.register_profile("al", "doi(NOPE.not_a_column = 'x') = (0.5, 0)"),
+        ErrorCode::BadRequest
+    );
+    let dsl = als_profile_dsl(&ts.store().snapshot());
+    client.register_profile("al", &dsl).expect("register after errors");
+    assert_server_error!(
+        client.personalize(
+            PersonalizeCall::new("al", "select title from MOVIE").algorithm("quantum")
+        ),
+        ErrorCode::BadRequest
+    );
+    // A typed error never poisons the connection.
+    client.ping().expect("connection still usable");
+    ts.shutdown();
+}
+
+#[test]
+fn malformed_frame_poisons_only_its_connection() {
+    let mut ts = TestServer::spawn();
+    let mut raw = ts.raw_stream();
+    let garbage = b"this is not json";
+    raw.write_all(&(garbage.len() as u32).to_be_bytes()).expect("header");
+    raw.write_all(garbage).expect("payload");
+
+    match read_response(&mut raw) {
+        Response::Error(e) => {
+            assert_eq!(e.code, ErrorCode::BadFrame);
+            assert!(!e.retryable);
+        }
+        other => panic!("expected bad_frame, got {other:?}"),
+    }
+    assert_stream_closed(&mut raw);
+    assert_eq!(ts.counter("server.frames.malformed"), 1);
+
+    // Only that connection died; the server keeps serving.
+    ts.client().ping().expect("fresh connection works");
+    ts.shutdown();
+}
+
+#[test]
+fn oversized_frame_is_rejected_from_the_header_alone() {
+    let mut ts = TestServer::spawn();
+    let mut raw = ts.raw_stream();
+    // Declare a 64 MiB payload and send none of it: the rejection must
+    // come from the header, not from reading our (nonexistent) payload.
+    raw.write_all(&(64u32 * 1024 * 1024).to_be_bytes()).expect("header");
+
+    match read_response(&mut raw) {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::FrameTooLarge),
+        other => panic!("expected frame_too_large, got {other:?}"),
+    }
+    assert_stream_closed(&mut raw);
+    assert_eq!(ts.counter("server.frames.too_large"), 1);
+
+    ts.client().ping().expect("fresh connection works");
+    ts.shutdown();
+}
+
+#[test]
+fn oversized_answer_is_a_typed_error_not_an_oversized_frame() {
+    // The frame limit binds writes too: a broad personalized answer that
+    // encodes past max_frame must come back as a typed error the client
+    // can parse, never as a frame the client is entitled to refuse.
+    let mut ts = TestServer::spawn_with(ServerConfig {
+        max_frame: 2048,
+        ..quick_config()
+    });
+    let dsl = als_profile_dsl(&ts.store().snapshot());
+    let mut client = ts.client();
+    client.register_profile("al", &dsl).expect("register");
+
+    let e = assert_server_error!(
+        client.personalize(PersonalizeCall::new("al", "select title from MOVIE").k(4)),
+        ErrorCode::AnswerTooLarge
+    );
+    assert!(!e.retryable, "shrinking the answer needs a different query, not a retry");
+    assert_eq!(ts.counter("server.responses.too_large"), 1);
+
+    // The connection stays usable, and a narrow answer still fits.
+    client.ping().expect("connection survives the oversized answer");
+    let answer = client
+        .personalize(PersonalizeCall::new("al", "select M.title from MOVIE M where M.mid = 1"))
+        .expect("narrow answer fits the frame limit");
+    assert!(answer.tuples.len() <= 1);
+    ts.shutdown();
+}
+
+#[test]
+fn client_disconnect_mid_frame_leaves_the_server_up() {
+    let mut ts = TestServer::spawn();
+    {
+        let mut raw = ts.raw_stream();
+        // Promise 100 payload bytes, deliver 10, hang up.
+        raw.write_all(&100u32.to_be_bytes()).expect("header");
+        raw.write_all(&[b'{'; 10]).expect("partial payload");
+    } // dropped: the server sees EOF inside the frame
+
+    wait_for(Duration::from_secs(5), "torn frame to be noticed", || {
+        ts.counter("server.connections.read_errors") >= 1
+    });
+    ts.client().ping().expect("server survived the torn frame");
+    ts.shutdown();
+}
+
+#[test]
+fn stalled_client_hits_the_io_deadline() {
+    let mut ts = TestServer::spawn_with(ServerConfig {
+        io_timeout: Duration::from_millis(150),
+        ..quick_config()
+    });
+    let mut raw = ts.raw_stream();
+    // Send a header, then stall instead of the promised payload: the
+    // body read must time out under io_timeout and close the connection.
+    raw.write_all(&50u32.to_be_bytes()).expect("header");
+    assert_stream_closed(&mut raw);
+    assert!(ts.counter("server.connections.idle_closed") >= 1);
+
+    ts.client().ping().expect("server survived the stall");
+    ts.shutdown();
+}
+
+#[test]
+fn idle_connection_is_reaped() {
+    let mut ts = TestServer::spawn_with(ServerConfig {
+        idle_timeout: Duration::from_millis(120),
+        ..quick_config()
+    });
+    let mut raw = ts.raw_stream();
+    // Send nothing at all; the idle timeout reaps the connection.
+    assert_stream_closed(&mut raw);
+    wait_for(Duration::from_secs(5), "idle close to be counted", || {
+        ts.counter("server.connections.idle_closed") >= 1
+    });
+    ts.shutdown();
+}
+
+#[test]
+fn accept_queue_sheds_connections_over_the_bound() {
+    let mut ts = TestServer::spawn_with(ServerConfig {
+        max_connections: 1,
+        ..quick_config()
+    });
+    let mut first = ts.client();
+    first.ping().expect("first connection admitted");
+
+    let mut second = ts.client();
+    let e = assert_server_error!(second.ping(), ErrorCode::Overloaded);
+    assert!(e.retryable, "connection-level shed is retryable");
+    assert_eq!(ts.counter("server.connections.shed"), 1);
+
+    // The admitted connection is unaffected, and closing it frees the slot.
+    first.ping().expect("first connection still fine");
+    drop(first);
+    wait_for(Duration::from_secs(5), "slot to free", || ts.server().open_connections() == 0);
+    ts.client().ping().expect("slot freed after disconnect");
+    ts.shutdown();
+}
+
+#[test]
+fn admission_sheds_before_parsing_the_request() {
+    // max_inflight 0: every frame is shed. The proof that shedding
+    // happens pre-parse: a frame whose JSON would be a bad_request still
+    // comes back overloaded.
+    let mut ts = TestServer::spawn_with(ServerConfig {
+        admission: qp_core::AdmissionConfig {
+            max_inflight: 0,
+            max_queue_wait: Duration::ZERO,
+        },
+        ..quick_config()
+    });
+    let mut raw = ts.raw_stream();
+    let junk_op = "{\"op\":\"no_such_operation\"}";
+    raw.write_all(&(junk_op.len() as u32).to_be_bytes()).expect("header");
+    raw.write_all(junk_op.as_bytes()).expect("payload");
+    match read_response(&mut raw) {
+        Response::Error(e) => {
+            assert_eq!(e.code, ErrorCode::Overloaded, "shed before parse, not bad_request");
+            assert!(e.retryable);
+        }
+        other => panic!("expected overloaded, got {other:?}"),
+    }
+
+    // The shed did not poison the connection: the next frame gets its
+    // own (also shed) answer on the same stream.
+    let mut client = ts.client();
+    assert_server_error!(client.ping(), ErrorCode::Overloaded);
+    assert!(ts.counter("server.shed") >= 2);
+    ts.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let mut ts = TestServer::spawn();
+    let addr = ts.addr();
+    let dsl = als_profile_dsl(&ts.store().snapshot());
+    ts.client().register_profile("al", &dsl).expect("register");
+
+    let workers: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                // The timeout also bounds each response read; three
+                // concurrent full scans on a loaded single-CPU host
+                // (check.sh runs this under QP_PARALLELISM=4) can hold
+                // a response well past a casual deadline, and a worker
+                // that gives up early reads as a failed drain here.
+                let mut client =
+                    Client::connect(addr, Duration::from_secs(60)).expect("connect");
+                let mut completed = 0usize;
+                for _ in 0..50 {
+                    match client
+                        .personalize(PersonalizeCall::new("al", "select title from MOVIE").k(3))
+                    {
+                        Ok(answer) => {
+                            assert!(!answer.columns.is_empty());
+                            completed += 1;
+                        }
+                        // Once the drain begins, either a typed
+                        // shutting_down error or a severed socket is
+                        // sanctioned; anything else is a bug.
+                        Err(qp_client::ClientError::Server(e)) => {
+                            assert_eq!(e.code, ErrorCode::ShuttingDown, "unexpected: {e}");
+                            break;
+                        }
+                        Err(qp_client::ClientError::Io(_))
+                        | Err(qp_client::ClientError::Protocol(_)) => break,
+                    }
+                }
+                completed
+            })
+        })
+        .collect();
+
+    // Gate on a *worker* personalize having completed, not merely on
+    // `in_flight > 0`: a request stays on the in-flight counter until
+    // its response bytes are written, so the register call above can
+    // leave a stale nonzero reading after its client already returned —
+    // shutting down on that signal alone can beat the workers out of
+    // the accept backlog and RST all of them before any is served.
+    wait_for(Duration::from_secs(5), "worker traffic to be in flight", || {
+        ts.counter("server.requests.personalize") >= 1 && ts.server().in_flight() > 0
+    });
+    let report = ts.shutdown();
+    assert_eq!(report.aborted, 0, "the drain window covers in-flight requests");
+
+    let completed: usize = workers.into_iter().map(|w| w.join().expect("no panic")).sum();
+    assert!(completed > 0, "no worker answer survived the drain");
+}
+
+/// Fault-injected lifecycle tests. Compiled only with `--features
+/// failpoints`; run single-threaded so the process-global failpoint
+/// registry cannot leak armed sites into the plain tests above.
+#[cfg(feature = "failpoints")]
+mod chaos {
+    use super::*;
+    use qp_client::ClientError;
+    use qp_server::assert_connection_broken;
+    use qp_storage::failpoint::{self, FailAction, FailScenario};
+    use qp_storage::ChaosPlan;
+
+    #[test]
+    fn panicking_handler_is_isolated_to_its_connection() {
+        let _scenario = FailScenario::setup();
+        let mut ts = TestServer::spawn();
+        let dsl = als_profile_dsl(&ts.store().snapshot());
+        let mut client = ts.client();
+        client.register_profile("al", &dsl).expect("register");
+
+        failpoint::arm("spa.execute", FailAction::Panic("injected handler panic".into()));
+        let e = assert_server_error!(
+            client.personalize(
+                PersonalizeCall::new("al", "select title from MOVIE").algorithm("spa")
+            ),
+            ErrorCode::Internal
+        );
+        assert!(e.message.contains("injected handler panic"));
+        // The panicking connection is closed...
+        assert_connection_broken!(client.ping());
+        assert_eq!(ts.counter("server.panics"), 1);
+
+        // ...but the server did not die with it.
+        failpoint::clear();
+        let mut fresh = ts.client();
+        fresh.ping().expect("server survived the panic");
+        fresh
+            .personalize(PersonalizeCall::new("al", "select title from MOVIE").algorithm("spa"))
+            .expect("and still serves answers");
+        ts.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_a_deliberately_slow_request() {
+        let _scenario = FailScenario::setup();
+        let mut ts = TestServer::spawn();
+        let addr = ts.addr();
+        let dsl = als_profile_dsl(&ts.store().snapshot());
+        ts.client().register_profile("al", &dsl).expect("register");
+
+        // Every scan sleeps 300 ms: the request is guaranteed to still
+        // be in flight when shutdown starts, and guaranteed to finish
+        // inside the 2 s drain window.
+        failpoint::arm("exec.scan", FailAction::Delay(300));
+        let worker = std::thread::spawn(move || {
+            let mut client = Client::connect(addr, Duration::from_secs(10)).expect("connect");
+            client.personalize(PersonalizeCall::new("al", "select title from MOVIE").k(2))
+        });
+        wait_for(Duration::from_secs(5), "slow request to be in flight", || {
+            ts.server().in_flight() > 0
+        });
+        let report = ts.shutdown();
+        assert!(report.drained >= 1, "the in-flight request drained: {report:?}");
+        assert_eq!(report.aborted, 0);
+        worker.join().expect("no panic").expect("drained request completed normally");
+    }
+
+    #[test]
+    fn network_chaos_soak_terminates_in_sanctioned_states() {
+        let _scenario = FailScenario::setup();
+        let mut ts = TestServer::spawn_with(ServerConfig {
+            io_timeout: Duration::from_secs(1),
+            ..quick_config()
+        });
+        let addr = ts.addr();
+        let dsl = als_profile_dsl(&ts.store().snapshot());
+        ts.client().register_profile("al", &dsl).expect("register");
+
+        // Wire faults (read/write aborts, torn writes, delays) plus the
+        // engine-level serving schedule, all from fixed seeds.
+        ChaosPlan::wire_default(0xC0FFEE).arm();
+        ChaosPlan::serving_default(7).arm();
+
+        let workers: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut ok = 0usize;
+                    let mut typed = 0usize;
+                    let mut severed = 0usize;
+                    let mut client: Option<Client> = None;
+                    for i in 0..40 {
+                        if client.is_none() {
+                            match Client::connect(addr, Duration::from_secs(5)) {
+                                Ok(c) => client = Some(c),
+                                Err(_) => {
+                                    severed += 1;
+                                    continue;
+                                }
+                            }
+                        }
+                        let c = client.as_mut().expect("connected above");
+                        let algorithm = if (t + i) % 2 == 0 { "ppa" } else { "spa" };
+                        match c.personalize(
+                            PersonalizeCall::new("al", "select title from MOVIE")
+                                .k(3)
+                                .algorithm(algorithm),
+                        ) {
+                            Ok(answer) => {
+                                assert!(!answer.columns.is_empty());
+                                ok += 1;
+                            }
+                            Err(ClientError::Server(e)) => {
+                                // Typed errors are sanctioned; a panic
+                                // leaking out of a handler is not.
+                                assert_ne!(
+                                    e.code,
+                                    ErrorCode::Internal,
+                                    "handler panicked under chaos: {e}"
+                                );
+                                typed += 1;
+                            }
+                            Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => {
+                                // Chaos severed the connection (read
+                                // abort, torn write); reconnect.
+                                severed += 1;
+                                client = None;
+                            }
+                        }
+                    }
+                    (ok, typed, severed)
+                })
+            })
+            .collect();
+
+        let mut total_ok = 0;
+        let mut total_severed = 0;
+        for w in workers {
+            let (ok, _typed, severed) = w.join().expect("no panic escaped a client thread");
+            total_ok += ok;
+            total_severed += severed;
+        }
+        assert!(total_ok > 0, "some requests completed under chaos");
+        assert!(total_severed > 0, "the wire chaos actually fired");
+        assert_eq!(ts.counter("server.panics"), 0, "no handler panics under error chaos");
+
+        // Disarm and verify the server is fully healthy.
+        failpoint::clear();
+        let mut fresh = ts.client();
+        fresh.ping().expect("server alive after the soak");
+        fresh
+            .personalize(PersonalizeCall::new("al", "select title from MOVIE").k(3))
+            .expect("clean answers after the soak");
+        ts.shutdown();
+    }
+}
