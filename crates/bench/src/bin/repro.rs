@@ -828,12 +828,25 @@ fn bench_parallel(db: &Database, runs: usize) {
         })
     };
     let (serial_out, serial) = exec_run(1);
+    // Scheduling counters for the parallel leg: the pool keeps
+    // process-global morsel/steal totals, so the delta around the run is
+    // exactly what this workload dispatched (the serial leg contributes
+    // nothing — parallelism 1 never touches the pool).
+    let pool_before = qp_exec::pool::totals();
     let (parallel_out, parallel) = exec_run(workers);
+    let pool_after = qp_exec::pool::totals();
+    let (morsels, steals) =
+        (pool_after.morsels - pool_before.morsels, pool_after.steals - pool_before.steals);
     assert_eq!(
         serial_out.report.answer, parallel_out.report.answer,
         "parallel PPA must not change the ranked answer"
     );
     let parallel_speedup = serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9);
+    println!(
+        "parallel leg scheduling: {morsels} morsels dispatched, {steals} stolen \
+         ({:.1}% rebalanced)",
+        if morsels == 0 { 0.0 } else { steals as f64 * 100.0 / morsels as f64 }
+    );
 
     // --- index point lookup ---------------------------------------------
     // The access path repeated point queries ride on: `mid = k` is served
@@ -912,7 +925,7 @@ fn bench_parallel(db: &Database, runs: usize) {
 
     let json = format!(
         "{{\n  \"workload\": {{\"movies\": {}, \"preferences\": 50, \"k\": 20, \"l\": 1, \"runs\": {runs}, \"cpus\": {cpus}}},\n  \
-           \"parallel_ppa\": {{\"workers\": {workers}, \"serial_ms\": {}, \"parallel_ms\": {}, \"speedup\": {:.3}}},\n  \
+           \"parallel_ppa\": {{\"workers\": {workers}, \"serial_ms\": {}, \"parallel_ms\": {}, \"speedup\": {:.3}, \"morsels\": {morsels}, \"steals\": {steals}}},\n  \
            \"point_lookup\": {{\"range_scan_ms\": {}, \"index_probe_ms\": {}, \"speedup\": {:.3}}},\n  \
            \"cache_reuse\": {{\"cold_ms\": {}, \"warm_ms\": {}, \"speedup\": {:.3}, \"plan_hits\": {}, \"pref_hits\": {}}}\n}}\n",
         db.table_by_name("MOVIE").map_or(0, |t| t.len()),

@@ -31,21 +31,27 @@
 //! not having been returned by it. We use the corrected bound (all
 //! absence preferences) so emission order provably respects rank.
 //!
-//! **Parallelism.** Per-tuple probes within a round are independent, so
-//! when the engine's parallelism allows, each round collects its fresh
-//! tuples serially (the dedup against `seen` is order-sensitive), splits
-//! them into contiguous chunks, and fans the chunks out over
-//! [`qp_exec::parallel_map`]'s scoped worker threads under a
-//! `ppa.parallel_round` span. On the row path each worker clones the
-//! prepared probes once and rebinds them in place per tuple; on the
-//! vectorized path workers share the materialized preference results
-//! read-only. Workers share the engine, database
-//! and guard immutably and return their results in input order, so a
-//! parallel round buffers exactly what a serial one would — answers are
-//! byte-identical. On a guard trip or fault the whole round's batch is
-//! discarded; every tuple of that round is bounded by the round's MEDI,
-//! which is also the cut's final emission bound, so the degraded answer
-//! still emits nothing it cannot prove the rank of.
+//! **Parallelism.** Two layers of a round are independent work. First,
+//! each preference query's one-time materialization (`PrefResult`) is
+//! an independent unit — the round's missing materializations fan out
+//! over [`qp_exec::morsel_map`]'s work-stealing workers and are folded
+//! back in worklist order, so accounting and any surfaced error match
+//! the serial loop's. Second, per-tuple probes within a round are
+//! independent: each round collects its fresh tuples serially (the
+//! dedup against `seen` is order-sensitive), slices them into
+//! `PROBE_CHUNK`-sized (256-tuple) items, and schedules the items as morsels
+//! under a `ppa.parallel_round` span — a skewed round rebalances by
+//! stealing instead of serializing behind the slowest contiguous chunk.
+//! On the row path each worker clones the prepared probes once
+//! ([`qp_exec::morsel_map_with`]'s per-worker state) and rebinds them in
+//! place per tuple; on the vectorized path workers share the
+//! materialized preference results read-only. Workers share the engine,
+//! database and guard immutably and return their results in input
+//! order, so a parallel round buffers exactly what a serial one would —
+//! answers are byte-identical. On a guard trip or fault the whole
+//! round's batch is discarded; every tuple of that round is bounded by
+//! the round's MEDI, which is also the cut's final emission bound, so
+//! the degraded answer still emits nothing it cannot prove the rank of.
 //!
 //! **Batched probes.** On the vectorized engine the per-tuple probe
 //! executions disappear entirely: the first round that needs to probe a
@@ -67,7 +73,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qp_exec::planner::CompiledQuery;
-use qp_exec::{parallel_map, Engine, ExecError, ExecStats, QueryGuard};
+use qp_exec::{morsel_map, morsel_map_with, Engine, ExecError, ExecStats, QueryGuard};
 use qp_sql::{builder, Query, Select, SelectItem, TableRef};
 use qp_storage::{Database, RelId, Row};
 
@@ -177,41 +183,59 @@ struct Probed {
     stats: ExecStats,
 }
 
-/// Splits `items` into at most `workers` contiguous chunks whose sizes
-/// differ by at most one. Chunk order equals input order, so flattening
-/// the per-chunk results reproduces the serial processing order exactly.
-fn chunked<T>(items: Vec<T>, workers: usize) -> Vec<Vec<T>> {
+/// Fresh tuples per probe work item. Rounds slice their fresh tuples
+/// into items of this size before handing them to the morsel scheduler
+/// (which groups 1–4 items per morsel), so the steal granularity stays
+/// fine enough to rebalance a skewed round.
+const PROBE_CHUNK: usize = 256;
+
+/// Splits `items` into consecutive chunks of at most [`PROBE_CHUNK`]
+/// elements. Chunk order equals input order, so flattening the
+/// per-chunk results reproduces the serial processing order exactly.
+fn chunked<T>(items: Vec<T>) -> Vec<Vec<T>> {
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = workers.clamp(1, n);
-    let base = n / workers;
-    let extra = n % workers;
     let mut iter = items.into_iter();
-    (0..workers).map(|w| iter.by_ref().take(base + usize::from(w < extra)).collect()).collect()
+    (0..n.div_ceil(PROBE_CHUNK))
+        .map(|_| iter.by_ref().take(PROBE_CHUNK).collect())
+        .collect()
+}
+
+/// One worker's private clones of the prepared probe queries, rebound in
+/// place per tuple: `(presence probes, absence probes)`.
+type LocalProbes = (Vec<(usize, CompiledQuery, f64)>, Vec<(usize, CompiledQuery, f64)>);
+
+/// Clones the pristine prepared probes (compiled with the placeholder
+/// row id 0) for one worker — the per-worker `init` of the row path's
+/// probe fan-out, so plans are cloned once per *worker*, not per chunk
+/// or per tuple.
+fn clone_probes(
+    s_probe: &[(usize, &CompiledQuery, f64)],
+    a_probe: &[(usize, &CompiledQuery, f64)],
+) -> LocalProbes {
+    (
+        s_probe.iter().map(|(p, q, d)| (*p, (*q).clone(), *d)).collect(),
+        a_probe.iter().map(|(p, q, d)| (*p, (*q).clone(), *d)).collect(),
+    )
 }
 
 /// Evaluates the remaining parameterized queries for one chunk of fresh
-/// tuples. The chunk clones each pristine prepared probe (compiled with
-/// the placeholder row id 0) exactly once and then rebinds it in place
-/// per tuple — one plan clone per probe per *worker*, not per tuple, so
-/// the per-tuple cost is running the probe, nothing else. The guard is
-/// shared — across threads its budget atomics stay global, so a parallel
-/// round cannot out-spend a serial one.
+/// tuples, rebinding the worker's private probe clones (`probes`, built
+/// by [`clone_probes`]) in place per tuple — the per-tuple cost is
+/// running the probe, nothing else. The guard is shared — across
+/// threads its budget atomics stay global, so a parallel round cannot
+/// out-spend a serial one.
 fn probe_chunk(
     engine: &Engine,
     db: &Database,
     guard: &QueryGuard,
     first_rel: RelId,
     chunk: Vec<(u64, f64)>,
-    s_probe: &[(usize, &CompiledQuery, f64)],
-    a_probe: &[(usize, &CompiledQuery, f64)],
+    probes: &mut LocalProbes,
 ) -> Result<Vec<(u64, f64, Probed)>, ExecError> {
-    let mut s_local: Vec<(usize, CompiledQuery, f64)> =
-        s_probe.iter().map(|(p, q, d)| (*p, (*q).clone(), *d)).collect();
-    let mut a_local: Vec<(usize, CompiledQuery, f64)> =
-        a_probe.iter().map(|(p, q, d)| (*p, (*q).clone(), *d)).collect();
+    let (s_local, a_local) = probes;
     let mut out = Vec::with_capacity(chunk.len());
     for (tid, degree) in chunk {
         let mut probed = Probed {
@@ -290,6 +314,40 @@ fn materialize_pref(
         }
     }
     Ok(PrefResult { rows, index })
+}
+
+/// Materializes every not-yet-built preference result named by `missing`
+/// (a `(preference index, query, NULL default)` worklist in the order the
+/// serial loop would execute it) and stores them into `pref_results`.
+/// Each [`PrefResult`] is an independent unit, so the worklist fans out
+/// over the engine's morsel workers; successes are folded back in
+/// worklist order so the per-query accounting matches the serial loop's,
+/// and on failure the lowest-worklist-index error is returned — the same
+/// error serial execution would have surfaced first.
+fn materialize_missing(
+    engine: &Engine,
+    db: &Database,
+    guard: &QueryGuard,
+    missing: Vec<(usize, &Select, f64)>,
+    pref_results: &mut [Option<Arc<PrefResult>>],
+    stats: &mut PpaStats,
+    estats: &mut ExecStats,
+) -> Result<(), ExecError> {
+    if missing.is_empty() {
+        return Ok(());
+    }
+    let workers = engine.parallelism().min(missing.len());
+    let (built, pstats) = morsel_map(missing, workers, |_, (p, select, default)| {
+        let mut st = ExecStats::default();
+        materialize_pref(engine, db, guard, select, default, &mut st).map(|r| (p, r, st))
+    });
+    engine.note_pool(pstats);
+    for (p, r, st) in built? {
+        estats.merge(&st);
+        stats.parameterized_queries += 1;
+        pref_results[p] = Some(Arc::new(r));
+    }
+    Ok(())
 }
 
 /// Probes one chunk of fresh tuples against materialized preference
@@ -739,30 +797,37 @@ pub fn ppa_guarded(
         let mut s_probe_c: Vec<(usize, Arc<PrefResult>)> = Vec::new();
         let mut a_probe_c: Vec<(usize, Arc<PrefResult>)> = Vec::new();
         if probes_batched && !fresh.is_empty() {
-            let mut build = || -> Result<(), ExecError> {
-                for (sj, &p) in s_order.iter().enumerate().skip(si + 1) {
-                    if pref_results[p].is_none() {
-                        let r =
-                            materialize_pref(engine, db, guard, &s_queries[sj], d_plus(p), &mut estats)?;
-                        stats.parameterized_queries += 1;
-                        pref_results[p] = Some(Arc::new(r));
-                    }
-                    s_probe_c.push((p, Arc::clone(pref_results[p].as_ref().expect("materialized"))));
+            // Worklist of missing materializations in serial execution
+            // order; each is an independent full query, so they fan out
+            // over the morsel workers.
+            let mut missing: Vec<(usize, &Select, f64)> = Vec::new();
+            for (sj, &p) in s_order.iter().enumerate().skip(si + 1) {
+                if pref_results[p].is_none() {
+                    missing.push((p, &s_queries[sj], d_plus(p)));
                 }
-                for (aj, &p) in a_order.iter().enumerate() {
-                    if pref_results[p].is_none() {
-                        let r =
-                            materialize_pref(engine, db, guard, &a_queries[aj], d_minus(p), &mut estats)?;
-                        stats.parameterized_queries += 1;
-                        pref_results[p] = Some(Arc::new(r));
-                    }
-                    a_probe_c.push((p, Arc::clone(pref_results[p].as_ref().expect("materialized"))));
+            }
+            for (aj, &p) in a_order.iter().enumerate() {
+                if pref_results[p].is_none() {
+                    missing.push((p, &a_queries[aj], d_minus(p)));
                 }
-                Ok(())
-            };
-            if let Err(e) = build() {
+            }
+            if let Err(e) = materialize_missing(
+                engine,
+                db,
+                guard,
+                missing,
+                &mut pref_results,
+                &mut stats,
+                &mut estats,
+            ) {
                 cut = Some((PpaPhase::Presence(si), DegradeCause::from_exec(&e)));
                 break 'presence;
+            }
+            for &p in s_order.iter().skip(si + 1) {
+                s_probe_c.push((p, Arc::clone(pref_results[p].as_ref().expect("materialized"))));
+            }
+            for &p in &a_order {
+                a_probe_c.push((p, Arc::clone(pref_results[p].as_ref().expect("materialized"))));
             }
         }
         let workers = engine.parallelism().min(fresh.len());
@@ -775,13 +840,13 @@ pub fn ppa_guarded(
             sp
         });
         let shared: &Engine = engine;
-        let probed = if probes_batched {
-            parallel_map(chunked(fresh, workers.max(1)), workers, |_, chunk| {
+        let (probed, pstats) = if probes_batched {
+            morsel_map(chunked(fresh), workers, |_, chunk| {
                 Ok::<_, ExecError>(probe_chunk_cached(chunk, &s_probe_c, &a_probe_c))
             })
         } else {
             // later presence queries plus all absence queries, rebound per
-            // tuple
+            // tuple; each worker clones the prepared probes once
             let s_probe: Vec<(usize, &CompiledQuery, f64)> = s_order
                 .iter()
                 .enumerate()
@@ -790,10 +855,14 @@ pub fn ppa_guarded(
                 .collect();
             let a_probe: Vec<(usize, &CompiledQuery, f64)> =
                 a_order.iter().enumerate().map(|(aj, &p)| (p, &a_prepared[aj], d_minus(p))).collect();
-            parallel_map(chunked(fresh, workers.max(1)), workers, |_, chunk| {
-                probe_chunk(shared, db, guard, first_rel, chunk, &s_probe, &a_probe)
-            })
+            morsel_map_with(
+                chunked(fresh),
+                workers,
+                || clone_probes(&s_probe, &a_probe),
+                |probes, _, chunk| probe_chunk(shared, db, guard, first_rel, chunk, probes),
+            )
         };
+        shared.note_pool(pstats);
         drop(par_span);
         let probed: Vec<(u64, f64, Probed)> = match probed {
             Ok(p) => p.into_iter().flatten().collect(),
@@ -940,28 +1009,27 @@ pub fn ppa_guarded(
             // not built during the presence stage.
             let mut a_probe_c: Vec<(usize, Arc<PrefResult>)> = Vec::new();
             if probes_batched && !fresh.is_empty() {
-                let mut build = || -> Result<(), ExecError> {
-                    for (aj, &p) in a_order.iter().enumerate().skip(ai + 1) {
-                        if pref_results[p].is_none() {
-                            let r = materialize_pref(
-                                engine,
-                                db,
-                                guard,
-                                &a_queries[aj],
-                                d_minus(p),
-                                &mut estats,
-                            )?;
-                            stats.parameterized_queries += 1;
-                            pref_results[p] = Some(Arc::new(r));
-                        }
-                        a_probe_c
-                            .push((p, Arc::clone(pref_results[p].as_ref().expect("materialized"))));
+                let mut missing: Vec<(usize, &Select, f64)> = Vec::new();
+                for (aj, &p) in a_order.iter().enumerate().skip(ai + 1) {
+                    if pref_results[p].is_none() {
+                        missing.push((p, &a_queries[aj], d_minus(p)));
                     }
-                    Ok(())
-                };
-                if let Err(e) = build() {
+                }
+                if let Err(e) = materialize_missing(
+                    engine,
+                    db,
+                    guard,
+                    missing,
+                    &mut pref_results,
+                    &mut stats,
+                    &mut estats,
+                ) {
                     cut = Some((PpaPhase::Absence(ai), DegradeCause::from_exec(&e)));
                     break 'absence;
+                }
+                for &p in a_order.iter().skip(ai + 1) {
+                    a_probe_c
+                        .push((p, Arc::clone(pref_results[p].as_ref().expect("materialized"))));
                 }
             }
             let workers = engine.parallelism().min(fresh.len());
@@ -974,22 +1042,27 @@ pub fn ppa_guarded(
                 sp
             });
             let shared: &Engine = engine;
-            let probed = if probes_batched {
-                parallel_map(chunked(fresh, workers.max(1)), workers, |_, chunk| {
+            let (probed, pstats) = if probes_batched {
+                morsel_map(chunked(fresh), workers, |_, chunk| {
                     Ok::<_, ExecError>(probe_chunk_cached(chunk, &[], &a_probe_c))
                 })
             } else {
-                // remaining absence queries, rebound per tuple
+                // remaining absence queries, rebound per tuple; each
+                // worker clones the prepared probes once
                 let a_probe: Vec<(usize, &CompiledQuery, f64)> = a_order
                     .iter()
                     .enumerate()
                     .skip(ai + 1)
                     .map(|(aj, &p)| (p, &a_prepared[aj], d_minus(p)))
                     .collect();
-                parallel_map(chunked(fresh, workers.max(1)), workers, |_, chunk| {
-                    probe_chunk(shared, db, guard, first_rel, chunk, &[], &a_probe)
-                })
+                morsel_map_with(
+                    chunked(fresh),
+                    workers,
+                    || clone_probes(&[], &a_probe),
+                    |probes, _, chunk| probe_chunk(shared, db, guard, first_rel, chunk, probes),
+                )
             };
+            shared.note_pool(pstats);
             drop(par_span);
             let probed: Vec<(u64, f64, Probed)> = match probed {
                 Ok(p) => p.into_iter().flatten().collect(),

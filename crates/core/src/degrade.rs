@@ -229,7 +229,7 @@ mod tests {
             (ExecError::Cancelled, DegradeCause::Cancelled),
             (ExecError::Fault("x".into()), DegradeCause::Fault("x".into())),
             (
-                ExecError::WorkerPanic { chunk: 1, message: "boom".into() },
+                ExecError::WorkerPanic { morsel: 1, message: "boom".into() },
                 DegradeCause::WorkerPanic("boom".into()),
             ),
         ];

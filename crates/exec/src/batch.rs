@@ -419,12 +419,43 @@ fn run_batched_inner(
                     }
                 }
                 (None, None) => {
-                    for (base, chunk) in table.chunks(BATCH_CAPACITY) {
-                        let rowids: Vec<Value> = (0..chunk.len())
-                            .map(|i| Value::Int((base.0 + i as u64) as i64))
-                            .collect();
-                        let view = ScanView { rowids, rows: RowsRef::Slice(chunk) };
-                        scan_chunk(ctx, filter, width, view, &mut out, &mut scanned)?;
+                    // Full scan: each storage chunk is one batch-granular
+                    // work item. The parallel leg charges the shared
+                    // guard from the workers and merges counts into
+                    // `ExecStats` in chunk order, so the produced batches
+                    // (and stats, on success) match the serial loop's.
+                    let rows = table.len();
+                    if ctx.parallelism > 1
+                        && rows >= crate::pool::PARALLEL_THRESHOLD
+                        && rows > BATCH_CAPACITY
+                    {
+                        let guard = ctx.guard;
+                        let (parts, pstats) = crate::pool::morsel_map(
+                            table.chunks(BATCH_CAPACITY).collect::<Vec<_>>(),
+                            ctx.parallelism,
+                            |_, (base, chunk)| {
+                                let rowids: Vec<Value> = (0..chunk.len())
+                                    .map(|i| Value::Int((base.0 + i as u64) as i64))
+                                    .collect();
+                                let view = ScanView { rowids, rows: RowsRef::Slice(chunk) };
+                                scan_view_guarded(guard, filter, width, view)
+                            },
+                        );
+                        ctx.note_pool(pstats);
+                        for (b, n, live) in parts? {
+                            ctx.stats.rows_scanned += n;
+                            scanned += n;
+                            ctx.stats.rows_intermediate += live;
+                            out.extend(b);
+                        }
+                    } else {
+                        for (base, chunk) in table.chunks(BATCH_CAPACITY) {
+                            let rowids: Vec<Value> = (0..chunk.len())
+                                .map(|i| Value::Int((base.0 + i as u64) as i64))
+                                .collect();
+                            let view = ScanView { rowids, rows: RowsRef::Slice(chunk) };
+                            scan_chunk(ctx, filter, width, view, &mut out, &mut scanned)?;
+                        }
                     }
                 }
             }
@@ -436,6 +467,36 @@ fn run_batched_inner(
         Plan::Values => Ok(vec![Batch::values_row()]),
         Plan::Filter { input, predicate } => {
             let batches = run_batched_node(input, db, ctx, node + 1)?;
+            let live_rows: usize = batches.iter().map(Batch::live_count).sum();
+            // Vectorized filter: each input batch is one work item; the
+            // surviving batches reassemble in input order, so the output
+            // is identical to the serial loop's.
+            if ctx.parallelism > 1
+                && live_rows >= crate::pool::PARALLEL_THRESHOLD
+                && batches.len() > 1
+            {
+                let guard = ctx.guard;
+                let (parts, pstats) =
+                    crate::pool::morsel_map(batches, ctx.parallelism, |_, mut b| {
+                        guard.check()?;
+                        let sel = predicate.filter_view(&b, b.sel());
+                        let live = sel.len() as u64;
+                        guard.charge_intermediate(live)?;
+                        if sel.is_empty() {
+                            Ok::<_, ExecError>((None, live))
+                        } else {
+                            b.set_sel(sel);
+                            Ok((Some(b), live))
+                        }
+                    });
+                ctx.note_pool(pstats);
+                let mut out = Vec::new();
+                for (b, live) in parts? {
+                    ctx.stats.rows_intermediate += live;
+                    out.extend(b);
+                }
+                return Ok(out);
+            }
             let mut out = Vec::with_capacity(batches.len());
             for mut b in batches {
                 ctx.guard.check()?;
@@ -560,30 +621,61 @@ fn scan_chunk(
     if live_n == 0 {
         return Ok(());
     }
+    out.push(materialize_scan(&view, width, n, live.as_deref()));
+    Ok(())
+}
+
+/// Worker-side variant of [`scan_chunk`] for the parallel full scan:
+/// charges the shared guard directly (workers have no `ExecCtx`) and
+/// returns `(batch, rows scanned, rows surviving)` so the caller can
+/// merge the counts into `ExecStats` in chunk order.
+fn scan_view_guarded(
+    guard: &QueryGuard,
+    filter: Option<&PhysExpr>,
+    width: usize,
+    view: ScanView<'_>,
+) -> Result<(Option<Batch>, u64, u64), ExecError> {
+    let n = view.rows.len();
+    if n == 0 {
+        return Ok((None, 0, 0));
+    }
+    guard.check()?;
+    let live = filter.map(|p| p.filter_view(&view, None));
+    let live_n = live.as_ref().map_or(n, Vec::len);
+    guard.charge_intermediate(live_n as u64)?;
+    if live_n == 0 {
+        return Ok((None, n as u64, 0));
+    }
+    Ok((Some(materialize_scan(&view, width, n, live.as_deref())), n as u64, live_n as u64))
+}
+
+/// Densely materializes the surviving rows of a scan view into a batch.
+fn materialize_scan(view: &ScanView<'_>, width: usize, n: usize, live: Option<&[u32]>) -> Batch {
+    let live_n = live.map_or(n, <[u32]>::len);
     let mut b = Batch::with_capacity(width, live_n);
-    match &live {
+    match live {
         Some(sel) => {
             for &r in sel {
-                b.push_scan_row(&view, r as usize);
+                b.push_scan_row(view, r as usize);
             }
         }
         None => {
             for r in 0..n {
-                b.push_scan_row(&view, r);
+                b.push_scan_row(view, r);
             }
         }
     }
-    out.push(b);
-    Ok(())
+    b
 }
 
 /// Batched hash join. The build table maps key → `(batch, row)` match
-/// positions in global ascending order (parallel build partitions whole
-/// batches into contiguous chunks and merges per-chunk maps in chunk
+/// positions in global ascending order (the parallel build treats every
+/// build batch as one work item and merges per-batch maps in batch
 /// order, exactly like the row path partitions rows). Probing walks a
-/// whole batch per guard poll; the parallel probe splits the probe
-/// batches among workers and reassembles outputs in input order, so the
-/// flattened row sequence is identical to the serial one.
+/// whole batch per guard poll; the parallel probe schedules the probe
+/// batches as morsels and reassembles outputs in input order, so the
+/// flattened row sequence is identical to the serial one (batch
+/// *boundaries* may differ — each probe batch flushes its own sink).
 #[allow(clippy::too_many_arguments)]
 fn hash_join_batched(
     db: &Database,
@@ -607,29 +699,25 @@ fn hash_join_batched(
         && build.len() > 1
     {
         let guard = ctx.guard;
-        let chunk = build.len().div_ceil(ctx.parallelism);
-        let partials = crate::pool::parallel_map(
-            build.chunks(chunk).collect::<Vec<_>>(),
+        let (partials, pstats) = crate::pool::morsel_map(
+            build.iter().collect::<Vec<_>>(),
             ctx.parallelism,
-            |ci, batches| {
-                let base = ci * chunk;
+            |bi, b| {
+                guard.check()?;
                 let mut m: HashMap<Value, Vec<(u32, u32)>> = HashMap::new();
                 let mut keys: Vec<Value> = Vec::new();
-                for (bi, b) in batches.iter().enumerate() {
-                    guard.check()?;
-                    keys.clear();
-                    right_key.eval_view(b, b.sel(), &mut keys);
-                    for (k, r) in keys.drain(..).zip(b.live()) {
-                        if !k.is_null() {
-                            m.entry(k).or_default().push(((base + bi) as u32, r as u32));
-                        }
+                right_key.eval_view(b, b.sel(), &mut keys);
+                for (k, r) in keys.drain(..).zip(b.live()) {
+                    if !k.is_null() {
+                        m.entry(k).or_default().push((bi as u32, r as u32));
                     }
                 }
                 Ok::<_, ExecError>(m)
             },
-        )?;
+        );
+        ctx.note_pool(pstats);
         let mut table: HashMap<Value, Vec<(u32, u32)>> = HashMap::new();
-        for m in partials {
+        for m in partials? {
             for (k, v) in m {
                 table.entry(k).or_default().extend(v);
             }
@@ -660,20 +748,18 @@ fn hash_join_batched(
     let probe_rows: usize = probe.iter().map(Batch::live_count).sum();
     if parallel && probe_rows >= crate::pool::PARALLEL_THRESHOLD && probe.len() > 1 {
         let guard = ctx.guard;
-        let chunk = probe.len().div_ceil(ctx.parallelism);
-        let parts = crate::pool::parallel_map(
-            probe.chunks(chunk).collect::<Vec<_>>(),
+        let (parts, pstats) = crate::pool::morsel_map(
+            probe.iter().collect::<Vec<_>>(),
             ctx.parallelism,
-            |_, batches| {
+            |_, b| {
                 let mut sink = BatchSink::new(width, None);
-                for b in batches {
-                    probe_batch(b, left_key, &table, &build, &mut sink, guard)?;
-                }
+                probe_batch(b, left_key, &table, &build, &mut sink, guard)?;
                 sink.finish(guard)
             },
-        )?;
+        );
+        ctx.note_pool(pstats);
         let mut out = Vec::new();
-        for (batches, produced) in parts {
+        for (batches, produced) in parts? {
             ctx.stats.rows_intermediate += produced;
             out.extend(batches);
         }

@@ -104,6 +104,11 @@ struct EngineCounters {
     batch_count: Arc<Counter>,
     /// `exec.batch.rows`: live rows carried by those batches.
     batch_rows: Arc<Counter>,
+    /// `pool.morsel`: morsels dispatched by the work-stealing pool.
+    pool_morsels: Arc<Counter>,
+    /// `pool.steal`: morsels executed by a worker other than the one
+    /// they were dealt to.
+    pool_steals: Arc<Counter>,
 }
 
 impl EngineCounters {
@@ -120,6 +125,8 @@ impl EngineCounters {
             plan_cache_misses: metrics.counter("cache.plan.misses"),
             batch_count: metrics.counter("exec.batch.count"),
             batch_rows: metrics.counter("exec.batch.rows"),
+            pool_morsels: metrics.counter("pool.morsel"),
+            pool_steals: metrics.counter("pool.steal"),
         }
     }
 
@@ -382,6 +389,8 @@ impl Engine {
             parallelism: self.parallelism,
             batch_count: 0,
             batch_rows: 0,
+            pool_morsels: 0,
+            pool_steals: 0,
         };
         let rows = if self.row_engine {
             run_compiled_at(db, compiled, &mut ctx, 0)?
@@ -392,11 +401,28 @@ impl Engine {
         Ok(rows)
     }
 
-    /// Folds one execution's batch counters into the engine totals.
+    /// Folds one execution's batch and pool-scheduling counters into the
+    /// engine totals.
     fn note_batches(&self, ctx: &ExecCtx<'_>) {
         if ctx.batch_count > 0 {
             self.counters.batch_count.add(ctx.batch_count);
             self.counters.batch_rows.add(ctx.batch_rows);
+        }
+        self.note_pool(crate::pool::MorselStats {
+            morsels: ctx.pool_morsels,
+            steals: ctx.pool_steals,
+        });
+    }
+
+    /// Folds one parallel run's scheduling counters into the
+    /// `pool.morsel` / `pool.steal` totals. Higher layers that drive the
+    /// pool directly (PPA's preference-query materializations and probe
+    /// rounds) report through here; engine-internal operators do so
+    /// automatically.
+    pub fn note_pool(&self, stats: crate::pool::MorselStats) {
+        if stats.morsels > 0 {
+            self.counters.pool_morsels.add(stats.morsels);
+            self.counters.pool_steals.add(stats.steals);
         }
     }
 
@@ -492,6 +518,8 @@ impl Engine {
                 parallelism: self.parallelism,
                 batch_count: 0,
                 batch_rows: 0,
+                pool_morsels: 0,
+                pool_steals: 0,
             };
             let rows = if self.row_engine {
                 run_compiled_at(db, &compiled, &mut ctx, 0)?
@@ -518,8 +546,16 @@ pub(crate) fn run_compiled(
     stats: &mut ExecStats,
     guard: &QueryGuard,
 ) -> Result<Vec<Row>, ExecError> {
-    let mut ctx =
-        ExecCtx { stats, guard, profile: None, parallelism: 1, batch_count: 0, batch_rows: 0 };
+    let mut ctx = ExecCtx {
+        stats,
+        guard,
+        profile: None,
+        parallelism: 1,
+        batch_count: 0,
+        batch_rows: 0,
+        pool_morsels: 0,
+        pool_steals: 0,
+    };
     run_compiled_at(db, compiled, &mut ctx, 0)
 }
 

@@ -57,12 +57,12 @@ pub enum ExecError {
     /// An injected fault fired at a [`qp_storage::failpoint`] site (only
     /// under the `failpoints` feature).
     Fault(String),
-    /// A [`crate::pool::parallel_map`] worker panicked; the unwind was
-    /// caught at the chunk boundary (see [`crate::pool::WorkerPanic`]) so
-    /// the request degrades instead of the serving thread dying.
+    /// A [`crate::pool::morsel_map`] worker panicked; the unwind was
+    /// caught at the morsel boundary (see [`crate::pool::WorkerPanic`])
+    /// so the request degrades instead of the serving thread dying.
     WorkerPanic {
-        /// Index of the chunk whose worker panicked.
-        chunk: usize,
+        /// Index of the morsel whose execution panicked.
+        morsel: usize,
         /// The panic payload rendered as text.
         message: String,
     },
@@ -130,8 +130,8 @@ impl fmt::Display for ExecError {
             }
             ExecError::Cancelled => write!(f, "query cancelled"),
             ExecError::Fault(msg) => write!(f, "injected fault: {msg}"),
-            ExecError::WorkerPanic { chunk, message } => {
-                write!(f, "worker for chunk {chunk} panicked: {message}")
+            ExecError::WorkerPanic { morsel, message } => {
+                write!(f, "worker for morsel {morsel} panicked: {message}")
             }
             ExecError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
             ExecError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
@@ -151,7 +151,7 @@ impl std::error::Error for ExecError {
 
 impl From<crate::pool::WorkerPanic> for ExecError {
     fn from(p: crate::pool::WorkerPanic) -> Self {
-        ExecError::WorkerPanic { chunk: p.chunk, message: p.message }
+        ExecError::WorkerPanic { morsel: p.morsel, message: p.message }
     }
 }
 
@@ -191,8 +191,8 @@ mod tests {
         assert_eq!(ExecError::Cancelled.to_string(), "query cancelled");
         assert_eq!(ExecError::Fault("exec.scan".into()).to_string(), "injected fault: exec.scan");
         assert_eq!(
-            ExecError::WorkerPanic { chunk: 2, message: "boom".into() }.to_string(),
-            "worker for chunk 2 panicked: boom"
+            ExecError::WorkerPanic { morsel: 2, message: "boom".into() }.to_string(),
+            "worker for morsel 2 panicked: boom"
         );
         assert_eq!(
             ExecError::Internal("oops".into()).to_string(),

@@ -50,7 +50,10 @@ pub use engine::{Engine, ExecStats};
 pub use error::{ExecError, ResourceKind};
 pub use functions::{AggState, AggregateFunction, ScalarUdf};
 pub use guard::{CancelToken, QueryGuard, QueryGuardBuilder};
-pub use pool::{panic_message, parallel_map, WorkerPanic, PARALLEL_THRESHOLD};
+pub use pool::{
+    morsel_map, morsel_map_with, panic_message, parallel_map, MorselStats, WorkerPanic,
+    MORSEL_MAX_ITEMS, PARALLEL_THRESHOLD,
+};
 pub use result::ResultSet;
 
 // Fault-injection sites live in qp-storage so every layer can share one

@@ -23,6 +23,12 @@ pub(crate) fn fail_point(site: &str) -> Result<(), ExecError> {
     qp_storage::failpoint::check(site).map_err(ExecError::Fault)
 }
 
+/// Rows per work item handed to the morsel pool by the row path's
+/// parallel hash join — the row-engine analogue of a batch. Items this
+/// size group into 1–4-item morsels, matching the batch path's steal
+/// granularity.
+const ROW_MORSEL: usize = 256;
+
 /// Row-id fetch attached to a scan — the short-circuit path for
 /// `binding.rowid = k` predicates (the PPA parameterized-query fast
 /// path).
@@ -84,6 +90,22 @@ pub(crate) struct ExecCtx<'a> {
     pub batch_count: u64,
     /// Live rows carried by those batches (`exec.batch.rows`).
     pub batch_rows: u64,
+    /// Morsels dispatched by the work-stealing pool during this
+    /// execution (`pool.morsel`). Like the batch counts, scheduling
+    /// counters live here rather than in [`ExecStats`] because they
+    /// legitimately differ between serial and parallel runs.
+    pub pool_morsels: u64,
+    /// Morsels executed by a worker other than the one they were dealt
+    /// to (`pool.steal`).
+    pub pool_steals: u64,
+}
+
+impl ExecCtx<'_> {
+    /// Folds one parallel run's scheduling counters into the context.
+    pub(crate) fn note_pool(&mut self, stats: crate::pool::MorselStats) {
+        self.pool_morsels += stats.morsels;
+        self.pool_steals += stats.steals;
+    }
 }
 
 /// A physical plan node producing a batch of rows.
@@ -196,7 +218,16 @@ impl Plan {
         guard: &QueryGuard,
     ) -> Result<Vec<Row>, ExecError> {
         let mut ctx =
-            ExecCtx { stats, guard, profile: None, parallelism: 1, batch_count: 0, batch_rows: 0 };
+            ExecCtx {
+                stats,
+                guard,
+                profile: None,
+                parallelism: 1,
+                batch_count: 0,
+                batch_rows: 0,
+                pool_morsels: 0,
+                pool_steals: 0,
+            };
         self.run_node(db, &mut ctx, 0)
     }
 
@@ -307,16 +338,16 @@ impl Plan {
                 let parallel = ctx.parallelism > 1;
 
                 // --- build --------------------------------------------
-                // Parallel build partitions the build side into contiguous
-                // chunks; per-chunk maps merge in chunk order, so each
-                // key's match list stays in ascending row order — the same
-                // order the serial loop produces.
+                // The parallel build morselizes the build side into
+                // row-chunks; per-chunk maps merge in chunk order, so
+                // each key's match list stays in ascending row order —
+                // the same order the serial loop produces.
                 let table: HashMap<Value, Vec<usize>> = if parallel
                     && right_rows.len() >= crate::pool::PARALLEL_THRESHOLD
                 {
-                    let chunk = right_rows.len().div_ceil(ctx.parallelism);
+                    let chunk = ROW_MORSEL;
                     let guard = ctx.guard;
-                    let partials = crate::pool::parallel_map(
+                    let (partials, pstats) = crate::pool::morsel_map(
                         right_rows.chunks(chunk).collect::<Vec<_>>(),
                         ctx.parallelism,
                         |ci, rows| {
@@ -331,9 +362,10 @@ impl Plan {
                             }
                             Ok::<_, ExecError>(m)
                         },
-                    )?;
+                    );
+                    ctx.note_pool(pstats);
                     let mut table: HashMap<Value, Vec<usize>> = HashMap::new();
-                    for m in partials {
+                    for m in partials? {
                         for (k, v) in m {
                             table.entry(k).or_default().extend(v);
                         }
@@ -358,9 +390,8 @@ impl Plan {
                     // (global intermediate-row budget) while counting into
                     // local stats merged deterministically afterwards.
                     let guard = ctx.guard;
-                    let chunk = left_rows.len().div_ceil(ctx.parallelism);
-                    let parts = crate::pool::parallel_map(
-                        left_rows.chunks(chunk).collect::<Vec<_>>(),
+                    let (parts, pstats) = crate::pool::morsel_map(
+                        left_rows.chunks(ROW_MORSEL).collect::<Vec<_>>(),
                         ctx.parallelism,
                         |_, rows| {
                             let mut out = Vec::new();
@@ -383,9 +414,10 @@ impl Plan {
                             }
                             Ok::<_, ExecError>((out, emitted))
                         },
-                    )?;
+                    );
+                    ctx.note_pool(pstats);
                     let mut out = Vec::new();
-                    for (rows, emitted) in parts {
+                    for (rows, emitted) in parts? {
                         ctx.stats.rows_intermediate += emitted;
                         out.extend(rows);
                     }

@@ -1,68 +1,135 @@
-//! Zero-dependency data-parallel execution over scoped OS threads.
+//! Zero-dependency morsel-driven data parallelism over scoped OS threads.
 //!
-//! [`parallel_map`] fans a batch of independent work items out across up
-//! to `parallelism` worker threads and reassembles the results **in input
-//! order**, so a parallel run is byte-identical to the serial one. Threads
-//! come from [`std::thread::scope`], which lets workers borrow from the
-//! caller's stack (the database, compiled plans, a shared
-//! [`crate::guard::QueryGuard`]) without `'static` bounds or a persistent
-//! pool — there is no queue, no channels, and nothing to shut down.
+//! Work is split into **morsels** — small runs of consecutive items (at
+//! most [`MORSEL_MAX_ITEMS`] each) — and scheduled by work stealing:
+//! every worker owns a deque of morsel ids, pops from the front of its
+//! own deque, and when that runs dry steals from the *back* of a
+//! neighbour's. Skewed items therefore no longer serialize a run the way
+//! the original contiguous pre-chunking did: a worker stuck on one
+//! expensive morsel keeps exactly that morsel, and the rest of its block
+//! is drained by its peers. Results are reassembled **in input order**,
+//! so a parallel run stays byte-identical to the serial one.
 //!
-//! Error handling is deterministic too: every worker maps its own chunk
-//! and stops at its first error; the caller receives the error of the
-//! **lowest-indexed chunk** that failed. Guard trips (deadline, budget)
-//! are the one sanctioned source of nondeterminism — budget counters are
-//! shared atomics, so *which* row trips the budget depends on thread
-//! interleaving, but whether the budget trips at all does not.
+//! Threads come from [`std::thread::scope`], which lets workers borrow
+//! from the caller's stack (the database, compiled plans, a shared
+//! [`crate::guard::QueryGuard`]) without `'static` bounds or a
+//! persistent pool — there is no global queue, no channels, and nothing
+//! to shut down.
 //!
-//! Panics are isolated, not propagated: each worker (and the serial
+//! Error handling is deterministic: every morsel stops at its own first
+//! error, all queued morsels still run to a recorded outcome, and the
+//! caller receives the error of the **lowest-indexed morsel** that
+//! failed — exactly the error the serial loop would have hit first,
+//! regardless of which worker ran the morsel or in what order. Guard
+//! trips (deadline, budget) are the one sanctioned source of
+//! nondeterminism — budget counters are shared atomics, so *which* row
+//! trips the budget depends on thread interleaving, but whether the
+//! budget trips at all does not.
+//!
+//! Panics are isolated, not propagated: each morsel (and the serial
 //! fallback) runs under [`std::panic::catch_unwind`], and a panicking
-//! chunk surfaces as a typed [`WorkerPanic`] error converted into the
-//! caller's error type. One poisoned tuple therefore degrades the request
-//! it belongs to instead of aborting the serving thread; guard budgets
-//! live in shared atomics, so everything charged before the panic stays
-//! settled. Chunk ordering still applies — a plain error in chunk 0 beats
-//! a panic in chunk 2, and vice versa.
+//! morsel surfaces as a typed [`WorkerPanic`] error converted into the
+//! caller's error type. One poisoned tuple therefore degrades the
+//! request it belongs to instead of aborting the serving thread; guard
+//! budgets live in shared atomics, so everything charged before the
+//! panic stays settled. Morsel ordering still applies — a plain error in
+//! morsel 0 beats a panic in morsel 2, and vice versa. A panic that
+//! kills a whole worker *before* it claims work (the `exec.pool.spawn`
+//! failpoint models infrastructure failure at thread startup) is
+//! absorbed when the surviving workers steal the dead worker's entire
+//! deque; only morsels that end without any recorded outcome surface it.
 //!
 //! Callers decide when parallelism pays: pass `parallelism <= 1` (or a
 //! single item) and the whole thing degrades to a plain serial loop with
 //! no thread spawned. [`PARALLEL_THRESHOLD`] is the shared heuristic for
 //! row-granularity work (hash-join build/probe); coarser work like PPA's
-//! per-tuple probe queries parallelizes profitably at much smaller batch
-//! sizes.
+//! preference-query materializations parallelizes profitably at much
+//! smaller batch sizes.
+//!
+//! Scheduling is observable: every parallel run returns a
+//! [`MorselStats`] (morsels dispatched, steals performed), the engine
+//! folds these into the `pool.morsel` / `pool.steal` counters, and
+//! [`totals`] exposes monotonic process-wide sums for benchmark
+//! auditing (`repro --bench-parallel` records them).
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 /// Minimum number of *row-granularity* items before operators fan out.
 /// Below this, thread spawn overhead dwarfs the per-row work.
 pub const PARALLEL_THRESHOLD: usize = 256;
 
-/// A worker closure panicked while mapping its chunk.
+/// Upper bound on items per morsel. Work units handed to the pool are
+/// already coarse (a 1024-row [`crate::batch::Batch`], a preference-query
+/// materialization, a row-chunk), so morsels of 1–4 items keep the steal
+/// granularity fine enough to absorb skew while the per-morsel locking
+/// overhead stays invisible next to the work itself.
+pub const MORSEL_MAX_ITEMS: usize = 4;
+
+/// Scheduling statistics from one [`morsel_map`] / [`morsel_map_with`]
+/// run. The serial fallback reports zeros — no scheduler was engaged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MorselStats {
+    /// Morsels dispatched (0 on the serial path).
+    pub morsels: u64,
+    /// Morsels executed by a worker other than the one whose deque they
+    /// were dealt to. High steal counts mean the schedule was skewed and
+    /// stealing is earning its keep; zero means the initial block deal
+    /// was already balanced.
+    pub steals: u64,
+}
+
+impl MorselStats {
+    /// Accumulates another run's counts into this one.
+    pub fn merge(&mut self, other: MorselStats) {
+        self.morsels += other.morsels;
+        self.steals += other.steals;
+    }
+}
+
+static TOTAL_MORSELS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_STEALS: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic process-wide totals across every parallel pool run since
+/// startup. Benchmarks diff this around a measured region to report how
+/// many morsels were dispatched and how many were stolen (serial
+/// fallbacks contribute nothing).
+pub fn totals() -> MorselStats {
+    MorselStats {
+        morsels: TOTAL_MORSELS.load(Ordering::Relaxed),
+        steals: TOTAL_STEALS.load(Ordering::Relaxed),
+    }
+}
+
+/// A worker closure panicked while mapping a morsel.
 ///
-/// [`parallel_map`] catches the unwind at the chunk boundary and converts
-/// it into the caller's error type via `From<WorkerPanic>`, so a panic in
+/// The pool catches the unwind at the morsel boundary and converts it
+/// into the caller's error type via `From<WorkerPanic>`, so a panic in
 /// one request's worker cannot take down the thread (or process) serving
 /// other requests. The original panic payload is rendered into `message`
 /// when it is a `&str` or `String` (the overwhelmingly common cases);
 /// other payload types are reported generically.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkerPanic {
-    /// Index of the chunk whose worker panicked (0 on the serial path).
-    pub chunk: usize,
+    /// Index of the morsel whose execution panicked (0 on the serial
+    /// path).
+    pub morsel: usize,
     /// The panic payload rendered as text.
     pub message: String,
 }
 
 impl std::fmt::Display for WorkerPanic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "worker for chunk {} panicked: {}", self.chunk, self.message)
+        write!(f, "worker for morsel {} panicked: {}", self.morsel, self.message)
     }
 }
 
 impl std::error::Error for WorkerPanic {}
 
 /// Convenience conversion so plain-`String` error types (tests, ad-hoc
-/// tools) satisfy [`parallel_map`]'s `E: From<WorkerPanic>` bound.
+/// tools) satisfy the pool's `E: From<WorkerPanic>` bound.
 impl From<WorkerPanic> for String {
     fn from(p: WorkerPanic) -> Self {
         p.to_string()
@@ -82,55 +149,123 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Maps `f` over `items` using up to `parallelism` scoped worker threads,
-/// returning results in input order. `f` receives the item's original
-/// index alongside the item. With `parallelism <= 1` or fewer than two
-/// items this runs serially on the calling thread.
+/// Items per morsel: aim for roughly four morsels per worker so a stuck
+/// worker's block always has slack worth stealing, capped at
+/// [`MORSEL_MAX_ITEMS`].
+fn morsel_len(n: usize, workers: usize) -> usize {
+    (n / (workers * 4)).clamp(1, MORSEL_MAX_ITEMS)
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // Deque and result-slot locks are held only around a pop or a store —
+    // no user code runs under them — so a poisoned lock means another
+    // worker died *between* critical sections and the protected value is
+    // still coherent.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Maps `f` over `items` with morsel-driven work stealing, returning
+/// results in input order plus the run's [`MorselStats`]. `f` receives
+/// the item's original index alongside the item. With `parallelism <= 1`
+/// or fewer than two items this runs serially on the calling thread and
+/// reports zero morsels.
 ///
-/// On error, the error from the lowest-indexed chunk that failed is
-/// returned (later chunks' work is discarded). A panicking worker does
-/// **not** propagate its panic: the unwind is caught at the chunk
-/// boundary and surfaces as a [`WorkerPanic`] converted into `E`, ranked
-/// against other chunks' errors by the same lowest-chunk-wins rule. The
+/// On error, the error of the lowest-indexed morsel that failed is
+/// returned (other morsels' work is discarded) — the same error the
+/// serial loop would surface first. A panicking morsel does **not**
+/// propagate its panic: the unwind is caught at the morsel boundary and
+/// surfaces as a [`WorkerPanic`] converted into `E`, ranked against
+/// other morsels' errors by the same lowest-morsel-wins rule. The
 /// closures are asserted unwind-safe ([`AssertUnwindSafe`]): the shared
 /// state they touch in this codebase (guard atomics, metrics counters,
 /// poison-recovering cache shards) stays coherent across an unwind.
-pub fn parallel_map<T, R, E, F>(items: Vec<T>, parallelism: usize, f: F) -> Result<Vec<R>, E>
+pub fn morsel_map<T, R, E, F>(
+    items: Vec<T>,
+    parallelism: usize,
+    f: F,
+) -> (Result<Vec<R>, E>, MorselStats)
 where
     T: Send,
     R: Send,
     E: Send + From<WorkerPanic>,
     F: Fn(usize, T) -> Result<R, E> + Sync,
 {
+    morsel_map_with(items, parallelism, || (), move |_, i, t| f(i, t))
+}
+
+/// A claimable morsel slot: the morsel's starting input index plus its
+/// items, `take`n exactly once by whichever worker claims the id.
+type MorselSlot<T> = Mutex<Option<(usize, Vec<T>)>>;
+
+/// A morsel's recorded outcome, `None` until a worker settles it; slots
+/// still `None` after the scope closes belonged to a worker that died
+/// outside any morsel.
+type OutcomeSlot<R, E> = Mutex<Option<Result<Vec<R>, E>>>;
+
+/// [`morsel_map`] with per-worker scratch state: `init` runs once on
+/// each worker thread (and once on the serial path) and the resulting
+/// state is threaded through every morsel that worker executes. This is
+/// how call sites amortize per-thread setup — e.g. the row-engine PPA
+/// probe clones its prepared queries once per worker instead of once per
+/// tuple. If a morsel panics, that worker's state is rebuilt with `init`
+/// before it claims its next morsel, since the unwound closure may have
+/// left it mid-mutation.
+pub fn morsel_map_with<T, R, E, S, I, F>(
+    items: Vec<T>,
+    parallelism: usize,
+    init: I,
+    f: F,
+) -> (Result<Vec<R>, E>, MorselStats)
+where
+    T: Send,
+    R: Send,
+    E: Send + From<WorkerPanic>,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, T) -> Result<R, E> + Sync,
+{
     let n = items.len();
     let workers = parallelism.min(n);
     if workers <= 1 {
-        return catch_unwind(AssertUnwindSafe(|| {
-            items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect()
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            let mut state = init();
+            items.into_iter().enumerate().map(|(i, t)| f(&mut state, i, t)).collect()
         }))
         .unwrap_or_else(|payload| {
-            Err(E::from(WorkerPanic { chunk: 0, message: panic_message(&*payload) }))
+            Err(E::from(WorkerPanic { morsel: 0, message: panic_message(&*payload) }))
         });
+        return (res, MorselStats::default());
     }
 
-    // Contiguous chunks whose sizes differ by at most one; chunk order ==
+    // Slice the input into morsels of consecutive items; morsel order ==
     // input order, which is what makes reassembly deterministic.
-    let base = n / workers;
-    let extra = n % workers;
+    let mlen = morsel_len(n, workers);
     let mut iter = items.into_iter();
-    let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(workers);
+    let mut morsels: Vec<MorselSlot<T>> = Vec::with_capacity(n.div_ceil(mlen));
     let mut start = 0usize;
-    for w in 0..workers {
-        let len = base + usize::from(w < extra);
-        chunks.push((start, iter.by_ref().take(len).collect()));
+    while start < n {
+        let len = mlen.min(n - start);
+        morsels.push(Mutex::new(Some((start, iter.by_ref().take(len).collect()))));
         start += len;
     }
+    let m = morsels.len();
 
-    let f = &f;
-    let results: Vec<Result<Vec<R>, E>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|(start, chunk)| {
+    // Deal morsel ids to per-worker deques in contiguous blocks — worker
+    // w starts on the same region the old contiguous pre-chunking gave
+    // it (good locality), and a thief takes from the *back* of a
+    // victim's deque, the region the victim would reach last.
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w * m / workers..(w + 1) * m / workers).collect()))
+        .collect();
+    let results: Vec<OutcomeSlot<R, E>> = (0..m).map(|_| Mutex::new(None)).collect();
+    let steals = AtomicU64::new(0);
+
+    let (init, f) = (&init, &f);
+    let (morsels, deques, results, steals) = (&morsels, &deques, &results, &steals);
+    // Panic payloads from workers that died *outside* a morsel (thread
+    // startup, `init`): attributed below to any morsel left outcome-less.
+    let escaped: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
                 scope.spawn(move || {
                     // `exec.pool.spawn` models infrastructure failure at
                     // worker startup; it has no typed error channel of its
@@ -139,36 +274,115 @@ where
                     if let Err(msg) = qp_storage::failpoint::check("exec.pool.spawn") {
                         std::panic::panic_any(format!("injected fault: {msg}"));
                     }
-                    catch_unwind(AssertUnwindSafe(|| {
-                        chunk
-                            .into_iter()
-                            .enumerate()
-                            .map(|(j, t)| f(start + j, t))
-                            .collect::<Result<Vec<R>, E>>()
-                    }))
+                    let mut state = init();
+                    loop {
+                        // Claim: own deque front first, then scan the
+                        // others and steal from the back. Deques only
+                        // drain, so finding every deque empty means all
+                        // remaining morsels are already claimed — exit.
+                        // One deque lock at a time: the own-deque guard
+                        // must drop before any victim lock is taken, or
+                        // two mutually-stealing workers deadlock ABBA.
+                        let own = lock(&deques[w]).pop_front();
+                        let claimed = own.or_else(|| {
+                            (1..workers).find_map(|off| {
+                                let stolen = lock(&deques[(w + off) % workers]).pop_back();
+                                if stolen.is_some() {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                }
+                                stolen
+                            })
+                        });
+                        let Some(mi) = claimed else { break };
+                        // `exec.pool.morsel` fires once per claimed
+                        // morsel: Error actions fail exactly this morsel
+                        // (typed, lowest-morsel-wins like any other
+                        // error), Delay actions skew the schedule to
+                        // force steal-heavy interleavings in tests.
+                        #[cfg(feature = "failpoints")]
+                        if let Err(msg) = qp_storage::failpoint::check("exec.pool.morsel") {
+                            *lock(&results[mi]) = Some(Err(E::from(WorkerPanic {
+                                morsel: mi,
+                                message: format!("injected fault: {msg}"),
+                            })));
+                            continue;
+                        }
+                        let Some((base, chunk)) = lock(&morsels[mi]).take() else { continue };
+                        let out = {
+                            let state = &mut state;
+                            catch_unwind(AssertUnwindSafe(move || {
+                                chunk
+                                    .into_iter()
+                                    .enumerate()
+                                    .map(|(j, t)| f(state, base + j, t))
+                                    .collect::<Result<Vec<R>, E>>()
+                            }))
+                        };
+                        let (out, poisoned) = match out {
+                            Ok(r) => (r, false),
+                            Err(payload) => (
+                                Err(E::from(WorkerPanic {
+                                    morsel: mi,
+                                    message: panic_message(&*payload),
+                                })),
+                                true,
+                            ),
+                        };
+                        *lock(&results[mi]) = Some(out);
+                        if poisoned {
+                            // The unwound closure may have left the
+                            // per-worker state mid-mutation; rebuild it.
+                            state = init();
+                        }
+                    }
                 })
             })
             .collect();
         handles
             .into_iter()
-            .enumerate()
-            .map(|(idx, h)| match h.join() {
-                Ok(Ok(res)) => res,
-                // Inner Err: the closure panicked and `catch_unwind`
-                // caught it. Outer Err: the unwind escaped the catch
-                // (possible only for panics-in-drop); same treatment.
-                Ok(Err(payload)) | Err(payload) => {
-                    Err(E::from(WorkerPanic { chunk: idx, message: panic_message(&*payload) }))
-                }
-            })
+            .filter_map(|h| h.join().err())
+            .map(|payload| panic_message(&*payload))
             .collect()
     });
 
+    let stolen = steals.load(Ordering::Relaxed);
+    TOTAL_MORSELS.fetch_add(m as u64, Ordering::Relaxed);
+    TOTAL_STEALS.fetch_add(stolen, Ordering::Relaxed);
+    let stats = MorselStats { morsels: m as u64, steals: stolen };
+
     let mut out = Vec::with_capacity(n);
-    for chunk in results {
-        out.extend(chunk?);
+    for (mi, slot) in results.iter().enumerate() {
+        match lock(slot).take() {
+            Some(Ok(rs)) => out.extend(rs),
+            Some(Err(e)) => return (Err(e), stats),
+            // No recorded outcome: every worker that could have claimed
+            // this morsel died to a panic that escaped the morsel catch
+            // (thread startup or `init`). Attribute the escaped payload.
+            None => {
+                let message = escaped
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| "morsel lost without a recorded outcome".to_string());
+                return (Err(E::from(WorkerPanic { morsel: mi, message })), stats);
+            }
+        }
     }
-    Ok(out)
+    (Ok(out), stats)
+}
+
+/// Maps `f` over `items` using up to `parallelism` workers, returning
+/// results in input order — [`morsel_map`] minus the [`MorselStats`],
+/// for call sites that don't track scheduling counters. Semantics
+/// (ordering, lowest-morsel-error-wins, panic isolation, serial
+/// fallback) are identical.
+pub fn parallel_map<T, R, E, F>(items: Vec<T>, parallelism: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send + From<WorkerPanic>,
+    F: Fn(usize, T) -> Result<R, E> + Sync,
+{
+    morsel_map(items, parallelism, f).0
 }
 
 #[cfg(test)]
@@ -209,9 +423,9 @@ mod tests {
     }
 
     #[test]
-    fn first_chunk_error_wins() {
-        // Chunks: with 4 workers over 8 items, item 1 is in chunk 0 and
-        // item 7 in chunk 3; both fail, chunk 0's error must win.
+    fn lowest_morsel_error_wins() {
+        // Items 1 and 7 both fail; the error of the lower item index (=
+        // lower morsel index) must win, matching the serial loop.
         let items: Vec<usize> = (0..8).collect();
         let err = parallel_map(items, 4, |_, x| {
             if x == 1 || x == 7 {
@@ -244,7 +458,7 @@ mod tests {
         assert_eq!(out, vec![10, 20, 30]);
     }
 
-    /// Panics are confined to their chunk and reported as typed errors —
+    /// Panics are confined to their morsel and reported as typed errors —
     /// the caller's thread keeps running.
     #[test]
     fn panicking_worker_surfaces_typed_error() {
@@ -256,7 +470,7 @@ mod tests {
             Ok::<_, WorkerPanicProbe>(x)
         })
         .unwrap_err();
-        assert_eq!(err.0.chunk, 3, "item 7 lives in chunk 3 of 4");
+        assert_eq!(err.0.morsel, 7, "8 items over 4 workers -> one-item morsels");
         assert_eq!(err.0.message, "poisoned tuple 7");
     }
 
@@ -270,11 +484,11 @@ mod tests {
                 Ok(x)
             })
             .unwrap_err();
-        assert_eq!(err.0, WorkerPanic { chunk: 0, message: "serial boom".into() });
+        assert_eq!(err.0, WorkerPanic { morsel: 0, message: "serial boom".into() });
     }
 
     #[test]
-    fn plain_error_in_earlier_chunk_beats_panic_in_later_chunk() {
+    fn plain_error_in_earlier_morsel_beats_panic_in_later_morsel() {
         let items: Vec<usize> = (0..8).collect();
         let err = parallel_map(items, 4, |_, x| {
             if x == 0 {
@@ -288,7 +502,7 @@ mod tests {
         .unwrap_err();
         assert_eq!(err, "typed error");
 
-        // And symmetrically: a panic in chunk 0 beats an error in chunk 3.
+        // And symmetrically: a panic at item 0 beats an error at item 7.
         let items: Vec<usize> = (0..8).collect();
         let err = parallel_map(items, 4, |_, x| {
             if x == 0 {
@@ -304,7 +518,10 @@ mod tests {
     }
 
     /// Work charged to shared state before the panic is not rolled back —
-    /// the same property that keeps guard budgets settled.
+    /// the same property that keeps guard budgets settled. All morsels
+    /// other than the panicking one still run to completion (the
+    /// scheduler drains the queue rather than aborting), so at least
+    /// `len - 1` charges land.
     #[test]
     fn shared_state_charged_before_panic_stays_settled() {
         let charged = AtomicUsize::new(0);
@@ -318,7 +535,83 @@ mod tests {
         });
         assert!(res.is_err());
         let seen = charged.load(Ordering::Relaxed);
-        assert!(seen >= 76, "chunks 0-2 fully charged before chunk 3's panic: {seen}");
+        assert!(seen >= 99, "every non-panicking item still charged: {seen}");
+    }
+
+    #[test]
+    fn stats_count_morsels_and_serial_reports_zero() {
+        let items: Vec<usize> = (0..100).collect();
+        let (out, stats) = morsel_map(items, 4, |_, x| Ok::<_, String>(x));
+        assert_eq!(out.unwrap().len(), 100);
+        // 100 items, 4 workers: morsel_len = (100/16).clamp(1,4) = 4.
+        assert_eq!(stats.morsels, 25);
+
+        let (_, stats) = morsel_map((0..100).collect::<Vec<usize>>(), 1, |_, x| {
+            Ok::<_, String>(x)
+        });
+        assert_eq!(stats, MorselStats::default(), "serial path engages no scheduler");
+    }
+
+    #[test]
+    fn totals_are_monotonic_and_fold_in_runs() {
+        let before = totals();
+        let (out, stats) = morsel_map((0..64).collect::<Vec<usize>>(), 4, |_, x| {
+            Ok::<_, String>(x)
+        });
+        assert_eq!(out.unwrap().len(), 64);
+        let after = totals();
+        assert!(after.morsels >= before.morsels + stats.morsels);
+        assert!(after.steals >= before.steals);
+    }
+
+    /// Per-worker state: `init` runs at most once per worker on the
+    /// happy path, and every item sees a state its own thread built.
+    #[test]
+    fn per_worker_state_initialized_once_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let (out, _) = morsel_map_with(
+            (0..200).collect::<Vec<usize>>(),
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |seen, _, x| {
+                *seen += 1;
+                Ok::<_, String>(x)
+            },
+        );
+        assert_eq!(out.unwrap().len(), 200);
+        let n = inits.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&n), "one init per live worker, got {n}");
+    }
+
+    /// A panicking morsel poisons only itself: the worker rebuilds its
+    /// state and later morsels still complete.
+    #[test]
+    fn state_rebuilt_after_morsel_panic() {
+        let inits = AtomicUsize::new(0);
+        let (out, _) = morsel_map_with(
+            (0..40).collect::<Vec<usize>>(),
+            2,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |scratch, _, x| {
+                scratch.push(x);
+                if x == 0 {
+                    panic!("poison first morsel");
+                }
+                Ok::<_, WorkerPanicProbe>(x)
+            },
+        );
+        let err = out.unwrap_err();
+        assert_eq!(err.0.morsel, 0);
+        assert!(
+            inits.load(Ordering::Relaxed) >= 3,
+            "the worker that caught the panic re-ran init"
+        );
     }
 
     /// Wrapper proving the `E: From<WorkerPanic>` bound carries the full

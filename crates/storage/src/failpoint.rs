@@ -27,7 +27,8 @@
 //! | `ppa.step3`           | before PPA's residual-tuple enumeration     |
 //! | `spa.execute`         | before executing the SPA statement          |
 //! | `snapshot.update`     | `SnapshotStore::update` (before mutating)   |
-//! | `exec.pool.spawn`     | worker startup in `parallel_map` (any armed action surfaces as a worker panic) |
+//! | `exec.pool.spawn`     | worker startup in the morsel pool (any armed action surfaces as a worker panic) |
+//! | `exec.pool.morsel`    | per claimed morsel in `morsel_map` (error → that morsel fails typed; delay → schedule skew, forcing steal-heavy interleavings) |
 //! | `cache.plan.shard`    | plan-cache shard ops, checked under the shard lock (error → forced miss / dropped insert) |
 //! | `cache.pref.shard`    | preference-cache shard ops, same contract   |
 //! | `admission.queue`     | admission-permit wait in `qp_core::admission` |

@@ -12,14 +12,38 @@ cargo test -q --workspace
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Metric-name drift: every metric name registered by a literal string in
+# first-party sources must appear (backticked) in OBSERVABILITY.md, so
+# the doc can't silently fall behind the code. crates/obs is excluded —
+# its tests register throwaway names to exercise the registry itself.
+# Names built at runtime (e.g. per-operation server counters) are out of
+# this check's reach and rely on review.
+echo "==> OBSERVABILITY.md metric-name check"
+metric_srcs=$(ls -d crates/*/src | grep -v '^crates/obs/')
+drift=0
+while IFS= read -r name; do
+  if ! grep -qF "\`$name\`" OBSERVABILITY.md; then
+    echo "ERROR: metric '$name' is emitted in code but undocumented in OBSERVABILITY.md"
+    drift=1
+  fi
+done < <(grep -rhoE '\.(counter|gauge|histogram)\("[^"]+"\)' $metric_srcs --include='*.rs' \
+           | sed -E 's/.*\("([^"]+)"\)/\1/' | sort -u)
+[ "$drift" -eq 0 ] || exit 1
+echo "all emitted metric names are documented"
+
 echo "==> cargo test (failpoints feature)"
 cargo test -q -p qp-exec -p qp-core --features failpoints
 
-# The serving configuration sweep: everything must pass with the worker
-# pool fanned out and again with both caches bypassed — parallelism and
-# caching are transparent optimizations, never behavioural switches.
-echo "==> cargo test (QP_PARALLELISM=4)"
-QP_PARALLELISM=4 cargo test -q --workspace
+# The serving configuration sweep: everything must pass at every pool
+# width — 1 is the identical serial code path, 2 is the minimal stealing
+# pair, 4 the default serving width, 8 oversubscribes this container so
+# workers contend and steal constantly — and again with both caches
+# bypassed. Parallelism and caching are transparent optimizations, never
+# behavioural switches.
+for par in 1 2 4 8; do
+  echo "==> cargo test (QP_PARALLELISM=$par)"
+  QP_PARALLELISM=$par cargo test -q --workspace
+done
 
 echo "==> cargo test (caches disabled)"
 QP_DISABLE_PLAN_CACHE=1 QP_DISABLE_PREF_CACHE=1 cargo test -q --workspace
