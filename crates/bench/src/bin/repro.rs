@@ -9,6 +9,7 @@
 //! repro --bench-vectorized [--scale ...] [--runs N]
 //! repro --bench-chaos [--scale ...] [--runs N]
 //! repro --bench-serving [--scale ...] [--runs N] [--users N]
+//! repro --bench-profiles [--scale ...] [--users N]
 //! ```
 //!
 //! `--bench-parallel` runs the serving benchmarks introduced with the
@@ -41,6 +42,13 @@
 //! torn frames). p50/p99 latency, requests/s, and the shed / severed /
 //! short-circuit / retry counts land in `BENCH_serving.json`.
 //!
+//! `--bench-profiles` measures the million-profile store: pooled profile
+//! generation, compact-encoded registration throughput and bytes per
+//! profile, store lookup p50/p99 over random ids, and cold (decode +
+//! graph + selection) vs warm (per-user selection memo) preference
+//! resolution. Defaults to 1,000,000 users; `--users` overrides. The
+//! snapshot lands in `BENCH_profiles.json`.
+//!
 //! `--deadline-ms` and `--max-rows` configure the `guardrails` figure: a
 //! PPA run under a [`qp_exec::QueryGuard`], showing the partial ranked
 //! answer and the degradation report a production deployment would see.
@@ -70,6 +78,7 @@ fn main() {
     let mut scale = Scale::Medium;
     let mut runs = 3usize;
     let mut users = 1_000usize;
+    let mut users_set = false;
     let mut deadline_ms: Option<u64> = None;
     let mut max_rows: Option<u64> = None;
     let mut trace_json: Option<String> = None;
@@ -112,11 +121,13 @@ fn main() {
             "--bench-vectorized" => figures.push("bench-vectorized".to_string()),
             "--bench-chaos" => figures.push("bench-chaos".to_string()),
             "--bench-serving" => figures.push("bench-serving".to_string()),
+            "--bench-profiles" => figures.push("bench-profiles".to_string()),
             "--users" => {
                 users = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--users expects a user count");
                     std::process::exit(2);
                 });
+                users_set = true;
             }
             other => figures.push(other.to_string()),
         }
@@ -139,6 +150,11 @@ fn main() {
     }
     if figures.iter().any(|f| f == "bench-serving") {
         bench_serving(bench_db(scale), runs, users);
+    }
+    if figures.iter().any(|f| f == "bench-profiles") {
+        // The profile-store benchmark defaults to a million users; an
+        // explicit --users overrides (check.sh smokes it at 20k).
+        bench_profiles(&bench_db(scale), if users_set { users } else { 1_000_000 });
     }
 
     let bench_parallel_wanted = figures.iter().any(|f| f == "bench-parallel");
@@ -1042,6 +1058,106 @@ fn bench_vectorized(db: &Database, runs: usize) {
     match std::fs::write("BENCH_vectorized.json", &json) {
         Ok(()) => println!("wrote BENCH_vectorized.json"),
         Err(e) => eprintln!("warning: could not write BENCH_vectorized.json: {e}"),
+    }
+}
+
+/// Profile-store benchmark at (by default) a million users: encoded
+/// footprint, registration throughput, lookup tail latency, and the
+/// cold-vs-warm gap the per-user selection memo buys. The snapshot lands
+/// in `BENCH_profiles.json`.
+///
+/// "Cold" is a user's first `select title from MOVIE` resolution: blob
+/// decode + personalization-graph build + selection algorithm. "Warm" is
+/// the same request again, answered from the store's per-user memo.
+fn bench_profiles(db: &Database, users: usize) {
+    use qp_core::store::{ProfileStore, UserId};
+    use qp_datagen::ProfilePool;
+    use std::time::Instant;
+
+    const PREFS_PER_PROFILE: usize = 8;
+    let catalog = db.catalog();
+    let pool = ProfilePool::build(db);
+    let store = ProfileStore::new();
+
+    println!("bench-profiles: registering {users} pooled profiles…");
+    let start = Instant::now();
+    for u in 0..users as u64 {
+        store.register(UserId(u), &pool.profile(catalog, u, PREFS_PER_PROFILE));
+    }
+    let register = start.elapsed();
+    let register_rate = users as f64 / register.as_secs_f64().max(1e-9);
+    let bytes_per_profile = store.encoded_bytes() as f64 / store.len().max(1) as f64;
+
+    // Lookup tail latency over random ids (SplitMix-scrambled so the
+    // walk doesn't match insertion order).
+    let samples = 10_000.min(users);
+    let mut lookup_ns: Vec<u64> = Vec::with_capacity(samples);
+    let mut x = 0x9E37_79B9u64;
+    for _ in 0..samples {
+        x = x.wrapping_mul(0xD120_0000_1571_27C1).wrapping_add(0x2545_F491_4F6C_DD1D);
+        let uid = UserId((x >> 16) % users as u64);
+        let t = Instant::now();
+        let handle = store.get(uid);
+        lookup_ns.push(t.elapsed().as_nanos() as u64);
+        assert!(handle.is_some(), "sampled id within the registered range");
+    }
+    lookup_ns.sort_unstable();
+    let p50_ns = lookup_ns[samples / 2];
+    let p99_ns = lookup_ns[samples * 99 / 100];
+
+    // Cold vs warm selection over a sample of users. A fresh Personalizer
+    // per user keeps its LRU out of the cold path; the warm hit comes
+    // from the store memo, which both personalizers share.
+    let query = parse_query("select title from MOVIE").unwrap();
+    let options = efficiency_options(5, 1, AnswerAlgorithm::Ppa);
+    let store = std::sync::Arc::new(store);
+    let sel_samples = 200.min(users);
+    let mut cold_us: Vec<u64> = Vec::with_capacity(sel_samples);
+    let mut warm_us: Vec<u64> = Vec::with_capacity(sel_samples);
+    for i in 0..sel_samples as u64 {
+        let uid = UserId((i * 7919) % users as u64);
+        let p = Personalizer::new(db).with_profile_store(std::sync::Arc::clone(&store));
+        let t = Instant::now();
+        let cold = p.select_preferences_for_user(uid, &query, &options).expect("cold selection");
+        cold_us.push(t.elapsed().as_micros() as u64);
+        let t = Instant::now();
+        let warm = p.select_preferences_for_user(uid, &query, &options).expect("warm selection");
+        warm_us.push(t.elapsed().as_micros() as u64);
+        assert_eq!(cold.len(), warm.len(), "memo must replay the same selection");
+    }
+    cold_us.sort_unstable();
+    warm_us.sort_unstable();
+    let cold_p50 = cold_us[sel_samples / 2];
+    let warm_p50 = warm_us[sel_samples / 2];
+    let speedup = cold_p50 as f64 / (warm_p50 as f64).max(1e-9);
+
+    print_table(
+        &format!("Profile store — {users} users, {PREFS_PER_PROFILE} selections each"),
+        &["measurement", "value"],
+        &[
+            vec!["bytes / profile (encoded)".into(), format!("{bytes_per_profile:.1}")],
+            vec!["register throughput".into(), format!("{register_rate:.0} profiles/s")],
+            vec!["lookup p50 / p99".into(), format!("{p50_ns} ns / {p99_ns} ns")],
+            vec!["selection cold p50".into(), format!("{cold_p50} µs")],
+            vec!["selection warm p50 (memo)".into(), format!("{warm_p50} µs")],
+            vec!["cold / warm speedup".into(), format!("{speedup:.1}x")],
+        ],
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": {{\"users\": {users}, \"prefs_per_profile\": {PREFS_PER_PROFILE}, \"movies\": {}}},\n  \
+           \"encoding\": {{\"total_bytes\": {}, \"dict_bytes\": {}, \"bytes_per_profile\": {bytes_per_profile:.2}}},\n  \
+           \"register\": {{\"total_ms\": {}, \"profiles_per_sec\": {register_rate:.0}}},\n  \
+           \"lookup\": {{\"samples\": {samples}, \"p50_ns\": {p50_ns}, \"p99_ns\": {p99_ns}}},\n  \
+           \"selection\": {{\"sampled_users\": {sel_samples}, \"cold_p50_us\": {cold_p50}, \"warm_p50_us\": {warm_p50}, \"speedup\": {speedup:.2}}}\n}}\n",
+        db.table_by_name("MOVIE").map_or(0, |t| t.len()),
+        store.encoded_bytes(),
+        store.dict_bytes(),
+        register.as_millis(),
+    );
+    match std::fs::write("BENCH_profiles.json", &json) {
+        Ok(()) => println!("wrote BENCH_profiles.json"),
+        Err(e) => eprintln!("warning: could not write BENCH_profiles.json: {e}"),
     }
 }
 

@@ -21,6 +21,9 @@ struct Repl {
     addr: String,
     client: Client,
     user: String,
+    /// Store id from the last registration of the active user; queries
+    /// carry it so the server can skip the name lookup.
+    user_id: Option<u64>,
     k: Option<u64>,
     l: Option<u64>,
     algorithm: Option<String>,
@@ -74,6 +77,7 @@ impl Repl {
                     return Err("usage: \\user <name>".to_string());
                 }
                 self.user = rest.to_string();
+                self.user_id = None;
                 println!("user = {}", self.user);
             }
             "profile" => {
@@ -85,11 +89,15 @@ impl Repl {
                 } else {
                     std::fs::read_to_string(rest).map_err(|e| format!("{rest}: {e}"))?
                 };
-                let n = self
+                let reg = self
                     .client
                     .register_profile(&self.user, &text)
                     .map_err(|e| e.to_string())?;
-                println!("registered {n} preferences for {}", self.user);
+                self.user_id = Some(reg.user_id);
+                println!(
+                    "registered {} preferences for {} (id {}, v{})",
+                    reg.preferences, self.user, reg.user_id, reg.version
+                );
             }
             "k" => {
                 self.k = Some(rest.parse().map_err(|_| "usage: \\k <n>".to_string())?);
@@ -124,6 +132,9 @@ impl Repl {
 
     fn query(&mut self, sql: &str) -> Result<(), String> {
         let mut call = PersonalizeCall::new(&self.user, sql);
+        if let Some(id) = self.user_id {
+            call = call.user_id(id);
+        }
         if let Some(k) = self.k {
             call = call.k(k);
         }
@@ -175,6 +186,7 @@ fn main() {
         addr,
         client,
         user: "guest".to_string(),
+        user_id: None,
         k: None,
         l: None,
         algorithm: None,

@@ -69,10 +69,32 @@ impl From<FrameError> for ClientError {
     }
 }
 
+/// What the server assigned when a profile was registered. Keep the
+/// `user_id` and thread it into [`PersonalizeCall::user_id`] (or use
+/// [`Registration::call`]) — id-addressed requests skip the server's
+/// name lookup and identify the profile durably across connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Registration {
+    /// Store-assigned user id, stable for the server's lifetime.
+    pub user_id: u64,
+    /// Store version: 1 on first registration, +1 per re-registration.
+    pub version: u64,
+    /// Number of preferences parsed from the profile text.
+    pub preferences: u64,
+}
+
+impl Registration {
+    /// A [`PersonalizeCall`] addressed by this registration's id.
+    pub fn call(&self, sql: impl Into<String>) -> PersonalizeCall {
+        PersonalizeCall::new("", sql).user_id(self.user_id)
+    }
+}
+
 /// Builder for a `personalize` request.
 #[derive(Debug, Clone)]
 pub struct PersonalizeCall {
     user: String,
+    user_id: Option<u64>,
     sql: String,
     k: Option<u64>,
     l: Option<u64>,
@@ -85,11 +107,19 @@ impl PersonalizeCall {
     pub fn new(user: impl Into<String>, sql: impl Into<String>) -> Self {
         PersonalizeCall {
             user: user.into(),
+            user_id: None,
             sql: sql.into(),
             k: None,
             l: None,
             algorithm: None,
         }
+    }
+
+    /// Addresses the profile by its store-assigned id (from
+    /// [`Registration::user_id`]) instead of the user-key lookup.
+    pub fn user_id(mut self, user_id: u64) -> Self {
+        self.user_id = Some(user_id);
+        self
     }
 
     /// Selects the top-K preferences.
@@ -113,6 +143,7 @@ impl PersonalizeCall {
     fn into_request(self) -> Request {
         Request::Personalize {
             user: self.user,
+            user_id: self.user_id,
             sql: self.sql,
             k: self.k,
             l: self.l,
@@ -166,19 +197,22 @@ impl Client {
         }
     }
 
-    /// Registers (or replaces) `user`'s profile; returns the number of
-    /// preferences the server parsed out of the DSL text.
+    /// Registers (or replaces) `user`'s profile; returns the store
+    /// assignment — id, version, and the number of preferences the
+    /// server parsed out of the DSL text.
     pub fn register_profile(
         &mut self,
         user: &str,
         profile_dsl: &str,
-    ) -> Result<u64, ClientError> {
+    ) -> Result<Registration, ClientError> {
         let req = Request::RegisterProfile {
             user: user.to_string(),
             profile: profile_dsl.to_string(),
         };
         match self.roundtrip(&req)? {
-            Response::ProfileRegistered { preferences, .. } => Ok(preferences),
+            Response::ProfileRegistered { user_id, version, preferences, .. } => {
+                Ok(Registration { user_id, version, preferences })
+            }
             other => Err(unexpected("profile_registered", &other)),
         }
     }

@@ -247,6 +247,11 @@ pub enum Request {
     Personalize {
         /// User key (must have a registered profile).
         user: String,
+        /// Store-assigned user id from a `profile_registered` response.
+        /// When present the server resolves the profile by id directly,
+        /// skipping the name lookup; `user` is then only used in error
+        /// messages.
+        user_id: Option<u64>,
         /// The SQL query to personalize.
         sql: String,
         /// Top-K preferences to select (server default if absent).
@@ -270,12 +275,15 @@ impl Request {
                 ("user", Json::str(user.clone())),
                 ("profile", Json::str(profile.clone())),
             ]),
-            Request::Personalize { user, sql, k, l, algorithm } => {
+            Request::Personalize { user, user_id, sql, k, l, algorithm } => {
                 let mut pairs = vec![
                     ("op", Json::str("personalize")),
                     ("user", Json::str(user.clone())),
                     ("sql", Json::str(sql.clone())),
                 ];
+                if let Some(id) = user_id {
+                    pairs.push(("user_id", Json::num(*id as f64)));
+                }
                 if let Some(k) = k {
                     pairs.push(("k", Json::num(*k as f64)));
                 }
@@ -302,13 +310,14 @@ impl Request {
                 profile: v.str_field("profile").ok_or("missing \"profile\"")?.to_string(),
             }),
             "personalize" => {
-                for key in ["k", "l"] {
+                for key in ["user_id", "k", "l"] {
                     if v.get(key).is_some() && v.u64_field(key).is_none() {
                         return Err(format!("\"{key}\" must be a non-negative integer"));
                     }
                 }
                 Ok(Request::Personalize {
                     user: v.str_field("user").ok_or("missing \"user\"")?.to_string(),
+                    user_id: v.u64_field("user_id"),
                     sql: v.str_field("sql").ok_or("missing \"sql\"")?.to_string(),
                     k: v.u64_field("k"),
                     l: v.u64_field("l"),
@@ -354,6 +363,13 @@ pub enum Response {
     ProfileRegistered {
         /// Echoed user key.
         user: String,
+        /// Store-assigned user id — durable for the server's lifetime,
+        /// shared across connections. Pass it back as
+        /// [`Request::Personalize::user_id`] to skip the name lookup.
+        user_id: u64,
+        /// Store version of the profile: 1 on first registration,
+        /// bumped on every re-registration.
+        version: u64,
         /// Number of preferences parsed from the profile text.
         preferences: u64,
     },
@@ -373,12 +389,16 @@ impl Response {
             Response::Pong => {
                 Json::obj(vec![("ok", Json::Bool(true)), ("op", Json::str("pong"))])
             }
-            Response::ProfileRegistered { user, preferences } => Json::obj(vec![
-                ("ok", Json::Bool(true)),
-                ("op", Json::str("profile_registered")),
-                ("user", Json::str(user.clone())),
-                ("preferences", Json::num(*preferences as f64)),
-            ]),
+            Response::ProfileRegistered { user, user_id, version, preferences } => {
+                Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("op", Json::str("profile_registered")),
+                    ("user", Json::str(user.clone())),
+                    ("user_id", Json::num(*user_id as f64)),
+                    ("version", Json::num(*version as f64)),
+                    ("preferences", Json::num(*preferences as f64)),
+                ])
+            }
             Response::Answer(a) => Json::obj(vec![
                 ("ok", Json::Bool(true)),
                 ("op", Json::str("answer")),
@@ -434,6 +454,8 @@ impl Response {
             "pong" => Ok(Response::Pong),
             "profile_registered" => Ok(Response::ProfileRegistered {
                 user: v.str_field("user").ok_or("missing \"user\"")?.to_string(),
+                user_id: v.u64_field("user_id").ok_or("missing \"user_id\"")?,
+                version: v.u64_field("version").ok_or("missing \"version\"")?,
                 preferences: v.u64_field("preferences").ok_or("missing \"preferences\"")?,
             }),
             "answer" => {
@@ -496,6 +518,7 @@ mod tests {
         });
         round_trip_request(Request::Personalize {
             user: "al".into(),
+            user_id: Some(7),
             sql: "select title from MOVIE".into(),
             k: Some(5),
             l: Some(1),
@@ -503,6 +526,7 @@ mod tests {
         });
         round_trip_request(Request::Personalize {
             user: "al".into(),
+            user_id: None,
             sql: "select title from MOVIE".into(),
             k: None,
             l: None,
@@ -514,7 +538,12 @@ mod tests {
     fn responses_round_trip() {
         let cases = vec![
             Response::Pong,
-            Response::ProfileRegistered { user: "al".into(), preferences: 7 },
+            Response::ProfileRegistered {
+                user: "al".into(),
+                user_id: 3,
+                version: 2,
+                preferences: 7,
+            },
             Response::Answer(Answer {
                 columns: vec!["title".into()],
                 tuples: vec![WireTuple {

@@ -4,7 +4,7 @@ use std::fmt;
 
 use qp_exec::ExecError;
 use qp_sql::ParseError;
-use qp_storage::StorageError;
+use qp_storage::{DecodeError, StorageError};
 
 /// Errors raised while building profiles or personalizing queries.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +55,17 @@ pub enum PrefError {
         /// milliseconds.
         waited_ms: u64,
     },
+    /// A `PersonalizeRequest::user(..)` run reached a personalizer with
+    /// no [`crate::ProfileStore`] attached.
+    NoProfileStore,
+    /// The requested user has no profile registered in the store.
+    UnknownUser {
+        /// The store-assigned user id.
+        user: u64,
+    },
+    /// A stored profile blob failed to decode — corruption, or an
+    /// encoding version skew.
+    ProfileDecode(DecodeError),
 }
 
 impl fmt::Display for PrefError {
@@ -92,6 +103,13 @@ impl fmt::Display for PrefError {
                 f,
                 "overloaded: request shed after {waited_ms} ms with {in_flight} in flight"
             ),
+            PrefError::NoProfileStore => {
+                write!(f, "no profile store attached to this personalizer")
+            }
+            PrefError::UnknownUser { user } => {
+                write!(f, "unknown user {user}: no profile registered in the store")
+            }
+            PrefError::ProfileDecode(e) => write!(f, "stored profile blob corrupt: {e}"),
         }
     }
 }
@@ -113,6 +131,12 @@ impl From<ParseError> for PrefError {
 impl From<ExecError> for PrefError {
     fn from(e: ExecError) -> Self {
         PrefError::Exec(e)
+    }
+}
+
+impl From<DecodeError> for PrefError {
+    fn from(e: DecodeError) -> Self {
+        PrefError::ProfileDecode(e)
     }
 }
 

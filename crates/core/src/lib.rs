@@ -55,6 +55,7 @@ pub mod profile;
 pub mod ranking;
 pub mod select;
 pub mod skyline;
+pub mod store;
 
 pub use admission::{
     is_transient, AdmissionConfig, AdmissionController, AdmissionPermit, BreakerConfig,
@@ -80,9 +81,10 @@ pub use personalize::{
 pub use preference::{
     CompareOp, JoinPreference, PrefId, Preference, SelCondition, SelectionPreference,
 };
-pub use profile::Profile;
+pub use profile::{Profile, STORED_ID_BIT};
 pub use ranking::{MixedKind, Ranking, RankingKind};
 pub use select::{
     PrefKey, PreferenceCache, SelectedPreference, SelectionCriterion, SelectionStats,
 };
 pub use skyline::skyline;
+pub use store::{ProfileHandle, ProfileStore, SelKey, UserId};

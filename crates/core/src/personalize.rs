@@ -7,13 +7,15 @@
 //! the K preferences, ranked by a configurable ranking function).
 //!
 //! The serving API is **request/response**: describe one run with a
-//! [`PersonalizeRequest`] (profile + query, plus per-request options,
-//! guard, parallelism, cache toggles and trace opt-in as builder
-//! methods), hand it to [`Personalizer::run`], and get a
-//! [`PersonalizeOutcome`] back — the ranked answer and degradation
-//! report, profile statistics, and the run's cache activity. The older
-//! `personalize_sql` / `personalize` / `personalize_guarded` entry
-//! points remain as thin deprecated shims over the same engine.
+//! [`PersonalizeRequest`] (whose profile is either owned by the caller
+//! or named by a [`UserId`] resolved from an attached
+//! [`crate::ProfileStore`] — plus per-request options, guard,
+//! parallelism, cache toggles and trace opt-in as builder methods), hand
+//! it to [`Personalizer::run`], and get a [`PersonalizeOutcome`] back —
+//! the ranked answer and degradation report, profile statistics, and the
+//! run's cache activity. This is the *only* entry point: the pre-request
+//! `personalize_sql` / `personalize` / `personalize_guarded` shims have
+//! been removed (each maps to a one-line `PersonalizeRequest` build).
 //!
 //! A `Personalizer` built with [`Personalizer::shared`] owns an
 //! `Arc<Database>` and is `'static`, so multi-user serving can hand each
@@ -42,9 +44,9 @@ use crate::graph::PersonalizationGraph;
 use crate::profile::Profile;
 use crate::ranking::Ranking;
 use crate::select::{
-    doi_based::doi_based, fakecrit::fakecrit, sps::sps, PreferenceCache, QueryContext,
-    SelectedPreference, SelectionCriterion,
+    run_algorithm, PreferenceCache, QueryContext, SelectedPreference, SelectionCriterion,
 };
+use crate::store::{ProfileHandle, ProfileStore, SelKey, UserId};
 
 /// Which preference-selection algorithm to run (§4).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -139,11 +141,27 @@ enum QueryInput<'a> {
     Parsed(&'a Query),
 }
 
-/// One personalization run, described declaratively: who ([`Profile`]),
-/// what (SQL text or parsed query), and how (options, guard,
-/// parallelism, cache toggles, tracing). Build with
-/// [`PersonalizeRequest::sql`] or [`PersonalizeRequest::query`], refine
-/// with the builder methods, and execute with [`Personalizer::run`].
+/// Whose preferences a [`PersonalizeRequest`] personalizes for: a
+/// profile the caller owns, or a user resolved from the personalizer's
+/// attached [`ProfileStore`]. The two are mutually exclusive by
+/// construction — a request is built either from a `&Profile`
+/// ([`PersonalizeRequest::sql`] / [`PersonalizeRequest::query`]) or from
+/// a [`UserId`] ([`PersonalizeRequest::user`] /
+/// [`PersonalizeRequest::user_query`]).
+enum ProfileSource<'a> {
+    /// A caller-owned (ad-hoc) profile.
+    Borrowed(&'a Profile),
+    /// A stored profile, looked up in the attached store at run time.
+    User(UserId),
+}
+
+/// One personalization run, described declaratively: who (a [`Profile`]
+/// or a stored [`UserId`]), what (SQL text or parsed query), and how
+/// (options, guard, parallelism, cache toggles, tracing). Build with
+/// [`PersonalizeRequest::sql`], [`PersonalizeRequest::query`],
+/// [`PersonalizeRequest::user`], or [`PersonalizeRequest::user_query`],
+/// refine with the builder methods, and execute with
+/// [`Personalizer::run`].
 ///
 /// Every knob is optional: an unrefined request runs with the
 /// personalizer's current configuration, an unlimited guard, and
@@ -151,7 +169,7 @@ enum QueryInput<'a> {
 /// only** — `run` restores the personalizer's configuration afterwards
 /// (disabling a cache for one request does not cold-start later ones).
 pub struct PersonalizeRequest<'a> {
-    profile: &'a Profile,
+    profile: ProfileSource<'a>,
     query: QueryInput<'a>,
     options: PersonalizationOptions,
     guard: QueryGuard,
@@ -165,7 +183,7 @@ impl<'a> PersonalizeRequest<'a> {
     /// A request personalizing a SQL string for `profile`.
     pub fn sql(profile: &'a Profile, sql: &'a str) -> Self {
         PersonalizeRequest {
-            profile,
+            profile: ProfileSource::Borrowed(profile),
             query: QueryInput::Sql(sql),
             options: PersonalizationOptions::default(),
             guard: QueryGuard::unlimited(),
@@ -179,6 +197,33 @@ impl<'a> PersonalizeRequest<'a> {
     /// A request personalizing an already-parsed query for `profile`.
     pub fn query(profile: &'a Profile, query: &'a Query) -> Self {
         let mut r = PersonalizeRequest::sql(profile, "");
+        r.query = QueryInput::Parsed(query);
+        r
+    }
+
+    /// A request personalizing a SQL string for a **stored** user: the
+    /// profile is resolved at run time from the personalizer's attached
+    /// [`ProfileStore`] (see [`Personalizer::with_profile_store`]).
+    /// Running it without a store is a typed
+    /// [`PrefError::NoProfileStore`]; an unregistered user is a typed
+    /// [`PrefError::UnknownUser`].
+    pub fn user(user: UserId, sql: &'a str) -> Self {
+        PersonalizeRequest {
+            profile: ProfileSource::User(user),
+            query: QueryInput::Sql(sql),
+            options: PersonalizationOptions::default(),
+            guard: QueryGuard::unlimited(),
+            parallelism: None,
+            plan_cache: None,
+            preference_cache: None,
+            trace: None,
+        }
+    }
+
+    /// A request personalizing an already-parsed query for a stored user
+    /// (see [`PersonalizeRequest::user`]).
+    pub fn user_query(user: UserId, query: &'a Query) -> Self {
+        let mut r = PersonalizeRequest::user(user, "");
         r.query = QueryInput::Parsed(query);
         r
     }
@@ -421,6 +466,7 @@ pub struct Personalizer<'db> {
     engine: Engine,
     pref_cache: Option<Arc<PreferenceCache>>,
     resilience: Option<Arc<Resilience>>,
+    profiles: Option<Arc<ProfileStore>>,
 }
 
 impl<'db> Personalizer<'db> {
@@ -435,7 +481,29 @@ impl<'db> Personalizer<'db> {
         } else {
             Some(Arc::new(PreferenceCache::new()))
         };
-        Personalizer { db, engine: Engine::new(), pref_cache, resilience: None }
+        Personalizer { db, engine: Engine::new(), pref_cache, resilience: None, profiles: None }
+    }
+
+    /// Attaches a [`ProfileStore`] (builder-style): subsequent
+    /// [`PersonalizeRequest::user`] runs resolve their profile from it,
+    /// and selection consults the store's per-user memo before the LRU
+    /// preference cache. Share one store across a serving fleet's
+    /// personalizers — stored profiles carry durable `(user_id, version)`
+    /// cache identity, so every personalizer's caches agree.
+    pub fn with_profile_store(mut self, store: Arc<ProfileStore>) -> Self {
+        self.profiles = Some(store);
+        self
+    }
+
+    /// Attaches (or with `None`, detaches) a [`ProfileStore`]; see
+    /// [`Personalizer::with_profile_store`].
+    pub fn set_profile_store(&mut self, store: Option<Arc<ProfileStore>>) {
+        self.profiles = store;
+    }
+
+    /// The attached profile store, if any.
+    pub fn profile_store(&self) -> Option<&Arc<ProfileStore>> {
+        self.profiles.as_ref()
     }
 
     /// Attaches (or with `None`, detaches) a [`Resilience`] bundle:
@@ -611,6 +679,21 @@ impl<'db> Personalizer<'db> {
             QueryInput::Parsed(q) => q,
         };
 
+        // Resolve the profile source. A stored user costs one shard
+        // lookup; the decode is amortized across every request (and every
+        // connection) touching the user since its last re-registration.
+        let resolved: Arc<Profile>;
+        let (profile, handle): (&Profile, Option<ProfileHandle>) = match profile {
+            ProfileSource::Borrowed(p) => (p, None),
+            ProfileSource::User(user) => {
+                let store = self.profiles.as_ref().ok_or(PrefError::NoProfileStore)?;
+                let handle =
+                    store.get(user).ok_or(PrefError::UnknownUser { user: user.0 })?;
+                resolved = handle.profile()?;
+                (&resolved, Some(handle))
+            }
+        };
+
         // Apply per-run overrides, remembering what they replaced. The
         // cache objects themselves are set aside (not dropped), so a
         // disabled-for-one-run cache keeps its warm entries.
@@ -660,12 +743,14 @@ impl<'db> Personalizer<'db> {
                                 .tracer()
                                 .event("retry.attempt", &[("attempt", u64::from(attempt).into())]);
                         }
-                        self.personalize_inner(&db, profile, query, &options, &guard)
+                        self.personalize_inner(&db, profile, query, &options, &guard, handle.as_ref())
                     });
                     activity.retries = retries;
                     result
                 }
-                None => self.personalize_inner(&db, profile, query, &options, &guard),
+                None => {
+                    self.personalize_inner(&db, profile, query, &options, &guard, handle.as_ref())
+                }
             }
         };
         let after = self.cache_counters();
@@ -761,19 +846,6 @@ impl<'db> Personalizer<'db> {
         CacheActivity { plan_hits, plan_misses, pref_hits, pref_misses }
     }
 
-    /// Personalizes a SQL string.
-    #[deprecated(note = "use `PersonalizeRequest::sql` + `Personalizer::run`")]
-    pub fn personalize_sql(
-        &mut self,
-        profile: &Profile,
-        sql: &str,
-        options: &PersonalizationOptions,
-    ) -> Result<PersonalizationReport, PrefError> {
-        let query = parse_query(sql)?;
-        let db = self.db.pin();
-        self.personalize_inner(&db, profile, &query, options, &QueryGuard::unlimited())
-    }
-
     /// Runs only the preference-selection phase. Consults the
     /// preference-selection cache when enabled: a hit skips the graph
     /// walk entirely (`cache.pref.hits` / `cache.pref.misses` count the
@@ -785,31 +857,80 @@ impl<'db> Personalizer<'db> {
         options: &PersonalizationOptions,
     ) -> Result<Vec<SelectedPreference>, PrefError> {
         let db = self.db.pin();
-        self.select_preferences_at(&db, profile, query, options)
+        self.select_preferences_at(&db, profile, query, options, None)
+    }
+
+    /// Preference selection for a **stored** user: resolves the profile
+    /// from the attached [`ProfileStore`] and consults the user's
+    /// selection memo first — a repeat query context (or one precomputed
+    /// by [`ProfileStore::precompute`]) resolves without touching the
+    /// graph.
+    pub fn select_preferences_for_user(
+        &self,
+        user: UserId,
+        query: &Query,
+        options: &PersonalizationOptions,
+    ) -> Result<Vec<SelectedPreference>, PrefError> {
+        let store = self.profiles.as_ref().ok_or(PrefError::NoProfileStore)?;
+        let handle = store.get(user).ok_or(PrefError::UnknownUser { user: user.0 })?;
+        let profile = handle.profile()?;
+        let db = self.db.pin();
+        self.select_preferences_at(&db, &profile, query, options, Some(&handle))
     }
 
     /// Selection against an already-pinned database epoch (so one
     /// request's phases all see the same snapshot).
+    ///
+    /// Lookup order for a stored profile: the store's per-user selection
+    /// memo (keyed by query *context*, shared across connections and
+    /// filled by [`ProfileStore::precompute`]), then the LRU preference
+    /// cache (keyed by query text), then the graph walk — whose result
+    /// feeds both caches.
     fn select_preferences_at(
         &self,
         db: &Database,
         profile: &Profile,
         query: &Query,
         options: &PersonalizationOptions,
+        handle: Option<&ProfileHandle>,
     ) -> Result<Vec<SelectedPreference>, PrefError> {
+        // The store memo keys on the query context, so compute it once up
+        // front when a stored profile is in play. A query the context
+        // derivation rejects falls through to the ordinary path (and will
+        // fail there with a proper error if selection really needs it).
+        let store_key = handle.and_then(|h| {
+            let qc = QueryContext::from_query(db.catalog(), query).ok()?;
+            Some((h, SelKey::new(&qc, options)))
+        });
+        if let Some((h, key)) = &store_key {
+            if let Some(hit) = h.cached_selection(key) {
+                self.engine
+                    .tracer()
+                    .event("profiles.select.hit", &[("selected", hit.len().into())]);
+                return Ok((*hit).clone());
+            }
+        }
         if let Some(cache) = &self.pref_cache {
             if let Some(hit) = cache.get(profile, query, options) {
                 self.engine.metrics().counter("cache.pref.hits").inc();
                 self.engine
                     .tracer()
                     .event("cache.pref.hit", &[("selected", hit.len().into())]);
+                if let Some((h, key)) = store_key {
+                    h.cache_selection(key, (*hit).clone());
+                }
                 return Ok((*hit).clone());
             }
             self.engine.metrics().counter("cache.pref.misses").inc();
         }
         let result = self.compute_selection(db, profile, query, options);
-        if let (Some(cache), Ok(selected)) = (&self.pref_cache, &result) {
-            cache.insert(profile, query, options, selected.clone());
+        if let Ok(selected) = &result {
+            if let Some(cache) = &self.pref_cache {
+                cache.insert(profile, query, options, selected.clone());
+            }
+            if let Some((h, key)) = store_key {
+                h.cache_selection(key, selected.clone());
+            }
         }
         result
     }
@@ -840,13 +961,7 @@ impl<'db> Personalizer<'db> {
 
         let qc = QueryContext::from_query(db.catalog(), query)?;
         let crit_span = tracer.span("selection.criterion");
-        let result = match options.selection {
-            SelectionAlgorithm::FakeCrit => fakecrit(&graph, &qc, options.criterion),
-            SelectionAlgorithm::Sps => sps(&graph, &qc, options.criterion),
-            SelectionAlgorithm::DoiBased { d_r, n_estimate } => {
-                doi_based(&graph, &qc, d_r, &options.ranking, n_estimate)
-            }
-        };
+        let result = run_algorithm(&graph, &qc, options);
         crit_span.finish();
 
         if let Ok(selected) = &result {
@@ -857,34 +972,6 @@ impl<'db> Personalizer<'db> {
             metrics.histogram("selection.total_us").observe(started.elapsed());
         }
         result
-    }
-
-    /// Personalizes a parsed query: selects preferences, integrates them,
-    /// and generates the ranked answer.
-    #[deprecated(note = "use `PersonalizeRequest::query` + `Personalizer::run`")]
-    pub fn personalize(
-        &mut self,
-        profile: &Profile,
-        query: &Query,
-        options: &PersonalizationOptions,
-    ) -> Result<PersonalizationReport, PrefError> {
-        let db = self.db.pin();
-        self.personalize_inner(&db, profile, query, options, &QueryGuard::unlimited())
-    }
-
-    /// Personalization under a [`QueryGuard`]: the guard's deadline, row
-    /// budgets, and cancellation token bind every statement the run
-    /// executes.
-    #[deprecated(note = "use `PersonalizeRequest::query(..).guard(..)` + `Personalizer::run`")]
-    pub fn personalize_guarded(
-        &mut self,
-        profile: &Profile,
-        query: &Query,
-        options: &PersonalizationOptions,
-        guard: &QueryGuard,
-    ) -> Result<PersonalizationReport, PrefError> {
-        let db = self.db.pin();
-        self.personalize_inner(&db, profile, query, options, guard)
     }
 
     /// The three phases under a [`QueryGuard`].
@@ -904,6 +991,7 @@ impl<'db> Personalizer<'db> {
         query: &Query,
         options: &PersonalizationOptions,
         guard: &QueryGuard,
+        handle: Option<&ProfileHandle>,
     ) -> Result<PersonalizationReport, PrefError> {
         let t0 = Instant::now();
         let tracer = self.engine.tracer().clone();
@@ -917,7 +1005,7 @@ impl<'db> Personalizer<'db> {
         );
         root_span.attr("l", options.l);
 
-        let selected = match self.select_preferences_at(db, profile, query, options) {
+        let selected = match self.select_preferences_at(db, profile, query, options, handle) {
             Ok(s) => s,
             Err(e) if options.fallback_to_original => {
                 return self.fallback(db, query, vec![], t0.elapsed(), "selection", &e, guard);

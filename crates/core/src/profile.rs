@@ -58,8 +58,18 @@ pub struct Profile {
     version: u64,
 }
 
-/// Process-wide source of unique profile ids.
+/// Process-wide source of unique profile ids for *ad-hoc* profiles
+/// (built, parsed, or cloned in this process). Profiles resident in a
+/// [`crate::ProfileStore`] do **not** draw from this sequence — they get
+/// the durable `STORED_ID_BIT | user_id` identity instead, so their
+/// cache keys survive restarts and are shared across connections.
 static NEXT_PROFILE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// High bit marking a [`Profile::id`] as store-assigned (derived from a
+/// [`crate::store::UserId`]) rather than drawn from the process-local
+/// sequence. The two id spaces can therefore never collide: ad-hoc ids
+/// count up from 1, stored ids all have this bit set.
+pub const STORED_ID_BIT: u64 = 1 << 63;
 
 fn next_profile_id() -> u64 {
     NEXT_PROFILE_ID.fetch_add(1, Ordering::Relaxed)
@@ -72,10 +82,19 @@ impl Default for Profile {
 }
 
 impl Clone for Profile {
-    /// Clones the preferences into a profile with a **fresh identity**
-    /// (new id, version 0). Two clones that later diverge must never
-    /// share an `(id, version)` pair, or preference-selection caches
-    /// keyed on it would serve one clone's selections to the other.
+    /// Clones the preferences into a **detached** profile with a fresh
+    /// process-local identity (new id, version 0). Two clones that later
+    /// diverge must never share an `(id, version)` pair, or
+    /// preference-selection caches keyed on it would serve one clone's
+    /// selections to the other.
+    ///
+    /// This applies to stored profiles too: decoding a
+    /// [`crate::ProfileStore`] entry yields handles that all share the
+    /// durable `(user_id, version)` identity — so they share cache
+    /// entries — but the moment one is cloned (the only way to mutate
+    /// it, since handles are `Arc`-shared), the clone leaves the stored
+    /// identity space and its mutations can never poison the stored
+    /// profile's cache keys.
     fn clone(&self) -> Self {
         Profile { prefs: self.prefs.clone(), id: next_profile_id(), version: 0 }
     }
@@ -96,16 +115,33 @@ impl Profile {
         Profile::default()
     }
 
-    /// A process-unique identifier for this profile instance. Cloning
-    /// produces a *new* id; parsing produces a new id. Caches key on
-    /// `(id, version)`.
+    /// The identifier caches key on (together with [`Profile::version`]).
+    ///
+    /// Two id spaces exist:
+    /// * **ad-hoc** profiles (built, parsed, or cloned in this process)
+    ///   draw a process-unique id — cloning produces a *new* id, parsing
+    ///   produces a new id;
+    /// * **stored** profiles decoded from a [`crate::ProfileStore`] carry
+    ///   the durable `STORED_ID_BIT | user_id` identity ([`STORED_ID_BIT`]
+    ///   keeps the spaces disjoint), so every handle to the same stored
+    ///   profile — on any connection, before or after a restart — shares
+    ///   one cache key.
     pub fn id(&self) -> u64 {
         self.id
     }
 
-    /// The profile's mutation counter: every added preference bumps it,
-    /// which invalidates preference-selection cache entries keyed on the
-    /// previous version.
+    /// True when this profile carries a store-assigned durable identity
+    /// (see [`Profile::id`]).
+    pub fn is_stored(&self) -> bool {
+        self.id & STORED_ID_BIT != 0
+    }
+
+    /// The version component of the cache identity. For ad-hoc profiles
+    /// it is a mutation counter: every added preference bumps it, which
+    /// invalidates preference-selection cache entries keyed on the
+    /// previous version. For stored profiles it is the store's
+    /// registration version for the user — bumped on every re-register,
+    /// which invalidates exactly the same way.
     pub fn version(&self) -> u64 {
         self.version
     }
@@ -174,6 +210,13 @@ impl Profile {
         self.version += 1;
         self.prefs.push(pref);
         PrefId(self.prefs.len() - 1)
+    }
+
+    /// Rebuilds a profile decoded from a [`crate::ProfileStore`] blob,
+    /// stamping the durable `(user_id, version)` identity instead of
+    /// drawing from the process-local id sequence.
+    pub(crate) fn from_stored_parts(prefs: Vec<Preference>, user_id: u64, version: u64) -> Profile {
+        Profile { prefs, id: STORED_ID_BIT | user_id, version }
     }
 
     /// Parses a profile from the Figure-2 notation. Lines starting with

@@ -254,6 +254,25 @@ impl QueryContext {
     }
 }
 
+/// Dispatches the configured selection algorithm over a prebuilt graph
+/// and query context. Shared by the personalizer's selection phase and
+/// the profile store's per-user precomputation, so both produce
+/// identical selections for identical inputs.
+pub(crate) fn run_algorithm(
+    graph: &PersonalizationGraph<'_>,
+    qc: &QueryContext,
+    options: &crate::personalize::PersonalizationOptions,
+) -> Result<Vec<SelectedPreference>, PrefError> {
+    use crate::personalize::SelectionAlgorithm;
+    match options.selection {
+        SelectionAlgorithm::FakeCrit => fakecrit::fakecrit(graph, qc, options.criterion),
+        SelectionAlgorithm::Sps => sps::sps(graph, qc, options.criterion),
+        SelectionAlgorithm::DoiBased { d_r, n_estimate } => {
+            doi_based::doi_based(graph, qc, d_r, &options.ranking, n_estimate)
+        }
+    }
+}
+
 fn column_ref(e: &Expr) -> Option<(Option<String>, String)> {
     match e {
         Expr::Column { table, name } => Some((table.clone(), name.clone())),

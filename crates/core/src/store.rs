@@ -1,0 +1,615 @@
+//! The million-profile store: sharded, compact-encoded, lazily decoded.
+//!
+//! A [`ProfileStore`] keeps one encoded blob per registered user instead
+//! of a parsed [`Profile`] — a parsed profile is a heap-heavy structure
+//! (a `Vec` of preferences holding `Arc<str>` values, elastic functions,
+//! dois), while the [`codec`] blob packs the same information into tens
+//! of bytes using `qp_storage::encoding` (varints, small-int tags,
+//! dictionary-interned strings). A million users fit in a few hundred
+//! megabytes; the parsed form would take gigabytes.
+//!
+//! ## Sharding and lazy decode
+//!
+//! Users hash (by [`UserId`]) onto a fixed array of shards. Each shard
+//! owns its user map **and** its string dictionary under one `RwLock`:
+//! blobs reference dictionary ids, so profiles registered on the same
+//! shard share one copy of every distinct string (genres, director
+//! names, regions). [`ProfileStore::get`] clones an `Arc` out of the
+//! shard under the read lock and returns a [`ProfileHandle`]; nothing is
+//! decoded until [`ProfileHandle::profile`] is first called, at which
+//! point the decoded [`Profile`] is cached on the shard-resident entry
+//! (`profiles.decode.*` metrics count the work). Memory for decoded
+//! profiles therefore grows with the *active* working set, not with the
+//! registered population.
+//!
+//! ## Durable identity
+//!
+//! Decoded profiles carry the `(user_id, version)` identity
+//! (`STORED_ID_BIT | user_id`, see [`crate::profile::STORED_ID_BIT`])
+//! instead of a process-local id, so preference-selection cache keys for
+//! stored profiles are stable across connections and restarts.
+//! Re-registering a user replaces its entry wholesale with a bumped
+//! version — readers holding the old handle keep a consistent old view
+//! (old-or-new, never torn), and version-keyed caches stop matching.
+//!
+//! ## Selection precomputation
+//!
+//! Each entry carries a small per-user memo of preference selections
+//! keyed by [`SelKey`] (query context + options fingerprint, **not**
+//! query text — `SELECT title FROM movie` and `SELECT year FROM movie`
+//! share a selection). [`ProfileStore::precompute`] fills the memo with
+//! the top-K selection for every single-relation context at registration
+//! time, so a repeat query's selection phase is a store lookup. The memo
+//! dies with the entry on re-registration — version-bump invalidation
+//! for free.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
+
+use qp_obs::MetricsRegistry;
+use qp_storage::Catalog;
+
+use crate::error::PrefError;
+use crate::graph::PersonalizationGraph;
+use crate::personalize::PersonalizationOptions;
+use crate::profile::Profile;
+use crate::select::{run_algorithm, QueryContext, SelectedPreference};
+
+pub mod codec;
+
+/// A store-assigned user identifier. The durable half of a stored
+/// profile's `(user_id, version)` cache identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u64);
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// Key of a memoized per-user selection: the query *context* (relations
+/// touched + constant-bound attributes) and the selection-shaping
+/// options. Deliberately coarser than the LRU preference cache's
+/// query-text key: any query over the same relations with the same bound
+/// constants selects the same preferences.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SelKey {
+    /// Canonical rendering of the query context.
+    pub context: String,
+    /// Criterion, selection algorithm, and ranking function — everything
+    /// else selection depends on.
+    pub fingerprint: String,
+}
+
+impl SelKey {
+    /// Builds the key for a query context under the given options.
+    pub fn new(qc: &QueryContext, options: &PersonalizationOptions) -> SelKey {
+        use std::fmt::Write as _;
+        let mut context = String::new();
+        for r in &qc.relations {
+            let _ = write!(context, "{},", r.0);
+        }
+        context.push('|');
+        for (a, v) in &qc.bound {
+            let _ = write!(context, "{}.{}={v:?};", a.rel.0, a.idx);
+        }
+        SelKey {
+            context,
+            fingerprint: format!(
+                "{:?}|{:?}|{:?}",
+                options.criterion, options.selection, options.ranking
+            ),
+        }
+    }
+}
+
+/// Per-user cap on memoized selections: precomputation inserts one entry
+/// per catalog relation (single digits), and ad-hoc contexts (multi-
+/// relation queries, bound constants) age out oldest-first past the cap.
+const SELECTIONS_PER_USER: usize = 32;
+
+/// One user's shard-resident state: the encoded blob, the lazily decoded
+/// profile, and the per-user selection memo. Immutable except through
+/// interior mutability — re-registration replaces the whole entry.
+#[derive(Debug)]
+struct StoredProfile {
+    user: u64,
+    version: u64,
+    blob: Box<[u8]>,
+    prefs: u32,
+    decoded: OnceLock<Arc<Profile>>,
+    selections: RwLock<Vec<(SelKey, Arc<Vec<SelectedPreference>>)>>,
+}
+
+/// One shard: its user map and the string dictionary its blobs
+/// reference.
+#[derive(Debug, Default)]
+struct ShardInner {
+    users: HashMap<u64, Arc<StoredProfile>>,
+    dict: qp_storage::StringDict,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    inner: RwLock<ShardInner>,
+}
+
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A cheap, clonable handle to one stored profile at one version.
+///
+/// The handle pins the entry (`Arc`), not the shard slot: a concurrent
+/// re-registration replaces the slot but never mutates the entry this
+/// handle sees, so a request that resolved its handle works against one
+/// consistent `(user_id, version)` for its whole duration.
+#[derive(Debug, Clone)]
+pub struct ProfileHandle {
+    shards: Arc<[Shard]>,
+    shard: usize,
+    entry: Arc<StoredProfile>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl ProfileHandle {
+    /// The user this handle belongs to.
+    pub fn user(&self) -> UserId {
+        UserId(self.entry.user)
+    }
+
+    /// The store version of the profile this handle pins.
+    pub fn version(&self) -> u64 {
+        self.entry.version
+    }
+
+    /// Number of stored preferences — available without decoding.
+    pub fn preferences(&self) -> usize {
+        self.entry.prefs as usize
+    }
+
+    /// Size of the encoded blob in bytes (dictionary excluded).
+    pub fn encoded_len(&self) -> usize {
+        self.entry.blob.len()
+    }
+
+    /// The decoded profile, decoding on first use.
+    ///
+    /// The first call decodes the blob against the shard dictionary and
+    /// caches the result on the entry (`profiles.decode.count` /
+    /// `profiles.decode.us` record the work); later calls — from any
+    /// clone of the handle — return the cached `Arc`. The decoded
+    /// profile carries the durable `(user_id, version)` identity.
+    pub fn profile(&self) -> Result<Arc<Profile>, PrefError> {
+        if let Some(p) = self.entry.decoded.get() {
+            return Ok(Arc::clone(p));
+        }
+        let started = Instant::now();
+        let decoded = {
+            let inner = read_lock(&self.shards[self.shard].inner);
+            codec::decode_profile(&self.entry.blob, &inner.dict, self.entry.user, self.entry.version)?
+        };
+        self.metrics.counter("profiles.decode.count").inc();
+        self.metrics.histogram("profiles.decode.us").observe(started.elapsed());
+        // Two racing first calls both decode; the loser's copy is dropped
+        // and both return the one that landed in the cell.
+        let arc = Arc::new(decoded);
+        let _ = self.entry.decoded.set(Arc::clone(&arc));
+        Ok(self.entry.decoded.get().map(Arc::clone).unwrap_or(arc))
+    }
+
+    /// Looks up a memoized selection for this profile version
+    /// (`profiles.select.hits` / `profiles.select.misses`).
+    pub fn cached_selection(&self, key: &SelKey) -> Option<Arc<Vec<SelectedPreference>>> {
+        let memo = read_lock(&self.entry.selections);
+        match memo.iter().find(|(k, _)| k == key) {
+            Some((_, sel)) => {
+                self.metrics.counter("profiles.select.hits").inc();
+                Some(Arc::clone(sel))
+            }
+            None => {
+                self.metrics.counter("profiles.select.misses").inc();
+                None
+            }
+        }
+    }
+
+    /// Memoizes a selection for this profile version. Past
+    /// the per-user cap the oldest entry is evicted.
+    pub fn cache_selection(
+        &self,
+        key: SelKey,
+        selected: Vec<SelectedPreference>,
+    ) -> Arc<Vec<SelectedPreference>> {
+        let arc = Arc::new(selected);
+        let mut memo = write_lock(&self.entry.selections);
+        if let Some(slot) = memo.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = Arc::clone(&arc);
+            return arc;
+        }
+        if memo.len() >= SELECTIONS_PER_USER {
+            memo.remove(0);
+        }
+        memo.push((key, Arc::clone(&arc)));
+        arc
+    }
+
+    /// Number of memoized selections currently held for this version.
+    pub fn cached_selections(&self) -> usize {
+        read_lock(&self.entry.selections).len()
+    }
+}
+
+/// The sharded million-profile store. See the module docs for the
+/// design; see [`crate::Personalizer::with_profile_store`] for wiring it
+/// into the serving path.
+#[derive(Debug)]
+pub struct ProfileStore {
+    shards: Arc<[Shard]>,
+    /// External name → store id interning (the wire protocol registers
+    /// profiles under string user keys).
+    names: RwLock<HashMap<Arc<str>, UserId>>,
+    next_user: AtomicU64,
+    users: AtomicU64,
+    blob_bytes: AtomicU64,
+    metrics: Arc<MetricsRegistry>,
+}
+
+/// Default shard count: enough to keep writer contention negligible for
+/// a serving fleet of tens of threads, few enough that per-shard
+/// dictionaries still share strings effectively.
+const DEFAULT_SHARDS: usize = 64;
+
+impl Default for ProfileStore {
+    fn default() -> Self {
+        ProfileStore::new()
+    }
+}
+
+impl ProfileStore {
+    /// A store with the default shard count and a private metrics
+    /// registry.
+    pub fn new() -> Self {
+        ProfileStore::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A store with an explicit shard count (rounded up to a power of
+    /// two, minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ProfileStore {
+            shards: (0..n).map(|_| Shard::default()).collect::<Vec<_>>().into(),
+            names: RwLock::new(HashMap::new()),
+            next_user: AtomicU64::new(1),
+            users: AtomicU64::new(0),
+            blob_bytes: AtomicU64::new(0),
+            metrics: Arc::new(MetricsRegistry::new()),
+        }
+    }
+
+    /// Replaces the metrics registry (builder-style), so the store's
+    /// `profiles.*` metrics land in a server's shared registry.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The registry receiving `profiles.*` metrics.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    fn shard_of(&self, user: u64) -> usize {
+        // Fibonacci multiplicative hash: user ids are often dense
+        // (0, 1, 2, …), and this spreads them uniformly across shards.
+        let h = user.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & (self.shards.len() - 1)
+    }
+
+    /// Registers (or re-registers) a profile for `user`, encoding it
+    /// into the user's shard. Returns the new store version: 1 for a
+    /// first registration, previous + 1 after. Re-registration replaces
+    /// the entry wholesale — concurrent readers keep the old entry's
+    /// consistent view, and the old version's selection memo dies with
+    /// it.
+    pub fn register(&self, user: UserId, profile: &Profile) -> u64 {
+        let shard = self.shard_of(user.0);
+        let mut buf = Vec::new();
+        let (version, replaced_len) = {
+            let mut inner = write_lock(&self.shards[shard].inner);
+            let inner = &mut *inner;
+            codec::encode_profile(profile, &mut inner.dict, &mut buf);
+            let previous = inner.users.get(&user.0);
+            let version = previous.map_or(1, |e| e.version + 1);
+            let replaced_len = previous.map_or(0, |e| e.blob.len());
+            let entry = Arc::new(StoredProfile {
+                user: user.0,
+                version,
+                blob: buf.into_boxed_slice(),
+                prefs: profile.len() as u32,
+                decoded: OnceLock::new(),
+                selections: RwLock::new(Vec::new()),
+            });
+            let blob_len = entry.blob.len();
+            if inner.users.insert(user.0, entry).is_none() {
+                self.users.fetch_add(1, Ordering::Relaxed);
+            }
+            self.blob_bytes.fetch_add(blob_len as u64, Ordering::Relaxed);
+            (version, replaced_len)
+        };
+        self.blob_bytes.fetch_sub(replaced_len as u64, Ordering::Relaxed);
+        self.metrics.counter("profiles.registered").inc();
+        self.metrics.gauge("profiles.store.users").set(self.users.load(Ordering::Relaxed) as i64);
+        self.metrics
+            .gauge("profiles.store.bytes")
+            .set(self.blob_bytes.load(Ordering::Relaxed) as i64);
+        version
+    }
+
+    /// Registers a profile under an external string user key, interning
+    /// the key on first use. Returns the store id and new version.
+    pub fn register_named(&self, name: &str, profile: &Profile) -> (UserId, u64) {
+        // NB: the read guard must drop before the write lock is taken —
+        // binding the lookup first ends the guard's borrow (a `match` on
+        // `read_lock(..).get(..)` would hold the read guard across the
+        // arms and self-deadlock).
+        let known = read_lock(&self.names).get(name).copied();
+        let user = match known {
+            Some(id) => id,
+            None => {
+                let mut names = write_lock(&self.names);
+                match names.get(name) {
+                    Some(&id) => id,
+                    None => {
+                        let id = UserId(self.next_user.fetch_add(1, Ordering::Relaxed));
+                        names.insert(Arc::from(name), id);
+                        id
+                    }
+                }
+            }
+        };
+        let version = self.register(user, profile);
+        (user, version)
+    }
+
+    /// Resolves an external user key to its store id.
+    pub fn lookup_named(&self, name: &str) -> Option<UserId> {
+        read_lock(&self.names).get(name).copied()
+    }
+
+    /// Fetches a handle to the user's current profile version
+    /// (`profiles.lookup.hits` / `profiles.lookup.misses`). Nothing is
+    /// decoded.
+    pub fn get(&self, user: UserId) -> Option<ProfileHandle> {
+        let shard = self.shard_of(user.0);
+        let entry = read_lock(&self.shards[shard].inner).users.get(&user.0).map(Arc::clone);
+        match entry {
+            Some(entry) => {
+                self.metrics.counter("profiles.lookup.hits").inc();
+                Some(ProfileHandle {
+                    shards: Arc::clone(&self.shards),
+                    shard,
+                    entry,
+                    metrics: Arc::clone(&self.metrics),
+                })
+            }
+            None => {
+                self.metrics.counter("profiles.lookup.misses").inc();
+                None
+            }
+        }
+    }
+
+    /// Registered users.
+    pub fn len(&self) -> usize {
+        self.users.load(Ordering::Relaxed) as usize
+    }
+
+    /// True when no profile is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes of encoded profile blobs (excluding dictionaries; see
+    /// [`ProfileStore::dict_bytes`]).
+    pub fn encoded_bytes(&self) -> u64 {
+        self.blob_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes of the per-shard string dictionaries.
+    pub fn dict_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| read_lock(&s.inner).dict.payload_bytes() as u64).sum()
+    }
+
+    /// Precomputes the user's top-K selections for every single-relation
+    /// query context in `catalog` under `options`, filling the per-user
+    /// memo so repeat queries resolve selection as a store lookup
+    /// (`profiles.select.precomputed` counts memo entries written).
+    /// Returns the number of contexts precomputed.
+    pub fn precompute(
+        &self,
+        user: UserId,
+        catalog: &Catalog,
+        options: &PersonalizationOptions,
+    ) -> Result<usize, PrefError> {
+        let handle = self.get(user).ok_or(PrefError::UnknownUser { user: user.0 })?;
+        let profile = handle.profile()?;
+        let graph = PersonalizationGraph::build(&profile);
+        let mut contexts = 0u64;
+        for relation in catalog.relations() {
+            let qc = QueryContext { relations: vec![relation.id], bound: vec![] };
+            let selected = run_algorithm(&graph, &qc, options)?;
+            handle.cache_selection(SelKey::new(&qc, options), selected);
+            contexts += 1;
+        }
+        self.metrics.counter("profiles.select.precomputed").add(contexts);
+        Ok(contexts as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doi::Doi;
+    use crate::preference::CompareOp;
+    use crate::profile::STORED_ID_BIT;
+    use qp_storage::{Attribute, DataType, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(
+            "MOVIE",
+            vec![
+                Attribute::new("mid", DataType::Int),
+                Attribute::new("year", DataType::Int),
+            ],
+            &["mid"],
+        )
+        .unwrap();
+        c.add_relation(
+            "GENRE",
+            vec![Attribute::new("mid", DataType::Int), Attribute::new("genre", DataType::Text)],
+            &["mid", "genre"],
+        )
+        .unwrap();
+        c
+    }
+
+    fn sample_profile(c: &Catalog) -> Profile {
+        let mut p = Profile::new();
+        p.add_selection(c, "GENRE", "genre", CompareOp::Eq, "comedy", Doi::presence(0.9).unwrap())
+            .unwrap();
+        p.add_selection(c, "MOVIE", "year", CompareOp::Lt, Value::Int(1980), Doi::dislike(0.7).unwrap())
+            .unwrap();
+        p.add_join(c, ("MOVIE", "mid"), ("GENRE", "mid"), 0.8).unwrap();
+        p
+    }
+
+    #[test]
+    fn register_get_decode_round_trip() {
+        let c = catalog();
+        let store = ProfileStore::new();
+        let p = sample_profile(&c);
+        let version = store.register(UserId(7), &p);
+        assert_eq!(version, 1);
+        assert_eq!(store.len(), 1);
+        assert!(store.encoded_bytes() > 0);
+
+        let handle = store.get(UserId(7)).expect("registered");
+        assert_eq!(handle.preferences(), 3);
+        let decoded = handle.profile().expect("decodes");
+        assert_eq!(*decoded, p, "decoded content equals the registered profile");
+        assert_eq!(decoded.id(), STORED_ID_BIT | 7);
+        assert_eq!(decoded.version(), 1);
+        assert!(decoded.is_stored());
+    }
+
+    #[test]
+    fn decode_happens_once_per_entry() {
+        let c = catalog();
+        let store = ProfileStore::new();
+        store.register(UserId(1), &sample_profile(&c));
+        let h1 = store.get(UserId(1)).unwrap();
+        let h2 = store.get(UserId(1)).unwrap();
+        let p1 = h1.profile().unwrap();
+        let p2 = h2.profile().unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "both handles share the decoded Arc");
+        assert_eq!(store.metrics().counter("profiles.decode.count").get(), 1);
+    }
+
+    #[test]
+    fn reregistration_bumps_version_and_drops_memo() {
+        let c = catalog();
+        let store = ProfileStore::new();
+        let p = sample_profile(&c);
+        store.register(UserId(3), &p);
+        let old = store.get(UserId(3)).unwrap();
+        old.cache_selection(
+            SelKey { context: "x".into(), fingerprint: "y".into() },
+            vec![],
+        );
+        assert_eq!(old.cached_selections(), 1);
+
+        let v2 = store.register(UserId(3), &p);
+        assert_eq!(v2, 2);
+        let new = store.get(UserId(3)).unwrap();
+        assert_eq!(new.version(), 2);
+        assert_eq!(new.cached_selections(), 0, "memo died with the old version");
+        // the old handle still reads its own consistent version
+        assert_eq!(old.version(), 1);
+        assert_eq!(old.profile().unwrap().version(), 1);
+        assert_eq!(new.profile().unwrap().version(), 2);
+        assert_eq!(store.len(), 1, "re-registration is not a new user");
+    }
+
+    #[test]
+    fn named_registration_interns_once() {
+        let c = catalog();
+        let store = ProfileStore::new();
+        let p = sample_profile(&c);
+        let (id1, v1) = store.register_named("al", &p);
+        let (id2, v2) = store.register_named("al", &p);
+        assert_eq!(id1, id2);
+        assert_eq!((v1, v2), (1, 2));
+        assert_eq!(store.lookup_named("al"), Some(id1));
+        assert_eq!(store.lookup_named("bea"), None);
+        let (id3, _) = store.register_named("bea", &p);
+        assert_ne!(id1, id3);
+    }
+
+    #[test]
+    fn precompute_fills_per_relation_memo() {
+        let c = catalog();
+        let store = ProfileStore::new();
+        store.register(UserId(9), &sample_profile(&c));
+        let options = PersonalizationOptions::default();
+        let n = store.precompute(UserId(9), &c, &options).unwrap();
+        assert_eq!(n, 2, "one context per catalog relation");
+        let handle = store.get(UserId(9)).unwrap();
+        assert_eq!(handle.cached_selections(), 2);
+
+        // A lookup through the same context key hits.
+        let qc = QueryContext { relations: vec![c.relation_by_name("MOVIE").unwrap().id], bound: vec![] };
+        let hit = handle.cached_selection(&SelKey::new(&qc, &options));
+        assert!(hit.is_some(), "single-relation context was precomputed");
+        assert!(!hit.unwrap().is_empty(), "profile has preferences related to MOVIE");
+    }
+
+    #[test]
+    fn unknown_user_is_typed() {
+        let store = ProfileStore::new();
+        assert!(store.get(UserId(42)).is_none());
+        let err = store.precompute(UserId(42), &catalog(), &PersonalizationOptions::default());
+        assert!(matches!(err, Err(PrefError::UnknownUser { user: 42 })));
+    }
+
+    #[test]
+    fn memo_caps_per_user() {
+        let c = catalog();
+        let store = ProfileStore::new();
+        store.register(UserId(5), &sample_profile(&c));
+        let handle = store.get(UserId(5)).unwrap();
+        for i in 0..(SELECTIONS_PER_USER + 10) {
+            handle.cache_selection(
+                SelKey { context: format!("ctx{i}"), fingerprint: "f".into() },
+                vec![],
+            );
+        }
+        assert_eq!(handle.cached_selections(), SELECTIONS_PER_USER);
+        // oldest evicted, newest kept
+        assert!(handle
+            .cached_selection(&SelKey { context: "ctx0".into(), fingerprint: "f".into() })
+            .is_none());
+        let last = format!("ctx{}", SELECTIONS_PER_USER + 9);
+        assert!(handle
+            .cached_selection(&SelKey { context: last, fingerprint: "f".into() })
+            .is_some());
+    }
+}

@@ -1,0 +1,304 @@
+//! The compact preference codec: profiles ⇄ store blobs.
+//!
+//! Builds on `qp_storage::encoding` (varints, small-int tags,
+//! dictionary-interned strings) and adds the preference-level layout:
+//!
+//! ```text
+//! blob       := count:varint pref*
+//! pref       := 0x01 selection | 0x02 join
+//! selection  := attr op:u8 value degree degree      (on_true, on_false)
+//! join       := attr attr degree_f64:f64v           (from, to)
+//! attr       := rel:varint idx:varint
+//! value      := qp_storage::encoding value
+//! degree     := 0x00 exact:f64v
+//!             | 0x01 shape center:f64v width:f64v peak:f64v
+//! shape      := 0x00 triangular
+//!             | 0x01 trapezoidal plateau:f64v
+//!             | 0x02 cosine
+//! f64v       := varint of the bit pattern, byte-swapped so common
+//!               constants (round degrees, integral widths) stay short
+//! ```
+//!
+//! Attribute ids are stored raw (`rel`, `idx` ordinals): blobs are
+//! decoded against the same catalog they were encoded under, so no name
+//! resolution — and no catalog at all — is needed to decode. Validation
+//! already happened when the profile was built; decode reconstructs the
+//! structs field-by-field.
+//!
+//! The encoding is **byte-stable**: decode followed by re-encode (even
+//! into a fresh dictionary) reproduces the exact input bytes, because
+//! dictionary ids are assigned in first-appearance order and every
+//! encoder choice is canonical. The property test in
+//! `tests/profile_store.rs` pins this.
+
+use qp_storage::encoding::{
+    decode_value, encode_value, put_f64, put_u64, DecodeError, Reader,
+};
+use qp_storage::{AttrId, RelId, StringDict};
+
+use crate::doi::{Degree, Doi};
+use crate::elastic::{ElasticFunction, ElasticShape};
+use crate::error::PrefError;
+use crate::preference::{
+    CompareOp, JoinPreference, Preference, SelCondition, SelectionPreference,
+};
+use crate::profile::Profile;
+
+const PREF_SELECTION: u8 = 0x01;
+const PREF_JOIN: u8 = 0x02;
+
+const DEGREE_EXACT: u8 = 0x00;
+const DEGREE_ELASTIC: u8 = 0x01;
+
+const SHAPE_TRIANGULAR: u8 = 0x00;
+const SHAPE_TRAPEZOIDAL: u8 = 0x01;
+const SHAPE_COSINE: u8 = 0x02;
+
+fn put_attr(buf: &mut Vec<u8>, attr: AttrId) {
+    put_u64(buf, attr.rel.0 as u64);
+    put_u64(buf, attr.idx as u64);
+}
+
+fn take_attr(r: &mut Reader<'_>) -> Result<AttrId, DecodeError> {
+    let rel = r.take_u64()? as u32;
+    let idx = r.take_u64()? as u32;
+    Ok(AttrId { rel: RelId(rel), idx })
+}
+
+fn put_degree(buf: &mut Vec<u8>, degree: &Degree) {
+    match degree {
+        Degree::Exact(d) => {
+            buf.push(DEGREE_EXACT);
+            put_f64(buf, *d);
+        }
+        Degree::Elastic(e) => {
+            buf.push(DEGREE_ELASTIC);
+            match e.shape {
+                ElasticShape::Triangular => buf.push(SHAPE_TRIANGULAR),
+                ElasticShape::Trapezoidal { plateau } => {
+                    buf.push(SHAPE_TRAPEZOIDAL);
+                    put_f64(buf, plateau);
+                }
+                ElasticShape::Cosine => buf.push(SHAPE_COSINE),
+            }
+            put_f64(buf, e.center);
+            put_f64(buf, e.width);
+            put_f64(buf, e.peak);
+        }
+    }
+}
+
+fn take_degree(r: &mut Reader<'_>) -> Result<Degree, DecodeError> {
+    let at = r.pos();
+    match r.take_u8()? {
+        DEGREE_EXACT => Ok(Degree::Exact(r.take_f64()?)),
+        DEGREE_ELASTIC => {
+            let shape_at = r.pos();
+            let shape = match r.take_u8()? {
+                SHAPE_TRIANGULAR => ElasticShape::Triangular,
+                SHAPE_TRAPEZOIDAL => {
+                    ElasticShape::Trapezoidal { plateau: r.take_f64()? }
+                }
+                SHAPE_COSINE => ElasticShape::Cosine,
+                tag => return Err(DecodeError::BadTag { tag, at: shape_at }),
+            };
+            let center = r.take_f64()?;
+            let width = r.take_f64()?;
+            let peak = r.take_f64()?;
+            Ok(Degree::Elastic(ElasticFunction { center, width, peak, shape }))
+        }
+        tag => Err(DecodeError::BadTag { tag, at }),
+    }
+}
+
+fn op_code(op: CompareOp) -> u8 {
+    match op {
+        CompareOp::Eq => 0,
+        CompareOp::Neq => 1,
+        CompareOp::Lt => 2,
+        CompareOp::Le => 3,
+        CompareOp::Gt => 4,
+        CompareOp::Ge => 5,
+    }
+}
+
+fn take_op(r: &mut Reader<'_>) -> Result<CompareOp, DecodeError> {
+    let at = r.pos();
+    Ok(match r.take_u8()? {
+        0 => CompareOp::Eq,
+        1 => CompareOp::Neq,
+        2 => CompareOp::Lt,
+        3 => CompareOp::Le,
+        4 => CompareOp::Gt,
+        5 => CompareOp::Ge,
+        tag => return Err(DecodeError::BadTag { tag, at }),
+    })
+}
+
+/// Encodes a profile into `buf`, interning strings into `dict`.
+///
+/// The blob does **not** embed the dictionary — the store keeps one
+/// dictionary per shard so all of a shard's profiles share string
+/// storage. To decode, pass the same (or a superset) dictionary to
+/// [`decode_profile`].
+pub fn encode_profile(profile: &Profile, dict: &mut StringDict, buf: &mut Vec<u8>) {
+    put_u64(buf, profile.len() as u64);
+    for (_, pref) in profile.iter() {
+        match pref {
+            Preference::Selection(s) => {
+                buf.push(PREF_SELECTION);
+                put_attr(buf, s.attr);
+                buf.push(op_code(s.condition.op));
+                encode_value(buf, &s.condition.value, dict);
+                put_degree(buf, &s.doi.on_true);
+                put_degree(buf, &s.doi.on_false);
+            }
+            Preference::Join(j) => {
+                buf.push(PREF_JOIN);
+                put_attr(buf, j.from);
+                put_attr(buf, j.to);
+                put_f64(buf, j.degree);
+            }
+        }
+    }
+}
+
+/// Decodes a blob produced by [`encode_profile`] against `dict`,
+/// stamping the durable `(user_id, version)` store identity on the
+/// result.
+pub fn decode_profile(
+    blob: &[u8],
+    dict: &StringDict,
+    user_id: u64,
+    version: u64,
+) -> Result<Profile, PrefError> {
+    let mut r = Reader::new(blob);
+    let count = r.take_u64()? as usize;
+    let mut prefs = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let at = r.pos();
+        match r.take_u8()? {
+            PREF_SELECTION => {
+                let attr = take_attr(&mut r)?;
+                let op = take_op(&mut r)?;
+                let value = decode_value(&mut r, dict)?;
+                let on_true = take_degree(&mut r)?;
+                let on_false = take_degree(&mut r)?;
+                prefs.push(Preference::Selection(SelectionPreference {
+                    attr,
+                    condition: SelCondition { op, value },
+                    doi: Doi { on_true, on_false },
+                }));
+            }
+            PREF_JOIN => {
+                let from = take_attr(&mut r)?;
+                let to = take_attr(&mut r)?;
+                let degree = r.take_f64()?;
+                prefs.push(Preference::Join(JoinPreference { from, to, degree }));
+            }
+            tag => return Err(DecodeError::BadTag { tag, at }.into()),
+        }
+    }
+    Ok(Profile::from_stored_parts(prefs, user_id, version))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_storage::{Attribute, Catalog, DataType};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(
+            "MOVIE",
+            vec![
+                Attribute::new("mid", DataType::Int),
+                Attribute::new("year", DataType::Int),
+                Attribute::new("duration", DataType::Int),
+            ],
+            &["mid"],
+        )
+        .unwrap();
+        c.add_relation(
+            "GENRE",
+            vec![Attribute::new("mid", DataType::Int), Attribute::new("genre", DataType::Text)],
+            &["mid", "genre"],
+        )
+        .unwrap();
+        c
+    }
+
+    const TEXT: &str = "\
+doi(GENRE.genre = 'musical') = (-0.9, 0.7)
+doi(MOVIE.year < 1980) = (-0.7, 0)
+doi(MOVIE.duration = around(120, 30)) = (e(0.7), e(-0.5))
+doi(MOVIE.mid = GENRE.mid) = (0.8)
+";
+
+    #[test]
+    fn profile_round_trips() {
+        let c = catalog();
+        let p = Profile::parse(&c, TEXT).unwrap();
+        let mut dict = StringDict::new();
+        let mut blob = Vec::new();
+        encode_profile(&p, &mut dict, &mut blob);
+        let back = decode_profile(&blob, &dict, 11, 3).unwrap();
+        assert_eq!(back, p, "content round trips");
+        assert_eq!(back.id(), crate::profile::STORED_ID_BIT | 11);
+        assert_eq!(back.version(), 3);
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let c = catalog();
+        let p = Profile::parse(&c, TEXT).unwrap();
+        let mut dict = StringDict::new();
+        let mut blob = Vec::new();
+        encode_profile(&p, &mut dict, &mut blob);
+        // 4 preferences (one elastic both ways) in well under 100 bytes;
+        // the Debug form of the same profile is over a kilobyte.
+        assert!(blob.len() < 100, "blob is {} bytes", blob.len());
+    }
+
+    #[test]
+    fn re_encode_is_byte_identical_into_fresh_dict() {
+        let c = catalog();
+        let p = Profile::parse(&c, TEXT).unwrap();
+        let mut dict1 = StringDict::new();
+        let mut first = Vec::new();
+        encode_profile(&p, &mut dict1, &mut first);
+        let decoded = decode_profile(&first, &dict1, 1, 1).unwrap();
+        let mut dict2 = StringDict::new();
+        let mut second = Vec::new();
+        encode_profile(&decoded, &mut dict2, &mut second);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn truncated_blob_is_a_typed_error() {
+        let c = catalog();
+        let p = Profile::parse(&c, TEXT).unwrap();
+        let mut dict = StringDict::new();
+        let mut blob = Vec::new();
+        encode_profile(&p, &mut dict, &mut blob);
+        for cut in 0..blob.len() {
+            let err = decode_profile(&blob[..cut], &dict, 1, 1);
+            assert!(
+                matches!(err, Err(PrefError::ProfileDecode(_))),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_pref_tag_rejected() {
+        let mut blob = Vec::new();
+        put_u64(&mut blob, 1);
+        blob.push(0x7F);
+        let err = decode_profile(&blob, &StringDict::new(), 1, 1);
+        assert!(matches!(
+            err,
+            Err(PrefError::ProfileDecode(DecodeError::BadTag { tag: 0x7F, at: 1 }))
+        ));
+    }
+}

@@ -28,5 +28,5 @@ pub mod queries;
 pub mod users;
 
 pub use imdb::{generate, ImdbScale};
-pub use profiles::{als_profile, random_profile, ProfileSpec};
+pub use profiles::{als_profile, random_profile, ProfilePool, ProfileSpec};
 pub use users::{simulate_users, AnswerEvaluation, SimulatedUser};

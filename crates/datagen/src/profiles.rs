@@ -5,8 +5,11 @@
 //! from the *actual data* of a generated database, so conditions always
 //! have non-trivial selectivity.
 
-use qp_core::{CompareOp, Doi, Degree, ElasticFunction, PrefError, Profile};
-use qp_storage::{Database, Value};
+use qp_core::{
+    CompareOp, Degree, Doi, ElasticFunction, JoinPreference, PrefError, Preference, Profile,
+    SelectionPreference,
+};
+use qp_storage::{AttrId, Catalog, Database, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -188,6 +191,132 @@ pub fn random_profile(db: &Database, spec: &ProfileSpec) -> Profile {
     profile
 }
 
+/// Presampled pools for generating profiles at million-user scale.
+///
+/// [`random_profile`] rescans live tables for every condition it draws,
+/// which is fine for a handful of profiles and hopeless for a million.
+/// `ProfilePool::build` scans each categorical column once up front,
+/// pre-resolves attribute ids, and pre-validates the join skeleton, so
+/// each [`ProfilePool::profile`] call is pure in-memory assembly — no
+/// catalog lookups, no table access, deterministic per user id.
+pub struct ProfilePool {
+    /// Distinct values per categorical attribute (equality conditions).
+    categorical: Vec<(AttrId, Vec<Value>)>,
+    /// `(attr, lo, hi, width)` envelopes for elastic numeric targets.
+    numeric: Vec<(AttrId, f64, f64, f64)>,
+    /// The P7–P10-style join skeleton, degrees jittered per user.
+    joins: Vec<JoinPreference>,
+}
+
+/// SplitMix64 step: cheap, seedable per user, good enough for sampling.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform f64 in `[0, 1)` from one SplitMix64 draw.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl ProfilePool {
+    /// Value pools capped so a pathological column can't bloat the pool.
+    const MAX_POOL: usize = 4096;
+
+    /// Scans the database once and builds the pools. Panics if the
+    /// schema lacks the IMDB relations (`MOVIE`, `GENRE`, …) — the pool
+    /// generator exists for the synthetic benchmark schema.
+    pub fn build(db: &Database) -> ProfilePool {
+        let c = db.catalog();
+        let mut categorical = Vec::new();
+        for (rel, col) in
+            [("GENRE", "genre"), ("DIRECTOR", "name"), ("ACTOR", "name"), ("THEATRE", "region")]
+        {
+            let attr = c.resolve(rel, col).expect("IMDB schema attribute");
+            let table = db.table(attr.rel);
+            let mut seen = std::collections::HashSet::new();
+            let mut values = Vec::new();
+            for v in table.column(attr.idx as usize) {
+                if values.len() >= Self::MAX_POOL {
+                    break;
+                }
+                if let Some(s) = v.as_str() {
+                    if seen.insert(s.to_string()) {
+                        values.push(v.clone());
+                    }
+                }
+            }
+            if !values.is_empty() {
+                categorical.push((attr, values));
+            }
+        }
+        assert!(!categorical.is_empty(), "no categorical values to pool");
+
+        let numeric = [
+            ("MOVIE", "duration", 85.0, 150.0, 25.0),
+            ("THEATRE", "ticket", 5.0, 12.0, 2.5),
+            ("MOVIE", "year", 1960.0, 2000.0, 10.0),
+        ]
+        .into_iter()
+        .map(|(rel, col, lo, hi, width)| {
+            (c.resolve(rel, col).expect("IMDB schema attribute"), lo, hi, width)
+        })
+        .collect();
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut skeleton = Profile::new();
+        standard_joins(db, &mut skeleton, &mut rng);
+        let joins = skeleton.joins().map(|(_, j)| j.clone()).collect();
+
+        ProfilePool { categorical, numeric, joins }
+    }
+
+    /// Assembles `user`'s profile: the join skeleton plus `selections`
+    /// preferences mixed 3:1:1 positive / negative / elastic. The same
+    /// `(user, selections)` always yields the same profile.
+    pub fn profile(&self, catalog: &Catalog, user: u64, selections: usize) -> Profile {
+        let mut state = user ^ 0xD6E8_FEB8_6659_FD93;
+        let mut profile = Profile::new();
+        for j in &self.joins {
+            let mut j = j.clone();
+            j.degree = (j.degree * (1.0 - unit(&mut state) * 0.1)).clamp(0.05, 1.0);
+            profile.push(Preference::Join(j));
+        }
+        for i in 0..selections {
+            let pref = match i % 5 {
+                4 => self.elastic(catalog, &mut state),
+                kind => self.equality(catalog, &mut state, kind == 3),
+            };
+            profile.push(Preference::Selection(pref));
+        }
+        profile
+    }
+
+    fn equality(&self, catalog: &Catalog, state: &mut u64, negative: bool) -> SelectionPreference {
+        let (attr, values) =
+            &self.categorical[(splitmix(state) as usize) % self.categorical.len()];
+        let value = values[(splitmix(state) as usize) % values.len()].clone();
+        let d = 0.3 + unit(state) * 0.65;
+        let doi = if negative { Doi::dislike(d) } else { Doi::presence(d) }.expect("valid doi");
+        SelectionPreference::new(catalog, *attr, CompareOp::Eq, value, doi)
+            .expect("pooled condition validates")
+    }
+
+    fn elastic(&self, catalog: &Catalog, state: &mut u64) -> SelectionPreference {
+        let (attr, lo, hi, width) = self.numeric[(splitmix(state) as usize) % self.numeric.len()];
+        let center = (lo + unit(state) * (hi - lo)).round();
+        let peak = 0.4 + unit(state) * 0.5;
+        let pos =
+            Degree::Elastic(ElasticFunction::triangular(center, width, peak).expect("valid"));
+        let doi = Doi::new(pos, Degree::Exact(0.0)).expect("valid doi");
+        SelectionPreference::new(catalog, attr, CompareOp::Eq, Value::Float(center), doi)
+            .expect("pooled elastic validates")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +374,40 @@ mod tests {
         let dsl = p.to_dsl(db.catalog());
         let p2 = Profile::parse(db.catalog(), &dsl).unwrap();
         assert_eq!(p.len(), p2.len());
+    }
+
+    #[test]
+    fn pooled_profiles_are_deterministic_and_varied() {
+        let db = db();
+        let pool = ProfilePool::build(&db);
+        let c = db.catalog();
+        let a = pool.profile(c, 42, 10);
+        let b = pool.profile(c, 42, 10);
+        assert_eq!(a.selections().count(), 10);
+        assert_eq!(a.joins().count(), pool.joins.len());
+        // Same user, same profile content (identity ids differ by design).
+        assert_eq!(a, b);
+        assert_ne!(a, pool.profile(c, 43, 10));
+        // The 3:1:1 mix holds: 2 of 10 negative, 2 of 10 elastic.
+        assert_eq!(a.selections().filter(|(_, s)| !s.is_presence()).count(), 2);
+        assert_eq!(a.selections().filter(|(_, s)| s.doi.is_elastic()).count(), 2);
+    }
+
+    #[test]
+    fn pooled_values_come_from_the_data() {
+        let db = db();
+        let pool = ProfilePool::build(&db);
+        let p = pool.profile(db.catalog(), 7, 8);
+        for (_, s) in p.selections() {
+            if s.doi.is_elastic() {
+                continue;
+            }
+            let table = db.table(s.attr.rel);
+            let found = table
+                .column(s.attr.idx as usize)
+                .any(|v| v.sql_eq(&s.condition.value) == Some(true));
+            assert!(found, "pooled value {:?} not present in data", s.condition.value);
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@ use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -53,8 +53,8 @@ use qp_client::wire::{
 };
 use qp_core::{
     AdmissionConfig, AdmissionController, AnswerAlgorithm, BreakerConfig,
-    PersonalizationOptions, PersonalizeRequest, Personalizer, PrefError, Profile, Resilience,
-    RetryPolicy, SelectionCriterion,
+    PersonalizationOptions, PersonalizeRequest, Personalizer, PrefError, Profile,
+    ProfileStore, Resilience, RetryPolicy, SelectionCriterion, UserId,
 };
 use qp_obs::{MetricValue, MetricsRegistry};
 use qp_storage::{failpoint, SnapshotStore, Value};
@@ -120,7 +120,11 @@ pub struct ShutdownReport {
 struct Shared {
     config: ServerConfig,
     store: Arc<SnapshotStore>,
-    profiles: RwLock<HashMap<String, Arc<Profile>>>,
+    /// One profile store for the whole server: profiles registered on
+    /// any connection are visible to every connection, addressed by the
+    /// store-assigned user id, and held as compact encoded blobs until a
+    /// request first decodes them.
+    profiles: Arc<ProfileStore>,
     metrics: Arc<MetricsRegistry>,
     admission: AdmissionController,
     resilience: Arc<Resilience>,
@@ -159,12 +163,13 @@ impl Server {
         if let Some(seed) = config.retry_seed {
             resilience = resilience.with_retry(RetryPolicy::quick(seed));
         }
+        let metrics = Arc::new(MetricsRegistry::new());
         let shared = Arc::new(Shared {
             admission: AdmissionController::new(config.admission),
             config,
             store,
-            profiles: RwLock::new(HashMap::new()),
-            metrics: Arc::new(MetricsRegistry::new()),
+            profiles: Arc::new(ProfileStore::new().with_metrics(Arc::clone(&metrics))),
+            metrics,
             resilience: Arc::new(resilience),
             shutting_down: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
@@ -620,13 +625,32 @@ fn dispatch(
             match Profile::parse(db.catalog(), &profile) {
                 Ok(parsed) => {
                     let preferences = parsed.len() as u64;
-                    shared
-                        .profiles
-                        .write()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .insert(user.clone(), Arc::new(parsed));
+                    let (user_id, version) = shared.profiles.register_named(&user, &parsed);
+                    // Precompute the user's selections for every catalog
+                    // relation under the server's default options, so an
+                    // early personalize request already resolves its
+                    // selection phase as a store lookup. Runs off the
+                    // registration critical path (the reply must not wait
+                    // on selection algorithms) and best-effort: a failure
+                    // or a lost race with re-registration only costs the
+                    // warm start.
+                    {
+                        let shared = Arc::clone(shared);
+                        std::thread::spawn(move || {
+                            let db = shared.store.snapshot();
+                            shared
+                                .profiles
+                                .precompute(user_id, db.catalog(), &default_options(&shared.config))
+                                .ok();
+                        });
+                    }
                     shared.count("server.profiles.registered");
-                    Response::ProfileRegistered { user, preferences }
+                    Response::ProfileRegistered {
+                        user,
+                        user_id: user_id.0,
+                        version,
+                        preferences,
+                    }
                 }
                 Err(e) => Response::Error(WireError {
                     code: ErrorCode::BadRequest,
@@ -635,14 +659,12 @@ fn dispatch(
                 }),
             }
         }
-        Request::Personalize { user, sql, k, l, algorithm } => {
-            let profile = shared
-                .profiles
-                .read()
-                .unwrap_or_else(PoisonError::into_inner)
-                .get(&user)
-                .cloned();
-            let Some(profile) = profile else {
+        Request::Personalize { user, user_id, sql, k, l, algorithm } => {
+            let resolved = match user_id {
+                Some(id) => Some(UserId(id)),
+                None => shared.profiles.lookup_named(&user),
+            };
+            let Some(uid) = resolved else {
                 shared.count("server.requests.unknown_user");
                 return Response::Error(WireError {
                     code: ErrorCode::UnknownUser,
@@ -663,22 +685,23 @@ fn dispatch(
                 }
             };
             let p = personalizer.get_or_insert_with(|| {
-                let mut p = Personalizer::serving(Arc::clone(&shared.store));
+                let mut p = Personalizer::serving(Arc::clone(&shared.store))
+                    .with_profile_store(Arc::clone(&shared.profiles));
                 p.set_resilience(Some(Arc::clone(&shared.resilience)));
                 p
             });
-            let mut options = PersonalizationOptions {
-                criterion: SelectionCriterion::TopK(
-                    k.map(|k| k as usize).unwrap_or(shared.config.default_k),
-                ),
-                l: l.map(|l| l as usize).unwrap_or(shared.config.default_l),
-                ..Default::default()
-            };
+            let mut options = default_options(&shared.config);
+            if let Some(k) = k {
+                options.criterion = SelectionCriterion::TopK(k as usize);
+            }
+            if let Some(l) = l {
+                options.l = l as usize;
+            }
             if let Some(algorithm) = algorithm {
                 options.algorithm = algorithm;
             }
             let start = Instant::now();
-            let run = p.run(PersonalizeRequest::sql(&profile, &sql).options(options));
+            let run = p.run(PersonalizeRequest::user(uid, &sql).options(options));
             match run {
                 Ok(outcome) => {
                     shared.count("server.requests.personalize");
@@ -713,6 +736,12 @@ fn dispatch(
                 Err(e) => {
                     let (code, retryable) = match &e {
                         PrefError::Overloaded { .. } => (ErrorCode::Overloaded, true),
+                        // The id-addressed profile vanished between the
+                        // lookup and the run (or a stale id was replayed).
+                        PrefError::UnknownUser { .. } => {
+                            shared.count("server.requests.unknown_user");
+                            (ErrorCode::UnknownUser, false)
+                        }
                         other => (ErrorCode::Query, qp_core::is_transient(other)),
                     };
                     shared.count("server.requests.failed");
@@ -720,6 +749,18 @@ fn dispatch(
                 }
             }
         }
+    }
+}
+
+/// The options a request gets when it does not override anything — also
+/// the options profile registration precomputes selections under, so
+/// default-shaped requests hit the precomputed memo (the memo key
+/// fingerprints the criterion, selection algorithm, and ranking).
+fn default_options(config: &ServerConfig) -> PersonalizationOptions {
+    PersonalizationOptions {
+        criterion: SelectionCriterion::TopK(config.default_k),
+        l: config.default_l,
+        ..Default::default()
     }
 }
 

@@ -1,0 +1,466 @@
+//! Compact binary encoding for [`Value`]s and profile blobs.
+//!
+//! The million-profile store keeps every registered profile as an encoded
+//! byte blob and only decodes on first use, so the encoding optimizes for
+//! *size* and *determinism* rather than for sortability:
+//!
+//! * **Varint packing** — unsigned integers use LEB128 (7 bits per byte,
+//!   high bit = continuation); signed integers are zig-zag folded first so
+//!   small negatives stay small.
+//! * **Small-int tags** — integers in `[-32, 159]` encode in a single tag
+//!   byte (`0x40..=0xFF`), which covers ratings, years-since-epoch deltas
+//!   and most categorical codes.
+//! * **Float byte-swap** — an `f64` is encoded as the varint of its
+//!   byte-swapped bit pattern. Round constants (degrees like `0.5`, years
+//!   like `1980.0`) have long runs of trailing mantissa zeros, which the
+//!   swap turns into leading zeros the varint drops.
+//! * **Dictionary-interned strings** — string payloads are replaced by a
+//!   varint id into a [`StringDict`] owned by the enclosing store shard.
+//!   A million profiles drawing genres/directors from the same pools share
+//!   one copy of each distinct string.
+//!
+//! Encoding is **byte-stable**: a canonical form exists for every value
+//! (small ints *must* use the tag form, floats *must* use the swapped
+//! varint), so `encode(decode(encode(v)))` is byte-identical to
+//! `encode(v)` — pinned by the proptest suite in `tests/encoding_props.rs`.
+//!
+//! Layout of a single encoded value:
+//!
+//! ```text
+//! tag 0x00                  NULL
+//! tag 0x01 / 0x02           false / true
+//! tag 0x03 <zigzag varint>  Int outside [-32, 159]
+//! tag 0x04 <swapped varint> Float (f64 bits, byte-swapped)
+//! tag 0x05 <varint id>      Str (id into the shard StringDict)
+//! tag 0x40..=0xFF           Int in [-32, 159]: value = tag - 0x60
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// First tag byte used for inline small integers.
+const TAG_SMALL_BASE: u8 = 0x40;
+/// Bias subtracted from `tag - TAG_SMALL_BASE` to recover the integer;
+/// yields an inline range of `[-32, 159]`.
+const SMALL_BIAS: i64 = 32;
+/// Smallest integer representable inline.
+const SMALL_MIN: i64 = -SMALL_BIAS;
+/// Largest integer representable inline (`0xFF - 0x40 - 32`).
+const SMALL_MAX: i64 = (0xFF - TAG_SMALL_BASE) as i64 - SMALL_BIAS;
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_INT: u8 = 0x03;
+const TAG_FLOAT: u8 = 0x04;
+const TAG_STR: u8 = 0x05;
+
+/// Errors surfaced while decoding a compact-encoded blob.
+///
+/// Blobs are produced by this module and stored in process memory, so a
+/// decode error indicates corruption (or a version skew bug) rather than
+/// hostile input — but the decoder is still total: no input slice panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The blob ended in the middle of a value.
+    UnexpectedEof {
+        /// Byte offset at which more input was required.
+        at: usize,
+    },
+    /// An unknown tag byte was read.
+    BadTag {
+        /// The offending tag.
+        tag: u8,
+        /// Byte offset of the tag.
+        at: usize,
+    },
+    /// A varint ran past the 10-byte maximum for a `u64`.
+    VarintOverflow {
+        /// Byte offset where the varint started.
+        at: usize,
+    },
+    /// A string id did not resolve in the dictionary.
+    BadDictId {
+        /// The unresolvable id.
+        id: u64,
+        /// Byte offset where the id was read.
+        at: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { at } => {
+                write!(f, "unexpected end of blob at byte {at}")
+            }
+            DecodeError::BadTag { tag, at } => {
+                write!(f, "unknown value tag {tag:#04x} at byte {at}")
+            }
+            DecodeError::VarintOverflow { at } => {
+                write!(f, "varint longer than 10 bytes at byte {at}")
+            }
+            DecodeError::BadDictId { id, at } => {
+                write!(f, "string id {id} at byte {at} is not in the dictionary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Appends a LEB128 varint.
+pub fn put_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Appends a zig-zag folded signed varint.
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    put_u64(buf, zigzag(v));
+}
+
+/// Appends an `f64` as the varint of its byte-swapped bit pattern.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits().swap_bytes());
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A cursor over an encoded blob.
+///
+/// All reads are bounds-checked and return [`DecodeError`] instead of
+/// panicking; [`Reader::pos`] reports the byte offset for error context.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or(DecodeError::UnexpectedEof { at: self.pos })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a LEB128 varint.
+    pub fn take_u64(&mut self) -> Result<u64, DecodeError> {
+        let start = self.pos;
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.take_u8().map_err(|_| DecodeError::UnexpectedEof { at: start })?;
+            if shift == 63 && byte > 1 {
+                return Err(DecodeError::VarintOverflow { at: start });
+            }
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(DecodeError::VarintOverflow { at: start });
+            }
+        }
+    }
+
+    /// Reads a zig-zag folded signed varint.
+    pub fn take_i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(unzigzag(self.take_u64()?))
+    }
+
+    /// Reads an `f64` encoded by [`put_f64`].
+    pub fn take_f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.take_u64()?.swap_bytes()))
+    }
+}
+
+/// An append-only interning dictionary for string payloads.
+///
+/// Ids are assigned densely in first-appearance order, which makes the
+/// enclosing encoding deterministic: encoding the same sequence of values
+/// into a fresh dictionary always yields the same ids and therefore the
+/// same bytes. The dictionary never forgets a string (profiles referencing
+/// it may outlive the profile that interned it), so memory is bounded by
+/// the number of *distinct* strings ever stored.
+#[derive(Debug, Default)]
+pub struct StringDict {
+    strings: Vec<Arc<str>>,
+    ids: HashMap<Arc<str>, u32>,
+}
+
+impl StringDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        StringDict::default()
+    }
+
+    /// Returns the id for `s`, interning it if unseen.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let id = u32::try_from(self.strings.len()).unwrap_or(u32::MAX);
+        self.strings.push(Arc::clone(&arc));
+        self.ids.insert(arc, id);
+        id
+    }
+
+    /// Resolves an id to its interned string.
+    pub fn resolve(&self, id: u32) -> Option<&Arc<str>> {
+        self.strings.get(id as usize)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Approximate heap bytes held by the interned strings (payload only,
+    /// excluding map overhead). Used for the `profiles.store.bytes` gauge.
+    pub fn payload_bytes(&self) -> usize {
+        self.strings.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// Encodes one value, interning string payloads into `dict`.
+pub fn encode_value(buf: &mut Vec<u8>, v: &Value, dict: &mut StringDict) {
+    match v {
+        Value::Null => buf.push(TAG_NULL),
+        Value::Bool(false) => buf.push(TAG_FALSE),
+        Value::Bool(true) => buf.push(TAG_TRUE),
+        Value::Int(i) if (SMALL_MIN..=SMALL_MAX).contains(i) => {
+            buf.push(TAG_SMALL_BASE + (i + SMALL_BIAS) as u8);
+        }
+        Value::Int(i) => {
+            buf.push(TAG_INT);
+            put_i64(buf, *i);
+        }
+        Value::Float(f) => {
+            buf.push(TAG_FLOAT);
+            put_f64(buf, *f);
+        }
+        Value::Str(s) => {
+            buf.push(TAG_STR);
+            put_u64(buf, u64::from(dict.intern(s)));
+        }
+    }
+}
+
+/// Decodes one value; string ids resolve against `dict`.
+pub fn decode_value(r: &mut Reader<'_>, dict: &StringDict) -> Result<Value, DecodeError> {
+    let at = r.pos();
+    let tag = r.take_u8()?;
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_FALSE => Ok(Value::Bool(false)),
+        TAG_TRUE => Ok(Value::Bool(true)),
+        TAG_INT => Ok(Value::Int(r.take_i64()?)),
+        TAG_FLOAT => Ok(Value::Float(r.take_f64()?)),
+        TAG_STR => {
+            let id = r.take_u64()?;
+            let s = u32::try_from(id)
+                .ok()
+                .and_then(|id| dict.resolve(id))
+                .ok_or(DecodeError::BadDictId { id, at })?;
+            Ok(Value::Str(Arc::clone(s)))
+        }
+        t if t >= TAG_SMALL_BASE => Ok(Value::Int(i64::from(t - TAG_SMALL_BASE) - SMALL_BIAS)),
+        t => Err(DecodeError::BadTag { tag: t, at }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) -> (Vec<u8>, Value) {
+        let mut dict = StringDict::new();
+        let mut buf = Vec::new();
+        encode_value(&mut buf, v, &mut dict);
+        let mut r = Reader::new(&buf);
+        let back = decode_value(&mut r, &dict).expect("decode");
+        assert!(r.is_done(), "trailing bytes after {v:?}");
+        (buf, back)
+    }
+
+    #[test]
+    fn varint_round_trips_at_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.take_u64().unwrap(), v);
+            assert!(r.is_done());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, -1, 1, -64, 63, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            put_i64(&mut buf, v);
+            assert_eq!(Reader::new(&buf).take_i64().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        let buf = [0xFFu8; 11];
+        assert!(matches!(
+            Reader::new(&buf).take_u64(),
+            Err(DecodeError::VarintOverflow { .. })
+        ));
+        // 10 bytes whose top groups exceed 64 bits must also fail.
+        let buf = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+        assert!(matches!(
+            Reader::new(&buf).take_u64(),
+            Err(DecodeError::VarintOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn small_ints_are_one_byte() {
+        for i in SMALL_MIN..=SMALL_MAX {
+            let (bytes, back) = round_trip(&Value::Int(i));
+            assert_eq!(bytes.len(), 1, "int {i} should be inline");
+            assert_eq!(back, Value::Int(i));
+        }
+        let (bytes, _) = round_trip(&Value::Int(SMALL_MAX + 1));
+        assert!(bytes.len() > 1);
+        let (bytes, _) = round_trip(&Value::Int(SMALL_MIN - 1));
+        assert!(bytes.len() > 1);
+    }
+
+    #[test]
+    fn round_floats_are_compact() {
+        let (bytes, back) = round_trip(&Value::Float(0.5));
+        assert!(bytes.len() <= 4, "0.5 took {} bytes", bytes.len());
+        assert_eq!(back, Value::Float(0.5));
+        let (bytes, back) = round_trip(&Value::Float(1980.0));
+        assert!(bytes.len() <= 5, "1980.0 took {} bytes", bytes.len());
+        assert_eq!(back, Value::Float(1980.0));
+    }
+
+    #[test]
+    fn nan_bits_survive() {
+        let weird = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut dict = StringDict::new();
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &Value::Float(weird), &mut dict);
+        let back = decode_value(&mut Reader::new(&buf), &dict).unwrap();
+        match back {
+            Value::Float(f) => assert_eq!(f.to_bits(), weird.to_bits()),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strings_intern_once() {
+        let mut dict = StringDict::new();
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &Value::str("Coppola"), &mut dict);
+        encode_value(&mut buf, &Value::str("Coppola"), &mut dict);
+        encode_value(&mut buf, &Value::str("Lynch"), &mut dict);
+        assert_eq!(dict.len(), 2);
+        let mut r = Reader::new(&buf);
+        assert_eq!(decode_value(&mut r, &dict).unwrap(), Value::str("Coppola"));
+        assert_eq!(decode_value(&mut r, &dict).unwrap(), Value::str("Coppola"));
+        assert_eq!(decode_value(&mut r, &dict).unwrap(), Value::str("Lynch"));
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn bad_dict_id_is_typed() {
+        let dict = StringDict::new();
+        let mut buf = Vec::new();
+        buf.push(TAG_STR);
+        put_u64(&mut buf, 7);
+        assert_eq!(
+            decode_value(&mut Reader::new(&buf), &dict),
+            Err(DecodeError::BadDictId { id: 7, at: 0 })
+        );
+    }
+
+    #[test]
+    fn bad_tag_is_typed() {
+        let dict = StringDict::new();
+        let buf = [0x3Fu8];
+        assert_eq!(
+            decode_value(&mut Reader::new(&buf), &dict),
+            Err(DecodeError::BadTag { tag: 0x3F, at: 0 })
+        );
+    }
+
+    #[test]
+    fn encoding_is_byte_stable() {
+        let values = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-32),
+            Value::Int(159),
+            Value::Int(1_000_000),
+            Value::Float(0.75),
+            Value::str("noir"),
+            Value::str("noir"),
+        ];
+        let mut dict1 = StringDict::new();
+        let mut first = Vec::new();
+        for v in &values {
+            encode_value(&mut first, v, &mut dict1);
+        }
+        let mut r = Reader::new(&first);
+        let decoded: Vec<Value> = values
+            .iter()
+            .map(|_| decode_value(&mut r, &dict1).unwrap())
+            .collect();
+        let mut dict2 = StringDict::new();
+        let mut second = Vec::new();
+        for v in &decoded {
+            encode_value(&mut second, v, &mut dict2);
+        }
+        assert_eq!(first, second);
+    }
+}

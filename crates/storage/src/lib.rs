@@ -13,7 +13,9 @@
 //! * row-oriented [`Table`]s addressed by [`RowId`],
 //! * [`Histogram`]s for the selectivity estimation the PPA algorithm uses
 //!   to order sub-queries,
-//! * hash [`Index`]es used by the execution engine for joins and lookups.
+//! * hash [`Index`]es used by the execution engine for joins and lookups,
+//! * a compact binary [`encoding`] (varints, small-int tags, dictionary
+//!   interned strings) used by the million-profile store in `qp-core`.
 //!
 //! The crate is deliberately free of query-processing logic; `qp-exec`
 //! builds the executor on top of these primitives.
@@ -21,6 +23,7 @@
 pub mod chaos;
 pub mod database;
 pub mod dump;
+pub mod encoding;
 pub mod error;
 pub mod failpoint;
 pub mod histogram;
@@ -34,6 +37,7 @@ pub mod value;
 pub use chaos::ChaosPlan;
 pub use database::Database;
 pub use dump::{dump_dir, load_dir};
+pub use encoding::{DecodeError, StringDict};
 pub use error::StorageError;
 pub use histogram::Histogram;
 pub use index::Index;

@@ -1,0 +1,107 @@
+//! Property tests for the compact binary encoding: every `Value` round
+//! trips through encode → decode, and the encoding is byte-stable —
+//! re-encoding the decoded value (even into a fresh dictionary) produces
+//! the exact same bytes.
+
+use proptest::prelude::*;
+use qp_storage::encoding::{decode_value, encode_value, put_f64, put_i64, put_u64, Reader};
+use qp_storage::{StringDict, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-zA-Z0-9 '\\-]{0,24}".prop_map(Value::str),
+    ]
+}
+
+/// Bit-level equality: `PartialEq` treats `Int(2) == Float(2.0)` and all
+/// NaNs equal via `total_cmp`, which is too loose to pin a codec.
+fn same_repr(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Str(x), Value::Str(y)) => x == y,
+        _ => false,
+    }
+}
+
+proptest! {
+    #[test]
+    fn varints_round_trip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, v);
+        prop_assert!(buf.len() <= 10);
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.take_u64().unwrap(), v);
+        prop_assert!(r.is_done());
+    }
+
+    #[test]
+    fn signed_varints_round_trip(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        put_i64(&mut buf, v);
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.take_i64().unwrap(), v);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exact(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        let mut buf = Vec::new();
+        put_f64(&mut buf, v);
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.take_f64().unwrap().to_bits(), bits);
+    }
+
+    #[test]
+    fn values_round_trip(vals in prop::collection::vec(arb_value(), 0..40)) {
+        let mut dict = StringDict::new();
+        let mut buf = Vec::new();
+        for v in &vals {
+            encode_value(&mut buf, v, &mut dict);
+        }
+        let mut r = Reader::new(&buf);
+        for v in &vals {
+            let back = decode_value(&mut r, &dict).unwrap();
+            prop_assert!(same_repr(v, &back), "expected {:?}, decoded {:?}", v, back);
+        }
+        prop_assert!(r.is_done());
+    }
+
+    #[test]
+    fn re_encode_is_byte_identical(vals in prop::collection::vec(arb_value(), 0..40)) {
+        let mut dict1 = StringDict::new();
+        let mut first = Vec::new();
+        for v in &vals {
+            encode_value(&mut first, v, &mut dict1);
+        }
+        let mut r = Reader::new(&first);
+        let decoded: Vec<Value> =
+            vals.iter().map(|_| decode_value(&mut r, &dict1).unwrap()).collect();
+        // Fresh dictionary: ids are assigned in first-appearance order, so
+        // the bytes must come out identical even without sharing dict1.
+        let mut dict2 = StringDict::new();
+        let mut second = Vec::new();
+        for v in &decoded {
+            encode_value(&mut second, v, &mut dict2);
+        }
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn decoder_is_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        // Arbitrary bytes either decode or return a typed error — no panic.
+        let dict = StringDict::new();
+        let mut r = Reader::new(&bytes);
+        while !r.is_done() {
+            if decode_value(&mut r, &dict).is_err() {
+                break;
+            }
+        }
+    }
+}

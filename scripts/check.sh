@@ -100,6 +100,17 @@ serving_tmp="$(mktemp -d)"
 (cd "$serving_tmp" && "$repro_fp_bin" --bench-serving --scale small --runs 1 --users 30 >/dev/null)
 rm -rf "$serving_tmp"
 
+# Profile-store leg: the store-backed serving tests (cache identity,
+# torn-read safety, codec round-trip properties) plus a small-scale
+# smoke of the million-profile bench — 20k users exercises the full
+# register → lookup → cold/warm selection pipeline in seconds.
+echo "==> cargo test (profile store)"
+cargo test -q --test profile_store --test serving
+echo "==> bench-profiles smoke (20k users)"
+profiles_tmp="$(mktemp -d)"
+(cd "$profiles_tmp" && "$repro_fp_bin" --bench-profiles --scale small --users 20000 >/dev/null)
+rm -rf "$profiles_tmp"
+
 # Forced-open breaker: every serving test must still pass when the
 # circuit breaker is pinned open — personalizers without a resilience
 # bundle are unaffected, and those with one keep serving degraded

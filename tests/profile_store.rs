@@ -1,0 +1,182 @@
+//! Profile-store behaviour at the workspace level: cache identity of
+//! stored profiles, torn-read safety under concurrent re-registration,
+//! and the compact-codec round-trip property over arbitrary generated
+//! profiles.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+
+use personalized_queries::core::store::codec::{decode_profile, encode_profile};
+use personalized_queries::core::store::{ProfileStore, UserId};
+use personalized_queries::core::{
+    PersonalizationOptions, PersonalizeRequest, Personalizer, SelectionCriterion, STORED_ID_BIT,
+};
+use personalized_queries::datagen::{self, ImdbScale, ProfilePool, ProfileSpec};
+use personalized_queries::storage::{Database, StringDict};
+
+fn shared_db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| {
+        let db = datagen::generate(ImdbScale { movies: 300, ..ImdbScale::small() });
+        db.warm_statistics();
+        db
+    })
+}
+
+fn options() -> PersonalizationOptions {
+    PersonalizationOptions { criterion: SelectionCriterion::TopK(6), ..Default::default() }
+}
+
+const SQL: &str = "select title from MOVIE";
+
+/// Two handles to the same stored profile decode to the same `Arc` and
+/// therefore carry the same `(user_id, version)` cache identity: a
+/// selection computed through one is a preference-cache hit through the
+/// other. A detached clone gets a fresh ad-hoc id, so it must *not*
+/// share those entries — its mutation invisibly diverging from the
+/// stored blob is exactly the bug the stored-id split prevents.
+#[test]
+fn stored_handles_share_cache_entries_but_detached_clones_do_not() {
+    let db = shared_db();
+    let stored = datagen::random_profile(db, &ProfileSpec::mixed(12, 21));
+    let store = Arc::new(ProfileStore::new());
+    let uid = UserId(77);
+    store.register(uid, &stored);
+
+    let p1 = store.get(uid).expect("registered").profile().expect("decodes");
+    let p2 = store.get(uid).expect("registered").profile().expect("decodes");
+    assert!(Arc::ptr_eq(&p1, &p2), "both handles see the one decoded instance");
+    assert_eq!(p1.id(), STORED_ID_BIT | 77);
+    assert!(p1.is_stored());
+
+    let mut p = Personalizer::new(db);
+    p.set_preference_cache_enabled(true);
+    let cold = p.run(PersonalizeRequest::sql(&p1, SQL).options(options())).unwrap();
+    assert_eq!(cold.cache.pref_hits, 0);
+    let warm = p.run(PersonalizeRequest::sql(&p2, SQL).options(options())).unwrap();
+    assert_eq!(warm.cache.pref_hits, 1, "same stored identity shares the cache entry");
+
+    // A detached clone re-keys: same content, different identity. Its
+    // run must recompute rather than replay the stored profile's entry,
+    // and mutating it must not poison the stored entry either.
+    let mut detached = (*p1).clone();
+    assert!(!detached.is_stored(), "clones leave the stored id space");
+    detached
+        .add_selection(
+            db.catalog(),
+            "MOVIE",
+            "year",
+            personalized_queries::core::CompareOp::Ge,
+            1995,
+            personalized_queries::core::Doi::presence(0.5).unwrap(),
+        )
+        .unwrap();
+    let diverged = p.run(PersonalizeRequest::sql(&detached, SQL).options(options())).unwrap();
+    assert_eq!(diverged.cache.pref_hits, 0, "a detached clone must not reuse stored entries");
+    let replay = p.run(PersonalizeRequest::sql(&p1, SQL).options(options())).unwrap();
+    assert_eq!(replay.cache.pref_hits, 1, "the stored entry survived the clone's run");
+}
+
+/// Re-registration replaces the entry wholesale: readers racing a
+/// version-bumping writer must observe one of the two registered
+/// profiles exactly — never a mixture, never a torn decode.
+#[test]
+fn parallel_readers_never_see_a_torn_profile() {
+    let db = shared_db();
+    let a = datagen::random_profile(db, &ProfileSpec::positive_only(4, 1));
+    let b = datagen::random_profile(db, &ProfileSpec::mixed(16, 2));
+    assert_ne!(a, b);
+
+    let store = Arc::new(ProfileStore::new());
+    let uid = UserId(5);
+    store.register(uid, &a);
+
+    const ROUNDS: usize = 300;
+    std::thread::scope(|scope| {
+        let writer = {
+            let store = Arc::clone(&store);
+            let (a, b) = (&a, &b);
+            scope.spawn(move || {
+                for i in 0..ROUNDS {
+                    store.register(uid, if i % 2 == 0 { b } else { a });
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let (a, b) = (&a, &b);
+                scope.spawn(move || {
+                    let mut seen_versions = 0u64;
+                    for _ in 0..ROUNDS {
+                        let handle = store.get(uid).expect("user never disappears");
+                        let profile = handle.profile().expect("blob always decodes");
+                        assert!(
+                            *profile == *a || *profile == *b,
+                            "reader saw a profile that is neither registered version"
+                        );
+                        assert_eq!(profile.version(), handle.version());
+                        seen_versions = seen_versions.max(handle.version());
+                    }
+                    seen_versions
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            assert!(r.join().unwrap() >= 1, "every reader resolved at least one version");
+        }
+    });
+    assert_eq!(store.get(uid).unwrap().version(), ROUNDS as u64 + 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any generated profile compact-encodes, decodes back to an equal
+    /// profile, and re-encodes into a fresh dictionary byte-identically
+    /// — the codec is deterministic and lossless for every preference
+    /// type the model supports.
+    #[test]
+    fn compact_codec_round_trips_generated_profiles(
+        positive in 0usize..8,
+        negative in 0usize..5,
+        complex in 0usize..5,
+        elastic in 0usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let db = shared_db();
+        let spec = ProfileSpec { positive_presence: positive, negative, complex, elastic, seed };
+        let profile = datagen::random_profile(db, &spec);
+
+        let mut dict = StringDict::new();
+        let mut blob = Vec::new();
+        encode_profile(&profile, &mut dict, &mut blob);
+        let decoded = decode_profile(&blob, &dict, 9, 3).expect("decodes");
+        prop_assert_eq!(&profile, &decoded, "decode must preserve every preference");
+        prop_assert_eq!(decoded.id(), STORED_ID_BIT | 9);
+        prop_assert_eq!(decoded.version(), 3);
+
+        let mut dict2 = StringDict::new();
+        let mut blob2 = Vec::new();
+        encode_profile(&decoded, &mut dict2, &mut blob2);
+        prop_assert_eq!(&blob, &blob2, "re-encode into a fresh dict is byte-identical");
+    }
+
+    /// The pooled (million-scale) generator goes through the same codec
+    /// unharmed, and registration round-trips via the store itself.
+    #[test]
+    fn pooled_profiles_round_trip_through_the_store(user in 0u64..100_000, prefs in 0usize..16) {
+        let db = shared_db();
+        static POOL: OnceLock<ProfilePool> = OnceLock::new();
+        let pool = POOL.get_or_init(|| ProfilePool::build(db));
+        let profile = pool.profile(db.catalog(), user, prefs);
+
+        let store = ProfileStore::new();
+        let uid = UserId(user);
+        store.register(uid, &profile);
+        let decoded = store.get(uid).expect("registered").profile().expect("decodes");
+        prop_assert_eq!(&profile, &*decoded);
+    }
+}

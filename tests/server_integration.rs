@@ -44,8 +44,9 @@ fn clean_request_response_roundtrip() {
     client.ping().expect("ping");
 
     let dsl = als_profile_dsl(&ts.store().snapshot());
-    let preferences = client.register_profile("al", &dsl).expect("register profile");
-    assert!(preferences > 0, "Al's profile has preferences");
+    let reg = client.register_profile("al", &dsl).expect("register profile");
+    assert!(reg.preferences > 0, "Al's profile has preferences");
+    assert_eq!(reg.version, 1, "first registration is version 1");
 
     let answer = client
         .personalize(PersonalizeCall::new("al", "select title from MOVIE").k(4).l(1))

@@ -1,6 +1,6 @@
 //! Multi-user serving tests: the request/response API, parallel PPA
 //! determinism, plan/preference cache lifecycles, shared guard budgets,
-//! and the deprecated entry points' continued behaviour.
+//! and store-backed (user-addressed) requests.
 
 use std::sync::Arc;
 
@@ -250,27 +250,32 @@ fn shared_personalizer_serves_threads_identically() {
     }
 }
 
-/// The pre-redesign entry points still work (and agree with `run`) so
-/// downstream code migrates on its own schedule.
+/// A user-addressed request resolved through the [`ProfileStore`] agrees
+/// with the same query run against the borrowed profile directly.
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_agree_with_run() {
+fn store_backed_requests_agree_with_borrowed() {
+    use personalized_queries::core::store::{ProfileStore, UserId};
+    use std::sync::Arc;
+
     let db = db();
     let profile = mixed_profile(&db);
     let options = ppa_options(6);
 
     let mut p = Personalizer::new(&db);
-    let via_shim = p.personalize_sql(&profile, SQL, &options).unwrap();
-    let mut p = Personalizer::new(&db);
-    let via_run =
+    let via_borrowed =
         p.run(PersonalizeRequest::sql(&profile, SQL).options(options)).unwrap().report;
-    assert_eq!(via_shim.answer, via_run.answer);
-    assert_eq!(via_shim.selected, via_run.selected);
 
-    let query = personalized_queries::sql::parse_query(SQL).unwrap();
-    let mut p = Personalizer::new(&db);
-    let guarded = p
-        .personalize_guarded(&profile, &query, &options, &QueryGuard::unlimited())
-        .unwrap();
-    assert_eq!(guarded.answer, via_run.answer);
+    let store = Arc::new(ProfileStore::new());
+    let uid = UserId(7);
+    store.register(uid, &profile);
+    let mut p = Personalizer::new(&db).with_profile_store(Arc::clone(&store));
+    let via_store =
+        p.run(PersonalizeRequest::user(uid, SQL).options(options)).unwrap().report;
+    assert_eq!(via_store.answer, via_borrowed.answer);
+    assert_eq!(via_store.selected.len(), via_borrowed.selected.len());
+
+    // Running the same query again hits the store's selection memo and
+    // still yields the identical answer.
+    let again = p.run(PersonalizeRequest::user(uid, SQL).options(options)).unwrap().report;
+    assert_eq!(again.answer, via_borrowed.answer);
 }
