@@ -10,6 +10,7 @@
 //! repro --bench-chaos [--scale ...] [--runs N]
 //! repro --bench-serving [--scale ...] [--runs N] [--users N]
 //! repro --bench-profiles [--scale ...] [--users N]
+//! repro --bench-recovery [--scale ...] [--users N]
 //! ```
 //!
 //! `--bench-parallel` runs the serving benchmarks introduced with the
@@ -48,6 +49,13 @@
 //! graph + selection) vs warm (per-user selection memo) preference
 //! resolution. Defaults to 1,000,000 users; `--users` overrides. The
 //! snapshot lands in `BENCH_profiles.json`.
+//!
+//! `--bench-recovery` measures the durable profile store: registration
+//! throughput with and without the segment log, crash-recovery time
+//! replaying the full log vs recovering from a checkpoint snapshot, and
+//! torn-tail repair — each recovered store digest-checked against the
+//! store that wrote the files. Defaults to 1,000,000 users; `--users`
+//! overrides. The snapshot lands in `BENCH_recovery.json`.
 //!
 //! `--deadline-ms` and `--max-rows` configure the `guardrails` figure: a
 //! PPA run under a [`qp_exec::QueryGuard`], showing the partial ranked
@@ -122,6 +130,7 @@ fn main() {
             "--bench-chaos" => figures.push("bench-chaos".to_string()),
             "--bench-serving" => figures.push("bench-serving".to_string()),
             "--bench-profiles" => figures.push("bench-profiles".to_string()),
+            "--bench-recovery" => figures.push("bench-recovery".to_string()),
             "--users" => {
                 users = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--users expects a user count");
@@ -155,6 +164,11 @@ fn main() {
         // The profile-store benchmark defaults to a million users; an
         // explicit --users overrides (check.sh smokes it at 20k).
         bench_profiles(&bench_db(scale), if users_set { users } else { 1_000_000 });
+    }
+    if figures.iter().any(|f| f == "bench-recovery") {
+        // Like bench-profiles: a million users unless --users says less
+        // (check.sh smokes it at 20k).
+        bench_recovery(&bench_db(scale), if users_set { users } else { 1_000_000 });
     }
 
     let bench_parallel_wanted = figures.iter().any(|f| f == "bench-parallel");
@@ -1082,7 +1096,9 @@ fn bench_profiles(db: &Database, users: usize) {
     println!("bench-profiles: registering {users} pooled profiles…");
     let start = Instant::now();
     for u in 0..users as u64 {
-        store.register(UserId(u), &pool.profile(catalog, u, PREFS_PER_PROFILE));
+        store
+            .register(UserId(u), &pool.profile(catalog, u, PREFS_PER_PROFILE))
+            .expect("in-memory registration cannot fail");
     }
     let register = start.elapsed();
     let register_rate = users as f64 / register.as_secs_f64().max(1e-9);
@@ -1158,6 +1174,152 @@ fn bench_profiles(db: &Database, users: usize) {
     match std::fs::write("BENCH_profiles.json", &json) {
         Ok(()) => println!("wrote BENCH_profiles.json"),
         Err(e) => eprintln!("warning: could not write BENCH_profiles.json: {e}"),
+    }
+}
+
+/// Durability benchmark: what the segment log costs at registration
+/// time, and what crash recovery costs at startup. Four legs:
+///
+/// 1. in-memory registration (the no-durability baseline),
+/// 2. durable registration under the default batch-fsync policy,
+/// 3. recovery replaying the full log, then recovery from a snapshot
+///    (after a checkpoint truncates the log),
+/// 4. a torn-tail recovery (the live segment cut mid-record).
+///
+/// Every recovered store's digest is checked against the store that
+/// wrote the files — "recovered" means byte-identical, not just "no
+/// error". The snapshot lands in `BENCH_recovery.json`.
+fn bench_recovery(db: &Database, users: usize) {
+    use qp_core::store::{FsyncPolicy, PersistOptions, ProfileStore, UserId};
+    use qp_datagen::ProfilePool;
+    use std::time::Instant;
+
+    const PREFS_PER_PROFILE: usize = 6;
+    let catalog = db.catalog();
+    let pool = ProfilePool::build(db);
+    let dir = std::env::temp_dir().join(format!("qp_bench_recovery_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = || {
+        PersistOptions::default()
+            .fsync(FsyncPolicy::Batch)
+            .checkpoint_bytes(0) // explicit checkpoints only: leg 3 owns the timing
+    };
+
+    // Leg 1: in-memory baseline.
+    println!("bench-recovery: registering {users} profiles in memory…");
+    let mem = {
+        let store = ProfileStore::new();
+        let t = Instant::now();
+        for u in 0..users as u64 {
+            store
+                .register(UserId(u), &pool.profile(catalog, u, PREFS_PER_PROFILE))
+                .expect("in-memory registration cannot fail");
+        }
+        t.elapsed()
+    };
+    let mem_rate = users as f64 / mem.as_secs_f64().max(1e-9);
+
+    // Leg 2: durable registration (batch fsync, the serving default).
+    println!("bench-recovery: registering {users} profiles durably…");
+    let (durable, wal_bytes, digest) = {
+        let store = ProfileStore::open_with(&dir, options()).expect("fresh directory");
+        let t = Instant::now();
+        for u in 0..users as u64 {
+            store
+                .register(UserId(u), &pool.profile(catalog, u, PREFS_PER_PROFILE))
+                .expect("healthy disk");
+        }
+        store.flush().expect("flush");
+        (t.elapsed(), store.wal_bytes(), store.digest())
+    };
+    let durable_rate = users as f64 / durable.as_secs_f64().max(1e-9);
+    let overhead = mem_rate / durable_rate.max(1e-9);
+
+    // Leg 3a: recovery replaying the full log.
+    let t = Instant::now();
+    let store = ProfileStore::open_with(&dir, options()).expect("recover from log");
+    let wal_recovery_ms = t.elapsed().as_millis() as u64;
+    let wal_report = store.recovery().expect("durable store").clone();
+    let wal_digest_ok = store.digest() == digest;
+    assert!(wal_digest_ok, "log recovery must reproduce the store byte-identically");
+
+    // Leg 3b: checkpoint, then recovery from the snapshot.
+    let stats = store.checkpoint().expect("checkpoint").expect("durable store");
+    drop(store);
+    let t = Instant::now();
+    let store = ProfileStore::open_with(&dir, options()).expect("recover from snapshot");
+    let snap_recovery_ms = t.elapsed().as_millis() as u64;
+    let snap_report = store.recovery().expect("durable store").clone();
+    let snap_digest_ok = store.digest() == digest;
+    assert!(snap_digest_ok, "snapshot recovery must reproduce the store byte-identically");
+
+    // Leg 4: torn tail — append a few thousand more registrations, cut
+    // the live segment mid-record, and recover what survives.
+    let extra = 5_000.min(users) as u64;
+    for u in 0..extra {
+        store
+            .register(UserId(users as u64 + u), &pool.profile(catalog, u, PREFS_PER_PROFILE))
+            .expect("healthy disk");
+    }
+    store.flush().expect("flush");
+    drop(store);
+    let segment = qp_storage::persist::list_logs(&dir)
+        .expect("list segments")
+        .pop()
+        .expect("live segment")
+        .1;
+    let len = std::fs::metadata(&segment).expect("stat segment").len();
+    qp_storage::persist::truncate_log(&segment, len.saturating_sub(13))
+        .expect("tear the tail");
+    let t = Instant::now();
+    let store = ProfileStore::open_with(&dir, options()).expect("torn tail still recovers");
+    let torn_recovery_ms = t.elapsed().as_millis() as u64;
+    let torn_report = store.recovery().expect("durable store").clone();
+    assert!(torn_report.tail_repaired, "the cut record must be detected and dropped");
+    assert!(store.len() >= users, "only tail records may be lost");
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    print_table(
+        &format!("Durability & recovery — {users} users, {PREFS_PER_PROFILE} selections each"),
+        &["measurement", "value"],
+        &[
+            vec!["register (in-memory)".into(), format!("{mem_rate:.0} profiles/s")],
+            vec!["register (durable, batch fsync)".into(), format!("{durable_rate:.0} profiles/s")],
+            vec!["durability overhead".into(), format!("{overhead:.2}x")],
+            vec!["segment log size".into(), format!("{:.1} MiB", wal_bytes as f64 / (1 << 20) as f64)],
+            vec!["snapshot size".into(), format!("{:.1} MiB", stats.snapshot_bytes as f64 / (1 << 20) as f64)],
+            vec![
+                "recovery (log replay)".into(),
+                format!("{wal_recovery_ms} ms, {} records", wal_report.records_kept),
+            ],
+            vec!["recovery (snapshot)".into(), format!("{snap_recovery_ms} ms")],
+            vec![
+                "recovery (torn tail)".into(),
+                format!("{torn_recovery_ms} ms, {} dropped", torn_report.records_dropped),
+            ],
+        ],
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": {{\"users\": {users}, \"prefs_per_profile\": {PREFS_PER_PROFILE}}},\n  \
+           \"register\": {{\"memory_per_sec\": {mem_rate:.0}, \"durable_per_sec\": {durable_rate:.0}, \"overhead\": {overhead:.3}}},\n  \
+           \"log\": {{\"wal_bytes\": {wal_bytes}, \"snapshot_bytes\": {}}},\n  \
+           \"recovery_log\": {{\"ms\": {wal_recovery_ms}, \"records\": {}, \"bytes_replayed\": {}, \"digest_match\": {wal_digest_ok}}},\n  \
+           \"recovery_snapshot\": {{\"ms\": {snap_recovery_ms}, \"snapshot_users\": {}, \"tail_records\": {}, \"digest_match\": {snap_digest_ok}}},\n  \
+           \"recovery_torn_tail\": {{\"ms\": {torn_recovery_ms}, \"tail_repaired\": {}, \"records_dropped\": {}, \"bytes_dropped\": {}}}\n}}\n",
+        stats.snapshot_bytes,
+        wal_report.records_kept,
+        wal_report.bytes_replayed,
+        snap_report.snapshot_users,
+        snap_report.records_kept,
+        torn_report.tail_repaired,
+        torn_report.records_dropped,
+        torn_report.bytes_dropped,
+    );
+    match std::fs::write("BENCH_recovery.json", &json) {
+        Ok(()) => println!("wrote BENCH_recovery.json"),
+        Err(e) => eprintln!("warning: could not write BENCH_recovery.json: {e}"),
     }
 }
 

@@ -161,6 +161,11 @@ pub enum ErrorCode {
     Internal,
     /// The server is draining for shutdown and takes no new requests.
     ShuttingDown,
+    /// The server's durable profile store hit a disk fault and degraded
+    /// to read-only: reads and personalization still work, but profile
+    /// registration is refused until an operator intervenes. Not
+    /// retryable against the same server.
+    ReadOnly,
 }
 
 impl ErrorCode {
@@ -176,6 +181,7 @@ impl ErrorCode {
             ErrorCode::Query => "query",
             ErrorCode::Internal => "internal",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::ReadOnly => "read_only",
         }
     }
 
@@ -191,6 +197,7 @@ impl ErrorCode {
             "query" => ErrorCode::Query,
             "internal" => ErrorCode::Internal,
             "shutting_down" => ErrorCode::ShuttingDown,
+            "read_only" => ErrorCode::ReadOnly,
             _ => return None,
         })
     }

@@ -4,7 +4,7 @@ use std::fmt;
 
 use qp_exec::ExecError;
 use qp_sql::ParseError;
-use qp_storage::{DecodeError, StorageError};
+use qp_storage::{DecodeError, PersistError, StorageError};
 
 /// Errors raised while building profiles or personalizing queries.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +66,10 @@ pub enum PrefError {
     /// A stored profile blob failed to decode — corruption, or an
     /// encoding version skew.
     ProfileDecode(DecodeError),
+    /// The profile store's durability layer failed: a disk fault on the
+    /// segment log / snapshot, a corrupt file at recovery, or a write
+    /// refused because the store already degraded to read-only.
+    Persist(PersistError),
 }
 
 impl fmt::Display for PrefError {
@@ -110,6 +114,7 @@ impl fmt::Display for PrefError {
                 write!(f, "unknown user {user}: no profile registered in the store")
             }
             PrefError::ProfileDecode(e) => write!(f, "stored profile blob corrupt: {e}"),
+            PrefError::Persist(e) => write!(f, "{e}"),
         }
     }
 }
@@ -137,6 +142,12 @@ impl From<ExecError> for PrefError {
 impl From<DecodeError> for PrefError {
     fn from(e: DecodeError) -> Self {
         PrefError::ProfileDecode(e)
+    }
+}
+
+impl From<PersistError> for PrefError {
+    fn from(e: PersistError) -> Self {
+        PrefError::Persist(e)
     }
 }
 

@@ -87,4 +87,6 @@ pub use select::{
     PrefKey, PreferenceCache, SelectedPreference, SelectionCriterion, SelectionStats,
 };
 pub use skyline::skyline;
-pub use store::{ProfileHandle, ProfileStore, SelKey, UserId};
+pub use store::{
+    CheckpointStats, FsyncPolicy, PersistOptions, ProfileHandle, ProfileStore, SelKey, UserId,
+};

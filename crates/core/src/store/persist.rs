@@ -1,0 +1,879 @@
+//! Durability for the [`ProfileStore`]: registration WAL, snapshot
+//! checkpoints, crash recovery, and read-only degradation.
+//!
+//! ## Record grammar
+//!
+//! Everything on disk rides inside `qp_storage::persist`'s checksummed
+//! frames (`len:u32le | crc:u32le | payload`). Payloads use the same
+//! varint primitives as the profile blob codec (`put_u64`, length-
+//! prefixed byte strings), so the on-disk format inherits the codec's
+//! byte stability. Five payload kinds exist:
+//!
+//! ```text
+//! register   := 0x01 lsn user version prefs shard dict_start
+//!               n_new (len bytes)*n_new  blob_len blob
+//!               has_name [name_len name]
+//! snap_meta  := 0x02 format shard_count next_user wal_floor
+//!               n_names (len bytes id)*n_names
+//! snap_shard := 0x03 shard_idx dict_len (len bytes)*dict_len
+//!               n_users (user version prefs blob_len blob)*n_users
+//! snap_end   := 0x04
+//! ```
+//!
+//! A `register` record is **self-contained given the dictionary state
+//! its `dict_start` names**: it carries the strings its blob interned
+//! beyond that point, so replaying records in order rebuilds each
+//! shard's dictionary byte-for-byte. Records are **idempotent**: if the
+//! shard dictionary already extends past `dict_start` the delta is
+//! skipped, and a user entry only applies when its version is newer
+//! than the one present — which is what makes snapshot-then-tail replay
+//! safe when the tail overlaps the snapshot (a crash between snapshot
+//! rename and old-segment pruning).
+//!
+//! ## Fsync policy and the flusher
+//!
+//! [`FsyncPolicy::Always`] fsyncs every registration (durable at `Ok`),
+//! [`FsyncPolicy::Batch`] leaves appends buffered and lets a background
+//! flusher thread sync every `flush_ms` (bounded loss window, near
+//! in-memory registration throughput), [`FsyncPolicy::Never`] never
+//! requests an fsync (durability on OS page-cache terms — tests and
+//! benches). The flusher holds only a `Weak` to the WAL state, so
+//! dropping the store ends the thread.
+//!
+//! ## Checkpoints
+//!
+//! A checkpoint rotates the WAL to a fresh segment (brief WAL lock),
+//! serializes every shard under read locks (no WAL lock held — a
+//! registration holding a shard write lock may be waiting to append),
+//! writes `snapshot.qps` atomically, then prunes segments below the
+//! floor recorded in the snapshot. A crash anywhere in that sequence
+//! recovers: old snapshot + all segments, or new snapshot + overlapping
+//! segments that replay idempotently.
+//!
+//! ## Degradation
+//!
+//! Any WAL or checkpoint I/O failure (real or injected through the
+//! `persist.write`/`persist.fsync` failpoints) flips the store to
+//! **read-only**: the failed registration returns
+//! `PrefError::Persist(ReadOnly)` *without* applying in memory (what
+//! the disk didn't accept, readers never see), later registrations are
+//! refused with the original fault's reason, and lookups keep serving —
+//! a faulted disk costs write availability, never the process.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+use qp_obs::MetricsRegistry;
+use qp_storage::encoding::{put_u64, Reader};
+use qp_storage::persist::{
+    frame_into, list_logs, log_path, read_frames, replay_log, sync_dir, truncate_log,
+    write_atomic, LogWriter, PersistError, RecoveryReport, Tail,
+};
+
+use super::{ProfileStore, ShardInner, StoredProfile, UserId};
+use crate::error::PrefError;
+
+const REC_REGISTER: u8 = 0x01;
+const SNAP_META: u8 = 0x02;
+const SNAP_SHARD: u8 = 0x03;
+const SNAP_END: u8 = 0x04;
+/// On-disk snapshot format version, bumped on incompatible change.
+const SNAP_FORMAT: u64 = 1;
+
+/// Name of the snapshot file inside a store directory.
+const SNAPSHOT_FILE: &str = "snapshot.qps";
+
+/// When a registration's segment log must reach the platter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync on every registration: `Ok` means durable. Slowest.
+    Always,
+    /// Appends buffer; a background flusher fsyncs every `flush_ms`.
+    /// Crash loss is bounded by the flush interval.
+    Batch,
+    /// Never fsync (the OS flushes when it pleases). For tests/benches.
+    Never,
+}
+
+impl FsyncPolicy {
+    fn from_env() -> FsyncPolicy {
+        match std::env::var("QP_PERSIST_FSYNC").as_deref() {
+            Ok("always") => FsyncPolicy::Always,
+            Ok("never") => FsyncPolicy::Never,
+            _ => FsyncPolicy::Batch,
+        }
+    }
+
+    /// Whether a routine flush should request an fsync under this policy.
+    fn sync_on_flush(self) -> bool {
+        !matches!(self, FsyncPolicy::Never)
+    }
+}
+
+/// Tuning for [`ProfileStore::open_with`]. [`PersistOptions::from_env`]
+/// (what [`ProfileStore::open`] uses) reads:
+///
+/// * `QP_PERSIST_FSYNC` — `always` | `batch` (default) | `never`
+/// * `QP_PERSIST_FLUSH_MS` — flusher interval, default 200 (0 disables)
+/// * `QP_PERSIST_CHECKPOINT_MB` — auto-checkpoint threshold in MiB of
+///   WAL growth, default 64 (0 disables auto-checkpoints)
+#[derive(Debug, Clone)]
+pub struct PersistOptions {
+    /// Fsync policy for the segment log.
+    pub fsync: FsyncPolicy,
+    /// WAL bytes after which a checkpoint runs inline on the write
+    /// path; 0 = only explicit [`ProfileStore::checkpoint`] calls.
+    pub checkpoint_bytes: u64,
+    /// Background flusher interval in milliseconds; 0 = no flusher.
+    pub flush_ms: u64,
+    /// Shard count for a **fresh** store directory (a snapshot's shard
+    /// count always wins on recovery — blobs are sharded by user hash).
+    pub shards: usize,
+    /// Registry receiving `persist.*` metrics; a private one if absent.
+    pub metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl Default for PersistOptions {
+    fn default() -> Self {
+        PersistOptions {
+            fsync: FsyncPolicy::Batch,
+            checkpoint_bytes: 64 << 20,
+            flush_ms: 200,
+            shards: super::DEFAULT_SHARDS,
+            metrics: None,
+        }
+    }
+}
+
+impl PersistOptions {
+    /// Defaults overridden by the `QP_PERSIST_*` environment knobs.
+    pub fn from_env() -> Self {
+        let defaults = PersistOptions::default();
+        PersistOptions {
+            fsync: FsyncPolicy::from_env(),
+            flush_ms: env_u64("QP_PERSIST_FLUSH_MS").unwrap_or(defaults.flush_ms),
+            checkpoint_bytes: env_u64("QP_PERSIST_CHECKPOINT_MB")
+                .map(|mb| mb << 20)
+                .unwrap_or(defaults.checkpoint_bytes),
+            ..defaults
+        }
+    }
+
+    /// Sets the fsync policy (builder-style).
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Sets the auto-checkpoint threshold in bytes (builder-style).
+    pub fn checkpoint_bytes(mut self, bytes: u64) -> Self {
+        self.checkpoint_bytes = bytes;
+        self
+    }
+
+    /// Sets the flusher interval (builder-style).
+    pub fn flush_ms(mut self, ms: u64) -> Self {
+        self.flush_ms = ms;
+        self
+    }
+
+    /// Sets the fresh-store shard count (builder-style).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Routes `persist.*` / `profiles.*` metrics into `metrics`.
+    pub fn metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// What one checkpoint did, returned by [`ProfileStore::checkpoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Users captured in the snapshot.
+    pub users: u64,
+    /// Size of the written snapshot file in bytes.
+    pub snapshot_bytes: u64,
+    /// Segment log files pruned after the snapshot landed.
+    pub logs_removed: usize,
+}
+
+/// The read-only degradation latch. Set once on the first disk fault;
+/// every later registration is refused with the recorded reason.
+#[derive(Debug, Default)]
+pub(super) struct Degraded {
+    failed: AtomicBool,
+    reason: Mutex<Option<String>>,
+}
+
+impl Degraded {
+    pub(super) fn reason(&self) -> Option<String> {
+        if !self.failed.load(Ordering::Acquire) {
+            return None;
+        }
+        self.reason.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn set(&self, reason: String, metrics: &MetricsRegistry) {
+        {
+            let mut slot = self.reason.lock().unwrap_or_else(|e| e.into_inner());
+            // First fault wins; later faults are consequences.
+            if slot.is_none() {
+                *slot = Some(reason);
+            }
+        }
+        self.failed.store(true, Ordering::Release);
+        metrics.counter("persist.errors").inc();
+        metrics.gauge("persist.degraded").set(1);
+    }
+}
+
+/// Mutable WAL state: the open segment writer and its bookkeeping.
+#[derive(Debug)]
+pub(super) struct WalState {
+    writer: LogWriter,
+    /// Sequence number of the segment `writer` appends to.
+    seq: u64,
+    /// Last log sequence number handed to a record.
+    lsn: u64,
+    /// Framed bytes appended since the last checkpoint (drives the
+    /// auto-checkpoint threshold).
+    since_checkpoint: u64,
+}
+
+/// The store's durability handle: one per opened directory.
+#[derive(Debug)]
+pub(super) struct Persist {
+    dir: PathBuf,
+    wal: Arc<Mutex<WalState>>,
+    degraded: Arc<Degraded>,
+    fsync: FsyncPolicy,
+    checkpoint_bytes: u64,
+    /// Serializes checkpoints; the auto path `try_lock`s so concurrent
+    /// registrations never queue behind a running checkpoint.
+    checkpoint_lock: Mutex<()>,
+}
+
+impl Persist {
+    /// The directory this store persists into.
+    pub(super) fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub(super) fn degraded_reason(&self) -> Option<String> {
+        self.degraded.reason()
+    }
+
+    /// Total framed bytes in the live segment (buffered included).
+    pub(super) fn wal_len(&self) -> u64 {
+        lock(&self.wal).writer.len()
+    }
+
+    /// Appends one registration record, assigning its LSN inside the
+    /// WAL lock. `build` writes the record payload given that LSN.
+    /// Called with the owning shard's write lock held, which is what
+    /// guarantees dictionary deltas hit the log in dictionary order.
+    pub(super) fn append_register(
+        &self,
+        metrics: &MetricsRegistry,
+        build: impl FnOnce(u64, &mut Vec<u8>),
+    ) -> Result<(), PersistError> {
+        let mut record = Vec::with_capacity(128);
+        let mut wal = lock(&self.wal);
+        let lsn = wal.lsn + 1;
+        build(lsn, &mut record);
+        let framed = record.len() as u64 + qp_storage::persist::FRAME_HEADER as u64;
+        let result = wal.writer.append(&record).and_then(|()| {
+            if self.fsync == FsyncPolicy::Always {
+                wal.writer.flush(true)?;
+                metrics.counter("persist.fsync.count").inc();
+            }
+            Ok(())
+        });
+        match result {
+            Ok(()) => {
+                wal.lsn = lsn;
+                wal.since_checkpoint += framed;
+                metrics.counter("persist.wal.appends").inc();
+                metrics.gauge("persist.wal.bytes").set(wal.writer.len() as i64);
+                Ok(())
+            }
+            Err(e) => {
+                drop(wal);
+                self.degraded.set(e.to_string(), metrics);
+                Err(e)
+            }
+        }
+    }
+
+    /// True when the write path should trigger an inline checkpoint.
+    pub(super) fn wants_checkpoint(&self) -> bool {
+        self.checkpoint_bytes > 0
+            && lock(&self.wal).since_checkpoint >= self.checkpoint_bytes
+    }
+
+    /// Flushes buffered appends; syncs according to the policy. A
+    /// failure degrades the store.
+    pub(super) fn flush(&self, metrics: &MetricsRegistry) -> Result<(), PersistError> {
+        let sync = self.fsync.sync_on_flush();
+        let result = {
+            let mut wal = lock(&self.wal);
+            wal.writer.flush(sync)
+        };
+        match result {
+            Ok(()) => {
+                metrics.counter("persist.flush.count").inc();
+                if sync {
+                    metrics.counter("persist.fsync.count").inc();
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.degraded.set(e.to_string(), metrics);
+                Err(e)
+            }
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Appends a length-prefixed byte string.
+fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(buf, bytes.len() as u64);
+    buf.extend_from_slice(bytes);
+}
+
+fn take_bytes<'a>(r: &mut Reader<'a>) -> Result<&'a [u8], String> {
+    let len = r.take_u64().map_err(|e| e.to_string())?;
+    let len = usize::try_from(len).map_err(|_| "length overflows usize".to_string())?;
+    r.take_slice(len).map_err(|e| e.to_string())
+}
+
+fn take_str(r: &mut Reader<'_>) -> Result<String, String> {
+    let bytes = take_bytes(r)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| "invalid utf-8 string".to_string())
+}
+
+/// Encodes one registration record. `new_strings` is the dictionary
+/// delta this registration appended (`dict.entries()[dict_start..]`).
+#[allow(clippy::too_many_arguments)]
+pub(super) fn encode_register(
+    buf: &mut Vec<u8>,
+    lsn: u64,
+    user: u64,
+    version: u64,
+    prefs: u64,
+    shard: u64,
+    dict_start: u64,
+    new_strings: &[Arc<str>],
+    blob: &[u8],
+    name: Option<&str>,
+) {
+    buf.push(REC_REGISTER);
+    put_u64(buf, lsn);
+    put_u64(buf, user);
+    put_u64(buf, version);
+    put_u64(buf, prefs);
+    put_u64(buf, shard);
+    put_u64(buf, dict_start);
+    put_u64(buf, new_strings.len() as u64);
+    for s in new_strings {
+        put_bytes(buf, s.as_bytes());
+    }
+    put_bytes(buf, blob);
+    match name {
+        None => buf.push(0),
+        Some(n) => {
+            buf.push(1);
+            put_bytes(buf, n.as_bytes());
+        }
+    }
+}
+
+/// Everything recovery rebuilds before the store wraps it in locks.
+pub(super) struct Recovered {
+    pub(super) shards: Vec<super::Shard>,
+    pub(super) names: HashMap<Arc<str>, UserId>,
+    pub(super) next_user: u64,
+    pub(super) users: u64,
+    pub(super) blob_bytes: u64,
+    pub(super) report: RecoveryReport,
+    pub(super) metrics: Arc<MetricsRegistry>,
+    pub(super) handle: Persist,
+}
+
+struct ReplayState {
+    shards: Vec<ShardInner>,
+    names: HashMap<Arc<str>, UserId>,
+    next_user: u64,
+    last_lsn: u64,
+    wal_floor: u64,
+}
+
+impl ReplayState {
+    fn shard_of(&self, user: u64) -> usize {
+        let h = user.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & (self.shards.len() - 1)
+    }
+
+    fn apply_register(&mut self, payload: &[u8]) -> Result<(), String> {
+        let mut r = Reader::new(payload);
+        let tag = r.take_u8().map_err(|e| e.to_string())?;
+        if tag != REC_REGISTER {
+            return Err(format!("unexpected record tag {tag:#04x} in segment log"));
+        }
+        let lsn = r.take_u64().map_err(|e| e.to_string())?;
+        if lsn <= self.last_lsn {
+            return Err(format!("lsn {lsn} regresses (last was {})", self.last_lsn));
+        }
+        let user = r.take_u64().map_err(|e| e.to_string())?;
+        let version = r.take_u64().map_err(|e| e.to_string())?;
+        let prefs = r.take_u64().map_err(|e| e.to_string())?;
+        let shard = r.take_u64().map_err(|e| e.to_string())? as usize;
+        let dict_start = r.take_u64().map_err(|e| e.to_string())? as usize;
+        let n_new = r.take_u64().map_err(|e| e.to_string())? as usize;
+        if shard >= self.shards.len() || shard != self.shard_of(user) {
+            return Err(format!("record for user {user} names shard {shard}, expected {}",
+                self.shard_of(user)));
+        }
+        if n_new > payload.len() {
+            return Err(format!("dictionary delta claims {n_new} strings"));
+        }
+        let inner = &mut self.shards[shard];
+        if inner.dict.len() < dict_start {
+            return Err(format!(
+                "dictionary gap: record starts at {dict_start}, shard has {}",
+                inner.dict.len()
+            ));
+        }
+        let apply_delta = inner.dict.len() == dict_start;
+        for _ in 0..n_new {
+            let s = take_str(&mut r)?;
+            if apply_delta {
+                inner.dict.intern(&s);
+            }
+        }
+        let blob = take_bytes(&mut r)?;
+        let named = match r.take_u8().map_err(|e| e.to_string())? {
+            0 => None,
+            1 => Some(take_str(&mut r)?),
+            b => return Err(format!("bad name marker {b:#04x}")),
+        };
+        if !r.is_done() {
+            return Err("trailing bytes after registration record".to_string());
+        }
+
+        // Last-writer-wins by version: records the snapshot already
+        // covers replay as no-ops.
+        let newer = inner.users.get(&user).is_none_or(|e| e.version < version);
+        if newer {
+            inner.users.insert(
+                user,
+                Arc::new(StoredProfile {
+                    user,
+                    version,
+                    blob: blob.to_vec().into_boxed_slice(),
+                    prefs: prefs as u32,
+                    selections: std::sync::RwLock::new(Vec::new()),
+                }),
+            );
+        }
+        if let Some(name) = named {
+            self.names.insert(Arc::from(name.as_str()), UserId(user));
+            self.next_user = self.next_user.max(user + 1);
+        }
+        self.last_lsn = lsn;
+        Ok(())
+    }
+}
+
+fn load_snapshot(
+    path: &Path,
+    state: &mut ReplayState,
+    report: &mut RecoveryReport,
+) -> Result<(), PersistError> {
+    let corrupt = |detail: String| PersistError::Corrupt {
+        path: path.display().to_string(),
+        at: 0,
+        detail,
+    };
+    let mut meta_seen = false;
+    let mut end_seen = false;
+    let bytes = read_frames(path, |payload| {
+        if end_seen {
+            return Err("frame after snapshot end marker".to_string());
+        }
+        let mut r = Reader::new(payload);
+        let tag = r.take_u8().map_err(|e| e.to_string())?;
+        match tag {
+            SNAP_META => {
+                if meta_seen {
+                    return Err("duplicate snapshot meta frame".to_string());
+                }
+                meta_seen = true;
+                let format = r.take_u64().map_err(|e| e.to_string())?;
+                if format != SNAP_FORMAT {
+                    return Err(format!("snapshot format {format}, expected {SNAP_FORMAT}"));
+                }
+                let shard_count = r.take_u64().map_err(|e| e.to_string())? as usize;
+                if !(1..=(1 << 16)).contains(&shard_count) || !shard_count.is_power_of_two() {
+                    return Err(format!("implausible shard count {shard_count}"));
+                }
+                state.shards = (0..shard_count).map(|_| ShardInner::default()).collect();
+                state.next_user = r.take_u64().map_err(|e| e.to_string())?;
+                state.wal_floor = r.take_u64().map_err(|e| e.to_string())?;
+                let n_names = r.take_u64().map_err(|e| e.to_string())? as usize;
+                for _ in 0..n_names {
+                    let name = take_str(&mut r)?;
+                    let id = r.take_u64().map_err(|e| e.to_string())?;
+                    state.names.insert(Arc::from(name.as_str()), UserId(id));
+                }
+                Ok(())
+            }
+            SNAP_SHARD => {
+                if !meta_seen {
+                    return Err("shard frame before snapshot meta".to_string());
+                }
+                let idx = r.take_u64().map_err(|e| e.to_string())? as usize;
+                if idx >= state.shards.len() {
+                    return Err(format!("shard index {idx} out of range"));
+                }
+                let inner = &mut state.shards[idx];
+                if !inner.dict.is_empty() || !inner.users.is_empty() {
+                    return Err(format!("duplicate frame for shard {idx}"));
+                }
+                let dict_len = r.take_u64().map_err(|e| e.to_string())? as usize;
+                for _ in 0..dict_len {
+                    let s = take_str(&mut r)?;
+                    inner.dict.intern(&s);
+                }
+                let n_users = r.take_u64().map_err(|e| e.to_string())? as usize;
+                for _ in 0..n_users {
+                    let user = r.take_u64().map_err(|e| e.to_string())?;
+                    let version = r.take_u64().map_err(|e| e.to_string())?;
+                    let prefs = r.take_u64().map_err(|e| e.to_string())?;
+                    let blob = take_bytes(&mut r)?;
+                    inner.users.insert(
+                        user,
+                        Arc::new(StoredProfile {
+                            user,
+                            version,
+                            blob: blob.to_vec().into_boxed_slice(),
+                            prefs: prefs as u32,
+                            selections: std::sync::RwLock::new(Vec::new()),
+                        }),
+                    );
+                    report.snapshot_users += 1;
+                }
+                Ok(())
+            }
+            SNAP_END => {
+                end_seen = true;
+                Ok(())
+            }
+            t => Err(format!("unknown snapshot frame tag {t:#04x}")),
+        }
+    })?;
+    if !end_seen {
+        return Err(corrupt("snapshot missing end marker".to_string()));
+    }
+    report.snapshot_bytes = bytes;
+    Ok(())
+}
+
+/// Opens (or initializes) a store directory: loads the snapshot if one
+/// exists, replays surviving segments in order with prefix semantics,
+/// repairs a torn tail by truncation, prunes segments a previous
+/// checkpoint already covered, and opens a fresh segment for new
+/// registrations.
+pub(super) fn recover(
+    dir: &Path,
+    options: PersistOptions,
+) -> Result<Recovered, PrefError> {
+    let started = Instant::now();
+    fs::create_dir_all(dir).map_err(|e| {
+        PersistError::Io { op: "mkdir", path: dir.display().to_string(), detail: e.to_string() }
+    })?;
+    let metrics = options.metrics.clone().unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
+
+    let shard_count = options.shards.max(1).next_power_of_two();
+    let mut report = RecoveryReport::default();
+    let mut state = ReplayState {
+        shards: (0..shard_count).map(|_| ShardInner::default()).collect(),
+        names: HashMap::new(),
+        next_user: 1,
+        last_lsn: 0,
+        wal_floor: 0,
+    };
+
+    let snapshot = dir.join(SNAPSHOT_FILE);
+    if snapshot.exists() {
+        load_snapshot(&snapshot, &mut state, &mut report)?;
+    }
+
+    let logs = list_logs(dir)?;
+    let mut max_seq = 0u64;
+    let mut torn = false;
+    for (seq, path) in logs.iter() {
+        max_seq = max_seq.max(*seq);
+        if *seq < state.wal_floor {
+            // A checkpoint's snapshot supersedes this segment; the crash
+            // happened before the prune. Finish the prune now.
+            fs::remove_file(path).map_err(|e| io_cleanup(path, e))?;
+            continue;
+        }
+        if torn {
+            // Everything after a torn segment is beyond the lost suffix;
+            // count it dropped and remove it (prefix semantics).
+            let mut records = 0u64;
+            let bytes = replay_log(path, |_, _| {
+                records += 1;
+                Ok(())
+            })
+            .map(|s| s.bytes)
+            .unwrap_or(0);
+            report.records_dropped += records;
+            report.bytes_dropped += bytes;
+            fs::remove_file(path).map_err(|e| io_cleanup(path, e))?;
+            continue;
+        }
+        report.log_files += 1;
+        let summary = replay_log(path, |_, payload| state.apply_register(payload))?;
+        report.records_kept += summary.records;
+        report.bytes_replayed += summary.bytes;
+        if let Tail::Torn { valid_len, dropped_bytes, dropped_records, .. } = summary.tail {
+            report.records_dropped += dropped_records;
+            report.bytes_dropped += dropped_bytes;
+            report.tail_repaired = true;
+            // Later segments are beyond the lost suffix; the branch
+            // above drops them on the remaining iterations.
+            torn = true;
+            truncate_log(path, valid_len)?;
+        }
+    }
+
+    // Fresh segment for new registrations: sequence numbers are never
+    // reused, and old segments stay until the next checkpoint prunes
+    // them.
+    let new_seq = (max_seq + 1).max(state.wal_floor).max(1);
+    let writer = LogWriter::create(log_path(dir, new_seq))?;
+    sync_dir(dir)?;
+
+    let users: u64 = state.shards.iter().map(|s| s.users.len() as u64).sum();
+    let blob_bytes: u64 =
+        state.shards.iter().flat_map(|s| s.users.values()).map(|e| e.blob.len() as u64).sum();
+    report.elapsed_us = started.elapsed().as_micros() as u64;
+
+    metrics.counter("persist.recovery.count").inc();
+    metrics.gauge("persist.recovery.records_kept").set(report.records_kept as i64);
+    metrics.gauge("persist.recovery.records_dropped").set(report.records_dropped as i64);
+    metrics.gauge("persist.recovery.bytes_replayed").set(report.bytes_replayed as i64);
+    metrics.gauge("persist.recovery.bytes_dropped").set(report.bytes_dropped as i64);
+    metrics.gauge("persist.recovery.us").set(report.elapsed_us as i64);
+    metrics.gauge("persist.degraded").set(0);
+
+    let wal = Arc::new(Mutex::new(WalState {
+        writer,
+        seq: new_seq,
+        lsn: state.last_lsn,
+        since_checkpoint: 0,
+    }));
+    let degraded = Arc::new(Degraded::default());
+    if options.flush_ms > 0 && options.fsync != FsyncPolicy::Always {
+        spawn_flusher(
+            Arc::downgrade(&wal),
+            Arc::clone(&degraded),
+            Arc::clone(&metrics),
+            Duration::from_millis(options.flush_ms),
+            options.fsync.sync_on_flush(),
+        );
+    }
+
+    Ok(Recovered {
+        shards: state.shards.into_iter().map(|inner| super::Shard {
+            inner: std::sync::RwLock::new(inner),
+        }).collect(),
+        names: state.names,
+        next_user: state.next_user,
+        users,
+        blob_bytes,
+        report,
+        metrics,
+        handle: Persist {
+            dir: dir.to_path_buf(),
+            wal,
+            degraded,
+            fsync: options.fsync,
+            checkpoint_bytes: options.checkpoint_bytes,
+            checkpoint_lock: Mutex::new(()),
+        },
+    })
+}
+
+fn io_cleanup(path: &Path, e: std::io::Error) -> PersistError {
+    PersistError::Io { op: "remove", path: path.display().to_string(), detail: e.to_string() }
+}
+
+fn spawn_flusher(
+    wal: Weak<Mutex<WalState>>,
+    degraded: Arc<Degraded>,
+    metrics: Arc<MetricsRegistry>,
+    every: Duration,
+    sync: bool,
+) {
+    let spawned = std::thread::Builder::new().name("qp-profile-flusher".into()).spawn(move || {
+        loop {
+            std::thread::sleep(every);
+            let Some(wal) = wal.upgrade() else { return };
+            if degraded.reason().is_some() {
+                continue;
+            }
+            let result = {
+                let mut wal = lock(&wal);
+                if wal.writer.unsynced() == 0 {
+                    continue;
+                }
+                wal.writer.flush(sync)
+            };
+            match result {
+                Ok(()) => {
+                    metrics.counter("persist.flush.count").inc();
+                    if sync {
+                        metrics.counter("persist.fsync.count").inc();
+                    }
+                }
+                Err(e) => degraded.set(e.to_string(), &metrics),
+            }
+        }
+    });
+    // A spawn failure only costs background flushing; explicit flushes
+    // and the Always policy are unaffected.
+    drop(spawned);
+}
+
+/// Runs a checkpoint: rotate the WAL, snapshot every shard, prune
+/// superseded segments. `auto` softens the contract for the write-path
+/// trigger: if another checkpoint is running it returns `None` instead
+/// of queueing, and the byte threshold is re-checked under the lock.
+pub(super) fn checkpoint(
+    store: &ProfileStore,
+    auto: bool,
+) -> Result<Option<CheckpointStats>, PersistError> {
+    let Some(persist) = store.persist.as_ref() else {
+        return Ok(None);
+    };
+    if let Some(reason) = persist.degraded.reason() {
+        return Err(PersistError::ReadOnly { reason });
+    }
+    let _guard = if auto {
+        match persist.checkpoint_lock.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::WouldBlock) => return Ok(None),
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        }
+    } else {
+        lock(&persist.checkpoint_lock)
+    };
+    if auto && !persist.wants_checkpoint() {
+        return Ok(None);
+    }
+
+    // Rotate under a brief WAL lock: finish the old segment, open the
+    // next. Registrations queue on the WAL mutex for the duration of a
+    // flush + create, nothing more.
+    let rotate = || -> Result<u64, PersistError> {
+        let mut wal = lock(&persist.wal);
+        wal.writer.flush(persist.fsync.sync_on_flush())?;
+        let new_seq = wal.seq + 1;
+        let writer = LogWriter::create(log_path(&persist.dir, new_seq))?;
+        sync_dir(&persist.dir)?;
+        wal.writer = writer;
+        wal.seq = new_seq;
+        wal.since_checkpoint = 0;
+        Ok(new_seq)
+    };
+    let floor = match rotate() {
+        Ok(seq) => seq,
+        Err(e) => {
+            persist.degraded.set(e.to_string(), &store.metrics);
+            return Err(e);
+        }
+    };
+
+    // Serialize shards under read locks only — registrations proceed
+    // into the fresh segment meanwhile; the overlap replays idempotently.
+    let mut buf = Vec::new();
+    let mut frame = Vec::new();
+    frame.push(SNAP_META);
+    put_u64(&mut frame, SNAP_FORMAT);
+    put_u64(&mut frame, store.shards.len() as u64);
+    put_u64(&mut frame, store.next_user.load(Ordering::Relaxed));
+    put_u64(&mut frame, floor);
+    {
+        let names = super::read_lock(&store.names);
+        put_u64(&mut frame, names.len() as u64);
+        for (name, id) in names.iter() {
+            put_bytes(&mut frame, name.as_bytes());
+            put_u64(&mut frame, id.0);
+        }
+    }
+    frame_into(&mut buf, &frame);
+    let mut users = 0u64;
+    for (idx, shard) in store.shards.iter().enumerate() {
+        frame.clear();
+        frame.push(SNAP_SHARD);
+        put_u64(&mut frame, idx as u64);
+        let inner = super::read_lock(&shard.inner);
+        put_u64(&mut frame, inner.dict.len() as u64);
+        for s in inner.dict.entries() {
+            put_bytes(&mut frame, s.as_bytes());
+        }
+        put_u64(&mut frame, inner.users.len() as u64);
+        for entry in inner.users.values() {
+            put_u64(&mut frame, entry.user);
+            put_u64(&mut frame, entry.version);
+            put_u64(&mut frame, u64::from(entry.prefs));
+            put_bytes(&mut frame, &entry.blob);
+            users += 1;
+        }
+        drop(inner);
+        frame_into(&mut buf, &frame);
+    }
+    frame.clear();
+    frame.push(SNAP_END);
+    frame_into(&mut buf, &frame);
+
+    let snapshot_bytes = buf.len() as u64;
+    if let Err(e) = write_atomic(&persist.dir.join(SNAPSHOT_FILE), &buf) {
+        persist.degraded.set(e.to_string(), &store.metrics);
+        return Err(e);
+    }
+
+    // Prune segments the snapshot supersedes.
+    let mut logs_removed = 0usize;
+    for (seq, path) in list_logs(&persist.dir)? {
+        if seq < floor {
+            fs::remove_file(&path).map_err(|e| io_cleanup(&path, e))?;
+            logs_removed += 1;
+        }
+    }
+    sync_dir(&persist.dir)?;
+
+    store.metrics.counter("persist.checkpoint.count").inc();
+    store.metrics.gauge("persist.snapshot.bytes").set(snapshot_bytes as i64);
+    Ok(Some(CheckpointStats { users, snapshot_bytes, logs_removed }))
+}

@@ -1,9 +1,13 @@
 //! `qp-server` — serves personalized queries over TCP.
 //!
 //! ```text
-//! $ qp-server 127.0.0.1:7878 --movies 2000
+//! $ qp-server 127.0.0.1:7878 --movies 2000 --data-dir /var/lib/qp
 //! qp-server listening on 127.0.0.1:7878 (2000-movie database)
 //! ```
+//!
+//! With `--data-dir`, registered profiles survive restarts: the store
+//! recovers the directory at startup (reporting what crash recovery
+//! kept) and logs every registration before acknowledging it.
 //!
 //! The process serves until stdin reaches EOF (or the process is
 //! killed), then drains gracefully — `echo | qp-server` starts, serves
@@ -21,6 +25,7 @@ use qp_storage::SnapshotStore;
 fn main() {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut movies = 2_000usize;
+    let mut data_dir: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -29,6 +34,14 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--movies wants a number"));
+            }
+            "--data-dir" => {
+                data_dir = Some(
+                    args.next()
+                        .filter(|v| !v.is_empty())
+                        .map(std::path::PathBuf::from)
+                        .unwrap_or_else(|| usage("--data-dir wants a path")),
+                );
             }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
@@ -39,25 +52,36 @@ fn main() {
     let config = ServerConfig {
         addr,
         idle_timeout: Duration::from_secs(60),
+        data_dir: data_dir.clone(),
         ..ServerConfig::default()
     };
     let store = Arc::new(SnapshotStore::new(fixture_db(movies)));
     let mut server = match Server::start(config, store) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("qp-server: cannot bind: {e}");
+            eprintln!("qp-server: cannot start: {e}");
             std::process::exit(1);
         }
     };
     println!("qp-server listening on {} ({movies}-movie database)", server.local_addr());
+    if let Some(report) = server.profiles().recovery() {
+        println!(
+            "qp-server: recovered {} profiles from {} ({} log records{}, {} ms)",
+            server.profiles().len(),
+            data_dir.as_deref().unwrap_or_else(|| std::path::Path::new("?")).display(),
+            report.records_kept,
+            if report.tail_repaired { ", torn tail repaired" } else { "" },
+            report.elapsed_us / 1_000,
+        );
+    }
 
     // Serve until stdin closes, then drain.
     let mut sink = Vec::new();
     std::io::stdin().read_to_end(&mut sink).ok();
     let report = server.shutdown();
     println!(
-        "qp-server: shut down (drained {}, aborted {})",
-        report.drained, report.aborted
+        "qp-server: shut down (drained {}, aborted {}, {} profiles durable)",
+        report.drained, report.aborted, report.profiles_flushed
     );
 }
 
@@ -65,6 +89,6 @@ fn usage(error: &str) -> ! {
     if !error.is_empty() {
         eprintln!("qp-server: {error}");
     }
-    eprintln!("usage: qp-server [addr] [--movies N]");
+    eprintln!("usage: qp-server [addr] [--movies N] [--data-dir PATH]");
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

@@ -52,7 +52,7 @@ use qp_client::wire::{
     DEFAULT_MAX_FRAME,
 };
 use qp_core::{
-    AdmissionConfig, AdmissionController, AnswerAlgorithm, BreakerConfig,
+    AdmissionConfig, AdmissionController, AnswerAlgorithm, BreakerConfig, PersistOptions,
     PersonalizationOptions, PersonalizeRequest, Personalizer, PrefError, Profile,
     ProfileStore, Resilience, RetryPolicy, SelectionCriterion, UserId,
 };
@@ -88,6 +88,11 @@ pub struct ServerConfig {
     pub default_k: usize,
     /// Minimum satisfied preferences when a request does not say.
     pub default_l: usize,
+    /// Directory for the durable profile store. `None` (the default)
+    /// keeps profiles in memory only; `Some(dir)` recovers registered
+    /// profiles from `dir` at startup and logs every registration
+    /// before acknowledging it (see DESIGN.md §"Durability & recovery").
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +109,7 @@ impl Default for ServerConfig {
             retry_seed: Some(0x9d5e),
             default_k: 5,
             default_l: 1,
+            data_dir: None,
         }
     }
 }
@@ -115,6 +121,10 @@ pub struct ShutdownReport {
     pub drained: usize,
     /// In-flight requests severed when the window expired.
     pub aborted: usize,
+    /// Registered profiles that were durable on disk when the server
+    /// exited (the profile store's buffered log records flushed and
+    /// fsynced during drain). Always 0 without a `data_dir`.
+    pub profiles_flushed: u64,
 }
 
 struct Shared {
@@ -164,11 +174,24 @@ impl Server {
             resilience = resilience.with_retry(RetryPolicy::quick(seed));
         }
         let metrics = Arc::new(MetricsRegistry::new());
+        let profiles = match &config.data_dir {
+            Some(dir) => {
+                let options = PersistOptions::from_env().metrics(Arc::clone(&metrics));
+                let store = ProfileStore::open_with(dir, options).map_err(|e| {
+                    std::io::Error::other(format!(
+                        "profile store at {}: {e}",
+                        dir.display()
+                    ))
+                })?;
+                Arc::new(store)
+            }
+            None => Arc::new(ProfileStore::new().with_metrics(Arc::clone(&metrics))),
+        };
         let shared = Arc::new(Shared {
             admission: AdmissionController::new(config.admission),
             config,
             store,
-            profiles: Arc::new(ProfileStore::new().with_metrics(Arc::clone(&metrics))),
+            profiles,
             metrics,
             resilience: Arc::new(resilience),
             shutting_down: AtomicBool::new(false),
@@ -207,6 +230,12 @@ impl Server {
         self.shared.in_flight.load(Ordering::Acquire)
     }
 
+    /// The server-wide profile store (durable when the config named a
+    /// `data_dir`). Exposed for restart tests and operator tooling.
+    pub fn profiles(&self) -> Arc<ProfileStore> {
+        Arc::clone(&self.shared.profiles)
+    }
+
     /// Graceful shutdown: stop accepting, drain in-flight requests under
     /// the configured [`ServerConfig::drain_timeout`], then sever every
     /// remaining connection (aborting stragglers). Idempotent.
@@ -242,8 +271,23 @@ impl Server {
             thread::sleep(Duration::from_millis(1));
         }
 
-        let report =
-            ShutdownReport { drained: initial.saturating_sub(remaining), aborted: remaining };
+        // With every connection gone, push buffered registration records
+        // to disk so a restart recovers everything that was acknowledged.
+        // A flush failure (disk fault during drain) degrades the store
+        // read-only; the report then says 0 profiles made it down.
+        let profiles_flushed = if self.shared.profiles.is_durable()
+            && self.shared.profiles.flush().is_ok()
+        {
+            self.shared.profiles.len() as u64
+        } else {
+            0
+        };
+
+        let report = ShutdownReport {
+            drained: initial.saturating_sub(remaining),
+            aborted: remaining,
+            profiles_flushed,
+        };
         self.shared
             .metrics
             .counter("server.shutdown.drained")
@@ -625,7 +669,25 @@ fn dispatch(
             match Profile::parse(db.catalog(), &profile) {
                 Ok(parsed) => {
                     let preferences = parsed.len() as u64;
-                    let (user_id, version) = shared.profiles.register_named(&user, &parsed);
+                    let (user_id, version) = match shared.profiles.register_named(&user, &parsed)
+                    {
+                        Ok(pair) => pair,
+                        Err(e) => {
+                            // A disk fault mid-flight degraded the store to
+                            // read-only: refuse the write with a typed code
+                            // but keep serving reads on this connection.
+                            shared.count("server.profiles.register_refused");
+                            let code = match &e {
+                                PrefError::Persist(_) => ErrorCode::ReadOnly,
+                                _ => ErrorCode::BadRequest,
+                            };
+                            return Response::Error(WireError {
+                                code,
+                                message: format!("register: {e}"),
+                                retryable: false,
+                            });
+                        }
+                    };
                     // Precompute the user's selections for every catalog
                     // relation under the server's default options, so an
                     // early personalize request already resolves its

@@ -184,6 +184,20 @@ impl ChaosPlan {
             .delay("net.read", 200, 5)
             .delay("net.write", 100, 5)
     }
+
+    /// A disk-fault schedule for the durability soak: low-rate append
+    /// errors and fsync failures (each one degrades the profile store to
+    /// read-only — the soak asserts the degradation is typed and reads
+    /// keep serving), plus delayed writes that model a congested device
+    /// stalling the flusher. `persist.read` is deliberately absent: read
+    /// faults abort recovery by design, which is a separate directed
+    /// test, not soak material.
+    pub fn disk_default(seed: u64) -> Self {
+        ChaosPlan::new(seed)
+            .error("persist.write", 150)
+            .error("persist.fsync", 100)
+            .delay("persist.write", 200, 2)
+    }
 }
 
 #[cfg(all(test, feature = "failpoints"))]

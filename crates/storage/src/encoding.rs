@@ -209,6 +209,20 @@ impl<'a> Reader<'a> {
     pub fn take_f64(&mut self) -> Result<f64, DecodeError> {
         Ok(f64::from_bits(self.take_u64()?.swap_bytes()))
     }
+
+    /// Reads `len` raw bytes as a slice of the underlying buffer. Used
+    /// by the persistence layer for length-prefixed byte fields (blobs,
+    /// dictionary strings) inside log records.
+    pub fn take_slice(&mut self, len: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or(DecodeError::UnexpectedEof { at: self.pos })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
 }
 
 /// An append-only interning dictionary for string payloads.
@@ -262,6 +276,13 @@ impl StringDict {
     /// excluding map overhead). Used for the `profiles.store.bytes` gauge.
     pub fn payload_bytes(&self) -> usize {
         self.strings.iter().map(|s| s.len()).sum()
+    }
+
+    /// The interned strings in id order. The persistence layer walks
+    /// `entries()[start..]` to serialize the dictionary delta a batch of
+    /// registrations appended.
+    pub fn entries(&self) -> &[Arc<str>] {
+        &self.strings
     }
 }
 

@@ -35,6 +35,9 @@
 //! | `net.read`            | `qp-server` before reading a frame from a connection (error → connection aborted; delay → slow client read) |
 //! | `net.write`           | `qp-server` before writing a response frame (error → connection aborted before any bytes) |
 //! | `net.write.short`     | `qp-server` torn-write site: an injected error makes the server write a partial frame and sever the connection |
+//! | `persist.write`       | segment-log append / snapshot write in `qp_storage::persist` (error → the record is not buffered; the profile store degrades to read-only) |
+//! | `persist.fsync`       | fsync of a segment log or snapshot (error → flush fails typed; durability of buffered records is lost, the store degrades) |
+//! | `persist.read`        | per-record read during log replay (error → recovery refuses to open rather than guessing at a prefix) |
 
 /// What an armed failpoint does when its site is passed.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -28,6 +28,7 @@ pub mod error;
 pub mod failpoint;
 pub mod histogram;
 pub mod index;
+pub mod persist;
 pub mod schema;
 pub mod snapshot;
 pub mod table;
@@ -39,6 +40,7 @@ pub use database::Database;
 pub use dump::{dump_dir, load_dir};
 pub use encoding::{DecodeError, StringDict};
 pub use error::StorageError;
+pub use persist::{PersistError, RecoveryReport};
 pub use histogram::Histogram;
 pub use index::Index;
 pub use schema::{AttrId, Attribute, Catalog, ForeignKey, RelId, Relation};

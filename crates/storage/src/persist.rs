@@ -1,0 +1,705 @@
+//! Crash-safe primitives for the durable profile store: a checksummed,
+//! append-only segment log plus atomic snapshot files.
+//!
+//! This module knows nothing about profiles. It provides the three
+//! building blocks `qp_core::store` composes into durability:
+//!
+//! * **Framed records** — every record on disk is
+//!   `len:u32le | crc:u32le | payload[len]` where `crc` is the CRC-32
+//!   (IEEE) of the payload. A reader can always decide whether the next
+//!   record is intact without trusting anything that follows it.
+//! * **[`LogWriter`]** — buffered appends to one segment file
+//!   (`wal-<seq>.qpl`), flushed to the OS and optionally fsynced in
+//!   batches. Write and fsync paths pass the `persist.write` /
+//!   `persist.fsync` failpoints so disk faults are injectable.
+//! * **[`replay_log`]** — a streaming reader that applies every intact
+//!   record in order and **stops at the first damaged one**: a torn
+//!   header, a short body, an impossible length, a CRC mismatch, or a
+//!   record the caller's `apply` rejects all end the replay with a
+//!   [`Tail::Torn`] describing the valid prefix length and what was
+//!   dropped. Crash recovery truncates to that prefix and carries on —
+//!   a torn tail costs the unflushed suffix, never the store.
+//! * **[`write_atomic`]** — whole-file replacement via
+//!   tmp + fsync + rename + directory fsync, used for snapshot spills so
+//!   a crash mid-checkpoint leaves either the old snapshot or the new
+//!   one, never a partial file.
+//!
+//! The CRC table is hand-rolled (the workspace is dependency-free); the
+//! polynomial is the reflected IEEE 0xEDB88320 every `crc32` tool
+//! agrees on, so segments are checkable from outside the process.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use crate::failpoint;
+
+/// Upper bound on a single record's payload. Real registration records
+/// are tens to hundreds of bytes and snapshot shard frames a few
+/// megabytes; anything claiming more is treated as corruption rather
+/// than honoured with a giant allocation.
+pub const MAX_RECORD_LEN: usize = 64 << 20;
+
+/// Bytes of frame overhead per record (length + checksum).
+pub const FRAME_HEADER: usize = 8;
+
+/// File-name prefix of segment log files: `wal-<seq:08>.qpl`.
+const LOG_PREFIX: &str = "wal-";
+/// File-name suffix of segment log files.
+const LOG_SUFFIX: &str = ".qpl";
+
+fn crc_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE, reflected polynomial `0xEDB88320`) of `bytes` — the
+/// checksum every framed record carries.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Errors surfaced by the persistence layer.
+///
+/// Deliberately `Clone + PartialEq` (details are strings, not
+/// `io::Error`s) so they can ride inside `qp_core`'s `PrefError` and be
+/// asserted on in tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// An I/O operation failed. `op` names the operation (`"append"`,
+    /// `"fsync"`, `"read"`, …), `path` the file involved.
+    Io {
+        /// Operation that failed.
+        op: &'static str,
+        /// File or directory the operation targeted.
+        path: String,
+        /// OS or injected error message.
+        detail: String,
+    },
+    /// A file that must be intact end-to-end (a snapshot) is not.
+    Corrupt {
+        /// File found corrupt.
+        path: String,
+        /// Byte offset of the damage.
+        at: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The store has degraded to read-only after a disk fault; writes
+    /// are refused with the original fault's description.
+    ReadOnly {
+        /// Description of the fault that caused the degradation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { op, path, detail } => {
+                write!(f, "persist {op} on {path}: {detail}")
+            }
+            PersistError::Corrupt { path, at, detail } => {
+                write!(f, "corrupt persist file {path} at byte {at}: {detail}")
+            }
+            PersistError::ReadOnly { reason } => {
+                write!(f, "store is read-only after a disk fault: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn io_err(op: &'static str, path: &Path, e: impl fmt::Display) -> PersistError {
+    PersistError::Io { op, path: path.display().to_string(), detail: e.to_string() }
+}
+
+/// What recovery found at the end of a segment log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tail {
+    /// Every byte of the file belonged to an intact record.
+    Clean,
+    /// The file ends in damage: a torn frame, a CRC mismatch, or a
+    /// record the caller rejected. Everything before `valid_len` was
+    /// applied; everything after is dropped.
+    Torn {
+        /// Length of the valid prefix in bytes.
+        valid_len: u64,
+        /// Bytes past the valid prefix (damaged + unreachable).
+        dropped_bytes: u64,
+        /// Records structurally visible past the valid prefix (a lower
+        /// bound — once framing is lost the rest is uncountable).
+        dropped_records: u64,
+        /// Why replay stopped.
+        reason: String,
+    },
+}
+
+/// Result of replaying one segment file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Records applied.
+    pub records: u64,
+    /// Bytes of intact, applied prefix (frames included).
+    pub bytes: u64,
+    /// State of the file's tail.
+    pub tail: Tail,
+}
+
+/// Aggregate report of one crash recovery, exposed by
+/// `ProfileStore::recovery` and serialized into `BENCH_recovery.json`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Users restored from the snapshot file (before log replay).
+    pub snapshot_users: u64,
+    /// Bytes of the snapshot file read.
+    pub snapshot_bytes: u64,
+    /// Segment log files replayed.
+    pub log_files: u64,
+    /// Log records applied (including records the snapshot already
+    /// covered, which replay idempotently).
+    pub records_kept: u64,
+    /// Log records dropped behind a torn/corrupt tail (lower bound).
+    pub records_dropped: u64,
+    /// Log bytes replayed (intact prefix across all files).
+    pub bytes_replayed: u64,
+    /// Log bytes dropped behind the damage.
+    pub bytes_dropped: u64,
+    /// True when a damaged tail was found and truncated away.
+    pub tail_repaired: bool,
+    /// Wall-clock microseconds the recovery took.
+    pub elapsed_us: u64,
+}
+
+/// A buffered appender for one segment log file.
+///
+/// `append` frames the payload into an in-memory buffer; `flush` hands
+/// the buffer to the OS and optionally fsyncs. The split is what makes
+/// fsync policy a knob: `always` flushes (synced) on every append,
+/// `batch` lets a background flusher amortize the fsync, `never` leaves
+/// durability to the OS page cache.
+#[derive(Debug)]
+pub struct LogWriter {
+    path: PathBuf,
+    file: File,
+    /// Frames appended but not yet written to the OS.
+    buf: Vec<u8>,
+    /// Bytes written to the OS (not necessarily fsynced).
+    written: u64,
+    /// Bytes known durable (fsynced).
+    synced: u64,
+}
+
+/// Appends written to the OS before an explicit flush once the buffer
+/// exceeds this (keeps the buffer bounded under a slow flusher).
+const WRITE_THRESHOLD: usize = 1 << 20;
+
+impl LogWriter {
+    /// Creates a fresh segment file. Fails if the path already exists —
+    /// segment sequence numbers are never reused, so an existing file
+    /// means the caller's bookkeeping is wrong.
+    pub fn create(path: impl Into<PathBuf>) -> Result<LogWriter, PersistError> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| io_err("create", &path, e))?;
+        Ok(LogWriter { path, file, buf: Vec::new(), written: 0, synced: 0 })
+    }
+
+    /// The segment file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Total framed bytes accepted (buffered + written).
+    pub fn len(&self) -> u64 {
+        self.written + self.buf.len() as u64
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes not yet handed to the OS.
+    pub fn pending(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// Bytes not yet known durable (buffered or written-but-unsynced).
+    pub fn unsynced(&self) -> u64 {
+        self.len() - self.synced
+    }
+
+    /// Frames and buffers one record. Passes the `persist.write`
+    /// failpoint; an injected or real error leaves the log unchanged
+    /// from the reader's point of view (the record is not buffered).
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), PersistError> {
+        failpoint::check("persist.write").map_err(|m| io_err("append", &self.path, m))?;
+        debug_assert!(payload.len() <= MAX_RECORD_LEN, "record over MAX_RECORD_LEN");
+        self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        if self.buf.len() >= WRITE_THRESHOLD {
+            self.write_out()?;
+        }
+        Ok(())
+    }
+
+    fn write_out(&mut self) -> Result<(), PersistError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&self.buf).map_err(|e| io_err("write", &self.path, e))?;
+        self.written += self.buf.len() as u64;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Writes buffered frames to the OS; with `sync`, additionally
+    /// fsyncs (passing the `persist.fsync` failpoint) so the records
+    /// survive power loss, not just process death.
+    pub fn flush(&mut self, sync: bool) -> Result<(), PersistError> {
+        self.write_out()?;
+        if sync && self.synced < self.written {
+            failpoint::check("persist.fsync").map_err(|m| io_err("fsync", &self.path, m))?;
+            self.file.sync_data().map_err(|e| io_err("fsync", &self.path, e))?;
+            self.synced = self.written;
+        }
+        Ok(())
+    }
+}
+
+/// Streams `path`, calling `apply(byte_offset, payload)` for every
+/// intact record in order. Replay stops at the first damaged record
+/// (see [`Tail::Torn`]); an `apply` rejection counts as damage — the
+/// record and everything after it are dropped, which is exactly the
+/// prefix semantics crash recovery wants.
+///
+/// Read errors (real or injected via `persist.read`) are *not* tail
+/// damage: they mean the disk is refusing to answer, and surface as a
+/// hard [`PersistError::Io`] so the caller can refuse to open rather
+/// than silently recover an arbitrary prefix.
+pub fn replay_log(
+    path: &Path,
+    mut apply: impl FnMut(u64, &[u8]) -> Result<(), String>,
+) -> Result<ReplaySummary, PersistError> {
+    let file = File::open(path).map_err(|e| io_err("open", path, e))?;
+    let file_len = file.metadata().map_err(|e| io_err("stat", path, e)).map(|m| m.len())?;
+    let mut reader = BufReader::with_capacity(1 << 20, file);
+    let mut offset = 0u64;
+    let mut records = 0u64;
+    let mut payload = Vec::new();
+    // Bytes of the damaged record the reader already consumed when the
+    // loop breaks — keeps the post-damage frame count positioned right.
+    let mut consumed;
+    let torn = loop {
+        if offset == file_len {
+            return Ok(ReplaySummary { records, bytes: offset, tail: Tail::Clean });
+        }
+        consumed = 0;
+        failpoint::check("persist.read").map_err(|m| io_err("read", path, m))?;
+        let mut header = [0u8; FRAME_HEADER];
+        if file_len - offset < FRAME_HEADER as u64 {
+            break "truncated record header".to_string();
+        }
+        reader.read_exact(&mut header).map_err(|e| io_err("read", path, e))?;
+        consumed = FRAME_HEADER as u64;
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        if len > MAX_RECORD_LEN {
+            break format!("impossible record length {len}");
+        }
+        if file_len - offset - (FRAME_HEADER as u64) < len as u64 {
+            break "truncated record body".to_string();
+        }
+        payload.clear();
+        payload.resize(len, 0);
+        reader.read_exact(&mut payload).map_err(|e| io_err("read", path, e))?;
+        consumed += len as u64;
+        if crc32(&payload) != crc {
+            break "record checksum mismatch".to_string();
+        }
+        if let Err(reason) = apply(offset, &payload) {
+            break format!("record rejected: {reason}");
+        }
+        offset += consumed;
+        records += 1;
+    };
+    // Count what framing remains past the damage — a lower bound on the
+    // records lost, for the recovery report: the damaged record itself
+    // plus whatever still frames cleanly after it. CRCs are not checked;
+    // once one record is damaged nothing after it is trusted anyway.
+    let dropped_records =
+        1 + count_frames(&mut reader, file_len - offset - consumed).unwrap_or(0);
+    Ok(ReplaySummary {
+        records,
+        bytes: offset,
+        tail: Tail::Torn {
+            valid_len: offset,
+            dropped_bytes: file_len - offset,
+            dropped_records,
+            reason: torn,
+        },
+    })
+}
+
+/// Walks frame headers in whatever follows a damaged record, counting
+/// structurally plausible frames. The reader sits right after the bytes
+/// of the damaged record that were consumed; this only needs a lower
+/// bound, so any read error ends the count.
+fn count_frames(reader: &mut BufReader<File>, mut remaining: u64) -> Option<u64> {
+    let mut count = 0u64;
+    let mut header = [0u8; FRAME_HEADER];
+    loop {
+        if remaining < FRAME_HEADER as u64 {
+            return Some(count);
+        }
+        reader.read_exact(&mut header).ok()?;
+        remaining -= FRAME_HEADER as u64;
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as u64;
+        if len > MAX_RECORD_LEN as u64 || len > remaining {
+            return Some(count);
+        }
+        std::io::copy(&mut reader.take(len), &mut std::io::sink()).ok()?;
+        remaining -= len;
+        count += 1;
+    }
+}
+
+/// Truncates `path` to `len` bytes — crash recovery's tail repair,
+/// applied after [`replay_log`] reports a torn tail so the next
+/// recovery sees a clean file.
+pub fn truncate_log(path: &Path, len: u64) -> Result<(), PersistError> {
+    let file =
+        OpenOptions::new().write(true).open(path).map_err(|e| io_err("open", path, e))?;
+    file.set_len(len).map_err(|e| io_err("truncate", path, e))?;
+    file.sync_all().map_err(|e| io_err("fsync", path, e))?;
+    Ok(())
+}
+
+/// Reads a file that must be intact end-to-end (a snapshot): every
+/// frame is CRC-checked and handed to `apply`; any damage is a hard
+/// [`PersistError::Corrupt`], not a tolerated tail — snapshots are
+/// written atomically, so a damaged one means the disk lied.
+pub fn read_frames(
+    path: &Path,
+    mut apply: impl FnMut(&[u8]) -> Result<(), String>,
+) -> Result<u64, PersistError> {
+    let corrupt = |at: u64, detail: String| PersistError::Corrupt {
+        path: path.display().to_string(),
+        at,
+        detail,
+    };
+    let summary = replay_log(path, |at, payload| {
+        apply(payload).map_err(|reason| format!("{reason}@@{at}"))
+    })?;
+    match summary.tail {
+        Tail::Clean => Ok(summary.bytes),
+        Tail::Torn { valid_len, reason, .. } => {
+            // Unwrap the offset smuggled through the rejection message
+            // when the caller rejected; framing damage reports its own
+            // offset (valid_len).
+            match reason.split_once("@@") {
+                Some((msg, at)) => {
+                    Err(corrupt(at.parse().unwrap_or(valid_len), msg.to_string()))
+                }
+                None => Err(corrupt(valid_len, reason)),
+            }
+        }
+    }
+}
+
+/// Frames `payload` (length + CRC) onto `buf` — the in-memory half of
+/// the record format, used to build snapshot files for [`write_atomic`].
+pub fn frame_into(buf: &mut Vec<u8>, payload: &[u8]) {
+    debug_assert!(payload.len() <= MAX_RECORD_LEN, "record over MAX_RECORD_LEN");
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// Replaces `path` atomically with `bytes`: write to a sibling tmp
+/// file, fsync it, rename over `path`, fsync the directory. A crash at
+/// any point leaves either the old file or the new one.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    failpoint::check("persist.write").map_err(|m| io_err("write", path, m))?;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+        file.write_all(bytes).map_err(|e| io_err("write", &tmp, e))?;
+        failpoint::check("persist.fsync").map_err(|m| io_err("fsync", &tmp, m))?;
+        file.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| io_err("rename", path, e))?;
+    if let Some(dir) = path.parent() {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// Fsyncs a directory so recent creates/renames/removes in it survive
+/// power loss.
+pub fn sync_dir(dir: &Path) -> Result<(), PersistError> {
+    let handle = File::open(dir).map_err(|e| io_err("open", dir, e))?;
+    handle.sync_all().map_err(|e| io_err("fsync", dir, e))
+}
+
+/// The path of segment `seq` inside `dir`: `wal-<seq:08>.qpl`.
+pub fn log_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{LOG_PREFIX}{seq:08}{LOG_SUFFIX}"))
+}
+
+/// Lists segment log files in `dir`, sorted by sequence number.
+/// Files that merely resemble segments are ignored.
+pub fn list_logs(dir: &Path) -> Result<Vec<(u64, PathBuf)>, PersistError> {
+    let mut logs = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| io_err("readdir", dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("readdir", dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name.strip_prefix(LOG_PREFIX).and_then(|n| n.strip_suffix(LOG_SUFFIX))
+        else {
+            continue;
+        };
+        if let Ok(seq) = stem.parse::<u64>() {
+            logs.push((seq, entry.path()));
+        }
+    }
+    logs.sort_unstable_by_key(|(seq, _)| *seq);
+    Ok(logs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "qp-persist-unit-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Reference values any crc32 implementation agrees on.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn append_flush_replay_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let path = log_path(&dir, 1);
+        let mut w = LogWriter::create(&path).unwrap();
+        let records: Vec<Vec<u8>> = (0..50u8).map(|i| vec![i; (i as usize % 7) + 1]).collect();
+        for r in &records {
+            w.append(r).unwrap();
+        }
+        w.flush(true).unwrap();
+        assert_eq!(w.unsynced(), 0);
+
+        let mut seen = Vec::new();
+        let summary = replay_log(&path, |_, p| {
+            seen.push(p.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(summary.tail, Tail::Clean);
+        assert_eq!(summary.records, 50);
+        assert_eq!(seen, records);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_stops_at_last_valid_record() {
+        let dir = tmpdir("torn");
+        let path = log_path(&dir, 1);
+        let mut w = LogWriter::create(&path).unwrap();
+        for i in 0..10u8 {
+            w.append(&[i; 16]).unwrap();
+        }
+        w.flush(true).unwrap();
+        let full = fs::metadata(&path).unwrap().len();
+        // Tear the last record's body.
+        truncate_log(&path, full - 5).unwrap();
+
+        let mut seen = 0;
+        let summary = replay_log(&path, |_, _| {
+            seen += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, 9);
+        match summary.tail {
+            Tail::Torn { valid_len, dropped_bytes, reason, .. } => {
+                assert_eq!(valid_len, 9 * (FRAME_HEADER as u64 + 16));
+                assert_eq!(dropped_bytes, full - 5 - valid_len);
+                assert!(reason.contains("truncated"), "{reason}");
+            }
+            Tail::Clean => panic!("tail must be torn"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_is_caught_by_crc() {
+        let dir = tmpdir("flip");
+        let path = log_path(&dir, 1);
+        let mut w = LogWriter::create(&path).unwrap();
+        for i in 0..6u8 {
+            w.append(&[i; 32]).unwrap();
+        }
+        w.flush(true).unwrap();
+        // Flip one bit inside record 3's payload.
+        let mut bytes = fs::read(&path).unwrap();
+        let target = 3 * (FRAME_HEADER + 32) + FRAME_HEADER + 10;
+        bytes[target] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        let mut seen = 0;
+        let summary = replay_log(&path, |_, _| {
+            seen += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, 3, "records before the flip replay");
+        match summary.tail {
+            Tail::Torn { valid_len, dropped_records, reason, .. } => {
+                assert_eq!(valid_len, 3 * (FRAME_HEADER as u64 + 32));
+                assert!(reason.contains("checksum"), "{reason}");
+                // Records 4 and 5 still frame cleanly past the damage.
+                assert_eq!(dropped_records, 3);
+            }
+            Tail::Clean => panic!("tail must be torn"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn apply_rejection_is_prefix_damage() {
+        let dir = tmpdir("reject");
+        let path = log_path(&dir, 1);
+        let mut w = LogWriter::create(&path).unwrap();
+        for i in 0..5u8 {
+            w.append(&[i]).unwrap();
+        }
+        w.flush(false).unwrap();
+        let mut seen = 0;
+        let summary = replay_log(&path, |_, p| {
+            if p[0] == 3 {
+                return Err("schema says no".into());
+            }
+            seen += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, 3);
+        match summary.tail {
+            Tail::Torn { dropped_records, reason, .. } => {
+                assert!(reason.contains("schema says no"), "{reason}");
+                assert_eq!(dropped_records, 2, "rejected record + the one after it");
+            }
+            Tail::Clean => panic!("tail must be torn"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_file() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("snapshot.qps");
+        let mut buf = Vec::new();
+        frame_into(&mut buf, b"alpha");
+        write_atomic(&path, &buf).unwrap();
+        let mut frames = Vec::new();
+        read_frames(&path, |p| {
+            frames.push(p.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(frames, vec![b"alpha".to_vec()]);
+
+        let mut buf = Vec::new();
+        frame_into(&mut buf, b"beta");
+        frame_into(&mut buf, b"gamma");
+        write_atomic(&path, &buf).unwrap();
+        frames.clear();
+        read_frames(&path, |p| {
+            frames.push(p.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(frames, vec![b"beta".to_vec(), b"gamma".to_vec()]);
+        assert!(!path.with_extension("tmp").exists(), "tmp file cleaned up by rename");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_hard_error() {
+        let dir = tmpdir("snapcorrupt");
+        let path = dir.join("snapshot.qps");
+        let mut buf = Vec::new();
+        frame_into(&mut buf, b"alpha");
+        frame_into(&mut buf, b"beta");
+        write_atomic(&path, &buf).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let err = read_frames(&path, |_| Ok(())).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn log_listing_sorts_and_filters() {
+        let dir = tmpdir("listing");
+        for seq in [3u64, 1, 2] {
+            LogWriter::create(log_path(&dir, seq)).unwrap();
+        }
+        fs::write(dir.join("snapshot.qps"), b"").unwrap();
+        fs::write(dir.join("wal-js.qpl"), b"").unwrap();
+        let logs = list_logs(&dir).unwrap();
+        let seqs: Vec<u64> = logs.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_refuses_to_reuse_a_segment() {
+        let dir = tmpdir("reuse");
+        let path = log_path(&dir, 7);
+        LogWriter::create(&path).unwrap();
+        let err = LogWriter::create(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Io { op: "create", .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -111,6 +111,28 @@ profiles_tmp="$(mktemp -d)"
 (cd "$profiles_tmp" && "$repro_fp_bin" --bench-profiles --scale small --users 20000 >/dev/null)
 rm -rf "$profiles_tmp"
 
+# Durability leg: frame-layer corruption properties (torn/bit-flipped/
+# garbage tails recover the longest valid prefix), then the end-to-end
+# recovery suite — reopen identity by digest, checkpoint + snapshot
+# replay, torn-tail repair, decode-LRU bounds, server restart over the
+# wire. The failpoints run arms the disk-fault sites (read-only
+# degradation, refused recovery on read faults, the kill-during-flush
+# chaos soak); failpoint registries are process-global, so it must run
+# single-threaded. The fsync=always pass proves the synchronous
+# durability policy changes loss bounds, never behaviour.
+echo "==> cargo test (persistence frame properties)"
+cargo test -q -p qp-storage --test persist_props
+echo "==> cargo test (crash recovery)"
+cargo test -q --test persist_recovery
+echo "==> cargo test (disk-fault chaos, failpoints)"
+cargo test -q --features failpoints --test persist_recovery -- --test-threads=1
+echo "==> cargo test (QP_PERSIST_FSYNC=always, crash recovery)"
+QP_PERSIST_FSYNC=always cargo test -q --test persist_recovery
+echo "==> bench-recovery smoke (20k users)"
+recovery_tmp="$(mktemp -d)"
+(cd "$recovery_tmp" && "$repro_fp_bin" --bench-recovery --scale small --users 20000 >/dev/null)
+rm -rf "$recovery_tmp"
+
 # Forced-open breaker: every serving test must still pass when the
 # circuit breaker is pinned open — personalizers without a resilience
 # bundle are unaffected, and those with one keep serving degraded

@@ -1,0 +1,474 @@
+//! Crash-recovery behaviour of the durable profile store, asserted at
+//! the workspace level: a reopened directory serves a byte-identical
+//! store (the `digest` definition of identical), damage at any byte of
+//! the log costs exactly the suffix behind it, disk faults degrade the
+//! store to read-only instead of crashing it, and a server restarted
+//! over the same `data_dir` answers for users registered before the
+//! restart.
+//!
+//! The `chaos` module arms `persist.*` failpoints and only compiles
+//! with `--features failpoints`; run it single-threaded because the
+//! failpoint registry is process-global.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use personalized_queries::core::store::{FsyncPolicy, PersistOptions, ProfileStore};
+use personalized_queries::core::PrefError;
+use personalized_queries::datagen::{self, ImdbScale, ProfilePool};
+use personalized_queries::storage::persist::replay_log;
+use personalized_queries::storage::Database;
+
+fn shared_db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| {
+        let db = datagen::generate(ImdbScale { movies: 200, ..ImdbScale::small() });
+        db.warm_statistics();
+        db
+    })
+}
+
+fn pool() -> &'static ProfilePool {
+    static POOL: OnceLock<ProfilePool> = OnceLock::new();
+    POOL.get_or_init(|| ProfilePool::build(shared_db()))
+}
+
+/// A scratch store directory under the OS temp dir, removed on drop.
+struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "qp_recovery_{tag}_{}_{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        ScratchDir { path }
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Fast durable options for tests: no fsync, no background flusher, no
+/// auto-checkpoint — every test controls flush/checkpoint explicitly.
+fn quick_options() -> PersistOptions {
+    PersistOptions::default()
+        .fsync(FsyncPolicy::Never)
+        .flush_ms(0)
+        .checkpoint_bytes(0)
+}
+
+/// The i-th registration of the deterministic test sequence: every
+/// third user is named, and every fifth operation re-registers the
+/// previous user (exercising version bumps in the log).
+fn apply_op(store: &ProfileStore, i: u64) -> Result<(), PrefError> {
+    use personalized_queries::core::store::UserId;
+    let catalog = shared_db().catalog();
+    let profile = pool().profile(catalog, i, 6);
+    if i % 5 == 4 && i > 0 {
+        store.register(UserId(1000 + i - 1), &profile)?;
+    } else if i.is_multiple_of(3) {
+        store.register_named(&format!("user-{i}"), &profile)?;
+    } else {
+        store.register(UserId(1000 + i), &profile)?;
+    }
+    Ok(())
+}
+
+/// A fresh in-memory store holding the first `n` operations — the
+/// ground truth a recovered store must be digest-identical to.
+fn fresh_prefix(n: u64) -> ProfileStore {
+    let store = ProfileStore::new();
+    for i in 0..n {
+        apply_op(&store, i).expect("in-memory registration cannot fail");
+    }
+    store
+}
+
+/// The single live segment file of a store directory (newest sequence).
+fn live_segment(dir: &std::path::Path) -> PathBuf {
+    personalized_queries::storage::persist::list_logs(dir)
+        .expect("list segment files")
+        .pop()
+        .expect("directory has a segment file")
+        .1
+}
+
+#[test]
+fn reopen_serves_identical_store() {
+    let dir = ScratchDir::new("reopen");
+    const OPS: u64 = 400;
+    let digest = {
+        let store = ProfileStore::open_with(&dir.path, quick_options()).expect("fresh open");
+        assert!(store.is_durable());
+        assert_eq!(store.recovery().expect("durable stores report recovery").records_kept, 0);
+        for i in 0..OPS {
+            apply_op(&store, i).expect("healthy disk");
+        }
+        store.flush().expect("flush");
+        store.digest()
+    };
+
+    let store = ProfileStore::open_with(&dir.path, quick_options()).expect("reopen");
+    assert_eq!(store.digest(), digest, "recovered store is byte-identical");
+    assert_eq!(store.digest(), fresh_prefix(OPS).digest(), "and equals a fresh replay");
+    let report = store.recovery().expect("report");
+    assert!(report.records_kept >= OPS, "every op recovered: {report:?}");
+    assert_eq!(report.records_dropped, 0);
+    assert!(!report.tail_repaired);
+
+    // The recovered store is live: lookups decode, and registration
+    // continues with the version sequence intact.
+    use personalized_queries::core::store::UserId;
+    let named = store.lookup_named("user-0").expect("named user recovered");
+    let decoded = store.get(named).expect("handle").profile().expect("decodes");
+    assert!(decoded.is_stored());
+    let catalog = shared_db().catalog();
+    let v = store
+        .register(UserId(1001), &pool().profile(catalog, 1, 6))
+        .expect("recovered store accepts writes");
+    assert!(v >= 2, "version continues past the recovered one, got {v}");
+}
+
+#[test]
+fn checkpoint_truncates_log_and_recovery_reads_snapshot() {
+    let dir = ScratchDir::new("checkpoint");
+    const BEFORE: u64 = 150;
+    const AFTER: u64 = 50;
+    let digest = {
+        let store = ProfileStore::open_with(&dir.path, quick_options()).expect("open");
+        for i in 0..BEFORE {
+            apply_op(&store, i).expect("healthy disk");
+        }
+        let wal_before = store.wal_bytes();
+        let stats = store.checkpoint().expect("checkpoint").expect("durable store");
+        assert_eq!(stats.users, store.len() as u64);
+        assert!(stats.snapshot_bytes > 0);
+        assert!(
+            store.wal_bytes() < wal_before,
+            "checkpoint truncates the live log ({} -> {})",
+            wal_before,
+            store.wal_bytes()
+        );
+        for i in BEFORE..BEFORE + AFTER {
+            apply_op(&store, i).expect("healthy disk");
+        }
+        store.flush().expect("flush");
+        store.digest()
+    };
+
+    let store = ProfileStore::open_with(&dir.path, quick_options()).expect("reopen");
+    assert_eq!(store.digest(), digest);
+    assert_eq!(store.digest(), fresh_prefix(BEFORE + AFTER).digest());
+    let report = store.recovery().expect("report");
+    assert!(report.snapshot_users > 0, "recovery read the snapshot: {report:?}");
+    assert!(report.snapshot_bytes > 0);
+    assert!(
+        report.records_kept <= AFTER + 1,
+        "only the post-checkpoint tail replays: {report:?}"
+    );
+}
+
+#[test]
+fn torn_tail_recovers_longest_prefix_deterministic() {
+    // Cut the live segment mid-record and recover: the store must equal
+    // a fresh re-registration of exactly the surviving records.
+    let dir = ScratchDir::new("torn");
+    const OPS: u64 = 60;
+    {
+        let store = ProfileStore::open_with(&dir.path, quick_options()).expect("open");
+        for i in 0..OPS {
+            apply_op(&store, i).expect("healthy disk");
+        }
+        store.flush().expect("flush");
+    }
+    let segment = live_segment(&dir.path);
+    // Find real record boundaries, then cut 3 bytes into a record so
+    // the tail is guaranteed torn (not a clean boundary truncation).
+    let mut starts = Vec::new();
+    replay_log(&segment, |offset, _| {
+        starts.push(offset);
+        Ok(())
+    })
+    .unwrap();
+    let survivors = (starts.len() * 2 / 3) as u64;
+    let cut = starts[survivors as usize] + 3;
+    personalized_queries::storage::persist::truncate_log(&segment, cut).unwrap();
+
+    let store = ProfileStore::open_with(&dir.path, quick_options()).expect("recover");
+    assert_eq!(store.len() as u64, fresh_prefix(survivors).len() as u64);
+    assert_eq!(
+        store.digest(),
+        fresh_prefix(survivors).digest(),
+        "recovered store equals a fresh registration of the surviving prefix"
+    );
+    let report = store.recovery().expect("report");
+    assert!(report.tail_repaired);
+    assert_eq!(report.records_kept, survivors);
+    assert!(report.records_dropped >= 1);
+    assert!(report.bytes_dropped > 0);
+
+    // The tail was truncated away on disk: a second recovery is clean.
+    let store2 = ProfileStore::open_with(&dir.path, quick_options()).expect("reopen");
+    assert_eq!(store2.digest(), store.digest());
+    assert!(!store2.recovery().expect("report").tail_repaired, "tail repair is not sticky");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12 })]
+
+    /// Damage — truncation or a flipped byte — at *any* position in the
+    /// live segment recovers a store byte-identical to a fresh
+    /// re-registration of the longest valid record prefix.
+    #[test]
+    fn arbitrary_damage_recovers_a_valid_prefix(
+        ops in 5u64..40,
+        damage_frac in 0.0f64..1.0,
+        flip in any::<bool>(),
+        mask in 1u8..=255,
+    ) {
+        let dir = ScratchDir::new("prop");
+        {
+            let store = ProfileStore::open_with(&dir.path, quick_options()).expect("open");
+            for i in 0..ops {
+                apply_op(&store, i).expect("healthy disk");
+            }
+            store.flush().expect("flush");
+        }
+        let segment = live_segment(&dir.path);
+        let len = std::fs::metadata(&segment).unwrap().len();
+        let pos = ((len - 1) as f64 * damage_frac) as u64;
+        if flip {
+            let mut bytes = std::fs::read(&segment).unwrap();
+            bytes[pos as usize] ^= mask;
+            std::fs::write(&segment, &bytes).unwrap();
+        } else {
+            personalized_queries::storage::persist::truncate_log(&segment, pos).unwrap();
+        }
+        let mut survivors = 0u64;
+        replay_log(&segment, |_, _| { survivors += 1; Ok(()) }).unwrap();
+
+        let store = ProfileStore::open_with(&dir.path, quick_options()).expect("recover");
+        prop_assert_eq!(store.recovery().expect("report").records_kept, survivors);
+        prop_assert_eq!(store.digest(), fresh_prefix(survivors).digest());
+    }
+}
+
+#[test]
+fn decode_lru_bounds_decoded_memory_across_recovery() {
+    use personalized_queries::core::store::UserId;
+    // 4 shards so a capacity of 8 is meaningful: the LRU keeps at least
+    // one entry per shard, so capacity below the shard count floors out.
+    std::env::set_var("QP_DECODE_CACHE", "8");
+    let dir = ScratchDir::new("lru");
+    {
+        let store =
+            ProfileStore::open_with(&dir.path, quick_options().shards(4)).expect("open");
+        let catalog = shared_db().catalog();
+        for u in 0..64u64 {
+            store.register(UserId(u), &pool().profile(catalog, u, 6)).expect("register");
+        }
+        store.flush().expect("flush");
+    }
+    let store = ProfileStore::open_with(&dir.path, quick_options().shards(4)).expect("reopen");
+    std::env::remove_var("QP_DECODE_CACHE");
+    for u in 0..64u64 {
+        store.get(UserId(u)).expect("recovered").profile().expect("decodes");
+    }
+    assert!(
+        store.decoded_cached() <= 8,
+        "LRU capacity bounds decoded profiles, got {}",
+        store.decoded_cached()
+    );
+    assert!(store.metrics().counter("profiles.decode.evict").get() >= 56);
+}
+
+#[test]
+fn server_restart_recovers_profiles_over_the_wire() {
+    use qp_server::testsupport::{als_profile_dsl, quick_config, TestServer};
+    use qp_server::ServerConfig;
+
+    let dir = ScratchDir::new("server");
+    let config = || ServerConfig {
+        data_dir: Some(dir.path.clone()),
+        ..quick_config()
+    };
+
+    let before = {
+        let mut ts = TestServer::spawn_with(config());
+        let dsl = als_profile_dsl(&ts.store().snapshot());
+        let mut client = ts.client();
+        client.register_profile("al", &dsl).expect("register");
+        let answer = client
+            .personalize(qp_client::PersonalizeCall::new("al", "select title from MOVIE").k(3))
+            .expect("personalize");
+        let report = ts.shutdown();
+        assert_eq!(report.profiles_flushed, 1, "shutdown flushed the registered profile");
+        answer
+    };
+
+    // A new server over the same directory serves the user without a
+    // fresh registration — over the wire, not via any shared memory.
+    let mut ts = TestServer::spawn_with(config());
+    let mut client = ts.client();
+    let after = client
+        .personalize(qp_client::PersonalizeCall::new("al", "select title from MOVIE").k(3))
+        .expect("personalize after restart");
+    assert_eq!(after.tuples, before.tuples, "same profile, same personalized answer");
+    assert!(ts.server().profiles().is_durable());
+    assert_eq!(ts.server().profiles().recovery().expect("recovered").records_kept, 1);
+    ts.shutdown();
+}
+
+/// Fault-injected durability tests. Compiled only with `--features
+/// failpoints`; run single-threaded (the failpoint registry is
+/// process-global).
+#[cfg(feature = "failpoints")]
+mod chaos {
+    use super::*;
+    use personalized_queries::core::store::UserId;
+    use personalized_queries::storage::failpoint::{self, FailAction, FailScenario};
+    use personalized_queries::storage::ChaosPlan;
+
+    #[test]
+    fn write_fault_degrades_to_read_only_without_losing_reads() {
+        let _scenario = FailScenario::setup();
+        let dir = ScratchDir::new("wfault");
+        let store = ProfileStore::open_with(&dir.path, quick_options()).expect("open");
+        let catalog = shared_db().catalog();
+        for u in 0..10u64 {
+            store.register(UserId(u), &pool().profile(catalog, u, 6)).expect("healthy");
+        }
+        store.flush().expect("flush");
+
+        failpoint::arm("persist.write", FailAction::Error("injected disk fault".into()));
+        let err = store
+            .register(UserId(99), &pool().profile(catalog, 99, 6))
+            .expect_err("write fault surfaces");
+        assert!(matches!(err, PrefError::Persist(_)), "typed persist error, got {err:?}");
+        failpoint::clear();
+
+        // The store latched read-only: even with the fault gone, writes
+        // are refused with the original reason…
+        let reason = store.read_only().expect("degraded");
+        assert!(reason.contains("injected disk fault"), "reason: {reason}");
+        let err = store
+            .register(UserId(100), &pool().profile(catalog, 100, 6))
+            .expect_err("still read-only");
+        assert!(matches!(err, PrefError::Persist(_)));
+        assert!(store.get(UserId(99)).is_none(), "failed registration never applied");
+
+        // …but reads keep serving.
+        for u in 0..10u64 {
+            store.get(UserId(u)).expect("still served").profile().expect("decodes");
+        }
+        assert!(store.metrics().counter("persist.errors").get() >= 1);
+        assert_eq!(store.metrics().gauge("persist.degraded").get(), 1);
+
+        // A reopen (the operator replaced the disk) serves the prefix
+        // and accepts writes again.
+        drop(store);
+        let store = ProfileStore::open_with(&dir.path, quick_options()).expect("reopen");
+        assert_eq!(store.len(), 10);
+        assert!(store.read_only().is_none());
+        store.register(UserId(99), &pool().profile(catalog, 99, 6)).expect("healthy again");
+    }
+
+    #[test]
+    fn fsync_fault_under_always_policy_degrades() {
+        let _scenario = FailScenario::setup();
+        let dir = ScratchDir::new("ffault");
+        let store = ProfileStore::open_with(
+            &dir.path,
+            quick_options().fsync(FsyncPolicy::Always),
+        )
+        .expect("open");
+        let catalog = shared_db().catalog();
+        store.register(UserId(1), &pool().profile(catalog, 1, 6)).expect("healthy");
+
+        failpoint::arm("persist.fsync", FailAction::Error("injected fsync fault".into()));
+        store
+            .register(UserId(2), &pool().profile(catalog, 2, 6))
+            .expect_err("fsync fault surfaces under the always policy");
+        failpoint::clear();
+        assert!(store.read_only().is_some());
+        assert!(store.get(UserId(2)).is_none(), "unacknowledged write never applied");
+    }
+
+    #[test]
+    fn read_fault_refuses_recovery_rather_than_guessing() {
+        let _scenario = FailScenario::setup();
+        let dir = ScratchDir::new("rfault");
+        {
+            let store = ProfileStore::open_with(&dir.path, quick_options()).expect("open");
+            let catalog = shared_db().catalog();
+            store.register(UserId(1), &pool().profile(catalog, 1, 6)).expect("healthy");
+            store.flush().expect("flush");
+        }
+        failpoint::arm("persist.read", FailAction::Error("injected read fault".into()));
+        let err = ProfileStore::open_with(&dir.path, quick_options())
+            .expect_err("a disk that refuses reads must not recover silently");
+        assert!(matches!(err, PrefError::Persist(_)));
+        failpoint::clear();
+        ProfileStore::open_with(&dir.path, quick_options()).expect("healthy disk recovers");
+    }
+
+    /// Kill-during-flush soak: registrations race the disk-fault chaos
+    /// schedule; whatever survives on disk must recover to a clean
+    /// prefix of the acknowledged sequence, for every seed, with zero
+    /// panics.
+    #[test]
+    fn disk_chaos_soak_recovers_acknowledged_prefix() {
+        let catalog = shared_db().catalog();
+        for seed in [0xD15C_u64, 0xFA_017, 0xC4A5, 0x5EED] {
+            let _scenario = FailScenario::setup();
+            let dir = ScratchDir::new("soak");
+            let mut acked = 0u64;
+            {
+                let store = ProfileStore::open_with(
+                    &dir.path,
+                    quick_options().fsync(FsyncPolicy::Batch).flush_ms(1),
+                )
+                .expect("open with a healthy disk");
+                ChaosPlan::disk_default(seed).arm();
+                for i in 0..200u64 {
+                    match apply_op(&store, i) {
+                        Ok(()) => acked = i + 1,
+                        Err(PrefError::Persist(_)) => break,
+                        Err(other) => panic!("unsanctioned failure under chaos: {other}"),
+                    }
+                }
+                failpoint::clear();
+                // Simulated kill: the store drops mid-stream (its Drop
+                // flush is best-effort and may itself have been the
+                // faulted write).
+            }
+            let store = ProfileStore::open_with(&dir.path, quick_options())
+                .unwrap_or_else(|e| panic!("seed {seed:#x}: recovery failed: {e}"));
+            let recovered = store.recovery().expect("report").records_kept;
+            assert!(
+                recovered <= acked,
+                "seed {seed:#x}: recovered {recovered} records but only {acked} were acked"
+            );
+            assert_eq!(
+                store.digest(),
+                fresh_prefix(recovered).digest(),
+                "seed {seed:#x}: recovered store must equal the first {recovered} ops"
+            );
+            // And the survivor store still takes writes.
+            store
+                .register(UserId(9_999), &pool().profile(catalog, 7, 6))
+                .expect("recovered store is healthy");
+        }
+    }
+}

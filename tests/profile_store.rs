@@ -42,7 +42,7 @@ fn stored_handles_share_cache_entries_but_detached_clones_do_not() {
     let stored = datagen::random_profile(db, &ProfileSpec::mixed(12, 21));
     let store = Arc::new(ProfileStore::new());
     let uid = UserId(77);
-    store.register(uid, &stored);
+    store.register(uid, &stored).unwrap();
 
     let p1 = store.get(uid).expect("registered").profile().expect("decodes");
     let p2 = store.get(uid).expect("registered").profile().expect("decodes");
@@ -90,7 +90,7 @@ fn parallel_readers_never_see_a_torn_profile() {
 
     let store = Arc::new(ProfileStore::new());
     let uid = UserId(5);
-    store.register(uid, &a);
+    store.register(uid, &a).unwrap();
 
     const ROUNDS: usize = 300;
     std::thread::scope(|scope| {
@@ -99,7 +99,7 @@ fn parallel_readers_never_see_a_torn_profile() {
             let (a, b) = (&a, &b);
             scope.spawn(move || {
                 for i in 0..ROUNDS {
-                    store.register(uid, if i % 2 == 0 { b } else { a });
+                    store.register(uid, if i % 2 == 0 { b } else { a }).unwrap();
                 }
             })
         };
@@ -175,7 +175,7 @@ proptest! {
 
         let store = ProfileStore::new();
         let uid = UserId(user);
-        store.register(uid, &profile);
+        store.register(uid, &profile).unwrap();
         let decoded = store.get(uid).expect("registered").profile().expect("decodes");
         prop_assert_eq!(&profile, &*decoded);
     }

@@ -267,7 +267,7 @@ fn store_backed_requests_agree_with_borrowed() {
 
     let store = Arc::new(ProfileStore::new());
     let uid = UserId(7);
-    store.register(uid, &profile);
+    store.register(uid, &profile).unwrap();
     let mut p = Personalizer::new(&db).with_profile_store(Arc::clone(&store));
     let via_store =
         p.run(PersonalizeRequest::user(uid, SQL).options(options)).unwrap().report;
