@@ -11,6 +11,7 @@
 //! repro --bench-serving [--scale ...] [--runs N] [--users N]
 //! repro --bench-profiles [--scale ...] [--users N]
 //! repro --bench-recovery [--scale ...] [--users N]
+//! repro --bench-maintenance [--scale ...] [--runs N] [--write-rate PCT]
 //! ```
 //!
 //! `--bench-parallel` runs the serving benchmarks introduced with the
@@ -57,6 +58,17 @@
 //! store that wrote the files. Defaults to 1,000,000 users; `--users`
 //! overrides. The snapshot lands in `BENCH_recovery.json`.
 //!
+//! `--bench-maintenance` measures incremental maintenance of materialized
+//! preference results under write traffic: the same mixed read/write
+//! workload (PPA reads, typed [`qp_storage::DbDelta`] publishes through
+//! [`qp_core::Maintainer`], including deletes) runs twice — once
+//! recomputing every materialization from scratch per request, once
+//! replaying the maintenance registry and patching it on each publish.
+//! `--write-rate` sets the writes-per-100-requests knob (default 1.0).
+//! Maintained answers are byte-identity audited against a fresh
+//! recompute after every publish, untimed. The snapshot lands in
+//! `BENCH_maintenance.json`.
+//!
 //! `--deadline-ms` and `--max-rows` configure the `guardrails` figure: a
 //! PPA run under a [`qp_exec::QueryGuard`], showing the partial ranked
 //! answer and the degradation report a production deployment would see.
@@ -87,6 +99,7 @@ fn main() {
     let mut runs = 3usize;
     let mut users = 1_000usize;
     let mut users_set = false;
+    let mut write_rate = 1.0f64;
     let mut deadline_ms: Option<u64> = None;
     let mut max_rows: Option<u64> = None;
     let mut trace_json: Option<String> = None;
@@ -131,6 +144,13 @@ fn main() {
             "--bench-serving" => figures.push("bench-serving".to_string()),
             "--bench-profiles" => figures.push("bench-profiles".to_string()),
             "--bench-recovery" => figures.push("bench-recovery".to_string()),
+            "--bench-maintenance" => figures.push("bench-maintenance".to_string()),
+            "--write-rate" => {
+                write_rate = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--write-rate expects writes per 100 requests (e.g. 1.0)");
+                    std::process::exit(2);
+                });
+            }
             "--users" => {
                 users = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--users expects a user count");
@@ -169,6 +189,11 @@ fn main() {
         // Like bench-profiles: a million users unless --users says less
         // (check.sh smokes it at 20k).
         bench_recovery(&bench_db(scale), if users_set { users } else { 1_000_000 });
+    }
+    if figures.iter().any(|f| f == "bench-maintenance") {
+        // Owns its databases: each phase needs a fresh store at the same
+        // deterministic seed so both sides replay identical write traffic.
+        bench_maintenance(scale, runs, write_rate);
     }
 
     let bench_parallel_wanted = figures.iter().any(|f| f == "bench-parallel");
@@ -1869,5 +1894,284 @@ fn mean(xs: &[f64]) -> f64 {
         0.0
     } else {
         xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Incremental-maintenance benchmark: steady-state personalization
+/// throughput under a sustained mixed read/write workload, maintained
+/// registry vs recompute-from-scratch. See the module docs for the
+/// workload shape; `BENCH_maintenance.json` records both legs.
+///
+/// Correctness is not assumed: after every publish the next maintained
+/// answer is byte-compared (untimed) against a fresh personalizer on the
+/// same epoch that never saw the registry.
+fn bench_maintenance(scale: Scale, runs: usize, write_rate: f64) {
+    use qp_core::Maintainer;
+    use qp_storage::{DbDelta, SnapshotStore, Value};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    const K: usize = 30;
+    // Serving-shaped queries: each restricts MOVIE the way an
+    // interactive page does, so the per-request cost is dominated by the
+    // parameterized preference queries — exactly what the registry
+    // amortizes — rather than by ranking a full-table answer.
+    let queries = [
+        "select title from MOVIE where MOVIE.mid < 400",
+        "select title from MOVIE where year > 1990 and MOVIE.mid < 1000",
+        "select title, year from MOVIE where MOVIE.mid > 600 and MOVIE.mid < 1200",
+    ];
+    let reads = runs.max(1) * 300;
+    let write_every = if write_rate > 0.0 {
+        ((100.0 / write_rate).round() as usize).max(1)
+    } else {
+        usize::MAX
+    };
+
+    #[derive(Default)]
+    struct Leg {
+        read_time: Duration,
+        selection_time: Duration,
+        execution_time: Duration,
+        write_time: Duration,
+        writes: u64,
+        rows_inserted: u64,
+        rows_deleted: u64,
+        param_queries: u64,
+        audits: u64,
+        patched: u64,
+        carried: u64,
+        rematerialized: u64,
+        dropped: u64,
+    }
+
+    let run_leg = |maintained: bool| -> Leg {
+        use qp_core::{CompareOp, Doi};
+        let store = Arc::new(SnapshotStore::new(bench_db(scale)));
+        // positive_profile draws its conditions from the categorical
+        // pools (GENRE/DIRECTOR/ACTOR/THEATRE), so every one of those
+        // materializations is a join. On top of that background mix, add
+        // high-doi preferences chosen so the selected set exercises all
+        // three maintenance outcomes: MOVIE range preferences patch in
+        // place, GENRE joins rematerialize (new-movie publishes touch
+        // GENRE), and ACTOR preferences — whose materializations scan
+        // the CAST join, the expensive parameterized queries a serving
+        // fleet actually pays — carry across GENRE-only publishes.
+        let mut profile = positive_profile(&store.snapshot(), 20, 7);
+        {
+            let snap = store.snapshot();
+            let catalog = snap.catalog();
+            for i in 0..12i64 {
+                let (col, op, v) = if i % 2 == 0 {
+                    ("year", CompareOp::Gt, Value::Int(1950 + i))
+                } else {
+                    ("duration", CompareOp::Lt, Value::Int(200 - i))
+                };
+                profile
+                    .add_selection(
+                        catalog,
+                        "MOVIE",
+                        col,
+                        op,
+                        v,
+                        Doi::presence(0.97 - i as f64 * 0.005).expect("valid doi"),
+                    )
+                    .expect("MOVIE attribute exists");
+            }
+            let actors = snap.table_by_name("ACTOR").expect("ACTOR relation");
+            let name_idx = catalog
+                .relation_by_name("ACTOR")
+                .expect("ACTOR relation")
+                .attr_index("name")
+                .expect("name attribute");
+            let mut seen = std::collections::HashSet::new();
+            let mut added = 0usize;
+            let mut row = 0usize;
+            while added < 20 && row < actors.len() {
+                // A deterministic stride walk; skip repeated names.
+                let r = (row * 7919) % actors.len();
+                row += 1;
+                let Some(name) = actors.rows()[r][name_idx].as_str() else { continue };
+                if !seen.insert(name.to_string()) {
+                    continue;
+                }
+                profile
+                    .add_selection(
+                        catalog,
+                        "ACTOR",
+                        "name",
+                        CompareOp::Eq,
+                        Value::str(name),
+                        Doi::presence(0.9 - added as f64 * 0.003).expect("valid doi"),
+                    )
+                    .expect("sampled actor exists");
+                added += 1;
+            }
+        }
+        let maintainer = Maintainer::new(Arc::clone(&store));
+        let mut p = Personalizer::serving(Arc::clone(&store));
+        if maintained {
+            p = p.with_maintenance(maintainer.registry());
+        }
+        let options = efficiency_options(K, 1, AnswerAlgorithm::Ppa);
+        // Warm both legs equally: the comparison is steady state, not
+        // first-touch materialization cost.
+        for sql in &queries {
+            p.run(PersonalizeRequest::sql(&profile, sql).options(options).parallelism(2))
+                .expect("warmup run");
+        }
+        let mut leg = Leg::default();
+        let mut next_mid = 5_000_000i64;
+        let mut published: Vec<i64> = Vec::new();
+        let mut just_wrote = false;
+        let row = |mid: i64| {
+            vec![
+                Value::Int(mid),
+                Value::str(format!("pub{mid}").as_str()),
+                Value::Int(1960 + (mid % 60)),
+                Value::Int(90 + (mid % 60)),
+            ]
+        };
+        let mut tagged = 0usize;
+        for i in 0..reads {
+            if write_every != usize::MAX && i > 0 && i.is_multiple_of(write_every) {
+                // Two write shapes: new-movie publishes (MOVIE + GENRE,
+                // every fourth also retiring the oldest published row so
+                // the delete path is on the clock), and GENRE-only tag
+                // publishes that leave MOVIE untouched — those are what
+                // let MOVIE-only materializations carry across an epoch.
+                let delta = if leg.writes % 3 == 2 && tagged < published.len() {
+                    let mid = published[tagged];
+                    tagged += 1;
+                    DbDelta::new().insert("GENRE", vec![Value::Int(mid), Value::str("thriller")])
+                } else {
+                    let mid = next_mid;
+                    next_mid += 1;
+                    let mut d = DbDelta::new()
+                        .insert("MOVIE", row(mid))
+                        .insert("GENRE", vec![Value::Int(mid), Value::str("comedy")]);
+                    if leg.writes % 4 == 3 && tagged < published.len() {
+                        // Retire the oldest still-untagged published row
+                        // (tagged rows keep their extra GENRE tuple, which
+                        // is fine — deletes are value-addressed on MOVIE).
+                        d = d.delete("MOVIE", row(published.remove(tagged)));
+                    }
+                    published.push(mid);
+                    d
+                };
+                let t = Instant::now();
+                let (_, applied, outcome) = maintainer.publish(&delta).expect("bench publish");
+                leg.write_time += t.elapsed();
+                leg.writes += 1;
+                leg.rows_inserted += applied.rows_inserted() as u64;
+                leg.rows_deleted += applied.rows_deleted() as u64;
+                leg.patched += outcome.patched;
+                leg.carried += outcome.carried;
+                leg.rematerialized += outcome.rematerialized;
+                leg.dropped += outcome.dropped + outcome.stale;
+                just_wrote = true;
+            }
+            let sql = queries[i % queries.len()];
+            let t = Instant::now();
+            let out = p
+                .run(PersonalizeRequest::sql(&profile, sql).options(options).parallelism(2))
+                .expect("bench read");
+            leg.read_time += t.elapsed();
+            leg.selection_time += out.report.selection_time;
+            leg.execution_time += out.report.execution_time;
+            assert!(out.is_complete(), "bench reads run chaos-free");
+            leg.param_queries +=
+                out.report.ppa_stats.as_ref().map_or(0, |s| s.parameterized_queries) as u64;
+            if i == 0 || just_wrote {
+                // Untimed byte-identity audit on the epoch the read saw.
+                let mut fresh = Personalizer::shared(store.snapshot());
+                let want = fresh
+                    .run(PersonalizeRequest::sql(&profile, sql).options(options).parallelism(2))
+                    .expect("audit recompute");
+                assert_eq!(
+                    out.report.answer, want.report.answer,
+                    "maintained answer diverged from recompute-from-scratch ({sql})"
+                );
+                leg.audits += 1;
+                just_wrote = false;
+            }
+        }
+        leg
+    };
+
+    println!(
+        "bench-maintenance: {reads} reads, ~{write_rate}% write rate \
+         ({} requests/write)…",
+        if write_every == usize::MAX { 0 } else { write_every }
+    );
+    let recompute = run_leg(false);
+    let maintained = run_leg(true);
+
+    let rps = |leg: &Leg| reads as f64 / leg.read_time.as_secs_f64().max(1e-9);
+    let pq = |leg: &Leg| leg.param_queries as f64 / reads as f64;
+    let speedup = rps(&maintained) / rps(&recompute).max(1e-9);
+    print_table(
+        &format!("Incremental maintenance — {reads} reads, {} publishes", maintained.writes),
+        &["leg", "reads/s", "read total", "select", "execute", "publish total", "param queries/read", "audits"],
+        &[
+            vec![
+                "recompute".into(),
+                format!("{:.1}", rps(&recompute)),
+                format!("{} ms", ms(recompute.read_time)),
+                format!("{} ms", ms(recompute.selection_time)),
+                format!("{} ms", ms(recompute.execution_time)),
+                format!("{} ms", ms(recompute.write_time)),
+                format!("{:.1}", pq(&recompute)),
+                recompute.audits.to_string(),
+            ],
+            vec![
+                "maintained".into(),
+                format!("{:.1}", rps(&maintained)),
+                format!("{} ms", ms(maintained.read_time)),
+                format!("{} ms", ms(maintained.selection_time)),
+                format!("{} ms", ms(maintained.execution_time)),
+                format!("{} ms", ms(maintained.write_time)),
+                format!("{:.1}", pq(&maintained)),
+                maintained.audits.to_string(),
+            ],
+            vec!["speedup".into(), format!("{speedup:.1}x"), String::new(), String::new(), String::new(), String::new(), String::new(), String::new()],
+        ],
+    );
+    println!(
+        "maintained registry outcomes: {} patched, {} carried, {} rematerialized, {} dropped",
+        maintained.patched, maintained.carried, maintained.rematerialized, maintained.dropped
+    );
+
+    let leg_json = |leg: &Leg| {
+        format!(
+            "{{\"reads_per_sec\": {:.1}, \"read_total_ms\": {}, \"publish_total_ms\": {}, \
+              \"writes\": {}, \"rows_inserted\": {}, \"rows_deleted\": {}, \
+              \"param_queries_per_read\": {:.2}, \"identity_audits\": {}, \
+              \"patched\": {}, \"carried\": {}, \"rematerialized\": {}, \"dropped\": {}}}",
+            rps(leg),
+            ms(leg.read_time),
+            ms(leg.write_time),
+            leg.writes,
+            leg.rows_inserted,
+            leg.rows_deleted,
+            pq(leg),
+            leg.audits,
+            leg.patched,
+            leg.carried,
+            leg.rematerialized,
+            leg.dropped,
+        )
+    };
+    let json = format!(
+        "{{\n  \"workload\": {{\"scale\": \"{scale:?}\", \"reads\": {reads}, \"queries\": {}, \
+           \"k\": {K}, \"write_rate_pct\": {write_rate}, \"profile_prefs\": 52}},\n  \
+           \"recompute\": {},\n  \"maintained\": {},\n  \"speedup\": {speedup:.2}\n}}\n",
+        queries.len(),
+        leg_json(&recompute),
+        leg_json(&maintained),
+    );
+    match std::fs::write("BENCH_maintenance.json", &json) {
+        Ok(()) => println!("wrote BENCH_maintenance.json"),
+        Err(e) => eprintln!("warning: could not write BENCH_maintenance.json: {e}"),
     }
 }

@@ -30,7 +30,10 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 pub use json::Json;
-pub use wire::{Answer, ErrorCode, FrameError, Request, Response, WireError, WireTuple, DEFAULT_MAX_FRAME};
+pub use wire::{
+    Answer, DeltaSlice, ErrorCode, FrameError, Request, Response, WireError, WireTuple,
+    DEFAULT_MAX_FRAME,
+};
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -152,6 +155,84 @@ impl PersonalizeCall {
     }
 }
 
+/// Builder for a `publish_delta` request: row inserts and value-addressed
+/// deletes, folded into one slice per relation in first-touch order.
+///
+/// ```no_run
+/// # use qp_client::{Client, DeltaSpec, Json};
+/// # use std::time::Duration;
+/// # let mut c = Client::connect("127.0.0.1:7878", Duration::from_secs(2)).unwrap();
+/// let receipt = c
+///     .publish_delta(
+///         DeltaSpec::new()
+///             .insert("MOVIE", vec![Json::num(900.0), Json::str("New"), Json::num(2005.0)])
+///             .delete("MOVIE", vec![Json::num(3.0), Json::str("Old"), Json::num(1983.0)]),
+///     )
+///     .unwrap();
+/// assert!(receipt.new_version > receipt.old_version);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DeltaSpec {
+    changes: Vec<DeltaSlice>,
+}
+
+impl DeltaSpec {
+    /// An empty delta (publishing it is a no-op epoch bump).
+    pub fn new() -> Self {
+        DeltaSpec::default()
+    }
+
+    /// Queues a row insert into `relation`.
+    pub fn insert(mut self, relation: &str, row: Vec<Json>) -> Self {
+        self.slice(relation).inserts.push(row);
+        self
+    }
+
+    /// Queues a value-addressed delete of a live row of `relation`.
+    pub fn delete(mut self, relation: &str, row: Vec<Json>) -> Self {
+        self.slice(relation).deletes.push(row);
+        self
+    }
+
+    /// True iff no writes were queued.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    fn slice(&mut self, relation: &str) -> &mut DeltaSlice {
+        if let Some(at) = self.changes.iter().position(|s| s.relation == relation) {
+            return &mut self.changes[at];
+        }
+        self.changes.push(DeltaSlice { relation: relation.to_string(), ..Default::default() });
+        self.changes.last_mut().expect("slice just pushed")
+    }
+
+    fn into_request(self) -> Request {
+        Request::PublishDelta { changes: self.changes }
+    }
+}
+
+/// What the server reports after applying a published delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaReceipt {
+    /// Epoch the delta replaced.
+    pub old_version: u64,
+    /// Epoch readers now see.
+    pub new_version: u64,
+    /// Rows inserted across all relations.
+    pub rows_inserted: u64,
+    /// Rows deleted across all relations.
+    pub rows_deleted: u64,
+    /// Materialized preference results patched incrementally.
+    pub patched: u64,
+    /// Materializations carried unchanged to the new epoch.
+    pub carried: u64,
+    /// Materializations recomputed from scratch.
+    pub rematerialized: u64,
+    /// Materializations dropped (stale or failed maintenance).
+    pub dropped: u64,
+}
+
 /// A connected protocol client. One request is in flight at a time; the
 /// connection is reused across requests until an error poisons it.
 pub struct Client {
@@ -222,6 +303,35 @@ impl Client {
         match self.roundtrip(&call.into_request())? {
             Response::Answer(a) => Ok(a),
             other => Err(unexpected("answer", &other)),
+        }
+    }
+
+    /// Publishes `delta` as one new database epoch. A rejected delta
+    /// (unknown relation, arity/type mismatch, delete of a missing
+    /// tuple) surfaces as [`ClientError::Server`] with
+    /// [`ErrorCode::DeltaRejected`] and changes nothing server-side.
+    pub fn publish_delta(&mut self, delta: DeltaSpec) -> Result<DeltaReceipt, ClientError> {
+        match self.roundtrip(&delta.into_request())? {
+            Response::DeltaApplied {
+                old_version,
+                new_version,
+                rows_inserted,
+                rows_deleted,
+                patched,
+                carried,
+                rematerialized,
+                dropped,
+            } => Ok(DeltaReceipt {
+                old_version,
+                new_version,
+                rows_inserted,
+                rows_deleted,
+                patched,
+                carried,
+                rematerialized,
+                dropped,
+            }),
+            other => Err(unexpected("delta_applied", &other)),
         }
     }
 

@@ -166,6 +166,12 @@ pub enum ErrorCode {
     /// registration is refused until an operator intervenes. Not
     /// retryable against the same server.
     ReadOnly,
+    /// A `publish_delta` was rejected wholesale — unknown relation,
+    /// arity or type mismatch, a delete addressing no live tuple, or a
+    /// write fault at publish time. Nothing was applied; the database
+    /// epoch is unchanged. Not retryable as-is: the delta itself is
+    /// wrong (or the store is faulted), so fix it first.
+    DeltaRejected,
 }
 
 impl ErrorCode {
@@ -182,6 +188,7 @@ impl ErrorCode {
             ErrorCode::Internal => "internal",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::ReadOnly => "read_only",
+            ErrorCode::DeltaRejected => "delta_rejected",
         }
     }
 
@@ -198,6 +205,7 @@ impl ErrorCode {
             "internal" => ErrorCode::Internal,
             "shutting_down" => ErrorCode::ShuttingDown,
             "read_only" => ErrorCode::ReadOnly,
+            "delta_rejected" => ErrorCode::DeltaRejected,
             _ => return None,
         })
     }
@@ -237,6 +245,40 @@ impl WireError {
     }
 }
 
+/// One relation's writes inside a [`Request::PublishDelta`].
+///
+/// Rows are positional JSON values (number / string / bool / null)
+/// matched against the relation's schema server-side: numbers coerce to
+/// the column's declared `Int`/`Float` type, everything else must match
+/// exactly. Deletes are *value-addressed* — the full row as stored —
+/// and resolved against the pre-delta snapshot.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeltaSlice {
+    /// Relation name as it appears in the catalog.
+    pub relation: String,
+    /// Rows to insert, each with the relation's full arity.
+    pub inserts: Vec<Vec<Json>>,
+    /// Live rows to delete, value-addressed.
+    pub deletes: Vec<Vec<Json>>,
+}
+
+fn rows_to_json(rows: &[Vec<Json>]) -> Json {
+    Json::Arr(rows.iter().map(|row| Json::Arr(row.clone())).collect())
+}
+
+fn rows_from_json(v: Option<&Json>, what: &str) -> Result<Vec<Vec<Json>>, String> {
+    let Some(v) = v else { return Ok(Vec::new()) };
+    v.as_arr()
+        .ok_or_else(|| format!("\"{what}\" must be an array of rows"))?
+        .iter()
+        .map(|row| {
+            row.as_arr()
+                .map(<[Json]>::to_vec)
+                .ok_or_else(|| format!("\"{what}\" rows must be arrays"))
+        })
+        .collect()
+}
+
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -267,6 +309,15 @@ pub enum Request {
         l: Option<u64>,
         /// `"spa"` or `"ppa"` (server default if absent).
         algorithm: Option<String>,
+    },
+    /// Atomically publishes a set of row inserts/deletes as one new
+    /// database epoch. Applied all-or-nothing: any invalid slice rejects
+    /// the whole delta with [`ErrorCode::DeltaRejected`] and the epoch
+    /// is unchanged. On success the server incrementally maintains its
+    /// materialized preference results instead of recomputing them.
+    PublishDelta {
+        /// Per-relation changes; at most one slice per relation.
+        changes: Vec<DeltaSlice>,
     },
     /// Dumps the server's metrics registry.
     Stats,
@@ -302,6 +353,24 @@ impl Request {
                 }
                 Json::obj(pairs)
             }
+            Request::PublishDelta { changes } => Json::obj(vec![
+                ("op", Json::str("publish_delta")),
+                (
+                    "changes",
+                    Json::Arr(
+                        changes
+                            .iter()
+                            .map(|slice| {
+                                Json::obj(vec![
+                                    ("relation", Json::str(slice.relation.clone())),
+                                    ("inserts", rows_to_json(&slice.inserts)),
+                                    ("deletes", rows_to_json(&slice.deletes)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
             Request::Stats => Json::obj(vec![("op", Json::str("stats"))]),
         }
     }
@@ -330,6 +399,25 @@ impl Request {
                     l: v.u64_field("l"),
                     algorithm: v.str_field("algorithm").map(str::to_string),
                 })
+            }
+            "publish_delta" => {
+                let changes = v
+                    .get("changes")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing \"changes\"")?
+                    .iter()
+                    .map(|slice| {
+                        Ok(DeltaSlice {
+                            relation: slice
+                                .str_field("relation")
+                                .ok_or("slice without \"relation\"")?
+                                .to_string(),
+                            inserts: rows_from_json(slice.get("inserts"), "inserts")?,
+                            deletes: rows_from_json(slice.get("deletes"), "deletes")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Request::PublishDelta { changes })
             }
             other => Err(format!("unknown op {other:?}")),
         }
@@ -382,6 +470,29 @@ pub enum Response {
     },
     /// Reply to [`Request::Personalize`].
     Answer(Answer),
+    /// Reply to [`Request::PublishDelta`]: the delta became the new
+    /// database epoch, and the maintenance counters say how the server's
+    /// materialized preference results absorbed it.
+    DeltaApplied {
+        /// Epoch that was current when the delta arrived.
+        old_version: u64,
+        /// Epoch the delta produced — what readers now see.
+        new_version: u64,
+        /// Rows inserted across all relations.
+        rows_inserted: u64,
+        /// Rows deleted across all relations.
+        rows_deleted: u64,
+        /// Materializations patched in place from the delta's rows.
+        patched: u64,
+        /// Materializations carried unchanged (delta missed their
+        /// relations).
+        carried: u64,
+        /// Materializations recomputed from scratch (multi-relation
+        /// shapes the patcher cannot maintain).
+        rematerialized: u64,
+        /// Materializations dropped (stale epoch or maintenance error).
+        dropped: u64,
+    },
     /// Reply to [`Request::Stats`]: metric name → value (counters and
     /// gauges as numbers; histograms as objects).
     Stats(Vec<(String, Json)>),
@@ -430,6 +541,27 @@ impl Response {
                 ("degraded", Json::Bool(a.degraded)),
                 ("retries", Json::num(a.retries as f64)),
                 ("elapsed_us", Json::num(a.elapsed_us as f64)),
+            ]),
+            Response::DeltaApplied {
+                old_version,
+                new_version,
+                rows_inserted,
+                rows_deleted,
+                patched,
+                carried,
+                rematerialized,
+                dropped,
+            } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", Json::str("delta_applied")),
+                ("old_version", Json::num(*old_version as f64)),
+                ("new_version", Json::num(*new_version as f64)),
+                ("rows_inserted", Json::num(*rows_inserted as f64)),
+                ("rows_deleted", Json::num(*rows_deleted as f64)),
+                ("patched", Json::num(*patched as f64)),
+                ("carried", Json::num(*carried as f64)),
+                ("rematerialized", Json::num(*rematerialized as f64)),
+                ("dropped", Json::num(*dropped as f64)),
             ]),
             Response::Stats(metrics) => Json::obj(vec![
                 ("ok", Json::Bool(true)),
@@ -497,6 +629,16 @@ impl Response {
                     elapsed_us: v.u64_field("elapsed_us").unwrap_or(0),
                 }))
             }
+            "delta_applied" => Ok(Response::DeltaApplied {
+                old_version: v.u64_field("old_version").ok_or("missing \"old_version\"")?,
+                new_version: v.u64_field("new_version").ok_or("missing \"new_version\"")?,
+                rows_inserted: v.u64_field("rows_inserted").unwrap_or(0),
+                rows_deleted: v.u64_field("rows_deleted").unwrap_or(0),
+                patched: v.u64_field("patched").unwrap_or(0),
+                carried: v.u64_field("carried").unwrap_or(0),
+                rematerialized: v.u64_field("rematerialized").unwrap_or(0),
+                dropped: v.u64_field("dropped").unwrap_or(0),
+            }),
             "stats" => match v.get("metrics") {
                 Some(Json::Obj(pairs)) => Ok(Response::Stats(pairs.clone())),
                 _ => Err("missing \"metrics\"".to_string()),
@@ -539,6 +681,17 @@ mod tests {
             l: None,
             algorithm: None,
         });
+        round_trip_request(Request::PublishDelta {
+            changes: vec![
+                DeltaSlice {
+                    relation: "MOVIE".into(),
+                    inserts: vec![vec![Json::num(900.0), Json::str("New"), Json::num(2005.0)]],
+                    deletes: vec![vec![Json::num(3.0), Json::str("Old"), Json::num(1983.0)]],
+                },
+                DeltaSlice { relation: "GENRE".into(), inserts: vec![], deletes: vec![] },
+            ],
+        });
+        round_trip_request(Request::PublishDelta { changes: vec![] });
     }
 
     #[test]
@@ -561,11 +714,26 @@ mod tests {
                 retries: 2,
                 elapsed_us: 1234,
             }),
+            Response::DeltaApplied {
+                old_version: 7,
+                new_version: 9,
+                rows_inserted: 3,
+                rows_deleted: 1,
+                patched: 2,
+                carried: 4,
+                rematerialized: 1,
+                dropped: 0,
+            },
             Response::Stats(vec![("server.requests".into(), Json::num(9.0))]),
             Response::Error(WireError {
                 code: ErrorCode::Overloaded,
                 message: "64 in flight".into(),
                 retryable: true,
+            }),
+            Response::Error(WireError {
+                code: ErrorCode::DeltaRejected,
+                message: "unknown relation \"NOPE\"".into(),
+                retryable: false,
             }),
         ];
         for case in cases {

@@ -18,6 +18,7 @@
 //!   can still appear.
 
 pub mod explain;
+pub mod maint;
 pub mod ppa;
 pub mod spa;
 pub mod subquery;

@@ -77,6 +77,7 @@ use qp_exec::{morsel_map, morsel_map_with, Engine, ExecError, ExecStats, QueryGu
 use qp_sql::{builder, Query, Select, SelectItem, TableRef};
 use qp_storage::{Database, RelId, Row};
 
+use crate::answer::maint::MatRegistry;
 use crate::answer::subquery::{classify, failure_select, merge_filter, satisfaction_select, IntegrationKind};
 use crate::answer::{PersonalizedAnswer, PersonalizedTuple};
 use crate::degrade::{DegradeCause, DegradeEvent, Degradation, PpaPhase};
@@ -97,7 +98,7 @@ fn fail_point(site: &str) -> Result<(), ExecError> {
 /// and at tens of thousands of probe-id operations per run the default
 /// SipHash shows up in end-to-end PPA latency.
 #[derive(Default)]
-struct TidHasher(u64);
+pub(crate) struct TidHasher(u64);
 
 impl std::hash::Hasher for TidHasher {
     #[inline]
@@ -118,9 +119,9 @@ impl std::hash::Hasher for TidHasher {
     }
 }
 
-type TidBuild = std::hash::BuildHasherDefault<TidHasher>;
+pub(crate) type TidBuild = std::hash::BuildHasherDefault<TidHasher>;
 type TidSet = HashSet<u64, TidBuild>;
-type TidMap<V> = HashMap<u64, V, TidBuild>;
+pub(crate) type TidMap<V> = HashMap<u64, V, TidBuild>;
 
 /// Instrumentation of a PPA run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -270,18 +271,29 @@ fn probe_chunk(
 
 /// One preference query's full qualifying result, materialized at most
 /// once per run on the vectorized engine: first-occurrence `(tuple id,
-/// degree)` pairs in plan output order — the per-tuple path's
-/// `rows.first()` rule — plus a hash index over them. Later rounds probe
-/// it by lookup instead of re-executing the preference query against each
-/// round's fresh tuples, and the preference's own round replays its query
-/// from `rows`, so a complete run executes each preference query exactly
-/// once.
-struct PrefResult {
-    /// `(tid, degree)` per qualifying tuple, first row per id, in result
-    /// order; NULL degrees already defaulted to the preference's d+/d−.
-    rows: Vec<(u64, f64)>,
+/// degree)` pairs — the degree is the plan's first row per id, the
+/// per-tuple path's `rows.first()` rule — plus a hash index over them.
+/// Later rounds probe it by lookup instead of re-executing the preference
+/// query against each round's fresh tuples, and the preference's own
+/// round replays its query from `rows`, so a complete run executes each
+/// preference query exactly once.
+///
+/// `rows` is kept in *canonical* ascending-tuple-id order rather than
+/// plan output order. Inter-tuple order within a round is unobservable in
+/// the final answer (emission pops a strictly ordered heap), and the
+/// canonical order is what lets the incremental-maintenance layer
+/// ([`crate::answer::maint`]) patch a materialization in place — filter
+/// deleted ids, append freshly inserted ones (row ids are never reused,
+/// so inserts sort after every surviving id) — and stay byte-identical
+/// to a recompute-from-scratch regardless of which plan shape the
+/// recompute would pick.
+pub(crate) struct PrefResult {
+    /// `(tid, degree)` per qualifying tuple in ascending-tid order; the
+    /// degree is the plan's first row per id, NULL already defaulted to
+    /// the preference's d+/d−.
+    pub(crate) rows: Vec<(u64, f64)>,
     /// tid → degree over the same pairs, for O(1) probes.
-    index: TidMap<f64>,
+    pub(crate) index: TidMap<f64>,
 }
 
 /// Executes one preference query in full (no rowid constraint) and
@@ -289,7 +301,7 @@ struct PrefResult {
 /// same accounting as the per-round probe executions it replaces, so a
 /// deadline or budget trip mid-materialization cuts the round exactly
 /// like a failed probe would.
-fn materialize_pref(
+pub(crate) fn materialize_pref(
     engine: &Engine,
     db: &Database,
     guard: &QueryGuard,
@@ -313,7 +325,22 @@ fn materialize_pref(
             rows.push((tid, d));
         }
     }
+    // Canonical order (see `PrefResult`): dedup above keeps the plan's
+    // first-row degree per id, the sort fixes inter-id order.
+    rows.sort_unstable_by_key(|&(t, _)| t);
     Ok(PrefResult { rows, index })
+}
+
+/// The maintenance hookup of one PPA run: the attached [`MatRegistry`]
+/// plus the tuple-identity facts ([`MatRegistry::register`] needs them to
+/// judge patchability) resolved from the initial query.
+pub(crate) struct RegistryCtx<'a> {
+    /// The registry shared across runs (and with the delta publisher).
+    pub(crate) registry: &'a MatRegistry,
+    /// The relation whose row ids are the run's tuple ids.
+    pub(crate) tid_rel: RelId,
+    /// The binding name that relation carries in the preference selects.
+    pub(crate) tid_binding: &'a str,
 }
 
 /// Materializes every not-yet-built preference result named by `missing`
@@ -324,18 +351,41 @@ fn materialize_pref(
 /// worklist order so the per-query accounting matches the serial loop's,
 /// and on failure the lowest-worklist-index error is returned — the same
 /// error serial execution would have surfaced first.
+///
+/// With a [`RegistryCtx`] attached, the registry is consulted first:
+/// hits are assigned without executing anything (and without counting a
+/// parameterized query — no query ran), misses are built as usual and
+/// registered for the *next* run. Registry traffic is counted on the
+/// engine's metrics (`maint.registry.*`).
+#[allow(clippy::too_many_arguments)]
 fn materialize_missing(
     engine: &Engine,
     db: &Database,
     guard: &QueryGuard,
-    missing: Vec<(usize, &Select, f64)>,
+    mut missing: Vec<(usize, &Select, f64)>,
     pref_results: &mut [Option<Arc<PrefResult>>],
     stats: &mut PpaStats,
     estats: &mut ExecStats,
+    reg: Option<&RegistryCtx<'_>>,
 ) -> Result<(), ExecError> {
+    if let Some(ctx) = reg {
+        let metrics = engine.metrics();
+        missing.retain(|&(p, select, _)| match ctx.registry.get(db, select) {
+            Some(hit) => {
+                metrics.counter("maint.registry.hits").inc();
+                pref_results[p] = Some(hit);
+                false
+            }
+            None => {
+                metrics.counter("maint.registry.misses").inc();
+                true
+            }
+        });
+    }
     if missing.is_empty() {
         return Ok(());
     }
+    let reg_info: Vec<(usize, &Select, f64)> = if reg.is_some() { missing.clone() } else { Vec::new() };
     let workers = engine.parallelism().min(missing.len());
     let (built, pstats) = morsel_map(missing, workers, |_, (p, select, default)| {
         let mut st = ExecStats::default();
@@ -345,7 +395,23 @@ fn materialize_missing(
     for (p, r, st) in built? {
         estats.merge(&st);
         stats.parameterized_queries += 1;
-        pref_results[p] = Some(Arc::new(r));
+        let r = Arc::new(r);
+        if let Some(ctx) = reg {
+            if let Some(&(_, select, default)) = reg_info.iter().find(|&&(q, _, _)| q == p) {
+                let evicted = ctx.registry.register(
+                    db,
+                    select,
+                    default,
+                    ctx.tid_rel,
+                    ctx.tid_binding,
+                    Arc::clone(&r),
+                );
+                if evicted > 0 {
+                    engine.metrics().counter("maint.registry.evicted").add(evicted as u64);
+                }
+            }
+        }
+        pref_results[p] = Some(r);
     }
     Ok(())
 }
@@ -458,6 +524,27 @@ pub fn ppa_guarded(
     ranking: &Ranking,
     limit: Option<usize>,
     guard: &QueryGuard,
+) -> Result<(PersonalizedAnswer, PpaStats, Degradation), PrefError> {
+    ppa_run(db, engine, initial, profile, selected, l, ranking, limit, guard, None)
+}
+
+/// [`ppa_guarded`] with an optional materialization registry attached
+/// (see [`crate::answer::maint`]): on the vectorized engine every
+/// preference result is fetched from — or built into — the registry up
+/// front, so a steady-state run under write traffic replays incrementally
+/// maintained results instead of re-executing preference queries.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ppa_run(
+    db: &Database,
+    engine: &mut Engine,
+    initial: &Query,
+    profile: &Profile,
+    selected: &[SelectedPreference],
+    l: usize,
+    ranking: &Ranking,
+    limit: Option<usize>,
+    guard: &QueryGuard,
+    registry: Option<&MatRegistry>,
 ) -> Result<(PersonalizedAnswer, PpaStats, Degradation), PrefError> {
     let started = Instant::now();
     let tracer = engine.tracer().clone();
@@ -739,8 +826,48 @@ pub fn ppa_guarded(
         ranking.positive(&pos)
     };
 
+    // With a maintenance registry attached, fetch or build *every*
+    // preference result before the first round: in steady-state serving
+    // the registry already holds all K results for the current epoch, so
+    // the whole run degenerates to in-memory replay (zero preference
+    // query executions). A failure here cuts the run exactly like a
+    // failed first presence round would.
+    let reg_ctx = registry.map(|r| RegistryCtx {
+        registry: r,
+        tid_rel: first_rel,
+        tid_binding: &first_binding,
+    });
+    if probes_batched && reg_ctx.is_some() {
+        let mut missing: Vec<(usize, &Select, f64)> = Vec::new();
+        for (sj, &p) in s_order.iter().enumerate() {
+            if pref_results[p].is_none() {
+                missing.push((p, &s_queries[sj], d_plus(p)));
+            }
+        }
+        for (aj, &p) in a_order.iter().enumerate() {
+            if pref_results[p].is_none() {
+                missing.push((p, &a_queries[aj], d_minus(p)));
+            }
+        }
+        if let Err(e) = materialize_missing(
+            engine,
+            db,
+            guard,
+            missing,
+            &mut pref_results,
+            &mut stats,
+            &mut estats,
+            reg_ctx.as_ref(),
+        ) {
+            cut = Some((PpaPhase::Presence(0), DegradeCause::from_exec(&e)));
+        }
+    }
+
     // --- presence stage ------------------------------------------------
     'presence: for (si, &pref_i) in s_order.iter().enumerate() {
+        if cut.is_some() {
+            break 'presence;
+        }
         // remaining queries (incl. this) + all absence prefs must reach L
         if (s_order.len() - si) + a_order.len() < l {
             break;
@@ -819,6 +946,7 @@ pub fn ppa_guarded(
                 &mut pref_results,
                 &mut stats,
                 &mut estats,
+                reg_ctx.as_ref(),
             ) {
                 cut = Some((PpaPhase::Presence(si), DegradeCause::from_exec(&e)));
                 break 'presence;
@@ -1023,6 +1151,7 @@ pub fn ppa_guarded(
                     &mut pref_results,
                     &mut stats,
                     &mut estats,
+                    reg_ctx.as_ref(),
                 ) {
                     cut = Some((PpaPhase::Absence(ai), DegradeCause::from_exec(&e)));
                     break 'absence;

@@ -63,6 +63,7 @@ pub use admission::{
     Shed,
 };
 pub use answer::explain::{explain_answer, explain_tuple};
+pub use answer::maint::{MaintOutcome, Maintainer, MatRegistry};
 pub use answer::ppa::{ppa_guarded, ppa_limited};
 pub use answer::{PersonalizedAnswer, PersonalizedTuple};
 pub use context::{Context, ContextRule, ContextualProfile};

@@ -35,7 +35,8 @@ use qp_storage::{Database, SnapshotStore};
 
 use crate::admission::{is_transient, BreakerDecision, BreakerTransition, Resilience};
 
-use crate::answer::ppa::{ppa_guarded, PpaStats};
+use crate::answer::maint::MatRegistry;
+use crate::answer::ppa::{ppa_run, PpaStats};
 use crate::answer::spa::spa_guarded;
 use crate::answer::{PersonalizedAnswer, PersonalizedTuple};
 use crate::degrade::{DegradeEvent, Degradation};
@@ -467,6 +468,7 @@ pub struct Personalizer<'db> {
     pref_cache: Option<Arc<PreferenceCache>>,
     resilience: Option<Arc<Resilience>>,
     profiles: Option<Arc<ProfileStore>>,
+    mat_registry: Option<Arc<MatRegistry>>,
 }
 
 impl<'db> Personalizer<'db> {
@@ -481,7 +483,32 @@ impl<'db> Personalizer<'db> {
         } else {
             Some(Arc::new(PreferenceCache::new()))
         };
-        Personalizer { db, engine: Engine::new(), pref_cache, resilience: None, profiles: None }
+        Personalizer {
+            db,
+            engine: Engine::new(),
+            pref_cache,
+            resilience: None,
+            profiles: None,
+            mat_registry: None,
+        }
+    }
+
+    /// Attaches a materialization registry (builder-style): subsequent
+    /// PPA runs on the vectorized engine fetch every preference result
+    /// from it up front and register what they had to build, so
+    /// steady-state runs under [`crate::Maintainer`]-published write
+    /// traffic replay incrementally maintained results instead of
+    /// re-executing preference queries. Share the registry of the
+    /// [`crate::Maintainer`] that publishes this personalizer's store.
+    pub fn with_maintenance(mut self, registry: Arc<MatRegistry>) -> Self {
+        self.mat_registry = Some(registry);
+        self
+    }
+
+    /// Attaches (or with `None`, detaches) a materialization registry;
+    /// see [`Personalizer::with_maintenance`].
+    pub fn set_maintenance(&mut self, registry: Option<Arc<MatRegistry>>) {
+        self.mat_registry = registry;
     }
 
     /// Attaches a [`ProfileStore`] (builder-style): subsequent
@@ -1043,7 +1070,7 @@ impl<'db> Personalizer<'db> {
                 guard,
             )
             .map(|a| (a, None, None, Degradation::default())),
-            AnswerAlgorithm::Ppa => ppa_guarded(
+            AnswerAlgorithm::Ppa => ppa_run(
                 db,
                 &mut self.engine,
                 query,
@@ -1053,6 +1080,7 @@ impl<'db> Personalizer<'db> {
                 &options.ranking,
                 None,
                 guard,
+                self.mat_registry.as_deref(),
             )
             .map(|(a, st, deg)| (a, st.first_response, Some(st), deg)),
         };

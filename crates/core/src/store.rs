@@ -671,6 +671,26 @@ impl ProfileStore {
         self.shards.iter().map(|s| read_lock(&s.inner).dict.payload_bytes() as u64).sum()
     }
 
+    /// Drops every user's memoized preference selections, returning how
+    /// many memo entries were dropped. This is the wholesale fallback for
+    /// schema/catalog changes (see [`crate::Maintainer::publish_schema`]):
+    /// selection depends on the catalog, so a catalog change can silently
+    /// change what a memoized selection *should* contain. Pure data
+    /// publishes must NOT call this — selection never reads table data,
+    /// so its memos outlive data epochs by design.
+    pub fn clear_selection_memos(&self) -> usize {
+        let mut dropped = 0;
+        for shard in self.shards.iter() {
+            let inner = read_lock(&shard.inner);
+            for entry in inner.users.values() {
+                let mut memo = write_lock(&entry.selections);
+                dropped += memo.len();
+                memo.clear();
+            }
+        }
+        dropped
+    }
+
     /// Decoded profiles currently held by the decode LRU.
     pub fn decoded_cached(&self) -> usize {
         self.decoded.len()

@@ -19,6 +19,14 @@
 //! (tolerating injected `snapshot.update` faults) and re-checks 1–2 plus
 //! snapshot atomicity; after disarming, serial and parallel runs on the
 //! final epoch must again agree exactly.
+//!
+//! The `delta_soak_seed_*` tests add the sustained mixed read/write leg:
+//! concurrent [`Maintainer::publish`] writers (typed [`DbDelta`]s,
+//! including delete-then-reinsert) race maintained readers under the
+//! same chaos plan, and after every faulted round the maintained answers
+//! must be **byte-identical** to a recompute-from-scratch on the
+//! surviving epoch — chaos may reject a publish or drop a registry
+//! entry, but never corrupt maintained state.
 #![cfg(feature = "failpoints")]
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -27,11 +35,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use qp_core::{
-    AdmissionConfig, AnswerAlgorithm, BreakerConfig, PersonalizationOptions, PersonalizeRequest,
-    PersonalizedAnswer, Personalizer, Profile, Resilience, RetryPolicy, SelectionCriterion,
+    AdmissionConfig, AnswerAlgorithm, BreakerConfig, Maintainer, MatRegistry,
+    PersonalizationOptions, PersonalizeRequest, PersonalizedAnswer, Personalizer, Profile,
+    Resilience, RetryPolicy, SelectionCriterion,
 };
 use qp_storage::failpoint::FailScenario;
-use qp_storage::{Attribute, ChaosPlan, DataType, Database, SnapshotStore, Value};
+use qp_storage::{Attribute, ChaosPlan, DataType, Database, DbDelta, SnapshotStore, Value};
 
 const THREADS: usize = 4;
 const REQUESTS_PER_THREAD: usize = 32;
@@ -178,10 +187,14 @@ fn drive_requests(
     thread: usize,
     refs: Option<&Vec<(PersonalizedAnswer, PersonalizedAnswer)>>,
     mutate_profile: bool,
+    registry: Option<Arc<MatRegistry>>,
 ) {
     use qp_core::{CompareOp, Doi};
 
     let mut p = Personalizer::serving(Arc::clone(store));
+    if let Some(registry) = registry {
+        p = p.with_maintenance(registry);
+    }
     p.set_resilience(Some(Arc::clone(bundle)));
     let mut profile = profile.clone();
     for i in 0..REQUESTS_PER_THREAD {
@@ -279,7 +292,7 @@ fn soak(seed: u64) {
             let tally = &tally;
             let refs = &refs;
             scope.spawn(move || {
-                drive_requests(store, profile, bundle, tally, t, Some(refs), false)
+                drive_requests(store, profile, bundle, tally, t, Some(refs), false, None)
             });
         }
     });
@@ -335,7 +348,9 @@ fn soak(seed: u64) {
             let profile = &profile;
             let bundle = &bundle;
             let tally2 = &tally2;
-            scope.spawn(move || drive_requests(store, profile, bundle, tally2, t, None, true));
+            scope.spawn(move || {
+                drive_requests(store, profile, bundle, tally2, t, None, true, None)
+            });
         }
     });
     plan.disarm();
@@ -371,9 +386,182 @@ fn soak(seed: u64) {
     }
 }
 
+/// The sustained mixed read/write leg: concurrent delta publishers and
+/// maintained readers under chaos, with a byte-identity audit of the
+/// maintained registry against recompute-from-scratch after every
+/// faulted round.
+fn delta_soak(seed: u64) {
+    const ROUNDS: usize = 4;
+    const WRITERS: usize = 2;
+    const PUBLISHES_PER_WRITER: usize = 8;
+
+    let scenario = FailScenario::setup();
+    let store = Arc::new(SnapshotStore::new(big_db()));
+    let profile = {
+        let snap = store.snapshot();
+        soak_profile(&snap)
+    };
+    let maintainer = Maintainer::new(Arc::clone(&store));
+    let plan = ChaosPlan::serving_default(seed);
+    let bundle = fleet_bundle(seed);
+    let published = AtomicUsize::new(0);
+    let rejected = AtomicUsize::new(0);
+    let escaped_writer_panics = AtomicUsize::new(0);
+    // Rows each writer successfully published in earlier rounds, for
+    // value-addressed deletes (only the owning writer touches its rows,
+    // so a tracked row is live until that writer deletes it).
+    let mut owned: Vec<Vec<(i64, i64)>> = vec![Vec::new(); WRITERS];
+
+    for round in 0..ROUNDS {
+        plan.arm();
+        let tally = Tally::new();
+        let results: Vec<(Vec<(i64, i64)>, usize)> = std::thread::scope(|scope| {
+            let writer_handles: Vec<_> = owned
+                .iter()
+                .enumerate()
+                .map(|(w, mine)| {
+                    let maintainer = &maintainer;
+                    let published = &published;
+                    let rejected = &rejected;
+                    let escaped = &escaped_writer_panics;
+                    scope.spawn(move || {
+                        let mut gained: Vec<(i64, i64)> = Vec::new();
+                        let mut spent = 0usize;
+                        for i in 0..PUBLISHES_PER_WRITER {
+                            let base =
+                                10_000 + ((round * WRITERS + w) * PUBLISHES_PER_WRITER + i) as i64 * 2;
+                            let year = 1960 + (base % 60);
+                            let mut delta = DbDelta::new()
+                                .insert(
+                                    "MOVIE",
+                                    vec![
+                                        Value::Int(base),
+                                        Value::str(format!("w{base}").as_str()),
+                                        Value::Int(year),
+                                    ],
+                                )
+                                .insert(
+                                    "GENRE",
+                                    vec![
+                                        Value::Int(base),
+                                        Value::str(if base % 2 == 0 { "comedy" } else { "musical" }),
+                                    ],
+                                );
+                            // Every other publish also deletes one of this
+                            // writer's earlier rows and reinserts it in the
+                            // same delta (tombstone + fresh row id).
+                            let mut recycled = None;
+                            if i % 2 == 1 && spent < mine.len() {
+                                let (mid, year) = mine[spent];
+                                let row = vec![
+                                    Value::Int(mid),
+                                    Value::str(format!("w{mid}").as_str()),
+                                    Value::Int(year),
+                                ];
+                                delta = delta.delete("MOVIE", row.clone()).insert("MOVIE", row);
+                                recycled = Some((mid, year));
+                            }
+                            match catch_unwind(AssertUnwindSafe(|| maintainer.publish(&delta))) {
+                                Ok(Ok(_)) => {
+                                    published.fetch_add(1, Ordering::Relaxed);
+                                    gained.push((base, year));
+                                    if recycled.is_some() {
+                                        spent += 1;
+                                    }
+                                }
+                                Ok(Err(_)) => {
+                                    // Injected snapshot.update faults reject
+                                    // the delta wholesale; nothing landed.
+                                    rejected.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    escaped.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        (gained, spent)
+                    })
+                })
+                .collect();
+            for t in 0..THREADS {
+                let store = &store;
+                let profile = &profile;
+                let bundle = &bundle;
+                let tally = &tally;
+                let registry = maintainer.registry();
+                scope.spawn(move || {
+                    drive_requests(store, profile, bundle, tally, t, None, false, Some(registry))
+                });
+            }
+            writer_handles
+                .into_iter()
+                .map(|handle| handle.join().expect("writer thread"))
+                .collect()
+        });
+        plan.disarm();
+        for (w, (gained, spent)) in results.into_iter().enumerate() {
+            owned[w].drain(..spent);
+            owned[w].extend(gained);
+        }
+
+        assert_eq!(
+            tally.escaped_panics.load(Ordering::Relaxed),
+            0,
+            "seed {seed} round {round}: a panic escaped a maintained reader"
+        );
+
+        // Quiesce audit: on the epoch that survived the storm, every
+        // maintained PPA answer must be byte-identical to a fresh
+        // recompute that never saw the registry.
+        let epoch = store.snapshot();
+        for sql in QUERIES {
+            let mut maintained = Personalizer::serving(Arc::clone(&store))
+                .with_maintenance(maintainer.registry());
+            let got = maintained
+                .run(PersonalizeRequest::sql(&profile, sql)
+                    .options(options(AnswerAlgorithm::Ppa, false))
+                    .parallelism(1))
+                .expect("maintained quiesce run");
+            assert!(got.is_complete(), "quiesce run must be exact (chaos is disarmed)");
+            let mut fresh = Personalizer::shared(Arc::clone(&epoch));
+            let want = fresh
+                .run(PersonalizeRequest::sql(&profile, sql)
+                    .options(options(AnswerAlgorithm::Ppa, false))
+                    .parallelism(1))
+                .expect("recompute reference");
+            assert_eq!(
+                got.report.answer, want.report.answer,
+                "seed {seed} round {round}: maintained answer diverged from \
+                 recompute-from-scratch after a faulted read/write storm ({sql})"
+            );
+        }
+    }
+
+    assert_eq!(escaped_writer_panics.load(Ordering::Relaxed), 0, "seed {seed}: publish panicked");
+    assert!(
+        published.load(Ordering::Relaxed) > 0,
+        "seed {seed}: chaos rejected every publish — the soak proved nothing"
+    );
+    assert!(
+        !maintainer.registry().is_empty(),
+        "seed {seed}: the quiesce runs should leave a warm registry"
+    );
+    drop(scenario);
+}
+
 #[test]
 fn soak_seed_11() {
     soak(11);
+}
+
+#[test]
+fn delta_soak_seed_7() {
+    delta_soak(7);
+}
+
+#[test]
+fn delta_soak_seed_23() {
+    delta_soak(23);
 }
 
 #[test]

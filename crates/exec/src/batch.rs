@@ -424,7 +424,12 @@ fn run_batched_inner(
                     // guard from the workers and merges counts into
                     // `ExecStats` in chunk order, so the produced batches
                     // (and stats, on success) match the serial loop's.
+                    // Tombstoned slots are masked per chunk (`dead` is
+                    // `None` on the common delete-free path), so scanned
+                    // counts and output match the row engine's live-only
+                    // iteration byte for byte.
                     let rows = table.len();
+                    let dead = table.tombstones();
                     if ctx.parallelism > 1
                         && rows >= crate::pool::PARALLEL_THRESHOLD
                         && rows > BATCH_CAPACITY
@@ -434,11 +439,10 @@ fn run_batched_inner(
                             table.chunks(BATCH_CAPACITY).collect::<Vec<_>>(),
                             ctx.parallelism,
                             |_, (base, chunk)| {
-                                let rowids: Vec<Value> = (0..chunk.len())
-                                    .map(|i| Value::Int((base.0 + i as u64) as i64))
-                                    .collect();
-                                let view = ScanView { rowids, rows: RowsRef::Slice(chunk) };
-                                scan_view_guarded(guard, filter, width, view)
+                                match live_chunk_view(base, chunk, dead) {
+                                    Some(view) => scan_view_guarded(guard, filter, width, view),
+                                    None => Ok((None, 0, 0)),
+                                }
                             },
                         );
                         ctx.note_pool(pstats);
@@ -450,11 +454,9 @@ fn run_batched_inner(
                         }
                     } else {
                         for (base, chunk) in table.chunks(BATCH_CAPACITY) {
-                            let rowids: Vec<Value> = (0..chunk.len())
-                                .map(|i| Value::Int((base.0 + i as u64) as i64))
-                                .collect();
-                            let view = ScanView { rowids, rows: RowsRef::Slice(chunk) };
-                            scan_chunk(ctx, filter, width, view, &mut out, &mut scanned)?;
+                            if let Some(view) = live_chunk_view(base, chunk, dead) {
+                                scan_chunk(ctx, filter, width, view, &mut out, &mut scanned)?;
+                            }
                         }
                     }
                 }
@@ -595,6 +597,41 @@ fn run_batched_inner(
             Ok(rows_to_batches(rows))
         }
     }
+}
+
+/// Builds the scan view for one full-scan storage chunk, masking
+/// tombstoned slots. With no tombstones in the chunk the view borrows
+/// the slice directly (zero-copy fast path); otherwise live rows are
+/// gathered with their true row ids, so downstream operators (and the
+/// scanned-row counts) see exactly the rows the row engine's live-only
+/// iteration yields. Returns `None` when every slot in the chunk is
+/// dead.
+fn live_chunk_view<'a>(
+    base: RowId,
+    chunk: &'a [Row],
+    dead: Option<&[bool]>,
+) -> Option<ScanView<'a>> {
+    let start = base.0 as usize;
+    let mask = match dead {
+        Some(d) if d[start..start + chunk.len()].contains(&true) => &d[start..start + chunk.len()],
+        _ => {
+            let rowids: Vec<Value> =
+                (0..chunk.len()).map(|i| Value::Int((base.0 + i as u64) as i64)).collect();
+            return Some(ScanView { rowids, rows: RowsRef::Slice(chunk) });
+        }
+    };
+    let mut rowids = Vec::new();
+    let mut rows: Vec<&Row> = Vec::new();
+    for (i, row) in chunk.iter().enumerate() {
+        if !mask[i] {
+            rowids.push(Value::Int((base.0 + i as u64) as i64));
+            rows.push(row);
+        }
+    }
+    if rows.is_empty() {
+        return None;
+    }
+    Some(ScanView { rowids, rows: RowsRef::Gathered(rows) })
 }
 
 /// One scan batch: polls the guard, counts scanned rows, evaluates the

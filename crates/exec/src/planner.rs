@@ -455,7 +455,7 @@ impl<'a> Planner<'a> {
         for (i, b) in scope.bindings.iter().enumerate() {
             let est = match b.rel {
                 Some(rel) => {
-                    let rows = self.db.table(rel).len() as f64;
+                    let rows = self.db.table(rel).live_len() as f64;
                     let mut sel = 1.0;
                     for p in &pushed[i] {
                         sel *= self.estimate_selectivity(rel, p, &b.name);
@@ -685,7 +685,7 @@ impl<'a> Planner<'a> {
                     .map(|p| self.estimate_selectivity(rel, p, &b.name))
                     .product();
                 let est = ScanEstimate {
-                    rows: self.db.table(rel).len() as f64 * selectivity,
+                    rows: self.db.table(rel).live_len() as f64 * selectivity,
                     selectivity,
                 };
                 let index_eq = if fetch_rowid.is_none() {
@@ -731,7 +731,7 @@ impl<'a> Planner<'a> {
         use qp_storage::histogram::CmpOp;
         const MIN_ROWS: usize = 64;
         const MAX_SELECTIVITY: f64 = 0.2;
-        if self.db.table(rel).len() < MIN_ROWS {
+        if self.db.table(rel).live_len() < MIN_ROWS {
             return None;
         }
         let relation = self.db.catalog().relation(rel);
@@ -767,7 +767,7 @@ impl<'a> Planner<'a> {
         use qp_storage::histogram::CmpOp;
         // rowid fetch → 1 row regardless of table size
         if rowid_eq_literal(pred, binding).is_some() {
-            let rows = self.db.table(rel).len().max(1) as f64;
+            let rows = self.db.table(rel).live_len().max(1) as f64;
             return 1.0 / rows;
         }
         match pred {

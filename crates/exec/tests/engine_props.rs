@@ -232,6 +232,52 @@ proptest! {
     }
 
     #[test]
+    fn tombstoned_rows_invisible_row_and_batch(
+        rows in arb_rows(),
+        pred in arb_pred(),
+        dead_mask in prop::collection::vec(any::<bool>(), 0..60),
+    ) {
+        let mut db = build_db(&rows);
+        let rel = db.catalog().relation_by_name("T").unwrap().id;
+        let mut live: Vec<(Option<i64>, i64, i64)> = Vec::new();
+        for (i, r) in rows.iter().enumerate() {
+            if dead_mask.get(i).copied().unwrap_or(false) {
+                let tuple = vec![
+                    r.0.map(Value::Int).unwrap_or(Value::Null),
+                    Value::Int(r.1),
+                    Value::Int(r.2),
+                ];
+                db.delete(rel, &tuple).unwrap();
+            }
+        }
+        // `delete` is value-addressed: with duplicate tuples it may
+        // tombstone a different slot than `i`, so recompute the live
+        // multiset from the table itself.
+        for (_, row) in db.table(rel).iter() {
+            live.push((row[0].as_i64(), row[1].as_i64().unwrap(), row[2].as_i64().unwrap()));
+        }
+        let sql = format!("select b from T where {}", pred.to_sql());
+        let mut batch_engine = Engine::new();
+        batch_engine.set_row_engine(false);
+        let mut row_engine = Engine::new();
+        row_engine.set_row_engine(true);
+        let batch = batch_engine.execute_sql(&db, &sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let row = row_engine.execute_sql(&db, &sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let got_batch: Vec<i64> = batch.rows.iter().filter_map(|r| r[0].as_i64()).collect();
+        let got_row: Vec<i64> = row.rows.iter().filter_map(|r| r[0].as_i64()).collect();
+        prop_assert_eq!(&got_batch, &got_row, "row/batch parity under tombstones: {}", sql);
+        let mut got = got_batch;
+        let mut expect: Vec<i64> = live
+            .iter()
+            .filter(|r| pred.eval(r) == Some(true))
+            .map(|r| r.1)
+            .collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect, "sql: {}", sql);
+    }
+
+    #[test]
     fn not_in_subquery_matches_reference(
         rows in arb_rows(),
         threshold in -10i64..10,

@@ -52,12 +52,12 @@ use qp_client::wire::{
     DEFAULT_MAX_FRAME,
 };
 use qp_core::{
-    AdmissionConfig, AdmissionController, AnswerAlgorithm, BreakerConfig, PersistOptions,
-    PersonalizationOptions, PersonalizeRequest, Personalizer, PrefError, Profile,
-    ProfileStore, Resilience, RetryPolicy, SelectionCriterion, UserId,
+    AdmissionConfig, AdmissionController, AnswerAlgorithm, BreakerConfig, Maintainer,
+    PersistOptions, PersonalizationOptions, PersonalizeRequest, Personalizer, PrefError,
+    Profile, ProfileStore, Resilience, RetryPolicy, SelectionCriterion, UserId,
 };
 use qp_obs::{MetricValue, MetricsRegistry};
-use qp_storage::{failpoint, SnapshotStore, Value};
+use qp_storage::{failpoint, DataType, DbDelta, SnapshotStore, Value};
 
 /// Server tuning knobs. `Default` is sized for tests and small
 /// deployments; the benches and the binary override the geometry.
@@ -135,6 +135,11 @@ struct Shared {
     /// store-assigned user id, and held as compact encoded blobs until a
     /// request first decodes them.
     profiles: Arc<ProfileStore>,
+    /// One maintenance engine for the whole server: serializes delta
+    /// publishes and patches every connection's materialized preference
+    /// results (all personalizers share its registry) instead of letting
+    /// an epoch bump recompute them from scratch.
+    maintainer: Maintainer,
     metrics: Arc<MetricsRegistry>,
     admission: AdmissionController,
     resilience: Arc<Resilience>,
@@ -187,11 +192,15 @@ impl Server {
             }
             None => Arc::new(ProfileStore::new().with_metrics(Arc::clone(&metrics))),
         };
+        let maintainer = Maintainer::new(Arc::clone(&store))
+            .with_metrics(Arc::clone(&metrics))
+            .with_profile_store(Arc::clone(&profiles));
         let shared = Arc::new(Shared {
             admission: AdmissionController::new(config.admission),
             config,
             store,
             profiles,
+            maintainer,
             metrics,
             resilience: Arc::new(resilience),
             shutting_down: AtomicBool::new(false),
@@ -721,6 +730,75 @@ fn dispatch(
                 }),
             }
         }
+        Request::PublishDelta { changes } => {
+            let db = shared.store.snapshot();
+            let mut delta = DbDelta::new();
+            for slice in &changes {
+                // Types guide number coercion only; a relation the catalog
+                // cannot resolve converts generically and is rejected with
+                // its proper error by the publish below.
+                let types: Option<Vec<DataType>> = db
+                    .catalog()
+                    .relation_by_name(&slice.relation)
+                    .ok()
+                    .map(|rel| rel.attributes.iter().map(|a| a.data_type).collect());
+                let convert = |rows: &[Vec<Json>]| -> Result<Vec<Vec<Value>>, String> {
+                    rows.iter()
+                        .map(|row| {
+                            row.iter()
+                                .enumerate()
+                                .map(|(i, v)| {
+                                    let want =
+                                        types.as_ref().and_then(|t| t.get(i)).copied();
+                                    json_to_value(v, want)
+                                })
+                                .collect()
+                        })
+                        .collect()
+                };
+                let (inserts, deletes) =
+                    match (convert(&slice.inserts), convert(&slice.deletes)) {
+                        (Ok(i), Ok(d)) => (i, d),
+                        (Err(m), _) | (_, Err(m)) => {
+                            shared.count("server.requests.delta_rejected");
+                            return Response::Error(WireError {
+                                code: ErrorCode::DeltaRejected,
+                                message: format!("relation {:?}: {m}", slice.relation),
+                                retryable: false,
+                            });
+                        }
+                    };
+                for row in deletes {
+                    delta = delta.delete(&slice.relation, row);
+                }
+                for row in inserts {
+                    delta = delta.insert(&slice.relation, row);
+                }
+            }
+            match shared.maintainer.publish(&delta) {
+                Ok((_, applied, outcome)) => {
+                    shared.count("server.requests.publish_delta");
+                    Response::DeltaApplied {
+                        old_version: applied.old_version,
+                        new_version: applied.new_version,
+                        rows_inserted: applied.rows_inserted() as u64,
+                        rows_deleted: applied.rows_deleted() as u64,
+                        patched: outcome.patched,
+                        carried: outcome.carried,
+                        rematerialized: outcome.rematerialized,
+                        dropped: outcome.dropped + outcome.stale,
+                    }
+                }
+                Err(e) => {
+                    shared.count("server.requests.delta_rejected");
+                    Response::Error(WireError {
+                        code: ErrorCode::DeltaRejected,
+                        message: e.to_string(),
+                        retryable: false,
+                    })
+                }
+            }
+        }
         Request::Personalize { user, user_id, sql, k, l, algorithm } => {
             let resolved = match user_id {
                 Some(id) => Some(UserId(id)),
@@ -748,7 +826,8 @@ fn dispatch(
             };
             let p = personalizer.get_or_insert_with(|| {
                 let mut p = Personalizer::serving(Arc::clone(&shared.store))
-                    .with_profile_store(Arc::clone(&shared.profiles));
+                    .with_profile_store(Arc::clone(&shared.profiles))
+                    .with_maintenance(shared.maintainer.registry());
                 p.set_resilience(Some(Arc::clone(&shared.resilience)));
                 p
             });
@@ -824,6 +903,25 @@ fn default_options(config: &ServerConfig) -> PersonalizationOptions {
         l: config.default_l,
         ..Default::default()
     }
+}
+
+/// Converts one wire value to a storage [`Value`], coercing numbers to
+/// the column's declared type when the catalog knows it. Mismatches the
+/// conversion cannot express (e.g. a fractional number for an `Int`
+/// column) fall through as floats for the storage layer's type check to
+/// reject with a precise error.
+fn json_to_value(v: &Json, want: Option<DataType>) -> Result<Value, String> {
+    Ok(match v {
+        Json::Null => Value::Null,
+        Json::Bool(b) => Value::Bool(*b),
+        Json::Str(s) => Value::str(s.as_str()),
+        Json::Num(n) => match want {
+            Some(DataType::Float) => Value::Float(*n),
+            _ if n.fract() == 0.0 && n.is_finite() => Value::Int(*n as i64),
+            _ => Value::Float(*n),
+        },
+        other => return Err(format!("unsupported row value {other:?}")),
+    })
 }
 
 fn value_to_json(v: &Value) -> Json {

@@ -12,11 +12,13 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use crate::delta::{resolve_deletes, AppliedDelta, AppliedRelationDelta, DbDelta};
 use crate::error::StorageError;
 use crate::histogram::Histogram;
 use crate::index::Index;
 use crate::schema::{AttrId, Attribute, Catalog, RelId};
-use crate::table::{Row, RowId, Table};
+use crate::table::{validate_row, Row, RowId, Table};
+use crate::value::Value;
 
 /// Process-wide source of unique database ids (see [`Database::id`]).
 static NEXT_DATABASE_ID: AtomicU64 = AtomicU64::new(1);
@@ -157,6 +159,64 @@ impl Database {
         self.invalidate_stats(rel);
     }
 
+    /// Tombstones the first live row of `rel` whose values equal `row`.
+    /// Invalidates histograms and indexes on the relation's attributes.
+    pub fn delete(&mut self, rel: RelId, row: &[Value]) -> Result<RowId, StorageError> {
+        let relation = self.catalog.relation(rel);
+        let id = self.tables[rel.0 as usize].find_live(row).ok_or_else(|| {
+            StorageError::NoSuchTuple {
+                relation: relation.name.clone(),
+                detail: crate::delta::render_tuple(row),
+            }
+        })?;
+        Arc::make_mut(&mut self.tables[rel.0 as usize]).delete(id);
+        self.invalidate_stats(rel);
+        Ok(id)
+    }
+
+    /// Applies a [`DbDelta`] atomically: the whole delta is validated
+    /// against the current state first (unknown relations, arity/type
+    /// mismatches on inserts, deletes with no matching live tuple all
+    /// reject it), and only then are tables mutated — deletes before
+    /// inserts within each relation, deletes resolved against the
+    /// pre-delta state. Returns the applied row ids per relation; the
+    /// version is bumped once per touched relation, so a successful
+    /// apply always publishes a strictly greater version.
+    pub fn apply_delta(&mut self, delta: &DbDelta) -> Result<AppliedDelta, StorageError> {
+        let old_version = self.version;
+        // Phase 1: validate everything read-only.
+        let mut resolved: Vec<(RelId, Vec<RowId>)> = Vec::with_capacity(delta.relations.len());
+        for slice in &delta.relations {
+            let relation = self.catalog.relation_by_name(&slice.relation)?;
+            let rel = relation.id;
+            if resolved.iter().any(|(r, _)| *r == rel) {
+                // The builder API can't produce this, but hand-built
+                // deltas could; folding both slices would make delete
+                // resolution order-dependent, so reject instead.
+                return Err(StorageError::DuplicateRelation(relation.name.clone()));
+            }
+            for row in &slice.inserts {
+                validate_row(relation, row)?;
+            }
+            let deleted = resolve_deletes(self.table(rel), &relation.name, &slice.deletes)?;
+            resolved.push((rel, deleted));
+        }
+        // Phase 2: mutate. Nothing below can fail.
+        let mut applied = Vec::with_capacity(delta.relations.len());
+        for (slice, (rel, deleted)) in delta.relations.iter().zip(resolved) {
+            let name = self.catalog.relation(rel).name.clone();
+            let table = Arc::make_mut(&mut self.tables[rel.0 as usize]);
+            for id in &deleted {
+                table.delete(*id);
+            }
+            let inserted: Vec<RowId> =
+                slice.inserts.iter().map(|row| table.insert_unchecked(row.clone())).collect();
+            self.invalidate_stats(rel);
+            applied.push(AppliedRelationDelta { rel, relation: name, deleted, inserted });
+        }
+        Ok(AppliedDelta { old_version, new_version: self.version, relations: applied })
+    }
+
     fn invalidate_stats(&mut self, rel: RelId) {
         self.version += 1;
         self.histograms.get_mut().retain(|attr, _| attr.rel != rel);
@@ -169,7 +229,7 @@ impl Database {
             return Arc::clone(h);
         }
         let table = &self.tables[attr.rel.0 as usize];
-        let hist = Arc::new(Histogram::build(table.column(attr.idx as usize)));
+        let hist = Arc::new(Histogram::build(table.live_column(attr.idx as usize)));
         self.histograms.write().entry(attr).or_insert_with(|| Arc::clone(&hist));
         hist
     }
@@ -180,7 +240,7 @@ impl Database {
             return Arc::clone(i);
         }
         let table = &self.tables[attr.rel.0 as usize];
-        let index = Arc::new(Index::build(table.column(attr.idx as usize)));
+        let index = Arc::new(Index::build_pairs(table.live_column_pairs(attr.idx as usize)));
         self.indexes.write().entry(attr).or_insert_with(|| Arc::clone(&index));
         index
     }
@@ -197,9 +257,9 @@ impl Database {
         }
     }
 
-    /// Total number of rows across all tables.
+    /// Total number of live rows across all tables.
     pub fn total_rows(&self) -> usize {
-        self.tables.iter().map(|t| t.len()).sum()
+        self.tables.iter().map(|t| t.live_len()).sum()
     }
 }
 
@@ -305,5 +365,79 @@ mod tests {
     fn unknown_relation_errors() {
         let db = db();
         assert!(db.table_by_name("NOPE").is_err());
+    }
+
+    #[test]
+    fn apply_delta_inserts_deletes_and_bumps_version() {
+        use crate::delta::DbDelta;
+        let mut db = db();
+        let v0 = db.version();
+        let delta = DbDelta::new()
+            .delete("MOVIE", vec![Value::Int(3), Value::str("m3"), Value::Int(1983)])
+            .insert("MOVIE", vec![Value::Int(50), Value::str("new"), Value::Int(2005)]);
+        let applied = db.apply_delta(&delta).unwrap();
+        assert_eq!(applied.old_version, v0);
+        assert!(applied.new_version > v0);
+        assert_eq!(db.version(), applied.new_version);
+        assert_eq!(applied.rows_inserted(), 1);
+        assert_eq!(applied.rows_deleted(), 1);
+        let slice = &applied.relations[0];
+        assert_eq!(slice.deleted, vec![RowId(3)]);
+        assert_eq!(slice.inserted, vec![RowId(10)], "insert lands in a fresh slot");
+        let t = db.table_by_name("MOVIE").unwrap();
+        assert_eq!(t.live_len(), 10);
+        assert!(t.get(RowId(3)).is_none());
+        assert_eq!(t.get(RowId(10)).unwrap()[1], Value::str("new"));
+    }
+
+    #[test]
+    fn apply_delta_is_all_or_nothing() {
+        use crate::delta::DbDelta;
+        let mut db = db();
+        let v0 = db.version();
+        // Valid insert + delete of a tuple that does not exist: rejected
+        // wholesale, nothing applied.
+        let delta = DbDelta::new()
+            .insert("MOVIE", vec![Value::Int(50), Value::str("new"), Value::Int(2005)])
+            .delete("MOVIE", vec![Value::Int(99), Value::str("nope"), Value::Int(1900)]);
+        assert!(matches!(db.apply_delta(&delta), Err(StorageError::NoSuchTuple { .. })));
+        assert_eq!(db.version(), v0);
+        assert_eq!(db.total_rows(), 10);
+
+        let bad_arity = DbDelta::new().insert("MOVIE", vec![Value::Int(1)]);
+        assert!(matches!(db.apply_delta(&bad_arity), Err(StorageError::ArityMismatch { .. })));
+        let bad_rel = DbDelta::new().insert("NOPE", vec![Value::Int(1)]);
+        assert!(matches!(db.apply_delta(&bad_rel), Err(StorageError::UnknownRelation(_))));
+        let bad_type =
+            DbDelta::new().insert("MOVIE", vec![Value::str("x"), Value::str("t"), Value::Int(1)]);
+        assert!(matches!(db.apply_delta(&bad_type), Err(StorageError::TypeMismatch { .. })));
+        assert_eq!(db.version(), v0, "rejected deltas never bump the version");
+    }
+
+    #[test]
+    fn delete_then_reinsert_gets_fresh_row_id() {
+        use crate::delta::DbDelta;
+        let mut db = db();
+        let tuple = vec![Value::Int(3), Value::str("m3"), Value::Int(1983)];
+        let delta = DbDelta::new().delete("MOVIE", tuple.clone()).insert("MOVIE", tuple.clone());
+        let applied = db.apply_delta(&delta).unwrap();
+        let slice = &applied.relations[0];
+        assert_eq!(slice.deleted, vec![RowId(3)]);
+        assert_eq!(slice.inserted, vec![RowId(10)]);
+        let t = db.table_by_name("MOVIE").unwrap();
+        assert_eq!(t.find_live(&tuple), Some(RowId(10)));
+    }
+
+    #[test]
+    fn stats_skip_tombstoned_rows() {
+        let mut db = db();
+        let rel = db.catalog().relation_by_name("MOVIE").unwrap().id;
+        let attr = db.catalog().resolve("MOVIE", "mid").unwrap();
+        let year = db.catalog().resolve("MOVIE", "year").unwrap();
+        db.delete(rel, &[Value::Int(3), Value::str("m3"), Value::Int(1983)]).unwrap();
+        assert!(db.index(attr).lookup(&Value::Int(3)).is_empty(), "index never serves dead rows");
+        assert_eq!(db.index(attr).lookup(&Value::Int(4)), &[RowId(4)]);
+        assert_eq!(db.histogram(year).row_count(), 9);
+        assert_eq!(db.total_rows(), 9);
     }
 }

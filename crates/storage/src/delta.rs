@@ -1,0 +1,212 @@
+//! Typed write deltas: batched tuple inserts/deletes per relation.
+//!
+//! A [`DbDelta`] is the unit of write traffic the serving fleet sees:
+//! a set of tuples to delete and insert, grouped by relation, applied
+//! atomically through [`crate::SnapshotStore::publish_delta`]. The
+//! applied form ([`AppliedDelta`]) records exactly which row ids each
+//! relation gained and lost, which is what the incremental-maintenance
+//! layer in `qp-core` consumes to patch materialized preference
+//! results instead of recomputing them.
+//!
+//! Deletes are *value-addressed*: a delete names a full tuple, and
+//! application resolves it to the first live row with equal values in
+//! the **pre-delta** state. Deletes are applied before inserts within a
+//! relation, so a delete-then-reinsert delta tombstones the old slot
+//! and lands the reinserted tuple in a fresh one (row ids are never
+//! reused — see [`crate::Table`]).
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::schema::RelId;
+use crate::table::{Row, RowId};
+use crate::value::Value;
+
+/// One relation's slice of a [`DbDelta`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RelationDelta {
+    /// Relation name (resolved case-insensitively against the catalog).
+    pub relation: String,
+    /// Tuples to tombstone, matched by full-tuple value equality
+    /// against live rows of the pre-delta state.
+    pub deletes: Vec<Row>,
+    /// Tuples to append (validated against the relation's schema).
+    pub inserts: Vec<Row>,
+}
+
+/// A batch of tuple-level writes, applied atomically: either every
+/// delete and insert lands and a new snapshot is published, or the
+/// delta is rejected and the database is untouched.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DbDelta {
+    /// Per-relation inserts/deletes, applied in order.
+    pub relations: Vec<RelationDelta>,
+}
+
+impl DbDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        DbDelta::default()
+    }
+
+    /// Adds a tuple insert, creating the relation's slice on first use.
+    pub fn insert(mut self, relation: &str, row: Row) -> Self {
+        self.slice_mut(relation).inserts.push(row);
+        self
+    }
+
+    /// Adds a value-addressed tuple delete.
+    pub fn delete(mut self, relation: &str, row: Row) -> Self {
+        self.slice_mut(relation).deletes.push(row);
+        self
+    }
+
+    fn slice_mut(&mut self, relation: &str) -> &mut RelationDelta {
+        if let Some(i) = self.relations.iter().position(|r| r.relation == relation) {
+            return &mut self.relations[i];
+        }
+        self.relations.push(RelationDelta { relation: relation.to_string(), ..Default::default() });
+        self.relations.last_mut().expect("just pushed")
+    }
+
+    /// Total number of tuple operations (inserts + deletes).
+    pub fn ops(&self) -> usize {
+        self.relations.iter().map(|r| r.inserts.len() + r.deletes.len()).sum()
+    }
+
+    /// True iff the delta carries no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops() == 0
+    }
+}
+
+/// Human-readable rendering of a tuple for error messages.
+pub(crate) fn render_tuple(row: &[Value]) -> String {
+    let mut s = String::from("(");
+    for (i, v) in row.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{v}");
+    }
+    s.push(')');
+    s
+}
+
+/// One relation's slice of an [`AppliedDelta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedRelationDelta {
+    /// The relation the rows belong to.
+    pub rel: RelId,
+    /// Canonical relation name from the catalog.
+    pub relation: String,
+    /// Row ids tombstoned by this delta.
+    pub deleted: Vec<RowId>,
+    /// Row ids appended by this delta, in ascending order (appends take
+    /// ids greater than every pre-existing slot).
+    pub inserted: Vec<RowId>,
+}
+
+/// The record of a successfully applied [`DbDelta`]: which row ids each
+/// relation lost and gained, and the version edge the publish crossed.
+/// This is the contract the maintenance layer patches from.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AppliedDelta {
+    /// Database version before the delta.
+    pub old_version: u64,
+    /// Database version after the delta (strictly greater).
+    pub new_version: u64,
+    /// Per-relation applied row ids (only relations the delta touched).
+    pub relations: Vec<AppliedRelationDelta>,
+}
+
+impl AppliedDelta {
+    /// Total rows inserted across relations.
+    pub fn rows_inserted(&self) -> usize {
+        self.relations.iter().map(|r| r.inserted.len()).sum()
+    }
+
+    /// Total rows deleted across relations.
+    pub fn rows_deleted(&self) -> usize {
+        self.relations.iter().map(|r| r.deleted.len()).sum()
+    }
+
+    /// The applied slice for `rel`, if the delta touched it.
+    pub fn relation(&self, rel: RelId) -> Option<&AppliedRelationDelta> {
+        self.relations.iter().find(|r| r.rel == rel)
+    }
+
+    /// True iff the delta touched `rel`.
+    pub fn touches(&self, rel: RelId) -> bool {
+        self.relation(rel).is_some()
+    }
+}
+
+/// Resolves the deletes of one relation delta against the pre-delta
+/// table state: each delete tuple claims the first live, not yet
+/// claimed row with equal values. Returns the claimed row ids in
+/// delete order.
+pub(crate) fn resolve_deletes(
+    table: &crate::table::Table,
+    relation: &str,
+    deletes: &[Row],
+) -> Result<Vec<RowId>, crate::error::StorageError> {
+    let mut claimed: HashSet<RowId> = HashSet::new();
+    let mut out = Vec::with_capacity(deletes.len());
+    for del in deletes {
+        let hit = table
+            .iter()
+            .find(|(id, r)| !claimed.contains(id) && r.as_slice() == del.as_slice())
+            .map(|(id, _)| id);
+        match hit {
+            Some(id) => {
+                claimed.insert(id);
+                out.push(id);
+            }
+            None => {
+                return Err(crate::error::StorageError::NoSuchTuple {
+                    relation: relation.to_string(),
+                    detail: render_tuple(del),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_groups_by_relation() {
+        let d = DbDelta::new()
+            .insert("MOVIE", vec![Value::Int(1)])
+            .delete("MOVIE", vec![Value::Int(2)])
+            .insert("GENRE", vec![Value::Int(3)]);
+        assert_eq!(d.relations.len(), 2);
+        assert_eq!(d.ops(), 3);
+        assert!(!d.is_empty());
+        assert!(DbDelta::new().is_empty());
+    }
+
+    #[test]
+    fn duplicate_deletes_claim_distinct_rows() {
+        let mut t = crate::table::Table::new();
+        t.insert_unchecked(vec![Value::Int(7)]);
+        t.insert_unchecked(vec![Value::Int(7)]);
+        let dels = vec![vec![Value::Int(7)], vec![Value::Int(7)]];
+        let ids = resolve_deletes(&t, "R", &dels).unwrap();
+        assert_eq!(ids, vec![RowId(0), RowId(1)]);
+        let three = vec![vec![Value::Int(7)], vec![Value::Int(7)], vec![Value::Int(7)]];
+        assert!(matches!(
+            resolve_deletes(&t, "R", &three),
+            Err(crate::error::StorageError::NoSuchTuple { .. })
+        ));
+    }
+
+    #[test]
+    fn render_tuple_is_readable() {
+        assert_eq!(render_tuple(&[Value::Int(1), Value::str("x")]), "(1, x)");
+    }
+}

@@ -43,6 +43,13 @@ pub enum StorageError {
     },
     /// A foreign-key endpoint is invalid.
     InvalidForeignKey(String),
+    /// A delta tried to delete a tuple no live row matches.
+    NoSuchTuple {
+        /// Relation the delete targeted.
+        relation: String,
+        /// Human-readable rendering of the tuple.
+        detail: String,
+    },
     /// An injected fault fired at a [`crate::failpoint`] site (only under
     /// the `failpoints` feature).
     Injected(String),
@@ -70,6 +77,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::InvalidForeignKey(detail) => {
                 write!(f, "invalid foreign key: {detail}")
+            }
+            StorageError::NoSuchTuple { relation, detail } => {
+                write!(f, "no live tuple in `{relation}` matches delete: {detail}")
             }
             StorageError::Injected(msg) => write!(f, "injected fault: {msg}"),
         }

@@ -28,6 +28,22 @@ impl Index {
         Index { map }
     }
 
+    /// Builds an index from explicit `(row id, value)` pairs — the
+    /// tombstone-aware path: dead slots are simply never fed in, so a
+    /// lookup can never surface a deleted row. Pairs must arrive in
+    /// ascending row-id order (as [`crate::Table::live_column_pairs`]
+    /// yields them) so postings lists stay sorted.
+    pub fn build_pairs<'a>(pairs: impl Iterator<Item = (RowId, &'a Value)>) -> Self {
+        let mut map: HashMap<Value, Vec<RowId>> = HashMap::new();
+        for (id, v) in pairs {
+            if v.is_null() {
+                continue;
+            }
+            map.entry(v.clone()).or_default().push(id);
+        }
+        Index { map }
+    }
+
     /// Row ids whose attribute equals `value` (empty for NULL probes).
     pub fn lookup(&self, value: &Value) -> &[RowId] {
         if value.is_null() {
@@ -62,6 +78,20 @@ mod tests {
         let idx = Index::build(vals.iter());
         assert!(idx.lookup(&Value::Null).is_empty());
         assert_eq!(idx.distinct_count(), 0);
+    }
+
+    #[test]
+    fn build_pairs_skips_fed_out_slots() {
+        let vals = [Value::Int(1), Value::Int(1), Value::Int(2)];
+        // Slot 1 is tombstoned: the caller never feeds it.
+        let pairs = vals
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .map(|(i, v)| (RowId(i as u64), v));
+        let idx = Index::build_pairs(pairs);
+        assert_eq!(idx.lookup(&Value::Int(1)), &[RowId(0)]);
+        assert_eq!(idx.lookup(&Value::Int(2)), &[RowId(2)]);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 pub mod chaos;
 pub mod database;
+pub mod delta;
 pub mod dump;
 pub mod encoding;
 pub mod error;
@@ -37,6 +38,7 @@ pub mod value;
 
 pub use chaos::ChaosPlan;
 pub use database::Database;
+pub use delta::{AppliedDelta, AppliedRelationDelta, DbDelta, RelationDelta};
 pub use dump::{dump_dir, load_dir};
 pub use encoding::{DecodeError, StringDict};
 pub use error::StorageError;

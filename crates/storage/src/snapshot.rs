@@ -30,6 +30,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use crate::database::Database;
+use crate::delta::{AppliedDelta, DbDelta};
 use crate::error::StorageError;
 
 /// A concurrently updatable holder of immutable [`Database`] epochs.
@@ -97,6 +98,29 @@ impl SnapshotStore {
         let out = f(&mut next)?;
         *self.current.write() = Arc::new(next);
         Ok(out)
+    }
+
+    /// Applies a typed [`DbDelta`] atomically and publishes the result
+    /// as the next epoch, returning the published epoch together with
+    /// the applied row ids ([`AppliedDelta`]) — the input the
+    /// incremental-maintenance layer patches materializations from. A
+    /// rejected delta (unknown relation, arity/type mismatch, delete of
+    /// a tuple with no live match) publishes nothing.
+    ///
+    /// Shares the `snapshot.update` failpoint and the writer mutex with
+    /// [`SnapshotStore::update`], so chaos plans that target publishes
+    /// exercise delta publishes too.
+    pub fn publish_delta(
+        &self,
+        delta: &DbDelta,
+    ) -> Result<(Arc<Database>, AppliedDelta), StorageError> {
+        let _writer = self.write.lock();
+        crate::failpoint::check("snapshot.update").map_err(StorageError::Injected)?;
+        let mut next = self.current.read().snapshot_clone();
+        let applied = next.apply_delta(delta)?;
+        let published = Arc::new(next);
+        *self.current.write() = Arc::clone(&published);
+        Ok((published, applied))
     }
 }
 
@@ -210,6 +234,41 @@ mod tests {
             }
         });
         assert_eq!(store.snapshot().total_rows(), 5 + 40);
+    }
+
+    #[test]
+    fn publish_delta_is_atomic_and_returns_applied_rows() {
+        let store = store();
+        let pinned = store.snapshot();
+        let v0 = pinned.version();
+        let delta = DbDelta::new()
+            .delete("R", vec![Value::Int(2), Value::Int(20)])
+            .insert("R", vec![Value::Int(7), Value::Int(70)]);
+        let (published, applied) = store.publish_delta(&delta).unwrap();
+        assert_eq!(applied.old_version, v0);
+        assert_eq!(applied.new_version, published.version());
+        assert!(applied.new_version > v0);
+        let slice = &applied.relations[0];
+        assert_eq!(slice.deleted, vec![crate::table::RowId(2)]);
+        assert_eq!(slice.inserted, vec![crate::table::RowId(5)]);
+        // The pinned epoch still sees the deleted row; the published one
+        // does not.
+        assert!(pinned.table_by_name("R").unwrap().get(crate::table::RowId(2)).is_some());
+        assert!(published.table_by_name("R").unwrap().get(crate::table::RowId(2)).is_none());
+        assert_eq!(published.total_rows(), 5);
+        assert!(Arc::ptr_eq(&published, &store.snapshot()));
+    }
+
+    #[test]
+    fn rejected_delta_publishes_nothing() {
+        let store = store();
+        let v0 = store.version();
+        let delta = DbDelta::new()
+            .insert("R", vec![Value::Int(7), Value::Int(70)])
+            .delete("R", vec![Value::Int(99), Value::Int(0)]);
+        assert!(store.publish_delta(&delta).is_err());
+        assert_eq!(store.version(), v0);
+        assert_eq!(store.snapshot().total_rows(), 5);
     }
 
     #[test]

@@ -2,15 +2,19 @@
 //!
 //! A [`Table`] stores rows of [`Value`]s for one relation. Rows are
 //! addressed by [`RowId`] — the "tuple id" the PPA algorithm's
-//! parameterized queries bind (§5). Rows are append-only: the paper's
-//! workloads are read-mostly and personalization never mutates data.
+//! parameterized queries bind (§5). Row slots are append-only, so a
+//! `RowId` is stable for the lifetime of the table; deletes tombstone
+//! the slot in place (the row id is never reused) so that every
+//! materialized result keyed by tuple id stays patchable under write
+//! traffic instead of being rebuilt from scratch.
 
 use crate::error::StorageError;
 use crate::schema::Relation;
 use crate::types::DataType;
 use crate::value::Value;
 
-/// Identifier of a row within its table (stable: rows are append-only).
+/// Identifier of a row within its table (stable: row slots are
+/// append-only and never reused, even across deletes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RowId(pub u64);
 
@@ -18,9 +22,19 @@ pub struct RowId(pub u64);
 pub type Row = Vec<Value>;
 
 /// Rows of one relation.
+///
+/// Deleted rows are tombstoned (`dead[slot] = true`) rather than
+/// removed, keeping `RowId`s positional into [`Table::rows`]. The
+/// tombstone mask is allocated lazily: a table that has never seen a
+/// delete carries no per-row overhead and [`Table::tombstones`]
+/// returns `None`.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
     rows: Vec<Row>,
+    /// Tombstone mask; empty means every slot is live.
+    dead: Vec<bool>,
+    /// Number of `true` entries in `dead`.
+    dead_count: usize,
 }
 
 impl Table {
@@ -29,12 +43,18 @@ impl Table {
         Table::default()
     }
 
-    /// Number of rows.
+    /// Number of row *slots* (live + tombstoned): the exclusive upper
+    /// bound on `RowId.0`, and the length of the [`Table::rows`] slice.
     pub fn len(&self) -> usize {
         self.rows.len()
     }
 
-    /// True iff the table has no rows.
+    /// Number of live (non-tombstoned) rows.
+    pub fn live_len(&self) -> usize {
+        self.rows.len() - self.dead_count
+    }
+
+    /// True iff the table has no row slots at all.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
@@ -42,71 +62,113 @@ impl Table {
     /// Appends a row after checking its arity and types against `rel`.
     /// NULLs are accepted in any column.
     pub fn insert(&mut self, rel: &Relation, row: Row) -> Result<RowId, StorageError> {
-        if row.len() != rel.arity() {
-            return Err(StorageError::ArityMismatch {
-                relation: rel.name.clone(),
-                expected: rel.arity(),
-                got: row.len(),
-            });
-        }
-        for (value, attr) in row.iter().zip(&rel.attributes) {
-            let ok = match (value.data_type(), attr.data_type) {
-                (None, _) => true,
-                (Some(t), expected) if t == expected => true,
-                // ints widen into float columns
-                (Some(DataType::Int), DataType::Float) => true,
-                _ => false,
-            };
-            if !ok {
-                return Err(StorageError::TypeMismatch {
-                    relation: rel.name.clone(),
-                    attribute: attr.name.clone(),
-                    detail: format!(
-                        "expected {}, got {:?}",
-                        attr.data_type,
-                        value.data_type()
-                    ),
-                });
-            }
-        }
-        let id = RowId(self.rows.len() as u64);
-        self.rows.push(row);
-        Ok(id)
+        validate_row(rel, &row)?;
+        Ok(self.push_row(row))
     }
 
     /// Appends a row without validation. The caller must guarantee arity
     /// and types; data generators use this on their own validated output to
     /// avoid per-row checking costs.
     pub fn insert_unchecked(&mut self, row: Row) -> RowId {
+        self.push_row(row)
+    }
+
+    fn push_row(&mut self, row: Row) -> RowId {
         let id = RowId(self.rows.len() as u64);
         self.rows.push(row);
+        if !self.dead.is_empty() {
+            self.dead.push(false);
+        }
         id
     }
 
-    /// The row behind `id`, if it exists.
+    /// Tombstones the row behind `id`. Returns `false` if the slot does
+    /// not exist or is already dead. The slot (and its `RowId`) remains
+    /// occupied forever; only [`Table::get`]/[`Table::iter`] visibility
+    /// changes.
+    pub fn delete(&mut self, id: RowId) -> bool {
+        let slot = id.0 as usize;
+        if slot >= self.rows.len() {
+            return false;
+        }
+        if self.dead.is_empty() {
+            self.dead = vec![false; self.rows.len()];
+        }
+        if self.dead[slot] {
+            return false;
+        }
+        self.dead[slot] = true;
+        self.dead_count += 1;
+        true
+    }
+
+    /// True iff `id` names a live (existing, non-tombstoned) row.
+    pub fn is_live(&self, id: RowId) -> bool {
+        let slot = id.0 as usize;
+        slot < self.rows.len() && !self.dead.get(slot).copied().unwrap_or(false)
+    }
+
+    /// The tombstone mask (one flag per row slot), or `None` when every
+    /// slot is live. Batch scans use this to mask dead slots without a
+    /// per-row branch on the common delete-free path.
+    pub fn tombstones(&self) -> Option<&[bool]> {
+        if self.dead_count == 0 { None } else { Some(&self.dead) }
+    }
+
+    /// The live row behind `id`, if it exists and is not tombstoned.
     pub fn get(&self, id: RowId) -> Option<&Row> {
+        if self.dead.get(id.0 as usize).copied().unwrap_or(false) {
+            return None;
+        }
         self.rows.get(id.0 as usize)
     }
 
-    /// Iterates `(RowId, &Row)` in insertion order.
+    /// Iterates `(RowId, &Row)` over live rows in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
-        self.rows.iter().enumerate().map(|(i, r)| (RowId(i as u64), r))
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.dead.get(*i).copied().unwrap_or(false))
+            .map(|(i, r)| (RowId(i as u64), r))
     }
 
-    /// All rows as a slice, indexed by `RowId.0`.
+    /// First live row equal to `row` (full-tuple value equality), in
+    /// insertion order — how value-addressed deletes resolve a `RowId`.
+    pub fn find_live(&self, row: &[Value]) -> Option<RowId> {
+        self.iter().find(|(_, r)| r.as_slice() == row).map(|(id, _)| id)
+    }
+
+    /// All row slots as a slice, indexed by `RowId.0`. Includes
+    /// tombstoned slots — positional consumers must consult
+    /// [`Table::tombstones`].
     pub fn rows(&self) -> &[Row] {
         &self.rows
     }
 
-    /// Values of one column, in row order (NULLs included).
+    /// Values of one column over every slot, in row order (NULLs and
+    /// tombstoned slots included).
     pub fn column(&self, idx: usize) -> impl Iterator<Item = &Value> {
         self.rows.iter().map(move |r| &r[idx])
     }
 
-    /// Iterates the table in contiguous chunks of at most `cap` rows,
-    /// yielding each chunk's starting row id with a borrowed row slice —
-    /// the batch-scan entry point: a vectorized scan reads one chunk per
-    /// batch without per-row bookkeeping (row ids are `base..base+len`).
+    /// Values of one column over live rows only, in row order.
+    pub fn live_column(&self, idx: usize) -> impl Iterator<Item = &Value> {
+        self.iter().map(move |(_, r)| &r[idx])
+    }
+
+    /// `(RowId, value)` pairs of one column over live rows only — the
+    /// position-preserving feed for index builds, which must never point
+    /// at a tombstoned slot.
+    pub fn live_column_pairs(&self, idx: usize) -> impl Iterator<Item = (RowId, &Value)> {
+        self.iter().map(move |(id, r)| (id, &r[idx]))
+    }
+
+    /// Iterates the table in contiguous chunks of at most `cap` row
+    /// slots, yielding each chunk's starting row id with a borrowed row
+    /// slice — the batch-scan entry point: a vectorized scan reads one
+    /// chunk per batch without per-row bookkeeping (row ids are
+    /// `base..base+len`). Chunks include tombstoned slots; scans mask
+    /// them via [`Table::tombstones`].
     ///
     /// # Panics
     /// If `cap` is zero.
@@ -114,6 +176,38 @@ impl Table {
         assert!(cap > 0, "chunk capacity must be non-zero");
         self.rows.chunks(cap).enumerate().map(move |(i, c)| (RowId((i * cap) as u64), c))
     }
+}
+
+/// Checks a row's arity and value types against a relation's schema
+/// without inserting it. NULLs are accepted in any column; ints widen
+/// into float columns. [`Table::insert`] calls this, and delta
+/// application uses it to pre-validate a whole batch before mutating
+/// anything (all-or-nothing deltas).
+pub fn validate_row(rel: &Relation, row: &[Value]) -> Result<(), StorageError> {
+    if row.len() != rel.arity() {
+        return Err(StorageError::ArityMismatch {
+            relation: rel.name.clone(),
+            expected: rel.arity(),
+            got: row.len(),
+        });
+    }
+    for (value, attr) in row.iter().zip(&rel.attributes) {
+        let ok = match (value.data_type(), attr.data_type) {
+            (None, _) => true,
+            (Some(t), expected) if t == expected => true,
+            // ints widen into float columns
+            (Some(DataType::Int), DataType::Float) => true,
+            _ => false,
+        };
+        if !ok {
+            return Err(StorageError::TypeMismatch {
+                relation: rel.name.clone(),
+                attribute: attr.name.clone(),
+                detail: format!("expected {}, got {:?}", attr.data_type, value.data_type()),
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -190,6 +284,73 @@ mod tests {
         }
         let ids: Vec<u64> = t.iter().map(|(rid, _)| rid.0).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn delete_tombstones_slot_and_preserves_row_ids() {
+        let (c, id) = rel();
+        let mut t = Table::new();
+        for i in 0..4 {
+            t.insert(c.relation(id), vec![Value::Int(i), Value::str("t"), Value::Float(0.0)])
+                .unwrap();
+        }
+        assert!(t.tombstones().is_none());
+        assert!(t.delete(RowId(1)));
+        assert!(!t.delete(RowId(1)), "double delete is a no-op");
+        assert!(!t.delete(RowId(99)), "out-of-range delete is a no-op");
+        assert_eq!(t.len(), 4, "slot count unchanged");
+        assert_eq!(t.live_len(), 3);
+        assert!(t.get(RowId(1)).is_none(), "dead row invisible to point fetch");
+        assert!(t.get(RowId(2)).is_some());
+        assert!(!t.is_live(RowId(1)));
+        assert!(t.is_live(RowId(2)));
+        let ids: Vec<u64> = t.iter().map(|(rid, _)| rid.0).collect();
+        assert_eq!(ids, vec![0, 2, 3], "iter skips dead, row ids stable");
+        assert_eq!(t.tombstones().unwrap(), &[false, true, false, false]);
+        // A reinsert of the same values lands in a fresh slot: row ids
+        // are never reused.
+        let rid = t
+            .insert(c.relation(id), vec![Value::Int(1), Value::str("t"), Value::Float(0.0)])
+            .unwrap();
+        assert_eq!(rid, RowId(4));
+        assert_eq!(t.tombstones().unwrap().len(), 5, "mask tracks appends");
+        assert_eq!(t.live_len(), 4);
+    }
+
+    #[test]
+    fn find_live_matches_full_tuple_and_skips_dead() {
+        let (c, id) = rel();
+        let mut t = Table::new();
+        for i in 0..3 {
+            t.insert(c.relation(id), vec![Value::Int(7), Value::str("t"), Value::Float(i as f64)])
+                .unwrap();
+        }
+        let target = vec![Value::Int(7), Value::str("t"), Value::Float(1.0)];
+        assert_eq!(t.find_live(&target), Some(RowId(1)));
+        t.delete(RowId(1));
+        assert_eq!(t.find_live(&target), None);
+        assert_eq!(
+            t.find_live(&[Value::Int(7), Value::str("t"), Value::Float(0.0)]),
+            Some(RowId(0))
+        );
+    }
+
+    #[test]
+    fn live_column_iterators_skip_dead_but_keep_positions() {
+        let (c, id) = rel();
+        let mut t = Table::new();
+        for i in 0..4 {
+            t.insert(c.relation(id), vec![Value::Int(i), Value::str("t"), Value::Float(0.0)])
+                .unwrap();
+        }
+        t.delete(RowId(2));
+        let mids: Vec<i64> = t.live_column(0).filter_map(|v| v.as_i64()).collect();
+        assert_eq!(mids, vec![0, 1, 3]);
+        let pairs: Vec<(u64, i64)> =
+            t.live_column_pairs(0).map(|(rid, v)| (rid.0, v.as_i64().unwrap())).collect();
+        assert_eq!(pairs, vec![(0, 0), (1, 1), (3, 3)]);
+        // The positional column iterator still walks every slot.
+        assert_eq!(t.column(0).count(), 4);
     }
 
     #[test]

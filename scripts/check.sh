@@ -133,6 +133,18 @@ recovery_tmp="$(mktemp -d)"
 (cd "$recovery_tmp" && "$repro_fp_bin" --bench-recovery --scale small --users 20000 >/dev/null)
 rm -rf "$recovery_tmp"
 
+# Maintenance leg: the incremental-maintenance parity suite (maintained
+# materializations byte-identical to recompute-from-scratch, including
+# delete-then-reinsert and schema-publish memo drops), then a small
+# smoke of the mixed read/write bench at an elevated write rate so the
+# patch/carry/rematerialize paths all execute under the clock.
+echo "==> cargo test (incremental maintenance)"
+cargo test -q -p qp-core --test maintenance
+echo "==> bench-maintenance smoke (small scale)"
+maint_tmp="$(mktemp -d)"
+(cd "$maint_tmp" && "$repro_fp_bin" --bench-maintenance --scale small --runs 1 --write-rate 4 >/dev/null)
+rm -rf "$maint_tmp"
+
 # Forced-open breaker: every serving test must still pass when the
 # circuit breaker is pinned open — personalizers without a resilience
 # bundle are unaffected, and those with one keep serving degraded

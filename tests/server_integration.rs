@@ -11,7 +11,7 @@
 use std::io::{Read, Write};
 use std::time::Duration;
 
-use qp_client::{wire, Client, ErrorCode, Json, PersonalizeCall, Response};
+use qp_client::{wire, Client, DeltaSpec, ErrorCode, Json, PersonalizeCall, Response};
 use qp_server::testsupport::{als_profile_dsl, quick_config, wait_for, TestServer};
 use qp_server::{assert_server_error, ServerConfig};
 
@@ -267,6 +267,121 @@ fn admission_sheds_before_parsing_the_request() {
     let mut client = ts.client();
     assert_server_error!(client.ping(), ErrorCode::Overloaded);
     assert!(ts.counter("server.shed") >= 2);
+    ts.shutdown();
+}
+
+#[test]
+fn publish_delta_maintains_materialized_results_across_epochs() {
+    let mut ts = TestServer::spawn();
+    let mut client = ts.client();
+    let dsl = als_profile_dsl(&ts.store().snapshot());
+    let reg = client.register_profile("al", &dsl).expect("register");
+
+    // Warm the server's materialization registry with one PPA run.
+    let call = || reg.call("select title from MOVIE").k(4).l(1).algorithm("ppa");
+    client.personalize(call()).expect("warm run");
+
+    // Publish a small write: one fresh movie plus its genre row.
+    let receipt = client
+        .publish_delta(
+            DeltaSpec::new()
+                .insert(
+                    "MOVIE",
+                    vec![
+                        Json::num(900_000.0),
+                        Json::str("Fresh Epoch"),
+                        Json::num(1975.0),
+                        Json::num(95.0),
+                    ],
+                )
+                .insert("GENRE", vec![Json::num(900_000.0), Json::str("comedy")]),
+        )
+        .expect("publish delta");
+    assert!(receipt.new_version > receipt.old_version, "delta produced a new epoch");
+    assert_eq!(receipt.rows_inserted, 2);
+    assert_eq!(receipt.rows_deleted, 0);
+    assert!(
+        receipt.patched + receipt.carried + receipt.rematerialized > 0,
+        "the warm registry was maintained, not recomputed away: {receipt:?}"
+    );
+
+    // The same connection keeps personalizing against the new epoch, and
+    // a value-addressed delete of the published row round-trips too.
+    let after = client.personalize(call()).expect("post-publish personalize");
+    assert!(!after.tuples.is_empty());
+    let undo = client
+        .publish_delta(DeltaSpec::new().delete(
+            "MOVIE",
+            vec![Json::num(900_000.0), Json::str("Fresh Epoch"), Json::num(1975.0), Json::num(95.0)],
+        ))
+        .expect("delete the published row");
+    assert_eq!(undo.rows_deleted, 1);
+
+    // The maintenance counters are on the wire stats surface.
+    let stats = client.stats().expect("stats");
+    let counter = |name: &str| {
+        stats.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_u64()).unwrap_or(0)
+    };
+    assert_eq!(counter("maint.deltas"), 2);
+    assert_eq!(counter("maint.rows_inserted"), 2);
+    assert_eq!(counter("maint.rows_deleted"), 1);
+    assert_eq!(counter("maint.memo.kept"), 2, "data publishes kept the selection memos");
+
+    ts.shutdown();
+}
+
+#[test]
+fn rejected_deltas_are_typed_and_change_nothing() {
+    let mut ts = TestServer::spawn();
+    let mut client = ts.client();
+    let version_before = ts.store().snapshot().version();
+
+    // Unknown relation.
+    assert_server_error!(
+        client.publish_delta(DeltaSpec::new().insert("NOPE", vec![Json::num(1.0)])),
+        ErrorCode::DeltaRejected
+    );
+    // Arity mismatch (MOVIE has four columns).
+    assert_server_error!(
+        client.publish_delta(DeltaSpec::new().insert("MOVIE", vec![Json::num(1.0)])),
+        ErrorCode::DeltaRejected
+    );
+    // Delete addressing no live tuple.
+    assert_server_error!(
+        client.publish_delta(DeltaSpec::new().delete(
+            "MOVIE",
+            vec![Json::num(987_654.0), Json::str("ghost"), Json::num(1900.0), Json::num(90.0)],
+        )),
+        ErrorCode::DeltaRejected
+    );
+    // A mixed delta with one bad slice is rejected wholesale: the valid
+    // insert must not land.
+    assert_server_error!(
+        client.publish_delta(
+            DeltaSpec::new()
+                .insert(
+                    "MOVIE",
+                    vec![
+                        Json::num(900_001.0),
+                        Json::str("Half Applied"),
+                        Json::num(2001.0),
+                        Json::num(100.0),
+                    ],
+                )
+                .insert("NOPE", vec![Json::num(1.0)]),
+        ),
+        ErrorCode::DeltaRejected
+    );
+
+    assert_eq!(
+        ts.store().snapshot().version(),
+        version_before,
+        "rejected deltas never publish an epoch"
+    );
+    assert_eq!(ts.counter("server.requests.delta_rejected"), 4);
+    assert_eq!(ts.counter("maint.deltas"), 0);
+    // Typed rejections never poison the connection.
+    client.ping().expect("connection still usable");
     ts.shutdown();
 }
 
